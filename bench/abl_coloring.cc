@@ -1,0 +1,65 @@
+// Ablation: compartment derivation quality/cost — DSATUR vs. exact
+// branch-and-bound coloring on random conflict graphs of LibOS scale
+// (supports the paper's §2 automation claim).
+#include <chrono>
+#include <cstdio>
+
+#include "core/coloring.h"
+#include "support/rng.h"
+
+namespace flexos {
+namespace {
+
+struct Sample {
+  double avg_greedy = 0;
+  double avg_exact = 0;
+  double exact_ms = 0;
+};
+
+Sample RunTrials(int n, double density, int trials) {
+  Rng rng(static_cast<uint64_t>(n) * 1000 +
+          static_cast<uint64_t>(density * 100));
+  Sample sample;
+  double exact_ms_total = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.NextBool(density)) {
+          edges.emplace_back(a, b);
+        }
+      }
+    }
+    sample.avg_greedy += ColorGraphDsatur(n, edges).num_colors;
+    const auto start = std::chrono::steady_clock::now();
+    sample.avg_exact += ColorGraphExact(n, edges).num_colors;
+    const auto end = std::chrono::steady_clock::now();
+    exact_ms_total +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+  }
+  sample.avg_greedy /= trials;
+  sample.avg_exact /= trials;
+  sample.exact_ms = exact_ms_total / trials;
+  return sample;
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main() {
+  using namespace flexos;
+  std::printf("# Compartment derivation: DSATUR vs exact coloring on random "
+              "conflict graphs\n");
+  std::printf("%-6s %-9s %10s %10s %12s\n", "libs", "density", "greedy",
+              "exact", "exact(ms)");
+  for (int n : {6, 10, 14, 18, 22}) {
+    for (double density : {0.2, 0.5, 0.8}) {
+      const Sample sample = RunTrials(n, density, 10);
+      std::printf("%-6d %-9.1f %10.2f %10.2f %12.3f\n", n, density,
+                  sample.avg_greedy, sample.avg_exact, sample.exact_ms);
+    }
+  }
+  std::printf("\n# exact <= greedy always; both trivially fast at "
+              "LibOS scale (tens of micro-libraries)\n");
+  return 0;
+}

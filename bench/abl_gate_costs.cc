@@ -1,0 +1,58 @@
+// Ablation: raw gate round-trip costs per backend vs. argument size — the
+// per-crossing prices that drive Fig. 3's crossover behavior.
+#include <cstdio>
+
+#include "core/gate.h"
+#include "core/mpk_gate.h"
+#include "core/vm_gate.h"
+
+namespace flexos {
+namespace {
+
+uint64_t MeasureRoundTrip(Gate& gate, Machine& machine,
+                          uint64_t arg_bytes) {
+  ExecContext target;
+  target.compartment = 1;
+  target.pkru = Pkru::DenyAll().WithAccess(1, true, true);
+  const GateCrossing crossing{.target_context = &target,
+                              .arg_bytes = arg_bytes,
+                              .ret_bytes = 16};
+  const uint64_t before = machine.clock().cycles();
+  gate.Cross(machine, crossing, [] {});
+  return machine.clock().cycles() - before;
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main() {
+  using namespace flexos;
+  Machine machine;
+  DirectGate direct;
+  MpkSharedStackGate mpk_shared;
+  MpkSwitchedStackGate mpk_switched;
+  VmRpcGate vm_rpc;
+
+  std::printf("# Gate round-trip cost (cycles) vs. by-value argument size\n");
+  std::printf("%-10s %10s %12s %14s %10s\n", "args(B)", "direct",
+              "mpk-shared", "mpk-switched", "vm-rpc");
+  for (uint64_t args : {0ull, 16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+    std::printf("%-10llu %10llu %12llu %14llu %10llu\n",
+                static_cast<unsigned long long>(args),
+                static_cast<unsigned long long>(
+                    MeasureRoundTrip(direct, machine, args)),
+                static_cast<unsigned long long>(
+                    MeasureRoundTrip(mpk_shared, machine, args)),
+                static_cast<unsigned long long>(
+                    MeasureRoundTrip(mpk_switched, machine, args)),
+                static_cast<unsigned long long>(
+                    MeasureRoundTrip(vm_rpc, machine, args)));
+  }
+  const double ns_per_cycle =
+      1e9 / static_cast<double>(machine.clock().freq_hz());
+  std::printf("\n# 1 cycle = %.3f ns at %.1f GHz (paper testbed: Xeon "
+              "Silver 4110)\n",
+              ns_per_cycle,
+              static_cast<double>(machine.clock().freq_hz()) / 1e9);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: how Table 1's headline ratios move with the modeled
+// instrumentation multiplier — the calibration sensitivity DESIGN.md §6
+// discloses. The *ordering* (libc >> rest > net > sched) must hold at
+// every plausible multiplier; only magnitudes scale.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace flexos {
+namespace {
+
+constexpr uint64_t kTotalBytes = 2ull << 20;
+constexpr uint64_t kRecvBuffer = 16 * 1024;
+
+double Measure(double multiplier, const std::set<std::string>& hardened) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  config.image.hardened_libs = hardened;
+  config.costs.sh_mem_multiplier = multiplier;
+  return bench::RunIperf(config, kTotalBytes, kRecvBuffer).gbps;
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main() {
+  using namespace flexos;
+  std::printf("# SH-multiplier sensitivity: iperf slowdown per hardened "
+              "component\n");
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "multiplier", "sched",
+              "net", "libc", "rest", "entire");
+  for (double multiplier : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    const double baseline = Measure(multiplier, {});
+    std::printf("%-12.1f %9.2fx %9.2fx %9.2fx %9.2fx %9.2fx\n", multiplier,
+                baseline / Measure(multiplier, {"sched"}),
+                baseline / Measure(multiplier, {"net"}),
+                baseline / Measure(multiplier, {"libc"}),
+                baseline / Measure(multiplier, {"app", "alloc"}),
+                baseline / Measure(multiplier,
+                                   {"sched", "net", "libc", "app", "alloc"}));
+  }
+  std::printf("\n# paper's measured row (KASAN-class): sched 1.01x, net "
+              "1.06x, libc 2.35x, rest 1.18x, entire ~6x\n");
+  return 0;
+}

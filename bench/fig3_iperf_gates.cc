@@ -1,0 +1,80 @@
+// Figure 3 reproduction: iperf throughput vs. recv-buffer size for the
+// paper's isolation configurations.
+//
+//   Paper series: KVM baseline, MPK-Sha (KVM), MPK-Sw (KVM), SH (KVM),
+//                 Xen baseline, VM RPC (Xen).
+//   Expected shape: SH and MPK 2-3x slower at small buffers, converging to
+//   the baseline around 1 KiB; the VM backend needs ~32 KiB to catch up;
+//   Xen series sit below their KVM counterparts.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace flexos {
+namespace {
+
+using bench::NetOnlyConfig;
+using bench::RunIperf;
+
+constexpr uint64_t kTotalBytes = 4ull << 20;
+
+double Measure(IsolationBackend backend, bool harden_net, bool xen_costs,
+               uint64_t recv_buffer) {
+  TestbedConfig config;
+  if (backend == IsolationBackend::kNone) {
+    config.image = BaselineConfig(DefaultLibs());
+  } else {
+    config.image = NetOnlyConfig(backend);
+  }
+  if (harden_net) {
+    config.image.hardened_libs = {std::string(kLibNet)};
+  }
+  if (xen_costs) {
+    config.costs = bench::XenPlatformCosts();
+  }
+  return RunIperf(config, kTotalBytes, recv_buffer).gbps;
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main() {
+  using namespace flexos;
+  std::printf("# Figure 3: iperf throughput (Gb/s), payload = recv buffer "
+              "size\n");
+  std::printf("# series: KVM-baseline, MPK-Sha(KVM), MPK-Sw(KVM), SH(KVM), "
+              "Xen-baseline, VM-RPC(Xen)\n");
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "buf(B)", "KVM-base",
+              "MPK-Sha", "MPK-Sw", "SH", "Xen-base", "VM-RPC");
+  for (int power = 6; power <= 20; power += 2) {
+    const uint64_t buffer = 1ull << power;
+    const double kvm_base =
+        Measure(IsolationBackend::kNone, false, false, buffer);
+    const double mpk_sha =
+        Measure(IsolationBackend::kMpkSharedStack, false, false, buffer);
+    const double mpk_sw =
+        Measure(IsolationBackend::kMpkSwitchedStack, false, false, buffer);
+    const double sh = Measure(IsolationBackend::kNone, true, false, buffer);
+    const double xen_base =
+        Measure(IsolationBackend::kNone, false, true, buffer);
+    const double vm_rpc =
+        Measure(IsolationBackend::kVmRpc, false, true, buffer);
+    std::printf("%-10llu %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+                static_cast<unsigned long long>(buffer), kvm_base, mpk_sha,
+                mpk_sw, sh, xen_base, vm_rpc);
+  }
+  std::printf("\n# Reproduction checks (paper shape):\n");
+  const double base_small =
+      Measure(IsolationBackend::kNone, false, false, 64);
+  const double mpk_small =
+      Measure(IsolationBackend::kMpkSwitchedStack, false, false, 64);
+  const double base_big =
+      Measure(IsolationBackend::kNone, false, false, 64 * 1024);
+  const double mpk_big =
+      Measure(IsolationBackend::kMpkSwitchedStack, false, false, 64 * 1024);
+  std::printf("  small-buffer MPK slowdown: %.2fx (paper: 2-3x)\n",
+              base_small / mpk_small);
+  std::printf("  large-buffer MPK slowdown: %.2fx (paper: ~1x)\n",
+              base_big / mpk_big);
+  return 0;
+}

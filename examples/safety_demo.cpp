@@ -1,0 +1,83 @@
+// Safety demo: the protection mechanisms actually enforcing. Four attacks,
+// four different FlexOS defenses catching them:
+//   1. cross-compartment write          -> MPK protection fault
+//   2. heap buffer overflow             -> ASAN-lite redzone
+//   3. use-after-free                   -> ASAN-lite quarantine
+//   4. jump to a non-exported function  -> CFI check at the gate
+//   5. double thread_add                -> verified-scheduler contract
+#include <cstdio>
+
+#include "core/image_builder.h"
+#include "sched/verified_scheduler.h"
+
+using namespace flexos;
+
+namespace {
+
+void Expect(const char* what, const std::function<void()>& attack) {
+  try {
+    attack();
+    std::printf("  [MISSED] %s was NOT caught\n", what);
+  } catch (const TrapException& trap) {
+    std::printf("  [caught] %-34s -> %s\n", what,
+                trap.info().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Machine machine;
+  ImageBuilder builder(machine);
+
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  config.hardened_libs = {"net"};
+  config.cfi_libs = {"sched"};
+  config.apis["sched"] = {"thread_add", "thread_rm", "yield"};
+  auto image = builder.Build(config).value();
+  std::printf("%s\nAttacks:\n", image->Describe().c_str());
+
+  // 1. The app tries to scribble over the network stack's heap.
+  const Gaddr net_secret = image->AllocatorOf("net").Allocate(64).value();
+  Expect("cross-compartment write", [&] {
+    image->Call(kLibPlatform, "app", [&] {
+      uint8_t evil = 0x41;
+      image->SpaceOf("app").Write(net_secret, &evil, 1);
+    });
+  });
+
+  // 2. Overflow a hardened-compartment buffer past its redzone.
+  const Gaddr buffer = image->AllocatorOf("net").Allocate(32).value();
+  Expect("heap buffer overflow (ASAN)", [&] {
+    image->Call(kLibPlatform, "net", [&] {
+      uint8_t payload[40] = {};
+      image->SpaceOf("net").Write(buffer, payload, sizeof(payload));
+    });
+  });
+
+  // 3. Use a freed allocation (quarantine keeps it poisoned).
+  const Gaddr stale = image->AllocatorOf("net").Allocate(32).value();
+  FLEXOS_CHECK(image->AllocatorOf("net").Free(stale).ok(), "free failed");
+  Expect("use-after-free (ASAN quarantine)", [&] {
+    image->Call(kLibPlatform, "net", [&] {
+      uint8_t byte = 0;
+      image->SpaceOf("net").Read(stale, &byte, 1);
+    });
+  });
+
+  // 4. Call an entry point the scheduler never exported.
+  Expect("CFI: jump past declared API", [&] {
+    image->CallNamed("app", "sched", "corrupt_runqueue", [] {});
+  });
+
+  // 5. Violate the verified scheduler's thread_add precondition.
+  VerifiedScheduler sched(machine);
+  Thread* thread = sched.Spawn("victim", [] {}).value();
+  Expect("double thread_add (contract)", [&] { (void)sched.Add(thread); });
+
+  std::printf("\nEach attack was stopped by a *different* mechanism — all "
+              "selected at image build time.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// A static web server with the filesystem in its own compartment: the
+// paper's follow-up work compartmentalizes exactly this pairing (ramfs +
+// network stack). Requests flow app -> net gates one way and app -> fs
+// gates the other; the example prints what each trust model costs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/http_server.h"
+
+using namespace flexos;
+
+namespace {
+
+class HttpLoadClient final : public RemoteApp {
+ public:
+  HttpLoadClient(std::string request, int count)
+      : request_(std::move(request)), remaining_(count) {}
+  size_t ProduceData(uint8_t* out, size_t max) override {
+    if (pending_.empty()) {
+      if (remaining_ == 0 || awaiting_) {
+        return 0;
+      }
+      pending_ = request_;
+      awaiting_ = true;
+      --remaining_;
+    }
+    const size_t n = std::min(max, pending_.size());
+    std::memcpy(out, pending_.data(), n);
+    pending_.erase(0, n);
+    return n;
+  }
+  bool Finished() const override {
+    return remaining_ == 0 && !awaiting_;
+  }
+  void OnReceive(const uint8_t* data, size_t len) override {
+    rx_.append(reinterpret_cast<const char*>(data), len);
+    // One response per request: find the header, then wait for the body.
+    for (;;) {
+      const size_t head_end = rx_.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        return;
+      }
+      const size_t length_at = rx_.find("Content-Length: ");
+      if (length_at == std::string::npos || length_at > head_end) {
+        return;
+      }
+      const size_t body_len = static_cast<size_t>(
+          std::strtoull(rx_.c_str() + length_at + 16, nullptr, 10));
+      if (rx_.size() < head_end + 4 + body_len) {
+        return;
+      }
+      rx_.erase(0, head_end + 4 + body_len);
+      ++completed_;
+      awaiting_ = false;
+    }
+  }
+  int completed() const { return completed_; }
+
+ private:
+  std::string request_;
+  std::string pending_;
+  std::string rx_;
+  int remaining_;
+  bool awaiting_ = false;
+  int completed_ = 0;
+};
+
+double Serve(const ImageConfig& image, const char* label) {
+  TestbedConfig config;
+  config.image = image;
+  Testbed bed(config);
+
+  RamFs fs(bed.machine(), bed.image().SpaceOf(kLibFs),
+           bed.image().AllocatorOf(kLibFs), &bed.image());
+  FLEXOS_CHECK(fs.WriteFileFromHost("index.html",
+                                    std::string(2048, 'p')).ok(),
+               "doc load failed");
+
+  HttpServerResult server_result;
+  SpawnHttpServer(bed, fs, HttpServerOptions{}, &server_result);
+
+  HttpLoadClient client("GET /index.html HTTP/1.0\r\n\r\n", 200);
+  RemoteTcpConfig peer_config;
+  peer_config.server_port = 8080;
+  RemoteTcpPeer peer(bed.machine(), bed.link(), peer_config, client);
+  bed.AddPeer(&peer);
+  peer.Connect();
+
+  const Status status = bed.Run();
+  FLEXOS_CHECK(status.ok(), "run failed: %s", status.ToString().c_str());
+  FLEXOS_CHECK(client.completed() == 200, "requests lost");
+
+  const double seconds = bed.machine().clock().NowSeconds();
+  const double rps = 200.0 / seconds;
+  std::printf("%-34s %8.0f req/s   %8llu crossings\n", label, rps,
+              static_cast<unsigned long long>(
+                  bed.image().stats().cross_compartment_calls));
+  return rps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Static web server, 200 GETs of a 2 KiB page, per trust "
+              "model:\n\n");
+  Serve(BaselineConfig(DefaultLibs()), "no isolation");
+
+  ImageConfig fs_isolated;
+  fs_isolated.backend = IsolationBackend::kMpkSharedStack;
+  fs_isolated.compartments = {
+      {"fs"}, {"app", "net", "sched", "libc", "alloc"}};
+  Serve(fs_isolated, "{fs | rest} MPK-shared");
+
+  ImageConfig net_isolated;
+  net_isolated.backend = IsolationBackend::kMpkSharedStack;
+  net_isolated.compartments = {
+      {"net"}, {"app", "fs", "sched", "libc", "alloc"}};
+  Serve(net_isolated, "{net | rest} MPK-shared");
+
+  ImageConfig both;
+  both.backend = IsolationBackend::kMpkSwitchedStack;
+  both.compartments = {
+      {"fs"}, {"net"}, {"app", "sched", "libc", "alloc"}};
+  Serve(both, "{fs | net | rest} MPK-switched");
+
+  std::printf(
+      "\nThe file system is a cold boundary (one gate pair per request);\n"
+      "the network stack is a hot one (gates per packet, per lock, per\n"
+      "semaphore) — which is why the paper isolates the *network stack*\n"
+      "in its headline experiments and why per-boundary choice matters.\n");
+  return 0;
+}

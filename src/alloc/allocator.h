@@ -1,0 +1,54 @@
+// The allocator interface all FlexOS heaps implement. Allocators hand out
+// guest addresses within one address space; their metadata lives host-side
+// (the simulator plays the role of the allocator's internal structures).
+#ifndef FLEXOS_ALLOC_ALLOCATOR_H_
+#define FLEXOS_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "support/status.h"
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+struct AllocStats {
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+  uint64_t bytes_in_use = 0;
+  uint64_t peak_bytes = 0;
+
+  void OnAlloc(uint64_t size) {
+    ++allocations;
+    bytes_in_use += size;
+    if (bytes_in_use > peak_bytes) {
+      peak_bytes = bytes_in_use;
+    }
+  }
+  void OnFree(uint64_t size) {
+    ++frees;
+    bytes_in_use -= size;
+  }
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Returns a guest address of at least `size` bytes aligned to `align`
+  // (a power of two). size == 0 is treated as 1.
+  virtual Result<Gaddr> Allocate(uint64_t size, uint64_t align = 16) = 0;
+
+  // Frees a pointer previously returned by Allocate. Freeing an address this
+  // allocator does not own returns kInvalidArgument.
+  virtual Status Free(Gaddr addr) = 0;
+
+  // Size usable at `addr` (as allocated). kNotFound if not live.
+  virtual Result<uint64_t> UsableSize(Gaddr addr) const = 0;
+
+  virtual AddressSpace& space() = 0;
+  virtual const AllocStats& stats() const = 0;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_ALLOCATOR_H_

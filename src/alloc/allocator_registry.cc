@@ -1,0 +1,22 @@
+#include "alloc/allocator_registry.h"
+
+namespace flexos {
+
+Allocator& AllocatorRegistry::Adopt(std::unique_ptr<Allocator> allocator) {
+  FLEXOS_CHECK(allocator != nullptr, "Adopt(nullptr)");
+  owned_.push_back(std::move(allocator));
+  return *owned_.back();
+}
+
+Allocator& AllocatorRegistry::For(int compartment) const {
+  auto it = per_compartment_.find(compartment);
+  if (it != per_compartment_.end()) {
+    return *it->second;
+  }
+  FLEXOS_CHECK(global_ != nullptr,
+               "no allocator for compartment %d and no global allocator",
+               compartment);
+  return *global_;
+}
+
+}  // namespace flexos

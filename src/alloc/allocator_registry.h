@@ -1,0 +1,63 @@
+// AllocatorRegistry: FlexOS's per-compartment allocator policy. The paper
+// (§3, "SH Support") requires the build system to instantiate a separate
+// memory allocator per compartment when only some compartments are
+// hardened, so that uninstrumented compartments do not pay for instrumented
+// malloc. The registry maps compartment id -> allocator, with an optional
+// global fallback allocator modeling the single-global-allocator
+// configuration (Fig. 4's "SH global alloc" bar).
+#ifndef FLEXOS_ALLOC_ALLOCATOR_REGISTRY_H_
+#define FLEXOS_ALLOC_ALLOCATOR_REGISTRY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.h"
+
+namespace flexos {
+
+class AllocatorRegistry {
+ public:
+  AllocatorRegistry() = default;
+
+  // Wrappers (HardenedHeap) are adopted after their backing heap and may
+  // touch it during destruction (quarantine drain), so adopted allocators
+  // must be destroyed in reverse adoption order.
+  ~AllocatorRegistry() {
+    while (!owned_.empty()) {
+      owned_.pop_back();
+    }
+  }
+
+  AllocatorRegistry(const AllocatorRegistry&) = delete;
+  AllocatorRegistry& operator=(const AllocatorRegistry&) = delete;
+
+  // Takes ownership and returns a handle for wiring.
+  Allocator& Adopt(std::unique_ptr<Allocator> allocator);
+
+  // Sets the fallback used by compartments with no dedicated allocator.
+  void SetGlobal(Allocator& allocator) { global_ = &allocator; }
+
+  // Dedicates an allocator to a compartment.
+  void SetForCompartment(int compartment, Allocator& allocator) {
+    per_compartment_[compartment] = &allocator;
+  }
+
+  // The allocator compartment `compartment` must use. Panics if neither a
+  // dedicated nor a global allocator is configured (a mis-built image).
+  Allocator& For(int compartment) const;
+
+  // True if `compartment` has its own allocator (vs. the shared global).
+  bool HasDedicated(int compartment) const {
+    return per_compartment_.count(compartment) != 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Allocator>> owned_;
+  std::unordered_map<int, Allocator*> per_compartment_;
+  Allocator* global_ = nullptr;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_ALLOCATOR_REGISTRY_H_

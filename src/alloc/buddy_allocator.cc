@@ -1,0 +1,161 @@
+#include "alloc/buddy_allocator.h"
+
+namespace flexos {
+namespace {
+
+constexpr bool IsPow2(uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+int Log2Floor(uint64_t value) { return 63 - __builtin_clzll(value); }
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(AddressSpace& space, Gaddr base, uint64_t size)
+    : space_(space), base_(base), size_(size) {
+  FLEXOS_CHECK(IsPow2(size) && size >= kMinBlock,
+               "buddy arena must be a power of two >= %llu",
+               static_cast<unsigned long long>(kMinBlock));
+  max_order_ = Log2Floor(size / kMinBlock);
+  free_lists_.resize(static_cast<size_t>(max_order_) + 1);
+  free_lists_[static_cast<size_t>(max_order_)].insert(0);
+}
+
+int BuddyAllocator::OrderFor(uint64_t size) const {
+  uint64_t block = kMinBlock;
+  int order = 0;
+  while (block < size) {
+    block <<= 1;
+    ++order;
+  }
+  return order;
+}
+
+Result<Gaddr> BuddyAllocator::Allocate(uint64_t size, uint64_t align) {
+  if (!IsPow2(align)) {
+    return Status(ErrorCode::kInvalidArgument, "align not a power of two");
+  }
+  if (size == 0) {
+    size = 1;
+  }
+  // Buddy blocks are naturally aligned to their size, so alignment demands
+  // above the block size bump the request.
+  if (align > size) {
+    size = align;
+  }
+  if (size > size_) {
+    return Status(ErrorCode::kOutOfMemory, "request exceeds arena");
+  }
+  space_.machine().clock().Charge(space_.machine().costs().malloc_cost);
+
+  const int want = OrderFor(size);
+  if (want > max_order_) {
+    return Status(ErrorCode::kOutOfMemory, "request exceeds arena");
+  }
+  // Find the smallest order >= want with a free block.
+  int order = want;
+  while (order <= max_order_ &&
+         free_lists_[static_cast<size_t>(order)].empty()) {
+    ++order;
+  }
+  if (order > max_order_) {
+    return Status(ErrorCode::kOutOfMemory, "buddy arena exhausted");
+  }
+  uint64_t offset = *free_lists_[static_cast<size_t>(order)].begin();
+  free_lists_[static_cast<size_t>(order)].erase(offset);
+  // Split down to the wanted order, freeing the upper halves.
+  while (order > want) {
+    --order;
+    const uint64_t half = kMinBlock << order;
+    free_lists_[static_cast<size_t>(order)].insert(offset + half);
+  }
+  live_[offset] = want;
+  stats_.OnAlloc(kMinBlock << want);
+  return base_ + offset;
+}
+
+Status BuddyAllocator::Free(Gaddr addr) {
+  if (addr < base_ || addr - base_ >= size_) {
+    return Status(ErrorCode::kInvalidArgument, "not a buddy pointer");
+  }
+  uint64_t offset = addr - base_;
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    return Status(ErrorCode::kInvalidArgument, "double free or bad pointer");
+  }
+  space_.machine().clock().Charge(space_.machine().costs().free_cost);
+  int order = it->second;
+  live_.erase(it);
+  stats_.OnFree(kMinBlock << order);
+
+  // Coalesce with the buddy while it is free.
+  while (order < max_order_) {
+    const uint64_t block = kMinBlock << order;
+    const uint64_t buddy = offset ^ block;
+    auto& list = free_lists_[static_cast<size_t>(order)];
+    auto buddy_it = list.find(buddy);
+    if (buddy_it == list.end()) {
+      break;
+    }
+    list.erase(buddy_it);
+    offset = offset < buddy ? offset : buddy;
+    ++order;
+  }
+  free_lists_[static_cast<size_t>(order)].insert(offset);
+  return Status::Ok();
+}
+
+Result<uint64_t> BuddyAllocator::UsableSize(Gaddr addr) const {
+  if (addr < base_ || addr - base_ >= size_) {
+    return Status(ErrorCode::kNotFound, "not a buddy pointer");
+  }
+  auto it = live_.find(addr - base_);
+  if (it == live_.end()) {
+    return Status(ErrorCode::kNotFound, "not live");
+  }
+  return kMinBlock << it->second;
+}
+
+uint64_t BuddyAllocator::FreeBytes() const {
+  uint64_t total = 0;
+  for (int order = 0; order <= max_order_; ++order) {
+    total += free_lists_[static_cast<size_t>(order)].size() *
+             (kMinBlock << order);
+  }
+  return total;
+}
+
+bool BuddyAllocator::CheckInvariants() const {
+  // 1. Free bytes + live bytes == arena size.
+  uint64_t live_bytes = 0;
+  for (const auto& [offset, order] : live_) {
+    if (offset + (kMinBlock << order) > size_) {
+      return false;
+    }
+    live_bytes += kMinBlock << order;
+  }
+  if (FreeBytes() + live_bytes != size_) {
+    return false;
+  }
+  // 2. No buddy pair is simultaneously free (would mean missed coalescing).
+  for (int order = 0; order < max_order_; ++order) {
+    const auto& list = free_lists_[static_cast<size_t>(order)];
+    for (uint64_t offset : list) {
+      const uint64_t buddy = offset ^ (kMinBlock << order);
+      if (list.count(buddy) != 0) {
+        return false;
+      }
+    }
+  }
+  // 3. Free blocks are naturally aligned.
+  for (int order = 0; order <= max_order_; ++order) {
+    for (uint64_t offset : free_lists_[static_cast<size_t>(order)]) {
+      if (offset % (kMinBlock << order) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace flexos

@@ -1,0 +1,55 @@
+// A classic binary-buddy allocator (the style Unikraft's ukallocbbuddy
+// uses). Block sizes are powers of two from kMinBlock up to the arena size;
+// free buddies coalesce eagerly.
+#ifndef FLEXOS_ALLOC_BUDDY_ALLOCATOR_H_
+#define FLEXOS_ALLOC_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "alloc/allocator.h"
+
+namespace flexos {
+
+class BuddyAllocator final : public Allocator {
+ public:
+  static constexpr uint64_t kMinBlock = 64;
+
+  // Manages [base, base + size); size must be a power of two >= kMinBlock
+  // and base must be size-aligned relative to itself (we treat base as
+  // offset 0 internally, so any base works).
+  BuddyAllocator(AddressSpace& space, Gaddr base, uint64_t size);
+
+  Result<Gaddr> Allocate(uint64_t size, uint64_t align = 16) override;
+  Status Free(Gaddr addr) override;
+  Result<uint64_t> UsableSize(Gaddr addr) const override;
+
+  AddressSpace& space() override { return space_; }
+  const AllocStats& stats() const override { return stats_; }
+
+  // Total bytes of free blocks (diagnostics / invariant tests).
+  uint64_t FreeBytes() const;
+
+  // Verifies internal invariants (no overlapping free blocks, buddies not
+  // both free, all blocks within the arena). Test hook; O(n).
+  bool CheckInvariants() const;
+
+ private:
+  int OrderFor(uint64_t size) const;
+
+  AddressSpace& space_;
+  Gaddr base_;
+  uint64_t size_;
+  int max_order_;
+  // free_lists_[order] holds offsets (relative to base_) of free blocks.
+  std::vector<std::unordered_set<uint64_t>> free_lists_;
+  // Live allocations: offset -> order.
+  std::unordered_map<uint64_t, int> live_;
+  AllocStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_BUDDY_ALLOCATOR_H_

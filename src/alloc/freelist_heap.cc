@@ -1,0 +1,157 @@
+#include "alloc/freelist_heap.h"
+
+namespace flexos {
+namespace {
+
+constexpr uint64_t kMinChunk = 32;
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+constexpr bool IsPow2(uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+}  // namespace
+
+FreelistHeap::FreelistHeap(AddressSpace& space, Gaddr base, uint64_t size)
+    : space_(space), base_(base), size_(size) {
+  FLEXOS_CHECK(size >= kMinChunk, "heap too small");
+  chunks_[0] = Chunk{.size = size, .free = true, .user_offset = 0};
+}
+
+Result<Gaddr> FreelistHeap::Allocate(uint64_t size, uint64_t align) {
+  if (!IsPow2(align)) {
+    return Status(ErrorCode::kInvalidArgument, "align not a power of two");
+  }
+  if (size == 0) {
+    size = 1;
+  }
+  space_.machine().clock().Charge(space_.machine().costs().malloc_cost);
+  const uint64_t need = AlignUp(size, 16);
+
+  for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+    Chunk& chunk = it->second;
+    if (!chunk.free) {
+      continue;
+    }
+    const uint64_t chunk_off = it->first;
+    const uint64_t user_off =
+        AlignUp(base_ + chunk_off, align) - base_;  // Aligned user offset.
+    const uint64_t pad = user_off - chunk_off;
+    if (pad + need > chunk.size) {
+      continue;
+    }
+    // Split the tail if the remainder is worth keeping.
+    const uint64_t used = pad + need;
+    const uint64_t remainder = chunk.size - used;
+    uint64_t live_size = chunk.size;
+    if (remainder >= kMinChunk) {
+      chunks_[chunk_off + used] =
+          Chunk{.size = remainder, .free = true, .user_offset = 0};
+      live_size = used;
+    }
+    chunk.size = live_size;
+    chunk.free = false;
+    chunk.user_offset = pad;
+    user_to_chunk_[user_off] = chunk_off;
+    stats_.OnAlloc(live_size);
+    return base_ + user_off;
+  }
+  return Status(ErrorCode::kOutOfMemory, "freelist heap exhausted");
+}
+
+Status FreelistHeap::Free(Gaddr addr) {
+  if (addr < base_ || addr - base_ >= size_) {
+    return Status(ErrorCode::kInvalidArgument, "not a heap pointer");
+  }
+  const uint64_t user_off = addr - base_;
+  auto user_it = user_to_chunk_.find(user_off);
+  if (user_it == user_to_chunk_.end()) {
+    return Status(ErrorCode::kInvalidArgument, "double free or bad pointer");
+  }
+  space_.machine().clock().Charge(space_.machine().costs().free_cost);
+  const uint64_t chunk_off = user_it->second;
+  user_to_chunk_.erase(user_it);
+
+  auto it = chunks_.find(chunk_off);
+  FLEXOS_CHECK(it != chunks_.end() && !it->second.free,
+               "heap metadata corrupt");
+  it->second.free = true;
+  it->second.user_offset = 0;
+  stats_.OnFree(it->second.size);
+
+  // Coalesce with the next chunk.
+  auto next = std::next(it);
+  if (next != chunks_.end() && next->second.free) {
+    it->second.size += next->second.size;
+    chunks_.erase(next);
+  }
+  // Coalesce with the previous chunk.
+  if (it != chunks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.free &&
+        prev->first + prev->second.size == it->first) {
+      prev->second.size += it->second.size;
+      chunks_.erase(it);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> FreelistHeap::UsableSize(Gaddr addr) const {
+  if (addr < base_ || addr - base_ >= size_) {
+    return Status(ErrorCode::kNotFound, "not a heap pointer");
+  }
+  auto user_it = user_to_chunk_.find(addr - base_);
+  if (user_it == user_to_chunk_.end()) {
+    return Status(ErrorCode::kNotFound, "not live");
+  }
+  const auto it = chunks_.find(user_it->second);
+  return it->second.size - it->second.user_offset;
+}
+
+uint64_t FreelistHeap::FreeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [offset, chunk] : chunks_) {
+    if (chunk.free) {
+      total += chunk.size;
+    }
+  }
+  return total;
+}
+
+bool FreelistHeap::CheckInvariants() const {
+  uint64_t expected = 0;
+  bool prev_free = false;
+  for (const auto& [offset, chunk] : chunks_) {
+    if (offset != expected) {
+      return false;  // Gap or overlap in the tiling.
+    }
+    if (chunk.size == 0) {
+      return false;
+    }
+    if (chunk.free && prev_free) {
+      return false;  // Missed coalescing.
+    }
+    prev_free = chunk.free;
+    expected = offset + chunk.size;
+  }
+  if (expected != size_) {
+    return false;
+  }
+  // Every live user pointer maps to a live chunk containing it.
+  for (const auto& [user_off, chunk_off] : user_to_chunk_) {
+    auto it = chunks_.find(chunk_off);
+    if (it == chunks_.end() || it->second.free) {
+      return false;
+    }
+    if (user_off != chunk_off + it->second.user_offset) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flexos

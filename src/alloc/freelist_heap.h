@@ -1,0 +1,53 @@
+// A first-fit free-list heap with address-ordered coalescing — the
+// general-purpose malloc of a FlexOS compartment. Metadata is host-side (a
+// std::map keyed by offset), standing in for the allocator's in-band
+// headers.
+#ifndef FLEXOS_ALLOC_FREELIST_HEAP_H_
+#define FLEXOS_ALLOC_FREELIST_HEAP_H_
+
+#include <cstdint>
+#include <map>
+
+#include "alloc/allocator.h"
+
+namespace flexos {
+
+class FreelistHeap final : public Allocator {
+ public:
+  FreelistHeap(AddressSpace& space, Gaddr base, uint64_t size);
+
+  Result<Gaddr> Allocate(uint64_t size, uint64_t align = 16) override;
+  Status Free(Gaddr addr) override;
+  Result<uint64_t> UsableSize(Gaddr addr) const override;
+
+  AddressSpace& space() override { return space_; }
+  const AllocStats& stats() const override { return stats_; }
+
+  uint64_t FreeBytes() const;
+
+  // Invariant check: chunks tile the arena exactly, no two adjacent free
+  // chunks (coalescing holds), live/free flags consistent. Test hook; O(n).
+  bool CheckInvariants() const;
+
+ private:
+  struct Chunk {
+    uint64_t size;
+    bool free;
+    // For live chunks created with alignment padding, the distance from the
+    // chunk start to the address handed to the user (0 when unpadded).
+    uint64_t user_offset;
+  };
+
+  AddressSpace& space_;
+  Gaddr base_;
+  uint64_t size_;
+  // offset -> chunk; offsets are relative to base_ and tile [0, size_).
+  std::map<uint64_t, Chunk> chunks_;
+  // user address offset -> chunk offset, for padded allocations.
+  std::map<uint64_t, uint64_t> user_to_chunk_;
+  AllocStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_FREELIST_HEAP_H_

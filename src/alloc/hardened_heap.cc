@@ -1,0 +1,100 @@
+#include "alloc/hardened_heap.h"
+
+namespace flexos {
+namespace {
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+HardenedHeap::HardenedHeap(Allocator& backing, uint64_t quarantine_bytes)
+    : backing_(backing), quarantine_capacity_(quarantine_bytes) {}
+
+HardenedHeap::~HardenedHeap() {
+  // Drain the quarantine so the backing allocator is left clean.
+  while (!quarantine_.empty()) {
+    EvictOneFromQuarantine();
+  }
+}
+
+Result<Gaddr> HardenedHeap::Allocate(uint64_t size, uint64_t align) {
+  if (size == 0) {
+    size = 1;
+  }
+  AddressSpace& space = backing_.space();
+  space.machine().clock().Charge(space.machine().costs().sh_alloc_overhead);
+
+  // Layout: [left redzone][payload (granule-padded)][right redzone].
+  const uint64_t padded = AlignUp(size, kShadowGranule);
+  const uint64_t total = kRedzone + padded + kRedzone;
+  // The left redzone is a granule multiple, so requesting alignment
+  // max(align, granule) for the block keeps the payload aligned too.
+  const uint64_t block_align = align > kShadowGranule ? align : kShadowGranule;
+  FLEXOS_ASSIGN_OR_RETURN(Gaddr block, backing_.Allocate(total, block_align));
+
+  const Gaddr user = block + kRedzone;
+  space.Poison(block, kRedzone, kShadowHeapRedzone);
+  space.Unpoison(user, padded);
+  if (padded != size) {
+    // Mark the padding tail of the last granule unaddressable.
+    space.Poison(user + size - size % kShadowGranule, kShadowGranule,
+                 kShadowHeapRedzone);
+    space.Unpoison(user + size - size % kShadowGranule, size % kShadowGranule);
+  }
+  space.Poison(user + padded, kRedzone, kShadowHeapRedzone);
+
+  live_[user] = size;
+  stats_.OnAlloc(size);
+  return user;
+}
+
+Status HardenedHeap::Free(Gaddr addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "hardened free: bad pointer or double free");
+  }
+  AddressSpace& space = backing_.space();
+  space.machine().clock().Charge(space.machine().costs().sh_alloc_overhead);
+
+  const uint64_t user_size = it->second;
+  live_.erase(it);
+  stats_.OnFree(user_size);
+
+  // Poison the payload and park the block in the quarantine so prompt reuse
+  // cannot mask a use-after-free.
+  space.Poison(addr, AlignUp(user_size, kShadowGranule), kShadowFreed);
+  quarantine_.push_back(Quarantined{.user_addr = addr, .user_size = user_size});
+  quarantine_bytes_used_ += user_size;
+  while (quarantine_bytes_used_ > quarantine_capacity_ &&
+         !quarantine_.empty()) {
+    EvictOneFromQuarantine();
+  }
+  return Status::Ok();
+}
+
+void HardenedHeap::EvictOneFromQuarantine() {
+  const Quarantined entry = quarantine_.front();
+  quarantine_.pop_front();
+  quarantine_bytes_used_ -= entry.user_size;
+  AddressSpace& space = backing_.space();
+  const Gaddr block = entry.user_addr - kRedzone;
+  const uint64_t padded = AlignUp(entry.user_size, kShadowGranule);
+  // Clear all poison we own before handing the block back.
+  space.Unpoison(block, kRedzone + padded + kRedzone);
+  const Status status = backing_.Free(block);
+  FLEXOS_CHECK(status.ok(), "backing free failed: %s",
+               status.ToString().c_str());
+}
+
+Result<uint64_t> HardenedHeap::UsableSize(Gaddr addr) const {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    return Status(ErrorCode::kNotFound, "not live");
+  }
+  return it->second;
+}
+
+}  // namespace flexos

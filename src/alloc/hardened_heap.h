@@ -1,0 +1,59 @@
+// HardenedHeap: the ASAN-style instrumented allocator FlexOS installs in
+// compartments running with software hardening. Wraps any backing allocator
+// with guard redzones, shadow poisoning, and a bounded free-quarantine —
+// the checks are real (tests trip them); costs come from the cost model.
+//
+// A key FlexOS requirement (paper §3, "SH Support"): hardened compartments
+// need their *own* allocator so uninstrumented compartments do not pay the
+// instrumented-malloc tax. The AllocatorRegistry (allocator_registry.h)
+// wires that policy.
+#ifndef FLEXOS_ALLOC_HARDENED_HEAP_H_
+#define FLEXOS_ALLOC_HARDENED_HEAP_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "alloc/allocator.h"
+
+namespace flexos {
+
+class HardenedHeap final : public Allocator {
+ public:
+  static constexpr uint64_t kRedzone = 32;  // Bytes on each side, granule-multiple.
+  static constexpr uint64_t kDefaultQuarantineBytes = 1 << 18;
+
+  // Does not take ownership of `backing`; it must outlive this object.
+  HardenedHeap(Allocator& backing,
+               uint64_t quarantine_bytes = kDefaultQuarantineBytes);
+  ~HardenedHeap() override;
+
+  Result<Gaddr> Allocate(uint64_t size, uint64_t align = 16) override;
+  Status Free(Gaddr addr) override;
+  Result<uint64_t> UsableSize(Gaddr addr) const override;
+
+  AddressSpace& space() override { return backing_.space(); }
+  const AllocStats& stats() const override { return stats_; }
+
+  uint64_t quarantined_bytes() const { return quarantine_bytes_used_; }
+
+ private:
+  struct Quarantined {
+    Gaddr user_addr;
+    uint64_t user_size;
+  };
+
+  void EvictOneFromQuarantine();
+
+  Allocator& backing_;
+  uint64_t quarantine_capacity_;
+  uint64_t quarantine_bytes_used_ = 0;
+  std::deque<Quarantined> quarantine_;
+  // user addr -> user size, for live allocations.
+  std::unordered_map<Gaddr, uint64_t> live_;
+  AllocStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_HARDENED_HEAP_H_

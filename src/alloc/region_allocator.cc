@@ -1,0 +1,58 @@
+#include "alloc/region_allocator.h"
+
+namespace flexos {
+namespace {
+
+constexpr Gaddr AlignUp(Gaddr value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+constexpr bool IsPow2(uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+}  // namespace
+
+RegionAllocator::RegionAllocator(AddressSpace& space, Gaddr base,
+                                 uint64_t size)
+    : space_(space), base_(base), size_(size), cursor_(base) {}
+
+Result<Gaddr> RegionAllocator::Allocate(uint64_t size, uint64_t align) {
+  if (!IsPow2(align)) {
+    return Status(ErrorCode::kInvalidArgument, "align not a power of two");
+  }
+  if (size == 0) {
+    size = 1;
+  }
+  space_.machine().clock().Charge(space_.machine().costs().malloc_cost / 4);
+  const Gaddr start = AlignUp(cursor_, align);
+  if (start + size > base_ + size_ || start < cursor_) {
+    return Status(ErrorCode::kOutOfMemory, "region exhausted");
+  }
+  cursor_ = start + size;
+  stats_.OnAlloc(size);
+  return start;
+}
+
+Status RegionAllocator::Free(Gaddr addr) {
+  if (addr < base_ || addr >= cursor_) {
+    return Status(ErrorCode::kInvalidArgument, "not a region pointer");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> RegionAllocator::UsableSize(Gaddr addr) const {
+  if (addr < base_ || addr >= cursor_) {
+    return Status(ErrorCode::kNotFound, "not a region pointer");
+  }
+  // The region does not track per-object sizes; report the remainder of the
+  // bump area, which is the safe upper bound for the last allocation only.
+  return cursor_ - addr;
+}
+
+void RegionAllocator::Reset() {
+  cursor_ = base_;
+  stats_.bytes_in_use = 0;
+}
+
+}  // namespace flexos

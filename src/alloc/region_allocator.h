@@ -1,0 +1,41 @@
+// A bump ("region") allocator: O(1) allocation, no per-object free. Used for
+// boot-time/static allocations inside an image compartment.
+#ifndef FLEXOS_ALLOC_REGION_ALLOCATOR_H_
+#define FLEXOS_ALLOC_REGION_ALLOCATOR_H_
+
+#include "alloc/allocator.h"
+
+namespace flexos {
+
+class RegionAllocator final : public Allocator {
+ public:
+  // Manages [base, base + size) of `space` (must already be mapped).
+  RegionAllocator(AddressSpace& space, Gaddr base, uint64_t size);
+
+  Result<Gaddr> Allocate(uint64_t size, uint64_t align = 16) override;
+
+  // Individual frees are no-ops by design (returns OK for live pointers so
+  // callers can treat a region like a heap during boot).
+  Status Free(Gaddr addr) override;
+
+  Result<uint64_t> UsableSize(Gaddr addr) const override;
+
+  // Releases everything at once.
+  void Reset();
+
+  uint64_t remaining() const { return base_ + size_ - cursor_; }
+
+  AddressSpace& space() override { return space_; }
+  const AllocStats& stats() const override { return stats_; }
+
+ private:
+  AddressSpace& space_;
+  Gaddr base_;
+  uint64_t size_;
+  Gaddr cursor_;
+  AllocStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_REGION_ALLOCATOR_H_

@@ -1,0 +1,192 @@
+#include "apps/http_server.h"
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace flexos {
+
+int64_t ParseHttpRequest(std::string_view data, HttpRequest* out) {
+  const size_t end = data.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    return data.size() > 16 * 1024 ? -1 : 0;  // Header flood guard.
+  }
+  const std::string_view head = data.substr(0, end);
+  const auto lines = SplitString(head, '\n');
+  if (lines.empty()) {
+    return -1;
+  }
+  const auto parts = SplitAndTrim(TrimWhitespace(lines[0]), ' ');
+  if (parts.size() != 3 || !StartsWith(parts[2], "HTTP/")) {
+    return -1;
+  }
+  out->method = std::string(parts[0]);
+  out->path = std::string(parts[1]);
+  out->keep_alive = true;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = TrimWhitespace(lines[i]);
+    // Case-sensitive match suffices for our own clients.
+    if (line == "Connection: close") {
+      out->keep_alive = false;
+    }
+  }
+  return static_cast<int64_t>(end + 4);
+}
+
+std::string BuildHttpResponse(int status, std::string_view reason,
+                              std::string_view body) {
+  std::string response = StrFormat(
+      "HTTP/1.0 %d %s\r\nContent-Length: %zu\r\n"
+      "Content-Type: application/octet-stream\r\n\r\n",
+      status, std::string(reason).c_str(), body.size());
+  response += body;
+  return response;
+}
+
+void SpawnHttpServer(Testbed& bed, RamFs& fs,
+                     const HttpServerOptions& options,
+                     HttpServerResult* result) {
+  bed.SpawnApp("http-server", [&bed, &fs, options, result] {
+    Machine& machine = bed.machine();
+    Image& image = bed.image();
+    AddressSpace& space = image.SpaceOf(kLibApp);
+    TcpEngine& tcp = bed.stack().tcp();
+    const Gaddr buffer = bed.AllocShared(options.buffer_bytes);
+    const Gaddr file_buf = bed.AllocShared(options.buffer_bytes);
+
+    int listener = -1;
+    image.Call(kLibApp, kLibNet, [&] {
+      Result<int> r = tcp.Listen(options.port, 4);
+      FLEXOS_CHECK(r.ok(), "http listen failed: %s",
+                   r.status().ToString().c_str());
+      listener = r.value();
+    });
+    int conn = -1;
+    image.Call(kLibApp, kLibNet, [&] {
+      Result<int> r = tcp.Accept(listener);
+      FLEXOS_CHECK(r.ok(), "http accept failed: %s",
+                   r.status().ToString().c_str());
+      conn = r.value();
+    });
+
+    result->ok = true;
+    std::string acc;
+    std::vector<uint8_t> mirror(options.buffer_bytes);
+    bool closed = false;
+
+    auto send_host_bytes = [&](const std::string& bytes) {
+      uint64_t sent = 0;
+      while (sent < bytes.size() && !closed) {
+        const uint64_t chunk =
+            std::min<uint64_t>(bytes.size() - sent, options.buffer_bytes);
+        image.CallLeaf(kLibApp, kLibLibc, [&] {
+          space.Write(buffer, bytes.data() + sent, chunk);
+        });
+        image.Call(kLibApp, kLibNet, [&] {
+          if (!tcp.Send(conn, buffer, chunk).ok()) {
+            result->ok = false;
+            closed = true;
+          }
+        });
+        sent += chunk;
+      }
+    };
+
+    while (!closed) {
+      uint64_t received = 0;
+      image.Call(kLibApp, kLibNet, [&] {
+        Result<uint64_t> r = tcp.Recv(conn, buffer, options.buffer_bytes);
+        if (!r.ok()) {
+          result->ok = false;
+          closed = true;
+          return;
+        }
+        received = r.value();
+      });
+      if (closed || received == 0) {
+        break;
+      }
+      machine.ChargeCompute(received);  // Header parsing.
+      machine.ChargeMemOp(received);
+      space.ReadUnchecked(buffer, mirror.data(), received);
+      acc.append(reinterpret_cast<char*>(mirror.data()), received);
+
+      for (;;) {
+        HttpRequest request;
+        const int64_t consumed = ParseHttpRequest(acc, &request);
+        if (consumed == 0) {
+          break;
+        }
+        if (consumed < 0) {
+          ++result->responses_400;
+          send_host_bytes(BuildHttpResponse(400, "Bad Request", ""));
+          closed = true;
+          break;
+        }
+        acc.erase(0, static_cast<size_t>(consumed));
+        ++result->requests;
+
+        if (request.method != "GET") {
+          ++result->responses_400;
+          send_host_bytes(
+              BuildHttpResponse(405, "Method Not Allowed", ""));
+          continue;
+        }
+        // Strip the leading '/' to get the RamFs path.
+        const std::string path =
+            request.path.empty() || request.path[0] != '/'
+                ? request.path
+                : request.path.substr(1);
+
+        uint64_t size = 0;
+        bool found = false;
+        image.Call(kLibApp, kLibFs, [&] {
+          Result<uint64_t> r = fs.FileSize(path);
+          if (r.ok()) {
+            found = true;
+            size = r.value();
+          }
+        });
+        if (!found) {
+          ++result->responses_404;
+          send_host_bytes(BuildHttpResponse(404, "Not Found", ""));
+        } else {
+          ++result->responses_200;
+          send_host_bytes(StrFormat(
+              "HTTP/1.0 200 OK\r\nContent-Length: %llu\r\n"
+              "Content-Type: application/octet-stream\r\n\r\n",
+              static_cast<unsigned long long>(size)));
+          // Stream the body straight from the fs through the shared buffer.
+          uint64_t offset = 0;
+          while (offset < size && !closed) {
+            uint64_t got = 0;
+            image.Call(kLibApp, kLibFs, [&] {
+              got = fs.ReadFile(path, offset, file_buf,
+                                options.buffer_bytes)
+                        .value_or(0);
+            });
+            if (got == 0) {
+              break;
+            }
+            image.Call(kLibApp, kLibNet, [&] {
+              if (!tcp.Send(conn, file_buf, got).ok()) {
+                result->ok = false;
+                closed = true;
+              }
+            });
+            offset += got;
+          }
+        }
+        if (!request.keep_alive) {
+          closed = true;
+          break;
+        }
+      }
+    }
+    image.Call(kLibApp, kLibNet, [&] {
+      (void)tcp.Close(conn);
+      (void)tcp.Close(listener);
+    });
+  });
+}
+
+}  // namespace flexos

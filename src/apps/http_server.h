@@ -1,0 +1,52 @@
+// A minimal HTTP/1.0 static-file server over the TCP engine, serving from
+// a RamFs — the third in-tree application (after iperf and Redis-lite),
+// exercising the fs micro-library across compartment boundaries.
+// Supports GET with keep-alive; everything else earns a 400/404/405.
+#ifndef FLEXOS_APPS_HTTP_SERVER_H_
+#define FLEXOS_APPS_HTTP_SERVER_H_
+
+#include <string>
+
+#include "apps/testbed.h"
+#include "fs/ramfs.h"
+
+namespace flexos {
+
+struct HttpServerOptions {
+  Port port = 8080;
+  uint64_t buffer_bytes = 8192;
+};
+
+struct HttpServerResult {
+  uint64_t requests = 0;
+  uint64_t responses_200 = 0;
+  uint64_t responses_404 = 0;
+  uint64_t responses_400 = 0;
+  bool ok = false;
+};
+
+// Serves one connection until the client closes. `fs` holds the documents.
+void SpawnHttpServer(Testbed& bed, RamFs& fs,
+                     const HttpServerOptions& options,
+                     HttpServerResult* result);
+
+// --- Request/response helpers (exposed for tests and clients) ------------
+
+// One parsed request line + headers (bodies unsupported: GET only).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  bool keep_alive = true;
+};
+
+// Parses one complete request ("\r\n\r\n"-terminated) at the front of
+// `data`; returns bytes consumed, 0 if incomplete, < 0 on malformed input.
+int64_t ParseHttpRequest(std::string_view data, HttpRequest* out);
+
+// Builds a full response with Content-Length.
+std::string BuildHttpResponse(int status, std::string_view reason,
+                              std::string_view body);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_APPS_HTTP_SERVER_H_

@@ -1,0 +1,23 @@
+#include "apps/iperf_client.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace flexos {
+
+size_t IperfRemoteClient::ProduceData(uint8_t* out, size_t max) {
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(max, remaining_));
+  // Rotating fill so payload corruption would be visible in tests.
+  std::memset(out, 'a' + (fill_++ % 26), n);
+  remaining_ -= n;
+  return n;
+}
+
+void IperfRemoteClient::OnReceive(const uint8_t* data, size_t len) {
+  // iperf servers don't talk back during the transfer.
+  (void)data;
+  (void)len;
+}
+
+}  // namespace flexos

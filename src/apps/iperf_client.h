@@ -1,0 +1,34 @@
+// The remote iperf sender: pushes a fixed byte volume to the server as
+// fast as the window allows, then closes. Runs on the "client machine"
+// (host-side, uncharged; see net/remote_tcp.h).
+#ifndef FLEXOS_APPS_IPERF_CLIENT_H_
+#define FLEXOS_APPS_IPERF_CLIENT_H_
+
+#include <memory>
+
+#include "net/remote_tcp.h"
+
+namespace flexos {
+
+class IperfRemoteClient final : public RemoteApp {
+ public:
+  explicit IperfRemoteClient(uint64_t total_bytes)
+      : remaining_(total_bytes) {}
+
+  size_t ProduceData(uint8_t* out, size_t max) override;
+  bool Finished() const override { return remaining_ == 0; }
+  void OnReceive(const uint8_t* data, size_t len) override;
+  void OnClosed() override { closed_ = true; }
+
+  uint64_t remaining() const { return remaining_; }
+  bool closed() const { return closed_; }
+
+ private:
+  uint64_t remaining_;
+  uint8_t fill_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_APPS_IPERF_CLIENT_H_

@@ -1,0 +1,66 @@
+#include "apps/iperf_server.h"
+
+#include "support/log.h"
+
+namespace flexos {
+
+void SpawnIperfServer(Testbed& bed, const IperfServerOptions& options,
+                      IperfServerResult* result) {
+  bed.SpawnApp("iperf-server", [&bed, options, result] {
+    Machine& machine = bed.machine();
+    Image& image = bed.image();
+    TcpEngine& tcp = bed.stack().tcp();
+    const Gaddr buffer = bed.AllocShared(options.recv_buffer_bytes);
+
+    int listener = -1;
+    image.Call(kLibApp, kLibNet, [&] {
+      Result<int> r = tcp.Listen(options.port, 8);
+      FLEXOS_CHECK(r.ok(), "iperf listen failed: %s",
+                   r.status().ToString().c_str());
+      listener = r.value();
+    });
+    int conn = -1;
+    image.Call(kLibApp, kLibNet, [&] {
+      Result<int> r = tcp.Accept(listener);
+      FLEXOS_CHECK(r.ok(), "iperf accept failed: %s",
+                   r.status().ToString().c_str());
+      conn = r.value();
+    });
+
+    for (;;) {
+      uint64_t received = 0;
+      bool failed = false;
+      image.Call(kLibApp, kLibNet, [&] {
+        Result<uint64_t> r =
+            tcp.Recv(conn, buffer, options.recv_buffer_bytes);
+        if (!r.ok()) {
+          FLEXOS_WARN("iperf recv failed: %s",
+                      r.status().ToString().c_str());
+          failed = true;
+          return;
+        }
+        received = r.value();
+      });
+      if (failed || received == 0) {
+        result->ok = !failed;
+        break;
+      }
+      result->bytes_received += received;
+      ++result->recv_calls;
+      // Application-side bookkeeping in the app compartment: counters plus
+      // a light touch of the payload.
+      machine.ChargeCompute(60);
+      if (options.app_touch_divisor > 0) {
+        machine.ChargeMemOp(received / options.app_touch_divisor + 16);
+      }
+    }
+    result->done_cycles = machine.clock().cycles();
+
+    image.Call(kLibApp, kLibNet, [&] {
+      (void)tcp.Close(conn);
+      (void)tcp.Close(listener);
+    });
+  });
+}
+
+}  // namespace flexos

@@ -1,0 +1,34 @@
+// The iperf-style TCP sink server of the paper's §4 experiments: accept one
+// connection, read into a buffer of configurable size until EOF, count
+// bytes. "At the server side, we vary the size of the buffer passed to
+// recv" — that buffer size is Fig. 3's x-axis.
+#ifndef FLEXOS_APPS_IPERF_SERVER_H_
+#define FLEXOS_APPS_IPERF_SERVER_H_
+
+#include "apps/testbed.h"
+
+namespace flexos {
+
+struct IperfServerResult {
+  uint64_t bytes_received = 0;
+  uint64_t recv_calls = 0;
+  uint64_t done_cycles = 0;  // Clock when the sink saw EOF.
+  bool ok = false;
+};
+
+struct IperfServerOptions {
+  Port port = 5001;
+  uint64_t recv_buffer_bytes = 16 * 1024;
+  // Per-recv application work: iperf maintains counters and (optionally)
+  // inspects the payload; modeled as a light touch of the buffer.
+  uint64_t app_touch_divisor = 4;  // Touches size/divisor bytes per recv.
+};
+
+// Spawns the server thread on `bed`. The result struct must outlive the
+// run; it is filled in by the thread.
+void SpawnIperfServer(Testbed& bed, const IperfServerOptions& options,
+                      IperfServerResult* result);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_APPS_IPERF_SERVER_H_

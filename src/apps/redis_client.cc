@@ -1,0 +1,88 @@
+#include "apps/redis_client.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace flexos {
+
+std::string RedisRemoteClient::NextRequest() {
+  if (value_fill_.size() != workload_.payload_bytes) {
+    value_fill_.assign(workload_.payload_bytes, 'v');
+  }
+  const bool warmup = issued_ < workload_.warmup_sets;
+  const uint64_t key_index =
+      (warmup ? issued_ : issued_ - workload_.warmup_sets) %
+      workload_.key_space;
+  const std::string key =
+      StrFormat("%s:%llu", workload_.key_prefix.c_str(),
+                static_cast<unsigned long long>(key_index));
+  ++issued_;
+  if (warmup || !workload_.measure_gets) {
+    return EncodeRespCommand({"SET", key, value_fill_});
+  }
+  return EncodeRespCommand({"GET", key});
+}
+
+size_t RedisRemoteClient::ProduceData(uint8_t* out, size_t max) {
+  if (tx_pending_.size() == tx_offset_) {
+    tx_pending_.clear();
+    tx_offset_ = 0;
+    // Keep up to `pipeline` requests outstanding (redis-benchmark -P).
+    const uint64_t limit = workload_.pipeline == 0 ? 1 : workload_.pipeline;
+    while (issued_ < total_ops() && issued_ - completed_ < limit) {
+      if (issued_ == workload_.warmup_sets && measure_start_cycles_ == 0) {
+        measure_start_cycles_ = machine_.clock().cycles();
+      }
+      tx_pending_ += NextRequest();
+    }
+    if (tx_pending_.empty()) {
+      return 0;
+    }
+  }
+  const size_t n = std::min(max, tx_pending_.size() - tx_offset_);
+  std::memcpy(out, tx_pending_.data() + tx_offset_, n);
+  tx_offset_ += n;
+  return n;
+}
+
+bool RedisRemoteClient::Finished() const {
+  return completed_ >= total_ops();
+}
+
+void RedisRemoteClient::OnReceive(const uint8_t* data, size_t len) {
+  rx_.append(reinterpret_cast<const char*>(data), len);
+  for (;;) {
+    const int64_t consumed = RespReplyLength(rx_);
+    if (consumed == 0) {
+      break;
+    }
+    if (consumed < 0) {
+      ++errors_;
+      rx_.clear();
+      break;
+    }
+    if (rx_[0] == '-') {
+      ++errors_;
+    }
+    rx_.erase(0, static_cast<size_t>(consumed));
+    ++completed_;
+    if (completed_ == total_ops()) {
+      measure_end_cycles_ = machine_.clock().cycles();
+    }
+  }
+}
+
+double RedisRemoteClient::MeasuredOpsPerSec() const {
+  if (measure_end_cycles_ <= measure_start_cycles_ ||
+      measured_completed() == 0) {
+    return 0;
+  }
+  const double seconds =
+      static_cast<double>(measure_end_cycles_ - measure_start_cycles_) /
+      static_cast<double>(machine_.clock().freq_hz());
+  return static_cast<double>(measured_completed()) / seconds;
+}
+
+}  // namespace flexos

@@ -1,0 +1,74 @@
+// The remote redis-benchmark-style client: a closed-loop request generator
+// running on the client machine (host-side, uncharged). Supports a warmup
+// phase (preloading keys for GET workloads) and a measured phase whose
+// start/end cycle marks the benchmarks read.
+#ifndef FLEXOS_APPS_REDIS_CLIENT_H_
+#define FLEXOS_APPS_REDIS_CLIENT_H_
+
+#include <string>
+
+#include "apps/redis_server.h"
+#include "net/remote_tcp.h"
+
+namespace flexos {
+
+struct RedisWorkload {
+  bool measure_gets = false;  // false: SET workload, true: GET workload.
+  uint64_t warmup_sets = 0;   // Keys preloaded before the measured phase.
+  uint64_t measured_ops = 100;
+  uint64_t key_space = 64;
+  uint64_t payload_bytes = 5;
+  // Outstanding requests kept in flight (redis-benchmark -P).
+  uint64_t pipeline = 1;
+  // Key prefix, so concurrent clients use disjoint keyspaces.
+  std::string key_prefix = "key";
+};
+
+class RedisRemoteClient final : public RemoteApp {
+ public:
+  RedisRemoteClient(Machine& machine, RedisWorkload workload)
+      : machine_(machine), workload_(workload) {}
+
+  size_t ProduceData(uint8_t* out, size_t max) override;
+  bool Finished() const override;
+  void OnReceive(const uint8_t* data, size_t len) override;
+  void OnClosed() override { closed_ = true; }
+
+  uint64_t completed_ops() const { return completed_; }
+  uint64_t measured_completed() const {
+    return completed_ > workload_.warmup_sets
+               ? completed_ - workload_.warmup_sets
+               : 0;
+  }
+  uint64_t measure_start_cycles() const { return measure_start_cycles_; }
+  uint64_t measure_end_cycles() const { return measure_end_cycles_; }
+  uint64_t errors() const { return errors_; }
+  bool closed() const { return closed_; }
+
+  // Measured throughput in requests per virtual second.
+  double MeasuredOpsPerSec() const;
+
+ private:
+  uint64_t total_ops() const {
+    return workload_.warmup_sets + workload_.measured_ops;
+  }
+  std::string NextRequest();
+
+  Machine& machine_;
+  RedisWorkload workload_;
+
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  std::string tx_pending_;
+  size_t tx_offset_ = 0;
+  std::string rx_;
+  std::string value_fill_;
+  uint64_t measure_start_cycles_ = 0;
+  uint64_t measure_end_cycles_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_APPS_REDIS_CLIENT_H_

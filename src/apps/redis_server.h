@@ -1,0 +1,62 @@
+// Redis-lite: a RESP (REdis Serialization Protocol) key-value server
+// supporting SET/GET/DEL/PING — the paper's second workload. Values live in
+// guest memory allocated from the app compartment's allocator, so every
+// request exercises malloc (the Fig. 4 allocator experiments) and the
+// app -> net -> libc -> sched gate chains (the Fig. 5 isolation
+// experiments).
+#ifndef FLEXOS_APPS_REDIS_SERVER_H_
+#define FLEXOS_APPS_REDIS_SERVER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/testbed.h"
+
+namespace flexos {
+
+struct RedisServerOptions {
+  Port port = 6379;
+  uint64_t recv_buffer_bytes = 4096;
+  uint64_t resp_buffer_bytes = 8192;
+  // Connections to accept before the listener closes; one handler thread
+  // per connection (redis-benchmark drives many concurrent connections).
+  int max_conns = 1;
+};
+
+struct RedisServerResult {
+  uint64_t commands = 0;
+  uint64_t sets = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t protocol_errors = 0;
+  bool ok = false;
+};
+
+void SpawnRedisServer(Testbed& bed, const RedisServerOptions& options,
+                      RedisServerResult* result);
+
+// --- RESP helpers (exposed for tests and the remote client) --------------
+
+// One parsed RESP command: array of bulk strings.
+struct RespCommand {
+  std::vector<std::string> args;
+};
+
+// Tries to parse one complete command at the front of `data`. Returns the
+// consumed byte count (> 0) and fills `out`; returns 0 if more bytes are
+// needed; returns a negative value on protocol error.
+int64_t ParseRespCommand(std::string_view data, RespCommand* out);
+
+// Builds the RESP encoding of a command (client side).
+std::string EncodeRespCommand(const std::vector<std::string>& args);
+
+// Scans for one complete RESP *reply* (simple string, error, or bulk) at
+// the front of `data`; returns bytes consumed, 0 if incomplete, < 0 on
+// error.
+int64_t RespReplyLength(std::string_view data);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_APPS_REDIS_SERVER_H_

@@ -1,0 +1,100 @@
+#include "apps/testbed.h"
+
+#include <algorithm>
+
+namespace flexos {
+
+std::vector<std::string> DefaultLibs() {
+  return {std::string(kLibApp),  std::string(kLibNet),
+          std::string(kLibSched), std::string(kLibLibc),
+          std::string(kLibAlloc), std::string(kLibFs)};
+}
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config), machine_(Clock::kDefaultFreqHz, config.costs) {
+  ImageBuilder builder(machine_);
+  Result<std::unique_ptr<Image>> image = builder.Build(config.image);
+  FLEXOS_CHECK(image.ok(), "image build failed: %s",
+               image.status().ToString().c_str());
+  image_ = std::move(image).value();
+
+  if (config.verified_scheduler) {
+    scheduler_ = std::make_unique<VerifiedScheduler>(machine_);
+  } else {
+    scheduler_ = std::make_unique<CoopScheduler>(machine_);
+  }
+
+  nic_ = std::make_unique<Nic>(machine_, "eth0", config.server_mac,
+                               config.server_ip);
+  link_ = std::make_unique<Link>(machine_, config.link);
+  nic_->AttachTo(*link_, /*is_side_a=*/true);
+
+  stack_ = std::make_unique<NetStack>(
+      NetStack::Deps{.machine = machine_,
+                     .space = image_->SpaceOf(kLibNet),
+                     .allocator = image_->AllocatorOf(kLibNet),
+                     .scheduler = *scheduler_,
+                     .nic = *nic_,
+                     .router = *image_},
+      config.tcp);
+
+  scheduler_->SetIdleHandler([this] { return OnIdle(); });
+}
+
+Gaddr Testbed::AllocShared(uint64_t size) {
+  Result<Gaddr> addr = image_->shared_allocator().Allocate(size);
+  FLEXOS_CHECK(addr.ok(), "shared allocation failed: %s",
+               addr.status().ToString().c_str());
+  return addr.value();
+}
+
+Thread* Testbed::SpawnApp(const std::string& name,
+                          std::function<void()> body) {
+  Result<Thread*> thread = scheduler_->Spawn(name, [this, body] {
+    // Enter the app compartment for the thread's lifetime.
+    image_->Call(kLibPlatform, kLibApp, body);
+  });
+  FLEXOS_CHECK(thread.ok(), "spawn failed: %s",
+               thread.status().ToString().c_str());
+  return thread.value();
+}
+
+Status Testbed::Run() { return scheduler_->Run(); }
+
+bool Testbed::OnIdle() {
+  bool progress = link_->DeliverDue() > 0;
+  for (RemoteTcpPeer* peer : peers_) {
+    if (peer->OnTick()) {
+      progress = true;
+    }
+  }
+  if (stack_->Poll()) {
+    progress = true;
+  }
+  if (progress) {
+    return true;
+  }
+  // Nothing due now: jump virtual time to the next scheduled event.
+  std::optional<uint64_t> next = link_->NextArrivalCycles();
+  auto consider = [&next](std::optional<uint64_t> candidate) {
+    if (candidate.has_value() && (!next.has_value() || *candidate < *next)) {
+      next = candidate;
+    }
+  };
+  consider(stack_->NextEventCycles());
+  for (RemoteTcpPeer* peer : peers_) {
+    consider(peer->NextEventCycles());
+  }
+  if (!next.has_value()) {
+    return false;  // Genuinely idle (or deadlocked).
+  }
+  machine_.clock().AdvanceTo(*next);
+  link_->DeliverDue();
+  for (RemoteTcpPeer* peer : peers_) {
+    peer->OnTick();
+  }
+  stack_->Poll();
+  return true;
+}
+
+}  // namespace flexos

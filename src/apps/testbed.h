@@ -1,0 +1,75 @@
+// Testbed: composes a complete FlexOS system — machine, built image,
+// scheduler, NIC + link, network stack, and remote peers — and wires the
+// scheduler idle handler that advances virtual time across link deliveries
+// and protocol timers. This is the "boot" code every example, test, and
+// benchmark builds on.
+#ifndef FLEXOS_APPS_TESTBED_H_
+#define FLEXOS_APPS_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/image_builder.h"
+#include "net/link.h"
+#include "net/netstack.h"
+#include "net/remote_tcp.h"
+#include "sched/coop_scheduler.h"
+#include "sched/verified_scheduler.h"
+
+namespace flexos {
+
+struct TestbedConfig {
+  ImageConfig image;
+  bool verified_scheduler = false;
+  LinkConfig link;
+  TcpConfig tcp;
+  // Cost model for the machine (benchmarks tweak it to model e.g. the
+  // paper's less-optimized Xen platform).
+  CostModel costs;
+  // Server addressing (the guest side).
+  MacAddr server_mac{{0x02, 0, 0, 0, 0, 0xaa}};
+  Ipv4Addr server_ip = MakeIpv4(10, 0, 0, 1);
+};
+
+// The standard five-library split used by the in-tree experiments.
+std::vector<std::string> DefaultLibs();
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config);
+
+  Machine& machine() { return machine_; }
+  Image& image() { return *image_; }
+  CoopScheduler& scheduler() { return *scheduler_; }
+  NetStack& stack() { return *stack_; }
+  Link& link() { return *link_; }
+  Nic& nic() { return *nic_; }
+
+  // Registers a remote peer so the idle handler drives its timers.
+  void AddPeer(RemoteTcpPeer* peer) { peers_.push_back(peer); }
+
+  // Allocates a cross-compartment buffer from the image's shared region.
+  Gaddr AllocShared(uint64_t size);
+
+  // Spawns a guest thread whose body runs in the app compartment.
+  Thread* SpawnApp(const std::string& name, std::function<void()> body);
+
+  // Runs the scheduler to completion.
+  Status Run();
+
+ private:
+  bool OnIdle();
+
+  TestbedConfig config_;
+  Machine machine_;
+  std::unique_ptr<Image> image_;
+  std::unique_ptr<CoopScheduler> scheduler_;
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<Link> link_;
+  std::unique_ptr<NetStack> stack_;
+  std::vector<RemoteTcpPeer*> peers_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_APPS_TESTBED_H_

@@ -1,0 +1,172 @@
+#include "core/coloring.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+
+namespace flexos {
+namespace {
+
+std::vector<std::vector<bool>> BuildAdjacency(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (const auto& [a, b] : edges) {
+    FLEXOS_CHECK(a >= 0 && a < n && b >= 0 && b < n, "edge out of range");
+    if (a != b) {
+      adj[a][b] = true;
+      adj[b][a] = true;
+    }
+  }
+  return adj;
+}
+
+// Branch-and-bound minimum coloring.
+class ExactColorer {
+ public:
+  ExactColorer(int n, const std::vector<std::vector<bool>>& adj)
+      : n_(n), adj_(adj), color_of_(n, -1) {}
+
+  ColoringResult Solve(const ColoringResult& upper_bound) {
+    best_ = upper_bound;
+    // Order vertices by degree (descending) to fail fast.
+    order_.resize(n_);
+    for (int i = 0; i < n_; ++i) {
+      order_[i] = i;
+    }
+    std::vector<int> degree(n_, 0);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        if (adj_[i][j]) {
+          ++degree[i];
+        }
+      }
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](int a, int b) { return degree[a] > degree[b]; });
+    Branch(0, 0);
+    return best_;
+  }
+
+ private:
+  void Branch(int index, int colors_used) {
+    if (colors_used >= best_.num_colors) {
+      return;  // Cannot beat the incumbent.
+    }
+    if (index == n_) {
+      best_.num_colors = colors_used;
+      best_.color_of = color_of_;
+      // Re-map to the DSATUR order? Not needed: color_of_ indexed by vertex.
+      return;
+    }
+    const int v = order_[index];
+    // Try existing colors, then (at most) one fresh color — trying more
+    // than one fresh color only explores symmetric duplicates.
+    const int limit = std::min(colors_used + 1, best_.num_colors - 1);
+    for (int c = 0; c < limit; ++c) {
+      bool feasible = true;
+      for (int u = 0; u < n_; ++u) {
+        if (adj_[v][u] && color_of_[u] == c) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) {
+        continue;
+      }
+      color_of_[v] = c;
+      Branch(index + 1, std::max(colors_used, c + 1));
+      color_of_[v] = -1;
+    }
+  }
+
+  int n_;
+  const std::vector<std::vector<bool>>& adj_;
+  std::vector<int> color_of_;
+  std::vector<int> order_;
+  ColoringResult best_;
+};
+
+}  // namespace
+
+ColoringResult ColorGraphDsatur(
+    int num_vertices, const std::vector<std::pair<int, int>>& edges) {
+  ColoringResult result;
+  result.color_of.assign(num_vertices, -1);
+  if (num_vertices == 0) {
+    return result;
+  }
+  const auto adj = BuildAdjacency(num_vertices, edges);
+
+  std::vector<int> degree(num_vertices, 0);
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int u = 0; u < num_vertices; ++u) {
+      if (adj[v][u]) {
+        ++degree[v];
+      }
+    }
+  }
+  // saturation[v] = set of neighbor colors, tracked as a bitset in a u64
+  // (plenty: compartments are few).
+  std::vector<uint64_t> saturation(num_vertices, 0);
+
+  for (int step = 0; step < num_vertices; ++step) {
+    // Pick the uncolored vertex with max saturation, tie-break max degree.
+    int pick = -1;
+    int pick_sat = -1;
+    for (int v = 0; v < num_vertices; ++v) {
+      if (result.color_of[v] != -1) {
+        continue;
+      }
+      const int sat = __builtin_popcountll(saturation[v]);
+      if (sat > pick_sat ||
+          (sat == pick_sat && (pick == -1 || degree[v] > degree[pick]))) {
+        pick = v;
+        pick_sat = sat;
+      }
+    }
+    // Lowest color absent from the neighborhood.
+    int color = 0;
+    while ((saturation[pick] >> color) & 1) {
+      ++color;
+    }
+    result.color_of[pick] = color;
+    result.num_colors = std::max(result.num_colors, color + 1);
+    for (int u = 0; u < num_vertices; ++u) {
+      if (adj[pick][u]) {
+        saturation[u] |= uint64_t{1} << color;
+      }
+    }
+  }
+  return result;
+}
+
+ColoringResult ColorGraphExact(
+    int num_vertices, const std::vector<std::pair<int, int>>& edges) {
+  ColoringResult upper = ColorGraphDsatur(num_vertices, edges);
+  if (num_vertices == 0 || upper.num_colors <= 1) {
+    return upper;  // Trivially optimal.
+  }
+  const auto adj = BuildAdjacency(num_vertices, edges);
+  ExactColorer colorer(num_vertices, adj);
+  ColoringResult result = colorer.Solve(upper);
+  FLEXOS_CHECK(IsProperColoring(result, edges), "exact coloring not proper");
+  return result;
+}
+
+bool IsProperColoring(const ColoringResult& coloring,
+                      const std::vector<std::pair<int, int>>& edges) {
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || b < 0 ||
+        static_cast<size_t>(a) >= coloring.color_of.size() ||
+        static_cast<size_t>(b) >= coloring.color_of.size()) {
+      return false;
+    }
+    if (coloring.color_of[a] == coloring.color_of[b] ||
+        coloring.color_of[a] < 0 || coloring.color_of[b] < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flexos

@@ -1,0 +1,41 @@
+// Graph coloring for compartment derivation (paper §2): "selecting the
+// smallest number of compartments in a FlexOS image can be reduced to the
+// classical graph coloring problem." Vertices are libraries; an edge joins
+// incompatible pairs; each color becomes a compartment.
+//
+// Two algorithms: DSATUR (fast, near-optimal greedy) and an exact
+// branch-and-bound for the library counts a LibOS image actually has.
+#ifndef FLEXOS_CORE_COLORING_H_
+#define FLEXOS_CORE_COLORING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace flexos {
+
+struct ColoringResult {
+  int num_colors = 0;
+  std::vector<int> color_of;  // color_of[v] in [0, num_colors).
+};
+
+// DSATUR greedy coloring. O(V^2) with adjacency bitsets; proper but not
+// necessarily minimal.
+ColoringResult ColorGraphDsatur(int num_vertices,
+                                const std::vector<std::pair<int, int>>& edges);
+
+// Exact minimum coloring by branch-and-bound seeded with the DSATUR upper
+// bound. Exponential worst case; intended for n <= ~32 (a LibOS image has
+// a few dozen micro-libraries at most).
+ColoringResult ColorGraphExact(int num_vertices,
+                               const std::vector<std::pair<int, int>>& edges);
+
+// True if `coloring` assigns different colors across every edge.
+bool IsProperColoring(const ColoringResult& coloring,
+                      const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_COLORING_H_

@@ -1,0 +1,14 @@
+#include "core/compartment.h"
+
+#include "support/strings.h"
+
+namespace flexos {
+
+std::string CompartmentRuntime::ToString() const {
+  std::vector<std::string> members(libs.begin(), libs.end());
+  return StrFormat("compartment %d '%s' pkey=%u hardened=%d libs=[%s]", id,
+                   name.c_str(), pkey, hardened ? 1 : 0,
+                   JoinStrings(members, ",").c_str());
+}
+
+}  // namespace flexos

@@ -1,0 +1,45 @@
+// CompartmentRuntime: the instantiated form of one compartment inside a
+// built FlexOS image — its protection key, address space, execution
+// context, heap, and membership.
+#ifndef FLEXOS_CORE_COMPARTMENT_H_
+#define FLEXOS_CORE_COMPARTMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "hw/machine.h"
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+struct CompartmentRuntime {
+  int id = -1;
+  std::string name;
+  std::vector<std::string> libs;
+
+  // MPK backends: the key tagging this compartment's private memory.
+  Pkey pkey = 0;
+  // The address space this compartment's code uses. One shared space for
+  // the MPK/baseline backends; a per-compartment space for the VM backend.
+  AddressSpace* space = nullptr;
+  // Protection/instrumentation state installed when code of this
+  // compartment runs (libraries may add SH flags on top).
+  ExecContext exec;
+  // This compartment's heap.
+  Allocator* allocator = nullptr;
+  Gaddr heap_base = 0;
+  uint64_t heap_bytes = 0;
+  // Per-compartment thread stacks (mapped under the switched-stack
+  // backend; zero otherwise). A guard page below stack_base catches
+  // overflow.
+  Gaddr stack_base = 0;
+  uint64_t stack_bytes = 0;
+  bool hardened = false;  // Any member library runs with SH.
+
+  std::string ToString() const;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_COMPARTMENT_H_

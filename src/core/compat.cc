@@ -1,0 +1,108 @@
+#include "core/compat.h"
+
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+void AddViolation(CompatVerdict* verdict, std::string reason) {
+  verdict->compatible = false;
+  if (verdict->violations.size() < 8) {
+    verdict->violations.push_back(std::move(reason));
+  }
+}
+
+}  // namespace
+
+CompatVerdict SatisfiesRequires(const LibraryMeta& holder,
+                                const LibraryMeta& other) {
+  CompatVerdict verdict;
+  const LibRequires& req = holder.requires_spec;
+  if (!req.present) {
+    return verdict;  // No safety expectations: anything goes.
+  }
+  const LibBehavior& behavior = other.behavior;
+
+  // Memory: a library that can write anywhere can write the holder's own
+  // memory; same for reads.
+  if (behavior.writes_all && !req.others_may_write_own) {
+    AddViolation(&verdict,
+                 StrFormat("%s may Write(*) but %s forbids writes to its "
+                           "own memory",
+                           other.name.c_str(), holder.name.c_str()));
+  }
+  if (behavior.reads_all && !req.others_may_read_own) {
+    AddViolation(&verdict,
+                 StrFormat("%s may Read(*) but %s forbids reads of its own "
+                           "memory",
+                           other.name.c_str(), holder.name.c_str()));
+  }
+  if (behavior.writes_shared && !behavior.writes_all &&
+      !req.others_may_write_shared) {
+    AddViolation(&verdict,
+                 StrFormat("%s writes Shared but %s forbids shared writes",
+                           other.name.c_str(), holder.name.c_str()));
+  }
+  // Note: *reading* shared memory is always permitted — data placed in the
+  // shared area is shared by construction; only writes are policy.
+
+  // Control flow: arbitrary code execution in the same compartment can
+  // enter the holder anywhere, not only at declared entry points.
+  const bool holder_restricts_calls =
+      !req.others_may_call_any;
+  if (behavior.calls_any && holder_restricts_calls) {
+    AddViolation(
+        &verdict,
+        StrFormat("%s may Call(*) but %s restricts entry points",
+                  other.name.c_str(), holder.name.c_str()));
+  }
+  // Named calls into the holder must be within the allowed set (when the
+  // holder lists one).
+  if (!req.others_may_call_any && !req.callable_funcs.empty()) {
+    const std::string prefix = holder.name + "::";
+    for (const std::string& call : behavior.calls) {
+      if (!StartsWith(call, prefix)) {
+        continue;
+      }
+      const std::string func = call.substr(prefix.size());
+      if (req.callable_funcs.count(func) == 0) {
+        AddViolation(&verdict,
+                     StrFormat("%s calls %s which %s does not allow",
+                               other.name.c_str(), call.c_str(),
+                               holder.name.c_str()));
+      }
+    }
+  }
+  return verdict;
+}
+
+CompatVerdict CanShareCompartment(const LibraryMeta& a,
+                                  const LibraryMeta& b) {
+  CompatVerdict forward = SatisfiesRequires(a, b);
+  CompatVerdict backward = SatisfiesRequires(b, a);
+  CompatVerdict verdict;
+  verdict.compatible = forward.compatible && backward.compatible;
+  verdict.violations = std::move(forward.violations);
+  for (std::string& violation : backward.violations) {
+    if (verdict.violations.size() >= 8) {
+      break;
+    }
+    verdict.violations.push_back(std::move(violation));
+  }
+  return verdict;
+}
+
+std::vector<std::pair<int, int>> ConflictEdges(
+    const std::vector<LibraryMeta>& libs) {
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 0; i < libs.size(); ++i) {
+    for (size_t j = i + 1; j < libs.size(); ++j) {
+      if (!CanShareCompartment(libs[i], libs[j]).compatible) {
+        edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace flexos

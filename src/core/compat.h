@@ -1,0 +1,38 @@
+// Pairwise compartment-compatibility checking (paper §2): "Given two
+// libraries and their metadata, we now have enough information to
+// automatically decide whether they can run in the same compartment."
+#ifndef FLEXOS_CORE_COMPAT_H_
+#define FLEXOS_CORE_COMPAT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metadata.h"
+
+namespace flexos {
+
+struct CompatVerdict {
+  bool compatible = true;
+  // Human-readable reasons for the first few violations found.
+  std::vector<std::string> violations;
+};
+
+// Checks whether `other`'s worst-case behavior satisfies `holder`'s
+// Requires clauses. One-directional; full compatibility needs both ways.
+CompatVerdict SatisfiesRequires(const LibraryMeta& holder,
+                                const LibraryMeta& other);
+
+// Both directions: can the two libraries share a compartment?
+CompatVerdict CanShareCompartment(const LibraryMeta& a,
+                                  const LibraryMeta& b);
+
+// Builds the conflict graph over `libs`: an edge (i, j) means libs[i] and
+// libs[j] must NOT share a compartment. Feed this to ColorGraph
+// (core/coloring.h) to derive the minimal compartmentalization.
+std::vector<std::pair<int, int>> ConflictEdges(
+    const std::vector<LibraryMeta>& libs);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_COMPAT_H_

@@ -1,0 +1,212 @@
+#include "core/config_parser.h"
+
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return Status(ErrorCode::kInvalidArgument,
+                StrFormat("line %d: %s", line, message.c_str()));
+}
+
+// Parses "48M", "64K", "1G", or plain bytes.
+Result<uint64_t> ParseByteSize(std::string_view text, int line) {
+  if (text.empty()) {
+    return LineError(line, "empty size");
+  }
+  uint64_t multiplier = 1;
+  char suffix = text.back();
+  if (suffix == 'K' || suffix == 'k') {
+    multiplier = 1ull << 10;
+  } else if (suffix == 'M' || suffix == 'm') {
+    multiplier = 1ull << 20;
+  } else if (suffix == 'G' || suffix == 'g') {
+    multiplier = 1ull << 30;
+  }
+  if (multiplier != 1) {
+    text.remove_suffix(1);
+  }
+  const std::optional<uint64_t> value = ParseU64(text);
+  if (!value.has_value()) {
+    return LineError(line, "bad size: " + std::string(text));
+  }
+  if (*value > UINT64_MAX / multiplier) {
+    return LineError(line, "size overflows");
+  }
+  return *value * multiplier;
+}
+
+}  // namespace
+
+Result<ImageConfig> ParseImageConfig(const std::string& text) {
+  ImageConfig config;
+  config.compartments.clear();
+  bool backend_set = false;
+
+  int line_number = 0;
+  for (std::string_view raw_line : SplitString(text, '\n')) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const size_t hash = raw_line.find('#');
+    if (hash != std::string_view::npos) {
+      raw_line = raw_line.substr(0, hash);
+    }
+    const std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty()) {
+      continue;
+    }
+
+    // "key = value" directives.
+    const size_t eq = line.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string_view key = TrimWhitespace(line.substr(0, eq));
+      const std::string_view value = TrimWhitespace(line.substr(eq + 1));
+      if (key == "backend") {
+        if (value == "none") {
+          config.backend = IsolationBackend::kNone;
+        } else if (value == "mpk-shared") {
+          config.backend = IsolationBackend::kMpkSharedStack;
+        } else if (value == "mpk-switched") {
+          config.backend = IsolationBackend::kMpkSwitchedStack;
+        } else if (value == "vm-rpc") {
+          config.backend = IsolationBackend::kVmRpc;
+        } else {
+          return LineError(line_number,
+                           "unknown backend: " + std::string(value));
+        }
+        backend_set = true;
+      } else if (key == "allocators") {
+        if (value == "per-compartment") {
+          config.per_compartment_allocators = true;
+        } else if (value == "global") {
+          config.per_compartment_allocators = false;
+        } else {
+          return LineError(line_number,
+                           "unknown allocator policy: " + std::string(value));
+        }
+      } else if (key == "heap") {
+        if (value == "freelist") {
+          config.heap_kind = HeapKind::kFreelist;
+        } else if (value == "buddy") {
+          config.heap_kind = HeapKind::kBuddy;
+        } else {
+          return LineError(line_number,
+                           "unknown heap kind: " + std::string(value));
+        }
+      } else if (key == "heap_bytes") {
+        FLEXOS_ASSIGN_OR_RETURN(config.heap_bytes_per_compartment,
+                                ParseByteSize(value, line_number));
+      } else if (key == "shared_bytes") {
+        FLEXOS_ASSIGN_OR_RETURN(config.shared_bytes,
+                                ParseByteSize(value, line_number));
+      } else {
+        return LineError(line_number, "unknown key: " + std::string(key));
+      }
+      continue;
+    }
+
+    // "directive arg..." forms.
+    const auto words = SplitAndTrim(line, ' ');
+    const std::string_view directive = words[0];
+    if (directive == "compartment") {
+      if (words.size() < 2) {
+        return LineError(line_number, "compartment needs members");
+      }
+      std::vector<std::string> members;
+      for (size_t i = 1; i < words.size(); ++i) {
+        members.emplace_back(words[i]);
+      }
+      config.compartments.push_back(std::move(members));
+    } else if (directive == "harden") {
+      if (words.size() < 2) {
+        return LineError(line_number, "harden needs library names");
+      }
+      for (size_t i = 1; i < words.size(); ++i) {
+        config.hardened_libs.insert(std::string(words[i]));
+      }
+    } else if (directive == "cfi") {
+      if (words.size() < 2) {
+        return LineError(line_number, "cfi needs library names");
+      }
+      for (size_t i = 1; i < words.size(); ++i) {
+        config.cfi_libs.insert(std::string(words[i]));
+      }
+    } else if (directive == "api") {
+      // "api <lib> <func>..." — CFI entry points.
+      if (words.size() < 3) {
+        return LineError(line_number, "api needs a library and functions");
+      }
+      auto& funcs = config.apis[std::string(words[1])];
+      for (size_t i = 2; i < words.size(); ++i) {
+        funcs.insert(std::string(words[i]));
+      }
+    } else {
+      return LineError(line_number,
+                       "unknown directive: " + std::string(directive));
+    }
+  }
+
+  if (config.compartments.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "config declares no compartments");
+  }
+  if (!backend_set && config.compartments.size() > 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "multiple compartments but no isolation backend");
+  }
+  return config;
+}
+
+std::string ImageConfigToString(const ImageConfig& config) {
+  std::string out;
+  out += "backend = ";
+  out += IsolationBackendName(config.backend);
+  out += '\n';
+  for (const auto& group : config.compartments) {
+    out += "compartment";
+    for (const std::string& lib : group) {
+      out += ' ';
+      out += lib;
+    }
+    out += '\n';
+  }
+  if (!config.hardened_libs.empty()) {
+    out += "harden";
+    for (const std::string& lib : config.hardened_libs) {
+      out += ' ';
+      out += lib;
+    }
+    out += '\n';
+  }
+  if (!config.cfi_libs.empty()) {
+    out += "cfi";
+    for (const std::string& lib : config.cfi_libs) {
+      out += ' ';
+      out += lib;
+    }
+    out += '\n';
+  }
+  for (const auto& [lib, funcs] : config.apis) {
+    out += "api " + lib;
+    for (const std::string& func : funcs) {
+      out += ' ';
+      out += func;
+    }
+    out += '\n';
+  }
+  out += StrFormat("allocators = %s\n", config.per_compartment_allocators
+                                            ? "per-compartment"
+                                            : "global");
+  out += StrFormat("heap = %s\n", config.heap_kind == HeapKind::kFreelist
+                                      ? "freelist"
+                                      : "buddy");
+  out += StrFormat("heap_bytes = %llu\n",
+                   static_cast<unsigned long long>(
+                       config.heap_bytes_per_compartment));
+  out += StrFormat("shared_bytes = %llu\n",
+                   static_cast<unsigned long long>(config.shared_bytes));
+  return out;
+}
+
+}  // namespace flexos

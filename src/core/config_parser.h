@@ -1,0 +1,37 @@
+// The FlexOS build-configuration front end. The paper: "FlexOS's build
+// system extends Unikraft's to allow specifying how many compartments the
+// resulting image should have, how they should be isolated, and whether SH
+// techniques should be applied to one or multiple of these." This parser
+// reads that specification from a Kconfig-flavored text format:
+//
+//   # iperf with an untrusted network stack
+//   backend = mpk-shared            # none | mpk-shared | mpk-switched | vm-rpc
+//   compartment net                 # one directive per compartment
+//   compartment app sched libc alloc
+//   harden net                      # ASAN-class SH for these libraries
+//   cfi sched                       # CFI-checked entry points
+//   allocators = per-compartment    # per-compartment | global
+//   heap = freelist                 # freelist | buddy
+//   heap_bytes = 48M
+//   shared_bytes = 64M
+//
+// and produces an ImageConfig for ImageBuilder.
+#ifndef FLEXOS_CORE_CONFIG_PARSER_H_
+#define FLEXOS_CORE_CONFIG_PARSER_H_
+
+#include <string>
+
+#include "core/image_builder.h"
+
+namespace flexos {
+
+// Parses the configuration text. Errors carry the offending line number.
+Result<ImageConfig> ParseImageConfig(const std::string& text);
+
+// Serializes a config back to the text format (round-trips ParseImageConfig
+// up to comments and ordering).
+std::string ImageConfigToString(const ImageConfig& config);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_CONFIG_PARSER_H_

@@ -1,0 +1,200 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace flexos {
+
+double GateRoundTripCycles(IsolationBackend backend, const CostModel& costs) {
+  switch (backend) {
+    case IsolationBackend::kNone:
+      return static_cast<double>(costs.direct_call);
+    case IsolationBackend::kMpkSharedStack:
+      return static_cast<double>(2 * costs.wrpkru + 2 * costs.register_clear);
+    case IsolationBackend::kMpkSwitchedStack:
+      return static_cast<double>(2 * costs.wrpkru + 2 * costs.register_clear +
+                                 2 * costs.stack_switch +
+                                 costs.CopyCycles(64) + costs.CopyCycles(16));
+    case IsolationBackend::kVmRpc:
+      return static_cast<double>(2 * (2 * costs.vmexit + costs.vm_notify) +
+                                 costs.CopyCycles(64) + costs.CopyCycles(16));
+  }
+  return 0;
+}
+
+namespace {
+
+double BackendStrength(IsolationBackend backend) {
+  switch (backend) {
+    case IsolationBackend::kNone:
+      return 0.0;
+    case IsolationBackend::kMpkSharedStack:
+      return 1.0;
+    case IsolationBackend::kMpkSwitchedStack:
+      return 1.5;  // Stacks isolated too.
+    case IsolationBackend::kVmRpc:
+      return 2.5;  // Hardware-virtualization-grade separation.
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string CandidateConfig::Describe(
+    const std::vector<std::string>& lib_names) const {
+  std::vector<std::string> groups(
+      static_cast<size_t>(deployment.coloring.num_colors));
+  for (size_t i = 0; i < deployment.chosen.size(); ++i) {
+    const int color = deployment.coloring.color_of[i];
+    std::string name =
+        i < lib_names.size() ? lib_names[i] : deployment.chosen[i].meta.name;
+    if (deployment.chosen[i].hardened()) {
+      name += "+SH";
+    }
+    std::string& group = groups[static_cast<size_t>(color)];
+    if (!group.empty()) {
+      group += ",";
+    }
+    group += name;
+  }
+  std::string out = std::string(IsolationBackendName(backend)) + ": ";
+  for (size_t g = 0; g < groups.size(); ++g) {
+    out += "{" + groups[g] + "}";
+  }
+  return out;
+}
+
+ConfigEstimate EstimateConfig(const CandidateConfig& config,
+                              const WorkloadProfile& profile,
+                              const CostModel& costs) {
+  ConfigEstimate estimate;
+  const Deployment& deployment = config.deployment;
+  const size_t n = deployment.chosen.size();
+
+  double cycles = static_cast<double>(profile.base_cycles_per_op);
+
+  // Gate costs: assume cross-lib calls distribute uniformly over library
+  // pairs; a pair in different compartments pays the gate.
+  const size_t total_pairs = n * (n - 1) / 2;
+  size_t split_pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (deployment.coloring.color_of[i] != deployment.coloring.color_of[j]) {
+        ++split_pairs;
+      }
+    }
+  }
+  if (total_pairs > 0) {
+    const double crossing_fraction =
+        static_cast<double>(split_pairs) / static_cast<double>(total_pairs);
+    cycles += static_cast<double>(profile.cross_lib_calls_per_op) *
+              crossing_fraction * GateRoundTripCycles(config.backend, costs);
+  }
+
+  // SH costs: hardened libraries pay the memory-op multiplier on their
+  // bulk bytes and the instrumented allocator on their allocations.
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bytes = i < profile.memop_bytes_per_op.size()
+                               ? profile.memop_bytes_per_op[i]
+                               : 0;
+    const double copy_cycles = static_cast<double>(costs.CopyCycles(bytes));
+    if (deployment.chosen[i].hardened()) {
+      cycles += copy_cycles * costs.sh_mem_multiplier;
+      cycles += static_cast<double>(profile.allocs_per_op *
+                                    costs.sh_alloc_overhead);
+    } else {
+      cycles += copy_cycles;
+    }
+  }
+  estimate.cycles_per_op = cycles;
+
+  // Security: every separated pair is a broken attack path; hardened
+  // libraries contribute (less than isolation does); stronger backends
+  // multiply the value of separation.
+  estimate.security_score =
+      static_cast<double>(split_pairs) *
+          (1.0 + BackendStrength(config.backend)) +
+      0.5 * static_cast<double>(deployment.num_hardened());
+  return estimate;
+}
+
+std::vector<RankedConfig> ExploreDesignSpace(
+    const std::vector<LibraryMeta>& libs, const ShAnalysis& analysis,
+    const std::vector<IsolationBackend>& backends,
+    const WorkloadProfile& profile, const CostModel& costs,
+    const ExplorationQuery& query) {
+  const auto variants = EnumerateShVariants(libs, analysis);
+  auto deployments = EnumerateDeployments(variants, /*exact_coloring=*/true);
+
+  // Safety floor: an untransformed Write(*) library must sit alone. This is
+  // a *requirement*, so it joins the conflict graph before coloring —
+  // otherwise the minimum coloring happily groups two no-Requires
+  // libraries and the configuration would have to be discarded.
+  if (query.require_unsafe_isolated) {
+    for (Deployment& deployment : deployments) {
+      std::vector<LibraryMeta> metas;
+      metas.reserve(deployment.chosen.size());
+      for (const LibVariant& variant : deployment.chosen) {
+        metas.push_back(variant.meta);
+      }
+      auto edges = ConflictEdges(metas);
+      const int n = static_cast<int>(metas.size());
+      for (int i = 0; i < n; ++i) {
+        if (!metas[static_cast<size_t>(i)].behavior.writes_all) {
+          continue;
+        }
+        for (int j = 0; j < n; ++j) {
+          if (i != j) {
+            edges.emplace_back(std::min(i, j), std::max(i, j));
+          }
+        }
+      }
+      deployment.coloring = ColorGraphExact(n, edges);
+    }
+  }
+
+  std::vector<RankedConfig> ranked;
+  for (const Deployment& deployment : deployments) {
+    for (IsolationBackend backend : backends) {
+      // A multi-compartment layout needs a real isolation backend.
+      if (backend == IsolationBackend::kNone &&
+          deployment.coloring.num_colors > 1) {
+        continue;
+      }
+      CandidateConfig config{.deployment = deployment, .backend = backend};
+      const ConfigEstimate estimate =
+          EstimateConfig(config, profile, costs);
+      if (query.max_cycles_per_op.has_value() &&
+          estimate.cycles_per_op > *query.max_cycles_per_op) {
+        continue;
+      }
+      ranked.push_back(RankedConfig{.config = std::move(config),
+                                    .estimate = estimate});
+    }
+  }
+
+  if (query.max_cycles_per_op.has_value()) {
+    // Strategy 1: maximize security within the budget.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedConfig& a, const RankedConfig& b) {
+                if (a.estimate.security_score != b.estimate.security_score) {
+                  return a.estimate.security_score >
+                         b.estimate.security_score;
+                }
+                return a.estimate.cycles_per_op < b.estimate.cycles_per_op;
+              });
+  } else {
+    // Strategy 2: best performance among compliant configurations.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedConfig& a, const RankedConfig& b) {
+                if (a.estimate.cycles_per_op != b.estimate.cycles_per_op) {
+                  return a.estimate.cycles_per_op < b.estimate.cycles_per_op;
+                }
+                return a.estimate.security_score > b.estimate.security_score;
+              });
+  }
+  return ranked;
+}
+
+}  // namespace flexos

@@ -1,0 +1,84 @@
+// Design-space exploration (paper §2). The two strategies the paper
+// sketches:
+//   1. "Given a performance target ... find the combination of isolation
+//      primitives that maximizes security within a certain performance
+//      budget."
+//   2. "Given a set of safety requirements ... find a compliant
+//      instantiation that yields the best performance."
+//
+// The explorer enumerates SH-variant deployments (core/sh_transform.h)
+// crossed with isolation backends, prices each with an analytic cost model
+// driven by a workload profile, scores security, and filters/ranks.
+#ifndef FLEXOS_CORE_EXPLORER_H_
+#define FLEXOS_CORE_EXPLORER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/image.h"
+#include "core/sh_transform.h"
+#include "hw/cost_model.h"
+
+namespace flexos {
+
+// Per-operation workload characteristics (e.g. one request of the target
+// app), used to price a configuration analytically before building it.
+struct WorkloadProfile {
+  // Cross-library calls per operation that would cross a compartment
+  // boundary if the involved libraries are separated.
+  uint64_t cross_lib_calls_per_op = 12;
+  // Bulk bytes moved per operation by each library (indexed like the
+  // library vector). Hardened libraries pay the SH multiplier on these.
+  std::vector<uint64_t> memop_bytes_per_op;
+  // Allocations per operation (instrumented malloc tax when hardened).
+  uint64_t allocs_per_op = 2;
+  // Baseline compute per operation.
+  uint64_t base_cycles_per_op = 6000;
+};
+
+struct CandidateConfig {
+  Deployment deployment;
+  IsolationBackend backend;
+
+  std::string Describe(const std::vector<std::string>& lib_names) const;
+};
+
+struct ConfigEstimate {
+  double cycles_per_op = 0;
+  // Heuristic security score: boundaries broken + hardened coverage +
+  // backend strength. Higher is safer.
+  double security_score = 0;
+};
+
+// Cycle cost of one crossing of `backend`'s gate (entry + exit).
+double GateRoundTripCycles(IsolationBackend backend, const CostModel& costs);
+
+ConfigEstimate EstimateConfig(const CandidateConfig& config,
+                              const WorkloadProfile& profile,
+                              const CostModel& costs);
+
+struct ExplorationQuery {
+  // Strategy 1: keep only configurations within this budget, rank by
+  // security (descending). Unset => strategy 2: rank by performance.
+  std::optional<double> max_cycles_per_op;
+  // Safety floor: every library whose (possibly transformed) behavior
+  // still writes arbitrary memory must be alone in its compartment.
+  bool require_unsafe_isolated = true;
+};
+
+struct RankedConfig {
+  CandidateConfig config;
+  ConfigEstimate estimate;
+};
+
+// Enumerates deployments x backends, prices, filters, and ranks.
+std::vector<RankedConfig> ExploreDesignSpace(
+    const std::vector<LibraryMeta>& libs, const ShAnalysis& analysis,
+    const std::vector<IsolationBackend>& backends,
+    const WorkloadProfile& profile, const CostModel& costs,
+    const ExplorationQuery& query);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_EXPLORER_H_

@@ -1,0 +1,31 @@
+#include "core/gate.h"
+
+namespace flexos {
+
+std::string_view GateKindName(GateKind kind) {
+  switch (kind) {
+    case GateKind::kDirect:
+      return "direct";
+    case GateKind::kMpkSharedStack:
+      return "mpk-shared-stack";
+    case GateKind::kMpkSwitchedStack:
+      return "mpk-switched-stack";
+    case GateKind::kVmRpc:
+      return "vm-rpc";
+  }
+  return "?";
+}
+
+void DirectGate::Cross(Machine& machine, const GateCrossing& crossing,
+                       const std::function<void()>& body) {
+  machine.clock().Charge(machine.costs().direct_call);
+  ++machine.stats().gate_crossings;
+  if (crossing.target_context != nullptr) {
+    ScopedExecContext scope(machine, *crossing.target_context);
+    body();
+  } else {
+    body();
+  }
+}
+
+}  // namespace flexos

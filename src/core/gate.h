@@ -1,0 +1,64 @@
+// Gates: the compartment-crossing primitives (paper §3). A gate performs a
+// call into a foreign compartment — switching the protection domain,
+// handling stacks/registers per its backend, and copying arguments and
+// return values as needed. "Implementations vary from cheap function calls
+// all the way to expensive RPC across VM boundaries."
+//
+// Backends implemented:
+//   DirectGate          — same compartment / no-isolation baseline.
+//   MpkSharedStackGate  — ERIM-style: WRPKRU in/out + register scrubbing,
+//                         thread stacks shared across compartments.
+//   MpkSwitchedStackGate— HODOR-style: adds a per-compartment stack switch
+//                         and argument copy.  (core/mpk_gate.h)
+//   VmRpcGate           — Xen/KVM-style RPC over a shared ring with
+//                         inter-VM notifications.  (core/vm_gate.h)
+#ifndef FLEXOS_CORE_GATE_H_
+#define FLEXOS_CORE_GATE_H_
+
+#include <functional>
+#include <string_view>
+
+#include "hw/machine.h"
+
+namespace flexos {
+
+enum class GateKind : uint8_t {
+  kDirect,
+  kMpkSharedStack,
+  kMpkSwitchedStack,
+  kVmRpc,
+};
+
+std::string_view GateKindName(GateKind kind);
+
+// A single domain crossing: the call and its matching return.
+struct GateCrossing {
+  const ExecContext* target_context;  // Context to run the body under.
+  uint64_t arg_bytes = 0;             // By-value argument payload size.
+  uint64_t ret_bytes = 0;             // Return payload size.
+};
+
+class Gate {
+ public:
+  virtual ~Gate() = default;
+
+  virtual GateKind kind() const = 0;
+
+  // Executes `body` in the target compartment per this backend's
+  // mechanics, charging its modeled costs on entry and exit.
+  virtual void Cross(Machine& machine, const GateCrossing& crossing,
+                     const std::function<void()>& body) = 0;
+};
+
+// Same-compartment (or no-isolation) call: a near call, nothing more.
+class DirectGate final : public Gate {
+ public:
+  GateKind kind() const override { return GateKind::kDirect; }
+
+  void Cross(Machine& machine, const GateCrossing& crossing,
+             const std::function<void()>& body) override;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_GATE_H_

@@ -1,0 +1,224 @@
+#include "core/image.h"
+
+#include "hw/trap.h"
+#include "support/strings.h"
+
+namespace flexos {
+
+std::string_view IsolationBackendName(IsolationBackend backend) {
+  switch (backend) {
+    case IsolationBackend::kNone:
+      return "none";
+    case IsolationBackend::kMpkSharedStack:
+      return "mpk-shared";
+    case IsolationBackend::kMpkSwitchedStack:
+      return "mpk-switched";
+    case IsolationBackend::kVmRpc:
+      return "vm-rpc";
+  }
+  return "?";
+}
+
+Image::Image(Machine& machine, IsolationBackend backend)
+    : machine_(machine), backend_(backend) {
+  // The platform context is trusted and unrestricted (boot CPU state).
+  platform_exec_ = ExecContext{};
+  platform_exec_.compartment = -1;
+}
+
+Image::~Image() = default;
+
+Image::LibRuntime& Image::LibOf(std::string_view name) {
+  auto it = libs_.find(std::string(name));
+  FLEXOS_CHECK(it != libs_.end(), "library '%s' is not part of this image",
+               std::string(name).c_str());
+  return it->second;
+}
+
+const Image::LibRuntime* Image::FindLib(std::string_view name) const {
+  auto it = libs_.find(std::string(name));
+  return it == libs_.end() ? nullptr : &it->second;
+}
+
+int Image::CompartmentOf(std::string_view lib) const {
+  if (lib == kLibPlatform) {
+    return -1;
+  }
+  const LibRuntime* runtime = FindLib(lib);
+  FLEXOS_CHECK(runtime != nullptr, "library '%s' is not part of this image",
+               std::string(lib).c_str());
+  return runtime->compartment;
+}
+
+CompartmentRuntime& Image::compartment(int id) {
+  FLEXOS_CHECK(id >= 0 && id < compartment_count(), "bad compartment id %d",
+               id);
+  return comps_[static_cast<size_t>(id)];
+}
+
+const CompartmentRuntime& Image::compartment(int id) const {
+  FLEXOS_CHECK(id >= 0 && id < compartment_count(), "bad compartment id %d",
+               id);
+  return comps_[static_cast<size_t>(id)];
+}
+
+AddressSpace& Image::SpaceOf(std::string_view lib) {
+  if (lib == kLibPlatform) {
+    return *spaces_.front();
+  }
+  return *compartment(CompartmentOf(lib)).space;
+}
+
+Allocator& Image::AllocatorOf(std::string_view lib) {
+  return registry_.For(CompartmentOf(lib));
+}
+
+Allocator& Image::shared_allocator() {
+  FLEXOS_CHECK(shared_allocator_ != nullptr, "image has no shared region");
+  return *shared_allocator_;
+}
+
+bool Image::IsHardened(std::string_view lib) const {
+  const LibRuntime* runtime = FindLib(lib);
+  return runtime != nullptr && runtime->hardened;
+}
+
+void Image::CallLeaf(std::string_view from, std::string_view to,
+                     const std::function<void()>& body) {
+  (void)from;
+  ++stats_.leaf_calls;
+  machine_.clock().Charge(machine_.costs().direct_call);
+  if (to == kLibPlatform) {
+    body();
+    return;
+  }
+  const LibRuntime& target = LibOf(to);
+  // Caller's protection domain, target's instrumentation.
+  ExecContext leaf = machine_.context();
+  if (target.hardened) {
+    machine_.clock().Charge(machine_.costs().sh_call_overhead);
+    leaf.mem_cost_multiplier = machine_.costs().sh_mem_multiplier;
+    leaf.shadow_checks = true;
+  } else {
+    leaf.mem_cost_multiplier = 1.0;
+    leaf.shadow_checks = false;
+  }
+  ScopedExecContext scope(machine_, leaf);
+  body();
+}
+
+void Image::Call(std::string_view from, std::string_view to,
+                 const std::function<void()>& body) {
+  // Under the VM backend, replicated libraries are local to every VM: the
+  // call never leaves the caller's VM (paper §3: each VM image carries its
+  // own platform code, allocator, and scheduler).
+  if (backend_ == IsolationBackend::kVmRpc &&
+      vm_replicated_libs_.count(std::string(to)) != 0) {
+    CallLeaf(from, to, body);
+    return;
+  }
+  const int from_comp = CompartmentOf(from);
+
+  const ExecContext* target_exec;
+  int to_comp;
+  if (to == kLibPlatform) {
+    target_exec = &platform_exec_;
+    to_comp = -1;
+  } else {
+    const LibRuntime& target = LibOf(to);
+    target_exec = &target.exec;
+    to_comp = target.compartment;
+    if (target.hardened) {
+      machine_.clock().Charge(machine_.costs().sh_call_overhead);
+    }
+  }
+
+  if (from_comp == to_comp && backend_ != IsolationBackend::kVmRpc) {
+    // Same protection domain: a direct call (still swaps instrumentation
+    // flags so per-library SH composes within one compartment).
+    ++stats_.same_compartment_calls;
+    GateCrossing crossing{.target_context = target_exec};
+    direct_gate_.Cross(machine_, crossing, body);
+    return;
+  }
+  if (from_comp == to_comp) {
+    // VM backend, same VM.
+    ++stats_.same_compartment_calls;
+    GateCrossing crossing{.target_context = target_exec};
+    direct_gate_.Cross(machine_, crossing, body);
+    return;
+  }
+
+  ++stats_.cross_compartment_calls;
+  ++stats_.crossings[{from_comp, to_comp}];
+  // Default by-value argument footprint of a gate call: a few registers
+  // spilled per the ABI (switched-stack/VM gates charge the copy).
+  GateCrossing crossing{
+      .target_context = target_exec, .arg_bytes = 64, .ret_bytes = 16};
+  Gate* gate = gate_ != nullptr ? gate_.get() : &direct_gate_;
+  gate->Cross(machine_, crossing, body);
+}
+
+void Image::RegisterApiContract(std::string_view lib, std::string_view func,
+                                std::function<bool()> precondition,
+                                std::string description) {
+  contracts_[std::string(lib) + "::" + std::string(func)] =
+      ApiContract{std::move(precondition), std::move(description)};
+}
+
+void Image::CallNamed(std::string_view from, std::string_view to,
+                      std::string_view func,
+                      const std::function<void()>& body) {
+  // API contract wrappers: included only across trust-domain boundaries
+  // (paper §5) — within one compartment the caller is trusted and the
+  // check is compiled out.
+  const auto contract_it =
+      contracts_.find(std::string(to) + "::" + std::string(func));
+  if (contract_it != contracts_.end()) {
+    if (CompartmentOf(from) != CompartmentOf(to)) {
+      ++contract_checks_run_;
+      machine_.clock().Charge(machine_.costs().sh_call_overhead);
+      if (!contract_it->second.precondition()) {
+        ++machine_.stats().traps;
+        RaiseTrap(TrapInfo{
+            .kind = TrapKind::kContractViolation,
+            .detail = StrFormat(
+                "API contract on %s::%s violated by %s: %s",
+                std::string(to).c_str(), std::string(func).c_str(),
+                std::string(from).c_str(),
+                contract_it->second.description.c_str())});
+      }
+    } else {
+      ++contract_checks_skipped_;
+    }
+  }
+  if (to != kLibPlatform) {
+    const LibRuntime& target = LibOf(to);
+    if (target.cfi_enforced) {
+      ++stats_.cfi_checks;
+      machine_.clock().Charge(machine_.costs().sh_call_overhead);
+      if (target.api.count(std::string(func)) == 0) {
+        ++machine_.stats().traps;
+        RaiseTrap(TrapInfo{
+            .kind = TrapKind::kCfiViolation,
+            .detail = StrFormat(
+                "call %s -> %s::%s outside the declared entry points",
+                std::string(from).c_str(), std::string(to).c_str(),
+                std::string(func).c_str())});
+      }
+    }
+  }
+  Call(from, to, body);
+}
+
+std::string Image::Describe() const {
+  std::string out = StrFormat("image backend=%s compartments=%d\n",
+                              std::string(IsolationBackendName(backend_)).c_str(),
+                              compartment_count());
+  for (const CompartmentRuntime& comp : comps_) {
+    out += "  " + comp.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace flexos

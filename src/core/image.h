@@ -1,0 +1,162 @@
+// Image: an instantiated FlexOS kernel. Holds the compartments, their
+// address spaces, allocators, and the gate that implements every
+// cross-compartment boundary. Implements GateRouter, so it IS the seam the
+// substrate libraries call through — the builder "replacing the call gate
+// placeholders with the relevant code" at runtime instead of link time.
+#ifndef FLEXOS_CORE_IMAGE_H_
+#define FLEXOS_CORE_IMAGE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator_registry.h"
+#include "core/compartment.h"
+#include "core/gate.h"
+#include "support/gate_router.h"
+
+namespace flexos {
+
+enum class IsolationBackend : uint8_t {
+  kNone,              // Single protection domain, direct calls.
+  kMpkSharedStack,    // MPK, ERIM-style shared stacks.
+  kMpkSwitchedStack,  // MPK, HODOR-style per-compartment stacks.
+  kVmRpc,             // One VM per compartment, RPC gates.
+};
+
+std::string_view IsolationBackendName(IsolationBackend backend);
+
+struct ImageStats {
+  uint64_t same_compartment_calls = 0;
+  uint64_t cross_compartment_calls = 0;
+  uint64_t leaf_calls = 0;
+  // Crossing counts per (from-compartment, to-compartment).
+  std::map<std::pair<int, int>, uint64_t> crossings;
+  uint64_t cfi_checks = 0;
+};
+
+class Image final : public GateRouter {
+ public:
+  Image(Machine& machine, IsolationBackend backend);
+  ~Image() override;
+
+  Image(const Image&) = delete;
+  Image& operator=(const Image&) = delete;
+
+  Machine& machine() { return machine_; }
+  IsolationBackend backend() const { return backend_; }
+
+  // --- GateRouter --------------------------------------------------------
+
+  // Routes a cross-library call through the configured gate. Unknown
+  // library names panic: an image must know its members (a mis-built
+  // image, not a runtime condition).
+  void Call(std::string_view from, std::string_view to,
+            const std::function<void()>& body) override;
+
+  // Leaf-routine call: runs in the caller's protection domain with the
+  // target library's instrumentation (see GateRouter::CallLeaf). Also the
+  // path taken by Call() for per-VM-replicated libraries under the VM
+  // backend (the paper gives every VM its own allocator/scheduler/libc).
+  void CallLeaf(std::string_view from, std::string_view to,
+                const std::function<void()>& body) override;
+
+  // Like Call, but names the target function so per-library CFI policies
+  // can be enforced: calling a function outside the target's declared API
+  // raises a kCfiViolation trap when CFI is enabled for that library.
+  void CallNamed(std::string_view from, std::string_view to,
+                 std::string_view func, const std::function<void()>& body);
+
+  // --- API contracts (paper §5, "Isolation alone is not enough") ---------
+  //
+  // "If component A is together with component B in the same trust domain,
+  // then checks are not necessary, but they are when component C (in
+  // another domain) calls component B." The image generates the wrapper:
+  // a registered precondition runs on CallNamed only when the caller sits
+  // in a different compartment than the target; violations raise
+  // kContractViolation.
+
+  // `precondition` returns true when the call is legal. `description`
+  // appears in the trap on violation.
+  void RegisterApiContract(std::string_view lib, std::string_view func,
+                           std::function<bool()> precondition,
+                           std::string description);
+
+  uint64_t contract_checks_run() const { return contract_checks_run_; }
+  uint64_t contract_checks_skipped() const {
+    return contract_checks_skipped_;
+  }
+
+  // --- Introspection / wiring --------------------------------------------
+
+  int CompartmentOf(std::string_view lib) const;
+  CompartmentRuntime& compartment(int id);
+  const CompartmentRuntime& compartment(int id) const;
+  int compartment_count() const { return static_cast<int>(comps_.size()); }
+
+  AddressSpace& SpaceOf(std::string_view lib);
+  Allocator& AllocatorOf(std::string_view lib);
+
+  // The shared region (key 0 / mapped in every VM): base, size, and an
+  // allocator for cross-compartment buffers.
+  Gaddr shared_base() const { return shared_base_; }
+  uint64_t shared_bytes() const { return shared_bytes_; }
+  Allocator& shared_allocator();
+
+  const ImageStats& stats() const { return stats_; }
+
+  // True if `lib` runs with software hardening in this image.
+  bool IsHardened(std::string_view lib) const;
+
+  std::string Describe() const;
+
+ private:
+  friend class ImageBuilder;
+
+  struct LibRuntime {
+    std::string name;
+    int compartment = -1;
+    bool hardened = false;
+    ExecContext exec;  // Compartment context + SH instrumentation flags.
+    bool cfi_enforced = false;
+    std::set<std::string> api;  // Allowed entry points when CFI is on.
+  };
+
+  LibRuntime& LibOf(std::string_view name);
+  const LibRuntime* FindLib(std::string_view name) const;
+
+  Machine& machine_;
+  IsolationBackend backend_;
+
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  std::vector<CompartmentRuntime> comps_;
+  std::unordered_map<std::string, LibRuntime> libs_;
+  AllocatorRegistry registry_;
+  std::unique_ptr<Gate> gate_;       // Cross-compartment gate.
+  DirectGate direct_gate_;           // Same-compartment calls.
+  Gaddr shared_base_ = 0;
+  uint64_t shared_bytes_ = 0;
+  Allocator* shared_allocator_ = nullptr;
+  // Libraries replicated into every VM under the kVmRpc backend; calls to
+  // them never cross the VM boundary.
+  std::set<std::string> vm_replicated_libs_;
+  // Pseudo-context for the platform/boot "library".
+  ExecContext platform_exec_;
+  ImageStats stats_;
+
+  struct ApiContract {
+    std::function<bool()> precondition;
+    std::string description;
+  };
+  // Keyed by "lib::func".
+  std::map<std::string, ApiContract> contracts_;
+  uint64_t contract_checks_run_ = 0;
+  uint64_t contract_checks_skipped_ = 0;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_IMAGE_H_

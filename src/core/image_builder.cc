@@ -1,0 +1,261 @@
+#include "core/image_builder.h"
+
+#include <unordered_set>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/freelist_heap.h"
+#include "alloc/hardened_heap.h"
+#include "core/mpk_gate.h"
+#include "core/vm_gate.h"
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+constexpr Gaddr kHeapBase = 16ull << 20;  // Compartment heaps start here.
+constexpr uint64_t kRegionGap = 16ull << 20;
+
+uint64_t RoundUpPow2(uint64_t value) {
+  uint64_t out = 1;
+  while (out < value) {
+    out <<= 1;
+  }
+  return out;
+}
+
+std::unique_ptr<Allocator> MakeHeap(HeapKind kind, AddressSpace& space,
+                                    Gaddr base, uint64_t size) {
+  if (kind == HeapKind::kBuddy) {
+    return std::make_unique<BuddyAllocator>(space, base, RoundUpPow2(size) / 2);
+  }
+  return std::make_unique<FreelistHeap>(space, base, size);
+}
+
+}  // namespace
+
+ImageConfig BaselineConfig(const std::vector<std::string>& libs) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kNone;
+  config.compartments.push_back(libs);
+  return config;
+}
+
+Result<std::unique_ptr<Image>> ImageBuilder::Build(const ImageConfig& config) {
+  // --- Validate -----------------------------------------------------------
+  if (config.compartments.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "no compartments configured");
+  }
+  if (config.compartments.size() > kNumPkeys - 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "more compartments than protection keys");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& group : config.compartments) {
+    if (group.empty()) {
+      return Status(ErrorCode::kInvalidArgument, "empty compartment");
+    }
+    for (const std::string& lib : group) {
+      if (lib == kLibPlatform) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "'platform' is implicit and cannot be assigned");
+      }
+      if (!seen.insert(lib).second) {
+        return Status(ErrorCode::kAlreadyExists,
+                      "library in two compartments: " + lib);
+      }
+    }
+  }
+  for (const std::string& lib : config.hardened_libs) {
+    if (seen.count(lib) == 0) {
+      return Status(ErrorCode::kNotFound, "hardened unknown library: " + lib);
+    }
+  }
+  for (const std::string& lib : config.cfi_libs) {
+    if (seen.count(lib) == 0) {
+      return Status(ErrorCode::kNotFound, "cfi on unknown library: " + lib);
+    }
+  }
+
+  const int num_comps = static_cast<int>(config.compartments.size());
+  const bool vm_backend = config.backend == IsolationBackend::kVmRpc;
+  const uint64_t heap_bytes = config.heap_bytes_per_compartment;
+
+  auto image = std::unique_ptr<Image>(new Image(machine_, config.backend));
+
+  // --- Address spaces and memory layout ------------------------------------
+  const Gaddr shared_base =
+      kHeapBase +
+      static_cast<uint64_t>(num_comps) * (heap_bytes + kRegionGap);
+  // Optional global-allocator region sits after the shared region.
+  const Gaddr global_heap_base = shared_base + config.shared_bytes +
+                                 kRegionGap;
+  const uint64_t space_bytes =
+      global_heap_base + heap_bytes + kRegionGap;
+
+  if (!vm_backend) {
+    // One space for everything; compartments are MPK key regions.
+    image->spaces_.push_back(std::make_unique<AddressSpace>(
+        machine_, "flexos", space_bytes));
+  } else {
+    for (int c = 0; c < num_comps; ++c) {
+      image->spaces_.push_back(std::make_unique<AddressSpace>(
+          machine_, StrFormat("vm%d", c), space_bytes));
+    }
+  }
+
+  image->shared_base_ = shared_base;
+  image->shared_bytes_ = config.shared_bytes;
+
+  // Map compartment heaps.
+  for (int c = 0; c < num_comps; ++c) {
+    AddressSpace& space = vm_backend ? *image->spaces_[static_cast<size_t>(c)]
+                                     : *image->spaces_.front();
+    const Gaddr base =
+        vm_backend ? kHeapBase
+                   : kHeapBase + static_cast<uint64_t>(c) *
+                                     (heap_bytes + kRegionGap);
+    const Pkey key =
+        (config.backend == IsolationBackend::kNone || vm_backend)
+            ? 0
+            : static_cast<Pkey>(c + 1);
+    FLEXOS_RETURN_IF_ERROR(space.Map(base, heap_bytes, key));
+
+    CompartmentRuntime comp;
+    comp.id = c;
+    comp.name = StrFormat("comp%d", c);
+    comp.libs = config.compartments[static_cast<size_t>(c)];
+    comp.pkey = key;
+    comp.space = &space;
+    comp.heap_base = base;
+    comp.heap_bytes = heap_bytes;
+    for (const std::string& lib : comp.libs) {
+      if (config.hardened_libs.count(lib) != 0) {
+        comp.hardened = true;
+      }
+    }
+    // Switched-stack backend: each compartment owns stack pages (tagged
+    // with its key) behind a guard page, which the gates switch to on
+    // crossing. The shared-stack backend leaves stacks in the shared
+    // domain — exactly ERIM vs HODOR.
+    if (config.backend == IsolationBackend::kMpkSwitchedStack) {
+      const uint64_t stack_bytes = 64 * kPageSize;
+      const Gaddr guard = base + heap_bytes + kPageSize;
+      FLEXOS_RETURN_IF_ERROR(space.MapGuard(guard, kPageSize));
+      comp.stack_base = guard + kPageSize;
+      comp.stack_bytes = stack_bytes;
+      FLEXOS_RETURN_IF_ERROR(space.Map(comp.stack_base, stack_bytes, key));
+    }
+
+    // Execution context: MPK backends confine each compartment to its own
+    // key plus the shared key 0; other backends run PKRU-permissive.
+    comp.exec = ExecContext{};
+    comp.exec.compartment = c;
+    if (config.backend == IsolationBackend::kMpkSharedStack ||
+        config.backend == IsolationBackend::kMpkSwitchedStack) {
+      Pkru pkru = Pkru::DenyAll()
+                      .WithAccess(0, /*allow_read=*/true, /*allow_write=*/true)
+                      .WithAccess(key, true, true);
+      comp.exec.pkru = pkru;
+    }
+    image->comps_.push_back(comp);
+  }
+
+  // Map the shared region (key 0 everywhere; identical address in all VMs).
+  {
+    AddressSpace& first = *image->spaces_.front();
+    FLEXOS_RETURN_IF_ERROR(first.Map(shared_base, config.shared_bytes, 0));
+    for (size_t s = 1; s < image->spaces_.size(); ++s) {
+      FLEXOS_RETURN_IF_ERROR(image->spaces_[s]->MapAlias(
+          shared_base, first, shared_base, config.shared_bytes));
+    }
+  }
+
+  // --- Allocators -----------------------------------------------------------
+  const bool any_hardened = !config.hardened_libs.empty();
+  if (config.per_compartment_allocators) {
+    for (int c = 0; c < num_comps; ++c) {
+      CompartmentRuntime& comp = image->comps_[static_cast<size_t>(c)];
+      Allocator& backing = image->registry_.Adopt(MakeHeap(
+          config.heap_kind, *comp.space, comp.heap_base, comp.heap_bytes));
+      Allocator* heap = &backing;
+      if (comp.hardened) {
+        heap = &image->registry_.Adopt(
+            std::make_unique<HardenedHeap>(backing));
+      }
+      comp.allocator = heap;
+      image->registry_.SetForCompartment(c, *heap);
+    }
+  } else {
+    // Global allocator: lives in the shared region's tail so every
+    // compartment can reach it. Instrumented if anything is hardened —
+    // the whole system then pays (paper Fig. 4).
+    AddressSpace& first = *image->spaces_.front();
+    FLEXOS_RETURN_IF_ERROR(first.Map(global_heap_base, heap_bytes, 0));
+    for (size_t s = 1; s < image->spaces_.size(); ++s) {
+      FLEXOS_RETURN_IF_ERROR(image->spaces_[s]->MapAlias(
+          global_heap_base, first, global_heap_base, heap_bytes));
+    }
+    Allocator& backing = image->registry_.Adopt(
+        MakeHeap(config.heap_kind, first, global_heap_base, heap_bytes));
+    Allocator* heap = &backing;
+    if (any_hardened) {
+      heap = &image->registry_.Adopt(std::make_unique<HardenedHeap>(backing));
+    }
+    image->registry_.SetGlobal(*heap);
+    for (int c = 0; c < num_comps; ++c) {
+      image->comps_[static_cast<size_t>(c)].allocator = heap;
+    }
+  }
+
+  // Shared-region allocator for cross-compartment buffers.
+  image->shared_allocator_ = &image->registry_.Adopt(
+      MakeHeap(config.heap_kind, *image->spaces_.front(), shared_base,
+               config.shared_bytes));
+
+  // --- Library runtimes -----------------------------------------------------
+  for (int c = 0; c < num_comps; ++c) {
+    const CompartmentRuntime& comp = image->comps_[static_cast<size_t>(c)];
+    for (const std::string& lib : comp.libs) {
+      Image::LibRuntime runtime;
+      runtime.name = lib;
+      runtime.compartment = c;
+      runtime.hardened = config.hardened_libs.count(lib) != 0;
+      runtime.exec = comp.exec;
+      if (runtime.hardened) {
+        runtime.exec.mem_cost_multiplier =
+            machine_.costs().sh_mem_multiplier;
+        runtime.exec.shadow_checks = true;
+      }
+      runtime.cfi_enforced = config.cfi_libs.count(lib) != 0;
+      auto api_it = config.apis.find(lib);
+      if (api_it != config.apis.end()) {
+        runtime.api = api_it->second;
+      }
+      image->libs_[lib] = std::move(runtime);
+    }
+  }
+
+  if (vm_backend) {
+    image->vm_replicated_libs_ = config.vm_replicated_libs;
+  }
+
+  // --- Gate ----------------------------------------------------------------
+  switch (config.backend) {
+    case IsolationBackend::kNone:
+      image->gate_ = std::make_unique<DirectGate>();
+      break;
+    case IsolationBackend::kMpkSharedStack:
+      image->gate_ = std::make_unique<MpkSharedStackGate>();
+      break;
+    case IsolationBackend::kMpkSwitchedStack:
+      image->gate_ = std::make_unique<MpkSwitchedStackGate>();
+      break;
+    case IsolationBackend::kVmRpc:
+      image->gate_ = std::make_unique<VmRpcGate>();
+      break;
+  }
+
+  return image;
+}
+
+}  // namespace flexos

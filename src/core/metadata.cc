@@ -1,0 +1,370 @@
+#include "core/metadata.h"
+
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+// Splits on `sep` at paren depth zero (Requires items contain commas
+// inside parentheses).
+std::vector<std::string_view> SplitTopLevel(std::string_view text, char sep) {
+  std::vector<std::string_view> pieces;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == sep && depth == 0)) {
+      std::string_view piece = TrimWhitespace(text.substr(start, i - start));
+      if (!piece.empty()) {
+        pieces.push_back(piece);
+      }
+      start = i + 1;
+    } else if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      if (depth > 0) {
+        --depth;
+      }
+    }
+  }
+  return pieces;
+}
+
+// Parses "Name(arg1,arg2)" into name + args. Returns false on malformed
+// input.
+bool ParseCallLike(std::string_view item, std::string_view* name,
+                   std::vector<std::string_view>* args) {
+  const size_t open = item.find('(');
+  if (open == std::string_view::npos || item.back() != ')') {
+    return false;
+  }
+  *name = TrimWhitespace(item.substr(0, open));
+  const std::string_view inner =
+      item.substr(open + 1, item.size() - open - 2);
+  args->clear();
+  for (std::string_view arg : SplitTopLevel(inner, ',')) {
+    args->push_back(arg);
+  }
+  return true;
+}
+
+Status ParseMemoryAccess(std::string_view body, LibBehavior* behavior) {
+  for (std::string_view item : SplitTopLevel(body, ';')) {
+    std::string_view op;
+    std::vector<std::string_view> args;
+    if (!ParseCallLike(item, &op, &args)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bad [Memory access] item: " + std::string(item));
+    }
+    const bool is_read = op == "Read";
+    const bool is_write = op == "Write";
+    if (!is_read && !is_write) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "unknown memory op: " + std::string(op));
+    }
+    for (std::string_view arg : args) {
+      if (arg == "Own") {
+        (is_read ? behavior->reads_own : behavior->writes_own) = true;
+      } else if (arg == "Shared") {
+        (is_read ? behavior->reads_shared : behavior->writes_shared) = true;
+      } else if (arg == "*") {
+        (is_read ? behavior->reads_all : behavior->writes_all) = true;
+      } else {
+        return Status(ErrorCode::kInvalidArgument,
+                      "unknown memory scope: " + std::string(arg));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseCalls(std::string_view body, LibBehavior* behavior) {
+  for (std::string_view item : SplitTopLevel(body, ',')) {
+    if (item == "*") {
+      behavior->calls_any = true;
+    } else {
+      behavior->calls.insert(std::string(item));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseApi(std::string_view body, std::vector<ApiFunc>* api) {
+  for (std::string_view item : SplitTopLevel(body, ';')) {
+    std::string_view name;
+    std::vector<std::string_view> args;
+    if (ParseCallLike(item, &name, &args)) {
+      api->push_back(ApiFunc{std::string(name)});
+    } else {
+      api->push_back(ApiFunc{std::string(TrimWhitespace(item))});
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseRequires(std::string_view body, LibRequires* requires_spec) {
+  requires_spec->present = true;
+  requires_spec->others_may_read_own = false;
+  requires_spec->others_may_write_own = false;
+  requires_spec->others_may_read_shared = false;
+  requires_spec->others_may_write_shared = false;
+  for (std::string_view item : SplitTopLevel(body, ',')) {
+    if (item == "*" || item == "*...") {
+      continue;  // Trailing ellipsis in the paper's example.
+    }
+    std::string_view subject;
+    std::vector<std::string_view> args;
+    if (!ParseCallLike(item, &subject, &args)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bad [Requires] item: " + std::string(item));
+    }
+    if (subject != "*") {
+      return Status(ErrorCode::kUnimplemented,
+                    "only *(...) requires-subjects are supported");
+    }
+    if (args.size() < 2) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "requires clause needs (Kind, Arg)");
+    }
+    const std::string_view kind = args[0];
+    const std::string_view arg = args[1];
+    if (kind == "Read") {
+      if (arg == "Own") {
+        requires_spec->others_may_read_own = true;
+      } else if (arg == "Shared") {
+        requires_spec->others_may_read_shared = true;
+      } else {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad Read scope: " + std::string(arg));
+      }
+    } else if (kind == "Write") {
+      if (arg == "Own") {
+        requires_spec->others_may_write_own = true;
+      } else if (arg == "Shared") {
+        requires_spec->others_may_write_shared = true;
+      } else {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad Write scope: " + std::string(arg));
+      }
+    } else if (kind == "Call") {
+      if (arg == "*") {
+        requires_spec->others_may_call_any = true;
+      } else {
+        requires_spec->callable_funcs.insert(std::string(arg));
+      }
+    } else {
+      return Status(ErrorCode::kInvalidArgument,
+                    "unknown requires kind: " + std::string(kind));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<LibraryMeta> ParseLibraryMeta(const std::string& name,
+                                     const std::string& text) {
+  LibraryMeta meta;
+  meta.name = name;
+
+  // Gather section bodies: a section header is "[Title]"; its body runs to
+  // the next header.
+  struct Section {
+    std::string title;
+    std::string body;
+  };
+  std::vector<Section> sections;
+  for (std::string_view line : SplitString(text, '\n')) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    size_t cursor = 0;
+    while (cursor < trimmed.size()) {
+      if (trimmed[cursor] == '[') {
+        const size_t close = trimmed.find(']', cursor);
+        if (close == std::string_view::npos) {
+          return Status(ErrorCode::kInvalidArgument, "unterminated section");
+        }
+        sections.push_back(Section{
+            std::string(trimmed.substr(cursor + 1, close - cursor - 1)),
+            ""});
+        cursor = close + 1;
+      } else {
+        const size_t next = trimmed.find('[', cursor);
+        const size_t end =
+            next == std::string_view::npos ? trimmed.size() : next;
+        if (sections.empty()) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "content before first section header");
+        }
+        sections.back().body += ' ';
+        sections.back().body += trimmed.substr(cursor, end - cursor);
+        cursor = end;
+      }
+    }
+  }
+
+  for (const Section& section : sections) {
+    const std::string_view body = TrimWhitespace(section.body);
+    Status status;
+    if (section.title == "Memory access") {
+      status = ParseMemoryAccess(body, &meta.behavior);
+    } else if (section.title == "Call") {
+      status = ParseCalls(body, &meta.behavior);
+    } else if (section.title == "API") {
+      status = ParseApi(body, &meta.api);
+    } else if (section.title == "Requires") {
+      status = ParseRequires(body, &meta.requires_spec);
+    } else {
+      status = Status(ErrorCode::kInvalidArgument,
+                      "unknown section [" + section.title + "]");
+    }
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return meta;
+}
+
+std::string LibraryMeta::ToString() const {
+  std::string out;
+  // [Memory access]
+  auto scopes = [](bool own, bool shared, bool all) {
+    std::vector<std::string> parts;
+    if (all) {
+      parts.push_back("*");
+    } else {
+      if (own) {
+        parts.push_back("Own");
+      }
+      if (shared) {
+        parts.push_back("Shared");
+      }
+    }
+    return JoinStrings(parts, ",");
+  };
+  out += "[Memory access] Read(" +
+         scopes(behavior.reads_own, behavior.reads_shared,
+                behavior.reads_all) +
+         "); Write(" +
+         scopes(behavior.writes_own, behavior.writes_shared,
+                behavior.writes_all) +
+         ")\n";
+  // [Call]
+  if (behavior.calls_any) {
+    out += "[Call] *\n";
+  } else if (!behavior.calls.empty()) {
+    std::vector<std::string> calls(behavior.calls.begin(),
+                                   behavior.calls.end());
+    out += "[Call] " + JoinStrings(calls, ", ") + "\n";
+  }
+  // [API]
+  if (!api.empty()) {
+    std::vector<std::string> funcs;
+    funcs.reserve(api.size());
+    for (const ApiFunc& func : api) {
+      funcs.push_back(func.name + "(...)");
+    }
+    out += "[API] " + JoinStrings(funcs, "; ") + "\n";
+  }
+  // [Requires]
+  if (requires_spec.present) {
+    std::vector<std::string> clauses;
+    if (requires_spec.others_may_read_own) {
+      clauses.push_back("*(Read,Own)");
+    }
+    if (requires_spec.others_may_write_own) {
+      clauses.push_back("*(Write,Own)");
+    }
+    if (requires_spec.others_may_read_shared) {
+      clauses.push_back("*(Read,Shared)");
+    }
+    if (requires_spec.others_may_write_shared) {
+      clauses.push_back("*(Write,Shared)");
+    }
+    if (requires_spec.others_may_call_any) {
+      clauses.push_back("*(Call, *)");
+    }
+    for (const std::string& func : requires_spec.callable_funcs) {
+      clauses.push_back("*(Call, " + func + ")");
+    }
+    out += "[Requires] " + JoinStrings(clauses, ", ") + "\n";
+  }
+  return out;
+}
+
+LibraryMeta SchedulerMeta() {
+  // Verbatim from the paper's §2 example (the Dafny-verified scheduler).
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "sched",
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[Call] alloc::malloc, alloc::free\n"
+      "[API] thread_add(...); thread_rm(...); yield(...)\n"
+      "[Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add), "
+      "*(Call, thread_rm), *(Call, yield)");
+  FLEXOS_CHECK(meta.ok(), "builtin scheduler metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
+LibraryMeta UnsafeCLibMeta(const std::string& name) {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      name,
+      "[Memory access] Read(*); Write(*)\n"
+      "[Call] *");
+  FLEXOS_CHECK(meta.ok(), "builtin unsafe metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
+LibraryMeta NetStackMeta() {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "net",
+      "[Memory access] Read(Own,Shared); Write(*)\n"
+      "[Call] libc::memcpy, libc::sem_wait, libc::sem_signal, "
+      "alloc::malloc, alloc::free\n"
+      "[API] listen(...); accept(...); send(...); recv(...); close(...)");
+  FLEXOS_CHECK(meta.ok(), "builtin net metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
+LibraryMeta LibcMeta() {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "libc",
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[Call] sched::yield, alloc::malloc, alloc::free\n"
+      "[API] memcpy(...); memset(...); strlen(...); sem_wait(...); "
+      "sem_signal(...)\n"
+      "[Requires] *(Read,Own), *(Write,Shared), *(Call, memcpy), "
+      "*(Call, memset), *(Call, strlen), *(Call, sem_wait), "
+      "*(Call, sem_signal)");
+  FLEXOS_CHECK(meta.ok(), "builtin libc metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
+LibraryMeta AllocMeta() {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "alloc",
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[API] malloc(...); free(...)\n"
+      "[Requires] *(Read,Own), *(Write,Shared), *(Call, malloc), "
+      "*(Call, free)");
+  FLEXOS_CHECK(meta.ok(), "builtin alloc metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
+LibraryMeta AppMeta(const std::string& name) {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      name,
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[Call] net::listen, net::accept, net::send, net::recv, net::close, "
+      "libc::memcpy, alloc::malloc, alloc::free");
+  FLEXOS_CHECK(meta.ok(), "builtin app metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
+}  // namespace flexos

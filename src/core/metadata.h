@@ -1,0 +1,91 @@
+// The FlexOS per-library metadata DSL (paper §2). Each micro-library ships
+// a description of (1) its memory-access behavior, (2) the functions it
+// calls, (3) its exposed API, and (4) what it *requires* of other libraries
+// sharing its compartment. The concrete syntax is the paper's:
+//
+//   [Memory access] Read(Own,Shared); Write(Own,Shared)
+//   [Call] alloc::malloc, alloc::free
+//   [API] thread_add(...); thread_rm(...); yield(...)
+//   [Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add)
+//
+// and the "deemed unsafe C component" example:
+//
+//   [Memory access] Read(*); Write(*)
+//   [Call] *
+#ifndef FLEXOS_CORE_METADATA_H_
+#define FLEXOS_CORE_METADATA_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace flexos {
+
+// What a library does to memory / control flow (worst case, adversarial
+// operation included).
+struct LibBehavior {
+  bool reads_own = false;
+  bool reads_shared = false;
+  bool reads_all = false;  // Read(*)
+  bool writes_own = false;
+  bool writes_shared = false;
+  bool writes_all = false;  // Write(*)
+
+  bool calls_any = false;          // Call contains '*'
+  std::set<std::string> calls;     // Qualified "lib::func" names.
+};
+
+// One exposed API function.
+struct ApiFunc {
+  std::string name;
+
+  bool operator==(const ApiFunc&) const = default;
+};
+
+// Constraints this library places on compartment cohabitants. Absence of
+// any Requires clause means "others may do anything" (the library has no
+// safety properties to protect).
+struct LibRequires {
+  bool present = false;
+
+  bool others_may_read_own = false;   // *(Read,Own)
+  bool others_may_write_own = false;  // *(Write,Own)
+  // *(Read,Shared) parses but is informational: shared data is readable by
+  // construction. Shared *writes* are policy.
+  bool others_may_read_shared = true;
+  bool others_may_write_shared = false;  // *(Write,Shared)
+
+  bool others_may_call_any = false;       // *(Call, *)
+  std::set<std::string> callable_funcs;   // *(Call, <func>)
+};
+
+struct LibraryMeta {
+  std::string name;
+  LibBehavior behavior;
+  std::vector<ApiFunc> api;
+  LibRequires requires_spec;
+
+  // Serializes back to the paper's concrete syntax (round-trips Parse).
+  std::string ToString() const;
+};
+
+// Parses the DSL text for one library. `name` is the library's own name
+// (the DSL body does not repeat it).
+Result<LibraryMeta> ParseLibraryMeta(const std::string& name,
+                                     const std::string& text);
+
+// Convenience constructors for the in-tree micro-libraries (the metadata a
+// library author would write by hand; see paper §2 "created manually ...
+// a one-time and relatively low effort").
+LibraryMeta SchedulerMeta();      // The verified scheduler of the paper.
+LibraryMeta UnsafeCLibMeta(const std::string& name);  // Read(*);Write(*);Call *
+LibraryMeta NetStackMeta();
+LibraryMeta LibcMeta();
+LibraryMeta AllocMeta();
+LibraryMeta AppMeta(const std::string& name);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_METADATA_H_

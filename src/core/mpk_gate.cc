@@ -1,0 +1,60 @@
+#include "core/mpk_gate.h"
+
+#include "support/panic.h"
+
+namespace flexos {
+
+void MpkSharedStackGate::Cross(Machine& machine, const GateCrossing& crossing,
+                               const std::function<void()>& body) {
+  FLEXOS_CHECK(crossing.target_context != nullptr,
+               "MPK gate needs a target context");
+  ++machine.stats().gate_crossings;
+  const ExecContext caller = machine.context();
+
+  // Entry: scrub caller-saved registers, then WRPKRU into the target
+  // domain. The ExecContext swap carries the instrumentation flags.
+  machine.clock().Charge(machine.costs().register_clear);
+  ExecContext target = *crossing.target_context;
+  machine.context() = target;
+  machine.Wrpkru(target.pkru);
+
+  body();
+
+  // Exit: WRPKRU back and clear registers again (no data may leak).
+  machine.clock().Charge(machine.costs().register_clear);
+  machine.context() = caller;
+  machine.Wrpkru(caller.pkru);
+}
+
+void MpkSwitchedStackGate::Cross(Machine& machine,
+                                 const GateCrossing& crossing,
+                                 const std::function<void()>& body) {
+  FLEXOS_CHECK(crossing.target_context != nullptr,
+               "MPK gate needs a target context");
+  ++machine.stats().gate_crossings;
+  const ExecContext caller = machine.context();
+
+  // Entry: scrub registers, switch to the target compartment's stack, copy
+  // by-value arguments onto it, then WRPKRU.
+  machine.clock().Charge(machine.costs().register_clear);
+  machine.clock().Charge(machine.costs().stack_switch);
+  if (crossing.arg_bytes > 0) {
+    machine.ChargeMemOp(crossing.arg_bytes);
+  }
+  ExecContext target = *crossing.target_context;
+  machine.context() = target;
+  machine.Wrpkru(target.pkru);
+
+  body();
+
+  // Exit: copy the return value back, switch stacks, WRPKRU, scrub.
+  if (crossing.ret_bytes > 0) {
+    machine.ChargeMemOp(crossing.ret_bytes);
+  }
+  machine.clock().Charge(machine.costs().stack_switch);
+  machine.clock().Charge(machine.costs().register_clear);
+  machine.context() = caller;
+  machine.Wrpkru(caller.pkru);
+}
+
+}  // namespace flexos

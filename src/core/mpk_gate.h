@@ -1,0 +1,37 @@
+// Intel MPK gate backends (paper §3, "Intel MPK Backend"). Both flavors
+// write PKRU on entry and exit (modeled via Machine::Wrpkru, which the
+// protection checks in vmem/ actually honor).
+//
+//   Shared-stack (ERIM-like): heap/static memory isolated, thread stacks
+//   live in a domain shared by all compartments; crossing scrubs
+//   caller-saved registers but keeps the stack.
+//
+//   Switched-stack (HODOR-like): stacks are per-compartment too; crossing
+//   switches stacks and copies by-value arguments to the target stack,
+//   with shared stack data promoted to a shared heap.
+#ifndef FLEXOS_CORE_MPK_GATE_H_
+#define FLEXOS_CORE_MPK_GATE_H_
+
+#include "core/gate.h"
+
+namespace flexos {
+
+class MpkSharedStackGate final : public Gate {
+ public:
+  GateKind kind() const override { return GateKind::kMpkSharedStack; }
+
+  void Cross(Machine& machine, const GateCrossing& crossing,
+             const std::function<void()>& body) override;
+};
+
+class MpkSwitchedStackGate final : public Gate {
+ public:
+  GateKind kind() const override { return GateKind::kMpkSwitchedStack; }
+
+  void Cross(Machine& machine, const GateCrossing& crossing,
+             const std::function<void()>& body) override;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_MPK_GATE_H_

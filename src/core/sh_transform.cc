@@ -1,0 +1,131 @@
+#include "core/sh_transform.h"
+
+namespace flexos {
+
+std::string_view ShTechniqueName(ShTechnique technique) {
+  switch (technique) {
+    case ShTechnique::kAsan:
+      return "ASAN";
+    case ShTechnique::kDfi:
+      return "DFI";
+    case ShTechnique::kCfi:
+      return "CFI";
+    case ShTechnique::kStackProtector:
+      return "StackProtector";
+    case ShTechnique::kUbsan:
+      return "UBSAN";
+    case ShTechnique::kSafeStack:
+      return "SafeStack";
+  }
+  return "?";
+}
+
+LibraryMeta ApplyShTransform(const LibraryMeta& meta, ShTechnique technique,
+                             const ShAnalysis& analysis) {
+  LibraryMeta out = meta;
+  switch (technique) {
+    case ShTechnique::kCfi:
+      // Call(*) becomes the concrete target list recovered by control-flow
+      // analysis; runtime CFI checks enforce it.
+      if (out.behavior.calls_any) {
+        out.behavior.calls_any = false;
+        out.behavior.calls.insert(analysis.cfi_call_targets.begin(),
+                                  analysis.cfi_call_targets.end());
+      }
+      break;
+    case ShTechnique::kAsan:
+    case ShTechnique::kDfi:
+      // Writes(*) narrows to what the data-flow graph supports once the
+      // inserted checks bound every store.
+      if (out.behavior.writes_all) {
+        out.behavior.writes_all = false;
+        out.behavior.writes_own = true;
+        out.behavior.writes_shared = analysis.dfi_writes_shared;
+      }
+      if (out.behavior.reads_all && technique == ShTechnique::kAsan) {
+        // ASAN also bounds loads.
+        out.behavior.reads_all = false;
+        out.behavior.reads_own = true;
+        out.behavior.reads_shared = true;
+      }
+      break;
+    case ShTechnique::kStackProtector:
+    case ShTechnique::kUbsan:
+    case ShTechnique::kSafeStack:
+      // These harden the library internally without changing its declared
+      // external behavior; they still matter for cost modeling.
+      break;
+  }
+  return out;
+}
+
+std::vector<std::vector<LibVariant>> EnumerateShVariants(
+    const std::vector<LibraryMeta>& libs, const ShAnalysis& analysis) {
+  std::vector<std::vector<LibVariant>> variants;
+  variants.reserve(libs.size());
+  for (const LibraryMeta& lib : libs) {
+    std::vector<LibVariant> options;
+    options.push_back(LibVariant{.meta = lib, .applied = {}});
+
+    // Paper policy: Write(*) -> DFI/ASAN version; Call(*) -> CFI version.
+    const bool needs_dfi = lib.behavior.writes_all;
+    const bool needs_cfi = lib.behavior.calls_any;
+    if (needs_dfi || needs_cfi) {
+      LibraryMeta hardened = lib;
+      std::set<ShTechnique> applied;
+      if (needs_dfi) {
+        hardened = ApplyShTransform(hardened, ShTechnique::kAsan, analysis);
+        applied.insert(ShTechnique::kAsan);
+      }
+      if (needs_cfi) {
+        hardened = ApplyShTransform(hardened, ShTechnique::kCfi, analysis);
+        applied.insert(ShTechnique::kCfi);
+      }
+      options.push_back(
+          LibVariant{.meta = std::move(hardened), .applied = applied});
+    }
+    variants.push_back(std::move(options));
+  }
+  return variants;
+}
+
+std::vector<Deployment> EnumerateDeployments(
+    const std::vector<std::vector<LibVariant>>& variants,
+    bool exact_coloring) {
+  std::vector<Deployment> deployments;
+  const size_t n = variants.size();
+  std::vector<size_t> choice(n, 0);
+
+  for (;;) {
+    // Materialize this combination.
+    Deployment deployment;
+    deployment.chosen.reserve(n);
+    std::vector<LibraryMeta> metas;
+    metas.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      deployment.chosen.push_back(variants[i][choice[i]]);
+      metas.push_back(deployment.chosen.back().meta);
+    }
+    const auto edges = ConflictEdges(metas);
+    deployment.coloring =
+        exact_coloring ? ColorGraphExact(static_cast<int>(n), edges)
+                       : ColorGraphDsatur(static_cast<int>(n), edges);
+    deployments.push_back(std::move(deployment));
+
+    // Odometer increment over the choice vector.
+    size_t idx = 0;
+    while (idx < n) {
+      if (++choice[idx] < variants[idx].size()) {
+        break;
+      }
+      choice[idx] = 0;
+      ++idx;
+    }
+    if (idx == n) {
+      break;
+    }
+  }
+  return deployments;
+}
+
+}  // namespace flexos

@@ -1,0 +1,91 @@
+// Software-hardening (SH) metadata transformations (paper §2, "When to
+// Enable SH?"). Each SH technique is "a transformation that takes as input
+// a library definition and outputs a changed definition describing the
+// safety behavior of the library when the SH technique is enabled":
+//
+//   * CFI  : Call(*)  -> Call(<concrete list from control-flow analysis>)
+//   * DFI / ASAN : Write(*) -> Write(Own[,Shared]) per the data-flow graph
+//
+// EnumerateShVariants applies the paper's policy — "1) for each library
+// that writes to all memory, enable DFI/ASAN; 2) for each library that can
+// execute arbitrary code, enable CFI" — producing per-library hardened
+// variants whose combinations EnumerateDeployments colors one by one.
+#ifndef FLEXOS_CORE_SH_TRANSFORM_H_
+#define FLEXOS_CORE_SH_TRANSFORM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/coloring.h"
+#include "core/compat.h"
+#include "core/metadata.h"
+
+namespace flexos {
+
+enum class ShTechnique : uint8_t {
+  kAsan,            // Address sanitizer (redzones, quarantine).
+  kDfi,             // Data-flow integrity.
+  kCfi,             // Control-flow integrity.
+  kStackProtector,  // Canaries.
+  kUbsan,           // Undefined-behavior checks.
+  kSafeStack,       // Split safe/unsafe stacks.
+};
+
+std::string_view ShTechniqueName(ShTechnique technique);
+
+// Inputs a SH transformation may need from static analysis.
+struct ShAnalysis {
+  // CFI: the concrete call targets control-flow analysis recovered.
+  std::set<std::string> cfi_call_targets;
+  // DFI: whether the data-flow graph shows writes stay within own (and
+  // optionally shared) memory once checks are inserted.
+  bool dfi_writes_own_only = true;
+  bool dfi_writes_shared = true;
+};
+
+// Applies one technique to a library definition, returning the
+// transformed definition.
+LibraryMeta ApplyShTransform(const LibraryMeta& meta, ShTechnique technique,
+                             const ShAnalysis& analysis);
+
+// One buildable flavor of a library: original or hardened.
+struct LibVariant {
+  LibraryMeta meta;
+  std::set<ShTechnique> applied;  // Empty = original.
+
+  bool hardened() const { return !applied.empty(); }
+};
+
+// The per-library variant lists, in the input library order.
+std::vector<std::vector<LibVariant>> EnumerateShVariants(
+    const std::vector<LibraryMeta>& libs, const ShAnalysis& analysis);
+
+// One fully resolved deployment: a variant choice per library plus the
+// minimal coloring of the resulting conflict graph.
+struct Deployment {
+  std::vector<LibVariant> chosen;  // chosen[i] is libs[i]'s variant.
+  ColoringResult coloring;
+
+  int num_compartments() const { return coloring.num_colors; }
+  int num_hardened() const {
+    int count = 0;
+    for (const LibVariant& variant : chosen) {
+      if (variant.hardened()) {
+        ++count;
+      }
+    }
+    return count;
+  }
+};
+
+// Iterates every combination of library versions (paper §2: "We then
+// iterate through all combinations of such library versions and run the
+// graph coloring algorithm") and colors each. Exponential in the number of
+// libraries with variants; fine for LibOS-scale inputs.
+std::vector<Deployment> EnumerateDeployments(
+    const std::vector<std::vector<LibVariant>>& variants, bool exact_coloring);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_SH_TRANSFORM_H_

@@ -1,0 +1,35 @@
+#include "core/vm_gate.h"
+
+#include "support/panic.h"
+
+namespace flexos {
+
+void VmRpcGate::Cross(Machine& machine, const GateCrossing& crossing,
+                      const std::function<void()>& body) {
+  FLEXOS_CHECK(crossing.target_context != nullptr,
+               "VM gate needs a target context");
+  ++machine.stats().gate_crossings;
+  const ExecContext caller = machine.context();
+
+  // Request: marshal arguments into the shared ring, notify the callee VM
+  // (vmexit + event + vmentry on the callee side).
+  if (crossing.arg_bytes > 0) {
+    machine.ChargeMemOp(crossing.arg_bytes);
+  }
+  machine.VmExitEnter();
+
+  {
+    ExecContext target = *crossing.target_context;
+    machine.context() = target;
+    body();
+  }
+
+  // Response: marshal the return value back, notify the caller VM.
+  if (crossing.ret_bytes > 0) {
+    machine.ChargeMemOp(crossing.ret_bytes);
+  }
+  machine.VmExitEnter();
+  machine.context() = caller;
+}
+
+}  // namespace flexos

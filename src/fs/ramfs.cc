@@ -1,0 +1,167 @@
+#include "fs/ramfs.h"
+
+#include <algorithm>
+
+namespace flexos {
+
+RamFs::~RamFs() {
+  for (auto& [path, file] : files_) {
+    ReleaseChunks(&file);
+  }
+}
+
+void RamFs::LibcCopy(const std::function<void()>& body) {
+  if (router_ != nullptr) {
+    router_->CallLeaf(kLibFs, kLibLibc, body);
+  } else {
+    body();
+  }
+}
+
+void RamFs::ReleaseChunks(File* file) {
+  for (Gaddr chunk : file->chunks) {
+    (void)allocator_.Free(chunk);
+  }
+  file->chunks.clear();
+  file->size = 0;
+}
+
+Status RamFs::Reserve(File* file, uint64_t size) {
+  const uint64_t need = (size + kChunkBytes - 1) / kChunkBytes;
+  while (file->chunks.size() < need) {
+    FLEXOS_ASSIGN_OR_RETURN(Gaddr chunk,
+                            allocator_.Allocate(kChunkBytes, kShadowGranule));
+    file->chunks.push_back(chunk);
+  }
+  return Status::Ok();
+}
+
+Status RamFs::WriteFile(const std::string& path, Gaddr src, uint64_t size) {
+  if (path.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty path");
+  }
+  File& file = files_[path];
+  // Truncate then write (keeping chunks already allocated).
+  file.size = 0;
+  FLEXOS_RETURN_IF_ERROR(Reserve(&file, size));
+  uint64_t done = 0;
+  while (done < size) {
+    const uint64_t span = std::min(size - done, kChunkBytes);
+    const Gaddr chunk = file.chunks[done / kChunkBytes];
+    LibcCopy([&] { space_.Copy(chunk, src + done, span); });
+    done += span;
+  }
+  file.size = size;
+  ++stats_.writes;
+  stats_.bytes_written += size;
+  return Status::Ok();
+}
+
+Status RamFs::Append(const std::string& path, Gaddr src, uint64_t size) {
+  if (path.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty path");
+  }
+  File& file = files_[path];
+  FLEXOS_RETURN_IF_ERROR(Reserve(&file, file.size + size));
+  uint64_t done = 0;
+  while (done < size) {
+    const uint64_t pos = file.size + done;
+    const uint64_t in_chunk = pos % kChunkBytes;
+    const uint64_t span =
+        std::min(size - done, kChunkBytes - in_chunk);
+    const Gaddr chunk = file.chunks[pos / kChunkBytes];
+    LibcCopy([&] { space_.Copy(chunk + in_chunk, src + done, span); });
+    done += span;
+  }
+  file.size += size;
+  ++stats_.writes;
+  stats_.bytes_written += size;
+  return Status::Ok();
+}
+
+Result<uint64_t> RamFs::ReadFile(const std::string& path, uint64_t offset,
+                                 Gaddr dst, uint64_t cap) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, "no such file: " + path);
+  }
+  const File& file = it->second;
+  if (offset >= file.size) {
+    return uint64_t{0};
+  }
+  const uint64_t to_read = std::min(cap, file.size - offset);
+  uint64_t done = 0;
+  while (done < to_read) {
+    const uint64_t pos = offset + done;
+    const uint64_t in_chunk = pos % kChunkBytes;
+    const uint64_t span = std::min(to_read - done, kChunkBytes - in_chunk);
+    const Gaddr chunk = file.chunks[pos / kChunkBytes];
+    LibcCopy([&] { space_.Copy(dst + done, chunk + in_chunk, span); });
+    done += span;
+  }
+  ++stats_.reads;
+  stats_.bytes_read += to_read;
+  return to_read;
+}
+
+Result<uint64_t> RamFs::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, "no such file: " + path);
+  }
+  return it->second.size;
+}
+
+Status RamFs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, "no such file: " + path);
+  }
+  ReleaseChunks(&it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> RamFs::List() const {
+  std::vector<std::string> paths;
+  paths.reserve(files_.size());
+  for (const auto& [path, file] : files_) {
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+Status RamFs::WriteFileFromHost(const std::string& path,
+                                const std::string& content) {
+  // Stage through a transient guest buffer so charging matches guest I/O.
+  FLEXOS_ASSIGN_OR_RETURN(
+      Gaddr staging,
+      allocator_.Allocate(std::max<uint64_t>(content.size(), 1)));
+  if (!content.empty()) {
+    space_.Write(staging, content.data(), content.size());
+  }
+  const Status status = WriteFile(path, staging, content.size());
+  (void)allocator_.Free(staging);
+  return status;
+}
+
+Result<std::string> RamFs::ReadFileToHost(const std::string& path) {
+  FLEXOS_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  std::string content(size, '\0');
+  if (size == 0) {
+    return content;
+  }
+  FLEXOS_ASSIGN_OR_RETURN(
+      Gaddr staging, allocator_.Allocate(std::max<uint64_t>(size, 1)));
+  Result<uint64_t> read = ReadFile(path, 0, staging, size);
+  if (read.ok()) {
+    space_.Read(staging, content.data(), size);
+  }
+  (void)allocator_.Free(staging);
+  if (!read.ok()) {
+    return read.status();
+  }
+  return content;
+}
+
+}  // namespace flexos

@@ -1,0 +1,93 @@
+// RamFs: the in-memory filesystem micro-library (Unikraft's ramfs is the
+// model; the FlexOS follow-up work compartmentalizes exactly this library).
+// File contents live in guest memory as 4 KiB chunks from the library's
+// compartment allocator; the name index is host-side metadata, like every
+// allocator's bookkeeping in this simulator. Bulk copies route through
+// LibC leaf calls so a hardened LibC taxes file I/O the same way it taxes
+// socket I/O.
+#ifndef FLEXOS_FS_RAMFS_H_
+#define FLEXOS_FS_RAMFS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "support/gate_router.h"
+
+namespace flexos {
+
+struct RamFsStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+class RamFs {
+ public:
+  static constexpr uint64_t kChunkBytes = 4096;
+
+  // `router` may be null (direct calls); with a router, bulk copies are
+  // LibC leaf calls.
+  RamFs(Machine& machine, AddressSpace& space, Allocator& allocator,
+        GateRouter* router = nullptr)
+      : machine_(machine), space_(space), allocator_(allocator),
+        router_(router) {}
+
+  ~RamFs();
+
+  RamFs(const RamFs&) = delete;
+  RamFs& operator=(const RamFs&) = delete;
+
+  // Creates or truncates `path` and writes [src, src+size) into it.
+  Status WriteFile(const std::string& path, Gaddr src, uint64_t size);
+
+  // Appends [src, src+size) to an existing (or new) file.
+  Status Append(const std::string& path, Gaddr src, uint64_t size);
+
+  // Reads up to `cap` bytes starting at `offset` into [dst, dst+cap).
+  // Returns bytes read (0 at/after EOF). kNotFound for missing files.
+  Result<uint64_t> ReadFile(const std::string& path, uint64_t offset,
+                            Gaddr dst, uint64_t cap);
+
+  Result<uint64_t> FileSize(const std::string& path) const;
+  bool Exists(const std::string& path) const {
+    return files_.count(path) != 0;
+  }
+  Status Delete(const std::string& path);
+
+  // Paths in lexicographic order.
+  std::vector<std::string> List() const;
+
+  // Host-side convenience (loaders, tests): contents pass through the same
+  // charged guest-memory path.
+  Status WriteFileFromHost(const std::string& path,
+                           const std::string& content);
+  Result<std::string> ReadFileToHost(const std::string& path);
+
+  uint64_t file_count() const { return files_.size(); }
+  const RamFsStats& stats() const { return stats_; }
+
+ private:
+  struct File {
+    std::vector<Gaddr> chunks;
+    uint64_t size = 0;
+  };
+
+  // Ensures `file` has capacity for `size` bytes.
+  Status Reserve(File* file, uint64_t size);
+  void ReleaseChunks(File* file);
+  void LibcCopy(const std::function<void()>& body);
+
+  Machine& machine_;
+  AddressSpace& space_;
+  Allocator& allocator_;
+  GateRouter* router_;
+  std::map<std::string, File> files_;
+  RamFsStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_FS_RAMFS_H_

@@ -1,0 +1,21 @@
+#include "hw/clock.h"
+
+namespace flexos {
+
+uint64_t Clock::NowNanos() const {
+  // cycles * 1e9 / freq, avoiding overflow for large cycle counts by
+  // splitting into whole seconds and remainder.
+  const uint64_t whole_seconds = cycles_ / freq_hz_;
+  const uint64_t remainder_cycles = cycles_ % freq_hz_;
+  return whole_seconds * 1'000'000'000ULL +
+         remainder_cycles * 1'000'000'000ULL / freq_hz_;
+}
+
+uint64_t Clock::NanosToCycles(uint64_t nanos) const {
+  const uint64_t whole_seconds = nanos / 1'000'000'000ULL;
+  const uint64_t remainder_nanos = nanos % 1'000'000'000ULL;
+  return whole_seconds * freq_hz_ +
+         (remainder_nanos * freq_hz_ + 999'999'999ULL) / 1'000'000'000ULL;
+}
+
+}  // namespace flexos

@@ -1,0 +1,51 @@
+// Virtual cycle clock. All modeled work charges cycles here; wall-clock time
+// never enters the simulation, so results are deterministic and
+// host-independent.
+#ifndef FLEXOS_HW_CLOCK_H_
+#define FLEXOS_HW_CLOCK_H_
+
+#include <cstdint>
+
+namespace flexos {
+
+class Clock {
+ public:
+  // Defaults to the paper's testbed CPU, a Xeon Silver 4110 at 2.1 GHz.
+  static constexpr uint64_t kDefaultFreqHz = 2'100'000'000ULL;
+
+  explicit Clock(uint64_t freq_hz = kDefaultFreqHz) : freq_hz_(freq_hz) {}
+
+  void Charge(uint64_t cycles) { cycles_ += cycles; }
+
+  // Jumps virtual time forward to an absolute cycle count (idle skip).
+  // No-op if `abs_cycles` is in the past.
+  void AdvanceTo(uint64_t abs_cycles) {
+    if (abs_cycles > cycles_) {
+      cycles_ = abs_cycles;
+    }
+  }
+
+  uint64_t cycles() const { return cycles_; }
+  uint64_t freq_hz() const { return freq_hz_; }
+
+  // Current virtual time in nanoseconds (rounded down).
+  uint64_t NowNanos() const;
+
+  // Current virtual time in seconds.
+  double NowSeconds() const {
+    return static_cast<double>(cycles_) / static_cast<double>(freq_hz_);
+  }
+
+  // Converts a duration to cycles (rounded up so durations are never free).
+  uint64_t NanosToCycles(uint64_t nanos) const;
+
+  void Reset() { cycles_ = 0; }
+
+ private:
+  uint64_t freq_hz_;
+  uint64_t cycles_ = 0;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_HW_CLOCK_H_

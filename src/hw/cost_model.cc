@@ -1,0 +1,4 @@
+#include "hw/cost_model.h"
+
+// CostModel is a plain aggregate; this translation unit exists so the target
+// has a stable home if calibration helpers grow later.

@@ -1,0 +1,24 @@
+#include "hw/machine.h"
+
+namespace flexos {
+
+void Machine::Wrpkru(Pkru pkru) {
+  clock_.Charge(costs_.wrpkru);
+  ++stats_.wrpkru_count;
+  context_.pkru = pkru;
+}
+
+void Machine::VmExitEnter() {
+  clock_.Charge(2 * costs_.vmexit + costs_.vm_notify);
+  ++stats_.vmexit_count;
+}
+
+void Machine::ChargeCompute(uint64_t cycles) { clock_.Charge(cycles); }
+
+void Machine::ChargeMemOp(uint64_t bytes) {
+  const uint64_t raw = costs_.CopyCycles(bytes);
+  clock_.Charge(static_cast<uint64_t>(static_cast<double>(raw) *
+                                      context_.mem_cost_multiplier));
+}
+
+}  // namespace flexos

@@ -1,0 +1,99 @@
+// The simulated machine: one virtual CPU with a cycle clock, a PKRU
+// register, and the execution context the access layer consults on every
+// guest memory operation. Address spaces (vmem/) and devices (net/) attach
+// to a Machine.
+#ifndef FLEXOS_HW_MACHINE_H_
+#define FLEXOS_HW_MACHINE_H_
+
+#include <cstdint>
+
+#include "hw/clock.h"
+#include "hw/cost_model.h"
+#include "hw/pkru.h"
+
+namespace flexos {
+
+// Per-"instruction-stream" execution state. Gates swap this on every
+// compartment crossing; software hardening sets the instrumentation fields
+// for the duration of hardened-library code.
+struct ExecContext {
+  Pkru pkru = Pkru::AllowAll();
+  // Multiplier on guest memory-op costs (1.0 = uninstrumented; the SH value
+  // comes from CostModel::sh_mem_multiplier).
+  double mem_cost_multiplier = 1.0;
+  // Whether ASAN-lite shadow checks are active for this stream.
+  bool shadow_checks = false;
+  // Compartment executing now; -1 before an image is entered.
+  int compartment = -1;
+};
+
+struct MachineStats {
+  uint64_t wrpkru_count = 0;
+  uint64_t vmexit_count = 0;
+  uint64_t gate_crossings = 0;
+  uint64_t traps = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(uint64_t freq_hz = Clock::kDefaultFreqHz,
+                   CostModel costs = CostModel{})
+      : clock_(freq_hz), costs_(costs) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Clock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+  const CostModel& costs() const { return costs_; }
+  CostModel& mutable_costs() { return costs_; }
+
+  ExecContext& context() { return context_; }
+  const ExecContext& context() const { return context_; }
+
+  // Models the WRPKRU instruction: charges its cost and installs the value.
+  void Wrpkru(Pkru pkru);
+
+  // Models a VM exit + re-entry pair plus the inter-VM notification; used by
+  // the VM/EPT gate backend.
+  void VmExitEnter();
+
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+
+  // Charges `cycles` of modeled computation. Compute charges are
+  // instrumentation-insensitive: ASAN-class hardening taxes memory
+  // operations (ChargeMemOp), not stall/branch-dominated fixed work.
+  void ChargeCompute(uint64_t cycles);
+
+  // Charges a guest memory operation covering `bytes` bytes.
+  void ChargeMemOp(uint64_t bytes);
+
+ private:
+  Clock clock_;
+  CostModel costs_;
+  ExecContext context_;
+  MachineStats stats_;
+};
+
+// RAII guard that installs an ExecContext and restores the previous one;
+// used by gates and the SH layer.
+class ScopedExecContext {
+ public:
+  ScopedExecContext(Machine& machine, const ExecContext& context)
+      : machine_(machine), saved_(machine.context()) {
+    machine_.context() = context;
+  }
+  ~ScopedExecContext() { machine_.context() = saved_; }
+
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  Machine& machine_;
+  ExecContext saved_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_HW_MACHINE_H_

@@ -1,0 +1,27 @@
+#include "hw/pkru.h"
+
+#include "support/strings.h"
+
+namespace flexos {
+
+std::string Pkru::ToString() const {
+  std::string rw;
+  std::string ro;
+  for (Pkey key = 0; key < kNumPkeys; ++key) {
+    if (CanWrite(key)) {
+      if (!rw.empty()) {
+        rw += ',';
+      }
+      rw += std::to_string(key);
+    } else if (CanRead(key)) {
+      if (!ro.empty()) {
+        ro += ',';
+      }
+      ro += std::to_string(key);
+    }
+  }
+  return StrFormat("pkru{rw:%s r:%s}", rw.empty() ? "-" : rw.c_str(),
+                   ro.empty() ? "-" : ro.c_str());
+}
+
+}  // namespace flexos

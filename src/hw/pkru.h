@@ -1,0 +1,61 @@
+// Model of the x86 PKRU register: 16 protection keys, 2 bits each
+// (AD = access disable, WD = write disable), mirroring Intel SDM Vol. 3A
+// §4.6.2. Key 0 conventionally tags memory accessible to everyone.
+#ifndef FLEXOS_HW_PKRU_H_
+#define FLEXOS_HW_PKRU_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexos {
+
+using Pkey = uint8_t;
+inline constexpr Pkey kNumPkeys = 16;
+
+class Pkru {
+ public:
+  // All keys readable and writable (PKRU = 0).
+  constexpr Pkru() : value_(0) {}
+  constexpr explicit Pkru(uint32_t raw) : value_(raw) {}
+
+  static constexpr Pkru AllowAll() { return Pkru(0); }
+
+  // Every key fully disabled (both AD and WD set for all 16 keys).
+  static constexpr Pkru DenyAll() { return Pkru(0xffffffffu); }
+
+  uint32_t raw() const { return value_; }
+
+  bool CanRead(Pkey key) const { return (value_ & AdBit(key)) == 0; }
+
+  bool CanWrite(Pkey key) const {
+    return (value_ & (AdBit(key) | WdBit(key))) == 0;
+  }
+
+  // Grants or revokes access for one key and returns the updated value
+  // (value semantics; PKRU is small).
+  Pkru WithAccess(Pkey key, bool allow_read, bool allow_write) const {
+    uint32_t v = value_ | AdBit(key) | WdBit(key);
+    if (allow_read) {
+      v &= ~AdBit(key);
+    }
+    if (allow_write) {
+      v &= ~(AdBit(key) | WdBit(key));
+    }
+    return Pkru(v);
+  }
+
+  friend bool operator==(Pkru a, Pkru b) { return a.value_ == b.value_; }
+
+  // e.g. "pkru{rw:0,2 r:1}" — keys absent from the list are inaccessible.
+  std::string ToString() const;
+
+ private:
+  static constexpr uint32_t AdBit(Pkey key) { return 1u << (2 * key); }
+  static constexpr uint32_t WdBit(Pkey key) { return 1u << (2 * key + 1); }
+
+  uint32_t value_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_HW_PKRU_H_

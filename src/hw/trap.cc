@@ -1,0 +1,56 @@
+#include "hw/trap.h"
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace flexos {
+
+std::string_view TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kPageFault:
+      return "PAGE_FAULT";
+    case TrapKind::kProtectionFault:
+      return "PROTECTION_FAULT";
+    case TrapKind::kAsanViolation:
+      return "ASAN_VIOLATION";
+    case TrapKind::kCfiViolation:
+      return "CFI_VIOLATION";
+    case TrapKind::kStackOverflow:
+      return "STACK_OVERFLOW";
+    case TrapKind::kContractViolation:
+      return "CONTRACT_VIOLATION";
+    case TrapKind::kUbsanViolation:
+      return "UBSAN_VIOLATION";
+  }
+  return "UNKNOWN_TRAP";
+}
+
+namespace {
+
+const char* AccessName(AccessKind access) {
+  switch (access) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TrapInfo::ToString() const {
+  return StrFormat("%s: %s at gaddr=0x%llx pkey=%u pkru=0x%08x%s%s",
+                   std::string(TrapKindName(kind)).c_str(), AccessName(access),
+                   static_cast<unsigned long long>(guest_addr), pkey, pkru,
+                   detail.empty() ? "" : " -- ", detail.c_str());
+}
+
+void RaiseTrap(TrapInfo info) {
+  FLEXOS_DEBUG("trap raised: %s", info.ToString().c_str());
+  throw TrapException(std::move(info));
+}
+
+}  // namespace flexos

@@ -1,0 +1,56 @@
+// Simulated CPU traps. These are the *only* exceptions in FlexOS: they model
+// asynchronous hardware faults (#PF/#GP, PKU violations) and the synchronous
+// aborts software hardening inserts (ASAN, CFI, stack protector, contract
+// checks). They are thrown by the checked access layer and caught at
+// compartment or thread boundaries — the places a real fault would be
+// delivered. Expected errors use Status/Result (support/status.h).
+#ifndef FLEXOS_HW_TRAP_H_
+#define FLEXOS_HW_TRAP_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexos {
+
+enum class TrapKind : uint8_t {
+  kPageFault,          // Access to an unmapped guest page.
+  kProtectionFault,    // MPK/PKRU or write-protection violation.
+  kAsanViolation,      // Redzone / use-after-free caught by ASAN-lite.
+  kCfiViolation,       // Indirect-call target outside the allowed set.
+  kStackOverflow,      // Guest stack guard page hit.
+  kContractViolation,  // Verified-scheduler pre/post-condition failure.
+  kUbsanViolation,     // Modeled undefined-behavior check failure.
+};
+
+std::string_view TrapKindName(TrapKind kind);
+
+enum class AccessKind : uint8_t { kRead, kWrite, kExecute };
+
+struct TrapInfo {
+  TrapKind kind;
+  AccessKind access = AccessKind::kRead;
+  uint64_t guest_addr = 0;  // Faulting guest address, if meaningful.
+  uint8_t pkey = 0;         // Protection key of the page, if meaningful.
+  uint32_t pkru = 0;        // PKRU at fault time, if meaningful.
+  std::string detail;       // Free-form context for diagnostics.
+
+  std::string ToString() const;
+};
+
+// Thrown to model a trap. Catch sites: gate dispatch, thread trampolines,
+// and tests that assert fault behavior.
+class TrapException {
+ public:
+  explicit TrapException(TrapInfo info) : info_(std::move(info)) {}
+  const TrapInfo& info() const { return info_; }
+
+ private:
+  TrapInfo info_;
+};
+
+// Raises a trap (throws TrapException). Marked noreturn; never returns.
+[[noreturn]] void RaiseTrap(TrapInfo info);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_HW_TRAP_H_

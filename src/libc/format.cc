@@ -1,0 +1,57 @@
+#include "libc/format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace flexos {
+
+uint64_t GFormat(AddressSpace& space, Gaddr dst, uint64_t cap,
+                 const char* format, ...) {
+  if (cap == 0) {
+    return 0;
+  }
+  va_list args;
+  va_start(args, format);
+  std::vector<char> buffer(cap);
+  const int written = std::vsnprintf(buffer.data(), cap, format, args);
+  va_end(args);
+  if (written < 0) {
+    return 0;
+  }
+  const uint64_t payload =
+      std::min<uint64_t>(static_cast<uint64_t>(written), cap - 1);
+  space.Write(dst, buffer.data(), payload + 1);  // Include the NUL.
+  return payload;
+}
+
+std::optional<int64_t> GParseDecimal(AddressSpace& space, Gaddr src,
+                                     uint64_t max) {
+  int64_t value = 0;
+  bool negative = false;
+  bool any_digit = false;
+  uint64_t index = 0;
+  if (max == 0) {
+    return std::nullopt;
+  }
+  uint8_t byte = space.ReadT<uint8_t>(src);
+  if (byte == '-') {
+    negative = true;
+    ++index;
+  }
+  while (index < max) {
+    byte = space.ReadT<uint8_t>(src + index);
+    if (byte < '0' || byte > '9') {
+      break;
+    }
+    value = value * 10 + (byte - '0');
+    any_digit = true;
+    ++index;
+  }
+  if (!any_digit) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+}  // namespace flexos

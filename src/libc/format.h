@@ -1,0 +1,28 @@
+// Formatting into and parsing out of guest memory (the RESP protocol code
+// in apps/ builds on these).
+#ifndef FLEXOS_LIBC_FORMAT_H_
+#define FLEXOS_LIBC_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+// snprintf-style formatting into guest memory at `dst` (at most `cap`
+// bytes including the terminating NUL). Returns the number of payload
+// bytes written (excluding NUL).
+uint64_t GFormat(AddressSpace& space, Gaddr dst, uint64_t cap,
+                 const char* format, ...)
+    __attribute__((format(printf, 4, 5)));
+
+// Parses a decimal integer from guest memory (up to `max` bytes, stops at
+// the first non-digit). Returns nullopt if no digit was found.
+std::optional<int64_t> GParseDecimal(AddressSpace& space, Gaddr src,
+                                     uint64_t max);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_LIBC_FORMAT_H_

@@ -1,0 +1,67 @@
+#include "libc/gstring.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace flexos {
+namespace {
+
+constexpr uint64_t kChunk = 256;
+
+}  // namespace
+
+void GMemcpy(AddressSpace& space, Gaddr dst, Gaddr src, uint64_t size) {
+  space.Copy(dst, src, size);
+}
+
+void GMemset(AddressSpace& space, Gaddr dst, uint8_t value, uint64_t size) {
+  space.Fill(dst, value, size);
+}
+
+int GMemcmp(AddressSpace& space, Gaddr a, Gaddr b, uint64_t size) {
+  uint8_t buf_a[kChunk];
+  uint8_t buf_b[kChunk];
+  uint64_t done = 0;
+  while (done < size) {
+    const uint64_t span = std::min(size - done, kChunk);
+    space.Read(a + done, buf_a, span);
+    space.Read(b + done, buf_b, span);
+    const int cmp = std::memcmp(buf_a, buf_b, span);
+    if (cmp != 0) {
+      return cmp;
+    }
+    done += span;
+  }
+  return 0;
+}
+
+uint64_t GStrlen(AddressSpace& space, Gaddr str, uint64_t max) {
+  uint8_t buf[kChunk];
+  uint64_t done = 0;
+  while (done < max) {
+    const uint64_t span = std::min(max - done, kChunk);
+    space.Read(str + done, buf, span);
+    for (uint64_t i = 0; i < span; ++i) {
+      if (buf[i] == '\0') {
+        return done + i;
+      }
+    }
+    done += span;
+  }
+  return max;
+}
+
+void GStrcpyIn(AddressSpace& space, Gaddr dst, const std::string& value) {
+  space.Write(dst, value.c_str(), value.size() + 1);
+}
+
+std::string GStrOut(AddressSpace& space, Gaddr src, uint64_t max) {
+  const uint64_t len = GStrlen(space, src, max);
+  std::string out(len, '\0');
+  if (len > 0) {
+    space.Read(src, out.data(), len);
+  }
+  return out;
+}
+
+}  // namespace flexos

@@ -1,0 +1,36 @@
+// Guest-memory string and memory routines — the FlexOS mini-libc. All
+// routines go through the checked access layer, so they are subject to PKRU
+// and shadow checks and charge modeled cycles (instrumented compartments
+// automatically pay the SH multiplier).
+#ifndef FLEXOS_LIBC_GSTRING_H_
+#define FLEXOS_LIBC_GSTRING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+// memcpy within one guest address space (regions must not overlap).
+void GMemcpy(AddressSpace& space, Gaddr dst, Gaddr src, uint64_t size);
+
+// memset.
+void GMemset(AddressSpace& space, Gaddr dst, uint8_t value, uint64_t size);
+
+// memcmp: <0, 0, >0 like the C function.
+int GMemcmp(AddressSpace& space, Gaddr a, Gaddr b, uint64_t size);
+
+// strlen of a NUL-terminated guest string, scanning at most `max` bytes.
+// Returns max if no NUL was found.
+uint64_t GStrlen(AddressSpace& space, Gaddr str, uint64_t max);
+
+// Copies a host string (including NUL) into guest memory.
+void GStrcpyIn(AddressSpace& space, Gaddr dst, const std::string& value);
+
+// Reads a NUL-terminated guest string of at most `max` bytes.
+std::string GStrOut(AddressSpace& space, Gaddr src, uint64_t max);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_LIBC_GSTRING_H_

@@ -1,0 +1,125 @@
+#include "libc/msg_queue.h"
+
+namespace flexos {
+namespace {
+
+constexpr uint32_t kHeaderBytes = 8;  // Per-slot length header (u32 + pad).
+
+}  // namespace
+
+MsgQueue::MsgQueue(Scheduler& scheduler, Allocator& allocator,
+                   std::string name, uint32_t depth, uint32_t max_msg_bytes,
+                   GateRouter* router)
+    : scheduler_(scheduler),
+      allocator_(allocator),
+      name_(std::move(name)),
+      depth_(depth),
+      max_msg_bytes_(max_msg_bytes),
+      slots_free_(scheduler, name_ + ".free", depth, router),
+      msgs_ready_(scheduler, name_ + ".ready", 0, router) {}
+
+Result<std::unique_ptr<MsgQueue>> MsgQueue::Create(
+    Scheduler& scheduler, Allocator& allocator, std::string name,
+    uint32_t depth, uint32_t max_msg_bytes, GateRouter* router) {
+  if (depth == 0 || max_msg_bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "queue depth and message size must be positive");
+  }
+  auto queue = std::unique_ptr<MsgQueue>(new MsgQueue(
+      scheduler, allocator, std::move(name), depth, max_msg_bytes, router));
+  const uint64_t bytes =
+      static_cast<uint64_t>(depth) * (kHeaderBytes + max_msg_bytes);
+  FLEXOS_ASSIGN_OR_RETURN(queue->storage_,
+                          allocator.Allocate(bytes, kShadowGranule));
+  return queue;
+}
+
+MsgQueue::~MsgQueue() {
+  if (storage_ != 0) {
+    (void)allocator_.Free(storage_);
+  }
+}
+
+Gaddr MsgQueue::SlotHeader(uint32_t index) const {
+  return storage_ +
+         static_cast<uint64_t>(index) * (kHeaderBytes + max_msg_bytes_);
+}
+
+Gaddr MsgQueue::SlotPayload(uint32_t index) const {
+  return SlotHeader(index) + kHeaderBytes;
+}
+
+Status MsgQueue::Send(Gaddr addr, uint32_t size) {
+  if (size > max_msg_bytes_) {
+    return Status(ErrorCode::kInvalidArgument, "message exceeds slot size");
+  }
+  slots_free_.Wait();
+  const uint32_t slot = (head_ + count_) % depth_;
+  AddressSpace& space = allocator_.space();
+  space.WriteT<uint32_t>(SlotHeader(slot), size);
+  if (size > 0) {
+    space.Copy(SlotPayload(slot), addr, size);
+  }
+  ++count_;
+  ++messages_sent_;
+  msgs_ready_.Signal();
+  return Status::Ok();
+}
+
+Status MsgQueue::TrySend(Gaddr addr, uint32_t size) {
+  if (size > max_msg_bytes_) {
+    return Status(ErrorCode::kInvalidArgument, "message exceeds slot size");
+  }
+  if (!slots_free_.TryWait()) {
+    return Status(ErrorCode::kWouldBlock, "queue full");
+  }
+  const uint32_t slot = (head_ + count_) % depth_;
+  AddressSpace& space = allocator_.space();
+  space.WriteT<uint32_t>(SlotHeader(slot), size);
+  if (size > 0) {
+    space.Copy(SlotPayload(slot), addr, size);
+  }
+  ++count_;
+  ++messages_sent_;
+  msgs_ready_.Signal();
+  return Status::Ok();
+}
+
+Result<uint32_t> MsgQueue::Recv(Gaddr addr, uint32_t cap) {
+  msgs_ready_.Wait();
+  AddressSpace& space = allocator_.space();
+  const uint32_t size = space.ReadT<uint32_t>(SlotHeader(head_));
+  if (size > cap) {
+    // Leave the message queued; the caller's buffer is too small.
+    msgs_ready_.Signal();
+    return Status(ErrorCode::kOutOfRange, "buffer smaller than message");
+  }
+  if (size > 0) {
+    space.Copy(addr, SlotPayload(head_), size);
+  }
+  head_ = (head_ + 1) % depth_;
+  --count_;
+  slots_free_.Signal();
+  return size;
+}
+
+Result<uint32_t> MsgQueue::TryRecv(Gaddr addr, uint32_t cap) {
+  if (!msgs_ready_.TryWait()) {
+    return Status(ErrorCode::kWouldBlock, "queue empty");
+  }
+  AddressSpace& space = allocator_.space();
+  const uint32_t size = space.ReadT<uint32_t>(SlotHeader(head_));
+  if (size > cap) {
+    msgs_ready_.Signal();
+    return Status(ErrorCode::kOutOfRange, "buffer smaller than message");
+  }
+  if (size > 0) {
+    space.Copy(addr, SlotPayload(head_), size);
+  }
+  head_ = (head_ + 1) % depth_;
+  --count_;
+  slots_free_.Signal();
+  return size;
+}
+
+}  // namespace flexos

@@ -1,0 +1,80 @@
+// Bounded message queue micro-library — one of the paper's three named
+// example micro-libs ("a scheduler, a memory allocator or a message queue
+// are all micro-libs"). Messages live in guest memory; blocking uses LibC
+// semaphores, so cross-compartment producers/consumers pay gate crossings
+// exactly like the netstack's wait queues do.
+#ifndef FLEXOS_LIBC_MSG_QUEUE_H_
+#define FLEXOS_LIBC_MSG_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "alloc/allocator.h"
+#include "libc/semaphore.h"
+#include "support/gate_router.h"
+
+namespace flexos {
+
+class MsgQueue {
+ public:
+  // Creates a queue holding up to `depth` messages of at most
+  // `max_msg_bytes` each; storage comes from `allocator`'s compartment.
+  static Result<std::unique_ptr<MsgQueue>> Create(
+      Scheduler& scheduler, Allocator& allocator, std::string name,
+      uint32_t depth, uint32_t max_msg_bytes, GateRouter* router = nullptr);
+
+  ~MsgQueue();
+
+  MsgQueue(const MsgQueue&) = delete;
+  MsgQueue& operator=(const MsgQueue&) = delete;
+
+  // Copies [addr, addr+size) into the queue; blocks while full.
+  // size must be <= max_msg_bytes.
+  Status Send(Gaddr addr, uint32_t size);
+
+  // Non-blocking variant; kWouldBlock when full.
+  Status TrySend(Gaddr addr, uint32_t size);
+
+  // Blocks until a message is available; copies it to [addr, addr+cap)
+  // and returns its full size (kOutOfRange if cap is too small — the
+  // message is left queued).
+  Result<uint32_t> Recv(Gaddr addr, uint32_t cap);
+
+  // Non-blocking variant; kWouldBlock when empty.
+  Result<uint32_t> TryRecv(Gaddr addr, uint32_t cap);
+
+  uint32_t depth() const { return depth_; }
+  uint32_t max_msg_bytes() const { return max_msg_bytes_; }
+  uint32_t size() const { return count_; }
+  bool Empty() const { return count_ == 0; }
+  bool Full() const { return count_ == depth_; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  MsgQueue(Scheduler& scheduler, Allocator& allocator, std::string name,
+           uint32_t depth, uint32_t max_msg_bytes, GateRouter* router);
+
+  // Guest address of slot i's payload / its length header.
+  Gaddr SlotPayload(uint32_t index) const;
+  Gaddr SlotHeader(uint32_t index) const;
+
+  Scheduler& scheduler_;
+  Allocator& allocator_;
+  std::string name_;
+  uint32_t depth_;
+  uint32_t max_msg_bytes_;
+  Gaddr storage_ = 0;
+
+  uint32_t head_ = 0;  // Next slot to receive from.
+  uint32_t count_ = 0;
+  uint64_t messages_sent_ = 0;
+
+  Semaphore slots_free_;
+  Semaphore msgs_ready_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_LIBC_MSG_QUEUE_H_

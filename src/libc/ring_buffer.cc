@@ -1,0 +1,105 @@
+#include "libc/ring_buffer.h"
+
+#include <algorithm>
+
+namespace flexos {
+
+RingBuffer RingBuffer::Create(AddressSpace& space, Gaddr base,
+                              uint64_t capacity) {
+  FLEXOS_CHECK(capacity > 0, "ring capacity must be positive");
+  space.WriteT<uint64_t>(base + kHeadOff, 0);
+  space.WriteT<uint64_t>(base + kTailOff, 0);
+  space.WriteT<uint64_t>(base + kCapOff, capacity);
+  return RingBuffer(space, base, capacity);
+}
+
+RingBuffer RingBuffer::Attach(AddressSpace& space, Gaddr base) {
+  const uint64_t capacity = space.ReadT<uint64_t>(base + kCapOff);
+  FLEXOS_CHECK(capacity > 0, "attaching to uninitialized ring");
+  return RingBuffer(space, base, capacity);
+}
+
+uint64_t RingBuffer::ReadableBytes() const { return tail() - head(); }
+
+uint64_t RingBuffer::Push(const void* data, uint64_t size) {
+  const uint64_t to_write = std::min(size, WritableBytes());
+  uint64_t written = 0;
+  uint64_t t = tail();
+  while (written < to_write) {
+    const uint64_t offset = t % capacity_;
+    const uint64_t span = std::min(to_write - written, capacity_ - offset);
+    space_->Write(data_base() + offset,
+                  static_cast<const uint8_t*>(data) + written, span);
+    written += span;
+    t += span;
+  }
+  set_tail(t);
+  return written;
+}
+
+uint64_t RingBuffer::Pop(void* data, uint64_t size) {
+  const uint64_t to_read = std::min(size, ReadableBytes());
+  uint64_t read = 0;
+  uint64_t h = head();
+  while (read < to_read) {
+    const uint64_t offset = h % capacity_;
+    const uint64_t span = std::min(to_read - read, capacity_ - offset);
+    space_->Read(data_base() + offset, static_cast<uint8_t*>(data) + read,
+                 span);
+    read += span;
+    h += span;
+  }
+  set_head(h);
+  return read;
+}
+
+void RingBuffer::Peek(uint64_t offset, void* data, uint64_t size) const {
+  FLEXOS_CHECK(offset + size <= ReadableBytes(), "Peek beyond readable data");
+  uint64_t read = 0;
+  uint64_t h = head() + offset;
+  while (read < size) {
+    const uint64_t ring_off = h % capacity_;
+    const uint64_t span = std::min(size - read, capacity_ - ring_off);
+    space_->Read(data_base() + ring_off, static_cast<uint8_t*>(data) + read,
+                 span);
+    read += span;
+    h += span;
+  }
+}
+
+void RingBuffer::Discard(uint64_t size) {
+  FLEXOS_CHECK(size <= ReadableBytes(), "Discard beyond readable data");
+  set_head(head() + size);
+}
+
+uint64_t RingBuffer::PushFromGuest(Gaddr src, uint64_t size) {
+  const uint64_t to_write = std::min(size, WritableBytes());
+  uint64_t written = 0;
+  uint64_t t = tail();
+  while (written < to_write) {
+    const uint64_t offset = t % capacity_;
+    const uint64_t span = std::min(to_write - written, capacity_ - offset);
+    space_->Copy(data_base() + offset, src + written, span);
+    written += span;
+    t += span;
+  }
+  set_tail(t);
+  return written;
+}
+
+uint64_t RingBuffer::PopToGuest(Gaddr dst, uint64_t size) {
+  const uint64_t to_read = std::min(size, ReadableBytes());
+  uint64_t read = 0;
+  uint64_t h = head();
+  while (read < to_read) {
+    const uint64_t offset = h % capacity_;
+    const uint64_t span = std::min(to_read - read, capacity_ - offset);
+    space_->Copy(dst + read, data_base() + offset, span);
+    read += span;
+    h += span;
+  }
+  set_head(h);
+  return read;
+}
+
+}  // namespace flexos

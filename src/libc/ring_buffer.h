@@ -1,0 +1,77 @@
+// A single-producer/single-consumer byte ring living entirely in guest
+// memory, so it can be placed in a shared region and used across
+// compartments (socket buffers, the VM-gate message channel). The control
+// block (head/tail/capacity) is stored in-band at the base address.
+#ifndef FLEXOS_LIBC_RING_BUFFER_H_
+#define FLEXOS_LIBC_RING_BUFFER_H_
+
+#include <cstdint>
+
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+class RingBuffer {
+ public:
+  // Bytes needed in guest memory for a ring holding `capacity` bytes.
+  static uint64_t FootprintBytes(uint64_t capacity) {
+    return kHeaderSize + capacity;
+  }
+
+  // Initializes a fresh ring at `base` (writes the control block).
+  static RingBuffer Create(AddressSpace& space, Gaddr base,
+                           uint64_t capacity);
+
+  // Attaches to an existing ring previously initialized with Create —
+  // possibly through a different address space aliasing the same pages.
+  static RingBuffer Attach(AddressSpace& space, Gaddr base);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t ReadableBytes() const;
+  uint64_t WritableBytes() const { return capacity_ - ReadableBytes(); }
+  bool Empty() const { return ReadableBytes() == 0; }
+  bool Full() const { return WritableBytes() == 0; }
+
+  // Pushes up to `size` bytes from host memory; returns bytes accepted.
+  uint64_t Push(const void* data, uint64_t size);
+
+  // Pops up to `size` bytes into host memory; returns bytes produced.
+  uint64_t Pop(void* data, uint64_t size);
+
+  // Guest-to-guest variants (data stays in guest memory, still charged).
+  uint64_t PushFromGuest(Gaddr src, uint64_t size);
+  uint64_t PopToGuest(Gaddr dst, uint64_t size);
+
+  // Reads `size` bytes starting `offset` bytes past the head without
+  // consuming them (TCP uses this to (re)build in-flight segments from the
+  // send ring). offset+size must be within the readable region.
+  void Peek(uint64_t offset, void* data, uint64_t size) const;
+
+  // Drops `size` bytes from the head without copying (acked data).
+  // size must be <= ReadableBytes().
+  void Discard(uint64_t size);
+
+ private:
+  static constexpr uint64_t kHeaderSize = 24;  // head u64, tail u64, cap u64.
+  static constexpr uint64_t kHeadOff = 0;
+  static constexpr uint64_t kTailOff = 8;
+  static constexpr uint64_t kCapOff = 16;
+
+  RingBuffer(AddressSpace& space, Gaddr base, uint64_t capacity)
+      : space_(&space), base_(base), capacity_(capacity) {}
+
+  uint64_t head() const { return space_->ReadT<uint64_t>(base_ + kHeadOff); }
+  uint64_t tail() const { return space_->ReadT<uint64_t>(base_ + kTailOff); }
+  void set_head(uint64_t v) { space_->WriteT<uint64_t>(base_ + kHeadOff, v); }
+  void set_tail(uint64_t v) { space_->WriteT<uint64_t>(base_ + kTailOff, v); }
+
+  Gaddr data_base() const { return base_ + kHeaderSize; }
+
+  AddressSpace* space_;
+  Gaddr base_;
+  uint64_t capacity_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_LIBC_RING_BUFFER_H_

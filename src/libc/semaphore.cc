@@ -1,0 +1,33 @@
+#include "libc/semaphore.h"
+
+namespace flexos {
+
+void Semaphore::SchedCall(const std::function<void()>& body) {
+  if (router_ != nullptr) {
+    router_->Call(kLibLibc, kLibSched, body);
+  } else {
+    body();
+  }
+}
+
+void Semaphore::Wait() {
+  while (count_ == 0) {
+    SchedCall([this] { scheduler_.BlockOn(queue_); });
+  }
+  --count_;
+}
+
+bool Semaphore::TryWait() {
+  if (count_ == 0) {
+    return false;
+  }
+  --count_;
+  return true;
+}
+
+void Semaphore::Signal() {
+  ++count_;
+  SchedCall([this] { scheduler_.WakeOne(queue_); });
+}
+
+}  // namespace flexos

@@ -1,0 +1,56 @@
+// Counting semaphore built on the scheduler's wait queues. Deliberately part
+// of the *LibC* micro-library: the paper's Fig. 5 analysis hinges on
+// semaphores living in the LibC compartment, so that merging the network
+// stack and the scheduler into one compartment still pays gate crossings for
+// every wait-queue operation.
+#ifndef FLEXOS_LIBC_SEMAPHORE_H_
+#define FLEXOS_LIBC_SEMAPHORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sched/scheduler.h"
+#include "sched/wait_queue.h"
+#include "support/gate_router.h"
+
+namespace flexos {
+
+class Semaphore {
+ public:
+  // When a router is supplied, scheduler operations are routed as
+  // libc -> sched gate calls (the crossings Fig. 5 measures). Without one,
+  // calls are direct.
+  Semaphore(Scheduler& scheduler, std::string name, uint64_t initial = 0,
+            GateRouter* router = nullptr)
+      : scheduler_(scheduler),
+        router_(router),
+        queue_(name + ".waitq"),
+        count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // Decrements, blocking the current thread while the count is zero.
+  void Wait();
+
+  // Attempts to decrement without blocking.
+  bool TryWait();
+
+  // Increments and wakes one waiter if any.
+  void Signal();
+
+  uint64_t count() const { return count_; }
+  size_t waiters() const { return queue_.size(); }
+
+ private:
+  void SchedCall(const std::function<void()>& body);
+
+  Scheduler& scheduler_;
+  GateRouter* router_;
+  WaitQueue queue_;
+  uint64_t count_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_LIBC_SEMAPHORE_H_

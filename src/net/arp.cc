@@ -1,0 +1,145 @@
+#include "net/arp.h"
+
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+const MacAddr kBroadcast{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+
+}  // namespace
+
+std::optional<MacAddr> ArpEngine::Lookup(Ipv4Addr ip) const {
+  auto it = cache_.find(ip);
+  if (it == cache_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ArpEngine::SendRequest(Ipv4Addr ip) {
+  ++stats_.requests_sent;
+  machine_.ChargeCompute(machine_.costs().pkt_tx_fixed / 2);
+  ArpPacket request;
+  request.op = kArpOpRequest;
+  request.sender_mac = nic_.mac();
+  request.sender_ip = nic_.ip();
+  request.target_ip = ip;
+  nic_.Transmit(BuildArpFrame(nic_.mac(), kBroadcast, request));
+}
+
+Result<MacAddr> ArpEngine::Resolve(Ipv4Addr ip) {
+  {
+    auto cached = cache_.find(ip);
+    if (cached != cache_.end()) {
+      return cached->second;
+    }
+  }
+  auto pending_it = pending_.find(ip);
+  if (pending_it == pending_.end()) {
+    Pending pending;
+    pending.next_retry_cycles =
+        machine_.clock().cycles() +
+        machine_.clock().NanosToCycles(config_.retry_ns);
+    pending.sem = std::make_unique<Semaphore>(
+        scheduler_, StrFormat("arp.%s", Ipv4ToString(ip).c_str()), 0,
+        &router_);
+    pending_it = pending_.emplace(ip, std::move(pending)).first;
+    SendRequest(ip);
+  }
+  Pending& pending = pending_it->second;
+  ++pending.waiters;
+  Result<MacAddr> result =
+      Status(ErrorCode::kUnavailable,
+             "ARP resolution failed for " + Ipv4ToString(ip));
+  for (;;) {
+    auto cached = cache_.find(ip);
+    if (cached != cache_.end()) {
+      result = cached->second;
+      break;
+    }
+    if (pending.failed) {
+      break;
+    }
+    Semaphore* sem = pending.sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+  }
+  if (--pending.waiters == 0) {
+    pending_.erase(pending_it);
+  } else {
+    // Let the next waiter re-check the outcome.
+    Semaphore* sem = pending.sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+  }
+  return result;
+}
+
+bool ArpEngine::OnFrame(const ParsedFrame& frame) {
+  if (!frame.arp.has_value()) {
+    return false;
+  }
+  const ArpPacket& arp = *frame.arp;
+  machine_.ChargeCompute(machine_.costs().pkt_rx_fixed / 4);
+  // Opportunistic learning from any ARP traffic.
+  cache_[arp.sender_ip] = arp.sender_mac;
+
+  if (arp.op == kArpOpRequest && arp.target_ip == nic_.ip()) {
+    ++stats_.replies_sent;
+    ArpPacket reply;
+    reply.op = kArpOpReply;
+    reply.sender_mac = nic_.mac();
+    reply.sender_ip = nic_.ip();
+    reply.target_mac = arp.sender_mac;
+    reply.target_ip = arp.sender_ip;
+    nic_.Transmit(BuildArpFrame(nic_.mac(), arp.sender_mac, reply));
+  } else if (arp.op == kArpOpReply) {
+    ++stats_.replies_received;
+  }
+
+  // Wake anyone waiting on this resolution.
+  auto pending_it = pending_.find(arp.sender_ip);
+  if (pending_it != pending_.end()) {
+    Semaphore* sem = pending_it->second.sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+  }
+  return true;
+}
+
+bool ArpEngine::ProcessTimers() {
+  const uint64_t now = machine_.clock().cycles();
+  bool fired = false;
+  for (auto& [ip, pending] : pending_) {
+    if (pending.failed || cache_.count(ip) != 0 ||
+        now < pending.next_retry_cycles) {
+      continue;
+    }
+    fired = true;
+    ++pending.retries;
+    if (pending.retries >= config_.max_retries) {
+      ++stats_.resolution_failures;
+      pending.failed = true;
+      Semaphore* sem = pending.sem.get();
+      router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      continue;
+    }
+    pending.next_retry_cycles =
+        now + machine_.clock().NanosToCycles(config_.retry_ns);
+    SendRequest(ip);
+  }
+  return fired;
+}
+
+std::optional<uint64_t> ArpEngine::NextTimerCycles() const {
+  std::optional<uint64_t> next;
+  for (const auto& [ip, pending] : pending_) {
+    if (pending.failed || cache_.count(ip) != 0) {
+      continue;
+    }
+    if (!next.has_value() || pending.next_retry_cycles < *next) {
+      next = pending.next_retry_cycles;
+    }
+  }
+  return next;
+}
+
+}  // namespace flexos

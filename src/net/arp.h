@@ -1,0 +1,82 @@
+// ARP: answers who-has requests for the guest's address and resolves
+// next-hop MACs for guest-initiated connections, with retry timers in
+// virtual time. Resolution blocks the calling thread on a LibC semaphore
+// like every other wait in the stack.
+#ifndef FLEXOS_NET_ARP_H_
+#define FLEXOS_NET_ARP_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "libc/semaphore.h"
+#include "net/nic.h"
+#include "sched/scheduler.h"
+#include "support/gate_router.h"
+
+namespace flexos {
+
+struct ArpConfig {
+  uint64_t retry_ns = 100'000'000;  // Between request retransmissions.
+  int max_retries = 5;
+};
+
+struct ArpStats {
+  uint64_t requests_sent = 0;
+  uint64_t replies_sent = 0;
+  uint64_t replies_received = 0;
+  uint64_t resolution_failures = 0;
+};
+
+class ArpEngine {
+ public:
+  ArpEngine(Machine& machine, Scheduler& scheduler, Nic& nic,
+            GateRouter& router, ArpConfig config = ArpConfig{})
+      : machine_(machine),
+        scheduler_(scheduler),
+        nic_(nic),
+        router_(router),
+        config_(config) {}
+
+  // Blocking resolve; sends requests with retries. kUnavailable after
+  // max_retries unanswered requests.
+  Result<MacAddr> Resolve(Ipv4Addr ip);
+
+  // Static/learned entries.
+  void Insert(Ipv4Addr ip, const MacAddr& mac) { cache_[ip] = mac; }
+  std::optional<MacAddr> Lookup(Ipv4Addr ip) const;
+
+  // Platform: handles one inbound ARP frame (request -> reply for our IP;
+  // reply -> cache fill + waiter wakeup).
+  bool OnFrame(const ParsedFrame& frame);
+
+  // Fires due request retransmissions; returns true if any were sent.
+  bool ProcessTimers();
+  std::optional<uint64_t> NextTimerCycles() const;
+
+  const ArpStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    int retries = 0;
+    uint64_t next_retry_cycles = 0;
+    bool failed = false;
+    int waiters = 0;  // Entry is erased when the last waiter leaves.
+    std::unique_ptr<Semaphore> sem;
+  };
+
+  void SendRequest(Ipv4Addr ip);
+
+  Machine& machine_;
+  Scheduler& scheduler_;
+  Nic& nic_;
+  GateRouter& router_;
+  ArpConfig config_;
+  std::map<Ipv4Addr, MacAddr> cache_;
+  std::map<Ipv4Addr, Pending> pending_;
+  ArpStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_NET_ARP_H_

@@ -1,0 +1,28 @@
+#include "net/checksum.h"
+
+namespace flexos {
+
+uint32_t ChecksumPartial(const uint8_t* data, size_t size, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < size; i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < size) {
+    sum += static_cast<uint32_t>(data[i]) << 8;  // Odd trailing byte.
+  }
+  return sum;
+}
+
+uint16_t ChecksumFinish(uint32_t partial) {
+  while (partial >> 16) {
+    partial = (partial & 0xffff) + (partial >> 16);
+  }
+  return static_cast<uint16_t>(~partial & 0xffff);
+}
+
+uint16_t Checksum(const uint8_t* data, size_t size) {
+  return ChecksumFinish(ChecksumPartial(data, size, 0));
+}
+
+}  // namespace flexos

@@ -1,0 +1,22 @@
+// RFC 1071 Internet checksum.
+#ifndef FLEXOS_NET_CHECKSUM_H_
+#define FLEXOS_NET_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flexos {
+
+// One's-complement sum folded to 16 bits; the caller decides when to invert.
+// `initial` allows chaining (pseudo-header + payload).
+uint32_t ChecksumPartial(const uint8_t* data, size_t size, uint32_t initial);
+
+// Final Internet checksum of a buffer (inverted, folded).
+uint16_t Checksum(const uint8_t* data, size_t size);
+
+// Folds a partial sum and inverts it.
+uint16_t ChecksumFinish(uint32_t partial);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_NET_CHECKSUM_H_

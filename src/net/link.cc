@@ -1,0 +1,66 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace flexos {
+
+Link::Link(Machine& machine, LinkConfig config)
+    : machine_(machine), config_(config), rng_(config.seed) {
+  FLEXOS_CHECK(config_.bandwidth_bps > 0, "link bandwidth must be positive");
+}
+
+void Link::Send(std::vector<uint8_t> frame, bool to_b) {
+  ++stats_.frames_sent;
+  if (config_.loss_probability > 0.0 &&
+      rng_.NextBool(config_.loss_probability)) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  const uint64_t now = machine_.clock().cycles();
+  const double cycles_per_byte =
+      static_cast<double>(machine_.clock().freq_hz()) * 8.0 /
+      config_.bandwidth_bps;
+  const uint64_t tx_cycles = static_cast<uint64_t>(
+      static_cast<double>(frame.size()) * cycles_per_byte) + 1;
+  uint64_t& busy_until = to_b ? busy_until_to_b_ : busy_until_to_a_;
+  const uint64_t tx_start = std::max(now, busy_until);
+  busy_until = tx_start + tx_cycles;
+  const uint64_t arrival =
+      busy_until + machine_.clock().NanosToCycles(config_.latency_ns);
+  in_flight_.push(InFlight{.arrival_cycles = arrival,
+                           .sequence = next_sequence_++,
+                           .to_b = to_b,
+                           .frame = std::move(frame)});
+}
+
+size_t Link::DeliverDue() {
+  const uint64_t now = machine_.clock().cycles();
+  size_t delivered = 0;
+  // Pop everything due first: endpoints may transmit replies synchronously
+  // (the remote peer does), which pushes new entries while we work.
+  std::vector<InFlight> due;
+  while (!in_flight_.empty() && in_flight_.top().arrival_cycles <= now) {
+    due.push_back(std::move(const_cast<InFlight&>(in_flight_.top())));
+    in_flight_.pop();
+  }
+  for (InFlight& item : due) {
+    LinkEndpoint* endpoint = item.to_b ? endpoint_b_ : endpoint_a_;
+    if (endpoint == nullptr) {
+      continue;  // Unattached side: the frame evaporates.
+    }
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += item.frame.size();
+    endpoint->DeliverFrame(std::move(item.frame));
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::optional<uint64_t> Link::NextArrivalCycles() const {
+  if (in_flight_.empty()) {
+    return std::nullopt;
+  }
+  return in_flight_.top().arrival_cycles;
+}
+
+}  // namespace flexos

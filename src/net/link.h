@@ -1,0 +1,95 @@
+// A point-to-point link in virtual time: bandwidth-limited serialization,
+// propagation latency, and optional random loss (deterministic seed). One
+// endpoint is usually the guest NIC; the other is either a second NIC or a
+// host-side remote peer (net/remote_tcp.h) modeling the client machine of
+// the paper's testbed.
+#ifndef FLEXOS_NET_LINK_H_
+#define FLEXOS_NET_LINK_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "hw/machine.h"
+#include "support/rng.h"
+
+namespace flexos {
+
+class LinkEndpoint {
+ public:
+  virtual ~LinkEndpoint() = default;
+
+  // Called when a frame finishes arriving at this endpoint.
+  virtual void DeliverFrame(std::vector<uint8_t> frame) = 0;
+};
+
+struct LinkConfig {
+  double bandwidth_bps = 10e9;   // 10 GbE by default.
+  uint64_t latency_ns = 5'000;   // One-way propagation.
+  double loss_probability = 0.0;
+  uint64_t seed = 42;
+};
+
+struct LinkStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  Link(Machine& machine, LinkConfig config);
+
+  void AttachA(LinkEndpoint* endpoint) { endpoint_a_ = endpoint; }
+  void AttachB(LinkEndpoint* endpoint) { endpoint_b_ = endpoint; }
+
+  // Transmits a frame from one side; it will arrive at the opposite side
+  // after serialization + propagation (or be dropped by the loss model).
+  void SendFromA(std::vector<uint8_t> frame) { Send(std::move(frame), true); }
+  void SendFromB(std::vector<uint8_t> frame) { Send(std::move(frame), false); }
+
+  // Delivers every frame whose arrival time has passed. Returns the number
+  // of frames delivered.
+  size_t DeliverDue();
+
+  // Cycle timestamp of the next pending arrival, if any.
+  std::optional<uint64_t> NextArrivalCycles() const;
+
+  const LinkStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    uint64_t arrival_cycles;
+    uint64_t sequence;  // Tie-break so delivery order is FIFO.
+    bool to_b;
+    std::vector<uint8_t> frame;
+
+    bool operator>(const InFlight& other) const {
+      if (arrival_cycles != other.arrival_cycles) {
+        return arrival_cycles > other.arrival_cycles;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  void Send(std::vector<uint8_t> frame, bool to_b);
+
+  Machine& machine_;
+  LinkConfig config_;
+  Rng rng_;
+  LinkEndpoint* endpoint_a_ = nullptr;
+  LinkEndpoint* endpoint_b_ = nullptr;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
+      in_flight_;
+  uint64_t next_sequence_ = 0;
+  // Wire-busy-until per direction (serialization discipline).
+  uint64_t busy_until_to_b_ = 0;
+  uint64_t busy_until_to_a_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_NET_LINK_H_

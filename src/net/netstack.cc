@@ -1,0 +1,85 @@
+#include "net/netstack.h"
+
+#include "support/log.h"
+
+namespace flexos {
+
+NetStack::NetStack(const Deps& deps, TcpConfig tcp_config)
+    : machine_(deps.machine),
+      space_(deps.space),
+      nic_(deps.nic),
+      router_(deps.router),
+      tcp_(TcpEngine::Deps{.machine = deps.machine,
+                           .space = deps.space,
+                           .allocator = deps.allocator,
+                           .scheduler = deps.scheduler,
+                           .nic = deps.nic,
+                           .router = deps.router},
+           tcp_config),
+      udp_(deps.machine, deps.space, deps.scheduler, deps.nic, deps.router),
+      arp_(deps.machine, deps.scheduler, deps.nic, deps.router) {}
+
+Result<int> NetStack::TcpConnect(Ipv4Addr dst_ip, Port dst_port) {
+  FLEXOS_ASSIGN_OR_RETURN(MacAddr dst_mac, arp_.Resolve(dst_ip));
+  return tcp_.Connect(dst_ip, dst_mac, dst_port);
+}
+
+std::optional<uint64_t> NetStack::NextEventCycles() const {
+  std::optional<uint64_t> next = tcp_.NextTimerCycles();
+  const std::optional<uint64_t> arp_next = arp_.NextTimerCycles();
+  if (arp_next.has_value() && (!next.has_value() || *arp_next < *next)) {
+    next = arp_next;
+  }
+  return next;
+}
+
+bool NetStack::Poll() {
+  bool progress = false;
+  router_.Call(kLibPlatform, kLibNet, [&] {
+    while (nic_.HasRx()) {
+      progress = true;
+      ++stats_.frames_polled;
+      const std::vector<uint8_t> raw = nic_.PopRx();
+      Result<ParsedFrame> parsed = ParseFrame(raw);
+      if (!parsed.ok()) {
+        ++stats_.parse_errors;
+        FLEXOS_DEBUG("netstack: dropping frame: %s",
+                     parsed.status().ToString().c_str());
+        continue;
+      }
+      const ParsedFrame& frame = parsed.value();
+      if (arp_.OnFrame(frame)) {
+        continue;
+      }
+      if (frame.icmp.has_value()) {
+        // Answer echo requests addressed to us.
+        if (frame.icmp->type == kIcmpEchoRequest &&
+            frame.ip.dst == nic_.ip()) {
+          ++stats_.icmp_echoes_answered;
+          machine_.ChargeCompute(machine_.costs().pkt_rx_fixed / 2);
+          machine_.ChargeCompute(machine_.costs().pkt_tx_fixed / 2);
+          IcmpEcho reply;
+          reply.type = kIcmpEchoReply;
+          reply.id = frame.icmp->id;
+          reply.seq = frame.icmp->seq;
+          nic_.Transmit(BuildIcmpEchoFrame(
+              nic_.mac(), frame.eth.src, nic_.ip(), frame.ip.src, reply,
+              frame.payload.data(), frame.payload.size()));
+        }
+        continue;
+      }
+      if (!tcp_.OnFrame(frame) && !udp_.OnFrame(frame)) {
+        ++stats_.unhandled_frames;
+      }
+    }
+    if (tcp_.ProcessTimers()) {
+      progress = true;
+    }
+    if (arp_.ProcessTimers()) {
+      progress = true;
+    }
+  });
+  return progress;
+}
+
+}  // namespace flexos

@@ -1,0 +1,67 @@
+// NetStack: the network micro-library facade. Owns the TCP and UDP engines
+// and the receive pump. Applications reach it through app->net gates; the
+// platform (scheduler idle loop) pumps Poll()/NextEventCycles().
+#ifndef FLEXOS_NET_NETSTACK_H_
+#define FLEXOS_NET_NETSTACK_H_
+
+#include <memory>
+
+#include "net/arp.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace flexos {
+
+struct NetStackStats {
+  uint64_t frames_polled = 0;
+  uint64_t parse_errors = 0;
+  uint64_t unhandled_frames = 0;
+  uint64_t icmp_echoes_answered = 0;
+};
+
+class NetStack {
+ public:
+  struct Deps {
+    Machine& machine;
+    AddressSpace& space;
+    Allocator& allocator;
+    Scheduler& scheduler;
+    Nic& nic;
+    GateRouter& router;
+  };
+
+  NetStack(const Deps& deps, TcpConfig tcp_config = TcpConfig{});
+
+  TcpEngine& tcp() { return tcp_; }
+  UdpEngine& udp() { return udp_; }
+  ArpEngine& arp() { return arp_; }
+  Nic& nic() { return nic_; }
+  AddressSpace& space() { return space_; }
+
+  // Active open with ARP resolution: resolves the destination MAC (blocking
+  // with retries), then completes the TCP handshake.
+  Result<int> TcpConnect(Ipv4Addr dst_ip, Port dst_port);
+
+  // Drains the NIC receive queue and fires due TCP/ARP timers, all in the
+  // network compartment's execution context. Returns true on any progress.
+  bool Poll();
+
+  // Earliest TCP/ARP timer deadline, if any (for idle time-skipping).
+  std::optional<uint64_t> NextEventCycles() const;
+
+  const NetStackStats& stats() const { return stats_; }
+
+ private:
+  Machine& machine_;
+  AddressSpace& space_;
+  Nic& nic_;
+  GateRouter& router_;
+  TcpEngine tcp_;
+  UdpEngine udp_;
+  ArpEngine arp_;
+  NetStackStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_NET_NETSTACK_H_

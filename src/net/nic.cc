@@ -1,0 +1,43 @@
+#include "net/nic.h"
+
+namespace flexos {
+
+void Nic::AttachTo(Link& link, bool is_side_a) {
+  link_ = &link;
+  is_side_a_ = is_side_a;
+  if (is_side_a) {
+    link.AttachA(this);
+  } else {
+    link.AttachB(this);
+  }
+}
+
+void Nic::DeliverFrame(std::vector<uint8_t> frame) {
+  if (rx_queue_.size() >= kDefaultRxQueueDepth) {
+    ++stats_.rx_dropped;
+    return;
+  }
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  rx_queue_.push_back(std::move(frame));
+}
+
+std::vector<uint8_t> Nic::PopRx() {
+  FLEXOS_CHECK(!rx_queue_.empty(), "PopRx on empty queue");
+  std::vector<uint8_t> frame = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  return frame;
+}
+
+void Nic::Transmit(std::vector<uint8_t> frame) {
+  FLEXOS_CHECK(link_ != nullptr, "NIC '%s' not attached", name_.c_str());
+  ++stats_.tx_frames;
+  stats_.tx_bytes += frame.size();
+  if (is_side_a_) {
+    link_->SendFromA(std::move(frame));
+  } else {
+    link_->SendFromB(std::move(frame));
+  }
+}
+
+}  // namespace flexos

@@ -1,0 +1,63 @@
+// The guest-side NIC device model: a receive queue fed by the link and a
+// transmit path onto it. Frame payloads are copied into guest memory by the
+// netstack, not here; the NIC only charges DMA-ish per-frame costs.
+#ifndef FLEXOS_NET_NIC_H_
+#define FLEXOS_NET_NIC_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/wire.h"
+
+namespace flexos {
+
+struct NicStats {
+  uint64_t rx_frames = 0;
+  uint64_t tx_frames = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_dropped = 0;
+};
+
+class Nic final : public LinkEndpoint {
+ public:
+  static constexpr size_t kDefaultRxQueueDepth = 1024;
+
+  Nic(Machine& machine, std::string name, MacAddr mac, Ipv4Addr ip)
+      : machine_(machine), name_(std::move(name)), mac_(mac), ip_(ip) {}
+
+  const std::string& name() const { return name_; }
+  const MacAddr& mac() const { return mac_; }
+  Ipv4Addr ip() const { return ip_; }
+
+  // Wires this NIC to a link side. `is_side_a` selects which direction
+  // Transmit uses.
+  void AttachTo(Link& link, bool is_side_a);
+
+  // LinkEndpoint: frames arriving from the wire.
+  void DeliverFrame(std::vector<uint8_t> frame) override;
+
+  bool HasRx() const { return !rx_queue_.empty(); }
+  std::vector<uint8_t> PopRx();
+
+  // Sends a frame onto the wire.
+  void Transmit(std::vector<uint8_t> frame);
+
+  const NicStats& stats() const { return stats_; }
+
+ private:
+  Machine& machine_;
+  std::string name_;
+  MacAddr mac_;
+  Ipv4Addr ip_;
+  Link* link_ = nullptr;
+  bool is_side_a_ = true;
+  std::deque<std::vector<uint8_t>> rx_queue_;
+  NicStats stats_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_NET_NIC_H_

@@ -1,0 +1,733 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+// Deterministic initial sequence numbers, spaced out per connection.
+constexpr uint32_t kIssBase = 10'000;
+constexpr uint32_t kIssStride = 1 << 16;
+
+}  // namespace
+
+std::string_view TcpStateName(TcpState state) {
+  switch (state) {
+    case TcpState::kListen:
+      return "LISTEN";
+    case TcpState::kSynSent:
+      return "SYN_SENT";
+    case TcpState::kSynReceived:
+      return "SYN_RCVD";
+    case TcpState::kEstablished:
+      return "ESTABLISHED";
+    case TcpState::kFinWait1:
+      return "FIN_WAIT_1";
+    case TcpState::kFinWait2:
+      return "FIN_WAIT_2";
+    case TcpState::kCloseWait:
+      return "CLOSE_WAIT";
+    case TcpState::kLastAck:
+      return "LAST_ACK";
+    case TcpState::kClosed:
+      return "CLOSED";
+  }
+  return "?";
+}
+
+TcpEngine::TcpEngine(const Deps& deps, TcpConfig config)
+    : machine_(deps.machine),
+      space_(deps.space),
+      allocator_(deps.allocator),
+      scheduler_(deps.scheduler),
+      nic_(deps.nic),
+      router_(deps.router),
+      config_(config) {}
+
+TcpEngine::~TcpEngine() {
+  for (auto& [id, conn] : conns_) {
+    if (conn->rings_base != 0) {
+      (void)allocator_.Free(conn->rings_base);
+      conn->rings_base = 0;
+    }
+  }
+}
+
+Result<TcpEngine::Conn*> TcpEngine::CreateConn(const ConnKey& key,
+                                               const MacAddr& remote_mac) {
+  if (conn_by_key_.count(key) != 0) {
+    return Status(ErrorCode::kAlreadyExists, "connection already exists");
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->id = next_id_++;
+  conn->key = key;
+  conn->remote_mac = remote_mac;
+  conn->iss = kIssBase + static_cast<uint32_t>(conn->id) * kIssStride;
+
+  const uint64_t footprint = RingBuffer::FootprintBytes(config_.ring_bytes);
+  FLEXOS_ASSIGN_OR_RETURN(conn->rings_base,
+                          allocator_.Allocate(2 * footprint, kShadowGranule));
+  conn->send_ring =
+      RingBuffer::Create(space_, conn->rings_base, config_.ring_bytes);
+  conn->recv_ring = RingBuffer::Create(space_, conn->rings_base + footprint,
+                                       config_.ring_bytes);
+  conn->recv_sem = std::make_unique<Semaphore>(
+      scheduler_, StrFormat("tcp.%d.recv", conn->id), 0, &router_);
+  conn->send_sem = std::make_unique<Semaphore>(
+      scheduler_, StrFormat("tcp.%d.send", conn->id), 0, &router_);
+
+  Conn* raw = conn.get();
+  conn_by_key_[key] = raw->id;
+  conns_[raw->id] = std::move(conn);
+  return raw;
+}
+
+Result<int> TcpEngine::Connect(Ipv4Addr dst_ip, const MacAddr& dst_mac,
+                               Port dst_port) {
+  machine_.ChargeCompute(machine_.costs().syscall_ish);
+  const Port local_port = next_ephemeral_++;
+  FLEXOS_ASSIGN_OR_RETURN(
+      Conn * conn, CreateConn(ConnKey{.local_port = local_port,
+                                      .remote_ip = dst_ip,
+                                      .remote_port = dst_port},
+                              dst_mac));
+  conn->state = TcpState::kSynSent;
+  conn->snd_una = conn->iss;
+  conn->snd_nxt = conn->iss + 1;
+  conn->inflight.push_back(InFlightSeg{.seq = conn->iss,
+                                       .len = 0,
+                                       .fin = false,
+                                       .sent_at_cycles =
+                                           machine_.clock().cycles()});
+  TransmitSegment(*conn, kTcpSyn, conn->iss, nullptr, 0);
+
+  // Block until established or aborted (recv_sem doubles as the
+  // connection-event signal while in SYN_SENT).
+  while (conn->state == TcpState::kSynSent) {
+    Semaphore* sem = conn->recv_sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+  }
+  if (conn->state != TcpState::kEstablished) {
+    return Status(ErrorCode::kConnectionRefused,
+                  StrFormat("connect failed in state %s",
+                            std::string(TcpStateName(conn->state)).c_str()));
+  }
+  return conn->id;
+}
+
+TcpEngine::Conn* TcpEngine::FindConn(int conn_id) {
+  auto it = conns_.find(conn_id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+const TcpEngine::Conn* TcpEngine::FindConn(int conn_id) const {
+  auto it = conns_.find(conn_id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+uint32_t TcpEngine::InFlightBytes(const Conn& conn) const {
+  uint32_t bytes = conn.snd_nxt - conn.snd_una;
+  if (conn.fin_sent) {
+    bytes -= 1;  // The FIN occupies one phantom sequence number.
+  }
+  return bytes;
+}
+
+uint16_t TcpEngine::AdvertisedWindow(Conn& conn) const {
+  const uint64_t free_space = conn.recv_ring->WritableBytes();
+  return static_cast<uint16_t>(std::min<uint64_t>(free_space, 0xffff));
+}
+
+uint64_t TcpEngine::RtoCycles(const Conn& conn) const {
+  const int backoff = std::min(conn.retries, 6);
+  return machine_.clock().NanosToCycles(config_.rto_ns) << backoff;
+}
+
+Result<int> TcpEngine::Listen(Port port, int backlog) {
+  if (backlog <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "backlog must be positive");
+  }
+  for (const auto& [id, listener] : listeners_) {
+    if (listener->port == port) {
+      return Status(ErrorCode::kAlreadyExists, "port already bound");
+    }
+  }
+  auto listener = std::make_unique<Listener>();
+  listener->id = next_id_++;
+  listener->port = port;
+  listener->backlog = backlog;
+  listener->accept_sem = std::make_unique<Semaphore>(
+      scheduler_, StrFormat("tcp.accept.%u", port), 0, &router_);
+  const int id = listener->id;
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+Result<int> TcpEngine::Accept(int listener_id) {
+  auto it = listeners_.find(listener_id);
+  if (it == listeners_.end()) {
+    return Status(ErrorCode::kNotFound, "no such listener");
+  }
+  Listener& listener = *it->second;
+  machine_.ChargeCompute(machine_.costs().syscall_ish);
+  while (listener.pending.empty()) {
+    Semaphore* sem = listener.accept_sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+  }
+  const int conn_id = listener.pending.front();
+  listener.pending.pop_front();
+  Conn* conn = FindConn(conn_id);
+  FLEXOS_CHECK(conn != nullptr, "pending conn vanished");
+  conn->listener_id = -1;
+  ++stats_.conns_accepted;
+  return conn_id;
+}
+
+void TcpEngine::TransmitSegment(Conn& conn, uint8_t flags, uint32_t seq,
+                                const uint8_t* payload,
+                                uint32_t payload_len) {
+  machine_.ChargeCompute(machine_.costs().pkt_tx_fixed);
+  machine_.ChargeCompute(static_cast<uint64_t>(
+      machine_.costs().pkt_per_byte * static_cast<double>(payload_len)));
+  // Header construction touches a cache line of guest state.
+  machine_.ChargeMemOp(64);
+  // pbufs come from a per-stack pool (lwip-style), not malloc: a pointer
+  // bump, so SH allocator instrumentation does not tax the packet path —
+  // consistent with Table 1's tiny scheduler/netstack SH overheads.
+  machine_.ChargeCompute(30);
+
+  TcpHeader header;
+  header.src_port = conn.key.local_port;
+  header.dst_port = conn.key.remote_port;
+  header.seq = seq;
+  header.ack = conn.rcv_nxt;
+  header.flags = flags;
+  header.window = AdvertisedWindow(conn);
+  conn.last_advertised_wnd = header.window;
+
+  std::vector<uint8_t> frame =
+      BuildTcpFrame(nic_.mac(), conn.remote_mac, nic_.ip(),
+                    conn.key.remote_ip, header, payload, payload_len);
+  ++stats_.segments_tx;
+  stats_.bytes_tx += payload_len;
+  nic_.Transmit(std::move(frame));
+}
+
+void TcpEngine::SendAck(Conn& conn) {
+  TransmitSegment(conn, kTcpAck, conn.snd_nxt, nullptr, 0);
+}
+
+void TcpEngine::TrySend(Conn& conn) {
+  if (conn.state != TcpState::kEstablished &&
+      conn.state != TcpState::kCloseWait &&
+      conn.state != TcpState::kFinWait1 &&
+      conn.state != TcpState::kLastAck) {
+    return;
+  }
+  std::vector<uint8_t> scratch(config_.mss);
+  for (;;) {
+    const uint32_t in_flight = InFlightBytes(conn);
+    const uint64_t queued = conn.send_ring->ReadableBytes();
+    const uint64_t unsent = queued - in_flight;
+    const uint64_t window_left =
+        conn.peer_wnd > in_flight ? conn.peer_wnd - in_flight : 0;
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<uint64_t>({unsent, window_left, config_.mss}));
+    if (len == 0) {
+      break;
+    }
+    // Copy the payload out of the send ring (a LibC memcpy).
+    router_.CallLeaf(kLibNet, kLibLibc, [&] {
+      conn.send_ring->Peek(in_flight, scratch.data(), len);
+    });
+    const uint32_t seq = conn.snd_nxt;
+    conn.inflight.push_back(InFlightSeg{.seq = seq,
+                                        .len = len,
+                                        .fin = false,
+                                        .sent_at_cycles =
+                                            machine_.clock().cycles()});
+    conn.snd_nxt += len;
+    TransmitSegment(conn, kTcpAck | kTcpPsh, seq, scratch.data(), len);
+  }
+  // Emit the FIN once all queued data is out.
+  if (conn.fin_pending && !conn.fin_sent &&
+      conn.send_ring->ReadableBytes() == InFlightBytes(conn)) {
+    const uint32_t seq = conn.snd_nxt;
+    conn.inflight.push_back(InFlightSeg{.seq = seq,
+                                        .len = 0,
+                                        .fin = true,
+                                        .sent_at_cycles =
+                                            machine_.clock().cycles()});
+    conn.snd_nxt += 1;
+    conn.fin_sent = true;
+    TransmitSegment(conn, kTcpFin | kTcpAck, seq, nullptr, 0);
+  }
+  // Arm the persist timer on a closed peer window with pending data.
+  if (conn.peer_wnd == 0 && conn.inflight.empty() &&
+      conn.send_ring->ReadableBytes() > 0 && conn.persist_deadline == 0) {
+    conn.persist_deadline = machine_.clock().cycles() + RtoCycles(conn);
+  }
+}
+
+Result<uint64_t> TcpEngine::Send(int conn_id, Gaddr addr, uint64_t len) {
+  Conn* conn = FindConn(conn_id);
+  if (conn == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such connection");
+  }
+  machine_.ChargeCompute(machine_.costs().syscall_ish);
+  machine_.ChargeMemOp(64);  // Socket/TCB state touch.
+  // Socket-layer lock: a LibC mutex acquire/release guards every socket
+  // op — one of the per-call crossings that make small-buffer recv loops
+  // expensive under isolation (Fig. 3) and keep the LibC compartment on
+  // Redis' hot path (Fig. 5).
+  router_.Call(kLibNet, kLibLibc, [this] {
+    machine_.ChargeMemOp(32);
+    // The mutex itself is built on scheduler wait queues (Unikraft's
+    // uk_mutex), so even the uncontended path touches the scheduler.
+    router_.Call(kLibLibc, kLibSched, [this] { machine_.ChargeMemOp(16); });
+  });
+  uint64_t queued = 0;
+  while (queued < len) {
+    if (conn->state != TcpState::kEstablished &&
+        conn->state != TcpState::kCloseWait) {
+      return Status(ErrorCode::kNotConnected,
+                    StrFormat("send in state %s",
+                              std::string(TcpStateName(conn->state)).c_str()));
+    }
+    uint64_t pushed = 0;
+    router_.CallLeaf(kLibNet, kLibLibc, [&] {
+      pushed = conn->send_ring->PushFromGuest(addr + queued, len - queued);
+    });
+    queued += pushed;
+    TrySend(*conn);
+    if (queued < len) {
+      Semaphore* sem = conn->send_sem.get();
+      router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+    }
+  }
+  return queued;
+}
+
+Result<uint64_t> TcpEngine::Recv(int conn_id, Gaddr addr, uint64_t len) {
+  Conn* conn = FindConn(conn_id);
+  if (conn == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such connection");
+  }
+  machine_.ChargeCompute(machine_.costs().syscall_ish);
+  machine_.ChargeMemOp(64);  // Socket/TCB state touch.
+  // Socket-layer lock (see Send).
+  router_.Call(kLibNet, kLibLibc, [this] {
+    machine_.ChargeMemOp(32);
+    // The mutex itself is built on scheduler wait queues (Unikraft's
+    // uk_mutex), so even the uncontended path touches the scheduler.
+    router_.Call(kLibLibc, kLibSched, [this] { machine_.ChargeMemOp(16); });
+  });
+  for (;;) {
+    if (!conn->recv_ring->Empty()) {
+      break;
+    }
+    if (conn->fin_received) {
+      return uint64_t{0};  // Orderly EOF.
+    }
+    if (conn->state == TcpState::kClosed) {
+      return Status(ErrorCode::kConnectionReset, "connection aborted");
+    }
+    Semaphore* sem = conn->recv_sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+  }
+  uint64_t copied = 0;
+  router_.CallLeaf(kLibNet, kLibLibc, [&] {
+    copied = conn->recv_ring->PopToGuest(addr, len);
+  });
+  stats_.bytes_rx += copied;
+  // Window update: if we had clamped the advertised window and reading
+  // reopened it, tell the peer (otherwise a zero-window stall can only be
+  // broken by the peer's persist probe).
+  if (conn->state != TcpState::kClosed &&
+      conn->last_advertised_wnd < config_.window_update_threshold &&
+      AdvertisedWindow(*conn) >= config_.window_update_threshold) {
+    SendAck(*conn);
+  }
+  return copied;
+}
+
+Status TcpEngine::Close(int conn_id) {
+  // Closing a listener?
+  auto listener_it = listeners_.find(conn_id);
+  if (listener_it != listeners_.end()) {
+    listeners_.erase(listener_it);
+    return Status::Ok();
+  }
+  Conn* conn = FindConn(conn_id);
+  if (conn == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such connection");
+  }
+  switch (conn->state) {
+    case TcpState::kEstablished:
+      conn->state = TcpState::kFinWait1;
+      break;
+    case TcpState::kCloseWait:
+      conn->state = TcpState::kLastAck;
+      break;
+    case TcpState::kClosed:
+      return Status::Ok();
+    default:
+      conn->state = TcpState::kClosed;
+      return Status::Ok();
+  }
+  conn->fin_pending = true;
+  TrySend(*conn);
+  return Status::Ok();
+}
+
+TcpState TcpEngine::StateOf(int conn_id) const {
+  const Conn* conn = FindConn(conn_id);
+  return conn == nullptr ? TcpState::kClosed : conn->state;
+}
+
+void TcpEngine::HandleSyn(const ParsedFrame& frame) {
+  const TcpHeader& tcp = *frame.tcp;
+  Listener* listener = nullptr;
+  for (auto& [id, candidate] : listeners_) {
+    if (candidate->port == tcp.dst_port) {
+      listener = candidate.get();
+      break;
+    }
+  }
+  if (listener == nullptr) {
+    return;  // No listener: drop (a full stack would send RST).
+  }
+  // Enforce the backlog across pending-accept and half-open connections.
+  int half_open = 0;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->listener_id == listener->id) {
+      ++half_open;
+    }
+  }
+  if (half_open >= listener->backlog) {
+    return;  // Drop: client will retransmit the SYN.
+  }
+
+  Result<Conn*> created =
+      CreateConn(ConnKey{.local_port = tcp.dst_port,
+                         .remote_ip = frame.ip.src,
+                         .remote_port = tcp.src_port},
+                 frame.eth.src);
+  if (!created.ok()) {
+    FLEXOS_WARN("tcp: connection setup failed: %s",
+                created.status().ToString().c_str());
+    return;
+  }
+  Conn& ref = *created.value();
+  ref.state = TcpState::kSynReceived;
+  ref.snd_una = ref.iss;
+  ref.snd_nxt = ref.iss + 1;  // SYN consumes one sequence number.
+  ref.rcv_nxt = tcp.seq + 1;
+  ref.peer_wnd = tcp.window;
+  ref.listener_id = listener->id;
+
+  // SYN-ACK (tracked in-flight so a lost one is retransmitted).
+  TransmitSegment(ref, kTcpSyn | kTcpAck, ref.iss, nullptr, 0);
+  ref.inflight.push_back(InFlightSeg{.seq = ref.iss,
+                                     .len = 0,
+                                     .fin = false,
+                                     .sent_at_cycles =
+                                         machine_.clock().cycles()});
+}
+
+void TcpEngine::ProcessAck(Conn& conn, const TcpHeader& header) {
+  if ((header.flags & kTcpAck) == 0) {
+    return;
+  }
+  conn.peer_wnd = header.window;
+  const uint32_t ack = header.ack;
+  if (!SeqLt(conn.snd_una, ack) || !SeqLe(ack, conn.snd_nxt)) {
+    return;  // Duplicate or out-of-range ACK; window update already taken.
+  }
+  const uint32_t acked = ack - conn.snd_una;
+  conn.snd_una = ack;
+  conn.retries = 0;
+
+  // Pop acknowledged payload bytes from the send ring. SYN/FIN occupy
+  // phantom sequence numbers that have no ring backing.
+  const uint64_t ring_bytes =
+      std::min<uint64_t>(acked, conn.send_ring->ReadableBytes());
+  if (ring_bytes > 0) {
+    conn.send_ring->Discard(ring_bytes);
+    Semaphore* sem = conn.send_sem.get();
+    router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+  }
+  // Prune fully acknowledged in-flight segments. (The SYN-ACK pseudo
+  // segment never reaches this path: it is cleared on the transition to
+  // ESTABLISHED.)
+  while (!conn.inflight.empty()) {
+    const InFlightSeg& seg = conn.inflight.front();
+    const uint32_t seg_end = seg.seq + seg.len + (seg.fin ? 1 : 0);
+    if (SeqLe(seg_end, conn.snd_una)) {
+      conn.inflight.pop_front();
+    } else {
+      break;
+    }
+  }
+
+  // State transitions driven by our FIN being acknowledged.
+  if (conn.fin_sent && conn.snd_una == conn.snd_nxt) {
+    if (conn.state == TcpState::kFinWait1) {
+      conn.state =
+          conn.fin_received ? TcpState::kClosed : TcpState::kFinWait2;
+    } else if (conn.state == TcpState::kLastAck) {
+      conn.state = TcpState::kClosed;
+      conn_by_key_.erase(conn.key);
+    }
+  }
+  (void)acked;
+}
+
+void TcpEngine::AcceptPayload(Conn& conn, const ParsedFrame& frame) {
+  const TcpHeader& tcp = *frame.tcp;
+  const uint32_t len = static_cast<uint32_t>(frame.payload.size());
+  bool need_ack = false;
+
+  if (len > 0) {
+    if (tcp.seq == conn.rcv_nxt) {
+      machine_.ChargeCompute(30);  // pbuf pool alloc (pointer bump).
+      uint64_t accepted = 0;
+      {
+        // Driver/stack copy from the DMA'd pbuf into the socket buffer —
+        // a LibC memcpy (instrumented when libc is hardened), executed in
+        // the stack's protection domain but exempt from PKRU like the rest
+        // of the receive path (the ring is the stack's own memory).
+        router_.CallLeaf(kLibNet, kLibLibc, [&] {
+          accepted = conn.recv_ring->Push(frame.payload.data(), len);
+        });
+      }
+      conn.rcv_nxt += static_cast<uint32_t>(accepted);
+      if (accepted > 0) {
+        Semaphore* sem = conn.recv_sem.get();
+        router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      }
+      need_ack = true;
+    } else {
+      // Out-of-order or duplicate: drop and re-ACK (go-back-N receiver).
+      ++stats_.out_of_order_drops;
+      need_ack = true;
+    }
+  }
+
+  // FIN handling: only once every in-order byte before it has arrived.
+  if ((tcp.flags & kTcpFin) != 0) {
+    const uint32_t fin_seq = tcp.seq + len;
+    if (fin_seq == conn.rcv_nxt && !conn.fin_received) {
+      conn.rcv_nxt += 1;
+      conn.fin_received = true;
+      Semaphore* sem = conn.recv_sem.get();
+      router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      switch (conn.state) {
+        case TcpState::kEstablished:
+          conn.state = TcpState::kCloseWait;
+          break;
+        case TcpState::kFinWait1:
+          // Our FIN not yet acked: stay, ProcessAck finishes the close.
+          break;
+        case TcpState::kFinWait2:
+          conn.state = TcpState::kClosed;
+          conn_by_key_.erase(conn.key);
+          break;
+        default:
+          break;
+      }
+    }
+    need_ack = true;
+  }
+
+  if (need_ack) {
+    SendAck(conn);
+  }
+}
+
+void TcpEngine::AbortConn(Conn& conn) {
+  ++stats_.resets;
+  conn.state = TcpState::kClosed;
+  conn_by_key_.erase(conn.key);
+  Semaphore* recv_sem = conn.recv_sem.get();
+  Semaphore* send_sem = conn.send_sem.get();
+  router_.Call(kLibNet, kLibLibc, [recv_sem, send_sem] {
+    recv_sem->Signal();
+    send_sem->Signal();
+  });
+}
+
+void TcpEngine::HandleSegment(Conn& conn, const ParsedFrame& frame) {
+  const TcpHeader& tcp = *frame.tcp;
+  if ((tcp.flags & kTcpRst) != 0) {
+    AbortConn(conn);
+    return;
+  }
+  if (conn.state == TcpState::kSynSent) {
+    if ((tcp.flags & (kTcpSyn | kTcpAck)) == (kTcpSyn | kTcpAck) &&
+        tcp.ack == conn.snd_nxt) {
+      conn.rcv_nxt = tcp.seq + 1;
+      conn.snd_una = tcp.ack;
+      conn.peer_wnd = tcp.window;
+      conn.inflight.clear();
+      conn.retries = 0;
+      conn.state = TcpState::kEstablished;
+      SendAck(conn);
+      Semaphore* sem = conn.recv_sem.get();
+      router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+    }
+    return;
+  }
+  if (conn.state == TcpState::kSynReceived) {
+    if ((tcp.flags & kTcpSyn) != 0) {
+      // Retransmitted SYN: our SYN-ACK was lost; resend it.
+      TransmitSegment(conn, kTcpSyn | kTcpAck, conn.iss, nullptr, 0);
+      return;
+    }
+    if ((tcp.flags & kTcpAck) != 0 && tcp.ack == conn.snd_nxt) {
+      conn.state = TcpState::kEstablished;
+      conn.snd_una = tcp.ack;
+      conn.inflight.clear();
+      conn.peer_wnd = tcp.window;
+      auto listener_it = listeners_.find(conn.listener_id);
+      if (listener_it != listeners_.end()) {
+        listener_it->second->pending.push_back(conn.id);
+        Semaphore* sem = listener_it->second->accept_sem.get();
+        router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      }
+      // Fall through: the handshake ACK may carry data.
+    } else {
+      return;
+    }
+  }
+  ProcessAck(conn, tcp);
+  AcceptPayload(conn, frame);
+  // New window or freed buffer space may unblock queued data.
+  if (conn.persist_deadline != 0 && conn.peer_wnd > 0) {
+    conn.persist_deadline = 0;
+  }
+  TrySend(conn);
+}
+
+bool TcpEngine::OnFrame(const ParsedFrame& frame) {
+  if (!frame.tcp.has_value()) {
+    return false;
+  }
+  ++stats_.segments_rx;
+  machine_.ChargeCompute(machine_.costs().pkt_rx_fixed);
+  machine_.ChargeCompute(
+      static_cast<uint64_t>(machine_.costs().pkt_per_byte *
+                            static_cast<double>(frame.payload.size())));
+  machine_.ChargeMemOp(64);  // Header-touch working set.
+
+  const TcpHeader& tcp = *frame.tcp;
+  const ConnKey key{.local_port = tcp.dst_port,
+                    .remote_ip = frame.ip.src,
+                    .remote_port = tcp.src_port};
+  auto it = conn_by_key_.find(key);
+  if (it != conn_by_key_.end()) {
+    Conn* conn = FindConn(it->second);
+    FLEXOS_CHECK(conn != nullptr, "conn_by_key_ out of sync");
+    HandleSegment(*conn, frame);
+    return true;
+  }
+  if ((tcp.flags & kTcpSyn) != 0 && (tcp.flags & kTcpAck) == 0) {
+    HandleSyn(frame);
+    return true;
+  }
+  return true;  // Segment for an unknown connection: swallowed.
+}
+
+bool TcpEngine::ProcessTimers() {
+  const uint64_t now = machine_.clock().cycles();
+  bool fired = false;
+  for (auto& [id, conn] : conns_) {
+    if (conn->state == TcpState::kClosed) {
+      continue;
+    }
+    if (!conn->inflight.empty()) {
+      const uint64_t deadline =
+          conn->inflight.front().sent_at_cycles + RtoCycles(*conn);
+      if (now >= deadline) {
+        RetransmitFrom(*conn);
+        fired = true;
+      }
+    } else if (conn->persist_deadline != 0 &&
+               now >= conn->persist_deadline) {
+      // Zero-window probe: one byte past the window.
+      std::vector<uint8_t> probe(1);
+      if (conn->send_ring->ReadableBytes() > InFlightBytes(*conn)) {
+        router_.CallLeaf(kLibNet, kLibLibc, [&] {
+          conn->send_ring->Peek(InFlightBytes(*conn), probe.data(), 1);
+        });
+        const uint32_t seq = conn->snd_nxt;
+        conn->inflight.push_back(
+            InFlightSeg{.seq = seq, .len = 1, .fin = false,
+                        .sent_at_cycles = now});
+        conn->snd_nxt += 1;
+        TransmitSegment(*conn, kTcpAck, seq, probe.data(), 1);
+      }
+      conn->persist_deadline = 0;
+      fired = true;
+    }
+  }
+  return fired;
+}
+
+void TcpEngine::RetransmitFrom(Conn& conn) {
+  ++stats_.retransmits;
+  ++conn.retries;
+  if (conn.retries > config_.max_retries) {
+    AbortConn(conn);
+    return;
+  }
+  const uint64_t now = machine_.clock().cycles();
+  if (conn.state == TcpState::kSynReceived) {
+    TransmitSegment(conn, kTcpSyn | kTcpAck, conn.iss, nullptr, 0);
+    conn.inflight.front().sent_at_cycles = now;
+    return;
+  }
+  if (conn.state == TcpState::kSynSent) {
+    TransmitSegment(conn, kTcpSyn, conn.iss, nullptr, 0);
+    conn.inflight.front().sent_at_cycles = now;
+    return;
+  }
+  // Go-back-N: resend the first outstanding segment from the ring.
+  InFlightSeg& first = conn.inflight.front();
+  first.sent_at_cycles = now;
+  if (first.fin) {
+    TransmitSegment(conn, kTcpFin | kTcpAck, first.seq, nullptr, 0);
+    return;
+  }
+  std::vector<uint8_t> scratch(first.len);
+  router_.CallLeaf(kLibNet, kLibLibc, [&] {
+    conn.send_ring->Peek(first.seq - conn.snd_una, scratch.data(),
+                         first.len);
+  });
+  TransmitSegment(conn, kTcpAck | kTcpPsh, first.seq, scratch.data(),
+                  first.len);
+}
+
+std::optional<uint64_t> TcpEngine::NextTimerCycles() const {
+  std::optional<uint64_t> next;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->state == TcpState::kClosed) {
+      continue;
+    }
+    std::optional<uint64_t> deadline;
+    if (!conn->inflight.empty()) {
+      deadline = conn->inflight.front().sent_at_cycles + RtoCycles(*conn);
+    } else if (conn->persist_deadline != 0) {
+      deadline = conn->persist_deadline;
+    }
+    if (deadline.has_value() && (!next.has_value() || *deadline < *next)) {
+      next = deadline;
+    }
+  }
+  return next;
+}
+
+}  // namespace flexos

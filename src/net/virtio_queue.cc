@@ -1,0 +1,121 @@
+#include "net/virtio_queue.h"
+
+namespace flexos {
+namespace {
+
+constexpr uint64_t kDescSize = 16;   // addr u64, len u32, flags u16, next u16.
+constexpr uint64_t kRingHeader = 4;  // flags u16 + idx u16.
+
+}  // namespace
+
+uint64_t VirtioQueue::FootprintBytes(uint16_t depth) {
+  const uint64_t desc_table = kDescSize * depth;
+  const uint64_t avail = kRingHeader + 2ull * depth;
+  const uint64_t used = kRingHeader + 8ull * depth;
+  return desc_table + avail + used;
+}
+
+VirtioQueue::VirtioQueue(AddressSpace& space, Gaddr base, uint16_t depth)
+    : space_(&space), base_(base), depth_(depth) {
+  free_ids_.reserve(depth);
+  for (uint16_t id = depth; id > 0; --id) {
+    free_ids_.push_back(static_cast<uint16_t>(id - 1));
+  }
+}
+
+Result<VirtioQueue> VirtioQueue::Create(AddressSpace& space, Gaddr base,
+                                        uint16_t depth) {
+  if (depth == 0) {
+    return Status(ErrorCode::kInvalidArgument, "queue depth must be > 0");
+  }
+  VirtioQueue queue(space, base, depth);
+  // Zero the control structures (descriptor table may stay stale).
+  space.Fill(queue.AvailIdxAddr() - 2, 0, kRingHeader);
+  space.Fill(queue.UsedIdxAddr() - 2, 0, kRingHeader);
+  return queue;
+}
+
+Gaddr VirtioQueue::DescAddr(uint16_t id) const {
+  return base_ + kDescSize * id;
+}
+
+Gaddr VirtioQueue::AvailIdxAddr() const {
+  return base_ + kDescSize * depth_ + 2;  // Skip flags.
+}
+
+Gaddr VirtioQueue::AvailRingAddr(uint16_t slot) const {
+  return AvailIdxAddr() + 2 + 2ull * slot;
+}
+
+Gaddr VirtioQueue::UsedIdxAddr() const {
+  return base_ + kDescSize * depth_ + kRingHeader + 2ull * depth_ + 2;
+}
+
+Gaddr VirtioQueue::UsedRingAddr(uint16_t slot) const {
+  return UsedIdxAddr() + 2 + 8ull * slot;
+}
+
+Result<uint16_t> VirtioQueue::AddBuffer(Gaddr addr, uint32_t len,
+                                        bool device_writable) {
+  if (free_ids_.empty()) {
+    return Status(ErrorCode::kResourceExhausted, "no free descriptors");
+  }
+  const uint16_t id = free_ids_.back();
+  free_ids_.pop_back();
+
+  // Write the descriptor.
+  const Gaddr desc = DescAddr(id);
+  space_->WriteT<uint64_t>(desc, addr);
+  space_->WriteT<uint32_t>(desc + 8, len);
+  space_->WriteT<uint16_t>(desc + 12,
+                           device_writable ? uint16_t{2} : uint16_t{0});
+  space_->WriteT<uint16_t>(desc + 14, 0);  // No chaining.
+
+  // Publish in the avail ring.
+  const uint16_t avail_idx = space_->ReadT<uint16_t>(AvailIdxAddr());
+  space_->WriteT<uint16_t>(AvailRingAddr(avail_idx % depth_), id);
+  space_->WriteT<uint16_t>(AvailIdxAddr(),
+                           static_cast<uint16_t>(avail_idx + 1));
+  return id;
+}
+
+std::optional<VirtioQueue::DescRef> VirtioQueue::DeviceNextAvail() {
+  const uint16_t avail_idx = space_->ReadT<uint16_t>(AvailIdxAddr());
+  if (avail_seen_ == avail_idx) {
+    return std::nullopt;
+  }
+  const uint16_t id =
+      space_->ReadT<uint16_t>(AvailRingAddr(avail_seen_ % depth_));
+  ++avail_seen_;
+  const Gaddr desc = DescAddr(id);
+  DescRef ref;
+  ref.desc_id = id;
+  ref.addr = space_->ReadT<uint64_t>(desc);
+  ref.len = space_->ReadT<uint32_t>(desc + 8);
+  ref.device_writable = (space_->ReadT<uint16_t>(desc + 12) & 2) != 0;
+  return ref;
+}
+
+void VirtioQueue::DevicePushUsed(uint16_t desc_id, uint32_t written) {
+  const uint16_t used_idx = space_->ReadT<uint16_t>(UsedIdxAddr());
+  const Gaddr slot = UsedRingAddr(used_idx % depth_);
+  space_->WriteT<uint32_t>(slot, desc_id);
+  space_->WriteT<uint32_t>(slot + 4, written);
+  space_->WriteT<uint16_t>(UsedIdxAddr(), static_cast<uint16_t>(used_idx + 1));
+}
+
+std::optional<VirtioQueue::UsedElem> VirtioQueue::PopUsed() {
+  const uint16_t used_idx = space_->ReadT<uint16_t>(UsedIdxAddr());
+  if (used_seen_ == used_idx) {
+    return std::nullopt;
+  }
+  const Gaddr slot = UsedRingAddr(used_seen_ % depth_);
+  ++used_seen_;
+  UsedElem elem;
+  elem.desc_id = static_cast<uint16_t>(space_->ReadT<uint32_t>(slot));
+  elem.written = space_->ReadT<uint32_t>(slot + 4);
+  free_ids_.push_back(elem.desc_id);
+  return elem;
+}
+
+}  // namespace flexos

@@ -1,0 +1,90 @@
+// A virtio-flavored split virtqueue living entirely in guest memory:
+// descriptor table + available ring + used ring, with the driver on one
+// side and a device model on the other. This is the NIC/driver boundary
+// of the paper's prototype (Unikraft's virtio-net); the descriptor
+// structures are real guest data, so compartmentalizing the driver means
+// the queue memory placement matters, like everything else.
+//
+// Simplifications vs. the virtio spec: no indirect descriptors, no event
+// suppression, single-buffer chains.
+#ifndef FLEXOS_NET_VIRTIO_QUEUE_H_
+#define FLEXOS_NET_VIRTIO_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/status.h"
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+class VirtioQueue {
+ public:
+  struct UsedElem {
+    uint16_t desc_id;
+    uint32_t written;  // Bytes the device wrote (0 for tx).
+  };
+
+  struct DescRef {
+    uint16_t desc_id;
+    Gaddr addr;
+    uint32_t len;
+    bool device_writable;
+  };
+
+  // Guest bytes needed for a queue of `depth` descriptors.
+  static uint64_t FootprintBytes(uint16_t depth);
+
+  // Initializes a fresh queue at `base` (which must be mapped).
+  static Result<VirtioQueue> Create(AddressSpace& space, Gaddr base,
+                                    uint16_t depth);
+
+  uint16_t depth() const { return depth_; }
+  uint16_t free_descriptors() const {
+    return static_cast<uint16_t>(free_ids_.size());
+  }
+
+  // --- Driver side ---------------------------------------------------------
+
+  // Posts one buffer; returns its descriptor id. kResourceExhausted when
+  // no descriptor is free.
+  Result<uint16_t> AddBuffer(Gaddr addr, uint32_t len, bool device_writable);
+
+  // Doorbell: tells the device new buffers are available.
+  void Kick() { ++kicks_; }
+  uint64_t kicks() const { return kicks_; }
+
+  // Completion reaping; frees the descriptor.
+  std::optional<UsedElem> PopUsed();
+
+  // --- Device side -----------------------------------------------------------
+
+  // Next unprocessed available buffer, if any.
+  std::optional<DescRef> DeviceNextAvail();
+
+  // Marks a buffer consumed, recording how much the device wrote into it.
+  void DevicePushUsed(uint16_t desc_id, uint32_t written);
+
+ private:
+  VirtioQueue(AddressSpace& space, Gaddr base, uint16_t depth);
+
+  // Guest layout offsets.
+  Gaddr DescAddr(uint16_t id) const;       // 16 bytes per descriptor.
+  Gaddr AvailIdxAddr() const;              // u16 running index.
+  Gaddr AvailRingAddr(uint16_t slot) const;
+  Gaddr UsedIdxAddr() const;
+  Gaddr UsedRingAddr(uint16_t slot) const;  // {u32 id, u32 len}.
+
+  AddressSpace* space_;
+  Gaddr base_;
+  uint16_t depth_;
+  std::vector<uint16_t> free_ids_;
+  uint16_t avail_seen_ = 0;  // Device's cursor into the avail ring.
+  uint16_t used_seen_ = 0;   // Driver's cursor into the used ring.
+  uint64_t kicks_ = 0;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_NET_VIRTIO_QUEUE_H_

@@ -1,0 +1,212 @@
+#include "sched/coop_scheduler.h"
+
+#include "support/log.h"
+
+namespace flexos {
+
+CoopScheduler* CoopScheduler::active_ = nullptr;
+
+CoopScheduler::CoopScheduler(Machine& machine) : machine_(machine) {}
+
+CoopScheduler::~CoopScheduler() {
+  if (active_ == this) {
+    active_ = nullptr;
+  }
+}
+
+Result<Thread*> CoopScheduler::Spawn(std::string name,
+                                     std::function<void()> entry) {
+  auto thread = std::make_unique<Thread>(next_thread_id_++, std::move(name),
+                                         std::move(entry));
+  Thread* raw = thread.get();
+  CheckAddPrecondition(raw);
+  threads_.push_back(std::move(thread));
+  ready_queue_.PushBack(raw);
+  CheckRunQueueInvariant();
+  return raw;
+}
+
+Status CoopScheduler::Remove(Thread* thread) {
+  if (thread == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "Remove(nullptr)");
+  }
+  if (thread->state_ != ThreadState::kReady) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "thread_rm: thread is not in the ready state");
+  }
+  ready_queue_.Remove(thread);
+  thread->state_ = ThreadState::kExited;
+  CheckRunQueueInvariant();
+  return Status::Ok();
+}
+
+Status CoopScheduler::Add(Thread* thread) {
+  if (thread == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "Add(nullptr)");
+  }
+  CheckAddPrecondition(thread);
+  if (thread->queued() || thread->state_ == ThreadState::kRunning ||
+      thread->state_ == ThreadState::kBlocked) {
+    // Already added (ready/running/blocked). The unverified scheduler
+    // tolerates the buggy call; the verified one has already trapped above.
+    return Status::Ok();
+  }
+  thread->state_ = ThreadState::kReady;
+  ready_queue_.PushBack(thread);
+  CheckRunQueueInvariant();
+  return Status::Ok();
+}
+
+void CoopScheduler::Trampoline() {
+  CoopScheduler* self = active_;
+  FLEXOS_CHECK(self != nullptr, "trampoline without active scheduler");
+  Thread* thread = self->current_;
+  FLEXOS_CHECK(thread != nullptr, "trampoline without current thread");
+  try {
+    thread->entry_();
+  } catch (const TrapException& trap) {
+    // An unhandled trap escaping a thread is a compartment crash; record it
+    // so Run() can surface kernel-panic semantics.
+    thread->fatal_trap_ = trap.info();
+    self->fatal_trap_ = trap.info();
+    FLEXOS_WARN("thread '%s' killed by trap: %s", thread->name().c_str(),
+                trap.info().ToString().c_str());
+  }
+  self->SwitchToRunLoop(SwitchReason::kExit);
+  FLEXOS_PANIC("exited thread resumed");
+}
+
+CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
+  machine_.clock().Charge(SwitchCost());
+  ++context_switches_;
+  current_ = thread;
+  thread->state_ = ThreadState::kRunning;
+  const ExecContext run_loop_context = machine_.context();
+  machine_.context() = thread->exec_context_;
+  if (thread->context_.uc_stack.ss_sp == nullptr) {
+    // First run: materialize the ucontext.
+    FLEXOS_CHECK(getcontext(&thread->context_) == 0, "getcontext failed");
+    thread->context_.uc_stack.ss_sp = thread->host_stack_.get();
+    thread->context_.uc_stack.ss_size = Thread::kHostStackSize;
+    thread->context_.uc_link = nullptr;
+    makecontext(&thread->context_, &CoopScheduler::Trampoline, 0);
+  }
+  FLEXOS_CHECK(swapcontext(&run_loop_context_, &thread->context_) == 0,
+               "swapcontext into thread failed");
+  thread->exec_context_ = machine_.context();
+  machine_.context() = run_loop_context;
+  current_ = nullptr;
+  return pending_reason_;
+}
+
+void CoopScheduler::SwitchToRunLoop(SwitchReason reason) {
+  Thread* thread = current_;
+  FLEXOS_CHECK(thread != nullptr, "SwitchToRunLoop outside a thread");
+  pending_reason_ = reason;
+  FLEXOS_CHECK(swapcontext(&thread->context_, &run_loop_context_) == 0,
+               "swapcontext to run loop failed");
+}
+
+void CoopScheduler::Yield() {
+  Thread* thread = current_;
+  FLEXOS_CHECK(thread != nullptr, "Yield outside a thread");
+  machine_.ChargeMemOp(16);  // Run-queue manipulation.
+  thread->state_ = ThreadState::kReady;
+  SwitchToRunLoop(SwitchReason::kYield);
+}
+
+void CoopScheduler::BlockOn(WaitQueue& queue) {
+  Thread* thread = current_;
+  FLEXOS_CHECK(thread != nullptr, "BlockOn outside a thread");
+  machine_.ChargeMemOp(16);  // Wait-queue manipulation.
+  thread->state_ = ThreadState::kBlocked;
+  pending_block_queue_ = &queue;
+  SwitchToRunLoop(SwitchReason::kBlock);
+}
+
+Thread* CoopScheduler::WakeOne(WaitQueue& queue) {
+  machine_.ChargeMemOp(16);  // Wait-queue manipulation.
+  Thread* thread = queue.Dequeue();
+  if (thread == nullptr) {
+    return nullptr;
+  }
+  FLEXOS_CHECK(thread->state_ == ThreadState::kBlocked,
+               "waking a non-blocked thread '%s'", thread->name().c_str());
+  thread->state_ = ThreadState::kReady;
+  ready_queue_.PushBack(thread);
+  CheckRunQueueInvariant();
+  return thread;
+}
+
+size_t CoopScheduler::live_threads() const {
+  size_t count = 0;
+  for (const auto& thread : threads_) {
+    if (thread->state() != ThreadState::kExited) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status CoopScheduler::Run() {
+  FLEXOS_CHECK(!in_run_loop_, "Run() is not reentrant");
+  in_run_loop_ = true;
+  CoopScheduler* previous_active = active_;
+  active_ = this;
+  Status result = Status::Ok();
+
+  for (;;) {
+    if (fatal_trap_.has_value()) {
+      result = Status(ErrorCode::kBadState,
+                      "fatal trap: " + fatal_trap_->ToString());
+      break;
+    }
+    Thread* next = ready_queue_.PopFront();
+    if (next == nullptr) {
+      // No runnable thread: let the platform make progress (deliver
+      // packets, fire timers, advance virtual time). This also drains
+      // in-flight I/O after the last thread exits — a server may close
+      // with a full send buffer still on the wire.
+      if (idle_handler_ && idle_handler_()) {
+        continue;
+      }
+      if (live_threads() == 0) {
+        break;  // Everything exited and the platform is quiescent.
+      }
+      result = Status(ErrorCode::kTimedOut,
+                      "no runnable threads and idle handler cannot advance");
+      break;
+    }
+    CheckRunQueueInvariant();
+    const SwitchReason reason = SwitchTo(next);
+    switch (reason) {
+      case SwitchReason::kYield:
+        ready_queue_.PushBack(next);
+        break;
+      case SwitchReason::kBlock:
+        FLEXOS_CHECK(pending_block_queue_ != nullptr, "block without queue");
+        pending_block_queue_->Enqueue(next);
+        pending_block_queue_ = nullptr;
+        break;
+      case SwitchReason::kExit:
+        next->state_ = ThreadState::kExited;
+        break;
+    }
+  }
+
+  active_ = previous_active;
+  in_run_loop_ = false;
+  return result;
+}
+
+void CoopScheduler::CheckAddPrecondition(const Thread* thread) {
+  (void)thread;  // The C scheduler trusts its callers.
+}
+
+void CoopScheduler::CheckRunQueueInvariant() {}
+
+uint64_t CoopScheduler::SwitchCost() const {
+  return machine_.costs().context_switch;
+}
+
+}  // namespace flexos

@@ -1,0 +1,86 @@
+// The cooperative round-robin scheduler ("the C scheduler" in the paper's
+// §4 microbenchmark: 76.6 ns per context switch on the testbed).
+#ifndef FLEXOS_SCHED_COOP_SCHEDULER_H_
+#define FLEXOS_SCHED_COOP_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sched/wait_queue.h"
+
+namespace flexos {
+
+class CoopScheduler : public Scheduler {
+ public:
+  explicit CoopScheduler(Machine& machine);
+  ~CoopScheduler() override;
+
+  Result<Thread*> Spawn(std::string name,
+                        std::function<void()> entry) override;
+  Status Remove(Thread* thread) override;
+  Status Add(Thread* thread) override;
+  void Yield() override;
+  void BlockOn(WaitQueue& queue) override;
+  Thread* WakeOne(WaitQueue& queue) override;
+  Thread* Current() override { return current_; }
+  Status Run() override;
+  void SetIdleHandler(std::function<bool()> handler) override {
+    idle_handler_ = std::move(handler);
+  }
+  uint64_t context_switches() const override { return context_switches_; }
+
+  Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
+
+  // Threads alive (ready, running, or blocked).
+  size_t live_threads() const;
+
+ protected:
+  // Hook points for the contract-checked subclass. Defaults are no-ops /
+  // base costs.
+  virtual void CheckAddPrecondition(const Thread* thread);
+  virtual void CheckRunQueueInvariant();
+  virtual uint64_t SwitchCost() const;
+
+  // Exposes the ready queue to invariant checks.
+  IntrusiveList<Thread, Thread::kRunNode>& ready_queue() {
+    return ready_queue_;
+  }
+  const std::vector<std::unique_ptr<Thread>>& threads() const {
+    return threads_;
+  }
+
+ private:
+  enum class SwitchReason : uint8_t { kYield, kBlock, kExit };
+
+  static void Trampoline();
+
+  // Switches from the run loop into `thread` and back; returns why the
+  // thread came back.
+  SwitchReason SwitchTo(Thread* thread);
+
+  // Switches from the current thread back to the run loop.
+  void SwitchToRunLoop(SwitchReason reason);
+
+  Machine& machine_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  IntrusiveList<Thread, Thread::kRunNode> ready_queue_;
+  Thread* current_ = nullptr;
+  ucontext_t run_loop_context_{};
+  SwitchReason pending_reason_ = SwitchReason::kYield;
+  WaitQueue* pending_block_queue_ = nullptr;
+  std::function<bool()> idle_handler_;
+  uint64_t next_thread_id_ = 1;
+  uint64_t context_switches_ = 0;
+  std::optional<TrapInfo> fatal_trap_;
+  bool in_run_loop_ = false;
+
+  // makecontext(3) passes only ints; the trampoline recovers the scheduler
+  // through this (single-CPU simulator, so one active scheduler at a time).
+  static CoopScheduler* active_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SCHED_COOP_SCHEDULER_H_

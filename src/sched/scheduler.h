@@ -1,0 +1,71 @@
+// Scheduler interface. The API mirrors the micro-library the paper
+// describes (thread_add / thread_rm / yield) plus the run loop that stands
+// in for the boot CPU. Two implementations exist:
+//   * CoopScheduler      — the fast C scheduler.
+//   * VerifiedScheduler  — the contract-checked analog of the paper's
+//                          Dafny-verified scheduler (see DESIGN.md §2).
+#ifndef FLEXOS_SCHED_SCHEDULER_H_
+#define FLEXOS_SCHED_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sched/thread.h"
+#include "support/status.h"
+
+namespace flexos {
+
+class WaitQueue;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Creates a thread and adds it to the run queue (paper API: thread_add).
+  virtual Result<Thread*> Spawn(std::string name,
+                                std::function<void()> entry) = 0;
+
+  // Removes a thread that has not started running (paper API: thread_rm).
+  virtual Status Remove(Thread* thread) = 0;
+
+  // Re-adds a previously removed thread to the run queue (paper API:
+  // thread_add). Its precondition — the thread must not already be added —
+  // is exactly the example the paper gives for contract checking: the
+  // verified scheduler traps on violation, the C scheduler silently
+  // tolerates the buggy call.
+  virtual Status Add(Thread* thread) = 0;
+
+  // Cooperatively yields the current thread (paper API: yield). Must be
+  // called from inside a running thread.
+  virtual void Yield() = 0;
+
+  // Blocks the current thread on `queue` until woken.
+  virtual void BlockOn(WaitQueue& queue) = 0;
+
+  // Moves one waiter (FIFO) from `queue` to the run queue. Returns the
+  // woken thread or nullptr if the queue was empty.
+  virtual Thread* WakeOne(WaitQueue& queue) = 0;
+
+  // Thread currently executing, or nullptr when in the run loop.
+  virtual Thread* Current() = 0;
+
+  // Runs until all threads exit, a fatal trap occurs, or no progress is
+  // possible. Returns kBadState with the trap detail on a fatal trap and
+  // kTimedOut if runnable work remains but the idle handler cannot advance.
+  virtual Status Run() = 0;
+
+  // Installed by the platform: invoked when no thread is runnable. Returns
+  // true if it made progress (e.g. advanced virtual time and delivered
+  // packets that woke threads); false means the system is idle/deadlocked.
+  virtual void SetIdleHandler(std::function<bool()> handler) = 0;
+
+  // Number of context switches performed (microbenchmark hook).
+  virtual uint64_t context_switches() const = 0;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SCHED_SCHEDULER_H_

@@ -1,0 +1,25 @@
+#include "sched/thread.h"
+
+namespace flexos {
+
+std::string_view ThreadStateName(ThreadState state) {
+  switch (state) {
+    case ThreadState::kReady:
+      return "ready";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kExited:
+      return "exited";
+  }
+  return "?";
+}
+
+Thread::Thread(uint64_t id, std::string name, std::function<void()> entry)
+    : id_(id),
+      name_(std::move(name)),
+      entry_(std::move(entry)),
+      host_stack_(new char[kHostStackSize]) {}
+
+}  // namespace flexos

@@ -1,0 +1,78 @@
+// Cooperative green threads. The execution vehicle is a host ucontext; the
+// *guest* stacks that MPK isolates are modeled separately by the gate layer
+// (each compartment owns stack regions in guest memory and the
+// switched-stack gate copies arguments between them).
+#ifndef FLEXOS_SCHED_THREAD_H_
+#define FLEXOS_SCHED_THREAD_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hw/machine.h"
+#include "hw/trap.h"
+#include "support/intrusive_list.h"
+
+namespace flexos {
+
+enum class ThreadState : uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,
+  kExited,
+};
+
+std::string_view ThreadStateName(ThreadState state);
+
+class Scheduler;
+
+class Thread {
+ public:
+  static constexpr size_t kHostStackSize = 256 * 1024;
+
+  Thread(uint64_t id, std::string name, std::function<void()> entry);
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ThreadState state() const { return state_; }
+
+  // The trap that killed this thread, if it exited via an unhandled trap.
+  const std::optional<TrapInfo>& fatal_trap() const { return fatal_trap_; }
+
+  // True while the thread sits on the scheduler's ready queue.
+  bool queued() const { return run_node_.linked(); }
+
+ private:
+  friend class CoopScheduler;
+
+  uint64_t id_;
+  std::string name_;
+  ThreadState state_ = ThreadState::kReady;
+  std::function<void()> entry_;
+  std::unique_ptr<char[]> host_stack_;
+  ucontext_t context_{};
+  std::optional<TrapInfo> fatal_trap_;
+  // The machine execution context (PKRU, instrumentation) this thread was
+  // running under; saved on switch-out, restored on switch-in so protection
+  // state is per-thread, as on real hardware.
+  ExecContext exec_context_;
+
+  ListNode run_node_;   // Run-queue linkage.
+  ListNode wait_node_;  // Wait-queue linkage.
+
+ public:
+  // Exposed for IntrusiveList member-pointer template arguments.
+  static constexpr ListNode Thread::* kRunNode = &Thread::run_node_;
+  static constexpr ListNode Thread::* kWaitNode = &Thread::wait_node_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SCHED_THREAD_H_

@@ -1,0 +1,59 @@
+#include "sched/verified_scheduler.h"
+
+#include <unordered_set>
+
+#include "support/strings.h"
+
+namespace flexos {
+
+void VerifiedScheduler::CheckAddPrecondition(const Thread* thread) {
+  ++contract_checks_;
+  if (thread == nullptr) {
+    return;  // Reported as a Status by the caller.
+  }
+  if (thread->queued() || thread->state() == ThreadState::kRunning ||
+      thread->state() == ThreadState::kBlocked) {
+    RaiseTrap(TrapInfo{
+        .kind = TrapKind::kContractViolation,
+        .detail = StrFormat(
+            "thread_add precondition: thread '%s' (state=%s) already added",
+            thread->name().c_str(),
+            std::string(ThreadStateName(thread->state())).c_str())});
+  }
+}
+
+void VerifiedScheduler::CheckRunQueueInvariant() {
+  ++contract_checks_;
+  std::unordered_set<const Thread*> seen;
+  for (Thread& thread : ready_queue()) {
+    if (!seen.insert(&thread).second) {
+      RaiseTrap(TrapInfo{
+          .kind = TrapKind::kContractViolation,
+          .detail = StrFormat("run-queue invariant: thread '%s' queued twice",
+                              thread.name().c_str())});
+    }
+    if (thread.state() != ThreadState::kReady) {
+      RaiseTrap(TrapInfo{
+          .kind = TrapKind::kContractViolation,
+          .detail = StrFormat(
+              "run-queue invariant: queued thread '%s' has state %s",
+              thread.name().c_str(),
+              std::string(ThreadStateName(thread.state())).c_str())});
+    }
+  }
+  const Thread* running = Current();
+  if (running != nullptr && seen.count(running) != 0) {
+    RaiseTrap(TrapInfo{
+        .kind = TrapKind::kContractViolation,
+        .detail = StrFormat(
+            "run-queue invariant: running thread '%s' is also queued",
+            running->name().c_str())});
+  }
+}
+
+uint64_t VerifiedScheduler::SwitchCost() const {
+  const CostModel& costs = machine().costs();
+  return costs.context_switch + costs.verified_sched_extra;
+}
+
+}  // namespace flexos

@@ -1,0 +1,3 @@
+#include "sched/wait_queue.h"
+
+// WaitQueue is header-only today; this TU anchors the target.

@@ -1,0 +1,39 @@
+// A FIFO wait queue of blocked threads. Pure container: the scheduler owns
+// the state transitions.
+#ifndef FLEXOS_SCHED_WAIT_QUEUE_H_
+#define FLEXOS_SCHED_WAIT_QUEUE_H_
+
+#include <string>
+
+#include "sched/thread.h"
+#include "support/intrusive_list.h"
+
+namespace flexos {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(std::string name = "waitq") : name_(std::move(name)) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+
+  void Enqueue(Thread* thread) { waiters_.PushBack(thread); }
+  Thread* Dequeue() { return waiters_.PopFront(); }
+  void Remove(Thread* thread) { waiters_.Remove(thread); }
+  bool Contains(const Thread* thread) const {
+    return waiters_.Contains(thread);
+  }
+
+ private:
+  std::string name_;
+  // Mutable so Contains can stay const with the minimal iterator API.
+  mutable IntrusiveList<Thread, Thread::kWaitNode> waiters_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SCHED_WAIT_QUEUE_H_

@@ -1,0 +1,78 @@
+// GateRouter: the seam between micro-libraries and FlexOS gates. Substrate
+// code (netstack, libc, apps) never calls another micro-library directly; it
+// routes the call through this interface, naming the source and target
+// libraries — the runtime analog of the paper's `uk_gate_r` placeholders.
+//
+// At image-build time core/image_builder.cc installs a router that maps
+// library names to compartments and charges/performs the configured gate
+// (direct call, MPK shared-stack, MPK switched-stack, VM RPC) plus the
+// matching ExecContext switch. The default DirectGateRouter models the
+// everything-in-one-compartment baseline.
+#ifndef FLEXOS_SUPPORT_GATE_ROUTER_H_
+#define FLEXOS_SUPPORT_GATE_ROUTER_H_
+
+#include <functional>
+#include <string_view>
+
+namespace flexos {
+
+// Well-known micro-library names used by the in-tree components. Metadata
+// and image configs refer to libraries by these strings.
+inline constexpr std::string_view kLibApp = "app";
+inline constexpr std::string_view kLibNet = "net";
+inline constexpr std::string_view kLibSched = "sched";
+inline constexpr std::string_view kLibLibc = "libc";
+inline constexpr std::string_view kLibAlloc = "alloc";
+inline constexpr std::string_view kLibFs = "fs";
+inline constexpr std::string_view kLibPlatform = "platform";
+
+class GateRouter {
+ public:
+  virtual ~GateRouter() = default;
+
+  // Executes `body` as a call from micro-library `from` into `to`,
+  // performing whatever domain transition the image configuration dictates.
+  virtual void Call(std::string_view from, std::string_view to,
+                    const std::function<void()>& body) = 0;
+
+  // Executes `body` as a call into a *leaf routine* of library `to`
+  // (memcpy-class functions): such code is statically linked into every
+  // compartment, so it runs in the CALLER's protection domain — no gate,
+  // no domain switch — but carries the target library's instrumentation
+  // (a hardened libc means an instrumented memcpy everywhere it is
+  // inlined). Stateful services (semaphores, scheduler queues) must use
+  // Call instead.
+  virtual void CallLeaf(std::string_view from, std::string_view to,
+                        const std::function<void()>& body) {
+    (void)from;
+    (void)to;
+    body();
+  }
+
+  // Convenience wrapper for calls that produce a value.
+  template <typename T>
+  T CallR(std::string_view from, std::string_view to,
+          const std::function<T()>& body) {
+    alignas(T) unsigned char storage[sizeof(T)];
+    T* slot = nullptr;
+    Call(from, to, [&] { slot = new (storage) T(body()); });
+    T result = std::move(*slot);
+    slot->~T();
+    return result;
+  }
+};
+
+// No isolation: every cross-library call is a plain function call.
+class DirectGateRouter final : public GateRouter {
+ public:
+  void Call(std::string_view from, std::string_view to,
+            const std::function<void()>& body) override {
+    (void)from;
+    (void)to;
+    body();
+  }
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SUPPORT_GATE_ROUTER_H_

@@ -1,0 +1,124 @@
+// A doubly-linked intrusive list. Nodes embed a ListNode member; the list
+// never allocates. Used by the scheduler run queue and wait queues, where
+// the owner of the element controls its lifetime (Core Guidelines R.3: these
+// are non-owning links).
+#ifndef FLEXOS_SUPPORT_INTRUSIVE_LIST_H_
+#define FLEXOS_SUPPORT_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "support/panic.h"
+
+namespace flexos {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+
+  void Unlink() {
+    FLEXOS_DCHECK(linked(), "Unlink of unlinked node");
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+  }
+};
+
+// T must have a `ListNode` member; `kNodeMember` selects which one.
+template <typename T, ListNode T::* kNodeMember>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const ListNode* node = sentinel_.next; node != &sentinel_;
+         node = node->next) {
+      ++n;
+    }
+    return n;
+  }
+
+  void PushBack(T* element) { InsertBefore(&sentinel_, element); }
+  void PushFront(T* element) { InsertBefore(sentinel_.next, element); }
+
+  T* Front() { return empty() ? nullptr : FromNode(sentinel_.next); }
+  T* Back() { return empty() ? nullptr : FromNode(sentinel_.prev); }
+
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* element = FromNode(sentinel_.next);
+    (element->*kNodeMember).Unlink();
+    return element;
+  }
+
+  void Remove(T* element) { (element->*kNodeMember).Unlink(); }
+
+  bool Contains(const T* element) const {
+    for (const ListNode* node = sentinel_.next; node != &sentinel_;
+         node = node->next) {
+      if (node == &(element->*kNodeMember)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Minimal forward iterator over elements.
+  class Iterator {
+   public:
+    Iterator(ListNode* node, const ListNode* sentinel)
+        : node_(node), sentinel_(sentinel) {}
+    T& operator*() const { return *FromNode(node_); }
+    T* operator->() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return node_ != other.node_;
+    }
+
+   private:
+    ListNode* node_;
+    const ListNode* sentinel_;
+  };
+
+  Iterator begin() { return Iterator(sentinel_.next, &sentinel_); }
+  Iterator end() { return Iterator(&sentinel_, &sentinel_); }
+
+ private:
+  static T* FromNode(ListNode* node) {
+    // Standard container_of: offset of the node member within T.
+    const auto offset = reinterpret_cast<size_t>(
+        &(reinterpret_cast<T*>(0)->*kNodeMember));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  void InsertBefore(ListNode* position, T* element) {
+    ListNode* node = &(element->*kNodeMember);
+    FLEXOS_DCHECK(!node->linked(), "element already on a list");
+    node->prev = position->prev;
+    node->next = position;
+    position->prev->next = node;
+    position->prev = node;
+  }
+
+  ListNode sentinel_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SUPPORT_INTRUSIVE_LIST_H_

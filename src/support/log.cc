@@ -1,0 +1,52 @@
+#include "support/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace flexos {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogImpl(LogLevel level, const char* file, int line, const char* format,
+             ...) {
+  // Strip directories for compact output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), base, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace flexos

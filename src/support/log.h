@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr. The level is a process-global runtime
+// knob; benchmarks default to kWarn so modeled hot paths stay quiet.
+#ifndef FLEXOS_SUPPORT_LOG_H_
+#define FLEXOS_SUPPORT_LOG_H_
+
+namespace flexos {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kNone = 5,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogImpl(LogLevel level, const char* file, int line, const char* format,
+             ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace flexos
+
+#define FLEXOS_LOG(level, ...)                                        \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::flexos::GetLogLevel())) {                  \
+      ::flexos::LogImpl(level, __FILE__, __LINE__, __VA_ARGS__);      \
+    }                                                                 \
+  } while (0)
+
+#define FLEXOS_TRACE(...) FLEXOS_LOG(::flexos::LogLevel::kTrace, __VA_ARGS__)
+#define FLEXOS_DEBUG(...) FLEXOS_LOG(::flexos::LogLevel::kDebug, __VA_ARGS__)
+#define FLEXOS_INFO(...) FLEXOS_LOG(::flexos::LogLevel::kInfo, __VA_ARGS__)
+#define FLEXOS_WARN(...) FLEXOS_LOG(::flexos::LogLevel::kWarn, __VA_ARGS__)
+#define FLEXOS_ERROR(...) FLEXOS_LOG(::flexos::LogLevel::kError, __VA_ARGS__)
+
+#endif  // FLEXOS_SUPPORT_LOG_H_

@@ -1,0 +1,20 @@
+#include "support/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace flexos {
+
+void PanicImpl(const char* file, int line, const char* format, ...) {
+  std::fprintf(stderr, "\n*** FLEXOS PANIC at %s:%d: ", file, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fprintf(stderr, " ***\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace flexos

@@ -1,0 +1,34 @@
+// Panic and assertion machinery. A FLEXOS_CHECK failure is a bug in the
+// simulator or its caller, never a modeled guest fault (those go through
+// hw/trap.h).
+#ifndef FLEXOS_SUPPORT_PANIC_H_
+#define FLEXOS_SUPPORT_PANIC_H_
+
+namespace flexos {
+
+// Prints the formatted message with source location and aborts.
+[[noreturn]] void PanicImpl(const char* file, int line, const char* format,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+}  // namespace flexos
+
+#define FLEXOS_PANIC(...) ::flexos::PanicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define FLEXOS_CHECK(cond, fmt, ...)                                          \
+  do {                                                                        \
+    if (__builtin_expect(!(cond), 0)) {                                       \
+      ::flexos::PanicImpl(__FILE__, __LINE__, "CHECK failed: %s; " fmt,       \
+                          #cond __VA_OPT__(, ) __VA_ARGS__);                  \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define FLEXOS_DCHECK(cond, ...) \
+  do {                           \
+    (void)sizeof(cond);          \
+  } while (0)
+#else
+#define FLEXOS_DCHECK(cond, ...) FLEXOS_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // FLEXOS_SUPPORT_PANIC_H_

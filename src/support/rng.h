@@ -1,0 +1,81 @@
+// Deterministic PRNGs for reproducible simulation. SplitMix64 seeds
+// Xoshiro256** (Blackman & Vigna); both are tiny, fast, and well-distributed.
+#ifndef FLEXOS_SUPPORT_RNG_H_
+#define FLEXOS_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "support/panic.h"
+
+namespace flexos {
+
+// One 64-bit step of SplitMix64. Useful standalone for hashing.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** PRNG; deterministic given the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (uint64_t& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    FLEXOS_DCHECK(bound > 0, "NextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t sample = NextU64();
+      if (sample >= threshold) {
+        return sample % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    FLEXOS_DCHECK(lo <= hi, "NextInRange: lo > hi");
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double probability_true) {
+    return NextDouble() < probability_true;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SUPPORT_RNG_H_

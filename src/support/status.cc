@@ -1,0 +1,59 @@
+#include "support/status.h"
+
+namespace flexos {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kTimedOut:
+      return "TIMED_OUT";
+    case ErrorCode::kWouldBlock:
+      return "WOULD_BLOCK";
+    case ErrorCode::kConnectionReset:
+      return "CONNECTION_RESET";
+    case ErrorCode::kConnectionRefused:
+      return "CONNECTION_REFUSED";
+    case ErrorCode::kNotConnected:
+      return "NOT_CONNECTED";
+    case ErrorCode::kBadState:
+      return "BAD_STATE";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace flexos

@@ -1,0 +1,144 @@
+// Status and Result<T>: the error-handling vocabulary for all expected errors
+// in FlexOS. Simulated CPU traps (protection faults etc.) are the only place
+// exceptions are used; see hw/trap.h.
+#ifndef FLEXOS_SUPPORT_STATUS_H_
+#define FLEXOS_SUPPORT_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "support/panic.h"
+
+namespace flexos {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kOutOfRange,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kTimedOut,
+  kWouldBlock,
+  kConnectionReset,
+  kConnectionRefused,
+  kNotConnected,
+  kBadState,
+  kUnavailable,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of an error code, e.g. "OUT_OF_MEMORY".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, value-semantic status. An empty message is the common case and
+// allocates nothing.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : repr_(std::move(value)) {}
+  Result(Status status) : repr_(std::move(status)) {
+    FLEXOS_CHECK(!std::get<Status>(repr_).ok(),
+                 "Result<T> constructed from OK status");
+  }
+  Result(ErrorCode code) : Result(Status(code)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : std::get<Status>(repr_).code();
+  }
+
+  T& value() & {
+    FLEXOS_CHECK(ok(), "Result::value() on error: %s",
+                 status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    FLEXOS_CHECK(ok(), "Result::value() on error: %s",
+                 status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    FLEXOS_CHECK(ok(), "Result::value() on error: %s",
+                 status().ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define FLEXOS_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::flexos::Status status_ = (expr);        \
+    if (!status_.ok()) {                      \
+      return status_;                         \
+    }                                         \
+  } while (0)
+
+// Assigns the value of a Result expression or propagates its status.
+#define FLEXOS_ASSIGN_OR_RETURN(lhs, expr)                 \
+  FLEXOS_ASSIGN_OR_RETURN_IMPL_(                           \
+      FLEXOS_STATUS_CONCAT_(result_, __LINE__), lhs, expr)
+#define FLEXOS_STATUS_CONCAT_INNER_(a, b) a##b
+#define FLEXOS_STATUS_CONCAT_(a, b) FLEXOS_STATUS_CONCAT_INNER_(a, b)
+#define FLEXOS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SUPPORT_STATUS_H_

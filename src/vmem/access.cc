@@ -1,0 +1,35 @@
+#include "vmem/access.h"
+
+namespace flexos {
+
+GuestSlice GuestSlice::Sub(uint64_t offset, uint64_t length) const {
+  FLEXOS_CHECK(offset <= size_ && length <= size_ - offset,
+               "GuestSlice::Sub out of bounds (off=%llu len=%llu size=%llu)",
+               static_cast<unsigned long long>(offset),
+               static_cast<unsigned long long>(length),
+               static_cast<unsigned long long>(size_));
+  return GuestSlice(*space_, addr_ + offset, length);
+}
+
+void GuestSlice::ReadAt(uint64_t offset, void* dst, uint64_t length) const {
+  FLEXOS_CHECK(offset <= size_ && length <= size_ - offset,
+               "GuestSlice::ReadAt out of bounds");
+  space_->Read(addr_ + offset, dst, length);
+}
+
+void GuestSlice::WriteAt(uint64_t offset, const void* src,
+                         uint64_t length) const {
+  FLEXOS_CHECK(offset <= size_ && length <= size_ - offset,
+               "GuestSlice::WriteAt out of bounds");
+  space_->Write(addr_ + offset, src, length);
+}
+
+std::vector<uint8_t> GuestSlice::ToVector() const {
+  std::vector<uint8_t> out(size_);
+  if (size_ != 0) {
+    space_->Read(addr_, out.data(), size_);
+  }
+  return out;
+}
+
+}  // namespace flexos

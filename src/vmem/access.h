@@ -1,0 +1,54 @@
+// GuestSlice: a bounds-checked view of guest memory (space + address +
+// length). The network stack and applications pass these instead of raw
+// guest addresses so every consumer inherits the bounds check.
+#ifndef FLEXOS_VMEM_ACCESS_H_
+#define FLEXOS_VMEM_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+class GuestSlice {
+ public:
+  GuestSlice() : space_(nullptr), addr_(0), size_(0) {}
+  GuestSlice(AddressSpace& space, Gaddr addr, uint64_t size)
+      : space_(&space), addr_(addr), size_(size) {}
+
+  AddressSpace* space() const { return space_; }
+  Gaddr addr() const { return addr_; }
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Sub-slice [offset, offset+length); bounds-checked.
+  GuestSlice Sub(uint64_t offset, uint64_t length) const;
+
+  void ReadAt(uint64_t offset, void* dst, uint64_t length) const;
+  void WriteAt(uint64_t offset, const void* src, uint64_t length) const;
+
+  template <typename T>
+  T ReadTAt(uint64_t offset) const {
+    T value;
+    ReadAt(offset, &value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void WriteTAt(uint64_t offset, const T& value) const {
+    WriteAt(offset, &value, sizeof(T));
+  }
+
+  // Copies the whole slice into a host vector (checked, charged).
+  std::vector<uint8_t> ToVector() const;
+
+ private:
+  AddressSpace* space_;
+  Gaddr addr_;
+  uint64_t size_;
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_VMEM_ACCESS_H_

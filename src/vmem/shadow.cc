@@ -1,0 +1,26 @@
+#include "vmem/shadow.h"
+
+#include "vmem/address_space.h"
+
+namespace flexos {
+
+std::string_view ShadowCodeName(uint8_t code) {
+  if (code == kShadowAddressable) {
+    return "addressable";
+  }
+  if (code < kShadowGranule) {
+    return "partially-addressable";
+  }
+  switch (code) {
+    case kShadowHeapRedzone:
+      return "heap-redzone";
+    case kShadowFreed:
+      return "heap-freed";
+    case kShadowStackGuard:
+      return "stack-guard";
+    default:
+      return "poisoned";
+  }
+}
+
+}  // namespace flexos

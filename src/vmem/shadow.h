@@ -1,0 +1,15 @@
+// Helpers around ASAN-lite shadow codes (diagnostics, test inspection).
+#ifndef FLEXOS_VMEM_SHADOW_H_
+#define FLEXOS_VMEM_SHADOW_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace flexos {
+
+// Human-readable name of a shadow byte, e.g. "heap-redzone".
+std::string_view ShadowCodeName(uint8_t code);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_VMEM_SHADOW_H_

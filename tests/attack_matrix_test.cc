@@ -1,0 +1,172 @@
+// The paper's value proposition as a test matrix: one attack, many images.
+// A compromised network stack scribbles over another library's memory; a
+// hijacked component jumps to an unexported entry point. Whether that is
+// caught — and by which mechanism — depends entirely on the build-time
+// configuration, not on the code.
+#include <gtest/gtest.h>
+
+#include "core/config_parser.h"
+#include "core/image_builder.h"
+
+namespace flexos {
+namespace {
+
+ImageConfig Split(IsolationBackend backend) {
+  ImageConfig config;
+  config.backend = backend;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  return config;
+}
+
+// The attack: code running as the network stack writes one byte into an
+// app-owned heap allocation. Returns the trap that stopped it, if any.
+std::optional<TrapKind> NetWritesAppMemory(Image& image) {
+  const Gaddr app_secret = image.AllocatorOf("app").Allocate(64).value();
+  const uint32_t canary = 0xfeedc0de;
+  image.SpaceOf("app").WriteT<uint32_t>(app_secret, canary);
+  std::optional<TrapKind> caught;
+  image.Call(kLibPlatform, "net", [&] {
+    try {
+      uint8_t evil = 0x41;
+      image.SpaceOf("net").Write(app_secret, &evil, 1);
+    } catch (const TrapException& trap) {
+      caught = trap.info().kind;
+    }
+  });
+  if (!caught.has_value()) {
+    // No trap: did the attack actually corrupt the data?
+    EXPECT_NE(image.SpaceOf("app").ReadT<uint32_t>(app_secret), canary)
+        << "write neither trapped nor landed";
+  } else {
+    EXPECT_EQ(image.SpaceOf("app").ReadT<uint32_t>(app_secret), canary)
+        << "trap fired but data corrupted anyway";
+  }
+  return caught;
+}
+
+TEST(AttackMatrix, BaselineLetsTheWriteThrough) {
+  // No isolation: the attack silently succeeds — the paper's motivation.
+  Machine machine;
+  auto image =
+      ImageBuilder(machine).Build(BaselineConfig(
+          {"app", "net", "sched", "libc", "alloc"})).value();
+  EXPECT_FALSE(NetWritesAppMemory(*image).has_value());
+}
+
+TEST(AttackMatrix, MpkSharedStackTrapsIt) {
+  Machine machine;
+  auto image =
+      ImageBuilder(machine).Build(Split(IsolationBackend::kMpkSharedStack))
+          .value();
+  const auto caught = NetWritesAppMemory(*image);
+  ASSERT_TRUE(caught.has_value());
+  EXPECT_EQ(*caught, TrapKind::kProtectionFault);
+}
+
+TEST(AttackMatrix, MpkSwitchedStackTrapsIt) {
+  Machine machine;
+  auto image =
+      ImageBuilder(machine)
+          .Build(Split(IsolationBackend::kMpkSwitchedStack))
+          .value();
+  const auto caught = NetWritesAppMemory(*image);
+  ASSERT_TRUE(caught.has_value());
+  EXPECT_EQ(*caught, TrapKind::kProtectionFault);
+}
+
+TEST(AttackMatrix, VmBackendWritesHitPrivatePagesInstead) {
+  // Under the VM backend the same guest address maps to net's own private
+  // page — the write "succeeds" but touches nothing of the app's.
+  Machine machine;
+  auto image =
+      ImageBuilder(machine).Build(Split(IsolationBackend::kVmRpc)).value();
+  const Gaddr app_secret = image->AllocatorOf("app").Allocate(64).value();
+  image->SpaceOf("app").WriteT<uint32_t>(app_secret, 0xfeedc0de);
+  image->Call(kLibPlatform, "net", [&] {
+    uint8_t evil = 0x41;
+    EXPECT_NO_THROW(image->SpaceOf("net").Write(app_secret, &evil, 1));
+  });
+  EXPECT_EQ(image->SpaceOf("app").ReadT<uint32_t>(app_secret), 0xfeedc0deu);
+}
+
+TEST(AttackMatrix, AsanCatchesOverflowsButNotPreciseCrossLibWrites) {
+  // Single compartment with a hardened net: ASAN-class checking catches
+  // out-of-bounds and use-after-free, but a *precise* write to another
+  // library's live heap memory is valid as far as shadow memory is
+  // concerned — protecting against that needs isolation (or DFI), which
+  // is exactly the trade-off the metadata/compatibility engine reasons
+  // about.
+  Machine machine;
+  ImageConfig config =
+      BaselineConfig({"app", "net", "sched", "libc", "alloc"});
+  config.hardened_libs = {"net"};
+  auto image = ImageBuilder(machine).Build(config).value();
+  EXPECT_FALSE(NetWritesAppMemory(*image).has_value());
+
+  // What hardened net DOES catch: overflowing its own buffers.
+  const Gaddr own = image->AllocatorOf("net").Allocate(32).value();
+  std::optional<TrapKind> caught;
+  image->Call(kLibPlatform, "net", [&] {
+    try {
+      uint8_t blob[48] = {};
+      image->SpaceOf("net").Write(own, blob, sizeof(blob));
+    } catch (const TrapException& trap) {
+      caught = trap.info().kind;
+    }
+  });
+  ASSERT_TRUE(caught.has_value());
+  EXPECT_EQ(*caught, TrapKind::kAsanViolation);
+}
+
+TEST(AttackMatrix, HijackedControlFlowNeedsCfi) {
+  Machine machine;
+  // Same compartment, no CFI: the rogue call lands.
+  ImageConfig open_config =
+      BaselineConfig({"app", "net", "sched", "libc", "alloc"});
+  open_config.apis["sched"] = {"thread_add", "thread_rm", "yield"};
+  auto open_image = ImageBuilder(machine).Build(open_config).value();
+  bool landed = false;
+  EXPECT_NO_THROW(open_image->CallNamed("net", "sched", "corrupt_runqueue",
+                                        [&] { landed = true; }));
+  EXPECT_TRUE(landed);
+
+  // CFI on: the same call traps before the body runs.
+  ImageConfig cfi_config = open_config;
+  cfi_config.cfi_libs = {"sched"};
+  auto cfi_image = ImageBuilder(machine).Build(cfi_config).value();
+  landed = false;
+  try {
+    cfi_image->CallNamed("net", "sched", "corrupt_runqueue",
+                         [&] { landed = true; });
+    FAIL() << "CFI did not trap";
+  } catch (const TrapException& trap) {
+    EXPECT_EQ(trap.info().kind, TrapKind::kCfiViolation);
+  }
+  EXPECT_FALSE(landed);
+}
+
+TEST(AttackMatrix, SameConfigFileDifferentVerdicts) {
+  // The whole point: flipping one line of the build config flips the
+  // attack outcome.
+  const char* base =
+      "compartment net\n"
+      "compartment app sched libc alloc\n";
+  Machine machine;
+  ImageBuilder builder(machine);
+
+  Result<ImageConfig> open_config =
+      ParseImageConfig(std::string("backend = none\ncompartment app net "
+                                   "sched libc alloc\n"));
+  ASSERT_TRUE(open_config.ok());
+  auto open_image = builder.Build(open_config.value()).value();
+  EXPECT_FALSE(NetWritesAppMemory(*open_image).has_value());
+
+  Result<ImageConfig> locked_config = ParseImageConfig(
+      std::string("backend = mpk-shared\n") + base);
+  ASSERT_TRUE(locked_config.ok());
+  auto locked_image = builder.Build(locked_config.value()).value();
+  EXPECT_TRUE(NetWritesAppMemory(*locked_image).has_value());
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/coloring.h"
+#include "support/rng.h"
+
+namespace flexos {
+namespace {
+
+using Edges = std::vector<std::pair<int, int>>;
+
+TEST(Coloring, EmptyGraphUsesOneColorPerIndependentSet) {
+  const ColoringResult result = ColorGraphDsatur(5, {});
+  EXPECT_EQ(result.num_colors, 1);
+  EXPECT_TRUE(IsProperColoring(result, {}));
+}
+
+TEST(Coloring, TriangleNeedsThree) {
+  const Edges triangle = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_EQ(ColorGraphDsatur(3, triangle).num_colors, 3);
+  EXPECT_EQ(ColorGraphExact(3, triangle).num_colors, 3);
+}
+
+TEST(Coloring, BipartiteNeedsTwo) {
+  // K3,3 — greedy can do 2 here; exact must.
+  Edges edges;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 3; b < 6; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  const ColoringResult exact = ColorGraphExact(6, edges);
+  EXPECT_EQ(exact.num_colors, 2);
+  EXPECT_TRUE(IsProperColoring(exact, edges));
+}
+
+TEST(Coloring, EvenCycleTwoOddCycleThree) {
+  Edges even = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  EXPECT_EQ(ColorGraphExact(4, even).num_colors, 2);
+  Edges odd = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  EXPECT_EQ(ColorGraphExact(5, odd).num_colors, 3);
+}
+
+TEST(Coloring, CompleteGraphWorstCase) {
+  // Paper §2: "In the worst case where all libraries have conflicts, each
+  // library will be instantiated in its own compartment."
+  Edges edges;
+  const int n = 7;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  EXPECT_EQ(ColorGraphExact(n, edges).num_colors, n);
+}
+
+TEST(Coloring, ExactNeverWorseThanGreedy) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.NextBelow(10));
+    Edges edges;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.NextBool(0.35)) {
+          edges.emplace_back(a, b);
+        }
+      }
+    }
+    const ColoringResult greedy = ColorGraphDsatur(n, edges);
+    const ColoringResult exact = ColorGraphExact(n, edges);
+    EXPECT_TRUE(IsProperColoring(greedy, edges)) << "trial " << trial;
+    EXPECT_TRUE(IsProperColoring(exact, edges)) << "trial " << trial;
+    EXPECT_LE(exact.num_colors, greedy.num_colors) << "trial " << trial;
+    EXPECT_GE(exact.num_colors, 1);
+  }
+}
+
+TEST(Coloring, ImproperColoringDetected) {
+  ColoringResult bogus;
+  bogus.num_colors = 1;
+  bogus.color_of = {0, 0};
+  EXPECT_FALSE(IsProperColoring(bogus, {{0, 1}}));
+  EXPECT_FALSE(IsProperColoring(bogus, {{0, 5}}));  // Out of range.
+}
+
+// Known chromatic numbers: the Petersen graph needs 3 colors.
+TEST(Coloring, PetersenGraphIsThreeChromatic) {
+  const Edges petersen = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                          {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+                          {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}};
+  const ColoringResult exact = ColorGraphExact(10, petersen);
+  EXPECT_EQ(exact.num_colors, 3);
+  EXPECT_TRUE(IsProperColoring(exact, petersen));
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/compat.h"
+
+namespace flexos {
+namespace {
+
+TEST(Compat, PaperExampleSchedulerVsUnsafeC) {
+  // Paper §2: "these two libraries cannot be run in the same compartment"
+  // because the C component may write to all memory while the verified
+  // scheduler requires others not to write its own memory.
+  const LibraryMeta sched = SchedulerMeta();
+  const LibraryMeta unsafe = UnsafeCLibMeta("clib");
+  const CompatVerdict verdict = CanShareCompartment(sched, unsafe);
+  EXPECT_FALSE(verdict.compatible);
+  ASSERT_FALSE(verdict.violations.empty());
+}
+
+TEST(Compat, TwoLibsWithoutRequiresAlwaysCompatible) {
+  // Paper §2: "If both libraries have no Requires clause, the answer is
+  // yes."
+  const LibraryMeta a = UnsafeCLibMeta("a");
+  const LibraryMeta b = UnsafeCLibMeta("b");
+  EXPECT_TRUE(CanShareCompartment(a, b).compatible);
+}
+
+TEST(Compat, WellBehavedLibSatisfiesScheduler) {
+  const LibraryMeta sched = SchedulerMeta();
+  Result<LibraryMeta> polite = ParseLibraryMeta(
+      "polite",
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[Call] sched::thread_add, sched::yield");
+  ASSERT_TRUE(polite.ok());
+  EXPECT_TRUE(CanShareCompartment(sched, polite.value()).compatible);
+}
+
+TEST(Compat, DisallowedCallIntoHolderRejected) {
+  const LibraryMeta sched = SchedulerMeta();
+  Result<LibraryMeta> caller = ParseLibraryMeta(
+      "caller",
+      "[Memory access] Read(Own); Write(Own)\n"
+      "[Call] sched::internal_secret");
+  ASSERT_TRUE(caller.ok());
+  const CompatVerdict verdict = CanShareCompartment(sched, caller.value());
+  EXPECT_FALSE(verdict.compatible);
+}
+
+TEST(Compat, CallsIntoOtherLibsIgnoredByHolder) {
+  const LibraryMeta sched = SchedulerMeta();
+  Result<LibraryMeta> caller = ParseLibraryMeta(
+      "caller",
+      "[Memory access] Read(Own); Write(Own)\n"
+      "[Call] alloc::malloc, net::listen");
+  ASSERT_TRUE(caller.ok());
+  EXPECT_TRUE(CanShareCompartment(sched, caller.value()).compatible);
+}
+
+TEST(Compat, ReadsAllViolatesConfidentiality) {
+  Result<LibraryMeta> secretive = ParseLibraryMeta(
+      "secretive",
+      "[Memory access] Read(Own); Write(Own)\n"
+      "[Requires] *(Write,Shared)");  // No *(Read,Own): others must not read.
+  Result<LibraryMeta> spy = ParseLibraryMeta(
+      "spy", "[Memory access] Read(*); Write(Own)");
+  ASSERT_TRUE(secretive.ok() && spy.ok());
+  EXPECT_FALSE(
+      CanShareCompartment(secretive.value(), spy.value()).compatible);
+}
+
+TEST(Compat, SharedWritePolicyEnforced) {
+  Result<LibraryMeta> strict = ParseLibraryMeta(
+      "strict",
+      "[Memory access] Read(Own,Shared); Write(Own)\n"
+      "[Requires] *(Read,Own), *(Read,Shared)");  // No shared writes.
+  Result<LibraryMeta> writer = ParseLibraryMeta(
+      "writer", "[Memory access] Read(Shared); Write(Shared)");
+  ASSERT_TRUE(strict.ok() && writer.ok());
+  EXPECT_FALSE(
+      CanShareCompartment(strict.value(), writer.value()).compatible);
+}
+
+TEST(Compat, ConflictEdgesMatchPairwiseChecks) {
+  std::vector<LibraryMeta> libs = {SchedulerMeta(), UnsafeCLibMeta("c1"),
+                                   UnsafeCLibMeta("c2"), LibcMeta()};
+  const auto edges = ConflictEdges(libs);
+  for (const auto& [i, j] : edges) {
+    EXPECT_FALSE(CanShareCompartment(libs[static_cast<size_t>(i)],
+                                     libs[static_cast<size_t>(j)])
+                     .compatible);
+  }
+  // sched-c1, sched-c2, libc-c1, libc-c2 conflict; c1-c2 and sched-libc ok.
+  EXPECT_EQ(edges.size(), 4u);
+}
+
+TEST(Compat, DirectionalityMatters) {
+  // unsafe violates sched's requires, but sched does not violate unsafe's
+  // (it has none).
+  const CompatVerdict forward =
+      SatisfiesRequires(SchedulerMeta(), UnsafeCLibMeta("c"));
+  const CompatVerdict backward =
+      SatisfiesRequires(UnsafeCLibMeta("c"), SchedulerMeta());
+  EXPECT_FALSE(forward.compatible);
+  EXPECT_TRUE(backward.compatible);
+}
+
+}  // namespace
+}  // namespace flexos

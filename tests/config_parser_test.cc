@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/config_parser.h"
+
+namespace flexos {
+namespace {
+
+constexpr char kFullConfig[] = R"(
+# iperf with an untrusted network stack
+backend = mpk-switched
+compartment net
+compartment app sched libc alloc
+harden net libc
+cfi sched
+api sched thread_add thread_rm yield
+allocators = global
+heap = buddy
+heap_bytes = 16M
+shared_bytes = 8M
+)";
+
+TEST(ConfigParser, ParsesFullConfig) {
+  Result<ImageConfig> config = ParseImageConfig(kFullConfig);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->backend, IsolationBackend::kMpkSwitchedStack);
+  ASSERT_EQ(config->compartments.size(), 2u);
+  EXPECT_EQ(config->compartments[0], std::vector<std::string>{"net"});
+  EXPECT_EQ(config->compartments[1].size(), 4u);
+  EXPECT_EQ(config->hardened_libs.count("net"), 1u);
+  EXPECT_EQ(config->hardened_libs.count("libc"), 1u);
+  EXPECT_EQ(config->cfi_libs.count("sched"), 1u);
+  EXPECT_EQ(config->apis.at("sched").count("yield"), 1u);
+  EXPECT_FALSE(config->per_compartment_allocators);
+  EXPECT_EQ(config->heap_kind, HeapKind::kBuddy);
+  EXPECT_EQ(config->heap_bytes_per_compartment, 16ull << 20);
+  EXPECT_EQ(config->shared_bytes, 8ull << 20);
+}
+
+TEST(ConfigParser, MinimalSingleCompartment) {
+  Result<ImageConfig> config =
+      ParseImageConfig("compartment app net sched libc alloc\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->backend, IsolationBackend::kNone);
+  EXPECT_EQ(config->compartments.size(), 1u);
+}
+
+TEST(ConfigParser, ByteSizeSuffixes) {
+  Result<ImageConfig> config = ParseImageConfig(
+      "compartment app\nheap_bytes = 2G\nshared_bytes = 512K\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->heap_bytes_per_compartment, 2ull << 30);
+  EXPECT_EQ(config->shared_bytes, 512ull << 10);
+}
+
+TEST(ConfigParser, ErrorsCarryLineNumbers) {
+  const Status status =
+      ParseImageConfig("compartment app\nbogus directive\n").status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigParser, RejectsBadValues) {
+  EXPECT_FALSE(ParseImageConfig("backend = tee\ncompartment app\n").ok());
+  EXPECT_FALSE(ParseImageConfig("compartment app\nheap = slab\n").ok());
+  EXPECT_FALSE(ParseImageConfig("compartment app\nheap_bytes = lots\n").ok());
+  EXPECT_FALSE(ParseImageConfig("compartment\n").ok());
+  EXPECT_FALSE(ParseImageConfig("compartment app\nharden\n").ok());
+  EXPECT_FALSE(ParseImageConfig("compartment app\nunknown = 1\n").ok());
+}
+
+TEST(ConfigParser, RejectsEmptyAndBackendlessMultiCompartment) {
+  EXPECT_FALSE(ParseImageConfig("").ok());
+  EXPECT_FALSE(ParseImageConfig("# only a comment\n").ok());
+  // Two compartments but no isolation backend: a mis-specification.
+  EXPECT_FALSE(
+      ParseImageConfig("compartment net\ncompartment app\n").ok());
+}
+
+TEST(ConfigParser, RoundTripsThroughToString) {
+  Result<ImageConfig> original = ParseImageConfig(kFullConfig);
+  ASSERT_TRUE(original.ok());
+  Result<ImageConfig> reparsed =
+      ParseImageConfig(ImageConfigToString(original.value()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->backend, original->backend);
+  EXPECT_EQ(reparsed->compartments, original->compartments);
+  EXPECT_EQ(reparsed->hardened_libs, original->hardened_libs);
+  EXPECT_EQ(reparsed->cfi_libs, original->cfi_libs);
+  EXPECT_EQ(reparsed->apis, original->apis);
+  EXPECT_EQ(reparsed->per_compartment_allocators,
+            original->per_compartment_allocators);
+  EXPECT_EQ(reparsed->heap_kind, original->heap_kind);
+  EXPECT_EQ(reparsed->heap_bytes_per_compartment,
+            original->heap_bytes_per_compartment);
+}
+
+TEST(ConfigParser, ParsedConfigBuildsAnImage) {
+  Result<ImageConfig> config = ParseImageConfig(
+      "backend = mpk-shared\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "harden net\n"
+      "heap_bytes = 4M\n"
+      "shared_bytes = 4M\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  Machine machine;
+  ImageBuilder builder(machine);
+  Result<std::unique_ptr<Image>> image = builder.Build(config.value());
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ((*image)->compartment_count(), 2);
+  EXPECT_TRUE((*image)->IsHardened("net"));
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+
+namespace flexos {
+namespace {
+
+std::vector<LibraryMeta> StandardLibs() {
+  return {AppMeta("app"), NetStackMeta(), SchedulerMeta(), LibcMeta(),
+          AllocMeta()};
+}
+
+WorkloadProfile StandardProfile() {
+  WorkloadProfile profile;
+  profile.cross_lib_calls_per_op = 16;
+  profile.memop_bytes_per_op = {256, 1460, 0, 2920, 64};
+  profile.allocs_per_op = 3;
+  return profile;
+}
+
+TEST(Explorer, GateRoundTripOrdering) {
+  const CostModel costs;
+  EXPECT_LT(GateRoundTripCycles(IsolationBackend::kNone, costs),
+            GateRoundTripCycles(IsolationBackend::kMpkSharedStack, costs));
+  EXPECT_LT(GateRoundTripCycles(IsolationBackend::kMpkSharedStack, costs),
+            GateRoundTripCycles(IsolationBackend::kMpkSwitchedStack, costs));
+  EXPECT_LT(GateRoundTripCycles(IsolationBackend::kMpkSwitchedStack, costs),
+            GateRoundTripCycles(IsolationBackend::kVmRpc, costs));
+}
+
+TEST(Explorer, ProducesRankedCandidates) {
+  const auto ranked = ExploreDesignSpace(
+      StandardLibs(), ShAnalysis{},
+      {IsolationBackend::kNone, IsolationBackend::kMpkSharedStack,
+       IsolationBackend::kMpkSwitchedStack, IsolationBackend::kVmRpc},
+      StandardProfile(), CostModel{}, ExplorationQuery{});
+  ASSERT_FALSE(ranked.empty());
+  // Strategy 2 (no budget): sorted by ascending cost.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].estimate.cycles_per_op,
+              ranked[i].estimate.cycles_per_op);
+  }
+}
+
+TEST(Explorer, BudgetFiltersAndRanksBySecurity) {
+  ExplorationQuery query;
+  query.max_cycles_per_op = 60'000;
+  const auto ranked = ExploreDesignSpace(
+      StandardLibs(), ShAnalysis{},
+      {IsolationBackend::kNone, IsolationBackend::kMpkSharedStack,
+       IsolationBackend::kVmRpc},
+      StandardProfile(), CostModel{}, query);
+  ASSERT_FALSE(ranked.empty());
+  for (const RankedConfig& candidate : ranked) {
+    EXPECT_LE(candidate.estimate.cycles_per_op, 60'000);
+  }
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].estimate.security_score,
+              ranked[i].estimate.security_score);
+  }
+}
+
+TEST(Explorer, UnsafeLibForcesIsolationOrHardening) {
+  std::vector<LibraryMeta> libs = StandardLibs();
+  libs.push_back(UnsafeCLibMeta("legacy"));
+  ExplorationQuery query;
+  query.require_unsafe_isolated = true;
+  const auto ranked = ExploreDesignSpace(
+      libs, ShAnalysis{}, {IsolationBackend::kMpkSharedStack},
+      StandardProfile(), CostModel{}, query);
+  ASSERT_FALSE(ranked.empty());
+  for (const RankedConfig& candidate : ranked) {
+    const Deployment& deployment = candidate.config.deployment;
+    for (size_t i = 0; i < deployment.chosen.size(); ++i) {
+      if (!deployment.chosen[i].meta.behavior.writes_all) {
+        continue;
+      }
+      // Any still-unsafe library must sit alone.
+      for (size_t j = 0; j < deployment.chosen.size(); ++j) {
+        if (i != j) {
+          EXPECT_NE(deployment.coloring.color_of[i],
+                    deployment.coloring.color_of[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Explorer, StrongerBackendScoresHigherAtSameLayout) {
+  const auto libs = StandardLibs();
+  const auto variants = EnumerateShVariants(libs, ShAnalysis{});
+  std::vector<LibraryMeta> metas;
+  for (const auto& options : variants) {
+    metas.push_back(options[0].meta);
+  }
+  Deployment deployment;
+  for (const auto& options : variants) {
+    deployment.chosen.push_back(options[0]);
+  }
+  deployment.coloring = ColorGraphExact(
+      static_cast<int>(metas.size()), ConflictEdges(metas));
+
+  const CandidateConfig mpk{.deployment = deployment,
+                            .backend = IsolationBackend::kMpkSharedStack};
+  const CandidateConfig vm{.deployment = deployment,
+                           .backend = IsolationBackend::kVmRpc};
+  const auto profile = StandardProfile();
+  const CostModel costs;
+  const ConfigEstimate mpk_estimate = EstimateConfig(mpk, profile, costs);
+  const ConfigEstimate vm_estimate = EstimateConfig(vm, profile, costs);
+  if (deployment.coloring.num_colors > 1) {
+    EXPECT_GT(vm_estimate.security_score, mpk_estimate.security_score);
+    EXPECT_GT(vm_estimate.cycles_per_op, mpk_estimate.cycles_per_op);
+  }
+}
+
+TEST(Explorer, DescribeNamesLibsAndHardening) {
+  std::vector<LibraryMeta> libs = {SchedulerMeta(), UnsafeCLibMeta("c")};
+  const auto variants = EnumerateShVariants(libs, ShAnalysis{});
+  const auto deployments = EnumerateDeployments(variants, true);
+  for (const Deployment& deployment : deployments) {
+    CandidateConfig config{.deployment = deployment,
+                           .backend = IsolationBackend::kMpkSharedStack};
+    const std::string text = config.Describe({"sched", "c"});
+    EXPECT_NE(text.find("sched"), std::string::npos);
+    if (deployment.num_hardened() > 0) {
+      EXPECT_NE(text.find("+SH"), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "alloc/freelist_heap.h"
+#include "fs/ramfs.h"
+#include "support/rng.h"
+
+namespace flexos {
+namespace {
+
+class RamFsTest : public ::testing::Test {
+ protected:
+  RamFsTest() : heap_(space_, 0, 8 << 20), fs_(machine_, space_, heap_) {
+    FLEXOS_CHECK(space_.Map(0, 16 << 20, 0).ok(), "map failed");
+    scratch_ = heap_.Allocate(64 * 1024).value();
+  }
+
+  Machine machine_;
+  AddressSpace space_{machine_, "fs-test", 32 << 20};
+  FreelistHeap heap_;
+  RamFs fs_;
+  Gaddr scratch_ = 0;
+};
+
+TEST_F(RamFsTest, WriteReadRoundTripHost) {
+  ASSERT_TRUE(fs_.WriteFileFromHost("etc/motd", "welcome to flexos").ok());
+  EXPECT_TRUE(fs_.Exists("etc/motd"));
+  EXPECT_EQ(fs_.FileSize("etc/motd").value(), 17u);
+  EXPECT_EQ(fs_.ReadFileToHost("etc/motd").value(), "welcome to flexos");
+}
+
+TEST_F(RamFsTest, GuestSideWriteRead) {
+  const std::string blob = "guest payload bytes";
+  space_.Write(scratch_, blob.data(), blob.size());
+  ASSERT_TRUE(fs_.WriteFile("data.bin", scratch_, blob.size()).ok());
+  const Gaddr out = scratch_ + 4096;
+  EXPECT_EQ(fs_.ReadFile("data.bin", 0, out, 4096).value(), blob.size());
+  std::string got(blob.size(), '\0');
+  space_.Read(out, got.data(), got.size());
+  EXPECT_EQ(got, blob);
+}
+
+TEST_F(RamFsTest, MultiChunkFilesSpanBoundaries) {
+  std::string blob(3 * RamFs::kChunkBytes + 777, '\0');
+  Rng rng(5);
+  for (char& c : blob) {
+    c = static_cast<char>(rng.NextU64());
+  }
+  ASSERT_TRUE(fs_.WriteFileFromHost("big", blob).ok());
+  EXPECT_EQ(fs_.FileSize("big").value(), blob.size());
+  EXPECT_EQ(fs_.ReadFileToHost("big").value(), blob);
+}
+
+TEST_F(RamFsTest, OffsetReadsAndEof) {
+  ASSERT_TRUE(fs_.WriteFileFromHost("f", "0123456789").ok());
+  EXPECT_EQ(fs_.ReadFile("f", 4, scratch_, 3).value(), 3u);
+  char out[3];
+  space_.Read(scratch_, out, 3);
+  EXPECT_EQ(std::string(out, 3), "456");
+  EXPECT_EQ(fs_.ReadFile("f", 10, scratch_, 8).value(), 0u);  // At EOF.
+  EXPECT_EQ(fs_.ReadFile("f", 99, scratch_, 8).value(), 0u);  // Past EOF.
+  EXPECT_EQ(fs_.ReadFile("f", 8, scratch_, 8).value(), 2u);   // Tail clamp.
+}
+
+TEST_F(RamFsTest, AppendGrowsAcrossChunks) {
+  const std::string piece(1500, 'a');
+  space_.Write(scratch_, piece.data(), piece.size());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs_.Append("log", scratch_, piece.size()).ok());
+  }
+  EXPECT_EQ(fs_.FileSize("log").value(), 5 * piece.size());
+  const std::string all = fs_.ReadFileToHost("log").value();
+  EXPECT_EQ(all.size(), 5 * piece.size());
+  EXPECT_EQ(all.find_first_not_of('a'), std::string::npos);
+}
+
+TEST_F(RamFsTest, OverwriteTruncates) {
+  ASSERT_TRUE(fs_.WriteFileFromHost("f", std::string(10000, 'x')).ok());
+  ASSERT_TRUE(fs_.WriteFileFromHost("f", "short").ok());
+  EXPECT_EQ(fs_.FileSize("f").value(), 5u);
+  EXPECT_EQ(fs_.ReadFileToHost("f").value(), "short");
+}
+
+TEST_F(RamFsTest, DeleteReleasesMemory) {
+  const uint64_t before = heap_.stats().bytes_in_use;
+  ASSERT_TRUE(
+      fs_.WriteFileFromHost("f", std::string(64 * 1024, 'z')).ok());
+  EXPECT_GT(heap_.stats().bytes_in_use, before);
+  ASSERT_TRUE(fs_.Delete("f").ok());
+  EXPECT_EQ(heap_.stats().bytes_in_use, before);
+  EXPECT_FALSE(fs_.Exists("f"));
+  EXPECT_EQ(fs_.Delete("f").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RamFsTest, ErrorsForMissingAndInvalid) {
+  EXPECT_EQ(fs_.ReadFile("ghost", 0, scratch_, 16).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.FileSize("ghost").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.WriteFile("", scratch_, 1).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RamFsTest, ListIsSortedAndComplete) {
+  ASSERT_TRUE(fs_.WriteFileFromHost("b", "2").ok());
+  ASSERT_TRUE(fs_.WriteFileFromHost("a", "1").ok());
+  ASSERT_TRUE(fs_.WriteFileFromHost("c/d", "3").ok());
+  EXPECT_EQ(fs_.List(), (std::vector<std::string>{"a", "b", "c/d"}));
+  EXPECT_EQ(fs_.file_count(), 3u);
+}
+
+TEST_F(RamFsTest, EmptyFileWorks) {
+  ASSERT_TRUE(fs_.WriteFileFromHost("empty", "").ok());
+  EXPECT_TRUE(fs_.Exists("empty"));
+  EXPECT_EQ(fs_.FileSize("empty").value(), 0u);
+  EXPECT_EQ(fs_.ReadFileToHost("empty").value(), "");
+}
+
+TEST_F(RamFsTest, StatsTrackIo) {
+  ASSERT_TRUE(fs_.WriteFileFromHost("f", "12345").ok());
+  (void)fs_.ReadFileToHost("f");
+  EXPECT_EQ(fs_.stats().writes, 1u);
+  EXPECT_EQ(fs_.stats().bytes_written, 5u);
+  EXPECT_EQ(fs_.stats().reads, 1u);
+  EXPECT_EQ(fs_.stats().bytes_read, 5u);
+}
+
+TEST(RamFsProperty, RandomOpsMatchReferenceModel) {
+  Machine machine;
+  AddressSpace space(machine, "fs-prop", 32 << 20);
+  ASSERT_TRUE(space.Map(0, 16 << 20, 0).ok());
+  FreelistHeap heap(space, 0, 8 << 20);
+  RamFs fs(machine, space, heap);
+  std::map<std::string, std::string> model;
+  Rng rng(123);
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string path = "f" + std::to_string(rng.NextBelow(8));
+    const uint64_t action = rng.NextBelow(4);
+    if (action == 0) {  // Write.
+      std::string content(rng.NextBelow(3 * RamFs::kChunkBytes), '\0');
+      for (char& c : content) {
+        c = static_cast<char>('a' + rng.NextBelow(26));
+      }
+      ASSERT_TRUE(fs.WriteFileFromHost(path, content).ok());
+      model[path] = content;
+    } else if (action == 1 && model.count(path) != 0) {  // Delete.
+      ASSERT_TRUE(fs.Delete(path).ok());
+      model.erase(path);
+    } else {  // Read + compare.
+      if (model.count(path) == 0) {
+        ASSERT_EQ(fs.ReadFileToHost(path).code(), ErrorCode::kNotFound);
+      } else {
+        ASSERT_EQ(fs.ReadFileToHost(path).value(), model.at(path));
+      }
+    }
+    ASSERT_EQ(fs.file_count(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace flexos

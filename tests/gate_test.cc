@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/gate.h"
+#include "core/mpk_gate.h"
+#include "core/vm_gate.h"
+
+namespace flexos {
+namespace {
+
+class GateTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+  ExecContext target_ = [] {
+    ExecContext ctx;
+    ctx.compartment = 1;
+    ctx.pkru = Pkru::DenyAll().WithAccess(1, true, true);
+    return ctx;
+  }();
+};
+
+TEST_F(GateTest, DirectGateChargesNearCallOnly) {
+  DirectGate gate;
+  const uint64_t before = machine_.clock().cycles();
+  bool ran = false;
+  gate.Cross(machine_, GateCrossing{.target_context = &target_},
+             [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(machine_.clock().cycles() - before,
+            machine_.costs().direct_call);
+  EXPECT_EQ(machine_.stats().wrpkru_count, 0u);
+}
+
+TEST_F(GateTest, DirectGateInstallsAndRestoresContext) {
+  DirectGate gate;
+  machine_.context().compartment = 0;
+  gate.Cross(machine_, GateCrossing{.target_context = &target_}, [&] {
+    EXPECT_EQ(machine_.context().compartment, 1);
+  });
+  EXPECT_EQ(machine_.context().compartment, 0);
+}
+
+TEST_F(GateTest, MpkSharedStackWritesPkruTwice) {
+  MpkSharedStackGate gate;
+  const uint64_t before = machine_.clock().cycles();
+  gate.Cross(machine_, GateCrossing{.target_context = &target_}, [&] {
+    EXPECT_EQ(machine_.context().pkru, target_.pkru);
+  });
+  EXPECT_EQ(machine_.stats().wrpkru_count, 2u);
+  EXPECT_EQ(machine_.clock().cycles() - before,
+            2 * machine_.costs().wrpkru + 2 * machine_.costs().register_clear);
+  EXPECT_EQ(machine_.context().pkru, Pkru::AllowAll());  // Restored.
+}
+
+TEST_F(GateTest, SwitchedStackCostsMoreAndScalesWithArgs) {
+  MpkSharedStackGate shared;
+  MpkSwitchedStackGate switched;
+
+  const uint64_t t0 = machine_.clock().cycles();
+  shared.Cross(machine_, GateCrossing{.target_context = &target_}, [] {});
+  const uint64_t shared_cost = machine_.clock().cycles() - t0;
+
+  const uint64_t t1 = machine_.clock().cycles();
+  switched.Cross(machine_,
+                 GateCrossing{.target_context = &target_, .arg_bytes = 64},
+                 [] {});
+  const uint64_t switched_cost = machine_.clock().cycles() - t1;
+  EXPECT_GT(switched_cost, shared_cost);
+
+  const uint64_t t2 = machine_.clock().cycles();
+  switched.Cross(
+      machine_,
+      GateCrossing{.target_context = &target_, .arg_bytes = 64 * 1024},
+      [] {});
+  const uint64_t big_args_cost = machine_.clock().cycles() - t2;
+  EXPECT_GT(big_args_cost, switched_cost);
+}
+
+TEST_F(GateTest, VmRpcIsTheMostExpensive) {
+  MpkSwitchedStackGate switched;
+  VmRpcGate vm;
+  const GateCrossing crossing{
+      .target_context = &target_, .arg_bytes = 64, .ret_bytes = 16};
+
+  const uint64_t t0 = machine_.clock().cycles();
+  switched.Cross(machine_, crossing, [] {});
+  const uint64_t switched_cost = machine_.clock().cycles() - t0;
+
+  const uint64_t t1 = machine_.clock().cycles();
+  vm.Cross(machine_, crossing, [] {});
+  const uint64_t vm_cost = machine_.clock().cycles() - t1;
+
+  EXPECT_GT(vm_cost, 4 * switched_cost);
+  EXPECT_EQ(machine_.stats().vmexit_count, 2u);  // Request + response.
+}
+
+TEST_F(GateTest, GateOrderingMatchesPaper) {
+  // direct < mpk-shared < mpk-switched < vm-rpc.
+  DirectGate direct;
+  MpkSharedStackGate shared;
+  MpkSwitchedStackGate switched;
+  VmRpcGate vm;
+  const GateCrossing crossing{
+      .target_context = &target_, .arg_bytes = 64, .ret_bytes = 16};
+
+  auto cost_of = [&](Gate& gate) {
+    const uint64_t before = machine_.clock().cycles();
+    gate.Cross(machine_, crossing, [] {});
+    return machine_.clock().cycles() - before;
+  };
+  const uint64_t c_direct = cost_of(direct);
+  const uint64_t c_shared = cost_of(shared);
+  const uint64_t c_switched = cost_of(switched);
+  const uint64_t c_vm = cost_of(vm);
+  EXPECT_LT(c_direct, c_shared);
+  EXPECT_LT(c_shared, c_switched);
+  EXPECT_LT(c_switched, c_vm);
+}
+
+TEST_F(GateTest, NestedCrossingsRestoreInOrder) {
+  MpkSharedStackGate gate;
+  ExecContext inner;
+  inner.compartment = 2;
+  inner.pkru = Pkru::DenyAll().WithAccess(2, true, true);
+  gate.Cross(machine_, GateCrossing{.target_context = &target_}, [&] {
+    EXPECT_EQ(machine_.context().compartment, 1);
+    gate.Cross(machine_, GateCrossing{.target_context = &inner}, [&] {
+      EXPECT_EQ(machine_.context().compartment, 2);
+    });
+    EXPECT_EQ(machine_.context().compartment, 1);
+    EXPECT_EQ(machine_.context().pkru, target_.pkru);
+  });
+  EXPECT_EQ(machine_.context().compartment, -1);
+}
+
+TEST(GateNames, AllKindsNamed) {
+  EXPECT_EQ(GateKindName(GateKind::kDirect), "direct");
+  EXPECT_EQ(GateKindName(GateKind::kMpkSharedStack), "mpk-shared-stack");
+  EXPECT_EQ(GateKindName(GateKind::kMpkSwitchedStack), "mpk-switched-stack");
+  EXPECT_EQ(GateKindName(GateKind::kVmRpc), "vm-rpc");
+}
+
+}  // namespace
+}  // namespace flexos

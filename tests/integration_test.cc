@@ -1,0 +1,230 @@
+// End-to-end integration tests: full images (iperf, redis-lite) under every
+// isolation backend, exercising app -> net -> libc -> sched gate chains,
+// the TCP handshake/data/teardown path over the modeled link, and the
+// equivalence of application-level results across backends.
+#include <gtest/gtest.h>
+
+#include "apps/iperf_client.h"
+#include "apps/iperf_server.h"
+#include "apps/redis_client.h"
+#include "apps/redis_server.h"
+#include "apps/testbed.h"
+
+namespace flexos {
+namespace {
+
+ImageConfig SplitNetConfig(IsolationBackend backend) {
+  // {net} | {app, sched, libc, alloc} — the paper's "NW only" model.
+  ImageConfig config;
+  config.backend = backend;
+  config.compartments = {
+      {std::string(kLibNet)},
+      {std::string(kLibApp), std::string(kLibSched), std::string(kLibLibc),
+       std::string(kLibAlloc)}};
+  return config;
+}
+
+struct IperfRunResult {
+  IperfServerResult server;
+  uint64_t client_acked = 0;
+  double gbps = 0;
+  Status run_status;
+};
+
+IperfRunResult RunIperf(const TestbedConfig& config, uint64_t total_bytes,
+                        uint64_t recv_buffer) {
+  Testbed bed(config);
+  IperfServerResult server_result;
+  IperfServerOptions options;
+  options.recv_buffer_bytes = recv_buffer;
+  SpawnIperfServer(bed, options, &server_result);
+
+  IperfRemoteClient client_app(total_bytes);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{},
+                     client_app);
+  bed.AddPeer(&peer);
+  peer.Connect();
+
+  IperfRunResult out;
+  out.run_status = bed.Run();
+  out.server = server_result;
+  out.client_acked = peer.stats().bytes_acked;
+  const double seconds = bed.machine().clock().NowSeconds();
+  if (seconds > 0) {
+    out.gbps = static_cast<double>(server_result.bytes_received) * 8.0 /
+               seconds / 1e9;
+  }
+  return out;
+}
+
+TEST(IntegrationIperf, BaselineTransfersEveryByte) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  const uint64_t kTotal = 512 * 1024;
+  IperfRunResult result = RunIperf(config, kTotal, 16 * 1024);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_TRUE(result.server.ok);
+  EXPECT_EQ(result.server.bytes_received, kTotal);
+  EXPECT_EQ(result.client_acked, kTotal);
+  EXPECT_GT(result.gbps, 0.1);
+}
+
+TEST(IntegrationIperf, MpkSharedStackTransfersEveryByte) {
+  TestbedConfig config;
+  config.image = SplitNetConfig(IsolationBackend::kMpkSharedStack);
+  const uint64_t kTotal = 256 * 1024;
+  IperfRunResult result = RunIperf(config, kTotal, 8 * 1024);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.server.bytes_received, kTotal);
+}
+
+TEST(IntegrationIperf, MpkSwitchedStackTransfersEveryByte) {
+  TestbedConfig config;
+  config.image = SplitNetConfig(IsolationBackend::kMpkSwitchedStack);
+  const uint64_t kTotal = 256 * 1024;
+  IperfRunResult result = RunIperf(config, kTotal, 8 * 1024);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.server.bytes_received, kTotal);
+}
+
+TEST(IntegrationIperf, VmRpcTransfersEveryByte) {
+  TestbedConfig config;
+  config.image = SplitNetConfig(IsolationBackend::kVmRpc);
+  const uint64_t kTotal = 256 * 1024;
+  IperfRunResult result = RunIperf(config, kTotal, 8 * 1024);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.server.bytes_received, kTotal);
+}
+
+TEST(IntegrationIperf, IsolationCostsOrderAsExpected) {
+  // baseline >= mpk-shared >= mpk-switched >= vm-rpc in throughput, at a
+  // small recv buffer where per-call costs dominate (paper Fig. 3 shape).
+  const uint64_t kTotal = 128 * 1024;
+  const uint64_t kBuf = 256;
+
+  TestbedConfig base;
+  base.image = BaselineConfig(DefaultLibs());
+  const double baseline = RunIperf(base, kTotal, kBuf).gbps;
+
+  TestbedConfig shared;
+  shared.image = SplitNetConfig(IsolationBackend::kMpkSharedStack);
+  const double mpk_shared = RunIperf(shared, kTotal, kBuf).gbps;
+
+  TestbedConfig switched;
+  switched.image = SplitNetConfig(IsolationBackend::kMpkSwitchedStack);
+  const double mpk_switched = RunIperf(switched, kTotal, kBuf).gbps;
+
+  TestbedConfig vm;
+  vm.image = SplitNetConfig(IsolationBackend::kVmRpc);
+  const double vm_rpc = RunIperf(vm, kTotal, kBuf).gbps;
+
+  EXPECT_GT(baseline, mpk_shared);
+  EXPECT_GE(mpk_shared, mpk_switched);
+  EXPECT_GT(mpk_switched, vm_rpc);
+}
+
+TEST(IntegrationIperf, LossyLinkStillTransfersEveryByte) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  config.link.loss_probability = 0.02;
+  config.link.seed = 7;
+  const uint64_t kTotal = 64 * 1024;
+  IperfRunResult result = RunIperf(config, kTotal, 4 * 1024);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.server.bytes_received, kTotal);
+  EXPECT_EQ(result.client_acked, kTotal);
+}
+
+struct RedisRunResult {
+  RedisServerResult server;
+  uint64_t client_completed = 0;
+  uint64_t client_errors = 0;
+  Status run_status;
+};
+
+RedisRunResult RunRedis(const TestbedConfig& config,
+                        const RedisWorkload& workload) {
+  Testbed bed(config);
+  RedisServerResult server_result;
+  RedisServerOptions options;
+  SpawnRedisServer(bed, options, &server_result);
+
+  RedisRemoteClient client_app(bed.machine(), workload);
+  RemoteTcpConfig peer_config;
+  peer_config.server_port = options.port;
+  RemoteTcpPeer peer(bed.machine(), bed.link(), peer_config, client_app);
+  bed.AddPeer(&peer);
+  peer.Connect();
+
+  RedisRunResult out;
+  out.run_status = bed.Run();
+  out.server = server_result;
+  out.client_completed = client_app.completed_ops();
+  out.client_errors = client_app.errors();
+  return out;
+}
+
+TEST(IntegrationRedis, SetWorkloadCompletesAllOps) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  RedisWorkload workload;
+  workload.measured_ops = 50;
+  workload.payload_bytes = 50;
+  RedisRunResult result = RunRedis(config, workload);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_TRUE(result.server.ok);
+  EXPECT_EQ(result.client_completed, 50u);
+  EXPECT_EQ(result.client_errors, 0u);
+  EXPECT_EQ(result.server.sets, 50u);
+}
+
+TEST(IntegrationRedis, GetWorkloadHitsPreloadedKeys) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  RedisWorkload workload;
+  workload.measure_gets = true;
+  workload.warmup_sets = 16;
+  workload.key_space = 16;
+  workload.measured_ops = 40;
+  workload.payload_bytes = 100;
+  RedisRunResult result = RunRedis(config, workload);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.client_completed, 56u);
+  EXPECT_EQ(result.server.gets, 40u);
+  EXPECT_EQ(result.server.hits, 40u);
+  EXPECT_EQ(result.client_errors, 0u);
+}
+
+TEST(IntegrationRedis, WorksUnderEveryBackend) {
+  for (IsolationBackend backend :
+       {IsolationBackend::kMpkSharedStack,
+        IsolationBackend::kMpkSwitchedStack, IsolationBackend::kVmRpc}) {
+    TestbedConfig config;
+    config.image = SplitNetConfig(backend);
+    RedisWorkload workload;
+    workload.measured_ops = 20;
+    workload.payload_bytes = 50;
+    RedisRunResult result = RunRedis(config, workload);
+    EXPECT_TRUE(result.run_status.ok())
+        << IsolationBackendName(backend) << ": "
+        << result.run_status.ToString();
+    EXPECT_EQ(result.client_completed, 20u)
+        << IsolationBackendName(backend);
+    EXPECT_EQ(result.client_errors, 0u) << IsolationBackendName(backend);
+  }
+}
+
+TEST(IntegrationRedis, VerifiedSchedulerProducesSameResults) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  config.verified_scheduler = true;
+  RedisWorkload workload;
+  workload.measured_ops = 25;
+  RedisRunResult result = RunRedis(config, workload);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.client_completed, 25u);
+  EXPECT_EQ(result.client_errors, 0u);
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/metadata.h"
+
+namespace flexos {
+namespace {
+
+TEST(Metadata, ParsesPaperSchedulerExample) {
+  // The verbatim example from paper §2.
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "sched",
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[Call] alloc::malloc, alloc::free\n"
+      "[API] thread_add(...); thread_rm(...); yield(...)\n"
+      "[Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add)");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_TRUE(meta->behavior.reads_own);
+  EXPECT_TRUE(meta->behavior.reads_shared);
+  EXPECT_FALSE(meta->behavior.reads_all);
+  EXPECT_TRUE(meta->behavior.writes_own);
+  EXPECT_TRUE(meta->behavior.writes_shared);
+  EXPECT_FALSE(meta->behavior.writes_all);
+  EXPECT_FALSE(meta->behavior.calls_any);
+  EXPECT_EQ(meta->behavior.calls.count("alloc::malloc"), 1u);
+  EXPECT_EQ(meta->behavior.calls.count("alloc::free"), 1u);
+  ASSERT_EQ(meta->api.size(), 3u);
+  EXPECT_EQ(meta->api[0].name, "thread_add");
+  EXPECT_TRUE(meta->requires_spec.present);
+  EXPECT_TRUE(meta->requires_spec.others_may_read_own);
+  EXPECT_FALSE(meta->requires_spec.others_may_write_own);
+  EXPECT_TRUE(meta->requires_spec.others_may_write_shared);
+  EXPECT_EQ(meta->requires_spec.callable_funcs.count("thread_add"), 1u);
+}
+
+TEST(Metadata, ParsesPaperUnsafeComponentExample) {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "clib",
+      "[Memory access] Read(*); Write(*)\n"
+      "[Call] *");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_TRUE(meta->behavior.reads_all);
+  EXPECT_TRUE(meta->behavior.writes_all);
+  EXPECT_TRUE(meta->behavior.calls_any);
+  EXPECT_FALSE(meta->requires_spec.present);
+}
+
+TEST(Metadata, RoundTripsThroughToString) {
+  const LibraryMeta original = SchedulerMeta();
+  Result<LibraryMeta> reparsed =
+      ParseLibraryMeta(original.name, original.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->behavior.reads_own, original.behavior.reads_own);
+  EXPECT_EQ(reparsed->behavior.writes_shared,
+            original.behavior.writes_shared);
+  EXPECT_EQ(reparsed->behavior.calls, original.behavior.calls);
+  EXPECT_EQ(reparsed->api.size(), original.api.size());
+  EXPECT_EQ(reparsed->requires_spec.callable_funcs,
+            original.requires_spec.callable_funcs);
+  EXPECT_EQ(reparsed->requires_spec.others_may_write_shared,
+            original.requires_spec.others_may_write_shared);
+}
+
+TEST(Metadata, RejectsMalformedSections) {
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Memory access] Fly(Own)").ok());
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Memory access] Read(Banana)").ok());
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Unknown] stuff").ok());
+  EXPECT_FALSE(ParseLibraryMeta("x", "stuff before section").ok());
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Requires] Write(Own)").ok());
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Requires] *(Teleport,Own)").ok());
+}
+
+TEST(Metadata, ToleratesTrailingEllipsisLikeThePaper) {
+  // The paper's example literally ends with "*. . ." — accept "*".
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "sched",
+      "[Requires] *(Read,Own), *(Write,Shared), *");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_TRUE(meta->requires_spec.present);
+}
+
+TEST(Metadata, MultilineSectionsAccumulate) {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "x",
+      "[Call] a::f,\n"
+      "  b::g\n");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta->behavior.calls.size(), 2u);
+}
+
+TEST(Metadata, BuiltinMetasAreSelfConsistent) {
+  EXPECT_EQ(SchedulerMeta().name, "sched");
+  EXPECT_EQ(NetStackMeta().name, "net");
+  EXPECT_TRUE(NetStackMeta().behavior.writes_all);
+  EXPECT_TRUE(UnsafeCLibMeta("blob").behavior.calls_any);
+  EXPECT_TRUE(LibcMeta().requires_spec.present);
+  EXPECT_FALSE(AppMeta("iperf").behavior.calls_any);
+}
+
+}  // namespace
+}  // namespace flexos

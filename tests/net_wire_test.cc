@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/link.h"
+#include "net/nic.h"
+#include "net/wire.h"
+
+namespace flexos {
+namespace {
+
+TEST(Checksum, KnownVector) {
+  // Classic RFC 1071 worked example.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(Checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const uint8_t data[] = {0xab};
+  EXPECT_EQ(Checksum(data, 1), static_cast<uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(Checksum, VerifiesToZero) {
+  uint8_t data[20] = {0x45, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00,
+                      0x40, 0x06, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                      0x0a, 0x00, 0x00, 0x02};
+  const uint16_t sum = Checksum(data, sizeof(data));
+  data[10] = static_cast<uint8_t>(sum >> 8);
+  data[11] = static_cast<uint8_t>(sum);
+  EXPECT_EQ(Checksum(data, sizeof(data)), 0);
+}
+
+TEST(Wire, EthRoundTrip) {
+  EthHeader eth{.dst = {{1, 2, 3, 4, 5, 6}},
+                .src = {{7, 8, 9, 10, 11, 12}},
+                .ethertype = kEtherTypeIpv4};
+  uint8_t buffer[EthHeader::kSize];
+  eth.SerializeTo(buffer);
+  const EthHeader parsed = EthHeader::Parse(buffer);
+  EXPECT_EQ(parsed.dst, eth.dst);
+  EXPECT_EQ(parsed.src, eth.src);
+  EXPECT_EQ(parsed.ethertype, kEtherTypeIpv4);
+}
+
+TEST(Wire, Ipv4RoundTripAndChecksum) {
+  Ipv4Header ip;
+  ip.total_len = 40;
+  ip.id = 99;
+  ip.proto = IpProto::kTcp;
+  ip.src = MakeIpv4(10, 0, 0, 1);
+  ip.dst = MakeIpv4(10, 0, 0, 2);
+  uint8_t buffer[64] = {};
+  ip.SerializeTo(buffer);
+  Result<Ipv4Header> parsed = Ipv4Header::Parse(buffer, 64);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->src, ip.src);
+  EXPECT_EQ(parsed->dst, ip.dst);
+  EXPECT_EQ(parsed->total_len, 40);
+  // Corrupt a byte: checksum must fail.
+  buffer[13] ^= 0xff;
+  EXPECT_FALSE(Ipv4Header::Parse(buffer, 64).ok());
+}
+
+TEST(Wire, TcpFrameRoundTrip) {
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 5001;
+  tcp.seq = 0x01020304;
+  tcp.ack = 0x0a0b0c0d;
+  tcp.flags = kTcpAck | kTcpPsh;
+  tcp.window = 0x1234;
+  const std::string payload = "hello over tcp";
+  const auto frame = BuildTcpFrame(
+      MacAddr{{1, 1, 1, 1, 1, 1}}, MacAddr{{2, 2, 2, 2, 2, 2}},
+      MakeIpv4(10, 0, 0, 2), MakeIpv4(10, 0, 0, 1), tcp,
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  Result<ParsedFrame> parsed = ParseFrame(frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->tcp.has_value());
+  EXPECT_EQ(parsed->tcp->seq, tcp.seq);
+  EXPECT_EQ(parsed->tcp->ack, tcp.ack);
+  EXPECT_EQ(parsed->tcp->flags, tcp.flags);
+  EXPECT_EQ(parsed->tcp->window, tcp.window);
+  EXPECT_EQ(std::string(parsed->payload.begin(), parsed->payload.end()),
+            payload);
+}
+
+TEST(Wire, CorruptTcpChecksumRejected) {
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  const uint8_t payload[] = {1, 2, 3};
+  auto frame = BuildTcpFrame(MacAddr{}, MacAddr{}, 1, 2, tcp, payload, 3);
+  frame.back() ^= 0x55;  // Flip payload bits.
+  EXPECT_FALSE(ParseFrame(frame).ok());
+}
+
+TEST(Wire, UdpFrameRoundTrip) {
+  const uint8_t payload[] = {9, 8, 7, 6};
+  const auto frame =
+      BuildUdpFrame(MacAddr{{1, 0, 0, 0, 0, 1}}, MacAddr{{1, 0, 0, 0, 0, 2}},
+                    MakeIpv4(192, 168, 0, 1), MakeIpv4(192, 168, 0, 2), 53,
+                    5353, payload, sizeof(payload));
+  Result<ParsedFrame> parsed = ParseFrame(frame);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->udp.has_value());
+  EXPECT_EQ(parsed->udp->src_port, 53);
+  EXPECT_EQ(parsed->udp->dst_port, 5353);
+  EXPECT_EQ(parsed->payload.size(), 4u);
+}
+
+TEST(Wire, ShortFrameRejected) {
+  std::vector<uint8_t> frame(10);
+  EXPECT_FALSE(ParseFrame(frame).ok());
+}
+
+TEST(Wire, SeqArithmeticWrapsCorrectly) {
+  EXPECT_TRUE(SeqLt(0xfffffff0u, 0x10u));  // Wraparound: close below.
+  EXPECT_FALSE(SeqLt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(SeqLe(5u, 5u));
+  EXPECT_TRUE(SeqLt(5u, 6u));
+}
+
+TEST(Wire, AddressFormatting) {
+  EXPECT_EQ(Ipv4ToString(MakeIpv4(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ((MacAddr{{0xde, 0xad, 0xbe, 0xef, 0, 1}}).ToString(),
+            "de:ad:be:ef:00:01");
+}
+
+// --- Link model -------------------------------------------------------------
+
+class SinkEndpoint final : public LinkEndpoint {
+ public:
+  void DeliverFrame(std::vector<uint8_t> frame) override {
+    frames.push_back(std::move(frame));
+  }
+  std::vector<std::vector<uint8_t>> frames;
+};
+
+TEST(LinkModel, DeliversAfterLatencyAndSerialization) {
+  Machine machine;
+  LinkConfig config;
+  config.bandwidth_bps = 1e9;  // 1 Gb/s.
+  config.latency_ns = 1000;
+  Link link(machine, config);
+  SinkEndpoint sink;
+  link.AttachB(&sink);
+
+  link.SendFromA(std::vector<uint8_t>(125, 0));  // 1000 bits = 1 us at 1 Gb/s.
+  EXPECT_EQ(link.DeliverDue(), 0u);  // Not due yet.
+  ASSERT_TRUE(link.NextArrivalCycles().has_value());
+  machine.clock().AdvanceTo(*link.NextArrivalCycles());
+  EXPECT_EQ(link.DeliverDue(), 1u);
+  EXPECT_EQ(sink.frames.size(), 1u);
+  // 1 us serialization + 1 us latency = 2 us >= 4200 cycles at 2.1 GHz.
+  EXPECT_GE(machine.clock().NowNanos(), 2000u);
+}
+
+TEST(LinkModel, SerializesBackToBackFrames) {
+  Machine machine;
+  LinkConfig config;
+  config.bandwidth_bps = 1e9;
+  config.latency_ns = 0;
+  Link link(machine, config);
+  SinkEndpoint sink;
+  link.AttachB(&sink);
+  link.SendFromA(std::vector<uint8_t>(125, 0));
+  link.SendFromA(std::vector<uint8_t>(125, 0));
+  // Second frame can only arrive after both serialization times. (+1 ns
+  // absorbs the conservative rounding in the serialization model.)
+  machine.clock().AdvanceTo(machine.clock().NanosToCycles(1001));
+  link.DeliverDue();
+  EXPECT_EQ(sink.frames.size(), 1u);
+  machine.clock().AdvanceTo(machine.clock().NanosToCycles(2100));
+  link.DeliverDue();
+  EXPECT_EQ(sink.frames.size(), 2u);
+}
+
+TEST(LinkModel, LossDropsDeterministically) {
+  Machine machine;
+  LinkConfig config;
+  config.loss_probability = 0.5;
+  config.seed = 1234;
+  Link link(machine, config);
+  SinkEndpoint sink;
+  link.AttachB(&sink);
+  for (int i = 0; i < 100; ++i) {
+    link.SendFromA(std::vector<uint8_t>(64, 0));
+  }
+  machine.clock().AdvanceTo(machine.clock().cycles() + 1'000'000'000);
+  link.DeliverDue();
+  EXPECT_GT(link.stats().frames_dropped, 20u);
+  EXPECT_GT(sink.frames.size(), 20u);
+  EXPECT_EQ(sink.frames.size() + link.stats().frames_dropped, 100u);
+}
+
+TEST(NicModel, QueuesAndDropsWhenFull) {
+  Machine machine;
+  Nic nic(machine, "eth-test", MacAddr{{2, 0, 0, 0, 0, 1}},
+          MakeIpv4(10, 0, 0, 1));
+  for (size_t i = 0; i < Nic::kDefaultRxQueueDepth + 10; ++i) {
+    nic.DeliverFrame(std::vector<uint8_t>(64, 0));
+  }
+  EXPECT_EQ(nic.stats().rx_dropped, 10u);
+  EXPECT_EQ(nic.stats().rx_frames, Nic::kDefaultRxQueueDepth);
+  size_t popped = 0;
+  while (nic.HasRx()) {
+    (void)nic.PopRx();
+    ++popped;
+  }
+  EXPECT_EQ(popped, Nic::kDefaultRxQueueDepth);
+}
+
+}  // namespace
+}  // namespace flexos

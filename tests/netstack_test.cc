@@ -1,0 +1,142 @@
+// NetStack facade behavior: frame dispatch, parse-error accounting, timer
+// aggregation, and the testbed idle loop's virtual-time advancement.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.h"
+
+namespace flexos {
+namespace {
+
+TestbedConfig Baseline() {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  return config;
+}
+
+TEST(NetStackPoll, NoTrafficNoProgress) {
+  Testbed bed(Baseline());
+  EXPECT_FALSE(bed.stack().Poll());
+  EXPECT_EQ(bed.stack().stats().frames_polled, 0u);
+}
+
+TEST(NetStackPoll, GarbageFramesCountedAsParseErrors) {
+  Testbed bed(Baseline());
+  bed.nic().DeliverFrame(std::vector<uint8_t>(10, 0xab));   // Too short.
+  bed.nic().DeliverFrame(std::vector<uint8_t>(100, 0xcd));  // Bad ethertype.
+  EXPECT_TRUE(bed.stack().Poll());
+  EXPECT_EQ(bed.stack().stats().frames_polled, 2u);
+  EXPECT_EQ(bed.stack().stats().parse_errors, 2u);
+}
+
+TEST(NetStackPoll, UnhandledProtocolCounted) {
+  Testbed bed(Baseline());
+  // A valid UDP datagram to a port nobody bound: swallowed by the UDP
+  // engine (counts as handled), so craft a TCP segment to a port with no
+  // listener instead — also swallowed. Use a UDP frame: handled. The
+  // "unhandled" counter is for protocols neither engine accepts, which
+  // ParseFrame already filters; verify it stays zero on normal traffic.
+  bed.link().SendFromB(BuildUdpFrame(
+      MacAddr{{2, 0, 0, 0, 0, 0xbb}}, MacAddr{{2, 0, 0, 0, 0, 0xaa}},
+      MakeIpv4(10, 0, 0, 2), MakeIpv4(10, 0, 0, 1), 1, 2, nullptr, 0));
+  bed.machine().clock().AdvanceTo(
+      bed.link().NextArrivalCycles().value_or(0));
+  bed.link().DeliverDue();
+  EXPECT_TRUE(bed.stack().Poll());
+  EXPECT_EQ(bed.stack().stats().unhandled_frames, 0u);
+}
+
+TEST(NetStackPoll, PollRunsInNetContext) {
+  // Hardening the netstack must instrument Poll's processing.
+  TestbedConfig config = Baseline();
+  config.image.hardened_libs = {std::string(kLibNet)};
+  Testbed bed(config);
+  // An inbound garbage frame still charges rx processing in net context;
+  // just verify Poll doesn't disturb the (platform) context it runs under.
+  bed.nic().DeliverFrame(std::vector<uint8_t>(100, 0xcd));
+  const ExecContext before = bed.machine().context();
+  bed.stack().Poll();
+  EXPECT_EQ(bed.machine().context().compartment, before.compartment);
+  EXPECT_EQ(bed.machine().context().mem_cost_multiplier,
+            before.mem_cost_multiplier);
+}
+
+TEST(NetStackTimers, AggregateTcpAndArpDeadlines) {
+  Testbed bed(Baseline());
+  EXPECT_FALSE(bed.stack().NextEventCycles().has_value());
+  // Kick off an ARP resolution from a guest thread, then inspect timers.
+  bed.SpawnApp("resolver", [&] {
+    bed.image().Call(kLibApp, kLibNet, [&] {
+      (void)bed.stack().TcpConnect(MakeIpv4(10, 0, 0, 42), 80);
+    });
+  });
+  // Run to completion: resolution fails after retries, but while pending
+  // the idle loop must keep finding deadlines to advance to (otherwise
+  // this deadlocks and Run returns kTimedOut).
+  const Status status = bed.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(bed.stack().arp().stats().requests_sent, 1u);
+}
+
+TEST(TestbedIdle, AdvancesVirtualTimeAcrossQuietPeriods) {
+  // A thread sleeps on a semaphore only a delayed frame can release; the
+  // idle handler must jump the clock to the frame's arrival.
+  TestbedConfig config = Baseline();
+  config.link.latency_ns = 2'000'000;  // 2 ms one-way.
+  Testbed bed(config);
+
+  uint64_t woke_at_cycles = 0;
+  bed.SpawnApp("waiter", [&] {
+    Image& image = bed.image();
+    UdpEngine& udp = bed.stack().udp();
+    const Gaddr buffer = bed.AllocShared(128);
+    int sock = 0;
+    image.Call(kLibApp, kLibNet, [&] { sock = udp.Open(9000).value(); });
+    image.Call(kLibApp, kLibNet, [&] {
+      ASSERT_TRUE(udp.RecvFrom(sock, buffer, 128).ok());
+    });
+    woke_at_cycles = bed.machine().clock().cycles();
+  });
+  const uint8_t byte = 1;
+  bed.link().SendFromB(BuildUdpFrame(
+      MacAddr{{2, 0, 0, 0, 0, 0xbb}}, MacAddr{{2, 0, 0, 0, 0, 0xaa}},
+      MakeIpv4(10, 0, 0, 2), MakeIpv4(10, 0, 0, 1), 1234, 9000, &byte, 1));
+  const Status status = bed.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // The wakeup happened no earlier than the 2 ms propagation delay.
+  EXPECT_GE(woke_at_cycles, bed.machine().clock().NanosToCycles(2'000'000));
+}
+
+TEST(TestbedIdle, DeadlockedThreadsReportTimedOut) {
+  Testbed bed(Baseline());
+  bed.SpawnApp("stuck", [&] {
+    Image& image = bed.image();
+    TcpEngine& tcp = bed.stack().tcp();
+    const Gaddr buffer = bed.AllocShared(64);
+    int listener = 0, conn = 0;
+    image.Call(kLibApp, kLibNet,
+               [&] { listener = tcp.Listen(1000, 1).value(); });
+    // Accept blocks forever: nobody will ever connect.
+    image.Call(kLibApp, kLibNet, [&] { conn = tcp.Accept(listener).value(); });
+    (void)buffer;
+    (void)conn;
+  });
+  const Status status = bed.Run();
+  EXPECT_EQ(status.code(), ErrorCode::kTimedOut);
+}
+
+TEST(TestbedShared, SharedAllocationsVisibleEverywhere) {
+  TestbedConfig config;
+  config.image.backend = IsolationBackend::kVmRpc;
+  config.image.compartments = {
+      {std::string(kLibNet)},
+      {std::string(kLibApp), std::string(kLibSched), std::string(kLibLibc),
+       std::string(kLibAlloc)}};
+  Testbed bed(config);
+  const Gaddr shared = bed.AllocShared(64);
+  bed.image().SpaceOf(kLibApp).WriteT<uint32_t>(shared, 0xabcd1234);
+  EXPECT_EQ(bed.image().SpaceOf(kLibNet).ReadT<uint32_t>(shared),
+            0xabcd1234u);
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,362 @@
+// Property-based and parameterized sweeps across modules: reference-model
+// equivalence for the ring buffer and shadow memory, TCP bulk-transfer
+// integrity across a loss/latency/buffer grid, allocator alignment
+// guarantees, gate cost monotonicity, and metadata round-trips.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/freelist_heap.h"
+#include "apps/testbed.h"
+#include "core/compat.h"
+#include "core/metadata.h"
+#include "core/mpk_gate.h"
+#include "core/vm_gate.h"
+#include "libc/ring_buffer.h"
+#include "support/rng.h"
+
+namespace flexos {
+namespace {
+
+// --- RingBuffer vs. reference deque ----------------------------------------
+
+class RingBufferModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RingBufferModelTest, MatchesReferenceModel) {
+  const uint64_t capacity = GetParam();
+  Machine machine;
+  AddressSpace space(machine, "ring-prop", 1 << 20);
+  ASSERT_TRUE(space.Map(0, 1 << 20, 0).ok());
+  RingBuffer ring = RingBuffer::Create(space, 0, capacity);
+  std::deque<uint8_t> model;
+  Rng rng(capacity * 7919 + 13);
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t action = rng.NextBelow(4);
+    if (action == 0) {  // Push.
+      std::vector<uint8_t> data(1 + rng.NextBelow(capacity));
+      for (uint8_t& byte : data) {
+        byte = static_cast<uint8_t>(rng.NextU64());
+      }
+      const uint64_t accepted = ring.Push(data.data(), data.size());
+      ASSERT_EQ(accepted,
+                std::min<uint64_t>(data.size(), capacity - model.size()));
+      model.insert(model.end(), data.begin(), data.begin() + accepted);
+    } else if (action == 1) {  // Pop.
+      std::vector<uint8_t> out(1 + rng.NextBelow(capacity));
+      const uint64_t got = ring.Pop(out.data(), out.size());
+      ASSERT_EQ(got, std::min<uint64_t>(out.size(), model.size()));
+      for (uint64_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i], model.front());
+        model.pop_front();
+      }
+    } else if (action == 2 && !model.empty()) {  // Peek.
+      const uint64_t offset = rng.NextBelow(model.size());
+      const uint64_t span = 1 + rng.NextBelow(model.size() - offset);
+      std::vector<uint8_t> out(span);
+      ring.Peek(offset, out.data(), span);
+      for (uint64_t i = 0; i < span; ++i) {
+        ASSERT_EQ(out[i], model[offset + i]);
+      }
+    } else if (action == 3 && !model.empty()) {  // Discard.
+      const uint64_t n = 1 + rng.NextBelow(model.size());
+      ring.Discard(n);
+      model.erase(model.begin(), model.begin() + static_cast<long>(n));
+    }
+    ASSERT_EQ(ring.ReadableBytes(), model.size());
+    ASSERT_EQ(ring.WritableBytes(), capacity - model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferModelTest,
+                         ::testing::Values(1, 2, 7, 16, 64, 1000, 4096));
+
+// --- Shadow memory vs. reference map ----------------------------------------
+
+TEST(ShadowModel, MatchesReferenceOverRandomOps) {
+  Machine machine;
+  AddressSpace space(machine, "shadow-prop", 16 * kPageSize);
+  ASSERT_TRUE(space.Map(0, 16 * kPageSize, 0).ok());
+  machine.context().shadow_checks = true;
+
+  // Reference: poisoned granules (granule-aligned operations only, matching
+  // what the hardened allocator issues).
+  std::map<uint64_t, bool> poisoned_granules;
+  Rng rng(424242);
+  const uint64_t total_granules = 16 * kPageSize / kShadowGranule;
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t granule = rng.NextBelow(total_granules - 8);
+    const uint64_t count = 1 + rng.NextBelow(8);
+    const Gaddr addr = granule * kShadowGranule;
+    const uint64_t size = count * kShadowGranule;
+    if (rng.NextBool(0.5)) {
+      space.Poison(addr, size, kShadowHeapRedzone);
+      for (uint64_t g = granule; g < granule + count; ++g) {
+        poisoned_granules[g] = true;
+      }
+    } else {
+      space.Unpoison(addr, size);
+      for (uint64_t g = granule; g < granule + count; ++g) {
+        poisoned_granules[g] = false;
+      }
+    }
+    // Probe a random granule both ways.
+    const uint64_t probe = rng.NextBelow(total_granules);
+    const bool expect_poisoned =
+        poisoned_granules.count(probe) != 0 && poisoned_granules.at(probe);
+    ASSERT_EQ(space.IsPoisoned(probe * kShadowGranule, kShadowGranule),
+              expect_poisoned)
+        << "granule " << probe << " at step " << step;
+    uint8_t byte = 0;
+    if (expect_poisoned) {
+      ASSERT_THROW(space.Read(probe * kShadowGranule, &byte, 1),
+                   TrapException);
+    } else {
+      ASSERT_NO_THROW(space.Read(probe * kShadowGranule, &byte, 1));
+    }
+  }
+}
+
+// --- TCP bulk transfer across a condition grid -------------------------------
+
+struct TcpSweepParam {
+  double loss;
+  uint64_t latency_ns;
+  uint64_t recv_chunk;
+  uint64_t ring_bytes;
+};
+
+class TcpSweepTest : public ::testing::TestWithParam<TcpSweepParam> {};
+
+class BlobRemote final : public RemoteApp {
+ public:
+  explicit BlobRemote(std::string blob) : blob_(std::move(blob)) {}
+  size_t ProduceData(uint8_t* out, size_t max) override {
+    const size_t n = std::min(max, blob_.size() - sent_);
+    std::memcpy(out, blob_.data() + sent_, n);
+    sent_ += n;
+    return n;
+  }
+  bool Finished() const override { return sent_ == blob_.size(); }
+  void OnReceive(const uint8_t*, size_t) override {}
+
+ private:
+  std::string blob_;
+  size_t sent_ = 0;
+};
+
+TEST_P(TcpSweepTest, EveryByteArrivesInOrder) {
+  const TcpSweepParam& param = GetParam();
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  config.link.loss_probability = param.loss;
+  config.link.latency_ns = param.latency_ns;
+  config.link.seed = 1234;
+  config.tcp.ring_bytes = param.ring_bytes;
+
+  std::string blob(48 * 1024, '\0');
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>((i * 37 + i / 251) % 256);
+  }
+
+  Testbed bed(config);
+  std::string got;
+  bed.SpawnApp("sink", [&] {
+    TcpEngine& tcp = bed.stack().tcp();
+    Image& image = bed.image();
+    AddressSpace& space = image.SpaceOf(kLibApp);
+    const Gaddr buffer = bed.AllocShared(param.recv_chunk);
+    int listener = 0, conn = 0;
+    image.Call(kLibApp, kLibNet,
+               [&] { listener = tcp.Listen(5001, 4).value(); });
+    image.Call(kLibApp, kLibNet,
+               [&] { conn = tcp.Accept(listener).value(); });
+    for (;;) {
+      uint64_t n = 0;
+      image.Call(kLibApp, kLibNet, [&] {
+        n = tcp.Recv(conn, buffer, param.recv_chunk).value();
+      });
+      if (n == 0) {
+        break;
+      }
+      std::string chunk(n, '\0');
+      space.ReadUnchecked(buffer, chunk.data(), n);
+      got += chunk;
+    }
+    image.Call(kLibApp, kLibNet, [&] { (void)tcp.Close(conn); });
+  });
+  BlobRemote app(blob);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{}, app);
+  bed.AddPeer(&peer);
+  peer.Connect();
+  const Status status = bed.Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, TcpSweepTest,
+    ::testing::Values(
+        TcpSweepParam{0.0, 1'000, 4096, 256 * 1024},
+        TcpSweepParam{0.0, 100'000, 4096, 256 * 1024},   // High latency.
+        TcpSweepParam{0.02, 5'000, 4096, 256 * 1024},    // Light loss.
+        TcpSweepParam{0.10, 5'000, 4096, 256 * 1024},    // Heavy loss.
+        TcpSweepParam{0.05, 50'000, 512, 16 * 1024},     // Loss + tiny rings.
+        TcpSweepParam{0.0, 5'000, 64, 8 * 1024},         // Tiny everything.
+        TcpSweepParam{0.15, 2'000, 2048, 32 * 1024}));   // Brutal loss.
+
+// --- Gate cost monotonicity ---------------------------------------------------
+
+class GateArgSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GateArgSweepTest, CopyingGatesScaleWithArgs) {
+  const uint64_t args = GetParam();
+  Machine machine;
+  ExecContext target;
+  target.compartment = 1;
+  auto cost = [&](Gate& gate, uint64_t arg_bytes) {
+    const GateCrossing crossing{.target_context = &target,
+                                .arg_bytes = arg_bytes,
+                                .ret_bytes = 0};
+    const uint64_t before = machine.clock().cycles();
+    gate.Cross(machine, crossing, [] {});
+    return machine.clock().cycles() - before;
+  };
+  MpkSharedStackGate shared;
+  MpkSwitchedStackGate switched;
+  VmRpcGate vm;
+  // Shared-stack gates never copy; switched/VM gates must not be cheaper
+  // with more data.
+  EXPECT_EQ(cost(shared, args), cost(shared, args * 2));
+  EXPECT_LE(cost(switched, args), cost(switched, args * 2));
+  EXPECT_LE(cost(vm, args), cost(vm, args * 2));
+  // And the backend ordering holds at every size.
+  EXPECT_LT(cost(shared, args), cost(switched, args));
+  EXPECT_LT(cost(switched, args), cost(vm, args));
+}
+
+INSTANTIATE_TEST_SUITE_P(ArgSizes, GateArgSweepTest,
+                         ::testing::Values(0, 8, 64, 512, 4096, 65536));
+
+// --- Allocator alignment sweep -------------------------------------------------
+
+struct AlignParam {
+  bool buddy;
+  uint64_t align;
+};
+
+class AllocatorAlignTest : public ::testing::TestWithParam<AlignParam> {};
+
+TEST_P(AllocatorAlignTest, EveryAllocationHonorsAlignment) {
+  const AlignParam& param = GetParam();
+  Machine machine;
+  AddressSpace space(machine, "align-prop", 8 << 20);
+  ASSERT_TRUE(space.Map(0, 4 << 20, 0).ok());
+  std::unique_ptr<Allocator> allocator;
+  if (param.buddy) {
+    allocator = std::make_unique<BuddyAllocator>(space, 0, 1 << 20);
+  } else {
+    allocator = std::make_unique<FreelistHeap>(space, 0, 1 << 20);
+  }
+  Rng rng(param.align * 31 + (param.buddy ? 1 : 0));
+  std::vector<Gaddr> live;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t size = 1 + rng.NextBelow(2000);
+    Result<Gaddr> addr = allocator->Allocate(size, param.align);
+    if (addr.ok()) {
+      EXPECT_EQ(addr.value() % param.align, 0u)
+          << "size=" << size << " align=" << param.align;
+      live.push_back(addr.value());
+    }
+    if (!live.empty() && rng.NextBool(0.4)) {
+      const size_t index = rng.NextBelow(live.size());
+      ASSERT_TRUE(allocator->Free(live[index]).ok());
+      live[index] = live.back();
+      live.pop_back();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Alignments, AllocatorAlignTest,
+    ::testing::Values(AlignParam{false, 16}, AlignParam{false, 64},
+                      AlignParam{false, 256}, AlignParam{false, 4096},
+                      AlignParam{true, 16}, AlignParam{true, 64},
+                      AlignParam{true, 256}, AlignParam{true, 4096}));
+
+// --- Metadata round-trip over randomized specs ---------------------------------
+
+TEST(MetadataProperty, RandomizedSpecsRoundTrip) {
+  Rng rng(20260706);
+  for (int trial = 0; trial < 200; ++trial) {
+    LibraryMeta meta;
+    meta.name = "lib" + std::to_string(trial);
+    meta.behavior.reads_all = rng.NextBool(0.3);
+    if (!meta.behavior.reads_all) {
+      meta.behavior.reads_own = rng.NextBool(0.8);
+      meta.behavior.reads_shared = rng.NextBool(0.5);
+    }
+    meta.behavior.writes_all = rng.NextBool(0.3);
+    if (!meta.behavior.writes_all) {
+      meta.behavior.writes_own = rng.NextBool(0.8);
+      meta.behavior.writes_shared = rng.NextBool(0.5);
+    }
+    meta.behavior.calls_any = rng.NextBool(0.2);
+    if (!meta.behavior.calls_any) {
+      const uint64_t calls = rng.NextBelow(4);
+      for (uint64_t c = 0; c < calls; ++c) {
+        meta.behavior.calls.insert("other::fn" + std::to_string(c));
+      }
+    }
+    const uint64_t apis = rng.NextBelow(4);
+    for (uint64_t a = 0; a < apis; ++a) {
+      meta.api.push_back(ApiFunc{"api" + std::to_string(a)});
+    }
+    if (rng.NextBool(0.6)) {
+      meta.requires_spec.present = true;
+      meta.requires_spec.others_may_read_own = rng.NextBool(0.5);
+      meta.requires_spec.others_may_write_own = rng.NextBool(0.2);
+      meta.requires_spec.others_may_read_shared = rng.NextBool(0.7);
+      meta.requires_spec.others_may_write_shared = rng.NextBool(0.5);
+      meta.requires_spec.others_may_call_any = rng.NextBool(0.2);
+      const uint64_t funcs = rng.NextBelow(3);
+      for (uint64_t f = 0; f < funcs; ++f) {
+        meta.requires_spec.callable_funcs.insert("fn" + std::to_string(f));
+      }
+    }
+
+    Result<LibraryMeta> reparsed = ParseLibraryMeta(meta.name, meta.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << "trial " << trial << ": " << reparsed.status().ToString()
+        << "\nspec:\n"
+        << meta.ToString();
+    EXPECT_EQ(reparsed->behavior.reads_all, meta.behavior.reads_all);
+    EXPECT_EQ(reparsed->behavior.writes_all, meta.behavior.writes_all);
+    EXPECT_EQ(reparsed->behavior.calls_any, meta.behavior.calls_any);
+    EXPECT_EQ(reparsed->behavior.calls, meta.behavior.calls);
+    EXPECT_EQ(reparsed->api.size(), meta.api.size());
+    EXPECT_EQ(reparsed->requires_spec.present, meta.requires_spec.present);
+    if (meta.requires_spec.present) {
+      EXPECT_EQ(reparsed->requires_spec.others_may_write_own,
+                meta.requires_spec.others_may_write_own);
+      EXPECT_EQ(reparsed->requires_spec.others_may_call_any,
+                meta.requires_spec.others_may_call_any);
+      EXPECT_EQ(reparsed->requires_spec.callable_funcs,
+                meta.requires_spec.callable_funcs);
+    }
+    // Compatibility is invariant under round-trip.
+    const bool before =
+        CanShareCompartment(meta, UnsafeCLibMeta("u")).compatible;
+    const bool after =
+        CanShareCompartment(reparsed.value(), UnsafeCLibMeta("u")).compatible;
+    EXPECT_EQ(before, after);
+  }
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/sh_transform.h"
+
+namespace flexos {
+namespace {
+
+TEST(ShTransform, CfiNarrowsCallStar) {
+  // Paper §2: "libraries that previously declared Call(*) are transformed
+  // into Call(func. list)".
+  const LibraryMeta unsafe = UnsafeCLibMeta("c");
+  ShAnalysis analysis;
+  analysis.cfi_call_targets = {"alloc::malloc", "libc::memcpy"};
+  const LibraryMeta hardened =
+      ApplyShTransform(unsafe, ShTechnique::kCfi, analysis);
+  EXPECT_FALSE(hardened.behavior.calls_any);
+  EXPECT_EQ(hardened.behavior.calls.count("alloc::malloc"), 1u);
+  EXPECT_EQ(hardened.behavior.calls.count("libc::memcpy"), 1u);
+  // Memory behavior untouched by CFI.
+  EXPECT_TRUE(hardened.behavior.writes_all);
+}
+
+TEST(ShTransform, DfiNarrowsWriteStar) {
+  // Paper §2: "Writes(*) will be transformed to Writes(Own)".
+  const LibraryMeta unsafe = UnsafeCLibMeta("c");
+  ShAnalysis analysis;
+  analysis.dfi_writes_shared = false;
+  const LibraryMeta hardened =
+      ApplyShTransform(unsafe, ShTechnique::kDfi, analysis);
+  EXPECT_FALSE(hardened.behavior.writes_all);
+  EXPECT_TRUE(hardened.behavior.writes_own);
+  EXPECT_FALSE(hardened.behavior.writes_shared);
+}
+
+TEST(ShTransform, AsanAlsoBoundsReads) {
+  const LibraryMeta unsafe = UnsafeCLibMeta("c");
+  const LibraryMeta hardened =
+      ApplyShTransform(unsafe, ShTechnique::kAsan, ShAnalysis{});
+  EXPECT_FALSE(hardened.behavior.reads_all);
+  EXPECT_FALSE(hardened.behavior.writes_all);
+}
+
+TEST(ShTransform, StackProtectorLeavesBehaviorAlone) {
+  const LibraryMeta unsafe = UnsafeCLibMeta("c");
+  const LibraryMeta hardened =
+      ApplyShTransform(unsafe, ShTechnique::kStackProtector, ShAnalysis{});
+  EXPECT_TRUE(hardened.behavior.writes_all);
+  EXPECT_TRUE(hardened.behavior.calls_any);
+}
+
+TEST(ShTransform, VariantEnumerationFollowsPaperPolicy) {
+  // Safe library: one variant. Unsafe library: original + hardened.
+  std::vector<LibraryMeta> libs = {SchedulerMeta(), UnsafeCLibMeta("c")};
+  const auto variants = EnumerateShVariants(libs, ShAnalysis{});
+  ASSERT_EQ(variants.size(), 2u);
+  EXPECT_EQ(variants[0].size(), 1u);
+  ASSERT_EQ(variants[1].size(), 2u);
+  EXPECT_FALSE(variants[1][0].hardened());
+  EXPECT_TRUE(variants[1][1].hardened());
+  EXPECT_EQ(variants[1][1].applied.count(ShTechnique::kAsan), 1u);
+  EXPECT_EQ(variants[1][1].applied.count(ShTechnique::kCfi), 1u);
+}
+
+TEST(ShTransform, PaperWorkedExampleSchedulerPlusUnsafeC) {
+  // Paper §2: "When put together with the scheduler in the same image, the
+  // SH version will be able to share a compartment with the scheduler,
+  // while the original version will require a separate compartment."
+  std::vector<LibraryMeta> libs = {SchedulerMeta(), UnsafeCLibMeta("c")};
+  ShAnalysis analysis;
+  analysis.cfi_call_targets = {"sched::thread_add", "sched::yield"};
+  const auto variants = EnumerateShVariants(libs, analysis);
+  const auto deployments = EnumerateDeployments(variants, true);
+  ASSERT_EQ(deployments.size(), 2u);
+
+  for (const Deployment& deployment : deployments) {
+    if (deployment.num_hardened() == 0) {
+      EXPECT_EQ(deployment.num_compartments(), 2)
+          << "original C lib must be separated from the scheduler";
+    } else {
+      EXPECT_EQ(deployment.num_compartments(), 1)
+          << "SH version may share the scheduler's compartment";
+    }
+  }
+}
+
+TEST(ShTransform, DeploymentCountIsProductOfVariantCounts) {
+  std::vector<LibraryMeta> libs = {UnsafeCLibMeta("a"), UnsafeCLibMeta("b"),
+                                   SchedulerMeta()};
+  const auto variants = EnumerateShVariants(libs, ShAnalysis{});
+  const auto deployments = EnumerateDeployments(variants, false);
+  EXPECT_EQ(deployments.size(), 4u);  // 2 * 2 * 1.
+}
+
+TEST(ShTransform, TechniqueNames) {
+  EXPECT_EQ(ShTechniqueName(ShTechnique::kAsan), "ASAN");
+  EXPECT_EQ(ShTechniqueName(ShTechnique::kCfi), "CFI");
+  EXPECT_EQ(ShTechniqueName(ShTechnique::kSafeStack), "SafeStack");
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,362 @@
+// System-level scenarios beyond the basic integration tests:
+// multi-connection and pipelined Redis workloads, config-file-driven
+// boots, buddy-heap images, protocol edge cases through real connections,
+// and explorer-prediction vs. measured-throughput consistency.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "apps/iperf_client.h"
+#include "apps/iperf_server.h"
+#include "apps/redis_client.h"
+#include "apps/redis_server.h"
+#include "apps/testbed.h"
+#include "core/config_parser.h"
+#include "core/explorer.h"
+
+namespace flexos {
+namespace {
+
+struct MultiRedisResult {
+  Status run_status;
+  uint64_t total_ops = 0;
+  uint64_t errors = 0;
+  RedisServerResult server;
+};
+
+MultiRedisResult RunMultiRedis(const TestbedConfig& config,
+                               const RedisWorkload& base, int conns) {
+  Testbed bed(config);
+  RedisServerResult server_result;
+  RedisServerOptions options;
+  options.max_conns = conns;
+  SpawnRedisServer(bed, options, &server_result);
+
+  RemoteHub hub(bed.link());
+  std::vector<std::unique_ptr<RedisRemoteClient>> clients;
+  std::vector<std::unique_ptr<RemoteTcpPeer>> peers;
+  for (int i = 0; i < conns; ++i) {
+    RedisWorkload workload = base;
+    workload.key_prefix = "client" + std::to_string(i);
+    clients.push_back(
+        std::make_unique<RedisRemoteClient>(bed.machine(), workload));
+    RemoteTcpConfig peer_config;
+    peer_config.server_port = 6379;
+    peer_config.local_port = static_cast<Port>(41000 + i);
+    peers.push_back(std::make_unique<RemoteTcpPeer>(
+        bed.machine(), bed.link(), peer_config, *clients.back(), false));
+    hub.Register(peers.back().get());
+    bed.AddPeer(peers.back().get());
+    peers.back()->Connect();
+  }
+  MultiRedisResult out;
+  out.run_status = bed.Run();
+  out.server = server_result;
+  for (const auto& client : clients) {
+    out.total_ops += client->completed_ops();
+    out.errors += client->errors();
+  }
+  return out;
+}
+
+TEST(SystemRedis, EightConcurrentConnectionsCompleteEverything) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  RedisWorkload workload;
+  workload.measured_ops = 30;
+  workload.payload_bytes = 40;
+  const MultiRedisResult result = RunMultiRedis(config, workload, 8);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.total_ops, 8u * 30u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.server.sets, 8u * 30u);
+  EXPECT_TRUE(result.server.ok);
+}
+
+TEST(SystemRedis, ConcurrentConnectionsUnderMpkIsolation) {
+  TestbedConfig config;
+  config.image.backend = IsolationBackend::kMpkSwitchedStack;
+  config.image.compartments = {
+      {"net"}, {"sched"}, {"app", "libc", "alloc"}};
+  RedisWorkload workload;
+  workload.measure_gets = true;
+  workload.warmup_sets = 8;
+  workload.key_space = 8;
+  workload.measured_ops = 20;
+  const MultiRedisResult result = RunMultiRedis(config, workload, 4);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.total_ops, 4u * 28u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.server.hits, 4u * 20u);  // Disjoint keyspaces all hit.
+}
+
+TEST(SystemRedis, PipelinedClientGetsEveryReply) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  RedisWorkload workload;
+  workload.measured_ops = 60;
+  workload.payload_bytes = 20;
+  workload.pipeline = 8;
+  const MultiRedisResult result = RunMultiRedis(config, workload, 1);
+  EXPECT_TRUE(result.run_status.ok()) << result.run_status.ToString();
+  EXPECT_EQ(result.total_ops, 60u);
+  EXPECT_EQ(result.errors, 0u);
+}
+
+TEST(SystemRedis, PipeliningImprovesThroughputOfOneConnection) {
+  auto measure = [](uint64_t pipeline) {
+    TestbedConfig config;
+    config.image = BaselineConfig(DefaultLibs());
+    Testbed bed(config);
+    RedisServerResult server_result;
+    SpawnRedisServer(bed, RedisServerOptions{}, &server_result);
+    RedisWorkload workload;
+    workload.measured_ops = 60;
+    workload.pipeline = pipeline;
+    RedisRemoteClient client(bed.machine(), workload);
+    RemoteTcpConfig peer_config;
+    peer_config.server_port = 6379;
+    RemoteTcpPeer peer(bed.machine(), bed.link(), peer_config, client);
+    bed.AddPeer(&peer);
+    peer.Connect();
+    EXPECT_TRUE(bed.Run().ok());
+    return client.MeasuredOpsPerSec();
+  };
+  EXPECT_GT(measure(8), 1.5 * measure(1));
+}
+
+// --- Raw RESP protocol edges through a real connection ----------------------
+
+class RawRespRemote final : public RemoteApp {
+ public:
+  explicit RawRespRemote(std::string to_send) : to_send_(std::move(to_send)) {}
+  size_t ProduceData(uint8_t* out, size_t max) override {
+    const size_t n = std::min(max, to_send_.size() - sent_);
+    std::memcpy(out, to_send_.data() + sent_, n);
+    sent_ += n;
+    return n;
+  }
+  bool Finished() const override {
+    // Half-close after sending; replies still flow back.
+    return sent_ == to_send_.size();
+  }
+  void OnReceive(const uint8_t* data, size_t len) override {
+    received_.append(reinterpret_cast<const char*>(data), len);
+  }
+  const std::string& received() const { return received_; }
+
+ private:
+  std::string to_send_;
+  size_t sent_ = 0;
+  std::string received_;
+};
+
+std::string RunRawResp(const std::string& wire_bytes,
+                       RedisServerResult* server_result) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  Testbed bed(config);
+  SpawnRedisServer(bed, RedisServerOptions{}, server_result);
+  RawRespRemote app(wire_bytes);
+  RemoteTcpConfig peer_config;
+  peer_config.server_port = 6379;
+  RemoteTcpPeer peer(bed.machine(), bed.link(), peer_config, app);
+  bed.AddPeer(&peer);
+  peer.Connect();
+  EXPECT_TRUE(bed.Run().ok());
+  return app.received();
+}
+
+TEST(SystemResp, PingSetGetDelSequence) {
+  RedisServerResult server;
+  const std::string wire =
+      EncodeRespCommand({"PING"}) + EncodeRespCommand({"SET", "k", "hello"}) +
+      EncodeRespCommand({"GET", "k"}) + EncodeRespCommand({"DEL", "k"}) +
+      EncodeRespCommand({"GET", "k"}) + EncodeRespCommand({"DEL", "k"});
+  const std::string replies = RunRawResp(wire, &server);
+  EXPECT_EQ(replies,
+            "+PONG\r\n+OK\r\n$5\r\nhello\r\n:1\r\n$-1\r\n:0\r\n");
+  EXPECT_EQ(server.commands, 6u);
+  EXPECT_EQ(server.protocol_errors, 0u);
+}
+
+TEST(SystemResp, UnknownCommandGetsError) {
+  RedisServerResult server;
+  const std::string replies =
+      RunRawResp(EncodeRespCommand({"FLUSHALL"}), &server);
+  EXPECT_EQ(replies, "-ERR unknown command\r\n");
+  EXPECT_EQ(server.protocol_errors, 1u);
+}
+
+TEST(SystemResp, MalformedInputGetsProtocolError) {
+  RedisServerResult server;
+  const std::string replies = RunRawResp("GARBAGE\r\n", &server);
+  EXPECT_EQ(replies, "-ERR protocol error\r\n");
+  EXPECT_EQ(server.protocol_errors, 1u);
+}
+
+TEST(SystemResp, OverwriteReplacesValue) {
+  RedisServerResult server;
+  const std::string wire = EncodeRespCommand({"SET", "k", "one"}) +
+                           EncodeRespCommand({"SET", "k", "twotwo"}) +
+                           EncodeRespCommand({"GET", "k"});
+  const std::string replies = RunRawResp(wire, &server);
+  EXPECT_EQ(replies, "+OK\r\n+OK\r\n$6\r\ntwotwo\r\n");
+}
+
+TEST(SystemResp, EmptyValueRoundTrips) {
+  RedisServerResult server;
+  const std::string wire =
+      EncodeRespCommand({"SET", "k", ""}) + EncodeRespCommand({"GET", "k"});
+  const std::string replies = RunRawResp(wire, &server);
+  EXPECT_EQ(replies, "+OK\r\n$0\r\n\r\n");
+}
+
+// --- Config-file-driven boots -----------------------------------------------
+
+TEST(SystemConfig, TextConfigBootsAndRuns) {
+  Result<ImageConfig> image = ParseImageConfig(
+      "backend = mpk-shared\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "harden net\n"
+      "heap_bytes = 16M\n"
+      "shared_bytes = 16M\n");
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  TestbedConfig config;
+  config.image = image.value();
+
+  Testbed bed(config);
+  IperfServerResult server_result;
+  IperfServerOptions options;
+  options.recv_buffer_bytes = 4096;
+  SpawnIperfServer(bed, options, &server_result);
+  IperfRemoteClient client(64 * 1024);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{}, client);
+  bed.AddPeer(&peer);
+  peer.Connect();
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_EQ(server_result.bytes_received, 64u * 1024);
+}
+
+TEST(SystemConfig, BuddyHeapImageWorksEndToEnd) {
+  TestbedConfig config;
+  config.image = BaselineConfig(DefaultLibs());
+  config.image.heap_kind = HeapKind::kBuddy;
+  Testbed bed(config);
+  IperfServerResult server_result;
+  IperfServerOptions options;
+  SpawnIperfServer(bed, options, &server_result);
+  IperfRemoteClient client(128 * 1024);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{}, client);
+  bed.AddPeer(&peer);
+  peer.Connect();
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_EQ(server_result.bytes_received, 128u * 1024);
+}
+
+// --- Explorer predictions vs. measured reality --------------------------------
+
+TEST(SystemExplorer, PredictedOrderingMatchesMeasuredOrdering) {
+  // The analytic cost model must agree with the simulator on the backend
+  // ordering for the {net}|{rest} layout at a small recv buffer.
+  auto measured_gbps = [](IsolationBackend backend) {
+    TestbedConfig config;
+    if (backend == IsolationBackend::kNone) {
+      config.image = BaselineConfig(DefaultLibs());
+    } else {
+      config.image.backend = backend;
+      config.image.compartments = {{"net"},
+                                   {"app", "sched", "libc", "alloc"}};
+    }
+    Testbed bed(config);
+    IperfServerResult server_result;
+    IperfServerOptions options;
+    options.recv_buffer_bytes = 256;
+    SpawnIperfServer(bed, options, &server_result);
+    IperfRemoteClient client(128 * 1024);
+    RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{},
+                       client);
+    bed.AddPeer(&peer);
+    peer.Connect();
+    EXPECT_TRUE(bed.Run().ok());
+    return static_cast<double>(server_result.bytes_received) /
+           bed.machine().clock().NowSeconds();
+  };
+
+  const CostModel costs;
+  const double m_none = measured_gbps(IsolationBackend::kNone);
+  const double m_mpk = measured_gbps(IsolationBackend::kMpkSharedStack);
+  const double m_vm = measured_gbps(IsolationBackend::kVmRpc);
+  EXPECT_GT(m_none, m_mpk);
+  EXPECT_GT(m_mpk, m_vm);
+  // Analytic model agrees.
+  EXPECT_LT(GateRoundTripCycles(IsolationBackend::kNone, costs),
+            GateRoundTripCycles(IsolationBackend::kMpkSharedStack, costs));
+  EXPECT_LT(GateRoundTripCycles(IsolationBackend::kMpkSharedStack, costs),
+            GateRoundTripCycles(IsolationBackend::kVmRpc, costs));
+}
+
+TEST(SystemDeterminism, IdenticalRunsProduceIdenticalCycleCounts) {
+  // The repository's headline reproducibility claim: the simulation is
+  // deterministic, so two identical runs agree to the cycle.
+  auto run_once = [] {
+    TestbedConfig config;
+    config.image.backend = IsolationBackend::kMpkSwitchedStack;
+    config.image.compartments = {
+        {"net"}, {"app", "sched", "libc", "alloc", "fs"}};
+    config.link.loss_probability = 0.01;  // Loss is seeded, too.
+    config.link.seed = 5;
+    Testbed bed(config);
+    IperfServerResult server_result;
+    IperfServerOptions options;
+    options.recv_buffer_bytes = 2048;
+    SpawnIperfServer(bed, options, &server_result);
+    IperfRemoteClient client(128 * 1024);
+    RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{},
+                       client);
+    bed.AddPeer(&peer);
+    peer.Connect();
+    EXPECT_TRUE(bed.Run().ok());
+    return std::make_tuple(bed.machine().clock().cycles(),
+                           bed.machine().stats().wrpkru_count,
+                           bed.stack().tcp().stats().retransmits,
+                           server_result.bytes_received);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(std::get<3>(first), 128u * 1024);
+}
+
+TEST(SystemStats, CrossingMatrixAccountsForIsolationLayout) {
+  TestbedConfig config;
+  config.image.backend = IsolationBackend::kMpkSharedStack;
+  config.image.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  Testbed bed(config);
+  IperfServerResult server_result;
+  IperfServerOptions options;
+  SpawnIperfServer(bed, options, &server_result);
+  IperfRemoteClient client(64 * 1024);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{}, client);
+  bed.AddPeer(&peer);
+  peer.Connect();
+  ASSERT_TRUE(bed.Run().ok());
+
+  const ImageStats& stats = bed.image().stats();
+  EXPECT_GT(stats.cross_compartment_calls, 0u);
+  EXPECT_GT(stats.same_compartment_calls, 0u);
+  EXPECT_GT(stats.leaf_calls, 0u);
+  // Every WRPKRU pair corresponds to one MPK crossing.
+  EXPECT_EQ(bed.machine().stats().wrpkru_count,
+            2 * stats.cross_compartment_calls);
+  // The crossing matrix only contains pairs that differ.
+  for (const auto& [pair, count] : stats.crossings) {
+    EXPECT_NE(pair.first, pair.second);
+    EXPECT_GT(count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flexos
