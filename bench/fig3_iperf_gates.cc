@@ -7,6 +7,7 @@
 //   the baseline around 1 KiB; the VM backend needs ~32 KiB to catch up;
 //   Xen series sit below their KVM counterparts.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 
@@ -16,7 +17,9 @@ namespace {
 using bench::NetOnlyConfig;
 using bench::RunIperf;
 
-constexpr uint64_t kTotalBytes = 4ull << 20;
+// --smoke shrinks the transfer so CI can exercise the full pipeline in a
+// few seconds; the default run is unchanged.
+uint64_t g_total_bytes = 4ull << 20;
 
 double Measure(IsolationBackend backend, bool harden_net, bool xen_costs,
                uint64_t recv_buffer) {
@@ -32,21 +35,31 @@ double Measure(IsolationBackend backend, bool harden_net, bool xen_costs,
   if (xen_costs) {
     config.costs = bench::XenPlatformCosts();
   }
-  return RunIperf(config, kTotalBytes, recv_buffer).gbps;
+  return RunIperf(config, g_total_bytes, recv_buffer).gbps;
 }
 
 }  // namespace
 }  // namespace flexos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flexos;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) {
+    g_total_bytes = 64ull << 10;
+  }
   std::printf("# Figure 3: iperf throughput (Gb/s), payload = recv buffer "
               "size\n");
   std::printf("# series: KVM-baseline, MPK-Sha(KVM), MPK-Sw(KVM), SH(KVM), "
               "Xen-baseline, VM-RPC(Xen)\n");
   std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "buf(B)", "KVM-base",
               "MPK-Sha", "MPK-Sw", "SH", "Xen-base", "VM-RPC");
-  for (int power = 6; power <= 20; power += 2) {
+  const int max_power = smoke ? 10 : 20;
+  for (int power = 6; power <= max_power; power += 2) {
     const uint64_t buffer = 1ull << power;
     const double kvm_base =
         Measure(IsolationBackend::kNone, false, false, buffer);
@@ -62,6 +75,9 @@ int main() {
     std::printf("%-10llu %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
                 static_cast<unsigned long long>(buffer), kvm_base, mpk_sha,
                 mpk_sw, sh, xen_base, vm_rpc);
+  }
+  if (smoke) {
+    return 0;  // Skip the (slow) reproduction checks in smoke mode.
   }
   std::printf("\n# Reproduction checks (paper shape):\n");
   const double base_small =

@@ -58,5 +58,7 @@ int main() {
   std::printf("WRPKRU executed  : %llu\n",
               static_cast<unsigned long long>(
                   bed.machine().stats().wrpkru_count));
+  std::printf("gate traffic per boundary:\n%s",
+              bed.DescribeCrossings().c_str());
   return 0;
 }

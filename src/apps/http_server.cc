@@ -50,18 +50,21 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
     Image& image = bed.image();
     AddressSpace& space = image.SpaceOf(kLibApp);
     TcpEngine& tcp = bed.stack().tcp();
+    const RouteHandle app_to_net = image.Resolve(kLibApp, kLibNet);
+    const RouteHandle app_to_libc = image.Resolve(kLibApp, kLibLibc);
+    const RouteHandle app_to_fs = image.Resolve(kLibApp, kLibFs);
     const Gaddr buffer = bed.AllocShared(options.buffer_bytes);
     const Gaddr file_buf = bed.AllocShared(options.buffer_bytes);
 
     int listener = -1;
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       Result<int> r = tcp.Listen(options.port, 4);
       FLEXOS_CHECK(r.ok(), "http listen failed: %s",
                    r.status().ToString().c_str());
       listener = r.value();
     });
     int conn = -1;
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       Result<int> r = tcp.Accept(listener);
       FLEXOS_CHECK(r.ok(), "http accept failed: %s",
                    r.status().ToString().c_str());
@@ -78,10 +81,10 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
       while (sent < bytes.size() && !closed) {
         const uint64_t chunk =
             std::min<uint64_t>(bytes.size() - sent, options.buffer_bytes);
-        image.CallLeaf(kLibApp, kLibLibc, [&] {
+        image.CallLeaf(app_to_libc, [&] {
           space.Write(buffer, bytes.data() + sent, chunk);
         });
-        image.Call(kLibApp, kLibNet, [&] {
+        image.Call(app_to_net, [&] {
           if (!tcp.Send(conn, buffer, chunk).ok()) {
             result->ok = false;
             closed = true;
@@ -93,7 +96,7 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
 
     while (!closed) {
       uint64_t received = 0;
-      image.Call(kLibApp, kLibNet, [&] {
+      image.Call(app_to_net, [&] {
         Result<uint64_t> r = tcp.Recv(conn, buffer, options.buffer_bytes);
         if (!r.ok()) {
           result->ok = false;
@@ -139,7 +142,7 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
 
         uint64_t size = 0;
         bool found = false;
-        image.Call(kLibApp, kLibFs, [&] {
+        image.Call(app_to_fs, [&] {
           Result<uint64_t> r = fs.FileSize(path);
           if (r.ok()) {
             found = true;
@@ -159,7 +162,7 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
           uint64_t offset = 0;
           while (offset < size && !closed) {
             uint64_t got = 0;
-            image.Call(kLibApp, kLibFs, [&] {
+            image.Call(app_to_fs, [&] {
               got = fs.ReadFile(path, offset, file_buf,
                                 options.buffer_bytes)
                         .value_or(0);
@@ -167,7 +170,7 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
             if (got == 0) {
               break;
             }
-            image.Call(kLibApp, kLibNet, [&] {
+            image.Call(app_to_net, [&] {
               if (!tcp.Send(conn, file_buf, got).ok()) {
                 result->ok = false;
                 closed = true;
@@ -182,7 +185,7 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
         }
       }
     }
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       (void)tcp.Close(conn);
       (void)tcp.Close(listener);
     });

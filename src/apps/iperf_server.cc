@@ -10,17 +10,18 @@ void SpawnIperfServer(Testbed& bed, const IperfServerOptions& options,
     Machine& machine = bed.machine();
     Image& image = bed.image();
     TcpEngine& tcp = bed.stack().tcp();
+    const RouteHandle app_to_net = image.Resolve(kLibApp, kLibNet);
     const Gaddr buffer = bed.AllocShared(options.recv_buffer_bytes);
 
     int listener = -1;
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       Result<int> r = tcp.Listen(options.port, 8);
       FLEXOS_CHECK(r.ok(), "iperf listen failed: %s",
                    r.status().ToString().c_str());
       listener = r.value();
     });
     int conn = -1;
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       Result<int> r = tcp.Accept(listener);
       FLEXOS_CHECK(r.ok(), "iperf accept failed: %s",
                    r.status().ToString().c_str());
@@ -30,7 +31,7 @@ void SpawnIperfServer(Testbed& bed, const IperfServerOptions& options,
     for (;;) {
       uint64_t received = 0;
       bool failed = false;
-      image.Call(kLibApp, kLibNet, [&] {
+      image.Call(app_to_net, [&] {
         Result<uint64_t> r =
             tcp.Recv(conn, buffer, options.recv_buffer_bytes);
         if (!r.ok()) {
@@ -56,7 +57,7 @@ void SpawnIperfServer(Testbed& bed, const IperfServerOptions& options,
     }
     result->done_cycles = machine.clock().cycles();
 
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       (void)tcp.Close(conn);
       (void)tcp.Close(listener);
     });

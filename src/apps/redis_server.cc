@@ -141,6 +141,8 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
   AddressSpace& space = image.SpaceOf(kLibApp);
   Allocator& heap = image.AllocatorOf(kLibApp);
   TcpEngine& tcp = bed.stack().tcp();
+  const RouteHandle app_to_net = image.Resolve(kLibApp, kLibNet);
+  const RouteHandle app_to_libc = image.Resolve(kLibApp, kLibLibc);
 
   const Gaddr recv_buf = bed.AllocShared(options.recv_buffer_bytes);
   const Gaddr resp_buf = bed.AllocShared(options.resp_buffer_bytes);
@@ -152,7 +154,7 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
 
   while (!closed) {
     uint64_t received = 0;
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       Result<uint64_t> r =
           tcp.Recv(conn, recv_buf, options.recv_buffer_bytes);
       if (!r.ok()) {
@@ -204,7 +206,7 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
           continue;
         }
         // Store the value bytes: a LibC memcpy into the app heap.
-        image.CallLeaf(kLibApp, kLibLibc, [&] {
+        image.CallLeaf(app_to_libc, [&] {
           if (!value.empty()) {
             space.Write(addr.value(), value.data(), value.size());
           }
@@ -225,7 +227,7 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
         } else {
           ++result->hits;
           std::string value(it->second.size, '\0');
-          image.CallLeaf(kLibApp, kLibLibc, [&] {
+          image.CallLeaf(app_to_libc, [&] {
             if (!value.empty()) {
               space.Read(it->second.addr, value.data(), value.size());
             }
@@ -257,10 +259,10 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
     while (sent < pending_out.size()) {
       const uint64_t chunk = std::min<uint64_t>(
           pending_out.size() - sent, options.resp_buffer_bytes);
-      image.CallLeaf(kLibApp, kLibLibc, [&] {
+      image.CallLeaf(app_to_libc, [&] {
         space.Write(resp_buf, pending_out.data() + sent, chunk);
       });
-      image.Call(kLibApp, kLibNet, [&] {
+      image.Call(app_to_net, [&] {
         Result<uint64_t> r = tcp.Send(conn, resp_buf, chunk);
         if (!r.ok()) {
           FLEXOS_WARN("redis send failed: %s",
@@ -276,7 +278,7 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
     }
   }
 
-  image.Call(kLibApp, kLibNet, [&] { (void)tcp.Close(conn); });
+  image.Call(app_to_net, [&] { (void)tcp.Close(conn); });
 
   // Last handler out frees the store.
   --state->handlers_live;
@@ -297,8 +299,9 @@ void SpawnRedisServer(Testbed& bed, const RedisServerOptions& options,
   bed.SpawnApp("redis-accept", [&bed, options, result, state] {
     Image& image = bed.image();
     TcpEngine& tcp = bed.stack().tcp();
+    const RouteHandle app_to_net = image.Resolve(kLibApp, kLibNet);
     int listener = -1;
-    image.Call(kLibApp, kLibNet, [&] {
+    image.Call(app_to_net, [&] {
       Result<int> r = tcp.Listen(options.port, options.max_conns + 4);
       FLEXOS_CHECK(r.ok(), "redis listen failed: %s",
                    r.status().ToString().c_str());
@@ -306,7 +309,7 @@ void SpawnRedisServer(Testbed& bed, const RedisServerOptions& options,
     });
     for (int i = 0; i < options.max_conns; ++i) {
       int conn = -1;
-      image.Call(kLibApp, kLibNet, [&] {
+      image.Call(app_to_net, [&] {
         Result<int> r = tcp.Accept(listener);
         FLEXOS_CHECK(r.ok(), "redis accept failed: %s",
                      r.status().ToString().c_str());
@@ -324,7 +327,7 @@ void SpawnRedisServer(Testbed& bed, const RedisServerOptions& options,
                    handler.status().ToString().c_str());
     }
     state->all_accepted = true;
-    image.Call(kLibApp, kLibNet, [&] { (void)tcp.Close(listener); });
+    image.Call(app_to_net, [&] { (void)tcp.Close(listener); });
   });
 }
 

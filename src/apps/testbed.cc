@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/log.h"
+
 namespace flexos {
 
 std::vector<std::string> DefaultLibs() {
@@ -17,6 +19,7 @@ Testbed::Testbed(const TestbedConfig& config)
   FLEXOS_CHECK(image.ok(), "image build failed: %s",
                image.status().ToString().c_str());
   image_ = std::move(image).value();
+  platform_to_app_ = image_->Resolve(kLibPlatform, kLibApp);
 
   if (config.verified_scheduler) {
     scheduler_ = std::make_unique<VerifiedScheduler>(machine_);
@@ -52,14 +55,21 @@ Thread* Testbed::SpawnApp(const std::string& name,
                           std::function<void()> body) {
   Result<Thread*> thread = scheduler_->Spawn(name, [this, body] {
     // Enter the app compartment for the thread's lifetime.
-    image_->Call(kLibPlatform, kLibApp, body);
+    image_->Call(platform_to_app_, body);
   });
   FLEXOS_CHECK(thread.ok(), "spawn failed: %s",
                thread.status().ToString().c_str());
   return thread.value();
 }
 
-Status Testbed::Run() { return scheduler_->Run(); }
+Status Testbed::Run() {
+  Status status = scheduler_->Run();
+  const std::string crossings = image_->DescribeCrossings();
+  if (!crossings.empty()) {
+    FLEXOS_DEBUG("gate traffic:\n%s", crossings.c_str());
+  }
+  return status;
+}
 
 bool Testbed::OnIdle() {
   bool progress = link_->DeliverDue() > 0;

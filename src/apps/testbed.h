@@ -57,12 +57,18 @@ class Testbed {
   // Runs the scheduler to completion.
   Status Run();
 
+  // Per-boundary gate traffic (crossings, batched bodies, marshalled
+  // bytes), one line per (from, to) compartment pair. Also logged at
+  // debug level when Run finishes.
+  std::string DescribeCrossings() const { return image_->DescribeCrossings(); }
+
  private:
   bool OnIdle();
 
   TestbedConfig config_;
   Machine machine_;
   std::unique_ptr<Image> image_;
+  RouteHandle platform_to_app_;  // Resolved once; SpawnApp's entry route.
   std::unique_ptr<CoopScheduler> scheduler_;
   std::unique_ptr<Nic> nic_;
   std::unique_ptr<Link> link_;

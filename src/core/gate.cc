@@ -16,15 +16,23 @@ std::string_view GateKindName(GateKind kind) {
   return "?";
 }
 
-void DirectGate::Cross(Machine& machine, const GateCrossing& crossing,
-                       const std::function<void()>& body) {
+GateSession DirectGate::Enter(Machine& machine,
+                              const GateCrossing& crossing) {
   machine.clock().Charge(machine.costs().direct_call);
   ++machine.stats().gate_crossings;
-  if (crossing.target_context != nullptr) {
-    ScopedExecContext scope(machine, *crossing.target_context);
-    body();
-  } else {
-    body();
+  GateSession session{.caller = machine.context(),
+                      .swapped = crossing.target_context != nullptr};
+  if (session.swapped) {
+    machine.context() = *crossing.target_context;
+  }
+  return session;
+}
+
+void DirectGate::Exit(Machine& machine, const GateCrossing& crossing,
+                      const GateSession& session) {
+  (void)crossing;
+  if (session.swapped) {
+    machine.context() = session.caller;
   }
 }
 

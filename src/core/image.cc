@@ -1,5 +1,8 @@
 #include "core/image.h"
 
+#include <new>
+#include <type_traits>
+
 #include "hw/trap.h"
 #include "support/strings.h"
 
@@ -29,14 +32,14 @@ Image::Image(Machine& machine, IsolationBackend backend)
 Image::~Image() = default;
 
 Image::LibRuntime& Image::LibOf(std::string_view name) {
-  auto it = libs_.find(std::string(name));
+  auto it = libs_.find(name);
   FLEXOS_CHECK(it != libs_.end(), "library '%s' is not part of this image",
                std::string(name).c_str());
   return it->second;
 }
 
 const Image::LibRuntime* Image::FindLib(std::string_view name) const {
-  auto it = libs_.find(std::string(name));
+  auto it = libs_.find(name);
   return it == libs_.end() ? nullptr : &it->second;
 }
 
@@ -84,7 +87,7 @@ bool Image::IsHardened(std::string_view lib) const {
 }
 
 void Image::CallLeaf(std::string_view from, std::string_view to,
-                     const std::function<void()>& body) {
+                     FunctionRef<void()> body) {
   (void)from;
   ++stats_.leaf_calls;
   machine_.clock().Charge(machine_.costs().direct_call);
@@ -107,56 +110,141 @@ void Image::CallLeaf(std::string_view from, std::string_view to,
   body();
 }
 
-void Image::Call(std::string_view from, std::string_view to,
-                 const std::function<void()>& body) {
+RouteHandle Image::Resolve(std::string_view from, std::string_view to) {
+  RouteHandle route;
+  route.from = from;
+  route.to = to;
   // Under the VM backend, replicated libraries are local to every VM: the
   // call never leaves the caller's VM (paper §3: each VM image carries its
-  // own platform code, allocator, and scheduler).
+  // own platform code, allocator, and scheduler). Mirrors Call(): the
+  // source library is not consulted on this path.
   if (backend_ == IsolationBackend::kVmRpc &&
-      vm_replicated_libs_.count(std::string(to)) != 0) {
-    CallLeaf(from, to, body);
-    return;
+      vm_replicated_libs_.count(to) != 0) {
+    route.vm_local = true;
+    if (to == kLibPlatform) {
+      route.to_platform = true;
+    } else {
+      const LibRuntime& target = LibOf(to);
+      route.target_exec = &target.exec;
+      route.to_comp = target.compartment;
+      route.hardened = target.hardened;
+    }
+    return route;
   }
-  const int from_comp = CompartmentOf(from);
 
-  const ExecContext* target_exec;
-  int to_comp;
+  route.from_comp = CompartmentOf(from);
   if (to == kLibPlatform) {
-    target_exec = &platform_exec_;
-    to_comp = -1;
+    route.target_exec = &platform_exec_;
+    route.to_comp = -1;
+    route.to_platform = true;
   } else {
     const LibRuntime& target = LibOf(to);
-    target_exec = &target.exec;
-    to_comp = target.compartment;
-    if (target.hardened) {
-      machine_.clock().Charge(machine_.costs().sh_call_overhead);
-    }
+    route.target_exec = &target.exec;
+    route.to_comp = target.compartment;
+    route.hardened = target.hardened;
   }
+  route.cross = route.from_comp != route.to_comp;
+  route.gate = route.cross ? &CrossGate() : &direct_gate_;
+  return route;
+}
 
-  if (from_comp == to_comp && backend_ != IsolationBackend::kVmRpc) {
+void Image::Call(std::string_view from, std::string_view to,
+                 FunctionRef<void()> body) {
+  Call(Resolve(from, to), body);
+}
+
+void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
+  if (route.vm_local) {
+    CallLeaf(route, body);
+    return;
+  }
+  if (route.hardened) {
+    machine_.clock().Charge(machine_.costs().sh_call_overhead);
+  }
+  if (!route.cross) {
     // Same protection domain: a direct call (still swaps instrumentation
     // flags so per-library SH composes within one compartment).
     ++stats_.same_compartment_calls;
-    GateCrossing crossing{.target_context = target_exec};
-    direct_gate_.Cross(machine_, crossing, body);
-    return;
-  }
-  if (from_comp == to_comp) {
-    // VM backend, same VM.
-    ++stats_.same_compartment_calls;
-    GateCrossing crossing{.target_context = target_exec};
+    GateCrossing crossing{.target_context = route.target_exec};
     direct_gate_.Cross(machine_, crossing, body);
     return;
   }
 
   ++stats_.cross_compartment_calls;
-  ++stats_.crossings[{from_comp, to_comp}];
-  // Default by-value argument footprint of a gate call: a few registers
-  // spilled per the ABI (switched-stack/VM gates charge the copy).
-  GateCrossing crossing{
-      .target_context = target_exec, .arg_bytes = 64, .ret_bytes = 16};
-  Gate* gate = gate_ != nullptr ? gate_.get() : &direct_gate_;
+  BoundaryStats& boundary =
+      stats_.crossings[{route.from_comp, route.to_comp}];
+  ++boundary.crossings;
+  boundary.bytes += kGateArgBytes + kGateRetBytes;
+  GateCrossing crossing{.target_context = route.target_exec,
+                        .arg_bytes = kGateArgBytes,
+                        .ret_bytes = kGateRetBytes};
+  Gate* gate = route.gate != nullptr ? route.gate : &direct_gate_;
   gate->Cross(machine_, crossing, body);
+}
+
+void Image::CallLeaf(const RouteHandle& route, FunctionRef<void()> body) {
+  ++stats_.leaf_calls;
+  machine_.clock().Charge(machine_.costs().direct_call);
+  if (route.to_platform) {
+    body();
+    return;
+  }
+  ExecContext leaf = machine_.context();
+  if (route.hardened) {
+    machine_.clock().Charge(machine_.costs().sh_call_overhead);
+    leaf.mem_cost_multiplier = machine_.costs().sh_mem_multiplier;
+    leaf.shadow_checks = true;
+  } else {
+    leaf.mem_cost_multiplier = 1.0;
+    leaf.shadow_checks = false;
+  }
+  ScopedExecContext scope(machine_, leaf);
+  body();
+}
+
+void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
+  static_assert(sizeof(GateSession) <= GateBatch::kSessionBytes,
+                "GateSession must fit the batch's opaque storage");
+  static_assert(std::is_trivially_destructible_v<GateSession>,
+                "BatchExit does not run a GateSession destructor");
+  FLEXOS_CHECK(route.cross && route.gate != nullptr && !route.vm_local,
+               "GateBatch needs a resolved cross-compartment route");
+  ++stats_.cross_compartment_calls;
+  ++stats_.crossings[{route.from_comp, route.to_comp}].crossings;
+  // Notification-only entry: the batch opens the boundary with no argument
+  // payload; each item marshals its own (ChargeBatchItem).
+  GateCrossing entry{.target_context = route.target_exec};
+  GateSession session = route.gate->Enter(machine_, entry);
+  new (batch.session()) GateSession(session);
+  // Caller code keeps running between items under its own context; the
+  // restore is free — the modeled domain stays open for the batch.
+  machine_.context() = session.caller;
+}
+
+void Image::BatchItem(const RouteHandle& route, GateBatch& batch,
+                      FunctionRef<void()> body) {
+  const auto* session = static_cast<const GateSession*>(batch.session());
+  BoundaryStats& boundary =
+      stats_.crossings[{route.from_comp, route.to_comp}];
+  ++boundary.batched;
+  boundary.bytes += kGateArgBytes + kGateRetBytes;
+  if (route.hardened) {
+    machine_.clock().Charge(machine_.costs().sh_call_overhead);
+  }
+  // Per-item payload marshalling, priced by the open gate (no entry/exit,
+  // no PKRU writes, no VM notifications). Charged under the caller's
+  // context, where the item is queued.
+  route.gate->ChargeBatchItem(machine_, kGateArgBytes, kGateRetBytes);
+  machine_.context() = *route.target_exec;
+  body();
+  machine_.context() = session->caller;
+}
+
+void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
+  const auto* session = static_cast<const GateSession*>(batch.session());
+  // Notification-only exit: return payloads were charged per item.
+  GateCrossing exit{.target_context = route.target_exec};
+  route.gate->Exit(machine_, exit, *session);
 }
 
 void Image::RegisterApiContract(std::string_view lib, std::string_view func,
@@ -167,8 +255,7 @@ void Image::RegisterApiContract(std::string_view lib, std::string_view func,
 }
 
 void Image::CallNamed(std::string_view from, std::string_view to,
-                      std::string_view func,
-                      const std::function<void()>& body) {
+                      std::string_view func, FunctionRef<void()> body) {
   // API contract wrappers: included only across trust-domain boundaries
   // (paper §5) — within one compartment the caller is trusted and the
   // check is compiled out.
@@ -197,7 +284,7 @@ void Image::CallNamed(std::string_view from, std::string_view to,
     if (target.cfi_enforced) {
       ++stats_.cfi_checks;
       machine_.clock().Charge(machine_.costs().sh_call_overhead);
-      if (target.api.count(std::string(func)) == 0) {
+      if (target.api.count(func) == 0) {
         ++machine_.stats().traps;
         RaiseTrap(TrapInfo{
             .kind = TrapKind::kCfiViolation,
@@ -217,6 +304,19 @@ std::string Image::Describe() const {
                               compartment_count());
   for (const CompartmentRuntime& comp : comps_) {
     out += "  " + comp.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string Image::DescribeCrossings() const {
+  std::string out;
+  for (const auto& [boundary, counters] : stats_.crossings) {
+    out += StrFormat(
+        "  boundary %d -> %d: crossings=%llu batched=%llu bytes=%llu\n",
+        boundary.first, boundary.second,
+        static_cast<unsigned long long>(counters.crossings),
+        static_cast<unsigned long long>(counters.batched),
+        static_cast<unsigned long long>(counters.bytes));
   }
   return out;
 }

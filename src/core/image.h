@@ -6,6 +6,8 @@
 #ifndef FLEXOS_CORE_IMAGE_H_
 #define FLEXOS_CORE_IMAGE_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -29,12 +31,24 @@ enum class IsolationBackend : uint8_t {
 
 std::string_view IsolationBackendName(IsolationBackend backend);
 
+// Default by-value payload of a gate call: a few registers spilled per the
+// ABI (switched-stack/VM gates charge the copies).
+inline constexpr uint64_t kGateArgBytes = 64;
+inline constexpr uint64_t kGateRetBytes = 16;
+
+// Traffic accounting for one (from-compartment, to-compartment) boundary.
+struct BoundaryStats {
+  uint64_t crossings = 0;  // Gate entry/exit pairs (one per batch entry).
+  uint64_t batched = 0;    // Bodies executed inside batched crossings.
+  uint64_t bytes = 0;      // Marshalled argument + return payload bytes.
+};
+
 struct ImageStats {
   uint64_t same_compartment_calls = 0;
   uint64_t cross_compartment_calls = 0;
   uint64_t leaf_calls = 0;
-  // Crossing counts per (from-compartment, to-compartment).
-  std::map<std::pair<int, int>, uint64_t> crossings;
+  // Per-boundary crossing counters, keyed by (from, to) compartment ids.
+  std::map<std::pair<int, int>, BoundaryStats> crossings;
   uint64_t cfi_checks = 0;
 };
 
@@ -55,20 +69,40 @@ class Image final : public GateRouter {
   // library names panic: an image must know its members (a mis-built
   // image, not a runtime condition).
   void Call(std::string_view from, std::string_view to,
-            const std::function<void()>& body) override;
+            FunctionRef<void()> body) override;
 
   // Leaf-routine call: runs in the caller's protection domain with the
   // target library's instrumentation (see GateRouter::CallLeaf). Also the
   // path taken by Call() for per-VM-replicated libraries under the VM
   // backend (the paper gives every VM its own allocator/scheduler/libc).
   void CallLeaf(std::string_view from, std::string_view to,
-                const std::function<void()>& body) override;
+                FunctionRef<void()> body) override;
+
+  // --- Dispatch fast path ------------------------------------------------
+  //
+  // Resolve computes the route once (compartment pair, target context,
+  // gate, hardening flags) against state fixed at image build; the
+  // route-keyed Call/CallLeaf charge exactly what the string-keyed forms
+  // charge, minus the per-call name hashing. Hot components resolve their
+  // routes at construction.
+
+  RouteHandle Resolve(std::string_view from, std::string_view to) override;
+
+  void Call(const RouteHandle& route, FunctionRef<void()> body) override;
+  void CallLeaf(const RouteHandle& route, FunctionRef<void()> body) override;
+
+  // Batched crossings: one gate entry/exit pair for N bodies, plus
+  // per-item marshalling (GateBatch drives these).
+  void BatchEnter(const RouteHandle& route, GateBatch& batch) override;
+  void BatchItem(const RouteHandle& route, GateBatch& batch,
+                 FunctionRef<void()> body) override;
+  void BatchExit(const RouteHandle& route, GateBatch& batch) override;
 
   // Like Call, but names the target function so per-library CFI policies
   // can be enforced: calling a function outside the target's declared API
   // raises a kCfiViolation trap when CFI is enabled for that library.
   void CallNamed(std::string_view from, std::string_view to,
-                 std::string_view func, const std::function<void()>& body);
+                 std::string_view func, FunctionRef<void()> body);
 
   // --- API contracts (paper §5, "Isolation alone is not enough") ---------
   //
@@ -113,6 +147,11 @@ class Image final : public GateRouter {
 
   std::string Describe() const;
 
+  // One line per (from, to) compartment boundary with its crossing,
+  // batched-body, and marshalled-byte counters; empty string when no
+  // boundary was ever crossed.
+  std::string DescribeCrossings() const;
+
  private:
   friend class ImageBuilder;
 
@@ -122,18 +161,34 @@ class Image final : public GateRouter {
     bool hardened = false;
     ExecContext exec;  // Compartment context + SH instrumentation flags.
     bool cfi_enforced = false;
-    std::set<std::string> api;  // Allowed entry points when CFI is on.
+    // Allowed entry points when CFI is on (transparent comparator: lookups
+    // by string_view allocate nothing).
+    std::set<std::string, std::less<>> api;
+  };
+
+  // Heterogeneous string hashing so name lookups by string_view never
+  // materialize a std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view text) const {
+      return std::hash<std::string_view>{}(text);
+    }
   };
 
   LibRuntime& LibOf(std::string_view name);
   const LibRuntime* FindLib(std::string_view name) const;
+
+  // The cross-compartment gate for resolved routes (direct when the image
+  // was built without one).
+  Gate& CrossGate() { return gate_ != nullptr ? *gate_ : direct_gate_; }
 
   Machine& machine_;
   IsolationBackend backend_;
 
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   std::vector<CompartmentRuntime> comps_;
-  std::unordered_map<std::string, LibRuntime> libs_;
+  std::unordered_map<std::string, LibRuntime, StringHash, std::equal_to<>>
+      libs_;
   AllocatorRegistry registry_;
   std::unique_ptr<Gate> gate_;       // Cross-compartment gate.
   DirectGate direct_gate_;           // Same-compartment calls.
@@ -141,8 +196,9 @@ class Image final : public GateRouter {
   uint64_t shared_bytes_ = 0;
   Allocator* shared_allocator_ = nullptr;
   // Libraries replicated into every VM under the kVmRpc backend; calls to
-  // them never cross the VM boundary.
-  std::set<std::string> vm_replicated_libs_;
+  // them never cross the VM boundary. Transparent comparator: the per-call
+  // membership test takes a string_view, not a std::string temporary.
+  std::set<std::string, std::less<>> vm_replicated_libs_;
   // Pseudo-context for the platform/boot "library".
   ExecContext platform_exec_;
   ImageStats stats_;

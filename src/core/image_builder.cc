@@ -229,14 +229,15 @@ Result<std::unique_ptr<Image>> ImageBuilder::Build(const ImageConfig& config) {
       runtime.cfi_enforced = config.cfi_libs.count(lib) != 0;
       auto api_it = config.apis.find(lib);
       if (api_it != config.apis.end()) {
-        runtime.api = api_it->second;
+        runtime.api.insert(api_it->second.begin(), api_it->second.end());
       }
       image->libs_[lib] = std::move(runtime);
     }
   }
 
   if (vm_backend) {
-    image->vm_replicated_libs_ = config.vm_replicated_libs;
+    image->vm_replicated_libs_.insert(config.vm_replicated_libs.begin(),
+                                      config.vm_replicated_libs.end());
   }
 
   // --- Gate ----------------------------------------------------------------

@@ -20,16 +20,20 @@ class MpkSharedStackGate final : public Gate {
  public:
   GateKind kind() const override { return GateKind::kMpkSharedStack; }
 
-  void Cross(Machine& machine, const GateCrossing& crossing,
-             const std::function<void()>& body) override;
+  GateSession Enter(Machine& machine, const GateCrossing& crossing) override;
+  void Exit(Machine& machine, const GateCrossing& crossing,
+            const GateSession& session) override;
 };
 
 class MpkSwitchedStackGate final : public Gate {
  public:
   GateKind kind() const override { return GateKind::kMpkSwitchedStack; }
 
-  void Cross(Machine& machine, const GateCrossing& crossing,
-             const std::function<void()>& body) override;
+  GateSession Enter(Machine& machine, const GateCrossing& crossing) override;
+  void Exit(Machine& machine, const GateCrossing& crossing,
+            const GateSession& session) override;
+  void ChargeBatchItem(Machine& machine, uint64_t arg_bytes,
+                       uint64_t ret_bytes) override;
 };
 
 }  // namespace flexos

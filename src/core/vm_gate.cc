@@ -4,12 +4,12 @@
 
 namespace flexos {
 
-void VmRpcGate::Cross(Machine& machine, const GateCrossing& crossing,
-                      const std::function<void()>& body) {
+GateSession VmRpcGate::Enter(Machine& machine,
+                             const GateCrossing& crossing) {
   FLEXOS_CHECK(crossing.target_context != nullptr,
                "VM gate needs a target context");
   ++machine.stats().gate_crossings;
-  const ExecContext caller = machine.context();
+  GateSession session{.caller = machine.context()};
 
   // Request: marshal arguments into the shared ring, notify the callee VM
   // (vmexit + event + vmentry on the callee side).
@@ -17,19 +17,31 @@ void VmRpcGate::Cross(Machine& machine, const GateCrossing& crossing,
     machine.ChargeMemOp(crossing.arg_bytes);
   }
   machine.VmExitEnter();
+  machine.context() = *crossing.target_context;
+  return session;
+}
 
-  {
-    ExecContext target = *crossing.target_context;
-    machine.context() = target;
-    body();
-  }
-
+void VmRpcGate::Exit(Machine& machine, const GateCrossing& crossing,
+                     const GateSession& session) {
   // Response: marshal the return value back, notify the caller VM.
   if (crossing.ret_bytes > 0) {
     machine.ChargeMemOp(crossing.ret_bytes);
   }
   machine.VmExitEnter();
-  machine.context() = caller;
+  machine.context() = session.caller;
+}
+
+void VmRpcGate::ChargeBatchItem(Machine& machine, uint64_t arg_bytes,
+                                uint64_t ret_bytes) {
+  // Batched RPC items ride the already-open shared ring: per-item payload
+  // marshalling, no extra exit/entry or notification.
+  machine.clock().Charge(machine.costs().direct_call);
+  if (arg_bytes > 0) {
+    machine.ChargeMemOp(arg_bytes);
+  }
+  if (ret_bytes > 0) {
+    machine.ChargeMemOp(ret_bytes);
+  }
 }
 
 }  // namespace flexos

@@ -17,8 +17,11 @@ class VmRpcGate final : public Gate {
  public:
   GateKind kind() const override { return GateKind::kVmRpc; }
 
-  void Cross(Machine& machine, const GateCrossing& crossing,
-             const std::function<void()>& body) override;
+  GateSession Enter(Machine& machine, const GateCrossing& crossing) override;
+  void Exit(Machine& machine, const GateCrossing& crossing,
+            const GateSession& session) override;
+  void ChargeBatchItem(Machine& machine, uint64_t arg_bytes,
+                       uint64_t ret_bytes) override;
 };
 
 }  // namespace flexos

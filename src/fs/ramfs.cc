@@ -10,9 +10,9 @@ RamFs::~RamFs() {
   }
 }
 
-void RamFs::LibcCopy(const std::function<void()>& body) {
+void RamFs::LibcCopy(FunctionRef<void()> body) {
   if (router_ != nullptr) {
-    router_->CallLeaf(kLibFs, kLibLibc, body);
+    router_->CallLeaf(libc_route_, body);
   } else {
     body();
   }

@@ -29,11 +29,16 @@ class RamFs {
   static constexpr uint64_t kChunkBytes = 4096;
 
   // `router` may be null (direct calls); with a router, bulk copies are
-  // LibC leaf calls.
+  // LibC leaf calls on a route resolved once here (chunked file IO issues
+  // one leaf call per 4 KiB chunk).
   RamFs(Machine& machine, AddressSpace& space, Allocator& allocator,
         GateRouter* router = nullptr)
       : machine_(machine), space_(space), allocator_(allocator),
-        router_(router) {}
+        router_(router) {
+    if (router_ != nullptr) {
+      libc_route_ = router_->Resolve(kLibFs, kLibLibc);
+    }
+  }
 
   ~RamFs();
 
@@ -78,12 +83,13 @@ class RamFs {
   // Ensures `file` has capacity for `size` bytes.
   Status Reserve(File* file, uint64_t size);
   void ReleaseChunks(File* file);
-  void LibcCopy(const std::function<void()>& body);
+  void LibcCopy(FunctionRef<void()> body);
 
   Machine& machine_;
   AddressSpace& space_;
   Allocator& allocator_;
   GateRouter* router_;
+  RouteHandle libc_route_;
   std::map<std::string, File> files_;
   RamFsStats stats_;
 };

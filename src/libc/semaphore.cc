@@ -2,9 +2,9 @@
 
 namespace flexos {
 
-void Semaphore::SchedCall(const std::function<void()>& body) {
+void Semaphore::SchedCall(FunctionRef<void()> body) {
   if (router_ != nullptr) {
-    router_->Call(kLibLibc, kLibSched, body);
+    router_->Call(sched_route_, body);
   } else {
     body();
   }

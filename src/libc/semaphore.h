@@ -19,13 +19,18 @@ class Semaphore {
  public:
   // When a router is supplied, scheduler operations are routed as
   // libc -> sched gate calls (the crossings Fig. 5 measures). Without one,
-  // calls are direct.
+  // calls are direct. The route is resolved once here: Wait/Signal sit on
+  // every packet's path and must not pay per-call name lookups.
   Semaphore(Scheduler& scheduler, std::string name, uint64_t initial = 0,
             GateRouter* router = nullptr)
       : scheduler_(scheduler),
         router_(router),
         queue_(name + ".waitq"),
-        count_(initial) {}
+        count_(initial) {
+    if (router_ != nullptr) {
+      sched_route_ = router_->Resolve(kLibLibc, kLibSched);
+    }
+  }
 
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
@@ -43,10 +48,11 @@ class Semaphore {
   size_t waiters() const { return queue_.size(); }
 
  private:
-  void SchedCall(const std::function<void()>& body);
+  void SchedCall(FunctionRef<void()> body);
 
   Scheduler& scheduler_;
   GateRouter* router_;
+  RouteHandle sched_route_;
   WaitQueue queue_;
   uint64_t count_;
 };

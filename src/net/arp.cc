@@ -62,14 +62,14 @@ Result<MacAddr> ArpEngine::Resolve(Ipv4Addr ip) {
       break;
     }
     Semaphore* sem = pending.sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+    router_.Call(net_to_libc_, [sem] { sem->Wait(); });
   }
   if (--pending.waiters == 0) {
     pending_.erase(pending_it);
   } else {
     // Let the next waiter re-check the outcome.
     Semaphore* sem = pending.sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+    router_.Call(net_to_libc_, [sem] { sem->Signal(); });
   }
   return result;
 }
@@ -100,7 +100,7 @@ bool ArpEngine::OnFrame(const ParsedFrame& frame) {
   auto pending_it = pending_.find(arp.sender_ip);
   if (pending_it != pending_.end()) {
     Semaphore* sem = pending_it->second.sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+    router_.Call(net_to_libc_, [sem] { sem->Signal(); });
   }
   return true;
 }
@@ -119,7 +119,7 @@ bool ArpEngine::ProcessTimers() {
       ++stats_.resolution_failures;
       pending.failed = true;
       Semaphore* sem = pending.sem.get();
-      router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      router_.Call(net_to_libc_, [sem] { sem->Signal(); });
       continue;
     }
     pending.next_retry_cycles =

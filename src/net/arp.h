@@ -36,6 +36,7 @@ class ArpEngine {
         scheduler_(scheduler),
         nic_(nic),
         router_(router),
+        net_to_libc_(router.Resolve(kLibNet, kLibLibc)),
         config_(config) {}
 
   // Blocking resolve; sends requests with retries. kUnavailable after
@@ -71,6 +72,7 @@ class ArpEngine {
   Scheduler& scheduler_;
   Nic& nic_;
   GateRouter& router_;
+  RouteHandle net_to_libc_;  // Resolved once; semaphore waits/wakeups.
   ArpConfig config_;
   std::map<Ipv4Addr, MacAddr> cache_;
   std::map<Ipv4Addr, Pending> pending_;

@@ -9,6 +9,7 @@ NetStack::NetStack(const Deps& deps, TcpConfig tcp_config)
       space_(deps.space),
       nic_(deps.nic),
       router_(deps.router),
+      platform_to_net_(deps.router.Resolve(kLibPlatform, kLibNet)),
       tcp_(TcpEngine::Deps{.machine = deps.machine,
                            .space = deps.space,
                            .allocator = deps.allocator,
@@ -35,7 +36,11 @@ std::optional<uint64_t> NetStack::NextEventCycles() const {
 
 bool NetStack::Poll() {
   bool progress = false;
-  router_.Call(kLibPlatform, kLibNet, [&] {
+  router_.Call(platform_to_net_, [&] {
+    // All semaphore wakeups this poll produces (data arrival, window
+    // opening, accept, FIN, reset — across every frame drained below and
+    // any timers that fire) may share one net -> libc crossing.
+    tcp_.BeginSignalScope();
     while (nic_.HasRx()) {
       progress = true;
       ++stats_.frames_polled;
@@ -75,6 +80,7 @@ bool NetStack::Poll() {
     if (tcp_.ProcessTimers()) {
       progress = true;
     }
+    tcp_.EndSignalScope();
     if (arp_.ProcessTimers()) {
       progress = true;
     }

@@ -56,6 +56,7 @@ class NetStack {
   AddressSpace& space_;
   Nic& nic_;
   GateRouter& router_;
+  RouteHandle platform_to_net_;  // Resolved once; Poll's entry crossing.
   TcpEngine tcp_;
   UdpEngine udp_;
   ArpEngine arp_;

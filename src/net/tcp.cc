@@ -45,7 +45,47 @@ TcpEngine::TcpEngine(const Deps& deps, TcpConfig config)
       scheduler_(deps.scheduler),
       nic_(deps.nic),
       router_(deps.router),
-      config_(config) {}
+      config_(config),
+      net_to_libc_(router_.Resolve(kLibNet, kLibLibc)),
+      libc_to_sched_(router_.Resolve(kLibLibc, kLibSched)) {}
+
+void TcpEngine::SignalSem(Semaphore* sem) {
+  if (!signal_scope_) {
+    router_.Call(net_to_libc_, [sem] { sem->Signal(); });
+    return;
+  }
+  if (!signal_batch_.has_value() && deferred_signal_ == nullptr) {
+    // A lone wakeup must not pay for a batch entry/exit; park it until we
+    // know whether this scope produces a second one.
+    deferred_signal_ = sem;
+    return;
+  }
+  if (!signal_batch_.has_value()) {
+    signal_batch_.emplace(router_, net_to_libc_);
+    Semaphore* first = deferred_signal_;
+    deferred_signal_ = nullptr;
+    signal_batch_->Run([first] { first->Signal(); });
+  }
+  signal_batch_->Run([sem] { sem->Signal(); });
+}
+
+void TcpEngine::BeginSignalScope() {
+  if (config_.batch_crossings && net_to_libc_.cross) {
+    signal_scope_ = true;
+  }
+}
+
+void TcpEngine::EndSignalScope() {
+  if (signal_batch_.has_value()) {
+    signal_batch_.reset();  // Flushes the batch's exit crossing.
+  } else if (deferred_signal_ != nullptr) {
+    // Only one wakeup this scope: identical cost to the unbatched path.
+    Semaphore* sem = deferred_signal_;
+    router_.Call(net_to_libc_, [sem] { sem->Signal(); });
+  }
+  deferred_signal_ = nullptr;
+  signal_scope_ = false;
+}
 
 TcpEngine::~TcpEngine() {
   for (auto& [id, conn] : conns_) {
@@ -108,7 +148,7 @@ Result<int> TcpEngine::Connect(Ipv4Addr dst_ip, const MacAddr& dst_mac,
   // connection-event signal while in SYN_SENT).
   while (conn->state == TcpState::kSynSent) {
     Semaphore* sem = conn->recv_sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+    router_.Call(net_to_libc_, [sem] { sem->Wait(); });
   }
   if (conn->state != TcpState::kEstablished) {
     return Status(ErrorCode::kConnectionRefused,
@@ -175,7 +215,7 @@ Result<int> TcpEngine::Accept(int listener_id) {
   machine_.ChargeCompute(machine_.costs().syscall_ish);
   while (listener.pending.empty()) {
     Semaphore* sem = listener.accept_sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+    router_.Call(net_to_libc_, [sem] { sem->Wait(); });
   }
   const int conn_id = listener.pending.front();
   listener.pending.pop_front();
@@ -240,7 +280,7 @@ void TcpEngine::TrySend(Conn& conn) {
       break;
     }
     // Copy the payload out of the send ring (a LibC memcpy).
-    router_.CallLeaf(kLibNet, kLibLibc, [&] {
+    router_.CallLeaf(net_to_libc_, [&] {
       conn.send_ring->Peek(in_flight, scratch.data(), len);
     });
     const uint32_t seq = conn.snd_nxt;
@@ -283,11 +323,11 @@ Result<uint64_t> TcpEngine::Send(int conn_id, Gaddr addr, uint64_t len) {
   // op — one of the per-call crossings that make small-buffer recv loops
   // expensive under isolation (Fig. 3) and keep the LibC compartment on
   // Redis' hot path (Fig. 5).
-  router_.Call(kLibNet, kLibLibc, [this] {
+  router_.Call(net_to_libc_, [this] {
     machine_.ChargeMemOp(32);
     // The mutex itself is built on scheduler wait queues (Unikraft's
     // uk_mutex), so even the uncontended path touches the scheduler.
-    router_.Call(kLibLibc, kLibSched, [this] { machine_.ChargeMemOp(16); });
+    router_.Call(libc_to_sched_, [this] { machine_.ChargeMemOp(16); });
   });
   uint64_t queued = 0;
   while (queued < len) {
@@ -298,14 +338,14 @@ Result<uint64_t> TcpEngine::Send(int conn_id, Gaddr addr, uint64_t len) {
                               std::string(TcpStateName(conn->state)).c_str()));
     }
     uint64_t pushed = 0;
-    router_.CallLeaf(kLibNet, kLibLibc, [&] {
+    router_.CallLeaf(net_to_libc_, [&] {
       pushed = conn->send_ring->PushFromGuest(addr + queued, len - queued);
     });
     queued += pushed;
     TrySend(*conn);
     if (queued < len) {
       Semaphore* sem = conn->send_sem.get();
-      router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+      router_.Call(net_to_libc_, [sem] { sem->Wait(); });
     }
   }
   return queued;
@@ -319,11 +359,11 @@ Result<uint64_t> TcpEngine::Recv(int conn_id, Gaddr addr, uint64_t len) {
   machine_.ChargeCompute(machine_.costs().syscall_ish);
   machine_.ChargeMemOp(64);  // Socket/TCB state touch.
   // Socket-layer lock (see Send).
-  router_.Call(kLibNet, kLibLibc, [this] {
+  router_.Call(net_to_libc_, [this] {
     machine_.ChargeMemOp(32);
     // The mutex itself is built on scheduler wait queues (Unikraft's
     // uk_mutex), so even the uncontended path touches the scheduler.
-    router_.Call(kLibLibc, kLibSched, [this] { machine_.ChargeMemOp(16); });
+    router_.Call(libc_to_sched_, [this] { machine_.ChargeMemOp(16); });
   });
   for (;;) {
     if (!conn->recv_ring->Empty()) {
@@ -336,10 +376,10 @@ Result<uint64_t> TcpEngine::Recv(int conn_id, Gaddr addr, uint64_t len) {
       return Status(ErrorCode::kConnectionReset, "connection aborted");
     }
     Semaphore* sem = conn->recv_sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+    router_.Call(net_to_libc_, [sem] { sem->Wait(); });
   }
   uint64_t copied = 0;
-  router_.CallLeaf(kLibNet, kLibLibc, [&] {
+  router_.CallLeaf(net_to_libc_, [&] {
     copied = conn->recv_ring->PopToGuest(addr, len);
   });
   stats_.bytes_rx += copied;
@@ -458,7 +498,7 @@ void TcpEngine::ProcessAck(Conn& conn, const TcpHeader& header) {
   if (ring_bytes > 0) {
     conn.send_ring->Discard(ring_bytes);
     Semaphore* sem = conn.send_sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+    SignalSem(sem);
   }
   // Prune fully acknowledged in-flight segments. (The SYN-ACK pseudo
   // segment never reaches this path: it is cleared on the transition to
@@ -500,14 +540,14 @@ void TcpEngine::AcceptPayload(Conn& conn, const ParsedFrame& frame) {
         // a LibC memcpy (instrumented when libc is hardened), executed in
         // the stack's protection domain but exempt from PKRU like the rest
         // of the receive path (the ring is the stack's own memory).
-        router_.CallLeaf(kLibNet, kLibLibc, [&] {
+        router_.CallLeaf(net_to_libc_, [&] {
           accepted = conn.recv_ring->Push(frame.payload.data(), len);
         });
       }
       conn.rcv_nxt += static_cast<uint32_t>(accepted);
       if (accepted > 0) {
         Semaphore* sem = conn.recv_sem.get();
-        router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+        SignalSem(sem);
       }
       need_ack = true;
     } else {
@@ -524,7 +564,7 @@ void TcpEngine::AcceptPayload(Conn& conn, const ParsedFrame& frame) {
       conn.rcv_nxt += 1;
       conn.fin_received = true;
       Semaphore* sem = conn.recv_sem.get();
-      router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      SignalSem(sem);
       switch (conn.state) {
         case TcpState::kEstablished:
           conn.state = TcpState::kCloseWait;
@@ -552,12 +592,22 @@ void TcpEngine::AbortConn(Conn& conn) {
   ++stats_.resets;
   conn.state = TcpState::kClosed;
   conn_by_key_.erase(conn.key);
+  // A reset signals both directions — a classic signal storm. The two
+  // wakeups always share one crossing: the scope's batch when earlier
+  // wakeups already opened (or parked toward) one, else a single combined
+  // Call, as the paper-figure configurations model it.
   Semaphore* recv_sem = conn.recv_sem.get();
   Semaphore* send_sem = conn.send_sem.get();
-  router_.Call(kLibNet, kLibLibc, [recv_sem, send_sem] {
-    recv_sem->Signal();
-    send_sem->Signal();
-  });
+  if (signal_scope_ &&
+      (signal_batch_.has_value() || deferred_signal_ != nullptr)) {
+    SignalSem(recv_sem);
+    SignalSem(send_sem);
+  } else {
+    router_.Call(net_to_libc_, [recv_sem, send_sem] {
+      recv_sem->Signal();
+      send_sem->Signal();
+    });
+  }
 }
 
 void TcpEngine::HandleSegment(Conn& conn, const ParsedFrame& frame) {
@@ -577,7 +627,7 @@ void TcpEngine::HandleSegment(Conn& conn, const ParsedFrame& frame) {
       conn.state = TcpState::kEstablished;
       SendAck(conn);
       Semaphore* sem = conn.recv_sem.get();
-      router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+      SignalSem(sem);
     }
     return;
   }
@@ -596,7 +646,7 @@ void TcpEngine::HandleSegment(Conn& conn, const ParsedFrame& frame) {
       if (listener_it != listeners_.end()) {
         listener_it->second->pending.push_back(conn.id);
         Semaphore* sem = listener_it->second->accept_sem.get();
-        router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+        SignalSem(sem);
       }
       // Fall through: the handshake ACK may carry data.
     } else {
@@ -632,13 +682,11 @@ bool TcpEngine::OnFrame(const ParsedFrame& frame) {
     Conn* conn = FindConn(it->second);
     FLEXOS_CHECK(conn != nullptr, "conn_by_key_ out of sync");
     HandleSegment(*conn, frame);
-    return true;
-  }
-  if ((tcp.flags & kTcpSyn) != 0 && (tcp.flags & kTcpAck) == 0) {
+  } else if ((tcp.flags & kTcpSyn) != 0 && (tcp.flags & kTcpAck) == 0) {
     HandleSyn(frame);
-    return true;
   }
-  return true;  // Segment for an unknown connection: swallowed.
+  // Anything else: segment for an unknown connection, swallowed.
+  return true;
 }
 
 bool TcpEngine::ProcessTimers() {
@@ -660,7 +708,7 @@ bool TcpEngine::ProcessTimers() {
       // Zero-window probe: one byte past the window.
       std::vector<uint8_t> probe(1);
       if (conn->send_ring->ReadableBytes() > InFlightBytes(*conn)) {
-        router_.CallLeaf(kLibNet, kLibLibc, [&] {
+        router_.CallLeaf(net_to_libc_, [&] {
           conn->send_ring->Peek(InFlightBytes(*conn), probe.data(), 1);
         });
         const uint32_t seq = conn->snd_nxt;
@@ -703,7 +751,7 @@ void TcpEngine::RetransmitFrom(Conn& conn) {
     return;
   }
   std::vector<uint8_t> scratch(first.len);
-  router_.CallLeaf(kLibNet, kLibLibc, [&] {
+  router_.CallLeaf(net_to_libc_, [&] {
     conn.send_ring->Peek(first.seq - conn.snd_una, scratch.data(),
                          first.len);
   });

@@ -49,6 +49,12 @@ struct TcpConfig {
   // Send a window-update ACK when the advertised window recovers by at
   // least this many bytes after having been clamped.
   uint32_t window_update_threshold = 2 * 1460;
+  // Coalesce the net -> libc semaphore signals one NIC poll produces into
+  // a single gate crossing (GateBatch) once there is more than one of
+  // them. Off by default: batching changes the modeled cost of isolation,
+  // so the paper-figure configurations leave it untouched and studies opt
+  // in explicitly.
+  bool batch_crossings = false;
 };
 
 struct TcpStats {
@@ -120,6 +126,13 @@ class TcpEngine {
 
   // Fires due retransmission/persist timers. Returns true if any fired.
   bool ProcessTimers();
+
+  // Signal-coalescing scope, bracketing one poll of the NIC (a no-op
+  // unless config.batch_crossings is set and net -> libc is a real
+  // boundary). A lone wakeup inside the scope costs exactly the unbatched
+  // price; from the second wakeup on they all ride one GateBatch crossing.
+  void BeginSignalScope();
+  void EndSignalScope();
 
   // Earliest pending timer deadline in cycles, if any.
   std::optional<uint64_t> NextTimerCycles() const;
@@ -206,6 +219,10 @@ class TcpEngine {
   void AcceptPayload(Conn& conn, const ParsedFrame& frame);
   void AbortConn(Conn& conn);
 
+  // Signals `sem` across the net -> libc boundary, coalescing into the
+  // scope's batch when one is active (see BeginSignalScope).
+  void SignalSem(Semaphore* sem);
+
   Conn* FindConn(int conn_id);
   const Conn* FindConn(int conn_id) const;
 
@@ -221,6 +238,16 @@ class TcpEngine {
   Nic& nic_;
   GateRouter& router_;
   TcpConfig config_;
+  // Routes resolved once at construction; Send/Recv/OnFrame dispatch
+  // through them instead of string-keyed lookups.
+  RouteHandle net_to_libc_;
+  RouteHandle libc_to_sched_;
+  // Signal-coalescing state (see BeginSignalScope): the first wakeup in a
+  // scope is parked in deferred_signal_; a second one opens signal_batch_
+  // and both (plus any later ones) ride it.
+  bool signal_scope_ = false;
+  Semaphore* deferred_signal_ = nullptr;
+  std::optional<GateBatch> signal_batch_;
 
   std::unordered_map<ConnKey, int, ConnKeyHash> conn_by_key_;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;

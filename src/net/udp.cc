@@ -43,7 +43,7 @@ Status UdpEngine::SendTo(int socket_id, Ipv4Addr dst_ip,
   machine_.ChargeCompute(machine_.costs().pkt_tx_fixed);
 
   std::vector<uint8_t> data(len);
-  router_.CallLeaf(kLibNet, kLibLibc, [&] {
+  router_.CallLeaf(net_to_libc_, [&] {
     if (!data.empty()) {
       space_.Read(addr, data.data(), data.size());
     }
@@ -66,7 +66,7 @@ Result<UdpDatagramInfo> UdpEngine::RecvFrom(int socket_id, Gaddr addr,
   machine_.ChargeCompute(machine_.costs().syscall_ish);
   while (socket.queue.empty()) {
     Semaphore* sem = socket.rx_sem.get();
-    router_.Call(kLibNet, kLibLibc, [sem] { sem->Wait(); });
+    router_.Call(net_to_libc_, [sem] { sem->Wait(); });
   }
   Datagram datagram = std::move(socket.queue.front());
   socket.queue.pop_front();
@@ -76,7 +76,7 @@ Result<UdpDatagramInfo> UdpEngine::RecvFrom(int socket_id, Gaddr addr,
   info.src_port = datagram.src_port;
   info.full_size = datagram.payload.size();
   info.bytes = std::min<uint64_t>(len, datagram.payload.size());
-  router_.CallLeaf(kLibNet, kLibLibc, [&] {
+  router_.CallLeaf(net_to_libc_, [&] {
     if (info.bytes > 0) {
       space_.Write(addr, datagram.payload.data(), info.bytes);
     }
@@ -104,7 +104,7 @@ bool UdpEngine::OnFrame(const ParsedFrame& frame) {
                                   .src_port = frame.udp->src_port,
                                   .payload = frame.payload});
   Semaphore* sem = socket.rx_sem.get();
-  router_.Call(kLibNet, kLibLibc, [sem] { sem->Signal(); });
+  router_.Call(net_to_libc_, [sem] { sem->Signal(); });
   return true;
 }
 

@@ -36,7 +36,8 @@ class UdpEngine {
   UdpEngine(Machine& machine, AddressSpace& space, Scheduler& scheduler,
             Nic& nic, GateRouter& router)
       : machine_(machine), space_(space), scheduler_(scheduler), nic_(nic),
-        router_(router) {}
+        router_(router),
+        net_to_libc_(router.Resolve(kLibNet, kLibLibc)) {}
 
   // Binds a UDP socket to `port`; returns a socket id.
   Result<int> Open(Port port);
@@ -75,6 +76,7 @@ class UdpEngine {
   Scheduler& scheduler_;
   Nic& nic_;
   GateRouter& router_;
+  RouteHandle net_to_libc_;  // Resolved once; semaphore waits/wakeups.
   std::unordered_map<int, std::unique_ptr<Socket>> sockets_;
   std::unordered_map<Port, int> by_port_;
   int next_id_ = 1;

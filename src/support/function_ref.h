@@ -1,0 +1,47 @@
+// FunctionRef: a non-owning, non-allocating reference to a callable — two
+// words (object pointer + trampoline), trivially copyable. The gate dispatch
+// path takes bodies by FunctionRef instead of std::function so that every
+// cross-compartment call is free of heap allocation and type-erasure
+// overhead; the referenced callable only needs to outlive the call, which
+// holds for the synchronous gate crossings this codebase performs.
+#ifndef FLEXOS_SUPPORT_FUNCTION_REF_H_
+#define FLEXOS_SUPPORT_FUNCTION_REF_H_
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace flexos {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& callable) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        invoke_([](void* object, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::remove_reference_t<F>*>(object),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace flexos
+
+#endif  // FLEXOS_SUPPORT_FUNCTION_REF_H_

@@ -8,13 +8,32 @@
 // (direct call, MPK shared-stack, MPK switched-stack, VM RPC) plus the
 // matching ExecContext switch. The default DirectGateRouter models the
 // everything-in-one-compartment baseline.
+//
+// Dispatch fast path (see DESIGN.md "Gate dispatch fast path"):
+//   * Bodies are passed by FunctionRef — no heap allocation, no
+//     type-erasure storage, per call.
+//   * Hot components resolve a RouteHandle once (Resolve) and dispatch
+//     through it, replacing per-call string-keyed lookups with a pointer
+//     chase.
+//   * GateBatch amortizes a burst of calls to one target over a single
+//     gate entry/exit pair (one crossing, N bodies), the way a shared-ring
+//     RPC amortizes notifications.
 #ifndef FLEXOS_SUPPORT_GATE_ROUTER_H_
 #define FLEXOS_SUPPORT_GATE_ROUTER_H_
 
-#include <functional>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string_view>
+#include <utility>
+
+#include "support/function_ref.h"
+#include "support/panic.h"
 
 namespace flexos {
+
+struct ExecContext;  // hw/machine.h
+class Gate;          // core/gate.h
 
 // Well-known micro-library names used by the in-tree components. Metadata
 // and image configs refer to libraries by these strings.
@@ -26,6 +45,33 @@ inline constexpr std::string_view kLibAlloc = "alloc";
 inline constexpr std::string_view kLibFs = "fs";
 inline constexpr std::string_view kLibPlatform = "platform";
 
+// A resolved source->target route: everything the router needs to dispatch
+// a call without touching its name tables. Plain data, resolved once
+// (Resolve) against state that is fixed at image-build time, so components
+// can cache handles at construction. The default-constructed handle is the
+// direct no-isolation route (what DirectGateRouter resolves everything to).
+struct RouteHandle {
+  // Source/target library names, kept for diagnostics and so routers that
+  // only implement the string-keyed virtuals still see route-keyed calls
+  // (the base class falls back through them). Callers must pass names that
+  // outlive the handle — the kLib* constants above do.
+  std::string_view from;
+  std::string_view to;
+  // Execution context of the target library (owned by the router); null for
+  // the default direct route, which performs no context swap.
+  const ExecContext* target_exec = nullptr;
+  // Gate implementing the boundary for cross-compartment routes.
+  Gate* gate = nullptr;
+  int from_comp = -1;
+  int to_comp = -1;
+  bool cross = false;        // Crosses a compartment boundary.
+  bool hardened = false;     // Target library is SH-instrumented.
+  bool vm_local = false;     // VM-replicated target: leaf-local (kVmRpc).
+  bool to_platform = false;  // Target is the platform pseudo-library.
+};
+
+class GateBatch;
+
 class GateRouter {
  public:
   virtual ~GateRouter() = default;
@@ -33,7 +79,7 @@ class GateRouter {
   // Executes `body` as a call from micro-library `from` into `to`,
   // performing whatever domain transition the image configuration dictates.
   virtual void Call(std::string_view from, std::string_view to,
-                    const std::function<void()>& body) = 0;
+                    FunctionRef<void()> body) = 0;
 
   // Executes `body` as a call into a *leaf routine* of library `to`
   // (memcpy-class functions): such code is statically linked into every
@@ -43,30 +89,142 @@ class GateRouter {
   // inlined). Stateful services (semaphores, scheduler queues) must use
   // Call instead.
   virtual void CallLeaf(std::string_view from, std::string_view to,
-                        const std::function<void()>& body) {
+                        FunctionRef<void()> body) {
     (void)from;
     (void)to;
     body();
   }
 
-  // Convenience wrapper for calls that produce a value.
+  // --- Route-cached fast path --------------------------------------------
+
+  // Resolves the route `from` -> `to` once; the handle stays valid for the
+  // router's lifetime. The base router keeps only the names, so
+  // route-keyed calls funnel back through the string-keyed virtuals and
+  // subclasses that never override the fast path still behave identically.
+  virtual RouteHandle Resolve(std::string_view from, std::string_view to) {
+    RouteHandle route;
+    route.from = from;
+    route.to = to;
+    return route;
+  }
+
+  // Call/CallLeaf through a resolved route: semantically identical to the
+  // string-keyed forms (same modeled charges), minus the name lookups.
+  virtual void Call(const RouteHandle& route, FunctionRef<void()> body) {
+    if (!route.to.empty()) {
+      Call(route.from, route.to, body);
+    } else {
+      body();
+    }
+  }
+  virtual void CallLeaf(const RouteHandle& route, FunctionRef<void()> body) {
+    if (!route.to.empty()) {
+      CallLeaf(route.from, route.to, body);
+    } else {
+      body();
+    }
+  }
+
+  // --- Batched crossings (driven by GateBatch) ---------------------------
+  //
+  // A batch enters the target domain once, runs N bodies, and exits once:
+  // one modeled gate entry/exit pair per batch plus per-item marshalling.
+  // Routers without batch support degrade to one full call per item.
+  virtual void BatchEnter(const RouteHandle& route, GateBatch& batch) {
+    (void)route;
+    (void)batch;
+  }
+  virtual void BatchItem(const RouteHandle& route, GateBatch& batch,
+                         FunctionRef<void()> body) {
+    (void)batch;
+    Call(route, body);
+  }
+  virtual void BatchExit(const RouteHandle& route, GateBatch& batch) {
+    (void)route;
+    (void)batch;
+  }
+
+  // Convenience wrapper for calls that produce a value. Exception-safe: the
+  // result lives in a std::optional, so a throwing body or move leaves
+  // nothing leaked, and a router that fails to run the body panics instead
+  // of moving from uninitialized storage.
   template <typename T>
   T CallR(std::string_view from, std::string_view to,
-          const std::function<T()>& body) {
-    alignas(T) unsigned char storage[sizeof(T)];
-    T* slot = nullptr;
-    Call(from, to, [&] { slot = new (storage) T(body()); });
-    T result = std::move(*slot);
-    slot->~T();
-    return result;
+          FunctionRef<T()> body) {
+    std::optional<T> slot;
+    Call(from, to, [&] { slot.emplace(body()); });
+    FLEXOS_CHECK(slot.has_value(), "CallR body did not run");
+    return *std::move(slot);
   }
+
+  template <typename T>
+  T CallR(const RouteHandle& route, FunctionRef<T()> body) {
+    std::optional<T> slot;
+    Call(route, [&] { slot.emplace(body()); });
+    FLEXOS_CHECK(slot.has_value(), "CallR body did not run");
+    return *std::move(slot);
+  }
+};
+
+// A burst of calls to one target through a single crossing: the router
+// enters the target domain on the first Run and exits at Flush/destruction,
+// charging one gate entry/exit pair for the whole batch. Between items the
+// caller's code keeps running under its own context; each body executes
+// under the target's. Used by the netstack for semaphore signal storms
+// (see TcpConfig::batch_crossings).
+class GateBatch {
+ public:
+  GateBatch(GateRouter& router, const RouteHandle& route)
+      : router_(router), route_(route) {}
+  ~GateBatch() { Flush(); }
+
+  GateBatch(const GateBatch&) = delete;
+  GateBatch& operator=(const GateBatch&) = delete;
+
+  // Runs `body` inside the batched crossing, entering the target domain on
+  // the first item.
+  void Run(FunctionRef<void()> body) {
+    if (!entered_) {
+      router_.BatchEnter(route_, *this);
+      entered_ = true;
+    }
+    ++items_;
+    router_.BatchItem(route_, *this, body);
+  }
+
+  // Ends the batch, charging the exit half of the crossing. Idempotent; an
+  // empty batch charges nothing.
+  void Flush() {
+    if (entered_) {
+      entered_ = false;
+      router_.BatchExit(route_, *this);
+    }
+  }
+
+  uint64_t items() const { return items_; }
+  const RouteHandle& route() const { return route_; }
+
+  // Opaque per-batch storage for the router: the image parks the saved
+  // caller context here between BatchEnter and BatchExit.
+  static constexpr size_t kSessionBytes = 64;
+  void* session() { return session_; }
+
+ private:
+  GateRouter& router_;
+  RouteHandle route_;
+  bool entered_ = false;
+  uint64_t items_ = 0;
+  alignas(alignof(std::max_align_t)) unsigned char session_[kSessionBytes];
 };
 
 // No isolation: every cross-library call is a plain function call.
 class DirectGateRouter final : public GateRouter {
  public:
+  using GateRouter::Call;
+  using GateRouter::CallLeaf;
+
   void Call(std::string_view from, std::string_view to,
-            const std::function<void()>& body) override {
+            FunctionRef<void()> body) override {
     (void)from;
     (void)to;
     body();

@@ -182,7 +182,7 @@ TEST(SemaphoreTest, RoutedCallsGoThroughRouter) {
    public:
     int calls = 0;
     void Call(std::string_view from, std::string_view to,
-              const std::function<void()>& body) override {
+              FunctionRef<void()> body) override {
       EXPECT_EQ(from, kLibLibc);
       EXPECT_EQ(to, kLibSched);
       ++calls;

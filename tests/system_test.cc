@@ -351,10 +351,15 @@ TEST(SystemStats, CrossingMatrixAccountsForIsolationLayout) {
   // Every WRPKRU pair corresponds to one MPK crossing.
   EXPECT_EQ(bed.machine().stats().wrpkru_count,
             2 * stats.cross_compartment_calls);
-  // The crossing matrix only contains pairs that differ.
-  for (const auto& [pair, count] : stats.crossings) {
+  // The crossing matrix only contains pairs that differ, and every
+  // recorded boundary carries traffic (no batching here, so every byte
+  // travelled through a full crossing).
+  for (const auto& [pair, boundary] : stats.crossings) {
     EXPECT_NE(pair.first, pair.second);
-    EXPECT_GT(count, 0u);
+    EXPECT_GT(boundary.crossings, 0u);
+    EXPECT_EQ(boundary.batched, 0u);
+    EXPECT_EQ(boundary.bytes,
+              boundary.crossings * (kGateArgBytes + kGateRetBytes));
   }
 }
 
