@@ -1,0 +1,476 @@
+#include "analysis/flexlint.h"
+
+#include <algorithm>
+
+#include "core/coloring.h"
+#include "core/compat.h"
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+void Add(LintReport* report, std::string_view rule, LintSeverity severity,
+         std::string entity, std::string message, std::string fix_hint) {
+  report->diagnostics.push_back(LintDiagnostic{
+      std::string(rule), severity, std::move(entity), std::move(message),
+      std::move(fix_hint)});
+}
+
+const LibraryMeta* FindMeta(const LintModel& model, std::string_view name) {
+  for (const LibraryMeta& meta : model.metas) {
+    if (meta.name == name) {
+      return &meta;
+    }
+  }
+  return nullptr;
+}
+
+// Fills the derived parts of a model whose placement (compartment_of,
+// metas, unknown_libs) and registrations are already populated.
+void FinishModel(LintModel* model) {
+  for (const LibraryMeta& meta : model->metas) {
+    const LibBehavior& behavior = meta.behavior;
+    if (behavior.writes_shared || behavior.writes_all) {
+      model->shared_writers.insert(meta.name);
+    }
+    if (meta.requires_spec.present &&
+        !meta.requires_spec.others_may_write_shared) {
+      model->shared_write_forbidders.insert(meta.name);
+    }
+    for (const std::string& call : behavior.calls) {
+      const size_t sep = call.find("::");
+      if (sep == std::string::npos) {
+        continue;  // Unqualified: not a cross-library call.
+      }
+      const std::string callee = call.substr(0, sep);
+      if (callee == meta.name) {
+        continue;  // Self-calls never cross a gate.
+      }
+      const auto target = model->compartment_of.find(callee);
+      if (target == model->compartment_of.end() ||
+          FindMeta(*model, callee) == nullptr) {
+        continue;  // Target not linked into this image.
+      }
+      LintCallEdge edge;
+      edge.caller = meta.name;
+      edge.callee = callee;
+      edge.func = call.substr(sep + 2);
+      edge.cross =
+          model->compartment_of.at(meta.name) != target->second;
+      model->calls.push_back(edge);
+    }
+  }
+}
+
+// The entry points a cross-compartment call into `lib` can actually reach:
+// the CFI-registered set when CFI narrows the gate, else the metadata API.
+std::set<std::string> EffectiveApi(const LintModel& model,
+                                   const LibraryMeta& meta, bool* narrowed) {
+  *narrowed = model.cfi_libs.count(meta.name) != 0;
+  if (*narrowed) {
+    const auto it = model.registered_apis.find(meta.name);
+    return it == model.registered_apis.end() ? std::set<std::string>{}
+                                             : it->second;
+  }
+  std::set<std::string> api;
+  for (const ApiFunc& func : meta.api) {
+    api.insert(func.name);
+  }
+  return api;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x",
+                           static_cast<unsigned>(static_cast<unsigned char>(ch)));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view LintSeverityName(LintSeverity severity) {
+  return severity == LintSeverity::kError ? "error" : "warning";
+}
+
+bool LintReport::HasErrors() const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const LintDiagnostic& diagnostic) {
+                       return diagnostic.severity == LintSeverity::kError;
+                     });
+}
+
+size_t LintReport::CountForRule(std::string_view rule) const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [rule](const LintDiagnostic& diagnostic) {
+                      return diagnostic.rule == rule;
+                    }));
+}
+
+std::string LintReport::ToText() const {
+  std::string out;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    out += StrFormat(
+        "%s %s %s: %s", diagnostic.rule.c_str(),
+        std::string(LintSeverityName(diagnostic.severity)).c_str(),
+        diagnostic.entity.c_str(), diagnostic.message.c_str());
+    if (!diagnostic.fix_hint.empty()) {
+      out += " (fix: " + diagnostic.fix_hint + ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string LintReport::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const LintDiagnostic& diagnostic = diagnostics[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += StrFormat(
+        "{\"rule\":\"%s\",\"severity\":\"%s\",\"entity\":\"%s\","
+        "\"message\":\"%s\",\"fix_hint\":\"%s\"}",
+        JsonEscape(diagnostic.rule).c_str(),
+        std::string(LintSeverityName(diagnostic.severity)).c_str(),
+        JsonEscape(diagnostic.entity).c_str(),
+        JsonEscape(diagnostic.message).c_str(),
+        JsonEscape(diagnostic.fix_hint).c_str());
+  }
+  out += "]";
+  return out;
+}
+
+MetaResolver BuiltinMetaResolver() {
+  return [](std::string_view name) { return BuiltinLibraryMeta(name); };
+}
+
+LintModel ExtractModel(const ImageConfig& config,
+                       const MetaResolver& resolver) {
+  LintModel model;
+  model.backend = config.backend;
+  model.num_compartments = static_cast<int>(config.compartments.size());
+  for (size_t c = 0; c < config.compartments.size(); ++c) {
+    for (const std::string& lib : config.compartments[c]) {
+      if (model.compartment_of.count(lib) != 0) {
+        continue;  // Duplicate placement is the builder's error to report.
+      }
+      model.compartment_of[lib] = static_cast<int>(c);
+      std::optional<LibraryMeta> meta = resolver(lib);
+      if (meta.has_value()) {
+        model.metas.push_back(*std::move(meta));
+      } else {
+        model.unknown_libs.push_back(lib);
+      }
+    }
+  }
+  model.cfi_libs = config.cfi_libs;
+  for (const auto& [lib, funcs] : config.apis) {
+    model.registered_apis[lib] = funcs;
+  }
+  FinishModel(&model);
+  return model;
+}
+
+LintModel ExtractModel(const Image& image, const MetaResolver& resolver) {
+  LintModel model;
+  model.backend = image.backend();
+  model.num_compartments = image.compartment_count();
+  for (const std::string& lib : image.LibraryNames()) {
+    model.compartment_of[lib] = image.CompartmentOf(lib);
+    std::optional<LibraryMeta> meta = resolver(lib);
+    if (meta.has_value()) {
+      model.metas.push_back(*std::move(meta));
+    } else {
+      model.unknown_libs.push_back(lib);
+    }
+    if (image.IsCfiEnforced(lib)) {
+      model.cfi_libs.insert(lib);
+    }
+    const std::vector<std::string> api = image.RegisteredApi(lib);
+    if (!api.empty()) {
+      model.registered_apis[lib] =
+          std::set<std::string>(api.begin(), api.end());
+    }
+  }
+  FinishModel(&model);
+  return model;
+}
+
+LintReport RunRules(const LintModel& model) {
+  LintReport report;
+
+  // FL007 — placed libraries without metadata. Everything else the linter
+  // proves is conditional on the metadata existing, so this goes first.
+  for (const std::string& lib : model.unknown_libs) {
+    Add(&report, kRuleUnknownLibrary, LintSeverity::kError, lib,
+        "library is placed in a compartment but has no metadata; its "
+        "behavior cannot be checked",
+        "write [Memory access]/[Call]/[API] metadata for '" + lib +
+            "' or remove it from the spec");
+  }
+
+  // FL001 — cross-compartment calls into entry points the callee does not
+  // expose (metadata [API], or the CFI-registered set when CFI narrows it).
+  for (const LintCallEdge& edge : model.calls) {
+    if (!edge.cross) {
+      continue;
+    }
+    const LibraryMeta* callee = FindMeta(model, edge.callee);
+    bool narrowed = false;
+    const std::set<std::string> exposed =
+        EffectiveApi(model, *callee, &narrowed);
+    if (exposed.count(edge.func) != 0) {
+      continue;
+    }
+    Add(&report, kRuleUndeclaredCrossCall, LintSeverity::kError,
+        edge.caller + " -> " + edge.callee + "::" + edge.func,
+        narrowed
+            ? "cross-compartment call targets an entry point outside " +
+                  edge.callee + "'s CFI-registered API; the dispatch will "
+                  "trap at runtime"
+            : "cross-compartment call targets an entry point " +
+                  edge.callee + "'s [API] does not expose",
+        narrowed ? "register the function with 'api " + edge.callee + " " +
+                       edge.func + "' or drop the call"
+                 : "add " + edge.func + "(...) to " + edge.callee +
+                       "'s [API] or co-locate the libraries");
+  }
+
+  // FL002 — cohabitation violating a [Requires] clause, re-checked per
+  // ordered pair on the final placement (not just the conflict graph).
+  for (size_t i = 0; i < model.metas.size(); ++i) {
+    for (size_t j = 0; j < model.metas.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      const LibraryMeta& holder = model.metas[i];
+      const LibraryMeta& other = model.metas[j];
+      const int comp = model.compartment_of.at(holder.name);
+      if (comp != model.compartment_of.at(other.name)) {
+        continue;
+      }
+      const CompatVerdict verdict = SatisfiesRequires(holder, other);
+      for (const std::string& violation : verdict.violations) {
+        Add(&report, kRuleRequiresViolation, LintSeverity::kError,
+            StrFormat("comp%d: %s|%s", comp, holder.name.c_str(),
+                      other.name.c_str()),
+            violation,
+            "separate the libraries or relax " + holder.name +
+                "'s [Requires]");
+      }
+    }
+  }
+
+  // FL003 — a trusted function-call gate on a boundary whose endpoint
+  // metadata demands isolation: the spec promises separation the direct
+  // gate cannot enforce.
+  if (model.backend == IsolationBackend::kNone &&
+      model.num_compartments > 1) {
+    for (size_t i = 0; i < model.metas.size(); ++i) {
+      for (size_t j = i + 1; j < model.metas.size(); ++j) {
+        const LibraryMeta& a = model.metas[i];
+        const LibraryMeta& b = model.metas[j];
+        if (model.compartment_of.at(a.name) ==
+            model.compartment_of.at(b.name)) {
+          continue;
+        }
+        if (CanShareCompartment(a, b).compatible) {
+          continue;
+        }
+        Add(&report, kRuleTrustedGate, LintSeverity::kError,
+            a.name + " | " + b.name,
+            "metadata demands isolation between these libraries but "
+            "backend 'none' joins their compartments with a trusted "
+            "function call",
+            "pick a real isolation backend (mpk-shared, mpk-switched, "
+            "vm-rpc)");
+      }
+    }
+  }
+
+  // FL004 — shared-region writes reaching a library that forbids
+  // *(Write,Shared). Compartment gates do not protect the shared region
+  // (key 0 is mapped writable everywhere), so separation cannot fix this.
+  for (const std::string& writer : model.shared_writers) {
+    for (const std::string& forbidder : model.shared_write_forbidders) {
+      if (writer == forbidder ||
+          model.compartment_of.at(writer) ==
+              model.compartment_of.at(forbidder)) {
+        continue;  // Cohabiting pairs are FL002's to report.
+      }
+      Add(&report, kRuleSharedWriteConflict, LintSeverity::kWarning,
+          writer + " ~> " + forbidder,
+          writer + " writes the shared region, which " + forbidder +
+              " forbids (*(Write,Shared) absent) — isolation does not "
+              "cover shared data",
+          "move the data off the shared region or add *(Write,Shared) to " +
+              forbidder + "'s [Requires]");
+    }
+  }
+
+  // FL005 — more compartments than the declared safety requirements need
+  // (every extra compartment is gate overhead without a safety payoff).
+  if (model.unknown_libs.empty() && !model.metas.empty()) {
+    const auto edges = ConflictEdges(model.metas);
+    const int minimum =
+        ColorGraphExact(static_cast<int>(model.metas.size()), edges)
+            .num_colors;
+    if (model.num_compartments > minimum) {
+      Add(&report, kRuleOverCompartmentalized, LintSeverity::kWarning,
+          StrFormat("%d compartments", model.num_compartments),
+          StrFormat("the declared metadata is satisfiable with %d "
+                    "compartment(s)",
+                    minimum),
+          "merge compatible compartments to save gate crossings, or keep "
+          "them and accept the cost");
+    }
+  }
+
+  // FL006 — gate/API registration drift against the metadata.
+  for (const auto& [lib, funcs] : model.registered_apis) {
+    const LibraryMeta* meta = FindMeta(model, lib);
+    if (meta == nullptr) {
+      continue;  // Unplaced or unknown: FL007 / the builder report those.
+    }
+    std::set<std::string> declared;
+    for (const ApiFunc& func : meta->api) {
+      declared.insert(func.name);
+    }
+    for (const std::string& func : funcs) {
+      if (declared.count(func) == 0) {
+        Add(&report, kRuleApiDrift, LintSeverity::kError,
+            lib + "::" + func,
+            "config registers an entry point absent from " + lib +
+                "'s [API] metadata",
+            "add " + func + "(...) to the [API] or drop the registration");
+      }
+    }
+    if (model.cfi_libs.count(lib) != 0) {
+      for (const std::string& func : declared) {
+        if (funcs.count(func) == 0) {
+          Add(&report, kRuleApiDrift, LintSeverity::kWarning,
+              lib + "::" + func,
+              "[API] entry point is not CFI-registered; legitimate "
+              "callers will trap",
+              "register it with 'api " + lib + " " + func + "'");
+        }
+      }
+    }
+  }
+  for (const std::string& lib : model.cfi_libs) {
+    if (model.registered_apis.count(lib) == 0 &&
+        FindMeta(model, lib) != nullptr) {
+      Add(&report, kRuleApiDrift, LintSeverity::kError, lib,
+          "CFI is enabled but no entry points are registered: every "
+          "cross-compartment call into " + lib + " will trap",
+          "add an 'api " + lib + " <func>...' registration");
+    }
+  }
+
+  // FL008 — 'Call *' alongside a concrete call list: the wildcard already
+  // subsumes the list, and the list stops being maintained.
+  for (const LibraryMeta& meta : model.metas) {
+    if (meta.behavior.calls_any && !meta.behavior.calls.empty()) {
+      Add(&report, kRuleRedundantCallList, LintSeverity::kWarning,
+          meta.name,
+          "[Call] mixes '*' with a concrete call list; the wildcard "
+          "subsumes the list",
+          "drop '*' if the list is exhaustive, or drop the list");
+    }
+  }
+
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const LintDiagnostic& a, const LintDiagnostic& b) {
+                     if (a.rule != b.rule) {
+                       return a.rule < b.rule;
+                     }
+                     return a.entity < b.entity;
+                   });
+  return report;
+}
+
+LintReport LintConfig(const ImageConfig& config,
+                      const MetaResolver& resolver) {
+  return RunRules(ExtractModel(config, resolver));
+}
+
+LintReport LintImage(const Image& image, const MetaResolver& resolver) {
+  return RunRules(ExtractModel(image, resolver));
+}
+
+LintReport LintMetaText(const std::string& lib_name,
+                        const std::string& text) {
+  LintReport report;
+  Result<LibraryMeta> meta = ParseLibraryMeta(lib_name, text);
+  if (!meta.ok()) {
+    Add(&report, kRuleParse, LintSeverity::kError, lib_name,
+        "metadata does not parse: " + meta.status().ToString(),
+        "fix the DSL syntax (see src/core/metadata.h)");
+    return report;
+  }
+  if (meta->behavior.calls_any && !meta->behavior.calls.empty()) {
+    Add(&report, kRuleRedundantCallList, LintSeverity::kWarning, lib_name,
+        "[Call] mixes '*' with a concrete call list; the wildcard "
+        "subsumes the list",
+        "drop '*' if the list is exhaustive, or drop the list");
+  }
+  const std::string first = meta->ToString();
+  Result<LibraryMeta> reparsed = ParseLibraryMeta(lib_name, first);
+  if (!reparsed.ok() || reparsed->ToString() != first) {
+    Add(&report, kRuleParse, LintSeverity::kWarning, lib_name,
+        "metadata does not round-trip through ToString()",
+        "report this: the serializer and parser disagree");
+  }
+  return report;
+}
+
+std::set<std::string, std::less<>> AllowedCallPairs(const LintModel& model) {
+  std::set<std::string, std::less<>> pairs;
+  for (const LibraryMeta& meta : model.metas) {
+    if (meta.behavior.calls_any) {
+      for (const auto& [target, comp] : model.compartment_of) {
+        if (target != meta.name) {
+          pairs.insert(meta.name + "->" + target);
+        }
+      }
+      continue;
+    }
+    for (const std::string& call : meta.behavior.calls) {
+      const size_t sep = call.find("::");
+      if (sep == std::string::npos) {
+        continue;
+      }
+      const std::string callee = call.substr(0, sep);
+      if (callee != meta.name && model.compartment_of.count(callee) != 0) {
+        pairs.insert(meta.name + "->" + callee);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace flexos

@@ -1,0 +1,142 @@
+// flexlint: static isolation-violation analysis (DESIGN.md §6). The
+// paper's automation rests on per-library metadata ([Memory access],
+// [Call], [API], [Requires]) being an accurate description of what the
+// code does; flexlint cross-checks three artifacts that can silently
+// drift apart — the metadata, the compartment spec, and the gate/API
+// registrations of a built image — and refutes "safety" that is only
+// declared, not real.
+//
+// Three layers:
+//   1. Extraction (ExtractModel): walks an ImageConfig or a built Image
+//      plus the metadata to recover the actual cross-library call graph,
+//      the shared-data access map, and the gate registrations.
+//   2. Rules (RunRules): structured diagnostics — rule id, severity,
+//      offending entity, fix hint. Catalog below and in DESIGN.md §6.
+//   3. Frontends: LintConfig / LintImage / LintMetaText, driven by the
+//      tools/flexlint CLI and by ctest.
+//
+// Runtime counterpart: AllowedCallPairs() derives the set of declared
+// cross-library dispatch pairs; Image::EnableDispatchValidation checks
+// every gate dispatch against it, so metadata drift becomes a
+// deterministic trap instead of an unaccounted crossing.
+#ifndef FLEXOS_ANALYSIS_FLEXLINT_H_
+#define FLEXOS_ANALYSIS_FLEXLINT_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/image.h"
+#include "core/image_builder.h"
+#include "core/metadata.h"
+
+namespace flexos {
+
+enum class LintSeverity : uint8_t { kWarning, kError };
+
+std::string_view LintSeverityName(LintSeverity severity);
+
+// Stable rule ids (catalog with worked examples: DESIGN.md §6).
+inline constexpr std::string_view kRuleParse = "FL000";
+inline constexpr std::string_view kRuleUndeclaredCrossCall = "FL001";
+inline constexpr std::string_view kRuleRequiresViolation = "FL002";
+inline constexpr std::string_view kRuleTrustedGate = "FL003";
+inline constexpr std::string_view kRuleSharedWriteConflict = "FL004";
+inline constexpr std::string_view kRuleOverCompartmentalized = "FL005";
+inline constexpr std::string_view kRuleApiDrift = "FL006";
+inline constexpr std::string_view kRuleUnknownLibrary = "FL007";
+inline constexpr std::string_view kRuleRedundantCallList = "FL008";
+
+struct LintDiagnostic {
+  std::string rule;  // "FL001" ...
+  LintSeverity severity = LintSeverity::kError;
+  std::string entity;    // Offending entity, e.g. "app -> net::poll".
+  std::string message;   // What is wrong.
+  std::string fix_hint;  // How to make it right.
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+
+  bool HasErrors() const;
+  size_t CountForRule(std::string_view rule) const;
+
+  // One "RULE severity entity: message (hint)" line per diagnostic.
+  std::string ToText() const;
+  // A JSON array of diagnostic objects.
+  std::string ToJson() const;
+};
+
+// Resolves a library name to its metadata; nullopt marks the library
+// unknown (rule FL007). The default is BuiltinLibraryMeta; tests and the
+// CLI substitute their own.
+using MetaResolver =
+    std::function<std::optional<LibraryMeta>(std::string_view)>;
+
+MetaResolver BuiltinMetaResolver();
+
+// One recovered cross-library call edge: `caller` declares a call to
+// `callee`::`func`, and `cross` says whether the spec separates them.
+struct LintCallEdge {
+  std::string caller;
+  std::string callee;
+  std::string func;
+  bool cross = false;
+};
+
+// Layer-1 output: everything the rules need, extracted once.
+struct LintModel {
+  IsolationBackend backend = IsolationBackend::kNone;
+  int num_compartments = 0;
+
+  // Placed libraries with metadata, in placement order.
+  std::vector<LibraryMeta> metas;
+  std::map<std::string, int> compartment_of;
+  // Placed libraries the resolver knows nothing about.
+  std::vector<std::string> unknown_libs;
+
+  // The actual cross-library call graph (edges into placed libraries).
+  std::vector<LintCallEdge> calls;
+
+  // Shared-data access map: who writes the shared region, and whose
+  // [Requires] forbids *(Write,Shared).
+  std::set<std::string> shared_writers;
+  std::set<std::string> shared_write_forbidders;
+
+  // Gate registrations: CFI-enforced libraries and their registered entry
+  // points (from the config's `cfi`/`api` directives or the built image).
+  std::set<std::string> cfi_libs;
+  std::map<std::string, std::set<std::string>> registered_apis;
+};
+
+// Extracts the model from a compartment spec (pre-build) ...
+LintModel ExtractModel(const ImageConfig& config,
+                       const MetaResolver& resolver);
+// ... or by walking a built image (post-build introspection).
+LintModel ExtractModel(const Image& image, const MetaResolver& resolver);
+
+// Layer 2: the rule engine.
+LintReport RunRules(const LintModel& model);
+
+// Convenience frontends.
+LintReport LintConfig(const ImageConfig& config,
+                      const MetaResolver& resolver = BuiltinMetaResolver());
+LintReport LintImage(const Image& image,
+                     const MetaResolver& resolver = BuiltinMetaResolver());
+
+// Lints one metadata DSL file: parse errors (FL000), redundant call lists
+// (FL008), and ToString round-trip stability (FL000 warning).
+LintReport LintMetaText(const std::string& lib_name, const std::string& text);
+
+// The lint-derived allowed-call set: "from->to" pairs some placed
+// library's metadata declares (Call * expands to every placed target and
+// the platform). Feed to Image::EnableDispatchValidation.
+std::set<std::string, std::less<>> AllowedCallPairs(const LintModel& model);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ANALYSIS_FLEXLINT_H_

@@ -1,5 +1,7 @@
 #include "core/config_parser.h"
 
+#include "core/compat.h"
+#include "core/metadata.h"
 #include "support/strings.h"
 
 namespace flexos {
@@ -94,6 +96,15 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
           return LineError(line_number,
                            "unknown heap kind: " + std::string(value));
         }
+      } else if (key == "compat") {
+        if (value == "strict") {
+          config.strict_compat = true;
+        } else if (value == "off") {
+          config.strict_compat = false;
+        } else {
+          return LineError(line_number,
+                           "unknown compat mode: " + std::string(value));
+        }
       } else if (key == "heap_bytes") {
         FLEXOS_ASSIGN_OR_RETURN(config.heap_bytes_per_compartment,
                                 ParseByteSize(value, line_number));
@@ -155,7 +166,42 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
     return Status(ErrorCode::kInvalidArgument,
                   "multiple compartments but no isolation backend");
   }
+  if (config.strict_compat) {
+    FLEXOS_RETURN_IF_ERROR(CheckConfigCompat(config));
+  }
   return config;
+}
+
+Status CheckConfigCompat(const ImageConfig& config) {
+  std::vector<std::string> violations;
+  for (size_t c = 0; c < config.compartments.size(); ++c) {
+    const auto& group = config.compartments[c];
+    std::vector<LibraryMeta> metas;
+    for (const std::string& lib : group) {
+      std::optional<LibraryMeta> meta = BuiltinLibraryMeta(lib);
+      if (meta.has_value()) {
+        metas.push_back(*std::move(meta));
+      }
+    }
+    for (size_t i = 0; i < metas.size(); ++i) {
+      for (size_t j = 0; j < metas.size(); ++j) {
+        if (i == j) {
+          continue;
+        }
+        const CompatVerdict verdict = SatisfiesRequires(metas[i], metas[j]);
+        for (const std::string& violation : verdict.violations) {
+          violations.push_back(
+              StrFormat("compartment %d: %s", static_cast<int>(c),
+                        violation.c_str()));
+        }
+      }
+    }
+  }
+  if (violations.empty()) {
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kFailedPrecondition,
+                "incompatible cohabitation: " + JoinStrings(violations, "; "));
 }
 
 std::string ImageConfigToString(const ImageConfig& config) {
@@ -194,6 +240,9 @@ std::string ImageConfigToString(const ImageConfig& config) {
       out += func;
     }
     out += '\n';
+  }
+  if (config.strict_compat) {
+    out += "compat = strict\n";
   }
   out += StrFormat("allocators = %s\n", config.per_compartment_allocators
                                             ? "per-compartment"

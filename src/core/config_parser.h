@@ -26,7 +26,16 @@
 namespace flexos {
 
 // Parses the configuration text. Errors carry the offending line number.
+// With "compat = strict" in the text, a config whose compartments cohabit
+// metadata-incompatible libraries is rejected with the violated [Requires]
+// clauses spelled out (CheckConfigCompat below).
 Result<ImageConfig> ParseImageConfig(const std::string& text);
+
+// Pairwise SatisfiesRequires over every compartment of `config`, resolving
+// metadata with BuiltinLibraryMeta (libraries without builtin metadata are
+// skipped — flexlint flags those separately). On failure the status message
+// lists each violated Requires clause, not just a bare code.
+Status CheckConfigCompat(const ImageConfig& config);
 
 // Serializes a config back to the text format (round-trips ParseImageConfig
 // up to comments and ordering).

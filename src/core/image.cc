@@ -1,5 +1,6 @@
 #include "core/image.h"
 
+#include <algorithm>
 #include <new>
 #include <type_traits>
 
@@ -86,6 +87,59 @@ bool Image::IsHardened(std::string_view lib) const {
   return runtime != nullptr && runtime->hardened;
 }
 
+std::vector<std::string> Image::LibraryNames() const {
+  std::vector<std::string> names;
+  names.reserve(libs_.size());
+  for (const auto& [name, runtime] : libs_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool Image::IsCfiEnforced(std::string_view lib) const {
+  const LibRuntime* runtime = FindLib(lib);
+  return runtime != nullptr && runtime->cfi_enforced;
+}
+
+std::vector<std::string> Image::RegisteredApi(std::string_view lib) const {
+  const LibRuntime* runtime = FindLib(lib);
+  if (runtime == nullptr) {
+    return {};
+  }
+  return std::vector<std::string>(runtime->api.begin(), runtime->api.end());
+}
+
+void Image::EnableDispatchValidation(
+    std::set<std::string, std::less<>> allowed) {
+  validate_dispatch_ = true;
+  allowed_dispatch_pairs_ = std::move(allowed);
+}
+
+void Image::DisableDispatchValidation() {
+  validate_dispatch_ = false;
+  allowed_dispatch_pairs_.clear();
+}
+
+void Image::ValidateDispatch(std::string_view from, std::string_view to) {
+  if (from == kLibPlatform || to == kLibPlatform || from == to) {
+    return;
+  }
+  ++validated_dispatches_;
+  const std::string key = std::string(from) + "->" + std::string(to);
+  if (allowed_dispatch_pairs_.count(key) != 0) {
+    return;
+  }
+  ++machine_.stats().traps;
+  RaiseTrap(TrapInfo{
+      .kind = TrapKind::kCfiViolation,
+      .detail = StrFormat(
+          "cross-compartment dispatch %s not in the lint-derived "
+          "allowed-call set (metadata drift: declare the call in %s's "
+          "[Call] list or co-locate the libraries)",
+          key.c_str(), std::string(from).c_str())});
+}
+
 void Image::CallLeaf(std::string_view from, std::string_view to,
                      FunctionRef<void()> body) {
   (void)from;
@@ -170,6 +224,9 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
     return;
   }
 
+  if (validate_dispatch_) {
+    ValidateDispatch(route.from, route.to);
+  }
   ++stats_.cross_compartment_calls;
   BoundaryStats& boundary =
       stats_.crossings[{route.from_comp, route.to_comp}];
@@ -209,6 +266,9 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
                 "BatchExit does not run a GateSession destructor");
   FLEXOS_CHECK(route.cross && route.gate != nullptr && !route.vm_local,
                "GateBatch needs a resolved cross-compartment route");
+  if (validate_dispatch_) {
+    ValidateDispatch(route.from, route.to);
+  }
   ++stats_.cross_compartment_calls;
   ++stats_.crossings[{route.from_comp, route.to_comp}].crossings;
   // Notification-only entry: the batch opens the boundary with no argument

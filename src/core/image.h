@@ -145,6 +145,29 @@ class Image final : public GateRouter {
   // True if `lib` runs with software hardening in this image.
   bool IsHardened(std::string_view lib) const;
 
+  // Member library names, sorted (deterministic iteration for analysis
+  // passes that walk a built image).
+  std::vector<std::string> LibraryNames() const;
+
+  // True if calls into `lib` are CFI-checked against its registered API.
+  bool IsCfiEnforced(std::string_view lib) const;
+
+  // The entry points registered for `lib` at build time (config `api`
+  // directives); empty when none were registered.
+  std::vector<std::string> RegisteredApi(std::string_view lib) const;
+
+  // --- Dispatch validation (flexlint's runtime counterpart) --------------
+  //
+  // Opt-in debug hook: every cross-compartment dispatch is checked against
+  // `allowed` — "from->to" pairs, normally AllowedCallPairs() derived from
+  // the same metadata flexlint lints. A dispatch outside the set raises a
+  // kCfiViolation trap, turning metadata drift into a deterministic
+  // failure instead of silently unaccounted crossings. Platform and
+  // same-library routes are always allowed.
+  void EnableDispatchValidation(std::set<std::string, std::less<>> allowed);
+  void DisableDispatchValidation();
+  uint64_t validated_dispatches() const { return validated_dispatches_; }
+
   std::string Describe() const;
 
   // One line per (from, to) compartment boundary with its crossing,
@@ -177,6 +200,9 @@ class Image final : public GateRouter {
 
   LibRuntime& LibOf(std::string_view name);
   const LibRuntime* FindLib(std::string_view name) const;
+
+  // Trap unless `from` -> `to` is in the allowed-dispatch set.
+  void ValidateDispatch(std::string_view from, std::string_view to);
 
   // The cross-compartment gate for resolved routes (direct when the image
   // was built without one).
@@ -211,6 +237,11 @@ class Image final : public GateRouter {
   std::map<std::string, ApiContract> contracts_;
   uint64_t contract_checks_run_ = 0;
   uint64_t contract_checks_skipped_ = 0;
+
+  // Dispatch validation (debug): "from->to" pairs allowed to cross.
+  bool validate_dispatch_ = false;
+  std::set<std::string, std::less<>> allowed_dispatch_pairs_;
+  uint64_t validated_dispatches_ = 0;
 };
 
 }  // namespace flexos

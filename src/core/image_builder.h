@@ -52,6 +52,11 @@ struct ImageConfig {
 
   uint64_t heap_bytes_per_compartment = 48ull << 20;
   uint64_t shared_bytes = 64ull << 20;
+
+  // "compat = strict": the parser rejects the config when any compartment
+  // cohabits libraries whose builtin metadata fails SatisfiesRequires,
+  // with the concrete violated clauses in the error message.
+  bool strict_compat = false;
 };
 
 // Convenience: the standard micro-library split used by the in-tree

@@ -92,10 +92,23 @@ Status ParseApi(std::string_view body, std::vector<ApiFunc>* api) {
   for (std::string_view item : SplitTopLevel(body, ';')) {
     std::string_view name;
     std::vector<std::string_view> args;
+    std::string func;
     if (ParseCallLike(item, &name, &args)) {
-      api->push_back(ApiFunc{std::string(name)});
+      func = std::string(name);
     } else {
-      api->push_back(ApiFunc{std::string(TrimWhitespace(item))});
+      func = std::string(TrimWhitespace(item));
+    }
+    // Duplicate declarations collapse to one entry point (keeps ToString
+    // canonical and membership checks set-like).
+    bool seen = false;
+    for (const ApiFunc& existing : *api) {
+      if (existing.name == func) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      api->push_back(ApiFunc{std::move(func)});
     }
   }
   return Status::Ok();
@@ -356,15 +369,58 @@ LibraryMeta AllocMeta() {
   return meta.value();
 }
 
+LibraryMeta FsMeta() {
+  // The ramfs micro-library: copies file chunks through libc, allocates
+  // chunk storage, exposes the file operations apps/http use.
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "fs",
+      "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
+      "[Call] libc::memcpy, alloc::malloc, alloc::free\n"
+      "[API] write_file(...); read_file(...); append(...); delete(...); "
+      "file_size(...)\n"
+      "[Requires] *(Read,Own), *(Write,Shared), *(Call, write_file), "
+      "*(Call, read_file), *(Call, append), *(Call, delete), "
+      "*(Call, file_size)");
+  FLEXOS_CHECK(meta.ok(), "builtin fs metadata failed to parse: %s",
+               meta.status().ToString().c_str());
+  return meta.value();
+}
+
 LibraryMeta AppMeta(const std::string& name) {
+  // The http server also serves files from the ramfs; those calls are part
+  // of the app's worst-case behavior (flexlint's dispatch validation keeps
+  // this list honest against what the apps actually route).
   Result<LibraryMeta> meta = ParseLibraryMeta(
       name,
       "[Memory access] Read(Own,Shared); Write(Own,Shared)\n"
       "[Call] net::listen, net::accept, net::send, net::recv, net::close, "
-      "libc::memcpy, alloc::malloc, alloc::free");
+      "libc::memcpy, alloc::malloc, alloc::free, fs::write_file, "
+      "fs::read_file, fs::file_size");
   FLEXOS_CHECK(meta.ok(), "builtin app metadata failed to parse: %s",
                meta.status().ToString().c_str());
   return meta.value();
+}
+
+std::optional<LibraryMeta> BuiltinLibraryMeta(std::string_view name) {
+  if (name == "sched") {
+    return SchedulerMeta();
+  }
+  if (name == "net") {
+    return NetStackMeta();
+  }
+  if (name == "libc") {
+    return LibcMeta();
+  }
+  if (name == "alloc") {
+    return AllocMeta();
+  }
+  if (name == "fs") {
+    return FsMeta();
+  }
+  if (name == "app") {
+    return AppMeta("app");
+  }
+  return std::nullopt;
 }
 
 }  // namespace flexos

@@ -15,8 +15,10 @@
 #ifndef FLEXOS_CORE_METADATA_H_
 #define FLEXOS_CORE_METADATA_H_
 
+#include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/status.h"
@@ -84,7 +86,13 @@ LibraryMeta UnsafeCLibMeta(const std::string& name);  // Read(*);Write(*);Call *
 LibraryMeta NetStackMeta();
 LibraryMeta LibcMeta();
 LibraryMeta AllocMeta();
+LibraryMeta FsMeta();
 LibraryMeta AppMeta(const std::string& name);
+
+// Resolves a well-known library name (app, net, sched, libc, alloc, fs) to
+// its builtin metadata; nullopt for names this tree ships no metadata for.
+// The canonical resolver for config validation and flexlint.
+std::optional<LibraryMeta> BuiltinLibraryMeta(std::string_view name);
 
 }  // namespace flexos
 

@@ -1,0 +1,390 @@
+// flexlint: every rule in the catalog (DESIGN.md §6) with a violating and
+// a passing fixture, model extraction from configs and from built images,
+// the lint-derived dispatch-validation hook, and report rendering.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/flexlint.h"
+#include "core/config_parser.h"
+#include "core/image_builder.h"
+#include "hw/trap.h"
+
+namespace flexos {
+namespace {
+
+LibraryMeta MustParse(const std::string& name, const std::string& text) {
+  Result<LibraryMeta> meta = ParseLibraryMeta(name, text);
+  EXPECT_TRUE(meta.ok()) << meta.status().ToString();
+  return meta.value();
+}
+
+// A resolver backed by an explicit map (unlisted names are unknown).
+MetaResolver MapResolver(std::map<std::string, LibraryMeta> metas) {
+  return [metas = std::move(metas)](
+             std::string_view name) -> std::optional<LibraryMeta> {
+    const auto it = metas.find(std::string(name));
+    if (it == metas.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  };
+}
+
+ImageConfig TwoCompartments(IsolationBackend backend) {
+  ImageConfig config;
+  config.backend = backend;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  return config;
+}
+
+// --- FL001: undeclared cross-compartment call ----------------------------
+
+TEST(LintRules, FL001FlagsCallsOutsideTheCalleeApi) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"cli"}, {"srv"}};
+  const auto resolver = MapResolver({
+      {"cli", MustParse("cli",
+                        "[Memory access] Read(Own); Write(Own)\n"
+                        "[Call] srv::poll")},
+      {"srv", MustParse("srv",
+                        "[Memory access] Read(Own); Write(Own)\n"
+                        "[API] serve(...)")},
+  });
+  const LintReport report = LintConfig(config, resolver);
+  EXPECT_EQ(report.CountForRule(kRuleUndeclaredCrossCall), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  // Passing fixture: the called function is exposed.
+  const auto fixed = MapResolver({
+      {"cli", MustParse("cli",
+                        "[Memory access] Read(Own); Write(Own)\n"
+                        "[Call] srv::serve")},
+      {"srv", MustParse("srv",
+                        "[Memory access] Read(Own); Write(Own)\n"
+                        "[API] serve(...)")},
+  });
+  EXPECT_EQ(LintConfig(config, fixed).CountForRule(kRuleUndeclaredCrossCall),
+            0u);
+}
+
+TEST(LintRules, FL001SeesCfiNarrowedGates) {
+  // CFI registration narrows net's effective API below its metadata:
+  // app's declared net::send / net::recv dispatches would trap.
+  ImageConfig config = TwoCompartments(IsolationBackend::kMpkSharedStack);
+  config.cfi_libs = {"net"};
+  config.apis["net"] = {"listen", "accept", "close"};
+  const LintReport report = LintConfig(config);
+  EXPECT_EQ(report.CountForRule(kRuleUndeclaredCrossCall), 2u);
+  EXPECT_TRUE(report.HasErrors());
+
+  config.apis["net"] = {"listen", "accept", "send", "recv", "close"};
+  EXPECT_EQ(LintConfig(config).CountForRule(kRuleUndeclaredCrossCall), 0u);
+}
+
+// --- FL002: Requires-violating cohabitation ------------------------------
+
+TEST(LintRules, FL002FlagsForbiddenCohabitation) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net", "sched"}, {"app", "libc", "alloc"}};
+  const LintReport report = LintConfig(config);
+  EXPECT_GE(report.CountForRule(kRuleRequiresViolation), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  // Passing fixture: the paper's iperf split keeps the unsafe stack alone.
+  EXPECT_EQ(LintConfig(TwoCompartments(IsolationBackend::kMpkSharedStack))
+                .CountForRule(kRuleRequiresViolation),
+            0u);
+}
+
+// --- FL003: trusted gate on a boundary that demands isolation ------------
+
+TEST(LintRules, FL003FlagsDirectGatesBetweenIncompatibleLibraries) {
+  ImageConfig config = TwoCompartments(IsolationBackend::kNone);
+  const LintReport report = LintConfig(config);
+  EXPECT_GE(report.CountForRule(kRuleTrustedGate), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  // Passing fixtures: a real backend on the same split, and a direct-gate
+  // split whose endpoints are mutually compatible.
+  EXPECT_EQ(LintConfig(TwoCompartments(IsolationBackend::kMpkSharedStack))
+                .CountForRule(kRuleTrustedGate),
+            0u);
+  ImageConfig compatible;
+  compatible.backend = IsolationBackend::kNone;
+  compatible.compartments = {{"sched"}, {"libc", "alloc"}};
+  EXPECT_EQ(LintConfig(compatible).CountForRule(kRuleTrustedGate), 0u);
+}
+
+// --- FL004: shared writes into a compartment that forbids them -----------
+
+TEST(LintRules, FL004FlagsCrossCompartmentSharedWriteConflicts) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"writer"}, {"holder"}};
+  const auto resolver = MapResolver({
+      {"writer", MustParse("writer",
+                           "[Memory access] Read(Own); Write(Own,Shared)")},
+      {"holder", MustParse("holder",
+                           "[Memory access] Read(Own); Write(Own)\n"
+                           "[Requires] *(Read,Own)")},
+  });
+  const LintReport report = LintConfig(config, resolver);
+  EXPECT_EQ(report.CountForRule(kRuleSharedWriteConflict), 1u);
+  // A warning, not an error: the spec may accept it knowingly.
+  EXPECT_FALSE(report.HasErrors());
+
+  const auto relaxed = MapResolver({
+      {"writer", MustParse("writer",
+                           "[Memory access] Read(Own); Write(Own,Shared)")},
+      {"holder", MustParse("holder",
+                           "[Memory access] Read(Own); Write(Own)\n"
+                           "[Requires] *(Read,Own), *(Write,Shared)")},
+  });
+  EXPECT_EQ(
+      LintConfig(config, relaxed).CountForRule(kRuleSharedWriteConflict),
+      0u);
+}
+
+// --- FL005: over-compartmentalization ------------------------------------
+
+TEST(LintRules, FL005FlagsMoreCompartmentsThanTheMetadataNeeds) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kVmRpc;
+  config.compartments = {{"app"}, {"net"}, {"sched", "libc", "alloc"}};
+  const LintReport report = LintConfig(config);
+  EXPECT_EQ(report.CountForRule(kRuleOverCompartmentalized), 1u);
+  EXPECT_FALSE(report.HasErrors());
+
+  EXPECT_EQ(LintConfig(TwoCompartments(IsolationBackend::kMpkSharedStack))
+                .CountForRule(kRuleOverCompartmentalized),
+            0u);
+}
+
+// --- FL006: gate/API registration drift ----------------------------------
+
+TEST(LintRules, FL006FlagsRegistrationDrift) {
+  // An entry point registered for CFI that the metadata never declared.
+  ImageConfig config = TwoCompartments(IsolationBackend::kMpkSharedStack);
+  config.cfi_libs = {"sched"};
+  config.apis["sched"] = {"thread_add", "thread_rm", "yield",
+                          "steal_runqueue"};
+  const LintReport drifted = LintConfig(config);
+  EXPECT_GE(drifted.CountForRule(kRuleApiDrift), 1u);
+  EXPECT_TRUE(drifted.HasErrors());
+
+  // CFI with no registration at all: every call into sched traps.
+  ImageConfig unregistered = TwoCompartments(IsolationBackend::kMpkSharedStack);
+  unregistered.cfi_libs = {"sched"};
+  const LintReport missing = LintConfig(unregistered);
+  EXPECT_GE(missing.CountForRule(kRuleApiDrift), 1u);
+  EXPECT_TRUE(missing.HasErrors());
+
+  // Passing fixture: registration matches the metadata exactly.
+  ImageConfig exact = TwoCompartments(IsolationBackend::kMpkSharedStack);
+  exact.cfi_libs = {"sched"};
+  exact.apis["sched"] = {"thread_add", "thread_rm", "yield"};
+  EXPECT_EQ(LintConfig(exact).CountForRule(kRuleApiDrift), 0u);
+}
+
+// --- FL007: placed library without metadata ------------------------------
+
+TEST(LintRules, FL007FlagsUnknownLibraries) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net"}, {"app", "mystery_blob"}};
+  const LintReport report = LintConfig(config);
+  EXPECT_EQ(report.CountForRule(kRuleUnknownLibrary), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  EXPECT_EQ(LintConfig(TwoCompartments(IsolationBackend::kMpkSharedStack))
+                .CountForRule(kRuleUnknownLibrary),
+            0u);
+}
+
+// --- FL008: 'Call *' mixed with a concrete list --------------------------
+
+TEST(LintRules, FL008FlagsRedundantCallLists) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"blob"}, {"srv"}};
+  const auto resolver = MapResolver({
+      {"blob", MustParse("blob",
+                         "[Memory access] Read(*); Write(*)\n"
+                         "[Call] *, srv::serve")},
+      {"srv", MustParse("srv",
+                        "[Memory access] Read(Own); Write(Own)\n"
+                        "[API] serve(...)")},
+  });
+  const LintReport report = LintConfig(config, resolver);
+  EXPECT_EQ(report.CountForRule(kRuleRedundantCallList), 1u);
+
+  EXPECT_EQ(LintConfig(TwoCompartments(IsolationBackend::kMpkSharedStack))
+                .CountForRule(kRuleRedundantCallList),
+            0u);
+}
+
+// --- FL000 and metadata-file linting -------------------------------------
+
+TEST(LintMeta, ParseFailureIsAnError) {
+  const LintReport report =
+      LintMetaText("broken", "[Memory access] Fly(Own)");
+  EXPECT_EQ(report.CountForRule(kRuleParse), 1u);
+  EXPECT_TRUE(report.HasErrors());
+}
+
+TEST(LintMeta, CleanMetadataProducesNoFindings) {
+  const LintReport report =
+      LintMetaText("sched", SchedulerMeta().ToString());
+  EXPECT_TRUE(report.diagnostics.empty()) << report.ToText();
+}
+
+TEST(LintMeta, MixedWildcardCallListWarns) {
+  const LintReport report = LintMetaText(
+      "blob", "[Memory access] Read(*); Write(*)\n[Call] *, libc::memcpy");
+  EXPECT_EQ(report.CountForRule(kRuleRedundantCallList), 1u);
+  EXPECT_FALSE(report.HasErrors());
+}
+
+// --- Extraction: configs and built images agree --------------------------
+
+TEST(LintModelExtraction, ImageAndConfigProduceTheSameFindings) {
+  ImageConfig config = TwoCompartments(IsolationBackend::kMpkSharedStack);
+  config.cfi_libs = {"net"};
+  config.apis["net"] = {"listen", "accept", "close"};  // send/recv missing.
+
+  Machine machine;
+  ImageBuilder builder(machine);
+  auto image = builder.Build(config).value();
+
+  const LintReport from_config = LintConfig(config);
+  const LintReport from_image = LintImage(*image);
+  ASSERT_EQ(from_config.diagnostics.size(), from_image.diagnostics.size());
+  for (size_t i = 0; i < from_config.diagnostics.size(); ++i) {
+    EXPECT_EQ(from_config.diagnostics[i].rule,
+              from_image.diagnostics[i].rule);
+    EXPECT_EQ(from_config.diagnostics[i].entity,
+              from_image.diagnostics[i].entity);
+  }
+  EXPECT_EQ(from_image.CountForRule(kRuleUndeclaredCrossCall), 2u);
+}
+
+TEST(LintModelExtraction, RecoversCallGraphAndSharedAccessMap) {
+  const LintModel model = ExtractModel(
+      TwoCompartments(IsolationBackend::kMpkSharedStack),
+      BuiltinMetaResolver());
+  // app -> net crosses the boundary; libc -> sched stays inside.
+  bool saw_app_to_net = false;
+  bool saw_libc_to_sched = false;
+  for (const LintCallEdge& edge : model.calls) {
+    if (edge.caller == "app" && edge.callee == "net") {
+      saw_app_to_net = true;
+      EXPECT_TRUE(edge.cross);
+    }
+    if (edge.caller == "libc" && edge.callee == "sched") {
+      saw_libc_to_sched = true;
+      EXPECT_FALSE(edge.cross);
+    }
+  }
+  EXPECT_TRUE(saw_app_to_net);
+  EXPECT_TRUE(saw_libc_to_sched);
+  // net's worst case writes the shared region; nobody placed forbids it.
+  EXPECT_EQ(model.shared_writers.count("net"), 1u);
+  EXPECT_TRUE(model.shared_write_forbidders.empty());
+}
+
+// --- The runtime counterpart: dispatch validation ------------------------
+
+TEST(DispatchValidation, DeclaredDispatchesPassUndeclaredOnesTrap) {
+  const ImageConfig config =
+      TwoCompartments(IsolationBackend::kMpkSharedStack);
+  Machine machine;
+  ImageBuilder builder(machine);
+  auto image = builder.Build(config).value();
+
+  image->EnableDispatchValidation(
+      AllowedCallPairs(ExtractModel(config, BuiltinMetaResolver())));
+
+  // app declares its calls into net; the dispatch is allowed.
+  bool ran = false;
+  image->Call("app", "net", [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  // The platform pseudo-library is always trusted.
+  image->Call(kLibPlatform, "app", [] {});
+  EXPECT_GT(image->validated_dispatches(), 0u);
+
+  // net declares no calls into app: metadata drift, deterministic trap.
+  bool trapped = false;
+  try {
+    image->Call("net", "app", [] {});
+  } catch (const TrapException& trap) {
+    trapped = true;
+    EXPECT_EQ(trap.info().kind, TrapKind::kCfiViolation);
+    EXPECT_NE(trap.info().detail.find("net->app"), std::string::npos);
+  }
+  EXPECT_TRUE(trapped);
+
+  // Disabled again, the same dispatch goes through unchecked.
+  image->DisableDispatchValidation();
+  image->Call("net", "app", [] {});
+}
+
+TEST(DispatchValidation, AllowedPairsComeFromTheMetadata) {
+  const auto pairs = AllowedCallPairs(ExtractModel(
+      TwoCompartments(IsolationBackend::kMpkSharedStack),
+      BuiltinMetaResolver()));
+  EXPECT_EQ(pairs.count("app->net"), 1u);
+  EXPECT_EQ(pairs.count("net->libc"), 1u);
+  EXPECT_EQ(pairs.count("libc->sched"), 1u);
+  EXPECT_EQ(pairs.count("net->sched"), 0u);
+  EXPECT_EQ(pairs.count("net->app"), 0u);
+}
+
+// --- Report rendering and strict-compat parsing --------------------------
+
+TEST(LintReportRendering, TextAndJsonNameTheRule) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net", "sched"}, {"app", "libc", "alloc"}};
+  const LintReport report = LintConfig(config);
+  ASSERT_TRUE(report.HasErrors());
+  EXPECT_NE(report.ToText().find("FL002"), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"rule\":\"FL002\""), std::string::npos);
+  EXPECT_NE(report.ToText().find("fix:"), std::string::npos);
+}
+
+TEST(StrictCompat, RejectedConfigNamesTheViolatedClause) {
+  const Status status =
+      ParseImageConfig(
+          "backend = mpk-shared\ncompat = strict\n"
+          "compartment net sched\ncompartment app libc alloc\n")
+          .status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  // The message carries the CompatVerdict violation, not a bare code.
+  EXPECT_NE(status.message().find("sched"), std::string::npos);
+  EXPECT_NE(status.message().find("Write(*)"), std::string::npos);
+}
+
+TEST(StrictCompat, CompatibleConfigParsesAndRoundTrips) {
+  Result<ImageConfig> config = ParseImageConfig(
+      "backend = mpk-shared\ncompat = strict\n"
+      "compartment net\ncompartment app sched libc alloc\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_TRUE(config->strict_compat);
+  Result<ImageConfig> reparsed =
+      ParseImageConfig(ImageConfigToString(config.value()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(reparsed->strict_compat);
+
+  // Without the directive the same cohabitation parses fine (the linter,
+  // not the parser, is then responsible for flagging it).
+  EXPECT_TRUE(ParseImageConfig("backend = mpk-shared\n"
+                               "compartment net sched\ncompartment app\n")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace flexos

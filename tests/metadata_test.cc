@@ -87,6 +87,54 @@ TEST(Metadata, MultilineSectionsAccumulate) {
   EXPECT_EQ(meta->behavior.calls.size(), 2u);
 }
 
+TEST(Metadata, RejectsMalformedRequiresClauses) {
+  // A clause needs both a kind and a scope.
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Requires] *(Read)").ok());
+  // Items must be call-like: bare words are not clauses.
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Requires] ReadOwn").ok());
+  // Only the wildcard subject is supported; a named subject is an explicit
+  // kUnimplemented, not a silent accept.
+  const Status named =
+      ParseLibraryMeta("x", "[Requires] lib(Read,Own)").status();
+  ASSERT_FALSE(named.ok());
+  EXPECT_EQ(named.code(), ErrorCode::kUnimplemented);
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Requires] *(Read,Elsewhere)").ok());
+  EXPECT_FALSE(ParseLibraryMeta("x", "[Requires] *(Write,Banana)").ok());
+}
+
+TEST(Metadata, DuplicateApiDeclarationsCollapse) {
+  Result<LibraryMeta> meta = ParseLibraryMeta(
+      "x", "[API] serve(...); poll(...); serve(...); serve");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  ASSERT_EQ(meta->api.size(), 2u);
+  EXPECT_EQ(meta->api[0].name, "serve");
+  EXPECT_EQ(meta->api[1].name, "poll");
+}
+
+TEST(Metadata, WildcardCallMixedWithConcreteListKeepsBoth) {
+  // flexlint flags this as FL008, but the parser preserves both facts so
+  // the linter can see them.
+  Result<LibraryMeta> meta =
+      ParseLibraryMeta("x", "[Call] *, alloc::malloc");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_TRUE(meta->behavior.calls_any);
+  EXPECT_EQ(meta->behavior.calls.count("alloc::malloc"), 1u);
+}
+
+TEST(Metadata, AllBuiltinMetasRoundTripStably) {
+  const std::vector<LibraryMeta> metas = {
+      SchedulerMeta(),    NetStackMeta(), LibcMeta(),       AllocMeta(),
+      FsMeta(),           AppMeta("app"), UnsafeCLibMeta("c")};
+  for (const LibraryMeta& original : metas) {
+    const std::string first = original.ToString();
+    Result<LibraryMeta> reparsed = ParseLibraryMeta(original.name, first);
+    ASSERT_TRUE(reparsed.ok())
+        << original.name << ": " << reparsed.status().ToString();
+    // Fixed point: serializing the reparse reproduces the text exactly.
+    EXPECT_EQ(reparsed->ToString(), first) << original.name;
+  }
+}
+
 TEST(Metadata, BuiltinMetasAreSelfConsistent) {
   EXPECT_EQ(SchedulerMeta().name, "sched");
   EXPECT_EQ(NetStackMeta().name, "net");

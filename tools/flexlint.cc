@@ -1,0 +1,115 @@
+// flexlint CLI: lints FlexOS image configurations and per-library metadata
+// DSL files against the rule catalog in DESIGN.md §6.
+//
+//   flexlint [--json] <config.conf>...          lint image configs
+//   flexlint [--json] --meta <lib> <file>...    lint metadata DSL files
+//
+// Exit status: 0 when no error-severity finding was produced, 1 when at
+// least one was, 2 on usage or I/O errors. Warnings never fail the run.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/flexlint.h"
+#include "core/config_parser.h"
+
+namespace flexos {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flexlint [--json] <config.conf>...\n"
+               "       flexlint [--json] --meta <lib> <metafile>...\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+LintReport LintConfigText(const std::string& text) {
+  Result<ImageConfig> config = ParseImageConfig(text);
+  if (!config.ok()) {
+    LintReport report;
+    report.diagnostics.push_back(LintDiagnostic{
+        std::string(kRuleParse), LintSeverity::kError, "config",
+        "config does not parse: " + config.status().ToString(),
+        "fix the config syntax (see src/core/config_parser.h)"});
+    return report;
+  }
+  return LintConfig(config.value());
+}
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool meta_mode = false;
+  std::string meta_lib;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--meta") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      meta_mode = true;
+      meta_lib = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "flexlint: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+
+  bool any_errors = false;
+  std::string json_out = "[";
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& path = files[i];
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "flexlint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const LintReport report =
+        meta_mode ? LintMetaText(meta_lib, text) : LintConfigText(text);
+    any_errors = any_errors || report.HasErrors();
+    if (json) {
+      if (i > 0) {
+        json_out += ',';
+      }
+      json_out += "{\"file\":\"" + path +
+                  "\",\"diagnostics\":" + report.ToJson() + "}";
+    } else {
+      std::printf("== %s: %zu finding(s)\n", path.c_str(),
+                  report.diagnostics.size());
+      std::fputs(report.ToText().c_str(), stdout);
+    }
+  }
+  if (json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+  return any_errors ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main(int argc, char** argv) { return flexos::Run(argc, argv); }
