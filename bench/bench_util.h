@@ -11,6 +11,8 @@
 #include "apps/redis_client.h"
 #include "apps/redis_server.h"
 #include "apps/testbed.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "support/strings.h"
 
 namespace flexos {
@@ -80,8 +82,11 @@ inline IperfPoint RunIperf(const TestbedConfig& config, uint64_t total_bytes,
 
   IperfPoint point;
   const Status status = bed.Run();
-  point.ok = status.ok() && server_result.bytes_received == total_bytes;
-  point.bytes = server_result.bytes_received;
+  // The registry's TCP byte counter (PR 3) is the reported number; the
+  // app-level count cross-checks that instrumentation and workload agree.
+  point.bytes = bed.machine().metrics().CounterValue(obs::kMetricTcpBytesRx);
+  point.ok = status.ok() && server_result.bytes_received == total_bytes &&
+             point.bytes == server_result.bytes_received;
   const double seconds = bed.machine().clock().NowSeconds();
   if (seconds > 0) {
     point.gbps =

@@ -1,5 +1,7 @@
 #include "alloc/freelist_heap.h"
 
+#include "obs/names.h"
+
 namespace flexos {
 namespace {
 
@@ -19,6 +21,11 @@ FreelistHeap::FreelistHeap(AddressSpace& space, Gaddr base, uint64_t size)
     : space_(space), base_(base), size_(size) {
   FLEXOS_CHECK(size >= kMinChunk, "heap too small");
   chunks_[0] = Chunk{.size = size, .free = true, .user_offset = 0};
+  obs::MetricsRegistry& metrics = space.machine().metrics();
+  alloc_counter_ = &metrics.GetCounter(obs::kMetricAllocCount);
+  free_counter_ = &metrics.GetCounter(obs::kMetricFreeCount);
+  alloc_bytes_counter_ = &metrics.GetCounter(obs::kMetricAllocBytes);
+  live_bytes_gauge_ = &metrics.GetGauge(obs::kMetricAllocLive);
 }
 
 Result<Gaddr> FreelistHeap::Allocate(uint64_t size, uint64_t align) {
@@ -57,6 +64,13 @@ Result<Gaddr> FreelistHeap::Allocate(uint64_t size, uint64_t align) {
     chunk.user_offset = pad;
     user_to_chunk_[user_off] = chunk_off;
     stats_.OnAlloc(live_size);
+    alloc_counter_->Add();
+    alloc_bytes_counter_->Add(live_size);
+    live_bytes_gauge_->Add(static_cast<int64_t>(live_size));
+    Machine& machine = space_.machine();
+    machine.tracer().RecordInstant(obs::TraceCat::kAlloc, "alloc.alloc",
+                                   machine.context().compartment + 1,
+                                   live_size);
     return base_ + user_off;
   }
   return Status(ErrorCode::kOutOfMemory, "freelist heap exhausted");
@@ -81,6 +95,12 @@ Status FreelistHeap::Free(Gaddr addr) {
   it->second.free = true;
   it->second.user_offset = 0;
   stats_.OnFree(it->second.size);
+  free_counter_->Add();
+  live_bytes_gauge_->Add(-static_cast<int64_t>(it->second.size));
+  Machine& machine = space_.machine();
+  machine.tracer().RecordInstant(obs::TraceCat::kAlloc, "alloc.free",
+                                 machine.context().compartment + 1,
+                                 it->second.size);
 
   // Coalesce with the next chunk.
   auto next = std::next(it);

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "alloc/allocator.h"
+#include "obs/metrics.h"
 
 namespace flexos {
 
@@ -46,6 +47,12 @@ class FreelistHeap final : public Allocator {
   // user address offset -> chunk offset, for padded allocations.
   std::map<uint64_t, uint64_t> user_to_chunk_;
   AllocStats stats_;
+  // Machine-wide allocator metrics (obs/names.h), aggregated across heaps;
+  // resolved once from the machine's registry at construction.
+  obs::Counter* alloc_counter_;
+  obs::Counter* free_counter_;
+  obs::Counter* alloc_bytes_counter_;
+  obs::Gauge* live_bytes_gauge_;
 };
 
 }  // namespace flexos

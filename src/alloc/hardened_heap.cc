@@ -1,5 +1,7 @@
 #include "alloc/hardened_heap.h"
 
+#include "obs/names.h"
+
 namespace flexos {
 namespace {
 
@@ -10,7 +12,10 @@ constexpr uint64_t AlignUp(uint64_t value, uint64_t align) {
 }  // namespace
 
 HardenedHeap::HardenedHeap(Allocator& backing, uint64_t quarantine_bytes)
-    : backing_(backing), quarantine_capacity_(quarantine_bytes) {}
+    : backing_(backing),
+      quarantine_capacity_(quarantine_bytes),
+      quarantine_gauge_(&backing.space().machine().metrics().GetGauge(
+          obs::kMetricQuarantineBytes)) {}
 
 HardenedHeap::~HardenedHeap() {
   // Drain the quarantine so the backing allocator is left clean.
@@ -72,6 +77,11 @@ Status HardenedHeap::Free(Gaddr addr) {
          !quarantine_.empty()) {
     EvictOneFromQuarantine();
   }
+  quarantine_gauge_->Set(static_cast<int64_t>(quarantine_bytes_used_));
+  space.machine().tracer().RecordInstant(
+      obs::TraceCat::kAlloc, "alloc.quarantine",
+      space.machine().context().compartment + 1, user_size,
+      quarantine_bytes_used_);
   return Status::Ok();
 }
 
@@ -87,6 +97,7 @@ void HardenedHeap::EvictOneFromQuarantine() {
   const Status status = backing_.Free(block);
   FLEXOS_CHECK(status.ok(), "backing free failed: %s",
                status.ToString().c_str());
+  quarantine_gauge_->Set(static_cast<int64_t>(quarantine_bytes_used_));
 }
 
 Result<uint64_t> HardenedHeap::UsableSize(Gaddr addr) const {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "alloc/allocator.h"
+#include "obs/metrics.h"
 
 namespace flexos {
 
@@ -52,6 +53,10 @@ class HardenedHeap final : public Allocator {
   // user addr -> user size, for live allocations.
   std::unordered_map<Gaddr, uint64_t> live_;
   AllocStats stats_;
+  // Bytes parked in the free-quarantine (alloc.quarantine_bytes). The
+  // generic alloc.* counters are recorded by the backing allocator — this
+  // wrapper only adds what the backing cannot see.
+  obs::Gauge* quarantine_gauge_;
 };
 
 }  // namespace flexos

@@ -4,6 +4,7 @@
 
 #include "core/coloring.h"
 #include "core/compat.h"
+#include "obs/names.h"
 #include "support/strings.h"
 
 namespace flexos {
@@ -471,6 +472,59 @@ std::set<std::string, std::less<>> AllowedCallPairs(const LintModel& model) {
     }
   }
   return pairs;
+}
+
+std::string BoundaryMetricNamesJson(const LintModel& model) {
+  const std::string_view backend = IsolationBackendName(model.backend);
+  // Distinct cross-compartment call directions, with the library edges
+  // that exercise each one.
+  std::map<std::pair<int, int>, std::set<std::string>> boundaries;
+  for (const LintCallEdge& edge : model.calls) {
+    if (!edge.cross) {
+      continue;
+    }
+    const auto from_it = model.compartment_of.find(edge.caller);
+    const auto to_it = model.compartment_of.find(edge.callee);
+    if (from_it == model.compartment_of.end() ||
+        to_it == model.compartment_of.end()) {
+      continue;
+    }
+    boundaries[{from_it->second, to_it->second}].insert(edge.caller + "->" +
+                                                        edge.callee);
+  }
+  std::string out = "[";
+  bool first_boundary = true;
+  for (const auto& [pair, edges] : boundaries) {
+    if (!first_boundary) {
+      out += ',';
+    }
+    first_boundary = false;
+    out += "{\"from\":\"" + obs::CompartmentLabel(pair.first) +
+           "\",\"to\":\"" + obs::CompartmentLabel(pair.second) +
+           "\",\"edges\":[";
+    bool first_edge = true;
+    for (const std::string& edge : edges) {
+      if (!first_edge) {
+        out += ',';
+      }
+      first_edge = false;
+      out += '"' + JsonEscape(edge) + '"';
+    }
+    out += "],\"metrics\":[";
+    bool first_metric = true;
+    for (std::string_view family : obs::kGateFamilies) {
+      if (!first_metric) {
+        out += ',';
+      }
+      first_metric = false;
+      out += '"' +
+             obs::GateMetricName(family, backend, pair.first, pair.second) +
+             '"';
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace flexos

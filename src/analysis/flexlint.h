@@ -137,6 +137,13 @@ LintReport LintMetaText(const std::string& lib_name, const std::string& text);
 // the platform). Feed to Image::EnableDispatchValidation.
 std::set<std::string, std::less<>> AllowedCallPairs(const LintModel& model);
 
+// JSON array describing every cross-compartment boundary the declared call
+// graph will exercise, with the gate.* metric names (obs/names.h) a built
+// image emits for it — one entry per (from, to) compartment direction,
+// listing the library edges that cross it. Lets dashboards subscribe to a
+// config's metrics before the image ever runs (DESIGN.md §6/§7).
+std::string BoundaryMetricNamesJson(const LintModel& model);
+
 }  // namespace flexos
 
 #endif  // FLEXOS_ANALYSIS_FLEXLINT_H_

@@ -16,7 +16,7 @@ std::string_view GateKindName(GateKind kind) {
   return "?";
 }
 
-GateSession DirectGate::Enter(Machine& machine,
+GateSession DirectGate::EnterImpl(Machine& machine,
                               const GateCrossing& crossing) {
   machine.clock().Charge(machine.costs().direct_call);
   ++machine.stats().gate_crossings;
@@ -28,7 +28,7 @@ GateSession DirectGate::Enter(Machine& machine,
   return session;
 }
 
-void DirectGate::Exit(Machine& machine, const GateCrossing& crossing,
+void DirectGate::ExitImpl(Machine& machine, const GateCrossing& crossing,
                       const GateSession& session) {
   (void)crossing;
   if (session.swapped) {

@@ -5,9 +5,22 @@
 #include <type_traits>
 
 #include "hw/trap.h"
+#include "obs/names.h"
 #include "support/strings.h"
 
 namespace flexos {
+
+namespace {
+
+// Opaque per-batch state parked in GateBatch's session storage: the gate
+// session plus the cycles the batch's Enter half cost, so BatchExit can
+// record one amortized entry+exit latency sample for the whole batch.
+struct BatchState {
+  GateSession session;
+  uint64_t entry_cycles = 0;
+};
+
+}  // namespace
 
 std::string_view IsolationBackendName(IsolationBackend backend) {
   switch (backend) {
@@ -199,7 +212,31 @@ RouteHandle Image::Resolve(std::string_view from, std::string_view to) {
   }
   route.cross = route.from_comp != route.to_comp;
   route.gate = route.cross ? &CrossGate() : &direct_gate_;
+  if (route.cross) {
+    route.obs = &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  }
   return route;
+}
+
+const obs::BoundaryRecorder& Image::BoundaryRecorderFor(int from_comp,
+                                                        int to_comp) {
+  auto it = boundaries_.find({from_comp, to_comp});
+  if (it == boundaries_.end()) {
+    const std::string_view backend = IsolationBackendName(backend_);
+    obs::MetricsRegistry& metrics = machine_.metrics();
+    obs::BoundaryRecorder recorder;
+    recorder.crossings = &metrics.GetCounter(
+        obs::GateMetricName("crossings", backend, from_comp, to_comp));
+    recorder.batched = &metrics.GetCounter(
+        obs::GateMetricName("batched", backend, from_comp, to_comp));
+    recorder.bytes = &metrics.GetCounter(
+        obs::GateMetricName("bytes", backend, from_comp, to_comp));
+    recorder.latency_ns = &metrics.GetHistogram(
+        obs::GateMetricName("latency_ns", backend, from_comp, to_comp));
+    it = boundaries_.emplace(std::make_pair(from_comp, to_comp), recorder)
+             .first;
+  }
+  return it->second;
 }
 
 void Image::Call(std::string_view from, std::string_view to,
@@ -228,15 +265,28 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
     ValidateDispatch(route.from, route.to);
   }
   ++stats_.cross_compartment_calls;
-  BoundaryStats& boundary =
-      stats_.crossings[{route.from_comp, route.to_comp}];
-  ++boundary.crossings;
-  boundary.bytes += kGateArgBytes + kGateRetBytes;
+  const obs::BoundaryRecorder* recorder =
+      route.obs != nullptr
+          ? route.obs
+          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  recorder->crossings->Add();
+  recorder->bytes->Add(kGateArgBytes + kGateRetBytes);
   GateCrossing crossing{.target_context = route.target_exec,
                         .arg_bytes = kGateArgBytes,
                         .ret_bytes = kGateRetBytes};
   Gate* gate = route.gate != nullptr ? route.gate : &direct_gate_;
-  gate->Cross(machine_, crossing, body);
+  // Enter/body/Exit inlined (vs gate->Cross) so the latency histogram can
+  // capture the gate's own overhead — entry half + exit half, in modeled
+  // cycles — while excluding the body.
+  Clock& clock = machine_.clock();
+  const uint64_t t0 = clock.cycles();
+  const GateSession session = gate->Enter(machine_, crossing);
+  const uint64_t entry_cycles = clock.cycles() - t0;
+  body();
+  const uint64_t t1 = clock.cycles();
+  gate->Exit(machine_, crossing, session);
+  recorder->latency_ns->Record(
+      clock.CyclesToNanos(entry_cycles + (clock.cycles() - t1)));
 }
 
 void Image::CallLeaf(const RouteHandle& route, FunctionRef<void()> body) {
@@ -260,22 +310,29 @@ void Image::CallLeaf(const RouteHandle& route, FunctionRef<void()> body) {
 }
 
 void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
-  static_assert(sizeof(GateSession) <= GateBatch::kSessionBytes,
-                "GateSession must fit the batch's opaque storage");
-  static_assert(std::is_trivially_destructible_v<GateSession>,
-                "BatchExit does not run a GateSession destructor");
+  static_assert(sizeof(BatchState) <= GateBatch::kSessionBytes,
+                "BatchState must fit the batch's opaque storage");
+  static_assert(std::is_trivially_destructible_v<BatchState>,
+                "BatchExit does not run a BatchState destructor");
   FLEXOS_CHECK(route.cross && route.gate != nullptr && !route.vm_local,
                "GateBatch needs a resolved cross-compartment route");
   if (validate_dispatch_) {
     ValidateDispatch(route.from, route.to);
   }
   ++stats_.cross_compartment_calls;
-  ++stats_.crossings[{route.from_comp, route.to_comp}].crossings;
+  const obs::BoundaryRecorder* recorder =
+      route.obs != nullptr
+          ? route.obs
+          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  recorder->crossings->Add();
   // Notification-only entry: the batch opens the boundary with no argument
   // payload; each item marshals its own (ChargeBatchItem).
   GateCrossing entry{.target_context = route.target_exec};
+  const uint64_t t0 = machine_.clock().cycles();
   GateSession session = route.gate->Enter(machine_, entry);
-  new (batch.session()) GateSession(session);
+  auto* state = new (batch.session()) BatchState{};
+  state->session = session;
+  state->entry_cycles = machine_.clock().cycles() - t0;
   // Caller code keeps running between items under its own context; the
   // restore is free — the modeled domain stays open for the batch.
   machine_.context() = session.caller;
@@ -283,11 +340,13 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
 
 void Image::BatchItem(const RouteHandle& route, GateBatch& batch,
                       FunctionRef<void()> body) {
-  const auto* session = static_cast<const GateSession*>(batch.session());
-  BoundaryStats& boundary =
-      stats_.crossings[{route.from_comp, route.to_comp}];
-  ++boundary.batched;
-  boundary.bytes += kGateArgBytes + kGateRetBytes;
+  const auto* state = static_cast<const BatchState*>(batch.session());
+  const obs::BoundaryRecorder* recorder =
+      route.obs != nullptr
+          ? route.obs
+          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  recorder->batched->Add();
+  recorder->bytes->Add(kGateArgBytes + kGateRetBytes);
   if (route.hardened) {
     machine_.clock().Charge(machine_.costs().sh_call_overhead);
   }
@@ -297,14 +356,23 @@ void Image::BatchItem(const RouteHandle& route, GateBatch& batch,
   route.gate->ChargeBatchItem(machine_, kGateArgBytes, kGateRetBytes);
   machine_.context() = *route.target_exec;
   body();
-  machine_.context() = session->caller;
+  machine_.context() = state->session.caller;
 }
 
 void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
-  const auto* session = static_cast<const GateSession*>(batch.session());
+  const auto* state = static_cast<const BatchState*>(batch.session());
   // Notification-only exit: return payloads were charged per item.
   GateCrossing exit{.target_context = route.target_exec};
-  route.gate->Exit(machine_, exit, *session);
+  const uint64_t t0 = machine_.clock().cycles();
+  route.gate->Exit(machine_, exit, state->session);
+  // One latency sample per batched crossing: the amortized entry+exit
+  // overhead the batch paid for all of its items.
+  const obs::BoundaryRecorder* recorder =
+      route.obs != nullptr
+          ? route.obs
+          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  recorder->latency_ns->Record(machine_.clock().CyclesToNanos(
+      state->entry_cycles + (machine_.clock().cycles() - t0)));
 }
 
 void Image::RegisterApiContract(std::string_view lib, std::string_view func,
@@ -368,9 +436,23 @@ std::string Image::Describe() const {
   return out;
 }
 
+const ImageStats& Image::stats() const {
+  // Refresh the per-boundary view from the registry-backed recorders; the
+  // scalar members are maintained in place. Returning a long-lived
+  // reference keeps range-for over stats().crossings valid (C++20 range
+  // initializers don't extend the lifetime of a by-value return).
+  for (const auto& [boundary, recorder] : boundaries_) {
+    BoundaryStats& view = stats_.crossings[boundary];
+    view.crossings = recorder.crossings->value();
+    view.batched = recorder.batched->value();
+    view.bytes = recorder.bytes->value();
+  }
+  return stats_;
+}
+
 std::string Image::DescribeCrossings() const {
   std::string out;
-  for (const auto& [boundary, counters] : stats_.crossings) {
+  for (const auto& [boundary, counters] : stats().crossings) {
     out += StrFormat(
         "  boundary %d -> %d: crossings=%llu batched=%llu bytes=%llu\n",
         boundary.first, boundary.second,

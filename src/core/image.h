@@ -18,6 +18,7 @@
 #include "alloc/allocator_registry.h"
 #include "core/compartment.h"
 #include "core/gate.h"
+#include "obs/metrics.h"
 #include "support/gate_router.h"
 
 namespace flexos {
@@ -37,6 +38,9 @@ inline constexpr uint64_t kGateArgBytes = 64;
 inline constexpr uint64_t kGateRetBytes = 16;
 
 // Traffic accounting for one (from-compartment, to-compartment) boundary.
+// Since PR 3 this is a read-only VIEW: the live counters are
+// gate.{crossings,batched,bytes}.* in the machine's MetricsRegistry
+// (obs/names.h); Image::stats() refreshes the view from the registry.
 struct BoundaryStats {
   uint64_t crossings = 0;  // Gate entry/exit pairs (one per batch entry).
   uint64_t batched = 0;    // Bodies executed inside batched crossings.
@@ -140,7 +144,11 @@ class Image final : public GateRouter {
   uint64_t shared_bytes() const { return shared_bytes_; }
   Allocator& shared_allocator();
 
-  const ImageStats& stats() const { return stats_; }
+  // Image call statistics. The per-boundary map inside is refreshed from
+  // the metrics registry on each call (the registry is the single source of
+  // truth; this accessor is a compatibility view). The reference stays
+  // valid for the image's lifetime.
+  const ImageStats& stats() const;
 
   // True if `lib` runs with software hardening in this image.
   bool IsHardened(std::string_view lib) const;
@@ -208,6 +216,12 @@ class Image final : public GateRouter {
   // was built without one).
   Gate& CrossGate() { return gate_ != nullptr ? *gate_ : direct_gate_; }
 
+  // Find-or-create the registry-backed recorder for one boundary. The
+  // returned reference is stable (node-based map + node-stable registry),
+  // so Resolve can park it in RouteHandle::obs.
+  const obs::BoundaryRecorder& BoundaryRecorderFor(int from_comp,
+                                                   int to_comp);
+
   Machine& machine_;
   IsolationBackend backend_;
 
@@ -227,7 +241,14 @@ class Image final : public GateRouter {
   std::set<std::string, std::less<>> vm_replicated_libs_;
   // Pseudo-context for the platform/boot "library".
   ExecContext platform_exec_;
-  ImageStats stats_;
+  // Scalar call counters live here; the per-boundary map is a view
+  // refreshed from boundaries_ by stats() (hence mutable — refreshing is
+  // logically const).
+  mutable ImageStats stats_;
+  // Registry-backed per-boundary recorders, keyed by (from, to)
+  // compartment ids. std::map: node-stable, so RouteHandle::obs pointers
+  // survive later inserts.
+  std::map<std::pair<int, int>, obs::BoundaryRecorder> boundaries_;
 
   struct ApiContract {
     std::function<bool()> precondition;

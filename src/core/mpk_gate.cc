@@ -4,7 +4,7 @@
 
 namespace flexos {
 
-GateSession MpkSharedStackGate::Enter(Machine& machine,
+GateSession MpkSharedStackGate::EnterImpl(Machine& machine,
                                       const GateCrossing& crossing) {
   FLEXOS_CHECK(crossing.target_context != nullptr,
                "MPK gate needs a target context");
@@ -19,7 +19,7 @@ GateSession MpkSharedStackGate::Enter(Machine& machine,
   return session;
 }
 
-void MpkSharedStackGate::Exit(Machine& machine, const GateCrossing& crossing,
+void MpkSharedStackGate::ExitImpl(Machine& machine, const GateCrossing& crossing,
                               const GateSession& session) {
   (void)crossing;
   // Exit: WRPKRU back and clear registers again (no data may leak).
@@ -28,7 +28,7 @@ void MpkSharedStackGate::Exit(Machine& machine, const GateCrossing& crossing,
   machine.Wrpkru(session.caller.pkru);
 }
 
-GateSession MpkSwitchedStackGate::Enter(Machine& machine,
+GateSession MpkSwitchedStackGate::EnterImpl(Machine& machine,
                                         const GateCrossing& crossing) {
   FLEXOS_CHECK(crossing.target_context != nullptr,
                "MPK gate needs a target context");
@@ -47,7 +47,7 @@ GateSession MpkSwitchedStackGate::Enter(Machine& machine,
   return session;
 }
 
-void MpkSwitchedStackGate::Exit(Machine& machine,
+void MpkSwitchedStackGate::ExitImpl(Machine& machine,
                                 const GateCrossing& crossing,
                                 const GateSession& session) {
   // Exit: copy the return value back, switch stacks, WRPKRU, scrub.

@@ -20,20 +20,25 @@ class MpkSharedStackGate final : public Gate {
  public:
   GateKind kind() const override { return GateKind::kMpkSharedStack; }
 
-  GateSession Enter(Machine& machine, const GateCrossing& crossing) override;
-  void Exit(Machine& machine, const GateCrossing& crossing,
-            const GateSession& session) override;
+ protected:
+  GateSession EnterImpl(Machine& machine,
+                        const GateCrossing& crossing) override;
+  void ExitImpl(Machine& machine, const GateCrossing& crossing,
+                const GateSession& session) override;
 };
 
 class MpkSwitchedStackGate final : public Gate {
  public:
   GateKind kind() const override { return GateKind::kMpkSwitchedStack; }
 
-  GateSession Enter(Machine& machine, const GateCrossing& crossing) override;
-  void Exit(Machine& machine, const GateCrossing& crossing,
-            const GateSession& session) override;
   void ChargeBatchItem(Machine& machine, uint64_t arg_bytes,
                        uint64_t ret_bytes) override;
+
+ protected:
+  GateSession EnterImpl(Machine& machine,
+                        const GateCrossing& crossing) override;
+  void ExitImpl(Machine& machine, const GateCrossing& crossing,
+                const GateSession& session) override;
 };
 
 }  // namespace flexos

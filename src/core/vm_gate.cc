@@ -4,7 +4,7 @@
 
 namespace flexos {
 
-GateSession VmRpcGate::Enter(Machine& machine,
+GateSession VmRpcGate::EnterImpl(Machine& machine,
                              const GateCrossing& crossing) {
   FLEXOS_CHECK(crossing.target_context != nullptr,
                "VM gate needs a target context");
@@ -21,7 +21,7 @@ GateSession VmRpcGate::Enter(Machine& machine,
   return session;
 }
 
-void VmRpcGate::Exit(Machine& machine, const GateCrossing& crossing,
+void VmRpcGate::ExitImpl(Machine& machine, const GateCrossing& crossing,
                      const GateSession& session) {
   // Response: marshal the return value back, notify the caller VM.
   if (crossing.ret_bytes > 0) {

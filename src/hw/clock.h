@@ -13,7 +13,13 @@ class Clock {
   // Defaults to the paper's testbed CPU, a Xeon Silver 4110 at 2.1 GHz.
   static constexpr uint64_t kDefaultFreqHz = 2'100'000'000ULL;
 
-  explicit Clock(uint64_t freq_hz = kDefaultFreqHz) : freq_hz_(freq_hz) {}
+  explicit Clock(uint64_t freq_hz = kDefaultFreqHz)
+      : freq_hz_(freq_hz),
+        ns_per_cycle_int_(1'000'000'000ULL / freq_hz),
+        ns_per_cycle_q64_(static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(1'000'000'000ULL % freq_hz)
+             << 64) /
+            freq_hz)) {}
 
   void Charge(uint64_t cycles) { cycles_ += cycles; }
 
@@ -31,6 +37,25 @@ class Clock {
   // Current virtual time in nanoseconds (rounded down).
   uint64_t NowNanos() const;
 
+  // Converts a cycle count (typically a small delta) to nanoseconds,
+  // rounded down — exactly floor(cycles * 1e9 / freq). Division-free: this
+  // sits on the gate-dispatch record path, where two runtime 64-bit divides
+  // per crossing cost more wall time than the rest of the dispatch. The Q64
+  // reciprocal underestimates by less than one ns over the full 64-bit
+  // range, so a single compare-and-bump restores the exact floor.
+  uint64_t CyclesToNanos(uint64_t cycles) const {
+    const uint64_t approx =
+        cycles * ns_per_cycle_int_ +
+        static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(cycles) * ns_per_cycle_q64_) >>
+            64);
+    const unsigned __int128 exact_num =
+        static_cast<unsigned __int128>(cycles) * 1'000'000'000ULL;
+    const unsigned __int128 next =
+        static_cast<unsigned __int128>(approx + 1) * freq_hz_;
+    return next <= exact_num ? approx + 1 : approx;
+  }
+
   // Current virtual time in seconds.
   double NowSeconds() const {
     return static_cast<double>(cycles_) / static_cast<double>(freq_hz_);
@@ -43,6 +68,10 @@ class Clock {
 
  private:
   uint64_t freq_hz_;
+  // floor(1e9 / freq) and the Q64 fixed-point fraction of the remainder:
+  // together the exact ns-per-cycle ratio used by CyclesToNanos.
+  uint64_t ns_per_cycle_int_;
+  uint64_t ns_per_cycle_q64_;
   uint64_t cycles_ = 0;
 };
 

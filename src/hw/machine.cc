@@ -2,6 +2,23 @@
 
 namespace flexos {
 
+Machine::Machine(uint64_t freq_hz, CostModel costs)
+    : clock_(freq_hz), costs_(costs) {
+  // Trace timestamps are virtual nanoseconds from this machine's clock, so
+  // traces are deterministic. Non-capturing lambda: the obs layer cannot
+  // include hw/ headers (it sits below support/).
+  tracer_.SetTimeSource(
+      [](void* ctx) {
+        return static_cast<const Clock*>(ctx)->NowNanos();
+      },
+      &clock_);
+  // Newest machine wins the global slot used by the log->trace bridge;
+  // multi-machine tests only trace the machine under test.
+  obs::Tracer::SetActive(&tracer_);
+}
+
+Machine::~Machine() = default;
+
 void Machine::Wrpkru(Pkru pkru) {
   clock_.Charge(costs_.wrpkru);
   ++stats_.wrpkru_count;

@@ -10,6 +10,8 @@
 #include "hw/clock.h"
 #include "hw/cost_model.h"
 #include "hw/pkru.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace flexos {
 
@@ -37,8 +39,8 @@ struct MachineStats {
 class Machine {
  public:
   explicit Machine(uint64_t freq_hz = Clock::kDefaultFreqHz,
-                   CostModel costs = CostModel{})
-      : clock_(freq_hz), costs_(costs) {}
+                   CostModel costs = CostModel{});
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -61,6 +63,17 @@ class Machine {
   MachineStats& stats() { return stats_; }
   const MachineStats& stats() const { return stats_; }
 
+  // Unified metrics (DESIGN.md §7). Components resolve their counters /
+  // histograms here once at construction and record through pointers.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Event tracer; records in virtual (modeled) time. Disabled by default —
+  // enable with tracer().SetEnabled(true) or compile out entirely with
+  // -DFLEXOS_OBS_DISABLED.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
   // Charges `cycles` of modeled computation. Compute charges are
   // instrumentation-insensitive: ASAN-class hardening taxes memory
   // operations (ChargeMemOp), not stall/branch-dominated fixed work.
@@ -74,6 +87,8 @@ class Machine {
   CostModel costs_;
   ExecContext context_;
   MachineStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
 };
 
 // RAII guard that installs an ExecContext and restores the previous one;

@@ -1,5 +1,6 @@
 #include "net/netstack.h"
 
+#include "obs/names.h"
 #include "support/log.h"
 
 namespace flexos {
@@ -18,7 +19,21 @@ NetStack::NetStack(const Deps& deps, TcpConfig tcp_config)
                            .router = deps.router},
            tcp_config),
       udp_(deps.machine, deps.space, deps.scheduler, deps.nic, deps.router),
-      arp_(deps.machine, deps.scheduler, deps.nic, deps.router) {}
+      arp_(deps.machine, deps.scheduler, deps.nic, deps.router) {
+  obs::MetricsRegistry& metrics = machine_.metrics();
+  frames_polled_counter_ = &metrics.GetCounter(obs::kMetricFramesPolled);
+  parse_errors_counter_ = &metrics.GetCounter(obs::kMetricParseErrors);
+  unhandled_frames_counter_ = &metrics.GetCounter(obs::kMetricUnhandledFrames);
+  icmp_echoes_counter_ = &metrics.GetCounter(obs::kMetricIcmpEchoes);
+}
+
+const NetStackStats& NetStack::stats() const {
+  stats_.frames_polled = frames_polled_counter_->value();
+  stats_.parse_errors = parse_errors_counter_->value();
+  stats_.unhandled_frames = unhandled_frames_counter_->value();
+  stats_.icmp_echoes_answered = icmp_echoes_counter_->value();
+  return stats_;
+}
 
 Result<int> NetStack::TcpConnect(Ipv4Addr dst_ip, Port dst_port) {
   FLEXOS_ASSIGN_OR_RETURN(MacAddr dst_mac, arp_.Resolve(dst_ip));
@@ -36,6 +51,11 @@ std::optional<uint64_t> NetStack::NextEventCycles() const {
 
 bool NetStack::Poll() {
   bool progress = false;
+  uint64_t frames = 0;
+  // Stamped before the gate crossing so the poll span covers it.
+  obs::Tracer& tracer = machine_.tracer();
+  const bool tracing = tracer.enabled();
+  const uint64_t poll_start_ns = tracing ? tracer.NowNs() : 0;
   router_.Call(platform_to_net_, [&] {
     // All semaphore wakeups this poll produces (data arrival, window
     // opening, accept, FIN, reset — across every frame drained below and
@@ -43,11 +63,12 @@ bool NetStack::Poll() {
     tcp_.BeginSignalScope();
     while (nic_.HasRx()) {
       progress = true;
-      ++stats_.frames_polled;
+      ++frames;
+      frames_polled_counter_->Add();
       const std::vector<uint8_t> raw = nic_.PopRx();
       Result<ParsedFrame> parsed = ParseFrame(raw);
       if (!parsed.ok()) {
-        ++stats_.parse_errors;
+        parse_errors_counter_->Add();
         FLEXOS_DEBUG("netstack: dropping frame: %s",
                      parsed.status().ToString().c_str());
         continue;
@@ -60,7 +81,7 @@ bool NetStack::Poll() {
         // Answer echo requests addressed to us.
         if (frame.icmp->type == kIcmpEchoRequest &&
             frame.ip.dst == nic_.ip()) {
-          ++stats_.icmp_echoes_answered;
+          icmp_echoes_counter_->Add();
           machine_.ChargeCompute(machine_.costs().pkt_rx_fixed / 2);
           machine_.ChargeCompute(machine_.costs().pkt_tx_fixed / 2);
           IcmpEcho reply;
@@ -74,7 +95,7 @@ bool NetStack::Poll() {
         continue;
       }
       if (!tcp_.OnFrame(frame) && !udp_.OnFrame(frame)) {
-        ++stats_.unhandled_frames;
+        unhandled_frames_counter_->Add();
       }
     }
     if (tcp_.ProcessTimers()) {
@@ -85,6 +106,13 @@ bool NetStack::Poll() {
       progress = true;
     }
   });
+  // Only productive polls get a span: the idle loop polls constantly and
+  // would otherwise flood the trace ring with empty entries.
+  if (tracing && progress) {
+    tracer.RecordComplete(obs::TraceCat::kNet, "net.poll", poll_start_ns,
+                          tracer.NowNs() - poll_start_ns,
+                          platform_to_net_.to_comp + 1, frames, 0);
+  }
   return progress;
 }
 

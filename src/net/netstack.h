@@ -12,6 +12,8 @@
 
 namespace flexos {
 
+// Read-only view of the stack's net.* registry counters (obs/names.h);
+// refreshed by NetStack::stats(). The registry is the source of truth.
 struct NetStackStats {
   uint64_t frames_polled = 0;
   uint64_t parse_errors = 0;
@@ -49,7 +51,9 @@ class NetStack {
   // Earliest TCP/ARP timer deadline, if any (for idle time-skipping).
   std::optional<uint64_t> NextEventCycles() const;
 
-  const NetStackStats& stats() const { return stats_; }
+  // Refreshes and returns the stats view (reference valid for the stack's
+  // lifetime; counters live in the machine's MetricsRegistry).
+  const NetStackStats& stats() const;
 
  private:
   Machine& machine_;
@@ -60,7 +64,13 @@ class NetStack {
   TcpEngine tcp_;
   UdpEngine udp_;
   ArpEngine arp_;
-  NetStackStats stats_;
+  // Registry-resolved counters; the mutable struct is the compatibility
+  // view stats() refreshes.
+  obs::Counter* frames_polled_counter_;
+  obs::Counter* parse_errors_counter_;
+  obs::Counter* unhandled_frames_counter_;
+  obs::Counter* icmp_echoes_counter_;
+  mutable NetStackStats stats_;
 };
 
 }  // namespace flexos

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/names.h"
 #include "support/log.h"
 #include "support/strings.h"
 
@@ -47,7 +48,31 @@ TcpEngine::TcpEngine(const Deps& deps, TcpConfig config)
       router_(deps.router),
       config_(config),
       net_to_libc_(router_.Resolve(kLibNet, kLibLibc)),
-      libc_to_sched_(router_.Resolve(kLibLibc, kLibSched)) {}
+      libc_to_sched_(router_.Resolve(kLibLibc, kLibSched)) {
+  obs::MetricsRegistry& metrics = machine_.metrics();
+  counters_.segments_rx = &metrics.GetCounter(obs::kMetricTcpSegmentsRx);
+  counters_.segments_tx = &metrics.GetCounter(obs::kMetricTcpSegmentsTx);
+  counters_.bytes_rx = &metrics.GetCounter(obs::kMetricTcpBytesRx);
+  counters_.bytes_tx = &metrics.GetCounter(obs::kMetricTcpBytesTx);
+  counters_.retransmits = &metrics.GetCounter(obs::kMetricTcpRetransmits);
+  counters_.out_of_order_drops =
+      &metrics.GetCounter(obs::kMetricTcpOooDrops);
+  counters_.conns_accepted =
+      &metrics.GetCounter(obs::kMetricTcpConnsAccepted);
+  counters_.resets = &metrics.GetCounter(obs::kMetricTcpResets);
+}
+
+const TcpStats& TcpEngine::stats() const {
+  stats_.segments_rx = counters_.segments_rx->value();
+  stats_.segments_tx = counters_.segments_tx->value();
+  stats_.bytes_rx = counters_.bytes_rx->value();
+  stats_.bytes_tx = counters_.bytes_tx->value();
+  stats_.retransmits = counters_.retransmits->value();
+  stats_.out_of_order_drops = counters_.out_of_order_drops->value();
+  stats_.conns_accepted = counters_.conns_accepted->value();
+  stats_.resets = counters_.resets->value();
+  return stats_;
+}
 
 void TcpEngine::SignalSem(Semaphore* sem) {
   if (!signal_scope_) {
@@ -222,7 +247,7 @@ Result<int> TcpEngine::Accept(int listener_id) {
   Conn* conn = FindConn(conn_id);
   FLEXOS_CHECK(conn != nullptr, "pending conn vanished");
   conn->listener_id = -1;
-  ++stats_.conns_accepted;
+  counters_.conns_accepted->Add();
   return conn_id;
 }
 
@@ -251,8 +276,11 @@ void TcpEngine::TransmitSegment(Conn& conn, uint8_t flags, uint32_t seq,
   std::vector<uint8_t> frame =
       BuildTcpFrame(nic_.mac(), conn.remote_mac, nic_.ip(),
                     conn.key.remote_ip, header, payload, payload_len);
-  ++stats_.segments_tx;
-  stats_.bytes_tx += payload_len;
+  counters_.segments_tx->Add();
+  counters_.bytes_tx->Add(payload_len);
+  machine_.tracer().RecordInstant(obs::TraceCat::kNet, "net.tcp.tx",
+                                  machine_.context().compartment + 1,
+                                  payload_len, flags);
   nic_.Transmit(std::move(frame));
 }
 
@@ -382,7 +410,7 @@ Result<uint64_t> TcpEngine::Recv(int conn_id, Gaddr addr, uint64_t len) {
   router_.CallLeaf(net_to_libc_, [&] {
     copied = conn->recv_ring->PopToGuest(addr, len);
   });
-  stats_.bytes_rx += copied;
+  counters_.bytes_rx->Add(copied);
   // Window update: if we had clamped the advertised window and reading
   // reopened it, tell the peer (otherwise a zero-window stall can only be
   // broken by the peer's persist probe).
@@ -552,7 +580,7 @@ void TcpEngine::AcceptPayload(Conn& conn, const ParsedFrame& frame) {
       need_ack = true;
     } else {
       // Out-of-order or duplicate: drop and re-ACK (go-back-N receiver).
-      ++stats_.out_of_order_drops;
+      counters_.out_of_order_drops->Add();
       need_ack = true;
     }
   }
@@ -589,7 +617,7 @@ void TcpEngine::AcceptPayload(Conn& conn, const ParsedFrame& frame) {
 }
 
 void TcpEngine::AbortConn(Conn& conn) {
-  ++stats_.resets;
+  counters_.resets->Add();
   conn.state = TcpState::kClosed;
   conn_by_key_.erase(conn.key);
   // A reset signals both directions — a classic signal storm. The two
@@ -666,7 +694,10 @@ bool TcpEngine::OnFrame(const ParsedFrame& frame) {
   if (!frame.tcp.has_value()) {
     return false;
   }
-  ++stats_.segments_rx;
+  counters_.segments_rx->Add();
+  machine_.tracer().RecordInstant(obs::TraceCat::kNet, "net.tcp.rx",
+                                  machine_.context().compartment + 1,
+                                  frame.payload.size(), frame.tcp->flags);
   machine_.ChargeCompute(machine_.costs().pkt_rx_fixed);
   machine_.ChargeCompute(
       static_cast<uint64_t>(machine_.costs().pkt_per_byte *
@@ -726,7 +757,7 @@ bool TcpEngine::ProcessTimers() {
 }
 
 void TcpEngine::RetransmitFrom(Conn& conn) {
-  ++stats_.retransmits;
+  counters_.retransmits->Add();
   ++conn.retries;
   if (conn.retries > config_.max_retries) {
     AbortConn(conn);

@@ -18,6 +18,7 @@
 
 #include "alloc/allocator.h"
 #include "libc/ring_buffer.h"
+#include "obs/metrics.h"
 #include "libc/semaphore.h"
 #include "net/nic.h"
 #include "net/wire.h"
@@ -57,6 +58,8 @@ struct TcpConfig {
   bool batch_crossings = false;
 };
 
+// Read-only view of the engine's net.tcp.* registry counters (obs/names.h);
+// refreshed by TcpEngine::stats(). The registry is the source of truth.
 struct TcpStats {
   uint64_t segments_rx = 0;
   uint64_t segments_tx = 0;
@@ -137,7 +140,9 @@ class TcpEngine {
   // Earliest pending timer deadline in cycles, if any.
   std::optional<uint64_t> NextTimerCycles() const;
 
-  const TcpStats& stats() const { return stats_; }
+  // Refreshes and returns the stats view (reference valid for the engine's
+  // lifetime; counters live in the machine's MetricsRegistry).
+  const TcpStats& stats() const;
 
  private:
   struct ConnKey {
@@ -254,7 +259,20 @@ class TcpEngine {
   std::unordered_map<int, std::unique_ptr<Listener>> listeners_;
   int next_id_ = 1;
   Port next_ephemeral_ = 49152;
-  TcpStats stats_;
+  // Registry-resolved counters; the mutable struct is the compatibility
+  // view stats() refreshes.
+  struct Counters {
+    obs::Counter* segments_rx;
+    obs::Counter* segments_tx;
+    obs::Counter* bytes_rx;
+    obs::Counter* bytes_tx;
+    obs::Counter* retransmits;
+    obs::Counter* out_of_order_drops;
+    obs::Counter* conns_accepted;
+    obs::Counter* resets;
+  };
+  Counters counters_{};
+  mutable TcpStats stats_;
 };
 
 }  // namespace flexos

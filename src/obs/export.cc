@@ -1,0 +1,180 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace flexos {
+namespace obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+const char* CategoryName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kGate:
+      return "gate";
+    case TraceCat::kSched:
+      return "sched";
+    case TraceCat::kAlloc:
+      return "alloc";
+    case TraceCat::kNet:
+      return "net";
+    case TraceCat::kLog:
+      return "log";
+  }
+  return "other";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const MetricsRegistry::Entry& entry : registry.Entries()) {
+    if (entry.counter != nullptr) {
+      if (!counters.empty()) {
+        counters += ',';
+      }
+      counters += '"';
+      counters += JsonEscape(entry.name);
+      counters += "\":";
+      AppendU64(&counters, entry.counter->value());
+    } else if (entry.gauge != nullptr) {
+      if (!gauges.empty()) {
+        gauges += ',';
+      }
+      gauges += '"';
+      gauges += JsonEscape(entry.name);
+      gauges += "\":";
+      AppendI64(&gauges, entry.gauge->value());
+    } else if (entry.histogram != nullptr) {
+      if (!histograms.empty()) {
+        histograms += ',';
+      }
+      const LatencyHistogram& h = *entry.histogram;
+      histograms += '"';
+      histograms += JsonEscape(entry.name);
+      histograms += "\":{\"count\":";
+      AppendU64(&histograms, h.count());
+      histograms += ",\"sum\":";
+      AppendU64(&histograms, h.sum());
+      histograms += ",\"min\":";
+      AppendU64(&histograms, h.min());
+      histograms += ",\"max\":";
+      AppendU64(&histograms, h.max());
+      histograms += ",\"mean\":";
+      AppendDouble(&histograms, h.Mean());
+      histograms += ",\"p50\":";
+      AppendU64(&histograms, h.Percentile(50));
+      histograms += ",\"p90\":";
+      AppendU64(&histograms, h.Percentile(90));
+      histograms += ",\"p99\":";
+      AppendU64(&histograms, h.Percentile(99));
+      histograms += ",\"overflow\":";
+      AppendU64(&histograms, h.overflow());
+      histograms += '}';
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out += counters;
+  out += "},\"gauges\":{";
+  out += gauges;
+  out += "},\"histograms\":{";
+  out += histograms;
+  out += "}}";
+  return out;
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(event.name != nullptr ? event.name : "event");
+    out += "\",\"cat\":\"";
+    out += CategoryName(event.cat);
+    out += "\",\"ph\":\"";
+    out += event.phase == TracePhase::kComplete ? 'X' : 'i';
+    out += "\",\"pid\":1,\"tid\":";
+    AppendI64(&out, event.tid);
+    out += ",\"ts\":";
+    AppendDouble(&out, static_cast<double>(event.ts_ns) / 1000.0);
+    if (event.phase == TracePhase::kComplete) {
+      out += ",\"dur\":";
+      AppendDouble(&out, static_cast<double>(event.dur_ns) / 1000.0);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{\"a0\":";
+    AppendU64(&out, event.a0);
+    out += ",\"a1\":";
+    AppendU64(&out, event.a1);
+    if (event.text[0] != '\0') {
+      out += ",\"msg\":\"";
+      out += JsonEscape(event.text);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace flexos

@@ -1,0 +1,32 @@
+// Exporters: snapshot a MetricsRegistry to JSON, and dump trace events in
+// Chrome trace-event format (the JSON object form, {"traceEvents":[...]}),
+// loadable in Perfetto / chrome://tracing. Schema notes in DESIGN.md §7.
+#ifndef FLEXOS_OBS_EXPORT_H_
+#define FLEXOS_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flexos {
+namespace obs {
+
+// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+// mean,p50,p90,p99,overflow}}} — keys sorted, stable across runs.
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+// Chrome trace-event JSON. ts/dur are microseconds (doubles; the format's
+// unit), pid is always 1, tid is the event's track id (compartment + 1).
+// Complete spans use ph "X"; instants use ph "i" with scope "t". Event args
+// carry a0/a1 and, when present, the inline text payload as "msg".
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace flexos
+
+#endif  // FLEXOS_OBS_EXPORT_H_

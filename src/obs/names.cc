@@ -1,0 +1,61 @@
+#include "obs/names.h"
+
+namespace flexos {
+namespace obs {
+
+std::string CompartmentLabel(int comp) {
+  if (comp < 0) {
+    return "platform";
+  }
+  return "c" + std::to_string(comp);
+}
+
+std::string GateMetricName(std::string_view family, std::string_view backend,
+                           int from_comp, int to_comp) {
+  std::string name = "gate.";
+  name += family;
+  name += '.';
+  name += backend;
+  name += '.';
+  name += CompartmentLabel(from_comp);
+  name += '.';
+  name += CompartmentLabel(to_comp);
+  return name;
+}
+
+bool ParseGateMetricName(std::string_view name, GateMetricParts* out) {
+  constexpr std::string_view kPrefix = "gate.";
+  if (name.substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  std::string_view rest = name.substr(kPrefix.size());
+  // family and backend never contain '.', and from/to are single labels, so
+  // the name splits into exactly four '.'-separated fields.
+  std::string_view fields[4];
+  for (int i = 0; i < 4; ++i) {
+    const size_t dot = rest.find('.');
+    if (i < 3) {
+      if (dot == std::string_view::npos) {
+        return false;
+      }
+      fields[i] = rest.substr(0, dot);
+      rest = rest.substr(dot + 1);
+    } else {
+      if (dot != std::string_view::npos) {
+        return false;
+      }
+      fields[i] = rest;
+    }
+    if (fields[i].empty()) {
+      return false;
+    }
+  }
+  out->family = fields[0];
+  out->backend = fields[1];
+  out->from = fields[2];
+  out->to = fields[3];
+  return true;
+}
+
+}  // namespace obs
+}  // namespace flexos

@@ -1,0 +1,81 @@
+// Metric naming convention (DESIGN.md §7). One scheme shared by the runtime
+// instrumentation, flexstat's table renderer, and flexlint's --json output,
+// so dashboards and lint can never disagree about what a boundary is called.
+//
+// Gate boundary metrics:
+//   gate.crossings.<backend>.<from>.<to>   counter  entry/exit pairs
+//   gate.batched.<backend>.<from>.<to>     counter  bodies inside batches
+//   gate.bytes.<backend>.<from>.<to>       counter  marshalled bytes
+//   gate.latency_ns.<backend>.<from>.<to>  histogram gate overhead / crossing
+// where <backend> is the image's IsolationBackendName spelling, as used by
+// configs (none, mpk-shared, mpk-switched, vm-rpc) and <from>/<to> are
+// `c<id>` for
+// compartments or `platform` for calls originating outside any compartment
+// (SpawnApp's platform->app entry edge uses from_comp = -1).
+#ifndef FLEXOS_OBS_NAMES_H_
+#define FLEXOS_OBS_NAMES_H_
+
+#include <string>
+#include <string_view>
+
+namespace flexos {
+namespace obs {
+
+// Well-known non-boundary metrics. Components and tests share these
+// constants instead of scattering string literals.
+inline constexpr std::string_view kMetricContextSwitches =
+    "sched.context_switches";
+inline constexpr std::string_view kMetricSchedSliceNs = "sched.run_slice_ns";
+inline constexpr std::string_view kMetricSchedContractChecks =
+    "sched.contract_checks";
+inline constexpr std::string_view kMetricAllocCount = "alloc.allocations";
+inline constexpr std::string_view kMetricFreeCount = "alloc.frees";
+inline constexpr std::string_view kMetricAllocBytes = "alloc.bytes_allocated";
+inline constexpr std::string_view kMetricAllocLive = "alloc.bytes_live";
+inline constexpr std::string_view kMetricQuarantineBytes =
+    "alloc.quarantine_bytes";
+inline constexpr std::string_view kMetricFramesPolled = "net.frames_polled";
+inline constexpr std::string_view kMetricParseErrors = "net.parse_errors";
+inline constexpr std::string_view kMetricUnhandledFrames =
+    "net.unhandled_frames";
+inline constexpr std::string_view kMetricIcmpEchoes =
+    "net.icmp_echoes_answered";
+inline constexpr std::string_view kMetricTcpSegmentsRx = "net.tcp.segments_rx";
+inline constexpr std::string_view kMetricTcpSegmentsTx = "net.tcp.segments_tx";
+inline constexpr std::string_view kMetricTcpBytesRx = "net.tcp.bytes_rx";
+inline constexpr std::string_view kMetricTcpBytesTx = "net.tcp.bytes_tx";
+inline constexpr std::string_view kMetricTcpRetransmits =
+    "net.tcp.retransmits";
+inline constexpr std::string_view kMetricTcpOooDrops =
+    "net.tcp.out_of_order_drops";
+inline constexpr std::string_view kMetricTcpConnsAccepted =
+    "net.tcp.conns_accepted";
+inline constexpr std::string_view kMetricTcpResets = "net.tcp.resets";
+
+// The four per-boundary metric families, in the order flexstat prints them.
+inline constexpr std::string_view kGateFamilies[] = {
+    "crossings", "batched", "bytes", "latency_ns"};
+
+// "c3", or "platform" for compartment id < 0.
+std::string CompartmentLabel(int comp);
+
+// gate.<family>.<backend>.<from>.<to>
+std::string GateMetricName(std::string_view family, std::string_view backend,
+                           int from_comp, int to_comp);
+
+// Parsed form of a gate boundary metric name.
+struct GateMetricParts {
+  std::string_view family;   // crossings | batched | bytes | latency_ns
+  std::string_view backend;  // direct | mpk-shared | ...
+  std::string_view from;     // "c0" | "platform"
+  std::string_view to;
+};
+
+// Splits a "gate.<family>.<backend>.<from>.<to>" name; returns false for
+// anything else. Views point into `name`.
+bool ParseGateMetricName(std::string_view name, GateMetricParts* out);
+
+}  // namespace obs
+}  // namespace flexos
+
+#endif  // FLEXOS_OBS_NAMES_H_

@@ -1,12 +1,17 @@
 #include "sched/coop_scheduler.h"
 
+#include "obs/names.h"
 #include "support/log.h"
 
 namespace flexos {
 
 CoopScheduler* CoopScheduler::active_ = nullptr;
 
-CoopScheduler::CoopScheduler(Machine& machine) : machine_(machine) {}
+CoopScheduler::CoopScheduler(Machine& machine)
+    : machine_(machine),
+      switch_counter_(
+          &machine.metrics().GetCounter(obs::kMetricContextSwitches)),
+      slice_hist_(&machine.metrics().GetHistogram(obs::kMetricSchedSliceNs)) {}
 
 CoopScheduler::~CoopScheduler() {
   if (active_ == this) {
@@ -79,6 +84,9 @@ void CoopScheduler::Trampoline() {
 CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   machine_.clock().Charge(SwitchCost());
   ++context_switches_;
+  switch_counter_->Add();
+  obs::Tracer& tracer = machine_.tracer();
+  const uint64_t slice_start_ns = tracer.enabled() ? tracer.NowNs() : 0;
   current_ = thread;
   thread->state_ = ThreadState::kRunning;
   const ExecContext run_loop_context = machine_.context();
@@ -96,6 +104,19 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   thread->exec_context_ = machine_.context();
   machine_.context() = run_loop_context;
   current_ = nullptr;
+  // The slice this thread just ran, in virtual time. Static span name +
+  // thread id in a0: the event must not reference the thread's name, whose
+  // storage can die before the trace is exported. Track = the compartment
+  // the thread ended its slice in.
+  if (tracer.enabled()) {
+    const uint64_t now_ns = tracer.NowNs();
+    slice_hist_->Record(now_ns - slice_start_ns);
+    tracer.RecordComplete(obs::TraceCat::kSched, "sched.run_slice",
+                          slice_start_ns, now_ns - slice_start_ns,
+                          /*tid=*/thread->exec_context_.compartment + 1,
+                          /*a0=*/thread->id(),
+                          /*a1=*/static_cast<uint64_t>(pending_reason_));
+  }
   return pending_reason_;
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sched/scheduler.h"
 #include "sched/wait_queue.h"
 
@@ -64,6 +65,10 @@ class CoopScheduler : public Scheduler {
   void SwitchToRunLoop(SwitchReason reason);
 
   Machine& machine_;
+  // Registry-resolved metrics (obs/names.h): context-switch counter and
+  // run-slice length histogram, recorded per SwitchTo.
+  obs::Counter* switch_counter_;
+  obs::LatencyHistogram* slice_hist_;
   std::vector<std::unique_ptr<Thread>> threads_;
   IntrusiveList<Thread, Thread::kRunNode> ready_queue_;
   Thread* current_ = nullptr;

@@ -2,12 +2,19 @@
 
 #include <unordered_set>
 
+#include "obs/names.h"
 #include "support/strings.h"
 
 namespace flexos {
 
+VerifiedScheduler::VerifiedScheduler(Machine& machine)
+    : CoopScheduler(machine),
+      contract_counter_(
+          &machine.metrics().GetCounter(obs::kMetricSchedContractChecks)) {}
+
 void VerifiedScheduler::CheckAddPrecondition(const Thread* thread) {
   ++contract_checks_;
+  contract_counter_->Add();
   if (thread == nullptr) {
     return;  // Reported as a Status by the caller.
   }
@@ -24,6 +31,7 @@ void VerifiedScheduler::CheckAddPrecondition(const Thread* thread) {
 
 void VerifiedScheduler::CheckRunQueueInvariant() {
   ++contract_checks_;
+  contract_counter_->Add();
   std::unordered_set<const Thread*> seen;
   for (Thread& thread : ready_queue()) {
     if (!seen.insert(&thread).second) {

@@ -22,7 +22,7 @@ namespace flexos {
 
 class VerifiedScheduler final : public CoopScheduler {
  public:
-  explicit VerifiedScheduler(Machine& machine) : CoopScheduler(machine) {}
+  explicit VerifiedScheduler(Machine& machine);
 
   uint64_t contract_checks() const { return contract_checks_; }
 
@@ -33,6 +33,7 @@ class VerifiedScheduler final : public CoopScheduler {
 
  private:
   uint64_t contract_checks_ = 0;
+  obs::Counter* contract_counter_;  // sched.contract_checks
 };
 
 }  // namespace flexos

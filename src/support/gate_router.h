@@ -35,6 +35,10 @@ namespace flexos {
 struct ExecContext;  // hw/machine.h
 class Gate;          // core/gate.h
 
+namespace obs {
+struct BoundaryRecorder;  // obs/metrics.h
+}  // namespace obs
+
 // Well-known micro-library names used by the in-tree components. Metadata
 // and image configs refer to libraries by these strings.
 inline constexpr std::string_view kLibApp = "app";
@@ -68,6 +72,10 @@ struct RouteHandle {
   bool hardened = false;     // Target library is SH-instrumented.
   bool vm_local = false;     // VM-replicated target: leaf-local (kVmRpc).
   bool to_platform = false;  // Target is the platform pseudo-library.
+  // Per-boundary metrics for cross routes, resolved once with the route so
+  // the dispatch fast path records counters through pointers instead of a
+  // per-call map lookup (owned by the router; null on non-cross routes).
+  const obs::BoundaryRecorder* obs = nullptr;
 };
 
 class GateBatch;

@@ -1,12 +1,17 @@
 #include "support/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+
+#include "obs/trace.h"
 
 namespace flexos {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogSinkFn> g_sink{nullptr};
+std::atomic<void*> g_sink_ctx{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -26,11 +31,27 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+void StderrSink(const LogRecord& record, void* /*ctx*/) {
+  std::fprintf(stderr, "[%s %s:%d] %.*s\n", LevelTag(record.level),
+               record.file, record.line,
+               static_cast<int>(record.message.size()),
+               record.message.data());
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSinkFn fn, void* ctx) {
+  g_sink_ctx.store(ctx, std::memory_order_relaxed);
+  g_sink.store(fn, std::memory_order_release);
+}
 
 void LogImpl(LogLevel level, const char* file, int line, const char* format,
              ...) {
@@ -41,12 +62,31 @@ void LogImpl(LogLevel level, const char* file, int line, const char* format,
       base = p + 1;
     }
   }
-  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), base, line);
+  char buf[512];
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  const int n = std::vsnprintf(buf, sizeof(buf), format, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  const std::string_view message(
+      buf, n < 0 ? 0
+                 : (static_cast<size_t>(n) < sizeof(buf)
+                        ? static_cast<size_t>(n)
+                        : sizeof(buf) - 1));
+
+  const LogRecord record{level, base, line, message};
+  const LogSinkFn sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(record, g_sink_ctx.load(std::memory_order_relaxed));
+  } else {
+    StderrSink(record, nullptr);
+  }
+
+  // Mirror warn+ into the trace so warnings show up on the timeline.
+  // No-op when tracing is off or compiled out.
+  if (level >= LogLevel::kWarn) {
+    obs::TraceLogMessage(level == LogLevel::kError ? "ERROR" : "WARN",
+                         message);
+  }
 }
 
 }  // namespace flexos

@@ -1,7 +1,14 @@
-// Minimal leveled logging to stderr. The level is a process-global runtime
-// knob; benchmarks default to kWarn so modeled hot paths stay quiet.
+// Minimal leveled logging. The level is a process-global runtime knob
+// (atomic — schedulers and tests flip it while fiber stacks are live);
+// benchmarks default to kWarn so modeled hot paths stay quiet.
+//
+// Output goes through a pluggable sink (default: stderr). Independently of
+// the sink, warn+ messages are mirrored into the active trace-event buffer
+// when tracing is on, so a Perfetto timeline shows warnings in context.
 #ifndef FLEXOS_SUPPORT_LOG_H_
 #define FLEXOS_SUPPORT_LOG_H_
+
+#include <string_view>
 
 namespace flexos {
 
@@ -16,6 +23,20 @@ enum class LogLevel : int {
 
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// A fully formatted log line, before presentation.
+struct LogRecord {
+  LogLevel level;
+  const char* file;  // Basename only.
+  int line;
+  std::string_view message;  // Formatted body, no trailing newline.
+};
+
+// Replaces the output sink; fn == nullptr restores the default stderr
+// sink. The ctx pointer is passed back on every call. The trace-event
+// mirror is unaffected by the sink choice.
+using LogSinkFn = void (*)(const LogRecord& record, void* ctx);
+void SetLogSink(LogSinkFn fn, void* ctx);
 
 void LogImpl(LogLevel level, const char* file, int line, const char* format,
              ...) __attribute__((format(printf, 4, 5)));

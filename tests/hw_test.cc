@@ -36,6 +36,27 @@ TEST(Clock, LargeCycleCountsDontOverflowNanos) {
   EXPECT_EQ(clock.NowNanos(), 1'000'000'000'000ull);
 }
 
+// CyclesToNanos uses a division-free fixed-point reciprocal (it sits on the
+// gate-dispatch record path); pin it to the reference division so the
+// fast path stays an exact floor at any frequency, including ones above
+// and below 1 GHz and divisible-boundary inputs like 21 cycles at 2.1 GHz.
+TEST(Clock, CyclesToNanosMatchesReferenceDivision) {
+  for (uint64_t freq :
+       {2'100'000'000ull, 1'000'000'000ull, 999'999'937ull, 3'500'000'000ull,
+        1'000'000ull}) {
+    Clock clock(freq);
+    for (uint64_t cycles : std::initializer_list<uint64_t>{
+             0, 1, 7, 20, 21, 22, 238, 8051, 123'457, freq - 1, freq,
+             freq + 1, 1000 * freq + 12'345}) {
+      const uint64_t expected =
+          (cycles / freq) * 1'000'000'000ull +
+          (cycles % freq) * 1'000'000'000ull / freq;
+      EXPECT_EQ(clock.CyclesToNanos(cycles), expected)
+          << "cycles=" << cycles << " freq=" << freq;
+    }
+  }
+}
+
 TEST(Pkru, AllowAllAllowsEverything) {
   const Pkru pkru = Pkru::AllowAll();
   for (Pkey key = 0; key < kNumPkeys; ++key) {

@@ -355,6 +355,33 @@ TEST(LintReportRendering, TextAndJsonNameTheRule) {
   EXPECT_NE(report.ToText().find("fix:"), std::string::npos);
 }
 
+TEST(LintReportRendering, BoundaryMetricNamesMatchTheObsConvention) {
+  const LintModel model =
+      ExtractModel(TwoCompartments(IsolationBackend::kMpkSharedStack),
+                   BuiltinMetaResolver());
+  const std::string json = BoundaryMetricNamesJson(model);
+  // net (c0) and the rest (c1) call each other: both directions appear,
+  // each with all four gate.* metric families in obs/names.h spelling.
+  EXPECT_NE(json.find("\"from\":\"c0\",\"to\":\"c1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"from\":\"c1\",\"to\":\"c0\""), std::string::npos);
+  for (const char* family : {"crossings", "batched", "bytes", "latency_ns"}) {
+    EXPECT_NE(json.find(std::string("\"gate.") + family +
+                        ".mpk-shared.c1.c0\""),
+              std::string::npos)
+        << family;
+  }
+  // One of the edges crossing net's boundary is declared in the metadata.
+  EXPECT_NE(json.find("\"edges\""), std::string::npos);
+
+  // A single-compartment image has no boundaries to report.
+  ImageConfig baseline;
+  baseline.compartments = {{"net", "app", "sched", "libc", "alloc"}};
+  EXPECT_EQ(BoundaryMetricNamesJson(
+                ExtractModel(baseline, BuiltinMetaResolver())),
+            "[]");
+}
+
 TEST(StrictCompat, RejectedConfigNamesTheViolatedClause) {
   const Status status =
       ParseImageConfig(

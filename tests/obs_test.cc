@@ -1,0 +1,676 @@
+// Observability layer tests (PR 3): histogram bucket math, trace ring
+// semantics, exporter schemas, the log bridge, and end-to-end metric
+// recording through a built image.
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/image_builder.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "support/log.h"
+
+namespace flexos {
+namespace {
+
+using obs::LatencyHistogram;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser, just enough to validate exporter
+// output structurally (objects, arrays, strings, numbers, bools, null).
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return false;
+            }
+            pos_ += 4;  // Validated as hex by strtol below? Keep simple.
+            c = '?';
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipSpace();
+      if (Consume('}')) {
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) {
+          return false;
+        }
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->fields.emplace(std::move(key), std::move(value));
+        if (Consume('}')) {
+          return true;
+        }
+        if (!Consume(',')) {
+          return false;
+        }
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipSpace();
+      if (Consume(']')) {
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->items.push_back(std::move(value));
+        if (Consume(']')) {
+          return true;
+        }
+        if (!Consume(',')) {
+          return false;
+        }
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) {
+      return false;
+    }
+    out->kind = JsonValue::kNumber;
+    out->number = std::stod(std::string(text_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math.
+
+TEST(LatencyHistogramTest, ExactBucketsForSmallValues) {
+  for (uint64_t v = 0; v < LatencyHistogram::kLinearBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketEdges) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // one below it to the previous bucket.
+  for (int i = 1; i < LatencyHistogram::kOverflowBucket; ++i) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i) << "lo=" << lo;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo - 1), i - 1) << "lo=" << lo;
+  }
+}
+
+TEST(LatencyHistogramTest, SubBucketWidths) {
+  // In [2^e, 2^(e+1)) there are exactly 4 sub-buckets of width 2^(e-2).
+  EXPECT_EQ(LatencyHistogram::BucketIndex(8), 8);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(9), 8);   // [8, 10)
+  EXPECT_EQ(LatencyHistogram::BucketIndex(10), 9);  // [10, 12)
+  EXPECT_EQ(LatencyHistogram::BucketIndex(12), 10);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(14), 11);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(15), 11);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(16), 12);
+}
+
+TEST(LatencyHistogramTest, OverflowBucket) {
+  const uint64_t first_overflow = uint64_t{1}
+                                  << (LatencyHistogram::kMaxExp + 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(first_overflow),
+            LatencyHistogram::kOverflowBucket);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(first_overflow - 1),
+            LatencyHistogram::kOverflowBucket - 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(UINT64_MAX),
+            LatencyHistogram::kOverflowBucket);
+
+  LatencyHistogram hist;
+  hist.Record(first_overflow + 123);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.max(), first_overflow + 123);
+  // Overflow ranks report the exact max, not a bucket bound.
+  EXPECT_EQ(hist.Percentile(100), first_overflow + 123);
+}
+
+TEST(LatencyHistogramTest, PercentilesOnUniformData) {
+  LatencyHistogram hist;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.sum(), 5050u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 100u);
+  // Rank 50 is value 50, in bucket [48, 56) -> reports 48.
+  EXPECT_EQ(hist.Percentile(50), 48u);
+  // Rank 99 is value 99, in bucket [96, 112) -> reports 96.
+  EXPECT_EQ(hist.Percentile(99), 96u);
+  // Reported percentiles never exceed the observed max.
+  EXPECT_LE(hist.Percentile(100), 100u);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsToMinAndEmptyIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Percentile(50), 0u);
+  hist.Record(9);  // Bucket [8, 10): lower bound 8 < min 9.
+  EXPECT_EQ(hist.Percentile(50), 9u);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  hist.Record(5);
+  hist.Record(uint64_t{1} << 42);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  EXPECT_EQ(hist.Percentile(99), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.GetCounter("x.count");
+  a.Add(3);
+  // Force rebalancing with more registrations; the reference must survive.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.GetCounter("x.count"), &a);
+  EXPECT_EQ(registry.CounterValue("x.count"), 3u);
+  EXPECT_EQ(registry.CounterValue("never.registered"), 0u);
+  EXPECT_EQ(registry.FindHistogram("x.count"), nullptr);
+}
+
+TEST(MetricsRegistryTest, EntriesSortedByName) {
+  obs::MetricsRegistry registry;
+  registry.GetHistogram("b.hist");
+  registry.GetCounter("a.count");
+  registry.GetGauge("c.gauge");
+  const auto entries = registry.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a.count");
+  EXPECT_EQ(entries[1].name, "b.hist");
+  EXPECT_EQ(entries[2].name, "c.gauge");
+  EXPECT_NE(entries[0].counter, nullptr);
+  EXPECT_NE(entries[1].histogram, nullptr);
+  EXPECT_NE(entries[2].gauge, nullptr);
+}
+
+TEST(MetricNamesTest, GateMetricNameRoundTrips) {
+  const std::string name = obs::GateMetricName("crossings", "mpk-shared",
+                                               /*from_comp=*/-1,
+                                               /*to_comp=*/2);
+  EXPECT_EQ(name, "gate.crossings.mpk-shared.platform.c2");
+  obs::GateMetricParts parts;
+  ASSERT_TRUE(obs::ParseGateMetricName(name, &parts));
+  EXPECT_EQ(parts.family, "crossings");
+  EXPECT_EQ(parts.backend, "mpk-shared");
+  EXPECT_EQ(parts.from, "platform");
+  EXPECT_EQ(parts.to, "c2");
+}
+
+TEST(MetricNamesTest, ParseRejectsNonGateNames) {
+  obs::GateMetricParts parts;
+  EXPECT_FALSE(obs::ParseGateMetricName("sched.context_switches", &parts));
+  EXPECT_FALSE(obs::ParseGateMetricName("gate.crossings.mpk", &parts));
+  EXPECT_FALSE(obs::ParseGateMetricName("gate.a.b.c.d.e", &parts));
+  EXPECT_FALSE(obs::ParseGateMetricName("gate..mpk.c0.c1", &parts));
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring.
+
+TEST(TraceBufferTest, WraparoundKeepsNewestAndCountsDropped) {
+  obs::TraceBuffer ring(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    obs::TraceEvent event;
+    event.ts_ns = i;
+    ring.Push(event);
+  }
+  EXPECT_EQ(ring.pushed(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  std::vector<obs::TraceEvent> out;
+  ring.AppendTo(&out);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ts_ns, i + 2);  // Oldest two overwritten.
+  }
+}
+
+TEST(TraceBufferTest, NoDropsBelowCapacity) {
+  obs::TraceBuffer ring(8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ring.Push(obs::TraceEvent{});
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  obs::Tracer tracer(16);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.RecordInstant(obs::TraceCat::kNet, "x", 0);
+  tracer.RecordComplete(obs::TraceCat::kGate, "y", 0, 1, 0);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TraceEventTest, SetTextTruncatesSafely) {
+  obs::TraceEvent event;
+  event.SetText(std::string(200, 'x'));
+  EXPECT_EQ(std::strlen(event.text), sizeof(event.text) - 1);
+  event.SetText("short");
+  EXPECT_STREQ(event.text, "short");
+}
+
+// Live-Tracer behavior; compiled out when this tree stubs the tracer
+// (tests/obs_disabled_test.cc covers the stub contract instead).
+#ifndef FLEXOS_OBS_DISABLED
+
+TEST(TracerTest, SnapshotSortedByTimestamp) {
+  obs::Tracer tracer(16);
+  tracer.SetEnabled(true);
+  tracer.RecordComplete(obs::TraceCat::kGate, "b", /*ts_ns=*/30, 1, 0);
+  tracer.RecordComplete(obs::TraceCat::kGate, "a", /*ts_ns=*/10, 1, 0);
+  tracer.RecordInstant(obs::TraceCat::kNet, "c", 0);  // NowNs() == 0.
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "c");
+  EXPECT_STREQ(events[1].name, "a");
+  EXPECT_STREQ(events[2].name, "b");
+}
+
+TEST(TracerTest, RingWrapCountsDroppedEvents) {
+  obs::Tracer tracer(/*capacity_per_thread=*/4);
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    tracer.RecordInstant(obs::TraceCat::kAlloc, "e", 0);
+  }
+  EXPECT_EQ(tracer.Snapshot().size(), 4u);
+  EXPECT_EQ(tracer.DroppedEvents(), 6u);
+  EXPECT_EQ(tracer.buffer_count(), 1u);
+}
+
+TEST(TracerTest, MessageCarriesTruncatedText) {
+  obs::Tracer tracer(4);
+  tracer.SetEnabled(true);
+  const std::string longmsg(200, 'x');
+  tracer.RecordMessage(obs::TraceCat::kLog, "log.warn", longmsg, 0);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events[0].text), sizeof(events[0].text) - 1);
+}
+
+#endif  // FLEXOS_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(ExportTest, JsonEscape) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::JsonEscape("x\ny"), "x\\ny");
+  EXPECT_EQ(obs::JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ExportTest, MetricsJsonParsesAndCarriesValues) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("net.frames").Add(7);
+  registry.GetGauge("alloc.live").Set(-5);
+  obs::LatencyHistogram& hist = registry.GetHistogram("gate.lat");
+  for (uint64_t v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(obs::MetricsToJson(registry)).Parse(&root));
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+
+  const JsonValue* counters = root.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Get("net.frames"), nullptr);
+  EXPECT_EQ(counters->Get("net.frames")->number, 7);
+
+  const JsonValue* gauges = root.Get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Get("alloc.live")->number, -5);
+
+  const JsonValue* histograms = root.Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* lat = histograms->Get("gate.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Get("count")->number, 100);
+  EXPECT_EQ(lat->Get("p50")->number, 48);
+  EXPECT_EQ(lat->Get("p99")->number, 96);
+  EXPECT_EQ(lat->Get("max")->number, 100);
+}
+
+// Validates the Chrome trace-event contract Perfetto relies on: object
+// wrapper with a traceEvents array; every event has name/cat/ph/pid/tid/ts;
+// "X" events carry dur, "i" events carry scope "s".
+void ValidateChromeTrace(const std::string& json, size_t expect_events) {
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  EXPECT_EQ(events->items.size(), expect_events);
+  for (const JsonValue& event : events->items) {
+    ASSERT_EQ(event.kind, JsonValue::kObject);
+    ASSERT_NE(event.Get("name"), nullptr);
+    ASSERT_NE(event.Get("cat"), nullptr);
+    ASSERT_NE(event.Get("pid"), nullptr);
+    ASSERT_NE(event.Get("tid"), nullptr);
+    ASSERT_NE(event.Get("ts"), nullptr);
+    const JsonValue* ph = event.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "X") {
+      EXPECT_NE(event.Get("dur"), nullptr);
+    } else if (ph->str == "i") {
+      ASSERT_NE(event.Get("s"), nullptr);
+      EXPECT_EQ(event.Get("s")->str, "t");
+    } else {
+      FAIL() << "unexpected phase " << ph->str;
+    }
+  }
+}
+
+TEST(ExportTest, ChromeTraceSchema) {
+  // Built from plain TraceEvent data so the exporter contract is checked
+  // in both the enabled and FLEXOS_OBS_DISABLED builds.
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent span;
+  span.ts_ns = 1500;
+  span.dur_ns = 250;
+  span.a0 = 64;
+  span.a1 = 16;
+  span.name = "mpk-shared-stack";
+  span.tid = 2;
+  span.cat = obs::TraceCat::kGate;
+  span.phase = obs::TracePhase::kComplete;
+  events.push_back(span);
+  obs::TraceEvent instant;
+  instant.ts_ns = 2000;
+  instant.a0 = 4096;
+  instant.name = "alloc.alloc";
+  instant.tid = 1;
+  instant.cat = obs::TraceCat::kAlloc;
+  instant.phase = obs::TracePhase::kInstant;
+  events.push_back(instant);
+  obs::TraceEvent message;
+  message.ts_ns = 2500;
+  message.name = "log.warn";
+  message.cat = obs::TraceCat::kLog;
+  message.phase = obs::TracePhase::kInstant;
+  message.SetText("msg \"quoted\"");
+  events.push_back(message);
+
+  const std::string json = obs::TraceToChromeJson(events);
+  ValidateChromeTrace(json, 3);
+  // Timestamps are microseconds: 1500 ns -> 1.5 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":0.250"), std::string::npos) << json;
+  // The inline text payload survives as an escaped "msg" arg.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST(ExportTest, EmptyTraceIsValid) {
+  ValidateChromeTrace(obs::TraceToChromeJson({}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Log bridge.
+
+struct CapturedLog {
+  std::vector<std::string> messages;
+  std::vector<LogLevel> levels;
+};
+
+TEST(LogBridgeTest, SinkReceivesRecordsAndTracerMirrorsWarnings) {
+  // The Machine installs itself as the active tracer.
+  Machine machine;
+  machine.tracer().SetEnabled(true);
+
+  CapturedLog captured;
+  SetLogSink(
+      [](const LogRecord& record, void* ctx) {
+        auto* out = static_cast<CapturedLog*>(ctx);
+        out->messages.emplace_back(record.message);
+        out->levels.push_back(record.level);
+      },
+      &captured);
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  FLEXOS_INFO("hello %d", 42);
+  FLEXOS_WARN("watch out %s", "now");
+
+  SetLogLevel(saved);
+  SetLogSink(nullptr, nullptr);
+
+  ASSERT_EQ(captured.messages.size(), 2u);
+  EXPECT_EQ(captured.messages[0], "hello 42");
+  EXPECT_EQ(captured.levels[0], LogLevel::kInfo);
+  EXPECT_EQ(captured.messages[1], "watch out now");
+
+#ifndef FLEXOS_OBS_DISABLED
+  // Only the warn+ line is mirrored into the trace.
+  const auto events = machine.tracer().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "log.warn");
+  EXPECT_STREQ(events[0].text, "watch out now");
+  EXPECT_EQ(events[0].cat, obs::TraceCat::kLog);
+#endif
+}
+
+TEST(LogBridgeTest, LogLevelKnobIsReadBack) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a built image records per-boundary metrics and gate spans.
+
+TEST(ObsIntegrationTest, ImageCallPopulatesBoundaryMetrics) {
+  Machine machine;
+  ImageBuilder builder(machine);
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  auto image = builder.Build(config).value();
+
+  const RouteHandle route = image->Resolve(kLibNet, kLibApp);
+  int calls = 0;
+  for (int i = 0; i < 10; ++i) {
+    image->Call(route, [&] { ++calls; });
+  }
+  EXPECT_EQ(calls, 10);
+
+  const std::string crossings = obs::GateMetricName(
+      "crossings", "mpk-shared", route.from_comp, route.to_comp);
+  EXPECT_EQ(machine.metrics().CounterValue(crossings), 10u);
+
+  const std::string latency = obs::GateMetricName(
+      "latency_ns", "mpk-shared", route.from_comp, route.to_comp);
+  const obs::LatencyHistogram* hist =
+      machine.metrics().FindHistogram(latency);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 10u);
+  EXPECT_GT(hist->Percentile(50), 0u);
+
+  // The legacy stats() view reads the same numbers.
+  const auto it = image->stats().crossings.find(
+      std::make_pair(route.from_comp, route.to_comp));
+  ASSERT_NE(it, image->stats().crossings.end());
+  EXPECT_EQ(it->second.crossings, 10u);
+}
+
+#ifndef FLEXOS_OBS_DISABLED
+TEST(ObsIntegrationTest, GateSpansTracedWhenEnabled) {
+  Machine machine;
+  machine.tracer().SetEnabled(true);
+  ImageBuilder builder(machine);
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  auto image = builder.Build(config).value();
+
+  const RouteHandle route = image->Resolve(kLibNet, kLibApp);
+  image->Call(route, [] {});
+
+  bool saw_gate_span = false;
+  for (const obs::TraceEvent& event : machine.tracer().Snapshot()) {
+    if (event.cat == obs::TraceCat::kGate &&
+        event.phase == obs::TracePhase::kComplete) {
+      saw_gate_span = true;
+      EXPECT_EQ(event.tid, route.to_comp + 1);
+    }
+  }
+  EXPECT_TRUE(saw_gate_span);
+}
+#endif  // FLEXOS_OBS_DISABLED
+
+TEST(ObsIntegrationTest, BatchedCallsRecordBatchedCounter) {
+  Machine machine;
+  ImageBuilder builder(machine);
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  auto image = builder.Build(config).value();
+
+  const RouteHandle route = image->Resolve(kLibNet, kLibApp);
+  {
+    GateBatch batch(*image, route);
+    for (int i = 0; i < 5; ++i) {
+      batch.Run([] {});
+    }
+  }
+  const std::string batched = obs::GateMetricName(
+      "batched", "mpk-shared", route.from_comp, route.to_comp);
+  EXPECT_EQ(machine.metrics().CounterValue(batched), 5u);
+}
+
+}  // namespace
+}  // namespace flexos

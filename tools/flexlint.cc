@@ -95,7 +95,19 @@ int Run(int argc, char** argv) {
         json_out += ',';
       }
       json_out += "{\"file\":\"" + path +
-                  "\",\"diagnostics\":" + report.ToJson() + "}";
+                  "\",\"diagnostics\":" + report.ToJson();
+      if (!meta_mode) {
+        // The observability contract for this config: every boundary the
+        // declared call graph crosses, with the gate.* metric names a
+        // built image will emit for it (obs/names.h).
+        Result<ImageConfig> config = ParseImageConfig(text);
+        if (config.ok()) {
+          json_out += ",\"boundaries\":" +
+                      BoundaryMetricNamesJson(
+                          ExtractModel(config.value(), BuiltinMetaResolver()));
+        }
+      }
+      json_out += "}";
     } else {
       std::printf("== %s: %zu finding(s)\n", path.c_str(),
                   report.diagnostics.size());

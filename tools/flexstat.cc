@@ -1,0 +1,313 @@
+// flexstat CLI: boots a FlexOS image configuration, drives an iperf-style
+// transfer through it, and reports what the observability layer saw — a
+// per-boundary table (gate crossings, batch hit rate, marshalled bytes,
+// p50/p99 gate overhead) plus optional JSON metric and Chrome-trace dumps.
+//
+//   flexstat [options] <config.conf>
+//     --bytes N        total bytes to transfer (default 1 MiB)
+//     --buffer N       server recv-buffer bytes (default 16 KiB)
+//     --batch          enable net->libc signal batching (GateBatch)
+//     --json           print the metrics registry as JSON instead of a table
+//     --metrics FILE   also write the metrics JSON to FILE
+//     --trace FILE     enable tracing; write Chrome trace-event JSON to FILE
+//                      (load in Perfetto or chrome://tracing)
+//
+// Exit status: 0 on a complete run, 1 when the workload fails, 2 on usage
+// or I/O errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/iperf_client.h"
+#include "apps/iperf_server.h"
+#include "apps/testbed.h"
+#include "core/config_parser.h"
+#include "obs/export.h"
+#include "obs/names.h"
+#include "support/strings.h"
+
+namespace flexos {
+namespace {
+
+struct Options {
+  uint64_t total_bytes = 1ull << 20;
+  uint64_t recv_buffer = 16ull << 10;
+  bool batch = false;
+  bool json = false;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string config_path;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flexstat [--bytes N] [--buffer N] [--batch] [--json]\n"
+               "                [--metrics FILE] [--trace FILE] "
+               "<config.conf>\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+// One table row per (backend, from, to) boundary, assembled from the
+// gate.* metric families (obs/names.h).
+struct BoundaryRow {
+  std::string backend;
+  std::string from;
+  std::string to;
+  uint64_t crossings = 0;
+  uint64_t batched = 0;
+  uint64_t bytes = 0;
+  const obs::LatencyHistogram* latency = nullptr;
+};
+
+std::vector<BoundaryRow> CollectBoundaries(
+    const obs::MetricsRegistry& registry) {
+  std::map<std::string, BoundaryRow> rows;  // key: backend.from.to
+  for (const obs::MetricsRegistry::Entry& entry : registry.Entries()) {
+    obs::GateMetricParts parts;
+    if (!obs::ParseGateMetricName(entry.name, &parts)) {
+      continue;
+    }
+    const std::string key = std::string(parts.backend) + "." +
+                            std::string(parts.from) + "." +
+                            std::string(parts.to);
+    BoundaryRow& row = rows[key];
+    row.backend = parts.backend;
+    row.from = parts.from;
+    row.to = parts.to;
+    if (parts.family == "crossings" && entry.counter != nullptr) {
+      row.crossings = entry.counter->value();
+    } else if (parts.family == "batched" && entry.counter != nullptr) {
+      row.batched = entry.counter->value();
+    } else if (parts.family == "bytes" && entry.counter != nullptr) {
+      row.bytes = entry.counter->value();
+    } else if (parts.family == "latency_ns" && entry.histogram != nullptr) {
+      row.latency = entry.histogram;
+    }
+  }
+  std::vector<BoundaryRow> out;
+  for (auto& [key, row] : rows) {
+    out.push_back(row);
+  }
+  return out;
+}
+
+void PrintTable(const std::vector<BoundaryRow>& rows, const Machine& machine,
+                uint64_t bytes_received, double seconds) {
+  std::printf("%-18s %-12s %10s %10s %6s %12s %9s %9s\n", "boundary",
+              "backend", "crossings", "batched", "hit%", "bytes", "p50(ns)",
+              "p99(ns)");
+  for (const BoundaryRow& row : rows) {
+    // Batch hit rate: share of recorded bodies that rode a batched
+    // crossing (batched bodies vs. batched + solo crossings).
+    const uint64_t bodies = row.crossings + row.batched;
+    const double hit =
+        bodies == 0 ? 0.0
+                    : 100.0 * static_cast<double>(row.batched) /
+                          static_cast<double>(bodies);
+    const uint64_t p50 = row.latency ? row.latency->Percentile(50) : 0;
+    const uint64_t p99 = row.latency ? row.latency->Percentile(99) : 0;
+    std::printf("%-18s %-12s %10llu %10llu %5.1f%% %12llu %9llu %9llu\n",
+                (row.from + " -> " + row.to).c_str(), row.backend.c_str(),
+                static_cast<unsigned long long>(row.crossings),
+                static_cast<unsigned long long>(row.batched), hit,
+                static_cast<unsigned long long>(row.bytes),
+                static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p99));
+  }
+  if (rows.empty()) {
+    std::printf("(no cross-compartment boundaries: single-compartment "
+                "image)\n");
+  }
+  const obs::MetricsRegistry& metrics = machine.metrics();
+  std::printf("\n");
+  std::printf("transfer: %llu bytes in %.3f virtual ms (%.2f Gb/s)\n",
+              static_cast<unsigned long long>(bytes_received),
+              seconds * 1e3,
+              seconds > 0
+                  ? static_cast<double>(bytes_received) * 8.0 / seconds / 1e9
+                  : 0.0);
+  std::printf("tcp: %llu seg rx, %llu seg tx, %llu retransmits\n",
+              static_cast<unsigned long long>(
+                  metrics.CounterValue(obs::kMetricTcpSegmentsRx)),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue(obs::kMetricTcpSegmentsTx)),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue(obs::kMetricTcpRetransmits)));
+  std::printf("sched: %llu context switches; alloc: %llu allocations\n",
+              static_cast<unsigned long long>(
+                  metrics.CounterValue(obs::kMetricContextSwitches)),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue(obs::kMetricAllocCount)));
+}
+
+int Run(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flexstat: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--bytes") {
+      const char* v = next_value("--bytes");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.total_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--buffer") {
+      const char* v = next_value("--buffer");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.recv_buffer = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--batch") {
+      opts.batch = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--metrics") {
+      const char* v = next_value("--metrics");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.metrics_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next_value("--trace");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.trace_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "flexstat: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else if (opts.config_path.empty()) {
+      opts.config_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (opts.config_path.empty() || opts.total_bytes == 0 ||
+      opts.recv_buffer == 0) {
+    return Usage();
+  }
+
+  std::string text;
+  if (!ReadFile(opts.config_path, &text)) {
+    std::fprintf(stderr, "flexstat: cannot read %s\n",
+                 opts.config_path.c_str());
+    return 2;
+  }
+  Result<ImageConfig> config = ParseImageConfig(text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "flexstat: %s: %s\n", opts.config_path.c_str(),
+                 config.status().ToString().c_str());
+    return 2;
+  }
+
+  TestbedConfig bed_config;
+  bed_config.image = config.value();
+  bed_config.tcp.batch_crossings = opts.batch;
+  Testbed bed(bed_config);
+  if (!opts.trace_path.empty()) {
+    bed.machine().tracer().SetEnabled(true);
+  }
+
+  IperfServerResult server_result;
+  IperfServerOptions server_options;
+  server_options.recv_buffer_bytes = opts.recv_buffer;
+  SpawnIperfServer(bed, server_options, &server_result);
+
+  IperfRemoteClient client(opts.total_bytes);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{}, client);
+  bed.AddPeer(&peer);
+  peer.Connect();
+
+  const Status status = bed.Run();
+  const bool complete =
+      status.ok() && server_result.bytes_received == opts.total_bytes;
+  if (!complete) {
+    std::fprintf(stderr,
+                 "flexstat: workload incomplete (%s, %llu/%llu bytes)\n",
+                 status.ToString().c_str(),
+                 static_cast<unsigned long long>(server_result.bytes_received),
+                 static_cast<unsigned long long>(opts.total_bytes));
+  }
+
+  const Machine& machine = bed.machine();
+  const std::string metrics_json = obs::MetricsToJson(machine.metrics());
+  if (!opts.metrics_path.empty() &&
+      !WriteFile(opts.metrics_path, metrics_json)) {
+    std::fprintf(stderr, "flexstat: cannot write %s\n",
+                 opts.metrics_path.c_str());
+    return 2;
+  }
+  if (!opts.trace_path.empty()) {
+    const std::string trace_json =
+        obs::TraceToChromeJson(machine.tracer().Snapshot());
+    if (!WriteFile(opts.trace_path, trace_json)) {
+      std::fprintf(stderr, "flexstat: cannot write %s\n",
+                   opts.trace_path.c_str());
+      return 2;
+    }
+    const uint64_t dropped = machine.tracer().DroppedEvents();
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "flexstat: note: ring wrapped, %llu oldest events "
+                   "dropped from %s\n",
+                   static_cast<unsigned long long>(dropped),
+                   opts.trace_path.c_str());
+    }
+  }
+
+  if (opts.json) {
+    std::fputs(metrics_json.c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::printf("# %s (backend %s, %llu bytes, %llu B recv buffer%s)\n",
+                opts.config_path.c_str(),
+                std::string(IsolationBackendName(bed_config.image.backend))
+                    .c_str(),
+                static_cast<unsigned long long>(opts.total_bytes),
+                static_cast<unsigned long long>(opts.recv_buffer),
+                opts.batch ? ", batching" : "");
+    PrintTable(CollectBoundaries(machine.metrics()), machine,
+               server_result.bytes_received,
+               machine.clock().NowSeconds());
+  }
+  return complete ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main(int argc, char** argv) { return flexos::Run(argc, argv); }
