@@ -8,68 +8,11 @@
 //                  entry/exit pair amortized over the whole batch).
 // Pass --smoke for a fast CI run with tiny iteration counts.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include "bench_util.h"
 #include "core/image_builder.h"
-
-namespace flexos {
-namespace {
-
-struct Sample {
-  double wall_ns = 0;
-  double model_cycles = 0;
-};
-
-const char* BackendName(IsolationBackend backend) {
-  switch (backend) {
-    case IsolationBackend::kNone:
-      return "none";
-    case IsolationBackend::kMpkSharedStack:
-      return "mpk-shared";
-    case IsolationBackend::kMpkSwitchedStack:
-      return "mpk-switched";
-    case IsolationBackend::kVmRpc:
-      return "vm-rpc";
-  }
-  return "?";
-}
-
-ImageConfig TwoCompartments(IsolationBackend backend) {
-  ImageConfig config;
-  config.backend = backend;
-  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
-  return config;
-}
-
-// Best-of-3 repetitions: the min wall time is the least noise-polluted
-// estimate; modeled cycles are deterministic so any repetition serves.
-template <typename Fn>
-Sample MeasureLoop(Machine& machine, uint64_t iters, Fn&& fn) {
-  Sample best;
-  for (int rep = 0; rep < 3; ++rep) {
-    const uint64_t cycles_before = machine.clock().cycles();
-    const auto start = std::chrono::steady_clock::now();
-    for (uint64_t i = 0; i < iters; ++i) {
-      fn();
-    }
-    const auto stop = std::chrono::steady_clock::now();
-    const uint64_t cycles_after = machine.clock().cycles();
-    const double wall_ns =
-        std::chrono::duration<double, std::nano>(stop - start).count() /
-        static_cast<double>(iters);
-    if (rep == 0 || wall_ns < best.wall_ns) {
-      best.wall_ns = wall_ns;
-    }
-    best.model_cycles = static_cast<double>(cycles_after - cycles_before) /
-                        static_cast<double>(iters);
-  }
-  return best;
-}
-
-}  // namespace
-}  // namespace flexos
 
 int main(int argc, char** argv) {
   using namespace flexos;
@@ -100,7 +43,7 @@ int main(int argc, char** argv) {
   for (IsolationBackend backend : kBackends) {
     Machine machine;
     ImageBuilder builder(machine);
-    auto image = builder.Build(TwoCompartments(backend)).value();
+    auto image = builder.Build(bench::NetOnlyConfig(backend)).value();
     uint64_t sink = 0;
     const auto body = [&sink] { ++sink; };
     const RouteHandle route = image->Resolve(kLibNet, kLibApp);
@@ -111,27 +54,31 @@ int main(int argc, char** argv) {
       image->Call(route, body);
     }
 
-    const Sample by_name = MeasureLoop(
+    const bench::LoopSample by_name = bench::MeasureLoop(
         machine, kIters, [&] { image->Call(kLibNet, kLibApp, body); });
-    const Sample cached =
-        MeasureLoop(machine, kIters, [&] { image->Call(route, body); });
-    Sample batched = MeasureLoop(machine, kIters / kBatchLen, [&] {
-      GateBatch batch(*image, route);
-      for (uint64_t j = 0; j < kBatchLen; ++j) {
-        batch.Run(body);
-      }
-    });
+    const bench::LoopSample cached = bench::MeasureLoop(
+        machine, kIters, [&] { image->Call(route, body); });
+    bench::LoopSample batched =
+        bench::MeasureLoop(machine, kIters / kBatchLen, [&] {
+          GateBatch batch(*image, route);
+          for (uint64_t j = 0; j < kBatchLen; ++j) {
+            batch.Run(body);
+          }
+        });
     batched.wall_ns /= static_cast<double>(kBatchLen);
-    batched.model_cycles /= static_cast<double>(kBatchLen);
+    // The batched loop ran (kIters / kBatchLen) * kBatchLen bodies.
+    const uint64_t batched_bodies = (kIters / kBatchLen) * kBatchLen;
 
     const double cache_speedup = by_name.wall_ns / cached.wall_ns;
     const double batch_speedup = by_name.wall_ns / batched.wall_ns;
     min_cache_speedup = std::min(min_cache_speedup, cache_speedup);
     std::printf("%-14s %10.1f %10.1f %10.1f %12.1f %12.1f %12.1f %8.2fx "
                 "%8.2fx\n",
-                BackendName(backend), by_name.wall_ns, cached.wall_ns,
-                batched.wall_ns, by_name.model_cycles, cached.model_cycles,
-                batched.model_cycles, cache_speedup, batch_speedup);
+                std::string(IsolationBackendName(backend)).c_str(),
+                by_name.wall_ns, cached.wall_ns, batched.wall_ns,
+                by_name.CyclesPerCall(kIters), cached.CyclesPerCall(kIters),
+                batched.CyclesPerCall(batched_bodies), cache_speedup,
+                batch_speedup);
   }
 
   std::printf("\n# Checks:\n");

@@ -2,78 +2,26 @@
 //
 // PR 3's deal is that metrics are always on (plain counter bumps through
 // route-resolved pointers) and tracing costs one relaxed atomic load when
-// disabled. This bench verifies both halves:
-//   model cyc/call — must be bit-identical with tracing on, off, and in a
-//                    fresh machine: recording happens outside the cost
-//                    model, so observability can never perturb a result.
-//                    Hard-gated in every mode, including --smoke.
-//   wall ns/call   — tracing-off dispatch must stay within noise of the
-//                    cached-route fast path (abl_gate_dispatch.cc's
-//                    "cached" column); tracing-on may pay the ring write.
-//                    Loosely gated, full runs only (wall clock is noisy).
+// disabled; PR 4 adds the request attributor under the same contract. This
+// bench verifies both halves across three variants — observability off,
+// tracing on, and tracing + cycle profiler on:
+//   model cyc/call — must be bit-identical across all three variants in
+//                    fresh machines: recording and attribution happen
+//                    outside the cost model, so observability can never
+//                    perturb a result. Hard-gated in every mode,
+//                    including --smoke.
+//   wall ns/call   — observability-off dispatch must stay within noise of
+//                    the cached-route fast path (abl_gate_dispatch.cc's
+//                    "cached" column); traced/profiled runs may pay the
+//                    ring write and frame bookkeeping. Loosely gated, full
+//                    runs only (wall clock is noisy).
 // Pass --smoke for a fast CI run with tiny iteration counts.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include "bench_util.h"
 #include "core/image_builder.h"
-
-namespace flexos {
-namespace {
-
-struct Sample {
-  double wall_ns = 0;
-  uint64_t model_cycles_total = 0;
-};
-
-const char* BackendName(IsolationBackend backend) {
-  switch (backend) {
-    case IsolationBackend::kNone:
-      return "none";
-    case IsolationBackend::kMpkSharedStack:
-      return "mpk-shared";
-    case IsolationBackend::kMpkSwitchedStack:
-      return "mpk-switched";
-    case IsolationBackend::kVmRpc:
-      return "vm-rpc";
-  }
-  return "?";
-}
-
-ImageConfig TwoCompartments(IsolationBackend backend) {
-  ImageConfig config;
-  config.backend = backend;
-  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
-  return config;
-}
-
-// Best-of-3 wall time (least noise-polluted); total charged cycles from the
-// last repetition (deterministic, any repetition serves).
-template <typename Fn>
-Sample MeasureLoop(Machine& machine, uint64_t iters, Fn&& fn) {
-  Sample best;
-  for (int rep = 0; rep < 3; ++rep) {
-    const uint64_t cycles_before = machine.clock().cycles();
-    const auto start = std::chrono::steady_clock::now();
-    for (uint64_t i = 0; i < iters; ++i) {
-      fn();
-    }
-    const auto stop = std::chrono::steady_clock::now();
-    const uint64_t cycles_after = machine.clock().cycles();
-    const double wall_ns =
-        std::chrono::duration<double, std::nano>(stop - start).count() /
-        static_cast<double>(iters);
-    if (rep == 0 || wall_ns < best.wall_ns) {
-      best.wall_ns = wall_ns;
-    }
-    best.model_cycles_total = cycles_after - cycles_before;
-  }
-  return best;
-}
-
-}  // namespace
-}  // namespace flexos
 
 int main(int argc, char** argv) {
   using namespace flexos;
@@ -89,10 +37,10 @@ int main(int argc, char** argv) {
               "crossing, %llu calls per variant%s\n",
               static_cast<unsigned long long>(kIters),
               smoke ? " (smoke)" : "");
-  std::printf("%-14s %12s %12s %12s %14s %9s\n", "backend", "trace-off",
-              "trace-on", "trace-off", "cycles", "wall");
-  std::printf("%-14s %12s %12s %12s %14s %9s\n", "", "(ns/call)",
-              "(ns/call)", "(cyc/call)", "identical?", "ratio");
+  std::printf("%-14s %12s %12s %12s %12s %14s %9s\n", "backend", "obs-off",
+              "trace-on", "profile-on", "obs-off", "cycles", "wall");
+  std::printf("%-14s %12s %12s %12s %12s %14s %9s\n", "", "(ns/call)",
+              "(ns/call)", "(ns/call)", "(cyc/call)", "identical?", "ratio");
 
   bool cycles_ok = true;
   double max_wall_ratio = 0;
@@ -100,42 +48,51 @@ int main(int argc, char** argv) {
       IsolationBackend::kNone, IsolationBackend::kMpkSharedStack,
       IsolationBackend::kMpkSwitchedStack, IsolationBackend::kVmRpc};
   for (IsolationBackend backend : kBackends) {
-    // Two identical machines: one never enables tracing (the production
-    // default), one traces throughout. Their charged cycles must agree
-    // exactly — observability lives outside the cost model.
-    Sample off, on;
-    for (int traced = 0; traced < 2; ++traced) {
+    // Three identical machines: one never enables observability (the
+    // production default), one traces throughout, one traces and runs the
+    // cycle attributor. Their charged cycles must agree exactly —
+    // observability lives outside the cost model.
+    bench::LoopSample variants[3];
+    for (int variant = 0; variant < 3; ++variant) {
       Machine machine;
-      machine.tracer().SetEnabled(traced != 0);
+      machine.tracer().SetEnabled(variant >= 1);
+      if (variant >= 2) {
+        machine.attrib().SetEnabled(true, machine.clock().cycles());
+      }
       ImageBuilder builder(machine);
-      auto image = builder.Build(TwoCompartments(backend)).value();
+      auto image = builder.Build(bench::NetOnlyConfig(backend)).value();
       uint64_t sink = 0;
       const auto body = [&sink] { ++sink; };
       const RouteHandle route = image->Resolve(kLibNet, kLibApp);
       for (int i = 0; i < 256; ++i) {
         image->Call(route, body);  // Warm caches before timing.
       }
-      const Sample sample =
-          MeasureLoop(machine, kIters, [&] { image->Call(route, body); });
-      (traced != 0 ? on : off) = sample;
+      variants[variant] = bench::MeasureLoop(
+          machine, kIters, [&] { image->Call(route, body); });
     }
+    const bench::LoopSample& off = variants[0];
+    const bench::LoopSample& traced = variants[1];
+    const bench::LoopSample& profiled = variants[2];
 
-    const bool identical = off.model_cycles_total == on.model_cycles_total;
+    const bool identical =
+        off.model_cycles_total == traced.model_cycles_total &&
+        off.model_cycles_total == profiled.model_cycles_total;
     cycles_ok = cycles_ok && identical;
-    const double wall_ratio = on.wall_ns > 0 ? off.wall_ns / on.wall_ns : 0;
+    const double wall_ratio =
+        traced.wall_ns > 0 ? off.wall_ns / traced.wall_ns : 0;
     max_wall_ratio = std::max(max_wall_ratio, wall_ratio);
-    std::printf("%-14s %12.1f %12.1f %12.1f %14s %8.2fx\n",
-                BackendName(backend), off.wall_ns, on.wall_ns,
-                static_cast<double>(off.model_cycles_total) /
-                    static_cast<double>(kIters),
-                identical ? "yes" : "NO", wall_ratio);
+    std::printf("%-14s %12.1f %12.1f %12.1f %12.1f %14s %8.2fx\n",
+                std::string(IsolationBackendName(backend)).c_str(),
+                off.wall_ns, traced.wall_ns, profiled.wall_ns,
+                off.CyclesPerCall(kIters), identical ? "yes" : "NO",
+                wall_ratio);
   }
 
   std::printf("\n# Checks:\n");
-  std::printf("  modeled cycles identical with tracing on/off: %s "
-              "(hard-gated)\n",
+  std::printf("  modeled cycles identical with observability off / tracing "
+              "on / profiler on: %s (hard-gated)\n",
               cycles_ok ? "yes" : "NO");
-  std::printf("  tracing-off dispatch vs tracing-on wall clock: worst "
+  std::printf("  observability-off dispatch vs tracing-on wall clock: worst "
               "off/on ratio %.2fx (full runs gate <= 1.25x; disabled "
               "tracing must not be slower than enabled)\n",
               max_wall_ratio);

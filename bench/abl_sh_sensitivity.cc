@@ -1,5 +1,5 @@
 // Ablation: how Table 1's headline ratios move with the modeled
-// instrumentation multiplier — the calibration sensitivity DESIGN.md §8
+// instrumentation multiplier — the calibration sensitivity DESIGN.md §9
 // discloses. The *ordering* (libc >> rest > net > sched) must hold at
 // every plausible multiplier; only magnitudes scale.
 #include <cstdio>

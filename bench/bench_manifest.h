@@ -1,0 +1,88 @@
+// Bench manifest: the single source of truth for which benchmark binaries
+// flexbench runs and how their table output maps to comparable metrics.
+// Header-checked by both sides — the bench suite (via CMake) and
+// tools/flexbench.cc include this file, so the runner and the benches can
+// never disagree about what is measured or which columns are deterministic.
+//
+// Output contract every listed binary follows (see fig3_iperf_gates.cc et
+// al.): lines starting with '#' are comments, a line with no numeric token
+// is a header, and every other line is a data row — leading non-numeric
+// tokens form the row label, the remaining numeric tokens are the row's
+// metric columns in order. Tokens with unit suffixes parse as numbers
+// ("2.91x" -> 2.91, "10.0GbE" -> 10.0); a "Mb/s" token downscales the
+// preceding value to Gb/s so a rate crossing the FormatRate threshold stays
+// comparable.
+#ifndef FLEXOS_BENCH_BENCH_MANIFEST_H_
+#define FLEXOS_BENCH_BENCH_MANIFEST_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace flexos {
+namespace bench {
+
+struct BenchSpec {
+  std::string_view name;    // Metric prefix + JSON key.
+  std::string_view binary;  // Executable name in the bench build dir.
+  // Accepts --smoke for a fast CI-sized run.
+  bool has_smoke = false;
+  // Whether numeric output is modeled (deterministic) and compared against
+  // the baseline. Wall-clock benches run gate-only: flexbench requires exit
+  // status 0 but records no metrics (their self-checks are the gate).
+  bool compare = true;
+  // Per-row numeric column indices excluded from metrics (wall-clock
+  // columns inside otherwise-deterministic tables).
+  int drop_cols[4] = {-1, -1, -1, -1};
+
+  bool Drops(int col) const {
+    for (const int c : drop_cols) {
+      if (c == col) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Relative noise tolerance for baseline comparison. Modeled results are
+// bit-deterministic on one tree, but the tolerance leaves headroom for
+// intentional cost-model tuning to be reviewed via baseline regeneration
+// rather than tripping on round-off from table formatting (3 printed
+// digits).
+inline constexpr double kBenchDefaultTolerance = 0.05;
+
+inline constexpr BenchSpec kBenchManifest[] = {
+    // Paper-figure reproductions: fully modeled, deterministic tables.
+    {.name = "fig3", .binary = "fig3_iperf_gates", .has_smoke = true},
+    {.name = "fig4", .binary = "fig4_redis_sh"},
+    {.name = "fig5", .binary = "fig5_redis_mpk"},
+    {.name = "tab1", .binary = "tab1_iperf_sh"},
+    {.name = "sched_ctxswitch", .binary = "sched_ctxswitch"},
+    // Ablations with modeled output.
+    {.name = "abl_gate_costs", .binary = "abl_gate_costs"},
+    {.name = "abl_link_model", .binary = "abl_link_model"},
+    {.name = "abl_sh_sensitivity", .binary = "abl_sh_sensitivity"},
+    // Deterministic except the exact-solver wall-time column (the last of
+    // the 4 value columns; the lib count is the row label).
+    {.name = "abl_coloring",
+     .binary = "abl_coloring",
+     .drop_cols = {3, -1, -1, -1}},
+    // Wall-clock ablations: self-gating (non-zero exit on violation);
+    // their ns/call numbers are host noise, not comparable metrics.
+    {.name = "abl_gate_dispatch",
+     .binary = "abl_gate_dispatch",
+     .has_smoke = true,
+     .compare = false},
+    {.name = "abl_obs_overhead",
+     .binary = "abl_obs_overhead",
+     .has_smoke = true,
+     .compare = false},
+};
+
+inline constexpr size_t kBenchManifestSize =
+    sizeof(kBenchManifest) / sizeof(kBenchManifest[0]);
+
+}  // namespace bench
+}  // namespace flexos
+
+#endif  // FLEXOS_BENCH_BENCH_MANIFEST_H_

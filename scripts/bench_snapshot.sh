@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Regenerate the checked-in flexbench baselines and the PR bench report.
+#
+# Run this after an intentional cost-model or benchmark change, then review
+# the baseline diff like any other code change. The modeled numbers are
+# deterministic, so the diff shows exactly which metrics moved.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+flexbench="$build_dir/tools/flexbench"
+bindir="$build_dir/bench"
+
+if [ ! -x "$flexbench" ]; then
+  echo "bench_snapshot: $flexbench not found; build first:" >&2
+  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
+  exit 2
+fi
+
+echo "== snapshot: smoke baseline"
+"$flexbench" --smoke --bindir "$bindir" \
+    --write-baseline "$repo_root/bench/baselines/smoke.json"
+
+echo "== snapshot: full baseline"
+"$flexbench" --bindir "$bindir" \
+    --write-baseline "$repo_root/bench/baselines/full.json"
+
+echo "== verify: full run against fresh baseline (must be zero-drift)"
+"$flexbench" --bindir "$bindir" \
+    --baseline "$repo_root/bench/baselines/full.json" \
+    --out "$repo_root/BENCH_PR4.json"
+
+echo "== done: bench/baselines/{smoke,full}.json and BENCH_PR4.json updated"

@@ -42,6 +42,10 @@ Testbed::Testbed(const TestbedConfig& config)
       config.tcp);
 
   scheduler_->SetIdleHandler([this] { return OnIdle(); });
+
+  if (config.profile) {
+    machine_.attrib().SetEnabled(true, machine_.clock().cycles());
+  }
 }
 
 Gaddr Testbed::AllocShared(uint64_t size) {

@@ -26,6 +26,10 @@ struct TestbedConfig {
   // Cost model for the machine (benchmarks tweak it to model e.g. the
   // paper's less-optimized Xen platform).
   CostModel costs;
+  // Enables the cycle/request attributor from boot (flexstat --flame and
+  // --request set this). Attribution observes the clock and never charges
+  // it, so modeled results are unchanged.
+  bool profile = false;
   // Server addressing (the guest side).
   MacAddr server_mac{{0x02, 0, 0, 0, 0, 0xaa}};
   Ipv4Addr server_ip = MakeIpv4(10, 0, 0, 1);

@@ -86,7 +86,8 @@ class Gate {
                             session.enter_ns,
                             tracer.NowNs() - session.enter_ns,
                             /*tid=*/target + 1, crossing.arg_bytes,
-                            crossing.ret_bytes);
+                            crossing.ret_bytes,
+                            machine.attrib().current_request());
     }
   }
 

@@ -257,7 +257,14 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
     // flags so per-library SH composes within one compartment).
     ++stats_.same_compartment_calls;
     GateCrossing crossing{.target_context = route.target_exec};
-    direct_gate_.Cross(machine_, crossing, body);
+    obs::Attributor& attrib = machine_.attrib();
+    if (attrib.enabled()) {
+      attrib.PushFrame(route.to, route.to_comp, machine_.clock().cycles());
+      direct_gate_.Cross(machine_, crossing, body);
+      attrib.PopFrame(machine_.clock().cycles());
+    } else {
+      direct_gate_.Cross(machine_, crossing, body);
+    }
     return;
   }
 
@@ -277,16 +284,38 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
   Gate* gate = route.gate != nullptr ? route.gate : &direct_gate_;
   // Enter/body/Exit inlined (vs gate->Cross) so the latency histogram can
   // capture the gate's own overhead — entry half + exit half, in modeled
-  // cycles — while excluding the body.
+  // cycles — while excluding the body. The attributor frames mirror that
+  // split exactly: gate halves charge gate:<backend>, the body charges the
+  // target compartment, and the caller's frame resumes after Exit.
   Clock& clock = machine_.clock();
+  obs::Attributor& attrib = machine_.attrib();
+  const bool profiling = attrib.enabled();
+  const std::string_view backend = IsolationBackendName(backend_);
   const uint64_t t0 = clock.cycles();
+  if (profiling) {
+    attrib.PushGateFrame(backend, t0);
+  }
   const GateSession session = gate->Enter(machine_, crossing);
   const uint64_t entry_cycles = clock.cycles() - t0;
+  if (profiling) {
+    attrib.PopFrame(clock.cycles());
+    attrib.PushFrame(route.to, route.to_comp, clock.cycles());
+  }
   body();
   const uint64_t t1 = clock.cycles();
+  if (profiling) {
+    attrib.PopFrame(t1);
+    attrib.PushGateFrame(backend, t1);
+  }
   gate->Exit(machine_, crossing, session);
-  recorder->latency_ns->Record(
-      clock.CyclesToNanos(entry_cycles + (clock.cycles() - t1)));
+  const uint64_t overhead_ns =
+      clock.CyclesToNanos(entry_cycles + (clock.cycles() - t1));
+  recorder->latency_ns->Record(overhead_ns);
+  if (profiling) {
+    attrib.PopFrame(clock.cycles());
+    attrib.OnGateCrossing(backend, route.from_comp, route.to_comp,
+                          overhead_ns);
+  }
 }
 
 void Image::CallLeaf(const RouteHandle& route, FunctionRef<void()> body) {
@@ -328,11 +357,19 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
   // Notification-only entry: the batch opens the boundary with no argument
   // payload; each item marshals its own (ChargeBatchItem).
   GateCrossing entry{.target_context = route.target_exec};
+  obs::Attributor& attrib = machine_.attrib();
+  const bool profiling = attrib.enabled();
   const uint64_t t0 = machine_.clock().cycles();
+  if (profiling) {
+    attrib.PushGateFrame(IsolationBackendName(backend_), t0);
+  }
   GateSession session = route.gate->Enter(machine_, entry);
   auto* state = new (batch.session()) BatchState{};
   state->session = session;
   state->entry_cycles = machine_.clock().cycles() - t0;
+  if (profiling) {
+    attrib.PopFrame(machine_.clock().cycles());
+  }
   // Caller code keeps running between items under its own context; the
   // restore is free — the modeled domain stays open for the batch.
   machine_.context() = session.caller;
@@ -353,17 +390,36 @@ void Image::BatchItem(const RouteHandle& route, GateBatch& batch,
   // Per-item payload marshalling, priced by the open gate (no entry/exit,
   // no PKRU writes, no VM notifications). Charged under the caller's
   // context, where the item is queued.
+  obs::Attributor& attrib = machine_.attrib();
+  const bool profiling = attrib.enabled();
+  if (profiling) {
+    attrib.PushGateFrame(IsolationBackendName(backend_),
+                         machine_.clock().cycles());
+  }
   route.gate->ChargeBatchItem(machine_, kGateArgBytes, kGateRetBytes);
+  if (profiling) {
+    attrib.PopFrame(machine_.clock().cycles());
+    attrib.PushFrame(route.to, route.to_comp, machine_.clock().cycles());
+  }
   machine_.context() = *route.target_exec;
   body();
   machine_.context() = state->session.caller;
+  if (profiling) {
+    attrib.PopFrame(machine_.clock().cycles());
+  }
 }
 
 void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
   const auto* state = static_cast<const BatchState*>(batch.session());
   // Notification-only exit: return payloads were charged per item.
   GateCrossing exit{.target_context = route.target_exec};
+  obs::Attributor& attrib = machine_.attrib();
+  const bool profiling = attrib.enabled();
+  const std::string_view backend = IsolationBackendName(backend_);
   const uint64_t t0 = machine_.clock().cycles();
+  if (profiling) {
+    attrib.PushGateFrame(backend, t0);
+  }
   route.gate->Exit(machine_, exit, state->session);
   // One latency sample per batched crossing: the amortized entry+exit
   // overhead the batch paid for all of its items.
@@ -371,8 +427,14 @@ void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
       route.obs != nullptr
           ? route.obs
           : &BoundaryRecorderFor(route.from_comp, route.to_comp);
-  recorder->latency_ns->Record(machine_.clock().CyclesToNanos(
-      state->entry_cycles + (machine_.clock().cycles() - t0)));
+  const uint64_t overhead_ns = machine_.clock().CyclesToNanos(
+      state->entry_cycles + (machine_.clock().cycles() - t0));
+  recorder->latency_ns->Record(overhead_ns);
+  if (profiling) {
+    attrib.PopFrame(machine_.clock().cycles());
+    attrib.OnGateCrossing(backend, route.from_comp, route.to_comp,
+                          overhead_ns);
+  }
 }
 
 void Image::RegisterApiContract(std::string_view lib, std::string_view func,

@@ -1,5 +1,5 @@
 // The calibrated cycle-cost model. Every constant carries a source note; see
-// DESIGN.md §8 for the calibration table. Absolute values are estimates —
+// DESIGN.md §9 for the calibration table. Absolute values are estimates —
 // the reproduction targets are orderings, ratios, and crossover points.
 #ifndef FLEXOS_HW_COST_MODEL_H_
 #define FLEXOS_HW_COST_MODEL_H_

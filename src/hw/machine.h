@@ -10,6 +10,7 @@
 #include "hw/clock.h"
 #include "hw/cost_model.h"
 #include "hw/pkru.h"
+#include "obs/attrib.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -74,6 +75,12 @@ class Machine {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  // Cycle/request attributor (DESIGN.md §8); observes the clock, never
+  // charges it. Disabled by default — flexstat --flame/--request and the
+  // profiler tests enable it via attrib().SetEnabled(true, cycles).
+  obs::Attributor& attrib() { return attrib_; }
+  const obs::Attributor& attrib() const { return attrib_; }
+
   // Charges `cycles` of modeled computation. Compute charges are
   // instrumentation-insensitive: ASAN-class hardening taxes memory
   // operations (ChargeMemOp), not stall/branch-dominated fixed work.
@@ -89,6 +96,7 @@ class Machine {
   MachineStats stats_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::Attributor attrib_;
 };
 
 // RAII guard that installs an ExecContext and restores the previous one;

@@ -248,6 +248,17 @@ Result<int> TcpEngine::Accept(int listener_id) {
   FLEXOS_CHECK(conn != nullptr, "pending conn vanished");
   conn->listener_id = -1;
   counters_.conns_accepted->Add();
+  // Each accepted connection is one request: the attributor charges every
+  // cycle between here and Close to it (DESIGN.md §8).
+  obs::Attributor& attrib = machine_.attrib();
+  if (attrib.enabled()) {
+    conn->trace_request =
+        attrib
+            .BeginRequest(StrFormat("tcp:%u", conn->key.local_port),
+                          machine_.clock().cycles(),
+                          machine_.clock().NowNanos())
+            .id;
+  }
   return conn_id;
 }
 
@@ -432,6 +443,12 @@ Status TcpEngine::Close(int conn_id) {
   Conn* conn = FindConn(conn_id);
   if (conn == nullptr) {
     return Status(ErrorCode::kNotFound, "no such connection");
+  }
+  if (conn->trace_request != 0) {
+    machine_.attrib().EndRequest(conn->trace_request,
+                                 machine_.clock().cycles(),
+                                 machine_.clock().NowNanos());
+    conn->trace_request = 0;
   }
   switch (conn->state) {
     case TcpState::kEstablished:

@@ -198,6 +198,10 @@ class TcpEngine {
     std::unique_ptr<Semaphore> send_sem;
 
     int listener_id = -1;  // Set until accepted.
+
+    // Request id minted at Accept when the attributor is enabled; closed at
+    // Close. 0 = untracked.
+    uint64_t trace_request = 0;
   };
 
   struct Listener {

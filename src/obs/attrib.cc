@@ -1,0 +1,246 @@
+#ifndef FLEXOS_OBS_DISABLED
+
+#include "obs/attrib.h"
+
+#include "obs/names.h"
+
+namespace flexos {
+namespace obs {
+inline namespace obs_enabled {
+
+Attributor::Attributor() {
+  ThreadState& platform = states_[0];
+  platform.tid = 0;
+  platform.path = "platform";
+  platform.active_once = true;
+  active_ = &platform;
+}
+
+void Attributor::SetEnabled(bool on, uint64_t now_cycles) {
+  if (on == enabled_) {
+    return;
+  }
+  if (on) {
+    last_cycles_ = now_cycles;
+    enabled_ = true;
+  } else {
+    Charge(now_cycles);
+    enabled_ = false;
+  }
+}
+
+void Attributor::Charge(uint64_t now_cycles) {
+  if (!enabled_ || now_cycles <= last_cycles_) {
+    return;
+  }
+  const uint64_t delta = now_cycles - last_cycles_;
+  last_cycles_ = now_cycles;
+  attributed_cycles_ += delta;
+  flame_[active_->path] += delta;
+  const Frame* top = active_->frames.empty() ? nullptr : &active_->frames.back();
+  const bool in_gate = top != nullptr && top->gate;
+  // Lib frames charge their compartment; an empty stack charges the thread's
+  // ambient context (platform, comp -1) so cycles are never dropped.
+  const int comp = (top != nullptr && !in_gate) ? top->comp : -1;
+  if (in_gate) {
+    backend_cycles_[top->label.substr(5)] += delta;  // strip "gate:"
+  } else {
+    comp_cycles_[comp] += delta;
+  }
+  if (active_->request != 0) {
+    RequestRecord& rec = RecordFor(active_->request);
+    rec.execute_cycles += delta;
+    if (in_gate) {
+      rec.gate_cycles += delta;
+    } else {
+      rec.comp_cycles[comp] += delta;
+    }
+  }
+}
+
+RequestRecord& Attributor::RecordFor(uint64_t id) {
+  RequestRecord& rec = requests_[id];
+  if (rec.id == 0 && id == kUnattributedRequestId && rec.name.empty()) {
+    rec.name = "unattributed";
+  }
+  rec.id = id;
+  return rec;
+}
+
+void Attributor::ActivateThread(uint64_t tid, std::string_view name,
+                                uint64_t now_cycles) {
+  if (!enabled_) {
+    return;
+  }
+  Charge(now_cycles);
+  if (active_->tid == tid) {
+    return;
+  }
+  active_->deactivated_at = now_cycles;
+  auto [it, inserted] = states_.try_emplace(tid);
+  ThreadState& state = it->second;
+  if (inserted || !state.active_once) {
+    state.tid = tid;
+    state.path = name.empty() ? "t" + std::to_string(tid) : std::string(name);
+    state.active_once = true;
+  }
+  // Time spent descheduled while a request was bound counts as queue wait.
+  if (state.request != 0 && state.deactivated_at != 0 &&
+      now_cycles > state.deactivated_at) {
+    RecordFor(state.request).queue_wait_cycles +=
+        now_cycles - state.deactivated_at;
+  }
+  state.deactivated_at = 0;
+  active_ = &state;
+}
+
+void Attributor::PushFrame(std::string_view lib, int comp,
+                           uint64_t now_cycles) {
+  if (!enabled_) {
+    return;
+  }
+  Charge(now_cycles);
+  Frame frame;
+  frame.label = std::string(lib);
+  frame.comp = comp;
+  frame.gate = false;
+  frame.prev_path_len = static_cast<uint32_t>(active_->path.size());
+  active_->path += ';';
+  active_->path += frame.label;
+  active_->frames.push_back(std::move(frame));
+}
+
+void Attributor::PushGateFrame(std::string_view backend, uint64_t now_cycles) {
+  if (!enabled_) {
+    return;
+  }
+  Charge(now_cycles);
+  Frame frame;
+  frame.label = "gate:";
+  frame.label += backend;
+  frame.gate = true;
+  frame.prev_path_len = static_cast<uint32_t>(active_->path.size());
+  active_->path += ';';
+  active_->path += frame.label;
+  active_->frames.push_back(std::move(frame));
+}
+
+void Attributor::PopFrame(uint64_t now_cycles) {
+  if (!enabled_) {
+    return;
+  }
+  Charge(now_cycles);
+  if (active_->frames.empty()) {
+    return;  // Enabled mid-call: unmatched pop, ignore.
+  }
+  active_->path.resize(active_->frames.back().prev_path_len);
+  active_->frames.pop_back();
+}
+
+TraceContext Attributor::BeginRequest(std::string_view name,
+                                      uint64_t now_cycles, uint64_t now_ns) {
+  if (!enabled_) {
+    return TraceContext{};
+  }
+  Charge(now_cycles);
+  const uint64_t id = next_request_id_++;
+  RequestRecord& rec = requests_[id];
+  rec.id = id;
+  rec.name = std::string(name);
+  rec.start_ns = now_ns;
+  rec.open = true;
+  active_->request = id;
+  return TraceContext{id, now_ns};
+}
+
+void Attributor::EndRequest(uint64_t id, uint64_t now_cycles,
+                            uint64_t now_ns) {
+  if (!enabled_ || id == 0) {
+    return;
+  }
+  Charge(now_cycles);
+  auto it = requests_.find(id);
+  if (it == requests_.end() || !it->second.open) {
+    return;
+  }
+  it->second.open = false;
+  it->second.end_ns = now_ns;
+  for (auto& [tid, state] : states_) {
+    if (state.request == id) {
+      state.request = 0;
+    }
+  }
+}
+
+uint64_t Attributor::current_request() const {
+  return active_ == nullptr ? 0 : active_->request;
+}
+
+void Attributor::OnGateCrossing(std::string_view backend, int from_comp,
+                                int to_comp, uint64_t overhead_ns) {
+  if (!enabled_) {
+    return;
+  }
+  RequestRecord& rec = RecordFor(active_->request);
+  rec.crossings += 1;
+  rec.boundary_gate_ns[GateMetricName("latency_ns", backend, from_comp,
+                                      to_comp)] += overhead_ns;
+}
+
+void Attributor::Sync(uint64_t now_cycles) { Charge(now_cycles); }
+
+std::vector<FlameEntry> Attributor::Flame() const {
+  std::vector<FlameEntry> out;
+  out.reserve(flame_.size());
+  for (const auto& [stack, cycles] : flame_) {
+    out.push_back(FlameEntry{stack, cycles});
+  }
+  return out;
+}
+
+std::string Attributor::CollapsedStacks() const {
+  std::string out;
+  for (const auto& [stack, cycles] : flame_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(cycles);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<const RequestRecord*> Attributor::Requests() const {
+  std::vector<const RequestRecord*> out;
+  out.reserve(requests_.size());
+  for (const auto& [id, rec] : requests_) {
+    out.push_back(&rec);
+  }
+  return out;
+}
+
+const RequestRecord* Attributor::FindRequest(uint64_t id) const {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : &it->second;
+}
+
+void Attributor::Reset(uint64_t now_cycles) {
+  flame_.clear();
+  comp_cycles_.clear();
+  backend_cycles_.clear();
+  requests_.clear();
+  next_request_id_ = 1;
+  attributed_cycles_ = 0;
+  states_.clear();
+  ThreadState& platform = states_[0];
+  platform.tid = 0;
+  platform.path = "platform";
+  platform.active_once = true;
+  active_ = &platform;
+  last_cycles_ = now_cycles;
+}
+
+}  // namespace obs_enabled
+}  // namespace obs
+}  // namespace flexos
+
+#endif  // FLEXOS_OBS_DISABLED

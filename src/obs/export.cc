@@ -165,6 +165,10 @@ std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
     AppendU64(&out, event.a0);
     out += ",\"a1\":";
     AppendU64(&out, event.a1);
+    if (event.req != 0) {
+      out += ",\"req\":";
+      AppendU64(&out, event.req);
+    }
     if (event.text[0] != '\0') {
       out += ",\"msg\":\"";
       out += JsonEscape(event.text);

@@ -57,6 +57,7 @@ struct TraceEvent {
   uint64_t dur_ns = 0;  // Span length; 0 for instants.
   uint64_t a0 = 0;      // Event args (bytes, sizes, ids — per event type).
   uint64_t a1 = 0;
+  uint64_t req = 0;     // Request id (obs::TraceContext); 0 = unattributed.
   const char* name = nullptr;  // Must outlive the tracer (literal or
                                // component-owned string).
   char text[48] = {};          // Inline payload for log messages.
@@ -134,7 +135,7 @@ class Tracer {
 
   void RecordComplete(TraceCat cat, const char* name, uint64_t ts_ns,
                       uint64_t dur_ns, int32_t tid, uint64_t a0 = 0,
-                      uint64_t a1 = 0) {
+                      uint64_t a1 = 0, uint64_t req = 0) {
     if (!enabled()) {
       return;
     }
@@ -143,6 +144,7 @@ class Tracer {
     event.dur_ns = dur_ns;
     event.a0 = a0;
     event.a1 = a1;
+    event.req = req;
     event.name = name;
     event.tid = tid;
     event.cat = cat;
@@ -242,7 +244,7 @@ class Tracer {
   void SetTimeSource(TimeSourceFn, void*) {}
   uint64_t NowNs() const { return 0; }
   void RecordComplete(TraceCat, const char*, uint64_t, uint64_t, int32_t,
-                      uint64_t = 0, uint64_t = 0) {}
+                      uint64_t = 0, uint64_t = 0, uint64_t = 0) {}
   void RecordInstant(TraceCat, const char*, int32_t, uint64_t = 0,
                      uint64_t = 0) {}
   void RecordMessage(TraceCat, const char*, std::string_view, int32_t) {}

@@ -89,6 +89,12 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   const uint64_t slice_start_ns = tracer.enabled() ? tracer.NowNs() : 0;
   current_ = thread;
   thread->state_ = ThreadState::kRunning;
+  obs::Attributor& attrib = machine_.attrib();
+  if (attrib.enabled()) {
+    // Thread ids start at 1; id 0 names the platform run loop below.
+    attrib.ActivateThread(thread->id(), thread->name(),
+                          machine_.clock().cycles());
+  }
   const ExecContext run_loop_context = machine_.context();
   machine_.context() = thread->exec_context_;
   if (thread->context_.uc_stack.ss_sp == nullptr) {
@@ -104,6 +110,9 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   thread->exec_context_ = machine_.context();
   machine_.context() = run_loop_context;
   current_ = nullptr;
+  if (attrib.enabled()) {
+    attrib.ActivateThread(0, "platform", machine_.clock().cycles());
+  }
   // The slice this thread just ran, in virtual time. Static span name +
   // thread id in a0: the event must not reference the thread's name, whose
   // storage can die before the trace is exported. Track = the compartment

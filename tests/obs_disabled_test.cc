@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/attrib.h"
 #include "obs/trace.h"
 
 namespace flexos {
@@ -49,6 +50,52 @@ TEST(ObsDisabledTest, TraceBufferStillWorksStandalone) {
   obs::TraceBuffer ring(2);
   ring.Push(obs::TraceEvent{});
   EXPECT_EQ(ring.pushed(), 1u);
+}
+
+TEST(ObsDisabledTest, AttributorIsInertStub) {
+  obs::Attributor attrib;
+  attrib.SetEnabled(true, 100);  // Must not actually enable anything.
+  EXPECT_FALSE(attrib.enabled());
+
+  // Every instrumentation hook must compile and do nothing.
+  attrib.ActivateThread(1, "worker", 0);
+  attrib.PushFrame("app", 1, 10);
+  attrib.PushGateFrame("mpk-shared", 20);
+  attrib.PopFrame(30);
+  attrib.PopFrame(40);
+  attrib.OnGateCrossing("mpk-shared", 0, 1, 55);
+  attrib.Sync(100);
+  attrib.Reset(100);
+
+  EXPECT_EQ(attrib.attributed_cycles(), 0u);
+  EXPECT_TRUE(attrib.Flame().empty());
+  EXPECT_TRUE(attrib.CollapsedStacks().empty());
+  EXPECT_TRUE(attrib.CompartmentCycles().empty());
+  EXPECT_TRUE(attrib.BackendGateCycles().empty());
+  EXPECT_TRUE(attrib.Requests().empty());
+  EXPECT_EQ(attrib.FindRequest(obs::kUnattributedRequestId), nullptr);
+  EXPECT_EQ(attrib.requests_started(), 0u);
+}
+
+TEST(ObsDisabledTest, StubRequestsNeverMint) {
+  obs::Attributor attrib;
+  const obs::TraceContext ctx = attrib.BeginRequest("tcp:5001", 0, 1000);
+  EXPECT_EQ(ctx.id, 0u);
+  EXPECT_FALSE(static_cast<bool>(ctx));
+  EXPECT_EQ(attrib.current_request(), 0u);
+  attrib.EndRequest(ctx.id, 50, 2000);  // No-op, must not crash.
+  EXPECT_TRUE(attrib.Requests().empty());
+}
+
+TEST(ObsDisabledTest, RequestRecordTypesArePlainData) {
+  // TraceContext and RequestRecord are shared plain types, usable (e.g. by
+  // exporters and tools) even when the attributor itself is stubbed.
+  obs::RequestRecord record;
+  record.start_ns = 100;
+  record.end_ns = 350;
+  EXPECT_EQ(record.WallNanos(), 250u);
+  record.end_ns = 0;  // Still open: wall clamps to zero.
+  EXPECT_EQ(record.WallNanos(), 0u);
 }
 
 }  // namespace

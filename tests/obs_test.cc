@@ -10,7 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/iperf_client.h"
+#include "apps/iperf_server.h"
+#include "apps/testbed.h"
 #include "core/image_builder.h"
+#include "hw/clock.h"
+#include "obs/attrib.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -271,6 +276,76 @@ TEST(LatencyHistogramTest, PercentileClampsToMinAndEmptyIsZero) {
   EXPECT_EQ(hist.Percentile(50), 0u);
   hist.Record(9);  // Bucket [8, 10): lower bound 8 < min 9.
   EXPECT_EQ(hist.Percentile(50), 9u);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentilesAreZero) {
+  const LatencyHistogram hist;
+  EXPECT_EQ(hist.Percentile(0), 0u);
+  EXPECT_EQ(hist.Percentile(50), 0u);
+  EXPECT_EQ(hist.Percentile(99), 0u);
+  EXPECT_EQ(hist.Percentile(100), 0u);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSamplePercentiles) {
+  // One sample: every rank must resolve to it. 1000 lands in log bucket
+  // [896, 1024), whose lower bound is below the sample; the [min, max]
+  // clamp restores the exact value.
+  LatencyHistogram hist;
+  hist.Record(1000);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.Percentile(0), 1000u);
+  EXPECT_EQ(hist.Percentile(50), 1000u);
+  EXPECT_EQ(hist.Percentile(99), 1000u);
+  EXPECT_EQ(hist.Percentile(100), 1000u);
+}
+
+TEST(LatencyHistogramTest, MaxBucketSaturation) {
+  // Everything past 2^(kMaxExp+1) shares the overflow bucket; percentiles
+  // that land there report the exact observed max, never a bucket bound.
+  const uint64_t first_overflow = uint64_t{1}
+                                  << (LatencyHistogram::kMaxExp + 1);
+  LatencyHistogram hist;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    hist.Record(first_overflow * i);
+  }
+  EXPECT_EQ(hist.count(), 10u);
+  EXPECT_EQ(hist.overflow(), 10u);
+  EXPECT_EQ(hist.min(), first_overflow);
+  EXPECT_EQ(hist.max(), first_overflow * 10);
+  EXPECT_EQ(hist.Percentile(1), first_overflow * 10);
+  EXPECT_EQ(hist.Percentile(50), first_overflow * 10);
+  EXPECT_EQ(hist.Percentile(100), first_overflow * 10);
+
+  // Mixed: one in-range sample keeps p1 out of the overflow bucket.
+  hist.Record(5);
+  EXPECT_EQ(hist.Percentile(1), 5u);
+  EXPECT_EQ(hist.Percentile(99), first_overflow * 10);
+}
+
+TEST(ClockTest, CyclesToNanosExactAtHistogramBucketBoundaries) {
+  // The division-free CyclesToNanos feeds gate latency values straight into
+  // histogram Record; a one-off at a bucket's lower bound would flip the
+  // sample into the neighboring bucket. Check exact floor semantics at
+  // every bucket edge (and one on each side) across several frequencies,
+  // including ones where 1e9/freq is not an integer.
+  const uint64_t freqs[] = {Clock::kDefaultFreqHz, 1'000'000'000ULL,
+                            2'500'000'000ULL, 3'333'333'333ULL};
+  for (const uint64_t freq : freqs) {
+    const Clock clock(freq);
+    for (int i = 0; i <= LatencyHistogram::kOverflowBucket; ++i) {
+      const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+      for (const uint64_t cycles : {lo == 0 ? 0 : lo - 1, lo, lo + 1}) {
+        const uint64_t exact = static_cast<uint64_t>(
+            static_cast<unsigned __int128>(cycles) * 1'000'000'000ULL /
+            freq);
+        ASSERT_EQ(clock.CyclesToNanos(cycles), exact)
+            << "freq=" << freq << " bucket=" << i << " cycles=" << cycles;
+      }
+    }
+  }
 }
 
 TEST(LatencyHistogramTest, ResetClearsEverything) {
@@ -538,6 +613,22 @@ TEST(ExportTest, EmptyTraceIsValid) {
   ValidateChromeTrace(obs::TraceToChromeJson({}), 0);
 }
 
+TEST(ExportTest, MetricsJsonIsDeterministicallyOrdered) {
+  // flexstat --metrics/--json output diffs cleanly run-to-run: metrics are
+  // emitted in name order regardless of registration order.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("z.last").Add(1);
+  registry.GetCounter("a.first").Add(2);
+  registry.GetGauge("m.middle").Set(3);
+  registry.GetHistogram("b.second").Record(4);
+  const std::string json = obs::MetricsToJson(registry);
+  EXPECT_EQ(json, obs::MetricsToJson(registry));
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root));
+}
+
 // ---------------------------------------------------------------------------
 // Log bridge.
 
@@ -650,6 +741,216 @@ TEST(ObsIntegrationTest, GateSpansTracedWhenEnabled) {
   }
   EXPECT_TRUE(saw_gate_span);
 }
+#endif  // FLEXOS_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Attributor: exact cycle attribution and request accounting (PR 4). Live
+// implementation only; tests/obs_disabled_test.cc covers the stub contract.
+#ifndef FLEXOS_OBS_DISABLED
+
+TEST(AttributorTest, ChargesNestedFramesAndConserves) {
+  obs::Attributor attrib;
+  attrib.SetEnabled(true, 100);
+  attrib.ActivateThread(1, "worker", 100);
+  attrib.PushFrame("app", 1, 100);
+  attrib.PushFrame("net", 0, 150);           // 50 cycles in app.
+  attrib.PushGateFrame("mpk-shared", 160);   // 10 cycles in net.
+  attrib.PopFrame(180);                      // 20 cycles in the gate.
+  attrib.PopFrame(200);                      // 20 more in net.
+  attrib.PopFrame(230);                      // 30 more in app.
+  attrib.Sync(250);                          // 20 at thread base.
+
+  // Conservation: every cycle elapsed while enabled lands in exactly one
+  // flame bucket.
+  EXPECT_EQ(attrib.attributed_cycles(), 150u);
+  uint64_t flame_total = 0;
+  for (const obs::FlameEntry& entry : attrib.Flame()) {
+    flame_total += entry.cycles;
+  }
+  EXPECT_EQ(flame_total, 150u);
+
+  const std::map<int, uint64_t> comp = attrib.CompartmentCycles();
+  EXPECT_EQ(comp.at(1), 80u);   // app frames.
+  EXPECT_EQ(comp.at(0), 30u);   // net frames.
+  EXPECT_EQ(comp.at(-1), 20u);  // thread base (no lib frame).
+  EXPECT_EQ(attrib.BackendGateCycles().at("mpk-shared"), 20u);
+
+  const std::string stacks = attrib.CollapsedStacks();
+  EXPECT_NE(stacks.find("worker;app;net;gate:mpk-shared 20\n"),
+            std::string::npos)
+      << stacks;
+  EXPECT_NE(stacks.find("worker;app 80\n"), std::string::npos) << stacks;
+}
+
+TEST(AttributorTest, RequestSplitsExecuteQueueWaitAndGateOverhead) {
+  obs::Attributor attrib;
+  attrib.SetEnabled(true, 0);
+  attrib.ActivateThread(1, "server", 0);
+  const obs::TraceContext ctx = attrib.BeginRequest("tcp:5001", 0, 1000);
+  EXPECT_EQ(ctx.id, 1u);
+  EXPECT_TRUE(static_cast<bool>(ctx));
+  EXPECT_EQ(attrib.current_request(), 1u);
+
+  attrib.PushFrame("net", 0, 0);
+  attrib.PushGateFrame("vm-rpc", 40);   // 40 executing in net.
+  attrib.PopFrame(70);                  // 30 in the gate.
+  attrib.OnGateCrossing("vm-rpc", 0, 1, 55);
+  attrib.PopFrame(100);                 // 30 more in net.
+
+  // Descheduled from 100 to 160: queue wait, not execute.
+  attrib.ActivateThread(0, "platform", 100);
+  attrib.ActivateThread(1, "server", 160);
+  attrib.EndRequest(ctx.id, 200, 5000);  // 40 more execute at thread base.
+  attrib.Sync(200);
+  EXPECT_EQ(attrib.current_request(), 0u);
+
+  const obs::RequestRecord* req = attrib.FindRequest(ctx.id);
+  ASSERT_NE(req, nullptr);
+  EXPECT_FALSE(req->open);
+  EXPECT_EQ(req->name, "tcp:5001");
+  EXPECT_EQ(req->start_ns, 1000u);
+  EXPECT_EQ(req->end_ns, 5000u);
+  EXPECT_EQ(req->WallNanos(), 4000u);
+  EXPECT_EQ(req->execute_cycles, 140u);
+  EXPECT_EQ(req->gate_cycles, 30u);
+  EXPECT_EQ(req->queue_wait_cycles, 60u);
+  EXPECT_EQ(req->crossings, 1u);
+
+  // Per-compartment body cycles plus gate halves partition execute exactly.
+  uint64_t comp_total = 0;
+  for (const auto& [comp, cycles] : req->comp_cycles) {
+    comp_total += cycles;
+  }
+  EXPECT_EQ(comp_total + req->gate_cycles, req->execute_cycles);
+
+  const std::string boundary =
+      obs::GateMetricName("latency_ns", "vm-rpc", 0, 1);
+  ASSERT_EQ(req->boundary_gate_ns.count(boundary), 1u);
+  EXPECT_EQ(req->boundary_gate_ns.at(boundary), 55u);
+}
+
+TEST(AttributorTest, CrossingsOutsideRequestsChargeUnattributedRecord) {
+  obs::Attributor attrib;
+  attrib.SetEnabled(true, 0);
+  attrib.OnGateCrossing("none", -1, 0, 17);
+  attrib.OnGateCrossing("none", -1, 0, 3);
+  EXPECT_EQ(attrib.requests_started(), 0u);
+
+  const obs::RequestRecord* unattributed =
+      attrib.FindRequest(obs::kUnattributedRequestId);
+  ASSERT_NE(unattributed, nullptr);
+  EXPECT_EQ(unattributed->crossings, 2u);
+  const std::string boundary =
+      obs::GateMetricName("latency_ns", "none", -1, 0);
+  EXPECT_EQ(unattributed->boundary_gate_ns.at(boundary), 20u);
+  // The unattributed record leads the sorted request list.
+  const auto requests = attrib.Requests();
+  ASSERT_FALSE(requests.empty());
+  EXPECT_EQ(requests.front()->id, obs::kUnattributedRequestId);
+}
+
+TEST(AttributorTest, DisabledRecordsNothing) {
+  obs::Attributor attrib;
+  EXPECT_FALSE(attrib.enabled());
+  attrib.ActivateThread(1, "t", 10);
+  attrib.PushFrame("app", 1, 20);
+  attrib.PopFrame(30);
+  attrib.OnGateCrossing("none", 0, 1, 5);
+  attrib.Sync(100);
+  EXPECT_EQ(attrib.attributed_cycles(), 0u);
+  EXPECT_TRUE(attrib.Flame().empty());
+  EXPECT_FALSE(static_cast<bool>(attrib.BeginRequest("r", 0, 0)));
+}
+
+// Acceptance: run a real iperf transfer with the profiler on and reconcile
+// the request view against the metrics registry — summing boundary gate
+// overhead over all request records (including the unattributed record)
+// must reproduce the gate.latency_ns.* histogram sums exactly, and every
+// cycle elapsed while enabled must be attributed exactly once.
+TEST(ObsIntegrationTest, IperfRequestReconcilesWithGateHistograms) {
+  TestbedConfig config;
+  config.image.backend = IsolationBackend::kMpkSharedStack;
+  config.image.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  config.profile = true;  // Attributor enabled at the end of boot.
+  Testbed bed(config);
+  obs::Attributor& attrib = bed.machine().attrib();
+  ASSERT_TRUE(attrib.enabled());
+  const uint64_t epoch = bed.machine().clock().cycles();
+
+  constexpr uint64_t kBytes = 256 * 1024;
+  IperfServerResult server_result;
+  SpawnIperfServer(bed, IperfServerOptions{}, &server_result);
+  IperfRemoteClient client(kBytes);
+  RemoteTcpPeer peer(bed.machine(), bed.link(), RemoteTcpConfig{}, client);
+  bed.AddPeer(&peer);
+  peer.Connect();
+  ASSERT_TRUE(bed.Run().ok());
+  ASSERT_EQ(server_result.bytes_received, kBytes);
+
+  const uint64_t end = bed.machine().clock().cycles();
+  attrib.Sync(end);
+
+  // Conservation invariant.
+  EXPECT_EQ(attrib.attributed_cycles(), end - epoch);
+  uint64_t flame_total = 0;
+  for (const obs::FlameEntry& entry : attrib.Flame()) {
+    flame_total += entry.cycles;
+  }
+  EXPECT_EQ(flame_total, end - epoch);
+  uint64_t comp_total = 0;
+  for (const auto& [comp, cycles] : attrib.CompartmentCycles()) {
+    comp_total += cycles;
+  }
+  uint64_t backend_total = 0;
+  for (const auto& [backend, cycles] : attrib.BackendGateCycles()) {
+    backend_total += cycles;
+  }
+  EXPECT_EQ(comp_total + backend_total, end - epoch);
+  EXPECT_GT(backend_total, 0u);
+
+  // The accepted connection minted request 1 and Close ended it.
+  const obs::RequestRecord* req = attrib.FindRequest(1);
+  ASSERT_NE(req, nullptr);
+  EXPECT_FALSE(req->open);
+  EXPECT_EQ(req->name, "tcp:5001");
+  EXPECT_GT(req->execute_cycles, 0u);
+  EXPECT_GT(req->queue_wait_cycles, 0u);
+  EXPECT_GT(req->crossings, 0u);
+  uint64_t req_comp_total = 0;
+  for (const auto& [comp, cycles] : req->comp_cycles) {
+    req_comp_total += cycles;
+  }
+  EXPECT_EQ(req_comp_total + req->gate_cycles, req->execute_cycles);
+
+  // Boundary reconciliation: request records vs. latency histograms.
+  std::map<std::string, uint64_t> request_sums;
+  uint64_t request_crossings = 0;
+  for (const obs::RequestRecord* record : attrib.Requests()) {
+    for (const auto& [boundary, ns] : record->boundary_gate_ns) {
+      request_sums[boundary] += ns;
+    }
+    request_crossings += record->crossings;
+  }
+  std::map<std::string, uint64_t> histogram_sums;
+  uint64_t histogram_crossings = 0;
+  for (const auto& entry : bed.machine().metrics().Entries()) {
+    obs::GateMetricParts parts;
+    if (!obs::ParseGateMetricName(entry.name, &parts)) {
+      continue;
+    }
+    if (parts.family == "latency_ns" && entry.histogram != nullptr &&
+        entry.histogram->count() > 0) {
+      histogram_sums[std::string(entry.name)] = entry.histogram->sum();
+    }
+    if (parts.family == "crossings" && entry.counter != nullptr) {
+      histogram_crossings += entry.counter->value();
+    }
+  }
+  EXPECT_FALSE(histogram_sums.empty());
+  EXPECT_EQ(request_sums, histogram_sums);
+  EXPECT_EQ(request_crossings, histogram_crossings);
+}
+
 #endif  // FLEXOS_OBS_DISABLED
 
 TEST(ObsIntegrationTest, BatchedCallsRecordBatchedCounter) {

@@ -1,0 +1,662 @@
+// flexbench: the continuous perf-regression harness (DESIGN.md §8). Runs
+// the benchmark binaries listed in bench/bench_manifest.h, parses their
+// table output into named metrics, and either
+//   * writes a baseline JSON (--write-baseline FILE), or
+//   * compares against a checked-in baseline (--baseline FILE) with a
+//     relative noise tolerance, exiting non-zero on any drift.
+//
+// Modeled results are deterministic, so "drift" means a code change moved a
+// modeled number — intentional changes are reviewed by regenerating the
+// baseline (scripts/bench_snapshot.sh), accidental ones fail CI. Wall-clock
+// benches (compare=false in the manifest) run gate-only: their own internal
+// checks decide pass/fail via exit status.
+//
+//   flexbench --bindir DIR [--smoke] [--baseline FILE] [--out FILE]
+//             [--write-baseline FILE] [--tolerance X]
+//
+// JSON schema ("flexos-bench-v1", documented in DESIGN.md §8) is shared by
+// baselines and run reports (BENCH_PR4.json); a baseline is a run report
+// with kind "baseline".
+//
+// Exit status: 0 all benches passed (and matched the baseline, if given),
+// 1 on bench failure or drift, 2 on usage / I/O / schema errors.
+#include <sys/wait.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_manifest.h"
+
+namespace flexos {
+namespace bench {
+namespace {
+
+struct Options {
+  std::string bindir = "bench";
+  std::string baseline_path;
+  std::string out_path;
+  std::string write_baseline_path;
+  double tolerance = kBenchDefaultTolerance;
+  bool smoke = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: flexbench --bindir DIR [--smoke] [--baseline FILE]\n"
+      "                 [--out FILE] [--write-baseline FILE] "
+      "[--tolerance X]\n");
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Bench-table parsing (the output contract in bench_manifest.h).
+
+// Numeric token with an optional benign unit suffix: "2.91x", "10.0GbE",
+// "2.1%". Anything else non-numeric is skipped.
+bool ParseNumericToken(const std::string& token, double* out) {
+  if (token.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str()) {
+    return false;
+  }
+  const std::string rest(end);
+  if (rest.empty() || rest == "x" || rest == "GbE" || rest == "%") {
+    *out = value;
+    return true;
+  }
+  return false;
+}
+
+std::string SanitizeLabel(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+// metric name ("r<row>.<label>.c<col>") -> value, insertion-ordered by the
+// sorted map so JSON output is deterministic.
+using MetricMap = std::map<std::string, double>;
+
+MetricMap ParseBenchOutput(const BenchSpec& spec, const std::string& text) {
+  MetricMap metrics;
+  std::istringstream lines(text);
+  std::string line;
+  int row = 0;
+  while (std::getline(lines, line)) {
+    std::istringstream tokens(line);
+    std::string token;
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    bool comment = false;
+    while (tokens >> token) {
+      if (labels.empty() && values.empty() && token[0] == '#') {
+        comment = true;
+        break;
+      }
+      double value = 0;
+      if (token == "Mb/s") {
+        // FormatRate unit: downscale the preceding value to Gb/s so a rate
+        // crossing the 1 Gb/s print threshold stays comparable.
+        if (!values.empty()) {
+          values.back() /= 1000.0;
+        }
+      } else if (ParseNumericToken(token, &value)) {
+        values.push_back(value);
+      } else if (values.empty()) {
+        labels.push_back(token);
+      }
+      // Non-numeric tokens after the first value ("Gb/s", "yes") skipped.
+    }
+    if (comment || values.empty()) {
+      continue;  // Comment, header, or blank line.
+    }
+    std::string label;
+    if (labels.empty()) {
+      // Numeric-first rows (fig3 buffer sizes): the first value is the row
+      // key, not a metric.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", values.front());
+      label = buf;
+      values.erase(values.begin());
+    } else {
+      for (const std::string& part : labels) {
+        if (!label.empty()) {
+          label += '_';
+        }
+        label += SanitizeLabel(part);
+      }
+    }
+    for (size_t col = 0; col < values.size(); ++col) {
+      if (spec.Drops(static_cast<int>(col))) {
+        continue;
+      }
+      char key[96];
+      std::snprintf(key, sizeof(key), "r%d.%s.c%zu", row, label.c_str(), col);
+      metrics[key] = values[col];
+    }
+    ++row;
+  }
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Running benches.
+
+struct BenchRun {
+  int exit_code = -1;
+  MetricMap metrics;
+};
+
+bool RunBench(const Options& opts, const BenchSpec& spec, BenchRun* out) {
+  std::string cmd = opts.bindir + "/" + std::string(spec.binary);
+  if (opts.smoke && spec.has_smoke) {
+    cmd += " --smoke";
+  }
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "flexbench: cannot run %s\n", cmd.c_str());
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    text.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  out->exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+  if (spec.compare) {
+    out->metrics = ParseBenchOutput(spec, text);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for our own flexos-bench-v1 files.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    return ParseValue(out) && (SkipWs(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            c = esc;
+        }
+      }
+      *out += c;
+    }
+    if (pos_ >= text_.size()) {
+      return false;  // Unterminated string.
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
+          return false;
+        }
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) {
+          continue;
+        }
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->array.push_back(std::move(value));
+        if (Consume(',')) {
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) {
+      return false;
+    }
+    out->kind = JsonValue::kNumber;
+    out->number = value;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+struct Baseline {
+  std::string mode;  // "full" | "smoke"
+  std::map<std::string, MetricMap> benches;
+  std::map<std::string, int> exit_codes;
+};
+
+bool LoadBaseline(const std::string& path, Baseline* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "flexbench: cannot read baseline %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonValue root;
+  if (!JsonReader(text).Parse(&root) || root.kind != JsonValue::kObject) {
+    std::fprintf(stderr, "flexbench: %s: malformed JSON\n", path.c_str());
+    return false;
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->str != "flexos-bench-v1") {
+    std::fprintf(stderr, "flexbench: %s: not a flexos-bench-v1 file\n",
+                 path.c_str());
+    return false;
+  }
+  if (const JsonValue* mode = root.Find("mode"); mode != nullptr) {
+    out->mode = mode->str;
+  }
+  const JsonValue* benches = root.Find("benches");
+  if (benches == nullptr || benches->kind != JsonValue::kObject) {
+    std::fprintf(stderr, "flexbench: %s: missing benches object\n",
+                 path.c_str());
+    return false;
+  }
+  for (const auto& [name, bench] : benches->object) {
+    if (const JsonValue* code = bench.Find("exit_code"); code != nullptr) {
+      out->exit_codes[name] = static_cast<int>(code->number);
+    }
+    MetricMap& metrics = out->benches[name];
+    if (const JsonValue* m = bench.Find("metrics");
+        m != nullptr && m->kind == JsonValue::kObject) {
+      for (const auto& [key, value] : m->object) {
+        metrics[key] = value.number;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Report writing.
+
+void AppendNumber(std::string* out, double v) {
+  char buf[40];
+  // %.10g round-trips every table value (<= 3 printed decimals) exactly.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  *out += buf;
+}
+
+struct Drift {
+  std::string bench;
+  std::string metric;
+  double baseline = 0;
+  double run = 0;
+  bool missing = false;  // In baseline but not in this run.
+  bool added = false;    // In this run but not in the baseline.
+};
+
+std::string BuildReport(const Options& opts, const char* kind,
+                        const std::vector<std::pair<std::string, BenchRun>>&
+                            runs,
+                        const std::vector<Drift>* drifts, bool pass) {
+  std::string out = "{\n  \"schema\": \"flexos-bench-v1\",\n  \"kind\": \"";
+  out += kind;
+  out += "\",\n  \"mode\": \"";
+  out += opts.smoke ? "smoke" : "full";
+  out += "\",\n  \"tolerance\": ";
+  AppendNumber(&out, opts.tolerance);
+  out += ",\n  \"benches\": {\n";
+  bool first_bench = true;
+  for (const auto& [name, run] : runs) {
+    if (!first_bench) {
+      out += ",\n";
+    }
+    first_bench = false;
+    out += "    \"" + name + "\": {\"exit_code\": ";
+    AppendNumber(&out, run.exit_code);
+    out += ", \"metrics\": {";
+    bool first_metric = true;
+    for (const auto& [key, value] : run.metrics) {
+      if (!first_metric) {
+        out += ", ";
+      }
+      first_metric = false;
+      out += "\"" + key + "\": ";
+      AppendNumber(&out, value);
+    }
+    out += "}}";
+  }
+  out += "\n  }";
+  if (drifts != nullptr) {
+    out += ",\n  \"comparison\": {\n    \"baseline\": \"";
+    out += opts.baseline_path;
+    out += "\",\n    \"status\": \"";
+    out += pass ? "pass" : "fail";
+    out += "\",\n    \"regressions\": [";
+    bool first = true;
+    for (const Drift& drift : *drifts) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n      {\"bench\": \"" + drift.bench + "\", \"metric\": \"" +
+             drift.metric + "\", ";
+      if (drift.missing) {
+        out += "\"missing\": true, ";
+      }
+      if (drift.added) {
+        out += "\"added\": true, ";
+      }
+      out += "\"baseline\": ";
+      AppendNumber(&out, drift.baseline);
+      out += ", \"run\": ";
+      AppendNumber(&out, drift.run);
+      out += "}";
+    }
+    out += first ? "]" : "\n    ]";
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+int Run(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--bindir") {
+      const char* v = next_value();
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.bindir = v;
+    } else if (arg == "--baseline") {
+      const char* v = next_value();
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.baseline_path = v;
+    } else if (arg == "--out") {
+      const char* v = next_value();
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.out_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = next_value();
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.write_baseline_path = v;
+    } else if (arg == "--tolerance") {
+      const char* v = next_value();
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.tolerance = std::strtod(v, nullptr);
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "flexbench: unknown argument %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  Baseline baseline;
+  const bool checking = !opts.baseline_path.empty();
+  if (checking && !LoadBaseline(opts.baseline_path, &baseline)) {
+    return 2;
+  }
+  const char* mode = opts.smoke ? "smoke" : "full";
+  if (checking && !baseline.mode.empty() && baseline.mode != mode) {
+    std::fprintf(stderr,
+                 "flexbench: baseline %s is a %s-mode snapshot but this is "
+                 "a %s run\n",
+                 opts.baseline_path.c_str(), baseline.mode.c_str(), mode);
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, BenchRun>> runs;
+  std::vector<Drift> drifts;
+  bool benches_ok = true;
+  for (const BenchSpec& spec : kBenchManifest) {
+    BenchRun run;
+    if (!RunBench(opts, spec, &run)) {
+      return 2;
+    }
+    const bool ok = run.exit_code == 0;
+    benches_ok = benches_ok && ok;
+    std::printf("flexbench: %-20s exit=%d %s%zu metrics\n",
+                std::string(spec.name).c_str(), run.exit_code,
+                ok ? "" : "FAILED ", run.metrics.size());
+    if (checking && spec.compare) {
+      auto base_it = baseline.benches.find(std::string(spec.name));
+      if (base_it == baseline.benches.end()) {
+        std::fprintf(stderr,
+                     "flexbench: bench %s missing from baseline — "
+                     "regenerate with scripts/bench_snapshot.sh\n",
+                     std::string(spec.name).c_str());
+        drifts.push_back(Drift{std::string(spec.name), "*", 0, 0,
+                               /*missing=*/true, /*added=*/false});
+      } else {
+        const MetricMap& base = base_it->second;
+        for (const auto& [key, base_value] : base) {
+          auto it = run.metrics.find(key);
+          if (it == run.metrics.end()) {
+            drifts.push_back(Drift{std::string(spec.name), key, base_value,
+                                   0, /*missing=*/true, /*added=*/false});
+            continue;
+          }
+          const double run_value = it->second;
+          const double scale = std::max(std::fabs(base_value), 1e-9);
+          if (std::fabs(run_value - base_value) / scale > opts.tolerance) {
+            drifts.push_back(Drift{std::string(spec.name), key, base_value,
+                                   run_value, false, false});
+          }
+        }
+        for (const auto& [key, run_value] : run.metrics) {
+          if (base.find(key) == base.end()) {
+            drifts.push_back(Drift{std::string(spec.name), key, 0, run_value,
+                                   /*missing=*/false, /*added=*/true});
+          }
+        }
+      }
+    }
+    runs.emplace_back(std::string(spec.name), std::move(run));
+  }
+
+  const bool pass = benches_ok && drifts.empty();
+  for (const Drift& drift : drifts) {
+    if (drift.missing) {
+      std::fprintf(stderr, "flexbench: DRIFT %s.%s: in baseline, not in run\n",
+                   drift.bench.c_str(), drift.metric.c_str());
+    } else if (drift.added) {
+      std::fprintf(stderr, "flexbench: DRIFT %s.%s: new metric not in "
+                           "baseline\n",
+                   drift.bench.c_str(), drift.metric.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "flexbench: DRIFT %s.%s: baseline %.6g, run %.6g "
+                   "(tolerance %.3g)\n",
+                   drift.bench.c_str(), drift.metric.c_str(), drift.baseline,
+                   drift.run, opts.tolerance);
+    }
+  }
+
+  if (!opts.write_baseline_path.empty()) {
+    const std::string report =
+        BuildReport(opts, "baseline", runs, nullptr, pass);
+    if (!WriteFile(opts.write_baseline_path, report)) {
+      std::fprintf(stderr, "flexbench: cannot write %s\n",
+                   opts.write_baseline_path.c_str());
+      return 2;
+    }
+  }
+  if (!opts.out_path.empty()) {
+    const std::string report = BuildReport(
+        opts, "run", runs, checking ? &drifts : nullptr, pass);
+    if (!WriteFile(opts.out_path, report)) {
+      std::fprintf(stderr, "flexbench: cannot write %s\n",
+                   opts.out_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!benches_ok) {
+    std::fprintf(stderr, "flexbench: FAIL (bench exited non-zero)\n");
+    return 1;
+  }
+  if (!drifts.empty()) {
+    std::fprintf(stderr,
+                 "flexbench: FAIL (%zu drifted metrics; intentional? "
+                 "regenerate with scripts/bench_snapshot.sh)\n",
+                 drifts.size());
+    return 1;
+  }
+  std::printf("flexbench: PASS (%zu benches%s)\n", runs.size(),
+              checking ? ", baseline matched" : "");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flexos
+
+int main(int argc, char** argv) {
+  return flexos::bench::Run(argc, argv);
+}

@@ -10,7 +10,14 @@
 //     --json           print the metrics registry as JSON instead of a table
 //     --metrics FILE   also write the metrics JSON to FILE
 //     --trace FILE     enable tracing; write Chrome trace-event JSON to FILE
-//                      (load in Perfetto or chrome://tracing)
+//                      (load in Perfetto or chrome://tracing; gate spans
+//                      carry a "req" arg linking them to their request)
+//     --request SPEC   enable the attributor; print per-request latency
+//                      breakdowns. SPEC = "all" for the summary table or a
+//                      request id for the per-compartment/per-boundary view
+//     --flame FILE     enable the attributor; write collapsed-stack cycles
+//                      ("stack count" lines for flamegraph.pl / Speedscope)
+//                      to FILE, or to stdout when FILE is "-"
 //
 // Exit status: 0 on a complete run, 1 when the workload fails, 2 on usage
 // or I/O errors.
@@ -41,13 +48,16 @@ struct Options {
   bool json = false;
   std::string metrics_path;
   std::string trace_path;
+  std::string request_spec;  // "all" or a request id; empty = off.
+  std::string flame_path;    // "-" = stdout; empty = off.
   std::string config_path;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: flexstat [--bytes N] [--buffer N] [--batch] [--json]\n"
-               "                [--metrics FILE] [--trace FILE] "
+               "                [--metrics FILE] [--trace FILE]\n"
+               "                [--request all|ID] [--flame FILE|-] "
                "<config.conf>\n");
   return 2;
 }
@@ -165,6 +175,70 @@ void PrintTable(const std::vector<BoundaryRow>& rows, const Machine& machine,
                   metrics.CounterValue(obs::kMetricAllocCount)));
 }
 
+// ns rendered as ms with enough digits for microsecond-scale gates.
+double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void PrintRequestSummary(const obs::Attributor& attrib,
+                         const Clock& clock) {
+  std::printf("\n%-5s %-14s %10s %10s %10s %10s %10s %10s\n", "id", "name",
+              "start(ms)", "wall(ms)", "exec(ms)", "wait(ms)", "gate(ms)",
+              "crossings");
+  for (const obs::RequestRecord* rec : attrib.Requests()) {
+    std::printf("%-5llu %-14s %10.3f %10s %10.3f %10.3f %10.3f %10llu\n",
+                static_cast<unsigned long long>(rec->id), rec->name.c_str(),
+                Ms(rec->start_ns),
+                rec->open ? "open"
+                          : StrFormat("%.3f", Ms(rec->WallNanos())).c_str(),
+                Ms(clock.CyclesToNanos(rec->execute_cycles)),
+                Ms(clock.CyclesToNanos(rec->queue_wait_cycles)),
+                Ms(clock.CyclesToNanos(rec->gate_cycles)),
+                static_cast<unsigned long long>(rec->crossings));
+  }
+  if (attrib.Requests().empty()) {
+    std::printf("(no requests recorded)\n");
+  }
+}
+
+int PrintRequestDetail(const obs::Attributor& attrib, const Clock& clock,
+                       uint64_t id) {
+  const obs::RequestRecord* rec = attrib.FindRequest(id);
+  if (rec == nullptr) {
+    std::fprintf(stderr, "flexstat: no request with id %llu\n",
+                 static_cast<unsigned long long>(id));
+    return 2;
+  }
+  std::printf("\nrequest %llu (%s)%s\n",
+              static_cast<unsigned long long>(rec->id), rec->name.c_str(),
+              rec->open ? " [still open]" : "");
+  if (!rec->open) {
+    std::printf("  span: %.3f ms .. %.3f ms  (wall %.3f ms)\n",
+                Ms(rec->start_ns), Ms(rec->end_ns), Ms(rec->WallNanos()));
+  }
+  std::printf("  execute: %.3f ms (%llu cycles), queue wait: %.3f ms, gate "
+              "overhead: %.3f ms over %llu crossings\n",
+              Ms(clock.CyclesToNanos(rec->execute_cycles)),
+              static_cast<unsigned long long>(rec->execute_cycles),
+              Ms(clock.CyclesToNanos(rec->queue_wait_cycles)),
+              Ms(clock.CyclesToNanos(rec->gate_cycles)),
+              static_cast<unsigned long long>(rec->crossings));
+  std::printf("  per-compartment cycles:\n");
+  for (const auto& [comp, cycles] : rec->comp_cycles) {
+    std::printf("    %-10s %14llu cycles  (%.3f ms)\n",
+                obs::CompartmentLabel(comp).c_str(),
+                static_cast<unsigned long long>(cycles),
+                Ms(clock.CyclesToNanos(cycles)));
+  }
+  std::printf("  per-boundary gate overhead:\n");
+  for (const auto& [boundary, ns] : rec->boundary_gate_ns) {
+    std::printf("    %-44s %12llu ns\n", boundary.c_str(),
+                static_cast<unsigned long long>(ns));
+  }
+  if (rec->boundary_gate_ns.empty()) {
+    std::printf("    (none)\n");
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -204,6 +278,18 @@ int Run(int argc, char** argv) {
         return Usage();
       }
       opts.trace_path = v;
+    } else if (arg == "--request") {
+      const char* v = next_value("--request");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.request_spec = v;
+    } else if (arg == "--flame") {
+      const char* v = next_value("--flame");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.flame_path = v;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -237,6 +323,7 @@ int Run(int argc, char** argv) {
   TestbedConfig bed_config;
   bed_config.image = config.value();
   bed_config.tcp.batch_crossings = opts.batch;
+  bed_config.profile = !opts.request_spec.empty() || !opts.flame_path.empty();
   Testbed bed(bed_config);
   if (!opts.trace_path.empty()) {
     bed.machine().tracer().SetEnabled(true);
@@ -263,7 +350,11 @@ int Run(int argc, char** argv) {
                  static_cast<unsigned long long>(opts.total_bytes));
   }
 
-  const Machine& machine = bed.machine();
+  Machine& machine = bed.machine();
+  if (bed_config.profile) {
+    // Charge the tail slice so flame/request totals cover the whole run.
+    machine.attrib().Sync(machine.clock().cycles());
+  }
   const std::string metrics_json = obs::MetricsToJson(machine.metrics());
   if (!opts.metrics_path.empty() &&
       !WriteFile(opts.metrics_path, metrics_json)) {
@@ -289,6 +380,17 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (!opts.flame_path.empty()) {
+    const std::string collapsed = machine.attrib().CollapsedStacks();
+    if (opts.flame_path == "-") {
+      std::fputs(collapsed.c_str(), stdout);
+    } else if (!WriteFile(opts.flame_path, collapsed)) {
+      std::fprintf(stderr, "flexstat: cannot write %s\n",
+                   opts.flame_path.c_str());
+      return 2;
+    }
+  }
+
   if (opts.json) {
     std::fputs(metrics_json.c_str(), stdout);
     std::fputc('\n', stdout);
@@ -303,6 +405,23 @@ int Run(int argc, char** argv) {
     PrintTable(CollectBoundaries(machine.metrics()), machine,
                server_result.bytes_received,
                machine.clock().NowSeconds());
+  }
+
+  if (!opts.request_spec.empty()) {
+    if (opts.request_spec == "all") {
+      PrintRequestSummary(machine.attrib(), machine.clock());
+    } else {
+      char* end = nullptr;
+      const uint64_t id = std::strtoull(opts.request_spec.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flexstat: --request wants 'all' or an id\n");
+        return 2;
+      }
+      const int rc = PrintRequestDetail(machine.attrib(), machine.clock(), id);
+      if (rc != 0) {
+        return rc;
+      }
+    }
   }
   return complete ? 0 : 1;
 }
