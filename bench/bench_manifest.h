@@ -30,6 +30,9 @@ struct BenchSpec {
   // the baseline. Wall-clock benches run gate-only: flexbench requires exit
   // status 0 but records no metrics (their self-checks are the gate).
   bool compare = true;
+  // Part of the chaos profile (flexbench --chaos): soaks the image under a
+  // fault-injection plan and self-gates on recovery/leak invariants.
+  bool chaos = false;
   // Per-row numeric column indices excluded from metrics (wall-clock
   // columns inside otherwise-deterministic tables).
   int drop_cols[4] = {-1, -1, -1, -1};
@@ -77,6 +80,12 @@ inline constexpr BenchSpec kBenchManifest[] = {
      .binary = "abl_obs_overhead",
      .has_smoke = true,
      .compare = false},
+    // Chaos harness: modeled and deterministic (seeded injection), so the
+    // table is comparable; the recovery/identity invariants self-gate.
+    {.name = "abl_fault_recovery",
+     .binary = "abl_fault_recovery",
+     .has_smoke = true,
+     .chaos = true},
 };
 
 inline constexpr size_t kBenchManifestSize =

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Chaos smoke under sanitizers: build with FLEXOS_SANITIZE=ON (ASan +
+# UBSan) and run the fault-injection test surface — the `fault`-labeled
+# ctest targets (fault_test unit suite + the abl_fault_recovery soak) plus
+# the flexbench --chaos profile. Deterministic injection means a sanitizer
+# hit here is a real bug on the recovery path (heap reset, init hooks,
+# quarantine bookkeeping), not noise.
+#
+# Usage: scripts/chaos_smoke.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+echo "== chaos_smoke: configure + build (FLEXOS_SANITIZE=ON)"
+cmake -S "$repo_root" -B "$build_dir" -DFLEXOS_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== chaos_smoke: fault-labeled tests"
+ctest --test-dir "$build_dir" -L fault --output-on-failure
+
+echo "== chaos_smoke: flexbench --chaos --smoke"
+"$build_dir/tools/flexbench" --chaos --smoke --bindir "$build_dir/bench"
+
+echo "== chaos_smoke: clean under ASan/UBSan"

@@ -45,6 +45,17 @@ class Allocator {
   // Size usable at `addr` (as allocated). kNotFound if not live.
   virtual Result<uint64_t> UsableSize(Gaddr addr) const = 0;
 
+  // Restores the heap to its boot state: every live allocation is gone,
+  // bytes_in_use accounting returns to zero (cumulative counters keep
+  // counting). Compartment restart (fault/supervisor.h) calls this instead
+  // of freeing object-by-object — a crashed compartment cannot be trusted
+  // to enumerate its own pointers. Allocators that cannot be rebuilt
+  // wholesale return kUnimplemented.
+  virtual Status Reset() {
+    return Status(ErrorCode::kUnimplemented,
+                  "allocator does not support wholesale reset");
+  }
+
   virtual AddressSpace& space() = 0;
   virtual const AllocStats& stats() const = 0;
 };

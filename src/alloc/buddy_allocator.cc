@@ -1,5 +1,7 @@
 #include "alloc/buddy_allocator.h"
 
+#include "alloc/fault_hooks.h"
+
 namespace flexos {
 namespace {
 
@@ -47,6 +49,8 @@ Result<Gaddr> BuddyAllocator::Allocate(uint64_t size, uint64_t align) {
     return Status(ErrorCode::kOutOfMemory, "request exceeds arena");
   }
   space_.machine().clock().Charge(space_.machine().costs().malloc_cost);
+  FLEXOS_RETURN_IF_ERROR(
+      MaybeInjectAllocFault(space_.machine(), fault::FaultSite::kAlloc));
 
   const int want = OrderFor(size);
   if (want > max_order_) {
@@ -84,6 +88,8 @@ Status BuddyAllocator::Free(Gaddr addr) {
     return Status(ErrorCode::kInvalidArgument, "double free or bad pointer");
   }
   space_.machine().clock().Charge(space_.machine().costs().free_cost);
+  FLEXOS_RETURN_IF_ERROR(
+      MaybeInjectAllocFault(space_.machine(), fault::FaultSite::kFree));
   int order = it->second;
   live_.erase(it);
   stats_.OnFree(kMinBlock << order);
@@ -114,6 +120,16 @@ Result<uint64_t> BuddyAllocator::UsableSize(Gaddr addr) const {
     return Status(ErrorCode::kNotFound, "not live");
   }
   return kMinBlock << it->second;
+}
+
+Status BuddyAllocator::Reset() {
+  for (auto& list : free_lists_) {
+    list.clear();
+  }
+  free_lists_[static_cast<size_t>(max_order_)].insert(0);
+  live_.clear();
+  stats_.bytes_in_use = 0;
+  return Status::Ok();
 }
 
 uint64_t BuddyAllocator::FreeBytes() const {

@@ -1,0 +1,49 @@
+// Allocator-side fault-injection entry points (fault/). Heaps call
+// MaybeInjectAllocFault at the top of Allocate/Free; the armed-bitmask
+// check keeps the disabled path to a single load so benchmark runs with an
+// empty plan stay bit-identical.
+#ifndef FLEXOS_ALLOC_FAULT_HOOKS_H_
+#define FLEXOS_ALLOC_FAULT_HOOKS_H_
+
+#include "fault/fault.h"
+#include "hw/machine.h"
+#include "hw/trap.h"
+
+namespace flexos {
+
+// Consults the machine's injector for `site` (kAlloc or kFree). Absorb-class
+// kinds (kAllocFail) surface as a non-OK status the caller returns verbatim;
+// trap-class kinds raise in place and do not return.
+inline Status MaybeInjectAllocFault(Machine& machine, fault::FaultSite site) {
+  if (!machine.injector().armed(site)) {
+    return Status::Ok();
+  }
+  const std::optional<fault::FaultDecision> decision =
+      machine.injector().Check(site, machine.context().compartment);
+  if (!decision.has_value()) {
+    return Status::Ok();
+  }
+  switch (decision->kind) {
+    case fault::FaultKind::kAllocFail:
+      return Status(ErrorCode::kOutOfMemory, "injected allocation failure");
+    case fault::FaultKind::kHeapCorruption:
+      ++machine.stats().traps;
+      RaiseTrap(TrapInfo{.kind = TrapKind::kAsanViolation,
+                         .access = AccessKind::kWrite,
+                         .pkru = machine.context().pkru.raw(),
+                         .detail = "injected heap corruption"});
+    case fault::FaultKind::kPageFault:
+      ++machine.stats().traps;
+      RaiseTrap(TrapInfo{.kind = TrapKind::kPageFault,
+                         .access = AccessKind::kWrite,
+                         .pkru = machine.context().pkru.raw(),
+                         .detail = "injected page fault"});
+    default:
+      break;  // Other kinds have no meaning at an allocator site.
+  }
+  return Status::Ok();
+}
+
+}  // namespace flexos
+
+#endif  // FLEXOS_ALLOC_FAULT_HOOKS_H_

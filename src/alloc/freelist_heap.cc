@@ -1,5 +1,6 @@
 #include "alloc/freelist_heap.h"
 
+#include "alloc/fault_hooks.h"
 #include "obs/names.h"
 
 namespace flexos {
@@ -36,6 +37,8 @@ Result<Gaddr> FreelistHeap::Allocate(uint64_t size, uint64_t align) {
     size = 1;
   }
   space_.machine().clock().Charge(space_.machine().costs().malloc_cost);
+  FLEXOS_RETURN_IF_ERROR(
+      MaybeInjectAllocFault(space_.machine(), fault::FaultSite::kAlloc));
   const uint64_t need = AlignUp(size, 16);
 
   for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
@@ -86,6 +89,8 @@ Status FreelistHeap::Free(Gaddr addr) {
     return Status(ErrorCode::kInvalidArgument, "double free or bad pointer");
   }
   space_.machine().clock().Charge(space_.machine().costs().free_cost);
+  FLEXOS_RETURN_IF_ERROR(
+      MaybeInjectAllocFault(space_.machine(), fault::FaultSite::kFree));
   const uint64_t chunk_off = user_it->second;
   user_to_chunk_.erase(user_it);
 
@@ -130,6 +135,15 @@ Result<uint64_t> FreelistHeap::UsableSize(Gaddr addr) const {
   }
   const auto it = chunks_.find(user_it->second);
   return it->second.size - it->second.user_offset;
+}
+
+Status FreelistHeap::Reset() {
+  live_bytes_gauge_->Add(-static_cast<int64_t>(stats_.bytes_in_use));
+  chunks_.clear();
+  chunks_[0] = Chunk{.size = size_, .free = true, .user_offset = 0};
+  user_to_chunk_.clear();
+  stats_.bytes_in_use = 0;
+  return Status::Ok();
 }
 
 uint64_t FreelistHeap::FreeBytes() const {

@@ -20,6 +20,7 @@ class FreelistHeap final : public Allocator {
   Result<Gaddr> Allocate(uint64_t size, uint64_t align = 16) override;
   Status Free(Gaddr addr) override;
   Result<uint64_t> UsableSize(Gaddr addr) const override;
+  Status Reset() override;
 
   AddressSpace& space() override { return space_; }
   const AllocStats& stats() const override { return stats_; }

@@ -100,6 +100,28 @@ void HardenedHeap::EvictOneFromQuarantine() {
   quarantine_gauge_->Set(static_cast<int64_t>(quarantine_bytes_used_));
 }
 
+Status HardenedHeap::Reset() {
+  // Clear every shadow byte we own — live payloads, redzones, and
+  // quarantined blocks — then rebuild the backing wholesale. Skipping the
+  // unpoison would leave stale redzones over memory the reset backing is
+  // free to hand out again.
+  AddressSpace& space = backing_.space();
+  for (const auto& [user, user_size] : live_) {
+    const uint64_t padded = AlignUp(user_size, kShadowGranule);
+    space.Unpoison(user - kRedzone, kRedzone + padded + kRedzone);
+  }
+  live_.clear();
+  for (const Quarantined& entry : quarantine_) {
+    const uint64_t padded = AlignUp(entry.user_size, kShadowGranule);
+    space.Unpoison(entry.user_addr - kRedzone, kRedzone + padded + kRedzone);
+  }
+  quarantine_.clear();
+  quarantine_bytes_used_ = 0;
+  quarantine_gauge_->Set(0);
+  stats_.bytes_in_use = 0;
+  return backing_.Reset();
+}
+
 Result<uint64_t> HardenedHeap::UsableSize(Gaddr addr) const {
   auto it = live_.find(addr);
   if (it == live_.end()) {

@@ -50,9 +50,10 @@ Result<uint64_t> RegionAllocator::UsableSize(Gaddr addr) const {
   return cursor_ - addr;
 }
 
-void RegionAllocator::Reset() {
+Status RegionAllocator::Reset() {
   cursor_ = base_;
   stats_.bytes_in_use = 0;
+  return Status::Ok();
 }
 
 }  // namespace flexos

@@ -21,7 +21,7 @@ class RegionAllocator final : public Allocator {
   Result<uint64_t> UsableSize(Gaddr addr) const override;
 
   // Releases everything at once.
-  void Reset();
+  Status Reset() override;
 
   uint64_t remaining() const { return base_ + size_ - cursor_; }
 

@@ -4,6 +4,7 @@
 
 #include "core/coloring.h"
 #include "core/compat.h"
+#include "fault/fault.h"
 #include "obs/names.h"
 #include "support/strings.h"
 
@@ -192,6 +193,13 @@ LintModel ExtractModel(const ImageConfig& config,
   for (const auto& [lib, funcs] : config.apis) {
     model.registered_apis[lib] = funcs;
   }
+  model.restart_hook_comps.emplace();
+  for (const std::string& lib : config.restart_hook_libs) {
+    const auto it = model.compartment_of.find(lib);
+    if (it != model.compartment_of.end()) {
+      model.restart_hook_comps->insert(it->second);
+    }
+  }
   FinishModel(&model);
   return model;
 }
@@ -215,6 +223,14 @@ LintModel ExtractModel(const Image& image, const MetaResolver& resolver) {
     if (!api.empty()) {
       model.registered_apis[lib] =
           std::set<std::string>(api.begin(), api.end());
+    }
+  }
+  if (image.fault_handler() != nullptr) {
+    model.restart_hook_comps.emplace();
+    for (int c = 0; c < image.compartment_count(); ++c) {
+      if (image.fault_handler()->HasInitHook(c)) {
+        model.restart_hook_comps->insert(c);
+      }
     }
   }
   FinishModel(&model);
@@ -401,6 +417,31 @@ LintReport RunRules(const LintModel& model) {
           "[Call] mixes '*' with a concrete call list; the wildcard "
           "subsumes the list",
           "drop '*' if the list is exhaustive, or drop the list");
+    }
+  }
+
+  // FL009 — compartments behind a restartable isolation boundary with no
+  // declared restart/init hook. A supervised restart resets the heap and
+  // re-admits callers; with nothing re-running the compartment's setup, the
+  // restart "succeeds" into a world with no state.
+  if (model.backend != IsolationBackend::kNone &&
+      model.restart_hook_comps.has_value()) {
+    std::map<int, std::vector<std::string>> libs_by_comp;
+    for (const auto& [lib, comp] : model.compartment_of) {
+      libs_by_comp[comp].push_back(lib);
+    }
+    for (const auto& [comp, libs] : libs_by_comp) {
+      if (model.restart_hook_comps->count(comp) != 0) {
+        continue;
+      }
+      Add(&report, kRuleNoInitHook, LintSeverity::kWarning,
+          StrFormat("compartment %d (%s)", comp,
+                    JoinStrings(libs, ", ").c_str()),
+          "compartment sits behind a restartable isolation boundary but "
+          "declares no restart/init hook; a supervised restart resets its "
+          "heap and re-enters it with no state rebuilt",
+          "declare 'restart_hook <lib>' and RegisterInitHook on the "
+          "supervisor, or set reset_heap=false in its restart policy");
     }
   }
 

@@ -50,6 +50,7 @@ inline constexpr std::string_view kRuleOverCompartmentalized = "FL005";
 inline constexpr std::string_view kRuleApiDrift = "FL006";
 inline constexpr std::string_view kRuleUnknownLibrary = "FL007";
 inline constexpr std::string_view kRuleRedundantCallList = "FL008";
+inline constexpr std::string_view kRuleNoInitHook = "FL009";
 
 struct LintDiagnostic {
   std::string rule;  // "FL001" ...
@@ -111,6 +112,12 @@ struct LintModel {
   // points (from the config's `cfi`/`api` directives or the built image).
   std::set<std::string> cfi_libs;
   std::map<std::string, std::set<std::string>> registered_apis;
+
+  // Compartments declaring restart/init hooks (the config's `restart_hook`
+  // directive, or the installed fault handler of a built image). nullopt
+  // when a built image carries no fault handler — restarts cannot happen,
+  // so rule FL009 does not apply.
+  std::optional<std::set<int>> restart_hook_comps;
 };
 
 // Extracts the model from a compartment spec (pre-build) ...

@@ -56,20 +56,36 @@ void SpawnHttpServer(Testbed& bed, RamFs& fs,
     const Gaddr buffer = bed.AllocShared(options.buffer_bytes);
     const Gaddr file_buf = bed.AllocShared(options.buffer_bytes);
 
+    // Listen/accept failures (port collision, backlog exhaustion under a
+    // connection flood) are environmental, not programming errors: fail the
+    // server gracefully instead of panicking the image.
     int listener = -1;
     image.Call(app_to_net, [&] {
       Result<int> r = tcp.Listen(options.port, 4);
-      FLEXOS_CHECK(r.ok(), "http listen failed: %s",
-                   r.status().ToString().c_str());
+      if (!r.ok()) {
+        FLEXOS_WARN("http listen failed: %s", r.status().ToString().c_str());
+        return;
+      }
       listener = r.value();
     });
+    if (listener < 0) {
+      result->ok = false;
+      return;
+    }
     int conn = -1;
     image.Call(app_to_net, [&] {
       Result<int> r = tcp.Accept(listener);
-      FLEXOS_CHECK(r.ok(), "http accept failed: %s",
-                   r.status().ToString().c_str());
+      if (!r.ok()) {
+        FLEXOS_WARN("http accept failed: %s", r.status().ToString().c_str());
+        return;
+      }
       conn = r.value();
     });
+    if (conn < 0) {
+      image.Call(app_to_net, [&] { (void)tcp.Close(listener); });
+      result->ok = false;
+      return;
+    }
 
     result->ok = true;
     std::string acc;

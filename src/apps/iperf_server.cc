@@ -13,20 +13,37 @@ void SpawnIperfServer(Testbed& bed, const IperfServerOptions& options,
     const RouteHandle app_to_net = image.Resolve(kLibApp, kLibNet);
     const Gaddr buffer = bed.AllocShared(options.recv_buffer_bytes);
 
+    // Environmental failures (port taken, backlog full) end the server
+    // gracefully; a remote client cannot be allowed to panic the image.
     int listener = -1;
     image.Call(app_to_net, [&] {
       Result<int> r = tcp.Listen(options.port, 8);
-      FLEXOS_CHECK(r.ok(), "iperf listen failed: %s",
-                   r.status().ToString().c_str());
+      if (!r.ok()) {
+        FLEXOS_WARN("iperf listen failed: %s",
+                    r.status().ToString().c_str());
+        return;
+      }
       listener = r.value();
     });
+    if (listener < 0) {
+      result->ok = false;
+      return;
+    }
     int conn = -1;
     image.Call(app_to_net, [&] {
       Result<int> r = tcp.Accept(listener);
-      FLEXOS_CHECK(r.ok(), "iperf accept failed: %s",
-                   r.status().ToString().c_str());
+      if (!r.ok()) {
+        FLEXOS_WARN("iperf accept failed: %s",
+                    r.status().ToString().c_str());
+        return;
+      }
       conn = r.value();
     });
+    if (conn < 0) {
+      image.Call(app_to_net, [&] { (void)tcp.Close(listener); });
+      result->ok = false;
+      return;
+    }
 
     for (;;) {
       uint64_t received = 0;

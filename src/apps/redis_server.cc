@@ -124,6 +124,45 @@ struct RedisValue {
   uint64_t size;
 };
 
+// Degraded-mode crossing into the net compartment: a quarantined or
+// trapped callee comes back kUnavailable instead of crashing the image.
+// Between retries, wait out a pending quarantine window by yielding until
+// the supervisor's restart deadline — context switches charge cycles, so
+// virtual time reaches the deadline and the next attempt re-admits (and
+// restarts) the compartment. Gives up once the retry budget is spent or
+// when no restart is pending (unsupervised image, or a permanently failed
+// compartment).
+bool NetCallWithRetry(Testbed& bed, const RouteHandle& route,
+                      uint64_t* unavailable_errors,
+                      FunctionRef<void()> body) {
+  constexpr int kNetRetries = 8;
+  Image& image = bed.image();
+  Clock& clock = bed.machine().clock();
+  for (int attempt = 0; attempt < kNetRetries; ++attempt) {
+    const Status status = image.TryCall(route, body);
+    if (status.ok()) {
+      return true;
+    }
+    ++*unavailable_errors;
+    const uint64_t deadline =
+        bed.supervisor() != nullptr
+            ? bed.supervisor()->NextRestartCycles()
+            : fault::CompartmentSupervisor::kNoRestartPending;
+    if (deadline == fault::CompartmentSupervisor::kNoRestartPending) {
+      bed.scheduler().Yield();
+      continue;
+    }
+    while (clock.cycles() < deadline) {
+      const uint64_t before = clock.cycles();
+      bed.scheduler().Yield();
+      if (clock.cycles() == before) {
+        break;  // Zero-cost switches would pin the clock: don't spin.
+      }
+    }
+  }
+  return false;
+}
+
 // State shared by every connection handler (single vCPU, cooperative
 // scheduling: handlers never interleave inside a store operation).
 struct RedisSharedState {
@@ -148,13 +187,18 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
   const Gaddr resp_buf = bed.AllocShared(options.resp_buffer_bytes);
   auto& store = state->store;
 
+  auto net_call = [&](FunctionRef<void()> body) -> bool {
+    return NetCallWithRetry(bed, app_to_net, &result->unavailable_errors,
+                            body);
+  };
+
   std::string acc;
   std::vector<uint8_t> mirror(options.recv_buffer_bytes);
   bool closed = false;
 
   while (!closed) {
     uint64_t received = 0;
-    image.Call(app_to_net, [&] {
+    const bool net_ok = net_call([&] {
       Result<uint64_t> r =
           tcp.Recv(conn, recv_buf, options.recv_buffer_bytes);
       if (!r.ok()) {
@@ -165,7 +209,7 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
       }
       received = r.value();
     });
-    if (closed || received == 0) {
+    if (!net_ok || closed || received == 0) {
       break;
     }
     // Parse cost: the protocol parser touches every byte (app context).
@@ -262,15 +306,17 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
       image.CallLeaf(app_to_libc, [&] {
         space.Write(resp_buf, pending_out.data() + sent, chunk);
       });
-      image.Call(app_to_net, [&] {
-        Result<uint64_t> r = tcp.Send(conn, resp_buf, chunk);
-        if (!r.ok()) {
-          FLEXOS_WARN("redis send failed: %s",
-                      r.status().ToString().c_str());
-          result->ok = false;
-          closed = true;
-        }
-      });
+      if (!net_call([&] {
+            Result<uint64_t> r = tcp.Send(conn, resp_buf, chunk);
+            if (!r.ok()) {
+              FLEXOS_WARN("redis send failed: %s",
+                          r.status().ToString().c_str());
+              result->ok = false;
+              closed = true;
+            }
+          })) {
+        closed = true;
+      }
       if (closed) {
         break;
       }
@@ -278,7 +324,9 @@ void HandleRedisConnection(Testbed& bed, const RedisServerOptions& options,
     }
   }
 
-  image.Call(app_to_net, [&] { (void)tcp.Close(conn); });
+  // Best-effort close; a quarantined net compartment is not worth waiting
+  // out just to drop the connection.
+  (void)image.TryCall(app_to_net, [&] { (void)tcp.Close(conn); });
 
   // Last handler out frees the store.
   --state->handlers_live;
@@ -296,38 +344,87 @@ void SpawnRedisServer(Testbed& bed, const RedisServerOptions& options,
                       RedisServerResult* result) {
   auto state = std::make_shared<RedisSharedState>();
   result->ok = true;
+
+  // Under supervision the app compartment can be heap-reset and restarted
+  // behind our back; the store's guest pointers died with the heap, so the
+  // init hook drops the map wholesale (no per-value Free — the crashed
+  // compartment's metadata cannot be trusted).
+  if (bed.supervisor() != nullptr) {
+    const int app_comp = bed.image().CompartmentOf(kLibApp);
+    bed.supervisor()->RegisterInitHook(app_comp, "redis-store-clear",
+                                       [state] {
+                                         state->store.clear();
+                                         return Status::Ok();
+                                       });
+  }
+
   bed.SpawnApp("redis-accept", [&bed, options, result, state] {
     Image& image = bed.image();
     TcpEngine& tcp = bed.stack().tcp();
     const RouteHandle app_to_net = image.Resolve(kLibApp, kLibNet);
     int listener = -1;
-    image.Call(app_to_net, [&] {
-      Result<int> r = tcp.Listen(options.port, options.max_conns + 4);
-      FLEXOS_CHECK(r.ok(), "redis listen failed: %s",
-                   r.status().ToString().c_str());
-      listener = r.value();
-    });
+    bool net_ok = true;
+    const bool listen_ok =
+        NetCallWithRetry(bed, app_to_net, &result->unavailable_errors, [&] {
+          Result<int> r = tcp.Listen(options.port, options.max_conns + 4);
+          if (!r.ok()) {
+            FLEXOS_WARN("redis listen failed: %s",
+                        r.status().ToString().c_str());
+            net_ok = false;
+            return;
+          }
+          listener = r.value();
+        });
+    if (!listen_ok || !net_ok) {
+      result->ok = false;
+      return;  // Cannot serve at all without a listener.
+    }
     for (int i = 0; i < options.max_conns; ++i) {
       int conn = -1;
-      image.Call(app_to_net, [&] {
-        Result<int> r = tcp.Accept(listener);
-        FLEXOS_CHECK(r.ok(), "redis accept failed: %s",
-                     r.status().ToString().c_str());
-        conn = r.value();
-      });
+      const bool accept_ok = NetCallWithRetry(
+          bed, app_to_net, &result->unavailable_errors, [&] {
+            Result<int> r = tcp.Accept(listener);
+            if (!r.ok()) {
+              FLEXOS_WARN("redis accept failed: %s",
+                          r.status().ToString().c_str());
+              net_ok = false;
+              return;
+            }
+            conn = r.value();
+          });
+      if (!accept_ok || !net_ok) {
+        result->ok = false;
+        break;
+      }
       ++state->handlers_live;
       Result<Thread*> handler = bed.scheduler().Spawn(
           StrFormat("redis-conn-%d", i), [&bed, options, conn, state,
                                           result] {
-            bed.image().Call(kLibPlatform, kLibApp, [&] {
-              HandleRedisConnection(bed, options, conn, state, result);
-            });
+            // TryCall so a trap inside the handler is contained by the
+            // supervisor (when installed) instead of killing the image;
+            // the connection dies, the server survives.
+            const Status status =
+                bed.image().TryCall(kLibPlatform, kLibApp, [&] {
+                  HandleRedisConnection(bed, options, conn, state, result);
+                });
+            if (!status.ok()) {
+              ++result->contained_faults;
+              --state->handlers_live;
+              (void)bed.image().TryCall(kLibPlatform, kLibNet, [&] {
+                (void)bed.stack().tcp().Close(conn);
+              });
+            }
           });
-      FLEXOS_CHECK(handler.ok(), "handler spawn failed: %s",
-                   handler.status().ToString().c_str());
+      if (!handler.ok()) {
+        FLEXOS_WARN("handler spawn failed: %s",
+                    handler.status().ToString().c_str());
+        --state->handlers_live;
+        result->ok = false;
+        break;
+      }
     }
     state->all_accepted = true;
-    image.Call(app_to_net, [&] { (void)tcp.Close(listener); });
+    (void)image.TryCall(app_to_net, [&] { (void)tcp.Close(listener); });
   });
 }
 

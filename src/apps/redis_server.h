@@ -31,6 +31,11 @@ struct RedisServerResult {
   uint64_t gets = 0;
   uint64_t hits = 0;
   uint64_t protocol_errors = 0;
+  // Degraded-mode accounting (supervised images, fault/): gate crossings
+  // refused with kUnavailable while a compartment was quarantined, and
+  // handler bodies ended by trap containment.
+  uint64_t unavailable_errors = 0;
+  uint64_t contained_faults = 0;
   bool ok = false;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/image_builder.h"
+#include "fault/supervisor.h"
 #include "net/link.h"
 #include "net/netstack.h"
 #include "net/remote_tcp.h"
@@ -33,6 +34,14 @@ struct TestbedConfig {
   // Server addressing (the guest side).
   MacAddr server_mac{{0x02, 0, 0, 0, 0, 0xaa}};
   Ipv4Addr server_ip = MakeIpv4(10, 0, 0, 1);
+  // Installs a CompartmentSupervisor on the image so traps on isolating
+  // boundaries are contained and crashed compartments restart under
+  // `restart_policy` (chaos/fault-recovery experiments set this).
+  bool supervise = false;
+  fault::RestartPolicy restart_policy;
+  // Fault-injection plan loaded into the machine's injector at boot. An
+  // empty plan leaves every site disarmed (bit-identical baseline runs).
+  fault::FaultPlan fault_plan;
 };
 
 // The standard five-library split used by the in-tree experiments.
@@ -48,6 +57,8 @@ class Testbed {
   NetStack& stack() { return *stack_; }
   Link& link() { return *link_; }
   Nic& nic() { return *nic_; }
+  // Null unless config.supervise was set.
+  fault::CompartmentSupervisor* supervisor() { return supervisor_.get(); }
 
   // Registers a remote peer so the idle handler drives its timers.
   void AddPeer(RemoteTcpPeer* peer) { peers_.push_back(peer); }
@@ -72,6 +83,7 @@ class Testbed {
   TestbedConfig config_;
   Machine machine_;
   std::unique_ptr<Image> image_;
+  std::unique_ptr<fault::CompartmentSupervisor> supervisor_;
   RouteHandle platform_to_app_;  // Resolved once; SpawnApp's entry route.
   std::unique_ptr<CoopScheduler> scheduler_;
   std::unique_ptr<Nic> nic_;

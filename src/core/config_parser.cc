@@ -143,6 +143,13 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
       for (size_t i = 1; i < words.size(); ++i) {
         config.cfi_libs.insert(std::string(words[i]));
       }
+    } else if (directive == "restart_hook") {
+      if (words.size() < 2) {
+        return LineError(line_number, "restart_hook needs library names");
+      }
+      for (size_t i = 1; i < words.size(); ++i) {
+        config.restart_hook_libs.insert(std::string(words[i]));
+      }
     } else if (directive == "api") {
       // "api <lib> <func>..." — CFI entry points.
       if (words.size() < 3) {
@@ -238,6 +245,14 @@ std::string ImageConfigToString(const ImageConfig& config) {
     for (const std::string& func : funcs) {
       out += ' ';
       out += func;
+    }
+    out += '\n';
+  }
+  if (!config.restart_hook_libs.empty()) {
+    out += "restart_hook";
+    for (const std::string& lib : config.restart_hook_libs) {
+      out += ' ';
+      out += lib;
     }
     out += '\n';
   }

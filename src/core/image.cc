@@ -4,6 +4,7 @@
 #include <new>
 #include <type_traits>
 
+#include "fault/fault.h"
 #include "hw/trap.h"
 #include "obs/names.h"
 #include "support/strings.h"
@@ -271,6 +272,9 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
   if (validate_dispatch_) {
     ValidateDispatch(route.from, route.to);
   }
+  if (machine_.injector().armed(fault::FaultSite::kGateCross)) {
+    MaybeInjectGateFault(route);
+  }
   ++stats_.cross_compartment_calls;
   const obs::BoundaryRecorder* recorder =
       route.obs != nullptr
@@ -347,6 +351,9 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
                "GateBatch needs a resolved cross-compartment route");
   if (validate_dispatch_) {
     ValidateDispatch(route.from, route.to);
+  }
+  if (machine_.injector().armed(fault::FaultSite::kGateCross)) {
+    MaybeInjectGateFault(route);
   }
   ++stats_.cross_compartment_calls;
   const obs::BoundaryRecorder* recorder =
@@ -437,6 +444,56 @@ void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
   }
 }
 
+void Image::MaybeInjectGateFault(const RouteHandle& route) {
+  const auto decision =
+      machine_.injector().Check(fault::FaultSite::kGateCross, route.to_comp);
+  if (!decision.has_value()) {
+    return;
+  }
+  switch (decision->kind) {
+    case fault::FaultKind::kProtectionFault:
+      ++machine_.stats().traps;
+      RaiseTrap(TrapInfo{
+          .kind = TrapKind::kProtectionFault,
+          .access = AccessKind::kWrite,
+          .pkru = machine_.context().pkru.raw(),
+          .detail = StrFormat("injected protection fault crossing into "
+                              "compartment %d",
+                              route.to_comp)});
+    case fault::FaultKind::kPageFault:
+      ++machine_.stats().traps;
+      RaiseTrap(TrapInfo{
+          .kind = TrapKind::kPageFault,
+          .detail = StrFormat("injected page fault crossing into "
+                              "compartment %d",
+                              route.to_comp)});
+    case fault::FaultKind::kHeapCorruption:
+      ++machine_.stats().traps;
+      RaiseTrap(TrapInfo{
+          .kind = TrapKind::kAsanViolation,
+          .detail = StrFormat("injected heap corruption surfacing at the "
+                              "gate into compartment %d",
+                              route.to_comp)});
+    case fault::FaultKind::kRpcTimeout: {
+      // The RPC stalls for the timeout window before the caller gives up:
+      // charge the wait, then deliver the timeout as a containable trap.
+      const uint64_t wait_ns = decision->arg != 0 ? decision->arg : 1'000'000;
+      machine_.clock().Charge(machine_.clock().NanosToCycles(wait_ns));
+      ++machine_.stats().traps;
+      RaiseTrap(TrapInfo{
+          .kind = TrapKind::kRpcTimeout,
+          .detail = StrFormat("injected vm-rpc timeout (%llu ns) crossing "
+                              "into compartment %d",
+                              static_cast<unsigned long long>(wait_ns),
+                              route.to_comp)});
+    }
+    default:
+      // Absorb-class kinds have no gate-site effect; the injector already
+      // counted them as dropped.
+      break;
+  }
+}
+
 void Image::RegisterApiContract(std::string_view lib, std::string_view func,
                                 std::function<bool()> precondition,
                                 std::string description) {
@@ -486,6 +543,53 @@ void Image::CallNamed(std::string_view from, std::string_view to,
     }
   }
   Call(from, to, body);
+}
+
+Status Image::TryCall(std::string_view from, std::string_view to,
+                      FunctionRef<void()> body) {
+  return TryCall(Resolve(from, to), body);
+}
+
+Status Image::TryCall(const RouteHandle& route, FunctionRef<void()> body) {
+  if (fault_handler_ == nullptr || !IsIsolatingBoundary(route)) {
+    // Unsupervised, or a boundary with no containment story (trusted
+    // function call, VM-local leaf): behave exactly like Call.
+    Call(route, body);
+    return Status::Ok();
+  }
+  FLEXOS_RETURN_IF_ERROR(fault_handler_->Admit(route.to_comp));
+  obs::Attributor& attrib = machine_.attrib();
+  const ExecContext saved = machine_.context();
+  const size_t depth = attrib.frame_depth();
+  try {
+    Call(route, body);
+  } catch (const TrapException& trap) {
+    // The gate never ran its Exit half: restore the caller's context and
+    // unwind the attributor frames the aborted call pushed, then let the
+    // handler decide what the caller sees. Nested unsupervised Calls
+    // unwound to here too — containment happens at the outermost
+    // supervised boundary, like a real fault delivered to the monitor.
+    machine_.context() = saved;
+    attrib.UnwindFramesTo(depth, machine_.clock().cycles());
+    return fault_handler_->OnTrap(route.from_comp, route.to_comp,
+                                  trap.info());
+  }
+  return Status::Ok();
+}
+
+Status Image::ResetCompartmentHeap(int comp) {
+  if (comp < 0 || comp >= compartment_count()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrFormat("bad compartment id %d", comp));
+  }
+  if (!registry_.HasDedicated(comp)) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  StrFormat("compartment %d shares a global allocator; "
+                            "per-compartment reset would destroy other "
+                            "compartments' state",
+                            comp));
+  }
+  return registry_.For(comp).Reset();
 }
 
 std::string Image::Describe() const {

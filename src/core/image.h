@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,10 @@
 #include "support/gate_router.h"
 
 namespace flexos {
+
+namespace fault {
+class FaultDomainHandler;
+}  // namespace fault
 
 enum class IsolationBackend : uint8_t {
   kNone,              // Single protection domain, direct calls.
@@ -107,6 +112,49 @@ class Image final : public GateRouter {
   // raises a kCfiViolation trap when CFI is enabled for that library.
   void CallNamed(std::string_view from, std::string_view to,
                  std::string_view func, FunctionRef<void()> body);
+
+  // --- Fault containment (DESIGN.md §11) ---------------------------------
+  //
+  // With a handler installed, TryCall on an *isolating* boundary (a real
+  // mpk/vm gate — not a trusted direct call, not a VM-local leaf) becomes a
+  // supervised dispatch: the handler gates admission, and a TrapException
+  // raised inside the crossing is contained at this boundary and converted
+  // into the handler's Status instead of unwinding further. Everywhere
+  // else TryCall behaves exactly like Call (traps propagate — the paper's
+  // threat model says a function-call boundary offers no containment).
+
+  void SetFaultHandler(fault::FaultDomainHandler* handler) {
+    fault_handler_ = handler;
+  }
+  fault::FaultDomainHandler* fault_handler() const { return fault_handler_; }
+
+  // True when `route` crosses a boundary the supervisor can contain.
+  bool IsIsolatingBoundary(const RouteHandle& route) const {
+    return route.cross && !route.vm_local &&
+           backend_ != IsolationBackend::kNone;
+  }
+
+  Status TryCall(std::string_view from, std::string_view to,
+                 FunctionRef<void()> body);
+  Status TryCall(const RouteHandle& route, FunctionRef<void()> body);
+
+  // Value-returning supervised dispatch; mirrors GateRouter::CallR.
+  template <typename F>
+  auto TryCallR(const RouteHandle& route, F&& body)
+      -> Result<decltype(body())> {
+    using T = decltype(body());
+    std::optional<T> slot;
+    FLEXOS_RETURN_IF_ERROR(
+        TryCall(route, [&slot, &body] { slot.emplace(body()); }));
+    FLEXOS_CHECK(slot.has_value(), "TryCallR body did not run");
+    return *std::move(slot);
+  }
+
+  // Resets compartment `comp`'s dedicated heap to its boot state (all
+  // allocations gone, accounting zeroed). kFailedPrecondition when the
+  // compartment shares a global allocator — resetting it would destroy
+  // other compartments' state.
+  Status ResetCompartmentHeap(int comp);
 
   // --- API contracts (paper §5, "Isolation alone is not enough") ---------
   //
@@ -212,6 +260,10 @@ class Image final : public GateRouter {
   // Trap unless `from` -> `to` is in the allowed-dispatch set.
   void ValidateDispatch(std::string_view from, std::string_view to);
 
+  // Cold path behind the injector's armed-site check: applies a gate-cross
+  // fault decision (raise a trap / charge a timeout), if one fires.
+  void MaybeInjectGateFault(const RouteHandle& route);
+
   // The cross-compartment gate for resolved routes (direct when the image
   // was built without one).
   Gate& CrossGate() { return gate_ != nullptr ? *gate_ : direct_gate_; }
@@ -263,6 +315,10 @@ class Image final : public GateRouter {
   bool validate_dispatch_ = false;
   std::set<std::string, std::less<>> allowed_dispatch_pairs_;
   uint64_t validated_dispatches_ = 0;
+
+  // Fault-domain handler for supervised TryCall dispatches; nullptr (the
+  // default) keeps every path trap-transparent.
+  fault::FaultDomainHandler* fault_handler_ = nullptr;
 };
 
 }  // namespace flexos

@@ -48,6 +48,12 @@ struct ImageConfig {
   // Calls to them stay inside the caller's VM.
   std::set<std::string> vm_replicated_libs = {"sched", "alloc", "libc"};
 
+  // Libraries whose compartments declare a restart/init hook (fault/): the
+  // application promises to re-register state-rebuilding hooks with the
+  // supervisor when these compartments restart. flexlint's FL009 warns
+  // about restartable compartments that declare none.
+  std::set<std::string> restart_hook_libs;
+
   HeapKind heap_kind = HeapKind::kFreelist;
 
   uint64_t heap_bytes_per_compartment = 48ull << 20;

@@ -1,0 +1,276 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace flexos {
+namespace fault {
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGateCross:
+      return "gate";
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kFree:
+      return "free";
+    case FaultSite::kNicTx:
+      return "nic-tx";
+    case FaultSite::kNicRx:
+      return "nic-rx";
+    case FaultSite::kSchedActivate:
+      return "sched";
+  }
+  return "unknown-site";
+}
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kProtectionFault:
+      return "protection-fault";
+    case FaultKind::kHeapCorruption:
+      return "heap-corruption";
+    case FaultKind::kPageFault:
+      return "page-fault";
+    case FaultKind::kRpcTimeout:
+      return "rpc-timeout";
+    case FaultKind::kAllocFail:
+      return "alloc-fail";
+    case FaultKind::kPacketDrop:
+      return "packet-drop";
+    case FaultKind::kPacketCorrupt:
+      return "packet-corrupt";
+    case FaultKind::kPacketDelay:
+      return "packet-delay";
+    case FaultKind::kSchedDelay:
+      return "sched-delay";
+  }
+  return "unknown-kind";
+}
+
+std::optional<FaultSite> FaultSiteFromName(std::string_view name) {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    if (FaultSiteName(site) == name) {
+      return site;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultKind> FaultKindFromName(std::string_view name) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kSchedDelay); ++k) {
+    const FaultKind kind = static_cast<FaultKind>(k);
+    if (FaultKindName(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsTrapFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kProtectionFault:
+    case FaultKind::kHeapCorruption:
+    case FaultKind::kPageFault:
+    case FaultKind::kRpcTimeout:
+      return true;
+    case FaultKind::kAllocFail:
+    case FaultKind::kPacketDrop:
+    case FaultKind::kPacketCorrupt:
+    case FaultKind::kPacketDelay:
+    case FaultKind::kSchedDelay:
+      return false;
+  }
+  return false;
+}
+
+std::string InjectionEvent::ToString() const {
+  return StrFormat("#%llu %s@%s comp=%d occ=%llu cyc=%llu",
+                   static_cast<unsigned long long>(seq),
+                   std::string(FaultKindName(kind)).c_str(),
+                   std::string(FaultSiteName(site)).c_str(), compartment,
+                   static_cast<unsigned long long>(occurrence),
+                   static_cast<unsigned long long>(cycles));
+}
+
+namespace {
+
+// Parses "key=value"; returns false if there is no '='.
+bool SplitKeyValue(const std::string& token, std::string* key,
+                   std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+Status ParseInjectLine(const std::string& line, int line_no, FaultRule* rule) {
+  std::istringstream tokens(line);
+  std::string token;
+  tokens >> token;  // Consume "inject".
+  bool have_site = false;
+  bool have_kind = false;
+  while (tokens >> token) {
+    std::string key;
+    std::string value;
+    if (!SplitKeyValue(token, &key, &value)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    StrFormat("plan line %d: expected key=value, got '%s'",
+                              line_no, token.c_str()));
+    }
+    if (key == "site") {
+      const auto site = FaultSiteFromName(value);
+      if (!site.has_value()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      StrFormat("plan line %d: unknown site '%s'", line_no,
+                                value.c_str()));
+      }
+      rule->site = *site;
+      have_site = true;
+    } else if (key == "kind") {
+      const auto kind = FaultKindFromName(value);
+      if (!kind.has_value()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      StrFormat("plan line %d: unknown kind '%s'", line_no,
+                                value.c_str()));
+      }
+      rule->kind = *kind;
+      have_kind = true;
+    } else if (key == "comp") {
+      rule->compartment = std::atoi(value.c_str());
+    } else if (key == "prob") {
+      rule->probability = std::strtod(value.c_str(), nullptr);
+      if (rule->probability < 0.0 || rule->probability > 1.0) {
+        return Status(ErrorCode::kOutOfRange,
+                      StrFormat("plan line %d: prob must be in [0,1]",
+                                line_no));
+      }
+    } else {
+      uint64_t number = 0;
+      if (!ParseU64(value, &number)) {
+        return Status(ErrorCode::kInvalidArgument,
+                      StrFormat("plan line %d: bad number '%s' for %s",
+                                line_no, value.c_str(), key.c_str()));
+      }
+      if (key == "after") {
+        if (number == 0) {
+          return Status(ErrorCode::kOutOfRange,
+                        StrFormat("plan line %d: after is 1-based", line_no));
+        }
+        rule->after = number;
+      } else if (key == "every") {
+        if (number == 0) {
+          return Status(ErrorCode::kOutOfRange,
+                        StrFormat("plan line %d: every must be >= 1",
+                                  line_no));
+        }
+        rule->every = number;
+      } else if (key == "count") {
+        rule->count = number;
+      } else if (key == "arg") {
+        rule->arg = number;
+      } else {
+        return Status(ErrorCode::kInvalidArgument,
+                      StrFormat("plan line %d: unknown key '%s'", line_no,
+                                key.c_str()));
+      }
+    }
+  }
+  if (!have_site || !have_kind) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrFormat("plan line %d: inject needs site= and kind=",
+                            line_no));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream probe(line);
+    std::string word;
+    if (!(probe >> word)) {
+      continue;  // Blank or comment-only.
+    }
+    if (word == "seed") {
+      uint64_t seed = 0;
+      std::string value;
+      if (!(probe >> value) || !ParseU64(value, &seed)) {
+        return Status(ErrorCode::kInvalidArgument,
+                      StrFormat("plan line %d: seed needs a number",
+                                line_no));
+      }
+      plan.seed = seed;
+    } else if (word == "inject") {
+      FaultRule rule;
+      FLEXOS_RETURN_IF_ERROR(ParseInjectLine(line, line_no, &rule));
+      plan.rules.push_back(rule);
+    } else {
+      return Status(ErrorCode::kInvalidArgument,
+                    StrFormat("plan line %d: unknown directive '%s'", line_no,
+                              word.c_str()));
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlanToString(const FaultPlan& plan) {
+  std::string out = StrFormat("seed %llu\n",
+                              static_cast<unsigned long long>(plan.seed));
+  for (const FaultRule& rule : plan.rules) {
+    out += StrFormat("inject site=%s kind=%s",
+                     std::string(FaultSiteName(rule.site)).c_str(),
+                     std::string(FaultKindName(rule.kind)).c_str());
+    if (rule.compartment >= 0) {
+      out += StrFormat(" comp=%d", rule.compartment);
+    }
+    if (rule.after != 1) {
+      out += StrFormat(" after=%llu",
+                       static_cast<unsigned long long>(rule.after));
+    }
+    if (rule.every != 1) {
+      out += StrFormat(" every=%llu",
+                       static_cast<unsigned long long>(rule.every));
+    }
+    if (rule.count != std::numeric_limits<uint64_t>::max()) {
+      out += StrFormat(" count=%llu",
+                       static_cast<unsigned long long>(rule.count));
+    }
+    if (rule.probability != 1.0) {
+      out += StrFormat(" prob=%g", rule.probability);
+    }
+    if (rule.arg != 0) {
+      out += StrFormat(" arg=%llu", static_cast<unsigned long long>(rule.arg));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fault
+}  // namespace flexos

@@ -1,0 +1,148 @@
+// flexfault: the fault-domain vocabulary (DESIGN.md §11). A FaultPlan is a
+// deterministic list of injection rules; the FaultInjector (injector.h)
+// evaluates it at fixed probe sites, and the CompartmentSupervisor
+// (supervisor.h) turns the resulting traps into quarantine + restart instead
+// of a process abort. This header is the shared vocabulary: it depends only
+// on support/ so every layer (hw, alloc, net, sched, core) can name sites
+// and kinds without cycles.
+#ifndef FLEXOS_FAULT_FAULT_H_
+#define FLEXOS_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace flexos {
+
+struct TrapInfo;  // hw/trap.h
+
+namespace fault {
+
+// Where a probe lives. Each site is one Check() call on the hot path,
+// guarded by an armed-bitmask test so an empty plan costs one load.
+enum class FaultSite : uint8_t {
+  kGateCross = 0,   // core/image.cc, before gate Enter on a crossing
+  kAlloc,           // alloc/, on Allocate
+  kFree,            // alloc/, on Free
+  kNicTx,           // net/link.cc, frames leaving the guest NIC
+  kNicRx,           // net/link.cc, frames toward the guest NIC
+  kSchedActivate,   // sched/coop_scheduler.cc, on thread activation
+};
+inline constexpr int kNumFaultSites = 6;
+
+// What happens when a rule fires. Trap-class kinds raise a TrapException at
+// the site (and are expected to be contained by a supervisor on isolating
+// boundaries); absorb-class kinds degrade service without trapping and are
+// counted as fault.dropped.
+enum class FaultKind : uint8_t {
+  kProtectionFault,  // trap: MPK/PKRU violation at a gate crossing
+  kHeapCorruption,   // trap: redzone hit (ASAN_VIOLATION) in the allocator
+  kPageFault,        // trap: wild access to an unmapped page
+  kRpcTimeout,       // trap: vm-rpc crossing times out (charges arg ns first)
+  kAllocFail,        // absorb: Allocate returns kOutOfMemory
+  kPacketDrop,       // absorb: frame silently dropped on the link
+  kPacketCorrupt,    // absorb: one payload byte flipped in flight
+  kPacketDelay,      // absorb: frame arrival delayed by arg ns
+  kSchedDelay,       // absorb: activation charged arg ns of extra latency
+};
+
+std::string_view FaultSiteName(FaultSite site);
+std::string_view FaultKindName(FaultKind kind);
+std::optional<FaultSite> FaultSiteFromName(std::string_view name);
+std::optional<FaultKind> FaultKindFromName(std::string_view name);
+
+// True if the kind's effect is raising a trap (vs. absorbing the fault at
+// the site). Trap-class injections must be reconciled against fault.trapped;
+// absorb-class ones against fault.dropped.
+bool IsTrapFault(FaultKind kind);
+
+// One injection rule. A rule matches a probe when the site matches and the
+// compartment filter passes; it *fires* on the `after`-th matching
+// occurrence and every `every`-th after that, at most `count` times, each
+// time gated by `probability` (1.0 = always; anything else draws from the
+// plan's seeded RNG, so firing is still reproducible).
+struct FaultRule {
+  FaultSite site = FaultSite::kGateCross;
+  FaultKind kind = FaultKind::kProtectionFault;
+  int compartment = -1;  // -1 = any compartment.
+  uint64_t after = 1;    // 1-based occurrence index of the first firing.
+  uint64_t every = 1;
+  uint64_t count = std::numeric_limits<uint64_t>::max();
+  double probability = 1.0;
+  uint64_t arg = 0;  // Kind-specific: delay/timeout ns, corrupt byte offset.
+};
+
+struct FaultPlan {
+  uint64_t seed = 42;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+};
+
+// Plan text format, one directive per line ('#' comments):
+//   seed 7
+//   inject site=gate kind=protection-fault comp=1 after=100 every=50
+//   inject site=nic-tx kind=packet-drop count=3 prob=0.5 arg=1000000
+// Only site= and kind= are mandatory. Unknown keys or names are errors.
+Result<FaultPlan> ParseFaultPlan(std::string_view text);
+
+// Serializes a plan back into the text format (parses to an equal plan).
+std::string FaultPlanToString(const FaultPlan& plan);
+
+// What the probe site must do. The injector never applies effects itself —
+// the site owns the mechanism (RaiseTrap, Status return, drop, charge), the
+// injector owns the policy (when, what, reproducibly).
+struct FaultDecision {
+  FaultKind kind;
+  uint64_t arg = 0;
+};
+
+// One fired injection, recorded in order. Two runs with the same (seed,
+// plan, workload) must produce element-wise identical logs — the chaos
+// harness asserts exactly that.
+struct InjectionEvent {
+  uint64_t seq = 0;
+  FaultSite site = FaultSite::kGateCross;
+  FaultKind kind = FaultKind::kProtectionFault;
+  int compartment = -1;
+  uint64_t occurrence = 0;  // The matching-occurrence index that fired.
+  uint64_t cycles = 0;      // Virtual time of the injection.
+
+  bool operator==(const InjectionEvent& other) const {
+    return seq == other.seq && site == other.site && kind == other.kind &&
+           compartment == other.compartment &&
+           occurrence == other.occurrence && cycles == other.cycles;
+  }
+  std::string ToString() const;
+};
+
+// The containment interface core/image.cc dispatches through on supervised
+// crossings. Implemented by CompartmentSupervisor (fault/supervisor.h);
+// declared here so Image can hold a pointer without a dependency cycle.
+class FaultDomainHandler {
+ public:
+  virtual ~FaultDomainHandler() = default;
+
+  // Called before dispatching into `to_comp` on a supervised boundary.
+  // kOk admits the call; kUnavailable (quarantined / permanently failed)
+  // becomes the caller's TryCall result without crossing the gate.
+  virtual Status Admit(int to_comp) = 0;
+
+  // Called when a supervised crossing into `to_comp` raised a trap that the
+  // gate contained. Returns the Status the caller sees (never kOk).
+  virtual Status OnTrap(int from_comp, int to_comp, const TrapInfo& info) = 0;
+
+  // True if `comp` has a registered init hook to re-run on restart.
+  // flexlint's FL009 consults this on built images.
+  virtual bool HasInitHook(int /*comp*/) const { return false; }
+};
+
+}  // namespace fault
+}  // namespace flexos
+
+#endif  // FLEXOS_FAULT_FAULT_H_

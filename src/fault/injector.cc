@@ -1,0 +1,90 @@
+#include "fault/injector.h"
+
+#include "obs/names.h"
+
+namespace flexos {
+namespace fault {
+
+void FaultInjector::LoadPlan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  states_.clear();
+  states_.reserve(plan_.rules.size());
+  armed_mask_ = 0;
+  for (const FaultRule& rule : plan_.rules) {
+    states_.push_back(RuleState{rule});
+    armed_mask_ |= 1u << static_cast<int>(rule.site);
+  }
+  rng_ = Rng(plan_.seed);
+  injected_ = 0;
+  dropped_ = 0;
+  events_.clear();
+  if (!plan_.rules.empty() && metrics_ != nullptr) {
+    injected_counter_ = &metrics_->GetCounter(obs::kMetricFaultInjected);
+    dropped_counter_ = &metrics_->GetCounter(obs::kMetricFaultDropped);
+  }
+}
+
+std::optional<FaultDecision> FaultInjector::Check(FaultSite site,
+                                                  int compartment) {
+  std::optional<FaultDecision> decision;
+  uint64_t fired_occurrence = 0;
+  const FaultRule* fired_rule = nullptr;
+  // Every matching rule counts the occurrence (so rule triggers are
+  // independent of each other); the first eligible firing wins.
+  for (RuleState& state : states_) {
+    const FaultRule& rule = state.rule;
+    if (rule.site != site ||
+        (rule.compartment >= 0 && rule.compartment != compartment)) {
+      continue;
+    }
+    ++state.occurrences;
+    if (decision.has_value() || state.fired >= rule.count ||
+        state.occurrences < rule.after ||
+        (state.occurrences - rule.after) % rule.every != 0) {
+      continue;
+    }
+    if (rule.probability < 1.0 && !rng_.NextBool(rule.probability)) {
+      continue;
+    }
+    ++state.fired;
+    decision = FaultDecision{rule.kind, rule.arg};
+    fired_occurrence = state.occurrences;
+    fired_rule = &rule;
+  }
+  if (!decision.has_value()) {
+    return decision;
+  }
+
+  ++injected_;
+  if (injected_counter_ != nullptr) {
+    injected_counter_->Add();
+  }
+  if (!IsTrapFault(decision->kind)) {
+    // Absorb-class faults never reach the supervisor; count them here so
+    // injected == trapped + dropped reconciles. Trap-class firings are
+    // counted as fault.trapped by whoever contains the trap.
+    ++dropped_;
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->Add();
+    }
+  }
+  InjectionEvent event;
+  event.seq = injected_;
+  event.site = site;
+  event.kind = fired_rule->kind;
+  event.compartment = compartment;
+  event.occurrence = fired_occurrence;
+  event.cycles = cycle_fn_ != nullptr ? cycle_fn_(cycle_ctx_) : 0;
+  events_.push_back(event);
+  if (tracer_ != nullptr) {
+    // FaultKindName returns views of string literals, so .data() is a
+    // NUL-terminated string that outlives the tracer.
+    tracer_->RecordInstant(obs::TraceCat::kFault,
+                           FaultKindName(event.kind).data(), compartment + 1,
+                           static_cast<uint64_t>(site), event.occurrence);
+  }
+  return decision;
+}
+
+}  // namespace fault
+}  // namespace flexos

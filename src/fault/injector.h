@@ -1,0 +1,101 @@
+// FaultInjector: the deterministic injection engine (DESIGN.md §11). The
+// Machine owns one; probe sites (gate dispatch, allocators, the virtual
+// link, the scheduler) call Check() and apply whatever decision comes back.
+// Everything a plan does is reproducible from (seed, rules, workload): rule
+// matching is counter-based, the only RNG draws are for probability-gated
+// rules, and every firing is appended to an ordered event log that two runs
+// with the same seed must reproduce element-wise.
+//
+// Cost discipline: with no plan loaded, armed() is a single relaxed load of
+// a zero mask — no RNG draws, no metric registrations, no trace events —
+// which is what keeps fig3/4/5 and abl_gate_dispatch bit-identical when
+// injection is compiled in but idle (bench/abl_fault_recovery.cc gates it).
+#ifndef FLEXOS_FAULT_INJECTOR_H_
+#define FLEXOS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/rng.h"
+
+namespace flexos {
+namespace fault {
+
+class FaultInjector {
+ public:
+  using CycleSourceFn = uint64_t (*)(void* ctx);
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Wired by the Machine at construction. The cycle source stamps event-log
+  // entries; obs sinks receive fault.injected / fault.dropped and the
+  // per-injection trace instants (TraceCat::kFault).
+  void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
+  void SetCycleSource(CycleSourceFn fn, void* ctx) {
+    cycle_fn_ = fn;
+    cycle_ctx_ = ctx;
+  }
+
+  // Installs a plan: reseeds the RNG, zeroes all rule counters and the
+  // event log, and arms the referenced sites. Metrics are resolved here
+  // (lazily) so runs that never load a plan register nothing.
+  void LoadPlan(FaultPlan plan);
+
+  // Back to the empty plan (all sites disarmed). Keeps the event log of the
+  // previous plan readable until the next LoadPlan.
+  void Disarm() { armed_mask_ = 0; }
+
+  bool enabled() const { return armed_mask_ != 0; }
+  bool armed(FaultSite site) const {
+    return (armed_mask_ & (1u << static_cast<int>(site))) != 0;
+  }
+
+  // The probe. Counts one occurrence at `site` for compartment
+  // `compartment` (-1 when the site has no compartment notion) against
+  // every matching rule and returns the first decision that fires, if any.
+  // The *site* applies the effect; the injector only decides and records.
+  // Callers must guard with armed(site) — Check on a disarmed site is legal
+  // but wastes the rule scan.
+  std::optional<FaultDecision> Check(FaultSite site, int compartment);
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t injected() const { return injected_; }
+  uint64_t dropped() const { return dropped_; }
+  const std::vector<InjectionEvent>& events() const { return events_; }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t occurrences = 0;
+    uint64_t fired = 0;
+  };
+
+  FaultPlan plan_;
+  std::vector<RuleState> states_;
+  uint32_t armed_mask_ = 0;
+  Rng rng_{0};
+  uint64_t injected_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<InjectionEvent> events_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* injected_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  CycleSourceFn cycle_fn_ = nullptr;
+  void* cycle_ctx_ = nullptr;
+};
+
+}  // namespace fault
+}  // namespace flexos
+
+#endif  // FLEXOS_FAULT_INJECTOR_H_

@@ -15,6 +15,10 @@ Machine::Machine(uint64_t freq_hz, CostModel costs)
   // Newest machine wins the global slot used by the log->trace bridge;
   // multi-machine tests only trace the machine under test.
   obs::Tracer::SetActive(&tracer_);
+  injector_.BindObs(&metrics_, &tracer_);
+  injector_.SetCycleSource(
+      [](void* ctx) { return static_cast<const Clock*>(ctx)->cycles(); },
+      &clock_);
 }
 
 Machine::~Machine() = default;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "fault/injector.h"
 #include "hw/clock.h"
 #include "hw/cost_model.h"
 #include "hw/pkru.h"
@@ -81,6 +82,12 @@ class Machine {
   obs::Attributor& attrib() { return attrib_; }
   const obs::Attributor& attrib() const { return attrib_; }
 
+  // Deterministic fault injector (DESIGN.md §11). Idle (no plan loaded)
+  // unless a chaos harness arms it; probe sites across alloc/net/sched/core
+  // consult it through this accessor.
+  fault::FaultInjector& injector() { return injector_; }
+  const fault::FaultInjector& injector() const { return injector_; }
+
   // Charges `cycles` of modeled computation. Compute charges are
   // instrumentation-insensitive: ASAN-class hardening taxes memory
   // operations (ChargeMemOp), not stall/branch-dominated fixed work.
@@ -97,6 +104,7 @@ class Machine {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   obs::Attributor attrib_;
+  fault::FaultInjector injector_;
 };
 
 // RAII guard that installs an ExecContext and restores the previous one;

@@ -21,8 +21,20 @@ std::string_view TrapKindName(TrapKind kind) {
       return "CONTRACT_VIOLATION";
     case TrapKind::kUbsanViolation:
       return "UBSAN_VIOLATION";
+    case TrapKind::kRpcTimeout:
+      return "RPC_TIMEOUT";
   }
   return "UNKNOWN_TRAP";
+}
+
+std::optional<TrapKind> TrapKindFromName(std::string_view name) {
+  for (int k = 0; k < kNumTrapKinds; ++k) {
+    const TrapKind kind = static_cast<TrapKind>(k);
+    if (TrapKindName(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
 }
 
 namespace {

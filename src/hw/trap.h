@@ -8,6 +8,7 @@
 #define FLEXOS_HW_TRAP_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace flexos {
@@ -20,9 +21,18 @@ enum class TrapKind : uint8_t {
   kStackOverflow,      // Guest stack guard page hit.
   kContractViolation,  // Verified-scheduler pre/post-condition failure.
   kUbsanViolation,     // Modeled undefined-behavior check failure.
+  kRpcTimeout,         // VM-RPC crossing exceeded its deadline (fault/).
 };
 
+// Number of TrapKind values; keep in sync with the enum (the taxonomy
+// round-trip test walks [0, kNumTrapKinds)).
+inline constexpr int kNumTrapKinds =
+    static_cast<int>(TrapKind::kRpcTimeout) + 1;
+
 std::string_view TrapKindName(TrapKind kind);
+
+// Inverse of TrapKindName; nullopt for unrecognized names.
+std::optional<TrapKind> TrapKindFromName(std::string_view name);
 
 enum class AccessKind : uint8_t { kRead, kWrite, kExecute };
 

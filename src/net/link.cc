@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace flexos {
 
 Link::Link(Machine& machine, LinkConfig config)
@@ -16,6 +18,38 @@ void Link::Send(std::vector<uint8_t> frame, bool to_b) {
     ++stats_.frames_dropped;
     return;
   }
+  // Fault injection (fault/): side A is the guest NIC by convention, so
+  // to_b carries guest transmissions and !to_b guest-bound traffic.
+  uint64_t injected_delay_cycles = 0;
+  const fault::FaultSite site =
+      to_b ? fault::FaultSite::kNicTx : fault::FaultSite::kNicRx;
+  if (machine_.injector().armed(site)) {
+    const std::optional<fault::FaultDecision> decision =
+        machine_.injector().Check(site, machine_.context().compartment);
+    if (decision.has_value()) {
+      switch (decision->kind) {
+        case fault::FaultKind::kPacketDrop:
+          ++stats_.frames_dropped;
+          return;
+        case fault::FaultKind::kPacketCorrupt:
+          // Flip one payload byte past the ethernet/IP/TCP headers so the
+          // TCP checksum catches it downstream. Header-only frames have no
+          // payload to corrupt; losing them models the same fault.
+          if (frame.size() <= 60) {
+            ++stats_.frames_dropped;
+            return;
+          }
+          frame[54 + (decision->arg % (frame.size() - 54))] ^= 0xFF;
+          break;
+        case fault::FaultKind::kPacketDelay:
+          injected_delay_cycles = machine_.clock().NanosToCycles(
+              decision->arg != 0 ? decision->arg : 100'000);
+          break;
+        default:
+          break;  // Other kinds have no meaning on the wire.
+      }
+    }
+  }
   const uint64_t now = machine_.clock().cycles();
   const double cycles_per_byte =
       static_cast<double>(machine_.clock().freq_hz()) * 8.0 /
@@ -25,8 +59,9 @@ void Link::Send(std::vector<uint8_t> frame, bool to_b) {
   uint64_t& busy_until = to_b ? busy_until_to_b_ : busy_until_to_a_;
   const uint64_t tx_start = std::max(now, busy_until);
   busy_until = tx_start + tx_cycles;
-  const uint64_t arrival =
-      busy_until + machine_.clock().NanosToCycles(config_.latency_ns);
+  const uint64_t arrival = busy_until +
+                           machine_.clock().NanosToCycles(config_.latency_ns) +
+                           injected_delay_cycles;
   in_flight_.push(InFlight{.arrival_cycles = arrival,
                            .sequence = next_sequence_++,
                            .to_b = to_b,

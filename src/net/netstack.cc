@@ -56,7 +56,7 @@ bool NetStack::Poll() {
   obs::Tracer& tracer = machine_.tracer();
   const bool tracing = tracer.enabled();
   const uint64_t poll_start_ns = tracing ? tracer.NowNs() : 0;
-  router_.Call(platform_to_net_, [&] {
+  const Status poll_status = router_.TryCall(platform_to_net_, [&] {
     // All semaphore wakeups this poll produces (data arrival, window
     // opening, accept, FIN, reset — across every frame drained below and
     // any timers that fire) may share one net -> libc crossing.
@@ -106,6 +106,14 @@ bool NetStack::Poll() {
       progress = true;
     }
   });
+  if (!poll_status.ok()) {
+    // The net compartment is quarantined (or its poll trapped and was
+    // contained): inbound frames stay queued on the NIC and drain after the
+    // supervisor re-admits the compartment. No progress reported, so the
+    // idle loop falls through to its next-event computation — which
+    // includes the supervisor's restart deadline — instead of spinning.
+    return false;
+  }
   // Only productive polls get a span: the idle loop polls constantly and
   // would otherwise flood the trace ring with empty entries.
   if (tracing && progress) {

@@ -137,6 +137,22 @@ void Attributor::PopFrame(uint64_t now_cycles) {
   active_->frames.pop_back();
 }
 
+size_t Attributor::frame_depth() const {
+  if (!enabled_ || active_ == nullptr) {
+    return 0;
+  }
+  return active_->frames.size();
+}
+
+void Attributor::UnwindFramesTo(size_t depth, uint64_t now_cycles) {
+  if (!enabled_ || active_ == nullptr) {
+    return;
+  }
+  while (active_->frames.size() > depth) {
+    PopFrame(now_cycles);
+  }
+}
+
 TraceContext Attributor::BeginRequest(std::string_view name,
                                       uint64_t now_cycles, uint64_t now_ns) {
   if (!enabled_) {

@@ -102,6 +102,13 @@ class Attributor {
   void PushGateFrame(std::string_view backend, uint64_t now_cycles);
   void PopFrame(uint64_t now_cycles);
 
+  // Active thread's frame-stack depth; 0 when no thread is active. With
+  // UnwindFramesTo this brackets non-local exits: a supervised gate call
+  // that catches a TrapException pops every frame the aborted call pushed,
+  // so the conservation invariant survives trap containment.
+  size_t frame_depth() const;
+  void UnwindFramesTo(size_t depth, uint64_t now_cycles);
+
   // Mints a request bound to the active thread (ids start at 1) / closes it.
   TraceContext BeginRequest(std::string_view name, uint64_t now_cycles,
                             uint64_t now_ns);
@@ -193,6 +200,8 @@ class Attributor {
   void PushFrame(std::string_view, int, uint64_t) {}
   void PushGateFrame(std::string_view, uint64_t) {}
   void PopFrame(uint64_t) {}
+  static constexpr size_t frame_depth() { return 0; }
+  void UnwindFramesTo(size_t, uint64_t) {}
 
   TraceContext BeginRequest(std::string_view, uint64_t, uint64_t) {
     return TraceContext{};

@@ -38,6 +38,8 @@ const char* CategoryName(TraceCat cat) {
       return "net";
     case TraceCat::kLog:
       return "log";
+    case TraceCat::kFault:
+      return "fault";
   }
   return "other";
 }

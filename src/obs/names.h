@@ -51,6 +51,12 @@ inline constexpr std::string_view kMetricTcpOooDrops =
 inline constexpr std::string_view kMetricTcpConnsAccepted =
     "net.tcp.conns_accepted";
 inline constexpr std::string_view kMetricTcpResets = "net.tcp.resets";
+inline constexpr std::string_view kMetricFaultInjected = "fault.injected";
+inline constexpr std::string_view kMetricFaultDropped = "fault.dropped";
+inline constexpr std::string_view kMetricFaultTrapped = "fault.trapped";
+inline constexpr std::string_view kMetricFaultRestarts = "fault.restarts";
+inline constexpr std::string_view kMetricFaultQuarantined =
+    "fault.quarantined";
 
 // The four per-boundary metric families, in the order flexstat prints them.
 inline constexpr std::string_view kGateFamilies[] = {

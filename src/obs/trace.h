@@ -42,6 +42,7 @@ enum class TraceCat : uint8_t {
   kAlloc = 2,
   kNet = 3,
   kLog = 4,
+  kFault = 5,
 };
 
 // Subset of Chrome trace-event phases we emit. Spans are always recorded as

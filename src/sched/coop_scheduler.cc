@@ -1,9 +1,49 @@
 #include "sched/coop_scheduler.h"
 
+#include "fault/fault.h"
 #include "obs/names.h"
 #include "support/log.h"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define FLEXOS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FLEXOS_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef FLEXOS_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace flexos {
+
+void CoopScheduler::StartFiberSwitch(const void* dest_bottom,
+                                     size_t dest_size,
+                                     bool destroying_source) {
+#ifdef FLEXOS_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(
+      destroying_source ? nullptr : &fiber_fake_stack_, dest_bottom,
+      dest_size);
+  if (destroying_source) {
+    fiber_fake_stack_ = nullptr;
+  }
+#else
+  (void)dest_bottom;
+  (void)dest_size;
+  (void)destroying_source;
+#endif
+}
+
+void CoopScheduler::FinishFiberSwitch(const void** source_bottom,
+                                      size_t* source_size) {
+#ifdef FLEXOS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fiber_fake_stack_, source_bottom,
+                                  source_size);
+#else
+  (void)source_bottom;
+  (void)source_size;
+#endif
+}
 
 CoopScheduler* CoopScheduler::active_ = nullptr;
 
@@ -65,6 +105,10 @@ Status CoopScheduler::Add(Thread* thread) {
 void CoopScheduler::Trampoline() {
   CoopScheduler* self = active_;
   FLEXOS_CHECK(self != nullptr, "trampoline without active scheduler");
+  // First instruction on this fiber's stack: complete the annotated switch,
+  // capturing the run-loop stack bounds for the switches back out.
+  self->FinishFiberSwitch(&self->run_loop_stack_bottom_,
+                          &self->run_loop_stack_size_);
   Thread* thread = self->current_;
   FLEXOS_CHECK(thread != nullptr, "trampoline without current thread");
   try {
@@ -83,6 +127,16 @@ void CoopScheduler::Trampoline() {
 
 CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   machine_.clock().Charge(SwitchCost());
+  if (machine_.injector().armed(fault::FaultSite::kSchedActivate)) {
+    // Models a preemption/interrupt storm stalling this activation.
+    const std::optional<fault::FaultDecision> decision = machine_.injector().Check(
+        fault::FaultSite::kSchedActivate, thread->exec_context_.compartment);
+    if (decision.has_value() &&
+        decision->kind == fault::FaultKind::kSchedDelay) {
+      machine_.clock().Charge(machine_.clock().NanosToCycles(
+          decision->arg != 0 ? decision->arg : 10'000));
+    }
+  }
   ++context_switches_;
   switch_counter_->Add();
   obs::Tracer& tracer = machine_.tracer();
@@ -105,8 +159,11 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
     thread->context_.uc_link = nullptr;
     makecontext(&thread->context_, &CoopScheduler::Trampoline, 0);
   }
+  StartFiberSwitch(thread->host_stack_.get(), Thread::kHostStackSize,
+                   /*destroying_source=*/false);
   FLEXOS_CHECK(swapcontext(&run_loop_context_, &thread->context_) == 0,
                "swapcontext into thread failed");
+  FinishFiberSwitch(nullptr, nullptr);
   thread->exec_context_ = machine_.context();
   machine_.context() = run_loop_context;
   current_ = nullptr;
@@ -133,8 +190,12 @@ void CoopScheduler::SwitchToRunLoop(SwitchReason reason) {
   Thread* thread = current_;
   FLEXOS_CHECK(thread != nullptr, "SwitchToRunLoop outside a thread");
   pending_reason_ = reason;
+  StartFiberSwitch(run_loop_stack_bottom_, run_loop_stack_size_,
+                   /*destroying_source=*/reason == SwitchReason::kExit);
   FLEXOS_CHECK(swapcontext(&thread->context_, &run_loop_context_) == 0,
                "swapcontext to run loop failed");
+  // Resumed (the thread was rescheduled): complete the switch back in.
+  FinishFiberSwitch(&run_loop_stack_bottom_, &run_loop_stack_size_);
 }
 
 void CoopScheduler::Yield() {

@@ -64,6 +64,16 @@ class CoopScheduler : public Scheduler {
   // Switches from the current thread back to the run loop.
   void SwitchToRunLoop(SwitchReason reason);
 
+  // ASan fiber annotations around swapcontext (no-ops in regular builds).
+  // Without them ASan keeps tracking the old stack across a switch, and a
+  // TrapException thrown on a fiber stack makes __asan_handle_no_return
+  // scribble over dead frames (stack-use-after-scope in sigaltstack; see
+  // google/sanitizers#189). `destroying_source` releases the source
+  // fiber's fake stack on its final exit switch.
+  void StartFiberSwitch(const void* dest_bottom, size_t dest_size,
+                        bool destroying_source);
+  void FinishFiberSwitch(const void** source_bottom, size_t* source_size);
+
   Machine& machine_;
   // Registry-resolved metrics (obs/names.h): context-switch counter and
   // run-slice length histogram, recorded per SwitchTo.
@@ -80,6 +90,13 @@ class CoopScheduler : public Scheduler {
   uint64_t context_switches_ = 0;
   std::optional<TrapInfo> fatal_trap_;
   bool in_run_loop_ = false;
+
+  // Fiber-annotation state: the fake-stack handle handed across each
+  // swapcontext, and the run-loop stack bounds captured on first fiber
+  // entry (needed to annotate switches back out of a fiber).
+  void* fiber_fake_stack_ = nullptr;
+  const void* run_loop_stack_bottom_ = nullptr;
+  size_t run_loop_stack_size_ = 0;
 
   // makecontext(3) passes only ints; the trampoline recovers the scheduler
   // through this (single-CPU simulator, so one active scheduler at a time).

@@ -29,6 +29,7 @@
 
 #include "support/function_ref.h"
 #include "support/panic.h"
+#include "support/status.h"
 
 namespace flexos {
 
@@ -131,6 +132,18 @@ class GateRouter {
     } else {
       body();
     }
+  }
+
+  // Like Call, but a router that supervises isolating boundaries (an Image
+  // with a fault handler installed, fault/supervisor.h) may refuse the
+  // crossing — quarantined or permanently failed target compartment — or
+  // convert a trap the gate contained into an error Status instead of
+  // unwinding the caller. The base router dispatches plainly: the body
+  // always runs and traps propagate, so substrate code calling TryCall
+  // behaves identically to Call on unsupervised images.
+  virtual Status TryCall(const RouteHandle& route, FunctionRef<void()> body) {
+    Call(route, body);
+    return Status::Ok();
   }
 
   // --- Batched crossings (driven by GateBatch) ---------------------------

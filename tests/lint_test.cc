@@ -8,6 +8,7 @@
 #include "analysis/flexlint.h"
 #include "core/config_parser.h"
 #include "core/image_builder.h"
+#include "fault/supervisor.h"
 #include "hw/trap.h"
 
 namespace flexos {
@@ -258,6 +259,11 @@ TEST(LintModelExtraction, ImageAndConfigProduceTheSameFindings) {
   Machine machine;
   ImageBuilder builder(machine);
   auto image = builder.Build(config).value();
+  // Without a fault handler restarts cannot happen and the image-side
+  // extraction skips FL009; install a (hook-less) supervisor so both
+  // extraction paths see the same restartable boundaries.
+  fault::CompartmentSupervisor supervisor(*image);
+  image->SetFaultHandler(&supervisor);
 
   const LintReport from_config = LintConfig(config);
   const LintReport from_image = LintImage(*image);

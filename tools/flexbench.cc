@@ -11,11 +11,15 @@
 // benches (compare=false in the manifest) run gate-only: their own internal
 // checks decide pass/fail via exit status.
 //
-//   flexbench --bindir DIR [--smoke] [--baseline FILE] [--out FILE]
-//             [--write-baseline FILE] [--tolerance X]
+//   flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]
+//             [--out FILE] [--write-baseline FILE] [--tolerance X]
+//
+// The --chaos profile restricts the run to the manifest's chaos-tagged
+// benches: deterministic fault-injection soaks whose exit status gates the
+// recovery-time and zero-leak invariants (see bench/abl_fault_recovery.cc).
 //
 // JSON schema ("flexos-bench-v1", documented in DESIGN.md §8) is shared by
-// baselines and run reports (BENCH_PR4.json); a baseline is a run report
+// baselines and run reports (BENCH_PR5.json); a baseline is a run report
 // with kind "baseline".
 //
 // Exit status: 0 all benches passed (and matched the baseline, if given),
@@ -46,14 +50,18 @@ struct Options {
   std::string write_baseline_path;
   double tolerance = kBenchDefaultTolerance;
   bool smoke = false;
+  bool chaos = false;
 };
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: flexbench --bindir DIR [--smoke] [--baseline FILE]\n"
+      "usage: flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]\n"
       "                 [--out FILE] [--write-baseline FILE] "
-      "[--tolerance X]\n");
+      "[--tolerance X]\n"
+      "  --chaos runs only the fault-injection soak benches (self-gating\n"
+      "  recovery/leak invariants); combine with --smoke for the CI-sized "
+      "run\n");
   return 2;
 }
 
@@ -528,6 +536,8 @@ int Run(int argc, char** argv) {
       opts.tolerance = std::strtod(v, nullptr);
     } else if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--chaos") {
+      opts.chaos = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -555,6 +565,9 @@ int Run(int argc, char** argv) {
   std::vector<Drift> drifts;
   bool benches_ok = true;
   for (const BenchSpec& spec : kBenchManifest) {
+    if (opts.chaos && !spec.chaos) {
+      continue;
+    }
     BenchRun run;
     if (!RunBench(opts, spec, &run)) {
       return 2;
