@@ -1,0 +1,186 @@
+// Ablation: multi-vCPU scaling on an embarrassingly-parallel server
+// workload (DESIGN.md §12). One pinned worker per vCPU runs a shard of
+// redis/iperf-like operations — an app->net MPK gate crossing, payload
+// marshalling, and fixed protocol compute per op — and throughput is
+// total ops over the furthest-ahead vCPU clock. Two hard gates:
+//   * scaling — >= 1.8x at 2 vCPUs and >= 3x at 4 vCPUs vs 1 vCPU;
+//   * determinism — every point runs twice with the same seed and must
+//     produce an identical event log (vCPU clocks, context switches,
+//     machine stats, and the full trace-event stream hash together).
+// Pass --smoke for a fast CI-sized run, --vcpus N for a single point
+// (replay-gated only; scaling needs the full sweep).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace flexos;
+
+// SplitMix64: per-shard deterministic op-size stream.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d4a77c621f47b5ULL;
+  return z ^ (z >> 31);
+}
+
+struct SmpPoint {
+  uint64_t ops = 0;
+  uint64_t cycles = 0;    // max over vCPU clocks, boot excluded.
+  uint64_t event_hash = 0;  // FNV-1a over the merged event log.
+  uint64_t checksum = 0;    // Workload payload checksum (PRNG coverage).
+};
+
+// One full run at `vcpus`; everything that feeds the returned struct is
+// modeled, so two calls with the same arguments must return identical
+// values — that is the replay gate.
+SmpPoint RunPoint(int vcpus, uint64_t total_ops, uint64_t seed) {
+  TestbedConfig config;
+  config.image = bench::NetOnlyConfig(IsolationBackend::kMpkSharedStack);
+  config.vcpus = vcpus;
+  Testbed bed(config);
+  Machine& machine = bed.machine();
+  machine.tracer().SetEnabled(true);
+
+  SmpPoint point;
+  point.ops = total_ops - total_ops % static_cast<uint64_t>(vcpus);
+  const uint64_t shard_ops = point.ops / static_cast<uint64_t>(vcpus);
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  uint64_t checksum = 0;
+
+  for (int v = 0; v < vcpus; ++v) {
+    uint64_t prng = seed ^ (0x51edULL * static_cast<uint64_t>(v + 1));
+    bed.SpawnApp(
+        "smp-worker-" + std::to_string(v),
+        [&bed, &machine, &route, &checksum, prng, shard_ops]() mutable {
+          for (uint64_t op = 0; op < shard_ops; ++op) {
+            // Payload between 64 B (redis-like op) and ~MTU (iperf-like).
+            const uint64_t payload = 64 + SplitMix64(&prng) % 1397;
+            bed.image().Call(route, [&machine, payload] {
+              machine.ChargeMemOp(payload);   // Marshal into the stack.
+              machine.ChargeCompute(1200);    // Protocol processing.
+            });
+            checksum += payload;
+            if ((op & 15) == 15) {
+              bed.scheduler().Yield();  // Cooperative server loop.
+            }
+          }
+        },
+        /*affinity=*/v);
+  }
+
+  const uint64_t start_cycles = machine.max_cycles();
+  const Status status = bed.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "run failed at %d vCPUs: %s\n", vcpus,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  point.cycles = machine.max_cycles() - start_cycles;
+  point.checksum = checksum;
+
+  // The merged event log: every per-vCPU clock, the scheduler switch
+  // count, the machine stat counters, and the full trace stream.
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  for (int v = 0; v < vcpus; ++v) {
+    mix(machine.clock_of(v).cycles());
+  }
+  mix(bed.scheduler().context_switches());
+  mix(machine.stats().wrpkru_count);
+  mix(machine.stats().gate_crossings);
+  mix(machine.stats().ipi_count);
+  for (const obs::TraceEvent& event : machine.tracer().Snapshot()) {
+    mix(event.ts_ns);
+    mix(event.dur_ns);
+    mix(event.a0);
+    mix(event.a1);
+    mix(static_cast<uint64_t>(event.tid));
+    mix(event.vcpu);
+    mix(static_cast<uint64_t>(event.cat) << 8 |
+        static_cast<uint64_t>(event.phase));
+    for (const char* c = event.name; c != nullptr && *c != '\0'; ++c) {
+      mix(static_cast<uint64_t>(static_cast<unsigned char>(*c)));
+    }
+  }
+  point.event_hash = h;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flexos;
+  bool smoke = false;
+  int only_vcpus = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--vcpus") == 0 && i + 1 < argc) {
+      only_vcpus = std::atoi(argv[++i]);
+    }
+  }
+  const uint64_t kSeed = 42;
+  const uint64_t kTotalOps = smoke ? 4800 : 48000;
+  const double kFreqGhz = static_cast<double>(Clock::kDefaultFreqHz) / 1e9;
+
+  std::printf("# SMP scaling ablation: %llu ops sharded across pinned "
+              "workers, mpk-shared-stack app->net gate per op%s\n",
+              static_cast<unsigned long long>(kTotalOps),
+              smoke ? " (smoke)" : "");
+  std::printf("# each point runs twice with the same seed; replay=1 means "
+              "the event logs were identical\n");
+  std::printf("%-6s %10s %10s %10s %9s %7s\n", "vcpus", "ops", "virt_ms",
+              "mops_s", "speedup", "replay");
+
+  const int kPoints[] = {1, 2, 4};
+  double base_mops = 0;
+  double speedup2 = 0;
+  double speedup4 = 0;
+  bool replay_ok = true;
+  for (const int vcpus : kPoints) {
+    if (only_vcpus != 0 && vcpus != only_vcpus) {
+      continue;
+    }
+    const SmpPoint first = RunPoint(vcpus, kTotalOps, kSeed);
+    const SmpPoint second = RunPoint(vcpus, kTotalOps, kSeed);
+    const bool identical = first.event_hash == second.event_hash &&
+                           first.cycles == second.cycles &&
+                           first.checksum == second.checksum;
+    replay_ok = replay_ok && identical;
+    const double virt_ms =
+        static_cast<double>(first.cycles) / (kFreqGhz * 1e6);
+    const double mops =
+        static_cast<double>(first.ops) / (static_cast<double>(first.cycles) /
+                                          (kFreqGhz * 1e3));
+    if (vcpus == 1) {
+      base_mops = mops;
+    }
+    const double speedup = base_mops > 0 ? mops / base_mops : 1.0;
+    if (vcpus == 2) {
+      speedup2 = speedup;
+    } else if (vcpus == 4) {
+      speedup4 = speedup;
+    }
+    std::printf("%-6d %10llu %10.3f %10.3f %8.2fx %7d\n", vcpus,
+                static_cast<unsigned long long>(first.ops), virt_ms, mops,
+                speedup, identical ? 1 : 0);
+  }
+
+  std::printf("\n# Checks:\n");
+  std::printf("  replay identity (same seed -> same event log): %s\n",
+              replay_ok ? "ok" : "FAILED");
+  if (only_vcpus == 0) {
+    std::printf("  speedup at 2 vCPUs: %.2fx (target >= 1.8x), at 4 vCPUs: "
+                "%.2fx (target >= 3x)\n",
+                speedup2, speedup4);
+    return (replay_ok && speedup2 >= 1.8 && speedup4 >= 3.0) ? 0 : 1;
+  }
+  return replay_ok ? 0 : 1;
+}

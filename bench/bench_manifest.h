@@ -33,6 +33,9 @@ struct BenchSpec {
   // Part of the chaos profile (flexbench --chaos): soaks the image under a
   // fault-injection plan and self-gates on recovery/leak invariants.
   bool chaos = false;
+  // Accepts --vcpus N to shard across simulated vCPUs; flexbench forwards
+  // its --vcpus option to these binaries only.
+  bool smp = false;
   // Per-row numeric column indices excluded from metrics (wall-clock
   // columns inside otherwise-deterministic tables).
   int drop_cols[4] = {-1, -1, -1, -1};
@@ -86,6 +89,13 @@ inline constexpr BenchSpec kBenchManifest[] = {
      .binary = "abl_fault_recovery",
      .has_smoke = true,
      .chaos = true},
+    // Multi-vCPU scaling sweep: fully modeled and deterministic (virtual
+    // clocks, seeded workload); self-gates on near-linear scaling and
+    // same-seed replay identity.
+    {.name = "abl_smp",
+     .binary = "abl_smp",
+     .has_smoke = true,
+     .smp = true},
 };
 
 inline constexpr size_t kBenchManifestSize =

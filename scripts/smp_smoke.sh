@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# SMP smoke under sanitizers: build with FLEXOS_SANITIZE=ON (ASan + UBSan)
+# and run the multi-vCPU test surface — the `smp`-labeled ctest targets
+# (sched_smp_test + the abl_smp scaling/replay gates) plus an explicit
+# abl_smp point at each vCPU count. Everything here is modeled and
+# deterministic, so a sanitizer hit is a real bug in the per-vCPU run
+# queues, lane attribution, or clock-merge bookkeeping, not noise.
+#
+# Usage: scripts/smp_smoke.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+echo "== smp_smoke: configure + build (FLEXOS_SANITIZE=ON)"
+cmake -S "$repo_root" -B "$build_dir" -DFLEXOS_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== smp_smoke: smp-labeled tests"
+ctest --test-dir "$build_dir" -L smp --output-on-failure
+
+echo "== smp_smoke: abl_smp single points at 1, 2, 4 vCPUs"
+for n in 1 2 4; do
+  "$build_dir/bench/abl_smp" --smoke --vcpus "$n"
+done
+
+echo "== smp_smoke: clean under ASan/UBSan"

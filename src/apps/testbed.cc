@@ -14,6 +14,9 @@ std::vector<std::string> DefaultLibs() {
 
 Testbed::Testbed(const TestbedConfig& config)
     : config_(config), machine_(Clock::kDefaultFreqHz, config.costs) {
+  // Before the image build: boundary recorders resolve their per-vCPU
+  // counters against this count.
+  machine_.SetVCpuCount(config.vcpus);
   ImageBuilder builder(machine_);
   Result<std::unique_ptr<Image>> image = builder.Build(config.image);
   FLEXOS_CHECK(image.ok(), "image build failed: %s",
@@ -66,16 +69,25 @@ Gaddr Testbed::AllocShared(uint64_t size) {
 
 Thread* Testbed::SpawnApp(const std::string& name,
                           std::function<void()> body) {
-  Result<Thread*> thread = scheduler_->Spawn(name, [this, body] {
-    // Enter the app compartment for the thread's lifetime. TryCall so a
-    // trap inside the app lands in the supervisor (when installed) instead
-    // of killing the whole image; unsupervised images behave as before.
-    const Status status = image_->TryCall(platform_to_app_, body);
-    if (!status.ok()) {
-      FLEXOS_WARN("app thread ended by fault containment: %s",
-                  status.ToString().c_str());
-    }
-  });
+  return SpawnApp(name, std::move(body), config_.app_affinity);
+}
+
+Thread* Testbed::SpawnApp(const std::string& name, std::function<void()> body,
+                          int affinity) {
+  Result<Thread*> thread = scheduler_->Spawn(
+      name,
+      [this, body] {
+        // Enter the app compartment for the thread's lifetime. TryCall so a
+        // trap inside the app lands in the supervisor (when installed)
+        // instead of killing the whole image; unsupervised images behave as
+        // before.
+        const Status status = image_->TryCall(platform_to_app_, body);
+        if (!status.ok()) {
+          FLEXOS_WARN("app thread ended by fault containment: %s",
+                      status.ToString().c_str());
+        }
+      },
+      affinity);
   FLEXOS_CHECK(thread.ok(), "spawn failed: %s",
                thread.status().ToString().c_str());
   return thread.value();
@@ -161,7 +173,12 @@ bool Testbed::OnIdle() {
   if (!next.has_value()) {
     return false;  // Genuinely idle (or deadlocked).
   }
-  machine_.clock().AdvanceTo(*next);
+  // Idle skip: the whole machine sleeps until the next device event. Every
+  // vCPU clock jumps together — events merge back into the run queues in
+  // deterministic order (the scheduler picks lowest-clock-first with
+  // vCPU-id tiebreak), so the same seed replays identically at any vCPU
+  // count. At one vCPU this is exactly the old single-clock AdvanceTo.
+  machine_.AdvanceAllClocksTo(*next);
   deliver_round();
   return true;
 }

@@ -42,6 +42,14 @@ struct TestbedConfig {
   // Fault-injection plan loaded into the machine's injector at boot. An
   // empty plan leaves every site disarmed (bit-identical baseline runs).
   fault::FaultPlan fault_plan;
+  // Simulated vCPUs (DESIGN.md §12). 1 (the default) reproduces the
+  // single-core machine bit-identically; >1 enables per-vCPU run queues,
+  // clocks, and key state. Clamped to [1, kMaxVCpus].
+  int vcpus = 1;
+  // Default pin for SpawnApp threads: -1 (unpinned) or a vCPU id. The
+  // platform (devices, netstack poll, timers) always runs on vCPU 0, so
+  // SMP workloads pin their app shards to spread across cores.
+  int app_affinity = -1;
 };
 
 // The standard five-library split used by the in-tree experiments.
@@ -66,8 +74,13 @@ class Testbed {
   // Allocates a cross-compartment buffer from the image's shared region.
   Gaddr AllocShared(uint64_t size);
 
-  // Spawns a guest thread whose body runs in the app compartment.
+  // Spawns a guest thread whose body runs in the app compartment, pinned
+  // to config.app_affinity (unpinned by default).
   Thread* SpawnApp(const std::string& name, std::function<void()> body);
+
+  // Same, with an explicit vCPU pin (-1 = unpinned).
+  Thread* SpawnApp(const std::string& name, std::function<void()> body,
+                   int affinity);
 
   // Runs the scheduler to completion.
   Status Run();

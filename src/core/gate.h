@@ -17,6 +17,15 @@
 // can be held open across a batch of bodies (GateBatch): Enter charges the
 // entry half and installs the target context, Exit charges the exit half
 // and restores the caller. Cross is the ordinary single-call composition.
+//
+// Key state is per vCPU: Machine::context() resolves to the current vCPU's
+// ExecContext (its simulated PKRU register), so gates need no per-core
+// bookkeeping of their own — installing a target context only ever touches
+// the core the crossing runs on, and RouteHandles stay valid across vCPUs
+// (they point at compartment contexts, not per-core registers). The
+// scheduler reinstalls a migrating thread's PKRU (one WRPKRU), and the
+// vm-rpc backend charges CostModel::ipi when its notification must reach a
+// compartment pinned to a different vCPU.
 #ifndef FLEXOS_CORE_GATE_H_
 #define FLEXOS_CORE_GATE_H_
 

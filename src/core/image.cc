@@ -234,6 +234,17 @@ const obs::BoundaryRecorder& Image::BoundaryRecorderFor(int from_comp,
         obs::GateMetricName("bytes", backend, from_comp, to_comp));
     recorder.latency_ns = &metrics.GetHistogram(
         obs::GateMetricName("latency_ns", backend, from_comp, to_comp));
+    if (machine_.vcpu_count() > 1) {
+      // Per-vCPU crossing split. The ".v<id>" suffix adds a fifth dot-field
+      // after "gate.", which ParseGateMetricName rejects — so generic
+      // boundary collection (flexstat tables, flexbench rows) never double
+      // counts these.
+      for (int v = 0; v < machine_.vcpu_count(); ++v) {
+        recorder.vcpu_crossings[v] = &metrics.GetCounter(
+            obs::GateMetricName("crossings", backend, from_comp, to_comp) +
+            ".v" + std::to_string(v));
+      }
+    }
     it = boundaries_.emplace(std::make_pair(from_comp, to_comp), recorder)
              .first;
   }
@@ -281,6 +292,9 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
           ? route.obs
           : &BoundaryRecorderFor(route.from_comp, route.to_comp);
   recorder->crossings->Add();
+  if (recorder->vcpu_crossings[0] != nullptr) {
+    recorder->vcpu_crossings[machine_.current_vcpu()]->Add();
+  }
   recorder->bytes->Add(kGateArgBytes + kGateRetBytes);
   GateCrossing crossing{.target_context = route.target_exec,
                         .arg_bytes = kGateArgBytes,
@@ -291,32 +305,35 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
   // cycles — while excluding the body. The attributor frames mirror that
   // split exactly: gate halves charge gate:<backend>, the body charges the
   // target compartment, and the caller's frame resumes after Exit.
-  Clock& clock = machine_.clock();
+  // machine_.clock() is re-read at each step, not cached: the body may
+  // block and resume on a different vCPU, and each overhead half must be
+  // measured as a delta on whichever vCPU clock ran it.
   obs::Attributor& attrib = machine_.attrib();
   const bool profiling = attrib.enabled();
   const std::string_view backend = IsolationBackendName(backend_);
-  const uint64_t t0 = clock.cycles();
+  const uint64_t t0 = machine_.clock().cycles();
   if (profiling) {
     attrib.PushGateFrame(backend, t0);
   }
   const GateSession session = gate->Enter(machine_, crossing);
-  const uint64_t entry_cycles = clock.cycles() - t0;
+  // Enter never blocks, so this delta stays on the entry vCPU's clock.
+  const uint64_t entry_cycles = machine_.clock().cycles() - t0;
   if (profiling) {
-    attrib.PopFrame(clock.cycles());
-    attrib.PushFrame(route.to, route.to_comp, clock.cycles());
+    attrib.PopFrame(machine_.clock().cycles());
+    attrib.PushFrame(route.to, route.to_comp, machine_.clock().cycles());
   }
   body();
-  const uint64_t t1 = clock.cycles();
+  const uint64_t t1 = machine_.clock().cycles();
   if (profiling) {
     attrib.PopFrame(t1);
     attrib.PushGateFrame(backend, t1);
   }
   gate->Exit(machine_, crossing, session);
-  const uint64_t overhead_ns =
-      clock.CyclesToNanos(entry_cycles + (clock.cycles() - t1));
+  const uint64_t overhead_ns = machine_.clock().CyclesToNanos(
+      entry_cycles + (machine_.clock().cycles() - t1));
   recorder->latency_ns->Record(overhead_ns);
   if (profiling) {
-    attrib.PopFrame(clock.cycles());
+    attrib.PopFrame(machine_.clock().cycles());
     attrib.OnGateCrossing(backend, route.from_comp, route.to_comp,
                           overhead_ns);
   }
@@ -361,6 +378,9 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
           ? route.obs
           : &BoundaryRecorderFor(route.from_comp, route.to_comp);
   recorder->crossings->Add();
+  if (recorder->vcpu_crossings[0] != nullptr) {
+    recorder->vcpu_crossings[machine_.current_vcpu()]->Add();
+  }
   // Notification-only entry: the batch opens the boundary with no argument
   // payload; each item marshals its own (ChargeBatchItem).
   GateCrossing entry{.target_context = route.target_exec};

@@ -17,6 +17,15 @@ GateSession VmRpcGate::EnterImpl(Machine& machine,
     machine.ChargeMemOp(crossing.arg_bytes);
   }
   machine.VmExitEnter();
+  // When the callee compartment is pinned to another vCPU, the notification
+  // is a cross-core IPI / remote wakeup, not a same-core event delivery.
+  if (machine.vcpu_count() > 1) {
+    const int target_vcpu =
+        machine.CompartmentAffinityOf(crossing.target_context->compartment);
+    if (target_vcpu >= 0 && target_vcpu != machine.current_vcpu()) {
+      machine.ChargeIpi();
+    }
+  }
   machine.context() = *crossing.target_context;
   return session;
 }
@@ -28,6 +37,15 @@ void VmRpcGate::ExitImpl(Machine& machine, const GateCrossing& crossing,
     machine.ChargeMemOp(crossing.ret_bytes);
   }
   machine.VmExitEnter();
+  // Mirror of the entry half: waking a caller pinned to another vCPU costs
+  // an IPI.
+  if (machine.vcpu_count() > 1) {
+    const int caller_vcpu =
+        machine.CompartmentAffinityOf(session.caller.compartment);
+    if (caller_vcpu >= 0 && caller_vcpu != machine.current_vcpu()) {
+      machine.ChargeIpi();
+    }
+  }
   machine.context() = session.caller;
 }
 

@@ -35,6 +35,12 @@ struct CostModel {
   uint64_t vmexit = 1800;
   // Posting the inter-VM notification (event channel / posted interrupt).
   uint64_t vm_notify = 400;
+  // Delivering a cross-vCPU IPI / remote wakeup: the sender's APIC write
+  // plus the remote interrupt dispatch (measured IPI round trips run
+  // 1-2k cycles on Skylake-class parts). Charged only when a vm-isolated
+  // gate targets a compartment pinned to a *different* vCPU — never on a
+  // single-vCPU machine, keeping the N=1 cost model bit-identical.
+  uint64_t ipi = 1600;
 
   // --- Scheduling (paper §4 microbenchmark) -------------------------------
   // C scheduler context switch: 76.6 ns at 2.1 GHz ~= 161 cycles, of which

@@ -2,44 +2,93 @@
 
 namespace flexos {
 
-Machine::Machine(uint64_t freq_hz, CostModel costs)
-    : clock_(freq_hz), costs_(costs) {
-  // Trace timestamps are virtual nanoseconds from this machine's clock, so
-  // traces are deterministic. Non-capturing lambda: the obs layer cannot
-  // include hw/ headers (it sits below support/).
+Machine::Machine(uint64_t freq_hz, CostModel costs) : costs_(costs) {
+  for (VCpu& v : vcpus_) v.clock = Clock(freq_hz);
+  // Trace timestamps are virtual nanoseconds from the *current* vCPU's
+  // clock, so traces stay deterministic across vCPU switches. Non-capturing
+  // lambda: the obs layer cannot include hw/ headers (it sits below
+  // support/).
   tracer_.SetTimeSource(
       [](void* ctx) {
-        return static_cast<const Clock*>(ctx)->NowNanos();
+        return static_cast<const Machine*>(ctx)->clock().NowNanos();
       },
-      &clock_);
+      this);
   // Newest machine wins the global slot used by the log->trace bridge;
   // multi-machine tests only trace the machine under test.
   obs::Tracer::SetActive(&tracer_);
   injector_.BindObs(&metrics_, &tracer_);
   injector_.SetCycleSource(
-      [](void* ctx) { return static_cast<const Clock*>(ctx)->cycles(); },
-      &clock_);
+      [](void* ctx) {
+        return static_cast<const Machine*>(ctx)->clock().cycles();
+      },
+      this);
 }
 
 Machine::~Machine() = default;
 
+void Machine::SetVCpuCount(int n) {
+  if (n < 1) n = 1;
+  if (n > kMaxVCpus) n = kMaxVCpus;
+  vcpu_count_ = n;
+}
+
+void Machine::SwitchVCpu(int v) {
+  if (v == current_vcpu_ || v < 0 || v >= vcpu_count_) return;
+  const uint64_t old_now = vcpus_[current_vcpu_].clock.cycles();
+  current_vcpu_ = v;
+  tracer_.SetCurrentVCpu(v);
+  attrib_.SwitchLane(v, old_now, vcpus_[v].clock.cycles());
+}
+
+void Machine::AdvanceAllClocksTo(uint64_t cycles) {
+  for (int v = 0; v < vcpu_count_; ++v) vcpus_[v].clock.AdvanceTo(cycles);
+}
+
+uint64_t Machine::max_cycles() const {
+  uint64_t max = 0;
+  for (int v = 0; v < vcpu_count_; ++v) {
+    if (vcpus_[v].clock.cycles() > max) max = vcpus_[v].clock.cycles();
+  }
+  return max;
+}
+
+void Machine::SetCompartmentAffinity(int compartment, int vcpu) {
+  compartment_affinity_[compartment] = vcpu;
+}
+
+int Machine::CompartmentAffinityOf(int compartment) const {
+  auto it = compartment_affinity_.find(compartment);
+  return it == compartment_affinity_.end() ? -1 : it->second;
+}
+
+void Machine::ChargeIpi() {
+  clock().Charge(costs_.ipi);
+  ++stats_.ipi_count;
+}
+
+void Machine::SyncAttribution() {
+  for (int v = 0; v < vcpu_count_; ++v) {
+    attrib_.SyncLane(v, vcpus_[v].clock.cycles());
+  }
+}
+
 void Machine::Wrpkru(Pkru pkru) {
-  clock_.Charge(costs_.wrpkru);
+  clock().Charge(costs_.wrpkru);
   ++stats_.wrpkru_count;
-  context_.pkru = pkru;
+  context().pkru = pkru;
 }
 
 void Machine::VmExitEnter() {
-  clock_.Charge(2 * costs_.vmexit + costs_.vm_notify);
+  clock().Charge(2 * costs_.vmexit + costs_.vm_notify);
   ++stats_.vmexit_count;
 }
 
-void Machine::ChargeCompute(uint64_t cycles) { clock_.Charge(cycles); }
+void Machine::ChargeCompute(uint64_t cycles) { clock().Charge(cycles); }
 
 void Machine::ChargeMemOp(uint64_t bytes) {
   const uint64_t raw = costs_.CopyCycles(bytes);
-  clock_.Charge(static_cast<uint64_t>(static_cast<double>(raw) *
-                                      context_.mem_cost_multiplier));
+  clock().Charge(static_cast<uint64_t>(static_cast<double>(raw) *
+                                       context().mem_cost_multiplier));
 }
 
 }  // namespace flexos

@@ -1,11 +1,13 @@
-// The simulated machine: one virtual CPU with a cycle clock, a PKRU
-// register, and the execution context the access layer consults on every
-// guest memory operation. Address spaces (vmem/) and devices (net/) attach
-// to a Machine.
+// The simulated machine: N virtual CPUs (default 1), each with its own
+// cycle clock, PKRU register, and the execution context the access layer
+// consults on every guest memory operation. Address spaces (vmem/) and
+// devices (net/) attach to a Machine. All charging APIs operate on the
+// *current* vCPU; the scheduler selects it via SwitchVCpu.
 #ifndef FLEXOS_HW_MACHINE_H_
 #define FLEXOS_HW_MACHINE_H_
 
 #include <cstdint>
+#include <map>
 
 #include "fault/injector.h"
 #include "hw/clock.h"
@@ -14,8 +16,13 @@
 #include "obs/attrib.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/vcpu.h"
 
 namespace flexos {
+
+// Compile-time cap on simulated vCPUs (defined in obs/vcpu.h so the obs
+// layer can size per-vCPU state without including hw headers).
+inline constexpr int kMaxVCpus = obs::kMaxVCpus;
 
 // Per-"instruction-stream" execution state. Gates swap this on every
 // compartment crossing; software hardening sets the instrumentation fields
@@ -36,6 +43,8 @@ struct MachineStats {
   uint64_t vmexit_count = 0;
   uint64_t gate_crossings = 0;
   uint64_t traps = 0;
+  // Cross-vCPU IPIs delivered by vm-isolated gates (always 0 at N=1).
+  uint64_t ipi_count = 0;
 };
 
 class Machine {
@@ -47,13 +56,55 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  Clock& clock() { return clock_; }
-  const Clock& clock() const { return clock_; }
+  // Clock and execution context of the *current* vCPU.
+  Clock& clock() { return vcpus_[current_vcpu_].clock; }
+  const Clock& clock() const { return vcpus_[current_vcpu_].clock; }
+  ExecContext& context() { return vcpus_[current_vcpu_].context; }
+  const ExecContext& context() const { return vcpus_[current_vcpu_].context; }
+
   const CostModel& costs() const { return costs_; }
   CostModel& mutable_costs() { return costs_; }
 
-  ExecContext& context() { return context_; }
-  const ExecContext& context() const { return context_; }
+  // --- Multi-vCPU control (DESIGN.md §12) --------------------------------
+  // Sets the number of simulated vCPUs; clamps to [1, kMaxVCpus]. Call
+  // before building an image or spawning threads — per-vCPU boundary
+  // counters and affinity are resolved against this count.
+  void SetVCpuCount(int n);
+  int vcpu_count() const { return vcpu_count_; }
+  int current_vcpu() const { return current_vcpu_; }
+
+  // Switches the current vCPU. The scheduler calls this when it picks the
+  // next runnable thread; attribution is handed over to the new vCPU's
+  // lane and the tracer stamps subsequent events with the new id. No-op
+  // when `v` is already current — at N=1 this never does anything.
+  void SwitchVCpu(int v);
+
+  // Clock of a specific vCPU (for merge rules and reporting).
+  Clock& clock_of(int v) { return vcpus_[v].clock; }
+  const Clock& clock_of(int v) const { return vcpus_[v].clock; }
+
+  // Advances every vCPU's clock to at least `cycles` (max-preserving, like
+  // Clock::AdvanceTo). Used by the testbed idle handler when the whole
+  // machine sleeps until the next device event.
+  void AdvanceAllClocksTo(uint64_t cycles);
+
+  // The machine-wide "now": the furthest-ahead vCPU clock. This is the
+  // wall-clock equivalent for throughput math at N>1 (and exactly
+  // clock().cycles() at N=1).
+  uint64_t max_cycles() const;
+
+  // Compartment-to-vCPU pinning, consulted by the vm gate backend to decide
+  // whether a crossing leaves the current vCPU (and must pay ChargeIpi).
+  // -1 (the default) means unpinned: no IPI is ever modeled.
+  void SetCompartmentAffinity(int compartment, int vcpu);
+  int CompartmentAffinityOf(int compartment) const;
+
+  // Charges the cross-vCPU notification cost on the current vCPU's clock.
+  void ChargeIpi();
+
+  // Flushes attribution on every vCPU lane up to its own clock; call before
+  // reading attrib() totals on a multi-vCPU machine.
+  void SyncAttribution();
 
   // Models the WRPKRU instruction: charges its cost and installs the value.
   void Wrpkru(Pkru pkru);
@@ -97,10 +148,17 @@ class Machine {
   void ChargeMemOp(uint64_t bytes);
 
  private:
-  Clock clock_;
+  struct VCpu {
+    Clock clock;
+    ExecContext context;
+  };
+
+  VCpu vcpus_[kMaxVCpus];
+  int vcpu_count_ = 1;
+  int current_vcpu_ = 0;
   CostModel costs_;
-  ExecContext context_;
   MachineStats stats_;
+  std::map<int, int> compartment_affinity_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   obs::Attributor attrib_;

@@ -13,7 +13,7 @@ Attributor::Attributor() {
   platform.tid = 0;
   platform.path = "platform";
   platform.active_once = true;
-  active_ = &platform;
+  for (Lane& lane : lanes_) lane.active = &platform;
 }
 
 void Attributor::SetEnabled(bool on, uint64_t now_cycles) {
@@ -21,7 +21,11 @@ void Attributor::SetEnabled(bool on, uint64_t now_cycles) {
     return;
   }
   if (on) {
-    last_cycles_ = now_cycles;
+    // Anchor the current lane at now; the others anchor lazily on first
+    // switch-in so their epochs start on their own clocks.
+    for (Lane& lane : lanes_) lane.anchored = false;
+    lanes_[current_lane_].last_cycles = now_cycles;
+    lanes_[current_lane_].anchored = true;
     enabled_ = true;
   } else {
     Charge(now_cycles);
@@ -29,15 +33,17 @@ void Attributor::SetEnabled(bool on, uint64_t now_cycles) {
   }
 }
 
-void Attributor::Charge(uint64_t now_cycles) {
-  if (!enabled_ || now_cycles <= last_cycles_) {
+void Attributor::ChargeLane(Lane& lane, uint64_t now_cycles) {
+  if (!enabled_ || !lane.anchored || now_cycles <= lane.last_cycles) {
     return;
   }
-  const uint64_t delta = now_cycles - last_cycles_;
-  last_cycles_ = now_cycles;
+  const uint64_t delta = now_cycles - lane.last_cycles;
+  lane.last_cycles = now_cycles;
+  lane.attributed += delta;
   attributed_cycles_ += delta;
-  flame_[active_->path] += delta;
-  const Frame* top = active_->frames.empty() ? nullptr : &active_->frames.back();
+  ThreadState& active = *lane.active;
+  flame_[active.path] += delta;
+  const Frame* top = active.frames.empty() ? nullptr : &active.frames.back();
   const bool in_gate = top != nullptr && top->gate;
   // Lib frames charge their compartment; an empty stack charges the thread's
   // ambient context (platform, comp -1) so cycles are never dropped.
@@ -47,8 +53,8 @@ void Attributor::Charge(uint64_t now_cycles) {
   } else {
     comp_cycles_[comp] += delta;
   }
-  if (active_->request != 0) {
-    RequestRecord& rec = RecordFor(active_->request);
+  if (active.request != 0) {
+    RequestRecord& rec = RecordFor(active.request);
     rec.execute_cycles += delta;
     if (in_gate) {
       rec.gate_cycles += delta;
@@ -56,6 +62,33 @@ void Attributor::Charge(uint64_t now_cycles) {
       rec.comp_cycles[comp] += delta;
     }
   }
+}
+
+void Attributor::SwitchLane(int lane, uint64_t old_lane_now_cycles,
+                            uint64_t new_lane_now_cycles) {
+  if (lane == current_lane_ || lane < 0 || lane >= kMaxVCpus) {
+    return;
+  }
+  if (enabled_) {
+    ChargeLane(lanes_[current_lane_], old_lane_now_cycles);
+  }
+  current_lane_ = lane;
+  Lane& next = lanes_[lane];
+  if (enabled_ && !next.anchored) {
+    next.last_cycles = new_lane_now_cycles;
+    next.anchored = true;
+  }
+  // An already-anchored lane keeps its old epoch: the gap since we left it
+  // (idle skips via AdvanceAllClocksTo) is charged to its active state —
+  // the platform run loop — at the next charge, so per-lane conservation
+  // holds.
+}
+
+void Attributor::SyncLane(int lane, uint64_t now_cycles) {
+  if (lane < 0 || lane >= kMaxVCpus) {
+    return;
+  }
+  ChargeLane(lanes_[lane], now_cycles);
 }
 
 RequestRecord& Attributor::RecordFor(uint64_t id) {
@@ -73,10 +106,12 @@ void Attributor::ActivateThread(uint64_t tid, std::string_view name,
     return;
   }
   Charge(now_cycles);
-  if (active_->tid == tid) {
+  Lane& lane = lanes_[current_lane_];
+  if (lane.active->tid == tid) {
     return;
   }
-  active_->deactivated_at = now_cycles;
+  lane.active->deactivated_at = now_cycles;
+  lane.active->deactivated_lane = current_lane_;
   auto [it, inserted] = states_.try_emplace(tid);
   ThreadState& state = it->second;
   if (inserted || !state.active_once) {
@@ -84,14 +119,18 @@ void Attributor::ActivateThread(uint64_t tid, std::string_view name,
     state.path = name.empty() ? "t" + std::to_string(tid) : std::string(name);
     state.active_once = true;
   }
-  // Time spent descheduled while a request was bound counts as queue wait.
+  // Time spent descheduled while a request was bound counts as queue wait —
+  // but only when the deschedule stamp came from this lane's clock; stamps
+  // from another vCPU are not comparable.
   if (state.request != 0 && state.deactivated_at != 0 &&
+      state.deactivated_lane == current_lane_ &&
       now_cycles > state.deactivated_at) {
     RecordFor(state.request).queue_wait_cycles +=
         now_cycles - state.deactivated_at;
   }
   state.deactivated_at = 0;
-  active_ = &state;
+  state.deactivated_lane = -1;
+  lane.active = &state;
 }
 
 void Attributor::PushFrame(std::string_view lib, int comp,
@@ -100,14 +139,15 @@ void Attributor::PushFrame(std::string_view lib, int comp,
     return;
   }
   Charge(now_cycles);
+  ThreadState& active = ActiveState();
   Frame frame;
   frame.label = std::string(lib);
   frame.comp = comp;
   frame.gate = false;
-  frame.prev_path_len = static_cast<uint32_t>(active_->path.size());
-  active_->path += ';';
-  active_->path += frame.label;
-  active_->frames.push_back(std::move(frame));
+  frame.prev_path_len = static_cast<uint32_t>(active.path.size());
+  active.path += ';';
+  active.path += frame.label;
+  active.frames.push_back(std::move(frame));
 }
 
 void Attributor::PushGateFrame(std::string_view backend, uint64_t now_cycles) {
@@ -115,14 +155,15 @@ void Attributor::PushGateFrame(std::string_view backend, uint64_t now_cycles) {
     return;
   }
   Charge(now_cycles);
+  ThreadState& active = ActiveState();
   Frame frame;
   frame.label = "gate:";
   frame.label += backend;
   frame.gate = true;
-  frame.prev_path_len = static_cast<uint32_t>(active_->path.size());
-  active_->path += ';';
-  active_->path += frame.label;
-  active_->frames.push_back(std::move(frame));
+  frame.prev_path_len = static_cast<uint32_t>(active.path.size());
+  active.path += ';';
+  active.path += frame.label;
+  active.frames.push_back(std::move(frame));
 }
 
 void Attributor::PopFrame(uint64_t now_cycles) {
@@ -130,25 +171,26 @@ void Attributor::PopFrame(uint64_t now_cycles) {
     return;
   }
   Charge(now_cycles);
-  if (active_->frames.empty()) {
+  ThreadState& active = ActiveState();
+  if (active.frames.empty()) {
     return;  // Enabled mid-call: unmatched pop, ignore.
   }
-  active_->path.resize(active_->frames.back().prev_path_len);
-  active_->frames.pop_back();
+  active.path.resize(active.frames.back().prev_path_len);
+  active.frames.pop_back();
 }
 
 size_t Attributor::frame_depth() const {
-  if (!enabled_ || active_ == nullptr) {
+  if (!enabled_) {
     return 0;
   }
-  return active_->frames.size();
+  return ActiveState().frames.size();
 }
 
 void Attributor::UnwindFramesTo(size_t depth, uint64_t now_cycles) {
-  if (!enabled_ || active_ == nullptr) {
+  if (!enabled_) {
     return;
   }
-  while (active_->frames.size() > depth) {
+  while (ActiveState().frames.size() > depth) {
     PopFrame(now_cycles);
   }
 }
@@ -165,7 +207,7 @@ TraceContext Attributor::BeginRequest(std::string_view name,
   rec.name = std::string(name);
   rec.start_ns = now_ns;
   rec.open = true;
-  active_->request = id;
+  ActiveState().request = id;
   return TraceContext{id, now_ns};
 }
 
@@ -189,7 +231,7 @@ void Attributor::EndRequest(uint64_t id, uint64_t now_cycles,
 }
 
 uint64_t Attributor::current_request() const {
-  return active_ == nullptr ? 0 : active_->request;
+  return ActiveState().request;
 }
 
 void Attributor::OnGateCrossing(std::string_view backend, int from_comp,
@@ -197,7 +239,7 @@ void Attributor::OnGateCrossing(std::string_view backend, int from_comp,
   if (!enabled_) {
     return;
   }
-  RequestRecord& rec = RecordFor(active_->request);
+  RequestRecord& rec = RecordFor(ActiveState().request);
   rec.crossings += 1;
   rec.boundary_gate_ns[GateMetricName("latency_ns", backend, from_comp,
                                       to_comp)] += overhead_ns;
@@ -251,8 +293,13 @@ void Attributor::Reset(uint64_t now_cycles) {
   platform.tid = 0;
   platform.path = "platform";
   platform.active_once = true;
-  active_ = &platform;
-  last_cycles_ = now_cycles;
+  for (Lane& lane : lanes_) {
+    lane.active = &platform;
+    lane.attributed = 0;
+    lane.anchored = false;
+  }
+  lanes_[current_lane_].last_cycles = now_cycles;
+  lanes_[current_lane_].anchored = true;
 }
 
 }  // namespace obs_enabled

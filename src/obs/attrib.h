@@ -34,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/vcpu.h"
+
 namespace flexos {
 namespace obs {
 
@@ -124,9 +126,31 @@ class Attributor {
   void OnGateCrossing(std::string_view backend, int from_comp, int to_comp,
                       uint64_t overhead_ns);
 
-  // Charges the tail [last event, now_cycles) so read-side totals are
-  // consistent. Call before reading.
+  // Charges the tail [last event, now_cycles) on the current lane so
+  // read-side totals are consistent. Call before reading. Multi-vCPU
+  // callers should use Machine::SyncAttribution, which SyncLanes every
+  // vCPU against its own clock.
   void Sync(uint64_t now_cycles);
+
+  // --- Multi-vCPU lanes (DESIGN.md §12) ----------------------------------
+  // Each vCPU charges into its own lane with its own clock epoch, so the
+  // conservation invariant (attributed == elapsed while enabled) holds per
+  // vCPU: lane_attributed_cycles(v) equals the cycles vCPU v's clock
+  // advanced while the attributor was enabled and the lane anchored.
+  // The Machine calls SwitchLane on every vCPU switch with both clocks'
+  // "now" (the two timelines are not comparable, so each lane is charged
+  // only against its own stamps). Lanes anchor lazily: a lane first
+  // entered after enablement starts its epoch at that entry.
+  void SwitchLane(int lane, uint64_t old_lane_now_cycles,
+                  uint64_t new_lane_now_cycles);
+
+  // Flushes one lane's tail against that lane's clock without switching.
+  void SyncLane(int lane, uint64_t now_cycles);
+
+  uint64_t lane_attributed_cycles(int lane) const {
+    return lanes_[lane].attributed;
+  }
+  int current_lane() const { return current_lane_; }
 
   // Read side. Flame entries are sorted by stack; requests by id (the
   // unattributed record appears first iff any crossing charged it).
@@ -160,19 +184,36 @@ class Attributor {
     std::vector<Frame> frames;
     uint64_t request = 0;         // Bound request id; 0 = none.
     uint64_t deactivated_at = 0;  // Cycle stamp of last deschedule.
+    int deactivated_lane = -1;    // Lane the stamp belongs to: queue wait
+                                  // accrues only when re-activated on the
+                                  // same lane (stamps from different vCPU
+                                  // clocks are not comparable).
     bool active_once = false;     // Has ever been scheduled in.
   };
 
-  // Charges [last_cycles_, now) to the active thread's top frame.
-  void Charge(uint64_t now_cycles);
+  // Per-vCPU charge epoch. `active` points into states_ (node-stable map);
+  // every lane starts on the shared platform state (tid 0).
+  struct Lane {
+    uint64_t last_cycles = 0;
+    uint64_t attributed = 0;
+    ThreadState* active = nullptr;
+    bool anchored = false;  // Epoch valid since enablement.
+  };
+
+  // Charges [lane.last_cycles, now) to the lane's active thread's top frame.
+  void ChargeLane(Lane& lane, uint64_t now_cycles);
+  // Current lane's charge step (the pre-vCPU-aware hot path).
+  void Charge(uint64_t now_cycles) { ChargeLane(lanes_[current_lane_], now_cycles); }
+  ThreadState& ActiveState() { return *lanes_[current_lane_].active; }
+  const ThreadState& ActiveState() const { return *lanes_[current_lane_].active; }
   RequestRecord& RecordFor(uint64_t id);
 
   bool enabled_ = false;
-  uint64_t last_cycles_ = 0;
   uint64_t attributed_cycles_ = 0;
-  // std::map: node-stable, so active_ stays valid across inserts.
+  // std::map: node-stable, so Lane::active stays valid across inserts.
   std::map<uint64_t, ThreadState> states_;
-  ThreadState* active_ = nullptr;
+  Lane lanes_[kMaxVCpus];
+  int current_lane_ = 0;
   std::map<std::string, uint64_t> flame_;
   std::map<int, uint64_t> comp_cycles_;
   std::map<std::string, uint64_t> backend_cycles_;
@@ -210,6 +251,10 @@ class Attributor {
   static constexpr uint64_t current_request() { return 0; }
   void OnGateCrossing(std::string_view, int, int, uint64_t) {}
   void Sync(uint64_t) {}
+  void SwitchLane(int, uint64_t, uint64_t) {}
+  void SyncLane(int, uint64_t) {}
+  static constexpr uint64_t lane_attributed_cycles(int) { return 0; }
+  static constexpr int current_lane() { return 0; }
 
   std::vector<FlameEntry> Flame() const { return {}; }
   std::string CollapsedStacks() const { return {}; }

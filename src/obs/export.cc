@@ -171,6 +171,12 @@ std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
       out += ",\"req\":";
       AppendU64(&out, event.req);
     }
+    // Omitted at vCPU 0 so single-vCPU traces stay byte-identical to
+    // pre-multi-vCPU exports.
+    if (event.vcpu != 0) {
+      out += ",\"vcpu\":";
+      AppendU64(&out, event.vcpu);
+    }
     if (event.text[0] != '\0') {
       out += ",\"msg\":\"";
       out += JsonEscape(event.text);

@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/vcpu.h"
+
 namespace flexos {
 namespace obs {
 
@@ -147,6 +149,10 @@ struct BoundaryRecorder {
   LatencyHistogram* latency_ns = nullptr;  // Gate overhead per crossing
                                            // (entry+exit halves, body
                                            // excluded), in virtual ns.
+  // Per-vCPU crossing split (gate.crossings.<...>.v<id>), populated only
+  // on multi-vCPU machines; all null at one vCPU so the fast path pays a
+  // single null check.
+  Counter* vcpu_crossings[kMaxVCpus] = {};
 };
 
 class MetricsRegistry {

@@ -63,6 +63,7 @@ struct TraceEvent {
                                // component-owned string).
   char text[48] = {};          // Inline payload for log messages.
   int32_t tid = 0;             // Track id: compartment + 1; 0 = platform.
+  uint16_t vcpu = 0;           // vCPU the event was recorded on.
   TraceCat cat = TraceCat::kGate;
   TracePhase phase = TracePhase::kInstant;
 
@@ -134,6 +135,10 @@ class Tracer {
   }
   uint64_t NowNs() const { return time_fn_ ? time_fn_(time_ctx_) : 0; }
 
+  // The Machine updates this on every vCPU switch; events are stamped with
+  // it so exports can separate per-vCPU timelines. Always 0 at N=1.
+  void SetCurrentVCpu(int32_t v) { current_vcpu_ = static_cast<uint16_t>(v); }
+
   void RecordComplete(TraceCat cat, const char* name, uint64_t ts_ns,
                       uint64_t dur_ns, int32_t tid, uint64_t a0 = 0,
                       uint64_t a1 = 0, uint64_t req = 0) {
@@ -148,6 +153,7 @@ class Tracer {
     event.req = req;
     event.name = name;
     event.tid = tid;
+    event.vcpu = current_vcpu_;
     event.cat = cat;
     event.phase = TracePhase::kComplete;
     Buffer().Push(event);
@@ -164,6 +170,7 @@ class Tracer {
     event.a1 = a1;
     event.name = name;
     event.tid = tid;
+    event.vcpu = current_vcpu_;
     event.cat = cat;
     event.phase = TracePhase::kInstant;
     Buffer().Push(event);
@@ -179,6 +186,7 @@ class Tracer {
     event.ts_ns = NowNs();
     event.name = name;
     event.tid = tid;
+    event.vcpu = current_vcpu_;
     event.cat = cat;
     event.phase = TracePhase::kInstant;
     event.SetText(text);
@@ -212,6 +220,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   TimeSourceFn time_fn_ = nullptr;
   void* time_ctx_ = nullptr;
+  uint16_t current_vcpu_ = 0;
 
   mutable std::mutex register_mu_;  // Guards buffers_ growth only.
   std::vector<std::unique_ptr<TraceBuffer>> buffers_;
@@ -244,6 +253,7 @@ class Tracer {
   bool enabled() const { return false; }
   void SetTimeSource(TimeSourceFn, void*) {}
   uint64_t NowNs() const { return 0; }
+  void SetCurrentVCpu(int32_t) {}
   void RecordComplete(TraceCat, const char*, uint64_t, uint64_t, int32_t,
                       uint64_t = 0, uint64_t = 0, uint64_t = 0) {}
   void RecordInstant(TraceCat, const char*, int32_t, uint64_t = 0,

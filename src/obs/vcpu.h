@@ -1,0 +1,17 @@
+// The compile-time cap on simulated vCPUs, shared by the hw layer (per-vCPU
+// clocks and execution contexts), the scheduler (per-vCPU run queues), and
+// the obs layer (per-vCPU boundary counters and attribution lanes). It
+// lives here — the bottom of the layering — because obs cannot include hw
+// headers; hw/machine.h re-exports it as flexos::kMaxVCpus.
+#ifndef FLEXOS_OBS_VCPU_H_
+#define FLEXOS_OBS_VCPU_H_
+
+namespace flexos {
+namespace obs {
+
+inline constexpr int kMaxVCpus = 8;
+
+}  // namespace obs
+}  // namespace flexos
+
+#endif  // FLEXOS_OBS_VCPU_H_

@@ -61,12 +61,23 @@ CoopScheduler::~CoopScheduler() {
 
 Result<Thread*> CoopScheduler::Spawn(std::string name,
                                      std::function<void()> entry) {
+  return Spawn(std::move(name), std::move(entry), /*affinity=*/-1);
+}
+
+Result<Thread*> CoopScheduler::Spawn(std::string name,
+                                     std::function<void()> entry,
+                                     int affinity) {
   auto thread = std::make_unique<Thread>(next_thread_id_++, std::move(name),
                                          std::move(entry));
   Thread* raw = thread.get();
+  if (affinity >= machine_.vcpu_count()) {
+    affinity = -1;  // Pin beyond the machine: treat as unpinned.
+  }
+  raw->affinity_ = affinity;
+  raw->home_vcpu_ = affinity >= 0 ? affinity : 0;
   CheckAddPrecondition(raw);
   threads_.push_back(std::move(thread));
-  ready_queue_.PushBack(raw);
+  EnqueueReady(raw);
   CheckRunQueueInvariant();
   return raw;
 }
@@ -79,7 +90,7 @@ Status CoopScheduler::Remove(Thread* thread) {
     return Status(ErrorCode::kFailedPrecondition,
                   "thread_rm: thread is not in the ready state");
   }
-  ready_queue_.Remove(thread);
+  ready_queues_[QueueOf(thread)].Remove(thread);
   thread->state_ = ThreadState::kExited;
   CheckRunQueueInvariant();
   return Status::Ok();
@@ -96,10 +107,71 @@ Status CoopScheduler::Add(Thread* thread) {
     // tolerates the buggy call; the verified one has already trapped above.
     return Status::Ok();
   }
-  thread->state_ = ThreadState::kReady;
-  ready_queue_.PushBack(thread);
+  EnqueueReady(thread);
   CheckRunQueueInvariant();
   return Status::Ok();
+}
+
+int CoopScheduler::QueueOf(const Thread* thread) const {
+  return thread->affinity_ >= 0 ? thread->affinity_ : thread->home_vcpu_;
+}
+
+void CoopScheduler::EnqueueReady(Thread* thread) {
+  thread->state_ = ThreadState::kReady;
+  thread->ready_since_cycles_ = machine_.clock().cycles();
+  ready_queues_[QueueOf(thread)].PushBack(thread);
+}
+
+int CoopScheduler::PickVCpu() const {
+  int best = -1;
+  uint64_t best_cycles = 0;
+  for (int v = 0; v < machine_.vcpu_count(); ++v) {
+    if (ready_queues_[v].empty()) {
+      continue;
+    }
+    const uint64_t cycles = machine_.clock_of(v).cycles();
+    if (best < 0 || cycles < best_cycles) {
+      best = v;
+      best_cycles = cycles;
+    }
+  }
+  return best;
+}
+
+void CoopScheduler::StealWork() {
+  for (int v = 0; v < machine_.vcpu_count(); ++v) {
+    if (!ready_queues_[v].empty()) {
+      continue;
+    }
+    // Fullest donor queue with at least two entries, ties to the lowest id.
+    int donor = -1;
+    size_t donor_size = 1;
+    for (int d = 0; d < machine_.vcpu_count(); ++d) {
+      if (d != v && ready_queues_[d].size() > donor_size) {
+        donor = d;
+        donor_size = ready_queues_[d].size();
+      }
+    }
+    if (donor < 0) {
+      continue;
+    }
+    // First unpinned thread, front to back (oldest first).
+    Thread* stolen = nullptr;
+    for (Thread& candidate : ready_queues_[donor]) {
+      if (candidate.affinity_ < 0) {
+        stolen = &candidate;
+        break;
+      }
+    }
+    if (stolen == nullptr) {
+      continue;
+    }
+    ready_queues_[donor].Remove(stolen);
+    stolen->home_vcpu_ = v;
+    // The ready stamp survives the move: it is the causal lower bound from
+    // when the thread became runnable, not a queue-position property.
+    ready_queues_[v].PushBack(stolen);
+  }
 }
 
 void CoopScheduler::Trampoline() {
@@ -127,6 +199,14 @@ void CoopScheduler::Trampoline() {
 
 CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   machine_.clock().Charge(SwitchCost());
+  if (machine_.vcpu_count() > 1 && thread->last_ran_vcpu_ >= 0 &&
+      thread->last_ran_vcpu_ != machine_.current_vcpu()) {
+    // Migration: the protection-key register is per core, so landing on a
+    // different vCPU reinstalls the thread's PKRU (as BULKHEAD's per-CPU
+    // key design does on every cross-core resume).
+    machine_.Wrpkru(thread->exec_context_.pkru);
+  }
+  thread->last_ran_vcpu_ = machine_.current_vcpu();
   if (machine_.injector().armed(fault::FaultSite::kSchedActivate)) {
     // Models a preemption/interrupt storm stalling this activation.
     const std::optional<fault::FaultDecision> decision = machine_.injector().Check(
@@ -223,8 +303,7 @@ Thread* CoopScheduler::WakeOne(WaitQueue& queue) {
   }
   FLEXOS_CHECK(thread->state_ == ThreadState::kBlocked,
                "waking a non-blocked thread '%s'", thread->name().c_str());
-  thread->state_ = ThreadState::kReady;
-  ready_queue_.PushBack(thread);
+  EnqueueReady(thread);
   CheckRunQueueInvariant();
   return thread;
 }
@@ -252,12 +331,24 @@ Status CoopScheduler::Run() {
                       "fatal trap: " + fatal_trap_->ToString());
       break;
     }
-    Thread* next = ready_queue_.PopFront();
+    Thread* next = nullptr;
+    if (machine_.vcpu_count() > 1) {
+      StealWork();
+      const int vcpu = PickVCpu();
+      if (vcpu >= 0) {
+        machine_.SwitchVCpu(vcpu);
+        next = ready_queues_[vcpu].PopFront();
+      }
+    } else {
+      next = ready_queues_[0].PopFront();
+    }
     if (next == nullptr) {
       // No runnable thread: let the platform make progress (deliver
       // packets, fire timers, advance virtual time). This also drains
       // in-flight I/O after the last thread exits — a server may close
-      // with a full send buffer still on the wire.
+      // with a full send buffer still on the wire. Devices and timers
+      // live on the boot vCPU.
+      machine_.SwitchVCpu(0);
       if (idle_handler_ && idle_handler_()) {
         continue;
       }
@@ -268,11 +359,16 @@ Status CoopScheduler::Run() {
                       "no runnable threads and idle handler cannot advance");
       break;
     }
+    next->home_vcpu_ = machine_.current_vcpu();
+    // Causality across vCPU clocks: the thread cannot run before the
+    // (global virtual) time it became ready. No-op at one vCPU — a single
+    // clock is monotone past every enqueue stamp.
+    machine_.clock().AdvanceTo(next->ready_since_cycles_);
     CheckRunQueueInvariant();
     const SwitchReason reason = SwitchTo(next);
     switch (reason) {
       case SwitchReason::kYield:
-        ready_queue_.PushBack(next);
+        EnqueueReady(next);
         break;
       case SwitchReason::kBlock:
         FLEXOS_CHECK(pending_block_queue_ != nullptr, "block without queue");

@@ -19,6 +19,11 @@ class CoopScheduler : public Scheduler {
 
   Result<Thread*> Spawn(std::string name,
                         std::function<void()> entry) override;
+  // Spawn with a vCPU pin: the thread only ever runs (and is never stolen
+  // from) run queue `affinity`. -1 or an id beyond the machine's vCPU count
+  // means unpinned.
+  Result<Thread*> Spawn(std::string name, std::function<void()> entry,
+                        int affinity);
   Status Remove(Thread* thread) override;
   Status Add(Thread* thread) override;
   void Yield() override;
@@ -44,9 +49,9 @@ class CoopScheduler : public Scheduler {
   virtual void CheckRunQueueInvariant();
   virtual uint64_t SwitchCost() const;
 
-  // Exposes the ready queue to invariant checks.
-  IntrusiveList<Thread, Thread::kRunNode>& ready_queue() {
-    return ready_queue_;
+  // Exposes one vCPU's ready queue to invariant checks.
+  IntrusiveList<Thread, Thread::kRunNode>& ready_queue(int vcpu) {
+    return ready_queues_[vcpu];
   }
   const std::vector<std::unique_ptr<Thread>>& threads() const {
     return threads_;
@@ -64,6 +69,23 @@ class CoopScheduler : public Scheduler {
   // Switches from the current thread back to the run loop.
   void SwitchToRunLoop(SwitchReason reason);
 
+  // Run queue a thread belongs on (its pin, else its home queue).
+  int QueueOf(const Thread* thread) const;
+
+  // Marks `thread` ready on its queue, stamping ready_since_cycles_ from
+  // the current vCPU's clock.
+  void EnqueueReady(Thread* thread);
+
+  // Deterministic pick: the non-empty run queue whose vCPU clock is
+  // furthest behind; ties break toward the lowest vCPU id. -1 if all
+  // queues are empty.
+  int PickVCpu() const;
+
+  // Deterministic work stealing: each idle vCPU (ascending) takes the first
+  // unpinned thread from the fullest queue (>= 2 entries, ties toward the
+  // lowest donor id). No-op at one vCPU.
+  void StealWork();
+
   // ASan fiber annotations around swapcontext (no-ops in regular builds).
   // Without them ASan keeps tracking the old stack across a switch, and a
   // TrapException thrown on a fiber stack makes __asan_handle_no_return
@@ -80,7 +102,9 @@ class CoopScheduler : public Scheduler {
   obs::Counter* switch_counter_;
   obs::LatencyHistogram* slice_hist_;
   std::vector<std::unique_ptr<Thread>> threads_;
-  IntrusiveList<Thread, Thread::kRunNode> ready_queue_;
+  // One run queue per vCPU; only [0, machine().vcpu_count()) are used.
+  // A C array because IntrusiveList is pinned (sentinel self-pointers).
+  IntrusiveList<Thread, Thread::kRunNode> ready_queues_[kMaxVCpus];
   Thread* current_ = nullptr;
   ucontext_t run_loop_context_{};
   SwitchReason pending_reason_ = SwitchReason::kYield;

@@ -49,6 +49,14 @@ class Thread {
   // True while the thread sits on the scheduler's ready queue.
   bool queued() const { return run_node_.linked(); }
 
+  // vCPU this thread is pinned to; -1 means unpinned (eligible for work
+  // stealing). Set at Spawn time.
+  int affinity() const { return affinity_; }
+
+  // Run queue the thread currently belongs to (its pin, or wherever work
+  // stealing last placed it).
+  int home_vcpu() const { return home_vcpu_; }
+
  private:
   friend class CoopScheduler;
 
@@ -59,6 +67,16 @@ class Thread {
   std::unique_ptr<char[]> host_stack_;
   ucontext_t context_{};
   std::optional<TrapInfo> fatal_trap_;
+  int affinity_ = -1;
+  int home_vcpu_ = 0;
+  // Last vCPU this thread executed on; -1 before first run. A switch-in on
+  // a different vCPU models reinstalling the per-core protection-key
+  // register (one WRPKRU).
+  int last_ran_vcpu_ = -1;
+  // Cycle stamp (on the enqueueing vCPU's clock) of the last transition to
+  // ready; the run loop advances the executing vCPU's clock to at least
+  // this before the thread runs, preserving causality across vCPUs.
+  uint64_t ready_since_cycles_ = 0;
   // The machine execution context (PKRU, instrumentation) this thread was
   // running under; saved on switch-out, restored on switch-in so protection
   // state is per-thread, as on real hardware.

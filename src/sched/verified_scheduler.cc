@@ -33,20 +33,30 @@ void VerifiedScheduler::CheckRunQueueInvariant() {
   ++contract_checks_;
   contract_counter_->Add();
   std::unordered_set<const Thread*> seen;
-  for (Thread& thread : ready_queue()) {
-    if (!seen.insert(&thread).second) {
-      RaiseTrap(TrapInfo{
-          .kind = TrapKind::kContractViolation,
-          .detail = StrFormat("run-queue invariant: thread '%s' queued twice",
-                              thread.name().c_str())});
-    }
-    if (thread.state() != ThreadState::kReady) {
-      RaiseTrap(TrapInfo{
-          .kind = TrapKind::kContractViolation,
-          .detail = StrFormat(
-              "run-queue invariant: queued thread '%s' has state %s",
-              thread.name().c_str(),
-              std::string(ThreadStateName(thread.state())).c_str())});
+  for (int vcpu = 0; vcpu < machine().vcpu_count(); ++vcpu) {
+    for (Thread& thread : ready_queue(vcpu)) {
+      if (!seen.insert(&thread).second) {
+        RaiseTrap(TrapInfo{
+            .kind = TrapKind::kContractViolation,
+            .detail = StrFormat("run-queue invariant: thread '%s' queued twice",
+                                thread.name().c_str())});
+      }
+      if (thread.state() != ThreadState::kReady) {
+        RaiseTrap(TrapInfo{
+            .kind = TrapKind::kContractViolation,
+            .detail = StrFormat(
+                "run-queue invariant: queued thread '%s' has state %s",
+                thread.name().c_str(),
+                std::string(ThreadStateName(thread.state())).c_str())});
+      }
+      if (thread.affinity() >= 0 && thread.affinity() != vcpu) {
+        RaiseTrap(TrapInfo{
+            .kind = TrapKind::kContractViolation,
+            .detail = StrFormat(
+                "run-queue invariant: thread '%s' pinned to vCPU %d found on "
+                "queue %d",
+                thread.name().c_str(), thread.affinity(), vcpu)});
+      }
     }
   }
   const Thread* running = Current();

@@ -1,0 +1,133 @@
+// Unit tests for the scheduler's building blocks — Thread state and
+// WaitQueue — separate from the scheduler-level behavior in sched_test.cc.
+#include <gtest/gtest.h>
+
+#include "sched/coop_scheduler.h"
+#include "sched/wait_queue.h"
+
+namespace flexos {
+namespace {
+
+TEST(WaitQueue, StartsEmptyWithDefaultName) {
+  WaitQueue queue;
+  EXPECT_EQ(queue.name(), "waitq");
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.Dequeue(), nullptr);
+}
+
+TEST(WaitQueue, FifoAcrossThreeWaiters) {
+  WaitQueue queue("q");
+  Thread a(1, "a", [] {});
+  Thread b(2, "b", [] {});
+  Thread c(3, "c", [] {});
+  queue.Enqueue(&a);
+  queue.Enqueue(&b);
+  queue.Enqueue(&c);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Dequeue(), &a);
+  EXPECT_EQ(queue.Dequeue(), &b);
+  EXPECT_EQ(queue.Dequeue(), &c);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(WaitQueue, RemoveMiddlePreservesOrder) {
+  WaitQueue queue("q");
+  Thread a(1, "a", [] {});
+  Thread b(2, "b", [] {});
+  Thread c(3, "c", [] {});
+  queue.Enqueue(&a);
+  queue.Enqueue(&b);
+  queue.Enqueue(&c);
+  queue.Remove(&b);
+  EXPECT_FALSE(queue.Contains(&b));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Dequeue(), &a);
+  EXPECT_EQ(queue.Dequeue(), &c);
+}
+
+TEST(WaitQueue, ContainsTracksMembership) {
+  WaitQueue queue("q");
+  Thread a(1, "a", [] {});
+  EXPECT_FALSE(queue.Contains(&a));
+  queue.Enqueue(&a);
+  EXPECT_TRUE(queue.Contains(&a));
+  queue.Dequeue();
+  EXPECT_FALSE(queue.Contains(&a));
+}
+
+TEST(WaitQueue, ReusableAfterDrain) {
+  WaitQueue queue("q");
+  Thread a(1, "a", [] {});
+  queue.Enqueue(&a);
+  EXPECT_EQ(queue.Dequeue(), &a);
+  queue.Enqueue(&a);  // Node relinks cleanly after a full drain.
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.Dequeue(), &a);
+}
+
+TEST(Thread, FreshThreadDefaults) {
+  Thread thread(7, "worker", [] {});
+  EXPECT_EQ(thread.id(), 7u);
+  EXPECT_EQ(thread.name(), "worker");
+  EXPECT_EQ(thread.state(), ThreadState::kReady);
+  EXPECT_FALSE(thread.queued());
+  EXPECT_FALSE(thread.fatal_trap().has_value());
+  // Unpinned until Spawn says otherwise; run queue 0 is the boot vCPU.
+  EXPECT_EQ(thread.affinity(), -1);
+  EXPECT_EQ(thread.home_vcpu(), 0);
+}
+
+TEST(Thread, WaitQueueLinkageDoesNotMarkQueued) {
+  // queued() reports *run*-queue membership; sitting on a wait queue uses
+  // the separate wait_node_ linkage.
+  WaitQueue queue("q");
+  Thread thread(1, "t", [] {});
+  queue.Enqueue(&thread);
+  EXPECT_FALSE(thread.queued());
+  queue.Dequeue();
+}
+
+TEST(Thread, StateNamesCoverAllStates) {
+  EXPECT_EQ(ThreadStateName(ThreadState::kReady), "ready");
+  EXPECT_EQ(ThreadStateName(ThreadState::kRunning), "running");
+  EXPECT_EQ(ThreadStateName(ThreadState::kBlocked), "blocked");
+  EXPECT_EQ(ThreadStateName(ThreadState::kExited), "exited");
+}
+
+TEST(Thread, SpawnQueuedAndLifecycle) {
+  Machine machine;
+  CoopScheduler sched(machine);
+  Thread* thread = sched.Spawn("t", [] {}).value();
+  EXPECT_TRUE(thread->queued());
+  EXPECT_EQ(thread->state(), ThreadState::kReady);
+  EXPECT_TRUE(sched.Run().ok());
+  EXPECT_FALSE(thread->queued());
+  EXPECT_EQ(thread->state(), ThreadState::kExited);
+}
+
+TEST(Thread, SpawnAffinityPinsToVcpu) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  CoopScheduler sched(machine);
+  Thread* pinned = sched.Spawn("pinned", [] {}, /*affinity=*/1).value();
+  EXPECT_EQ(pinned->affinity(), 1);
+  EXPECT_EQ(pinned->home_vcpu(), 1);
+  EXPECT_TRUE(sched.Run().ok());
+}
+
+TEST(Thread, SpawnAffinityBeyondVcpuCountUnpins) {
+  // A pin outside the booted vCPU range degrades to unpinned rather than
+  // parking the thread on a queue no vCPU drains.
+  Machine machine;  // 1 vCPU.
+  CoopScheduler sched(machine);
+  bool ran = false;
+  Thread* thread = sched.Spawn("t", [&] { ran = true; }, 3).value();
+  EXPECT_EQ(thread->affinity(), -1);
+  EXPECT_EQ(thread->home_vcpu(), 0);
+  EXPECT_TRUE(sched.Run().ok());
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace flexos

@@ -1,0 +1,400 @@
+// Multi-vCPU scheduling and determinism (DESIGN.md §12): pinning, work
+// stealing, per-core key state, cross-vCPU IPI charging, per-lane
+// attribution conservation, and the replay-identity guarantee — same seed
+// and vCPU count must reproduce the exact same event log.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/testbed.h"
+#include "fault/supervisor.h"
+#include "sched/coop_scheduler.h"
+
+namespace flexos {
+namespace {
+
+ImageConfig TwoCompartmentConfig(IsolationBackend backend) {
+  ImageConfig config;
+  config.backend = backend;
+  config.compartments = {
+      {std::string(kLibNet)},
+      {std::string(kLibApp), std::string(kLibSched), std::string(kLibLibc),
+       std::string(kLibAlloc)}};
+  return config;
+}
+
+// --- Machine-level vCPU plumbing -------------------------------------------
+
+TEST(SmpMachine, BootsSingleVcpuByDefault) {
+  Machine machine;
+  EXPECT_EQ(machine.vcpu_count(), 1);
+  EXPECT_EQ(machine.current_vcpu(), 0);
+  EXPECT_EQ(machine.stats().ipi_count, 0u);
+}
+
+TEST(SmpMachine, SetVCpuCountClampsToSupportedRange) {
+  Machine machine;
+  machine.SetVCpuCount(0);
+  EXPECT_EQ(machine.vcpu_count(), 1);
+  machine.SetVCpuCount(kMaxVCpus + 5);
+  EXPECT_EQ(machine.vcpu_count(), kMaxVCpus);
+  machine.SetVCpuCount(2);
+  EXPECT_EQ(machine.vcpu_count(), 2);
+}
+
+TEST(SmpMachine, PerVcpuClocksAdvanceIndependently) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  machine.ChargeCompute(1000);  // vCPU 0.
+  machine.SwitchVCpu(1);
+  machine.ChargeCompute(250);
+  EXPECT_EQ(machine.clock_of(0).cycles(), 1000u);
+  EXPECT_EQ(machine.clock_of(1).cycles(), 250u);
+  EXPECT_EQ(machine.clock().cycles(), 250u);  // Current = vCPU 1.
+  EXPECT_EQ(machine.max_cycles(), 1000u);
+}
+
+TEST(SmpMachine, AdvanceAllClocksMergesIdleTime) {
+  Machine machine;
+  machine.SetVCpuCount(3);
+  machine.ChargeCompute(500);
+  machine.AdvanceAllClocksTo(2000);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(machine.clock_of(v).cycles(), 2000u) << "vCPU " << v;
+  }
+}
+
+TEST(SmpMachine, ChargeIpiCostsCyclesAndCounts) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  const uint64_t before = machine.clock().cycles();
+  machine.ChargeIpi();
+  EXPECT_EQ(machine.clock().cycles() - before, machine.costs().ipi);
+  EXPECT_EQ(machine.stats().ipi_count, 1u);
+}
+
+TEST(SmpMachine, CompartmentAffinityRoundTrips) {
+  Machine machine;
+  EXPECT_EQ(machine.CompartmentAffinityOf(0), -1);  // Unpinned default.
+  machine.SetCompartmentAffinity(0, 1);
+  EXPECT_EQ(machine.CompartmentAffinityOf(0), 1);
+}
+
+// --- Scheduler placement ----------------------------------------------------
+
+TEST(SmpScheduler, PinnedThreadsOnlyRunOnTheirVcpu) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  CoopScheduler sched(machine);
+  std::vector<int> seen[2];
+  for (int pin = 0; pin < 2; ++pin) {
+    ASSERT_TRUE(sched.Spawn("pin" + std::to_string(pin),
+                            [&, pin] {
+                              for (int i = 0; i < 4; ++i) {
+                                seen[pin].push_back(machine.current_vcpu());
+                                machine.ChargeCompute(100);
+                                sched.Yield();
+                              }
+                            },
+                            pin)
+                    .ok());
+  }
+  EXPECT_TRUE(sched.Run().ok());
+  for (int pin = 0; pin < 2; ++pin) {
+    ASSERT_EQ(seen[pin].size(), 4u);
+    for (const int vcpu : seen[pin]) {
+      EXPECT_EQ(vcpu, pin);
+    }
+  }
+}
+
+TEST(SmpScheduler, WorkStealingSpreadsUnpinnedThreads) {
+  // All unpinned threads start on the spawner's run queue (vCPU 0); the
+  // idle second vCPU must steal enough to advance its own clock.
+  Machine machine;
+  machine.SetVCpuCount(2);
+  CoopScheduler sched(machine);
+  bool saw_vcpu1 = false;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sched.Spawn("worker" + std::to_string(i), [&] {
+      for (int k = 0; k < 8; ++k) {
+        saw_vcpu1 = saw_vcpu1 || machine.current_vcpu() == 1;
+        machine.ChargeCompute(500);
+        sched.Yield();
+      }
+    }).ok());
+  }
+  EXPECT_TRUE(sched.Run().ok());
+  EXPECT_TRUE(saw_vcpu1);
+  EXPECT_GT(machine.clock_of(1).cycles(), 0u);
+}
+
+TEST(SmpScheduler, MigrationReinstallsProtectionKeyRegister) {
+  // A thread that moves between vCPUs models a WRPKRU to reinstall its
+  // protection-key state on the new core; a single-vCPU run of the same
+  // workload must not pay it.
+  const auto wrpkru_after_run = [](int vcpus) {
+    Machine machine;
+    machine.SetVCpuCount(vcpus);
+    CoopScheduler sched(machine);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(sched.Spawn("w" + std::to_string(i), [&] {
+        for (int k = 0; k < 8; ++k) {
+          machine.ChargeCompute(500);
+          sched.Yield();
+        }
+      }).ok());
+    }
+    EXPECT_TRUE(sched.Run().ok());
+    return machine.stats().wrpkru_count;
+  };
+  EXPECT_EQ(wrpkru_after_run(1), 0u);
+  EXPECT_GT(wrpkru_after_run(2), 0u);
+}
+
+// --- Gates across vCPUs -----------------------------------------------------
+
+TEST(SmpGates, CrossVcpuVmCallChargesIpi) {
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kVmRpc);
+  config.vcpus = 2;
+  Testbed bed(config);
+  // Net compartment serviced by vCPU 0; the app thread runs pinned on
+  // vCPU 1, so every vm-rpc call is a cross-core notification.
+  bed.machine().SetCompartmentAffinity(bed.image().CompartmentOf(kLibNet), 0);
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  bed.SpawnApp(
+      "caller",
+      [&] {
+        for (int i = 0; i < 3; ++i) {
+          bed.image().Call(route, [] {});
+        }
+      },
+      /*affinity=*/1);
+  EXPECT_TRUE(bed.Run().ok());
+  // One notification per call: the request crosses to the pinned net VM;
+  // the response returns to an unpinned caller (no explicit affinity, no
+  // modeled IPI).
+  EXPECT_EQ(bed.machine().stats().ipi_count, 3u);
+}
+
+TEST(SmpGates, SameVcpuVmCallChargesNoIpi) {
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kVmRpc);
+  config.vcpus = 2;
+  Testbed bed(config);
+  // Net on the boot vCPU, caller pinned there too: the workload calls and
+  // the platform's device poll (always vCPU 0) all stay on-core.
+  bed.machine().SetCompartmentAffinity(bed.image().CompartmentOf(kLibNet), 0);
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  bed.SpawnApp(
+      "caller",
+      [&] {
+        for (int i = 0; i < 3; ++i) {
+          bed.image().Call(route, [] {});
+        }
+      },
+      /*affinity=*/0);
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_EQ(bed.machine().stats().ipi_count, 0u);
+}
+
+TEST(SmpGates, MpkRouteHandleValidAcrossVcpus) {
+  // One route resolved once, called from threads pinned to different
+  // vCPUs: the cached route stays valid and every call is counted.
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kMpkSharedStack);
+  config.vcpus = 2;
+  Testbed bed(config);
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  const uint64_t before = bed.machine().stats().gate_crossings;
+  for (int pin = 0; pin < 2; ++pin) {
+    bed.SpawnApp(
+        "caller" + std::to_string(pin),
+        [&] { bed.image().Call(route, [] {}); }, pin);
+  }
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_GE(bed.machine().stats().gate_crossings - before, 2u);
+  EXPECT_EQ(bed.machine().stats().ipi_count, 0u);  // MPK gates never IPI.
+}
+
+TEST(SmpFault, QuarantineIsMachineGlobalAcrossVcpus) {
+  // A compartment trapped by a thread on one vCPU must refuse admission
+  // from every vCPU: quarantine is supervisor state, not per-core state.
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kMpkSharedStack);
+  config.vcpus = 2;
+  config.supervise = true;
+  Testbed bed(config);
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = fault::FaultSite::kGateCross;
+  rule.kind = fault::FaultKind::kProtectionFault;
+  rule.compartment = bed.image().CompartmentOf(kLibNet);
+  rule.count = 1;
+  plan.rules = {rule};
+  bed.machine().injector().LoadPlan(plan);
+
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  Status on_vcpu0 = Status::Ok();
+  Status on_vcpu1 = Status::Ok();
+  bed.SpawnApp(
+      "faulter",
+      [&] { on_vcpu0 = bed.image().TryCall(route, [] {}); },
+      /*affinity=*/0);
+  bed.SpawnApp(
+      "bystander",
+      [&] {
+        bed.scheduler().Yield();  // Let the vCPU 0 thread trap first.
+        on_vcpu1 = bed.image().TryCall(route, [] {});
+      },
+      /*affinity=*/1);
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_EQ(on_vcpu0.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(on_vcpu1.code(), ErrorCode::kUnavailable);
+}
+
+// --- Determinism and observability -----------------------------------------
+
+// Fingerprint of one testbed run: everything the replay gate compares.
+struct RunLog {
+  std::vector<uint64_t> vcpu_cycles;
+  uint64_t context_switches = 0;
+  uint64_t wrpkru = 0;
+  uint64_t crossings = 0;
+  uint64_t ipis = 0;
+  std::vector<std::string> trace;
+
+  bool operator==(const RunLog& other) const {
+    return vcpu_cycles == other.vcpu_cycles &&
+           context_switches == other.context_switches &&
+           wrpkru == other.wrpkru && crossings == other.crossings &&
+           ipis == other.ipis && trace == other.trace;
+  }
+};
+
+RunLog RunSeededWorkload(int vcpus, uint64_t seed) {
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kMpkSharedStack);
+  config.vcpus = vcpus;
+  Testbed bed(config);
+  Machine& machine = bed.machine();
+  machine.tracer().SetEnabled(true);
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  for (int v = 0; v < vcpus; ++v) {
+    uint64_t prng = seed ^ static_cast<uint64_t>(v * 2654435761u);
+    bed.SpawnApp(
+        "w" + std::to_string(v),
+        [&bed, &machine, &route, prng]() mutable {
+          for (int op = 0; op < 32; ++op) {
+            prng = prng * 6364136223846793005ULL + 1442695040888963407ULL;
+            bed.image().Call(route, [&machine, &prng] {
+              machine.ChargeCompute(600 + prng % 512);
+            });
+            if ((op & 7) == 7) {
+              bed.scheduler().Yield();
+            }
+          }
+        },
+        /*affinity=*/v);
+  }
+  EXPECT_TRUE(bed.Run().ok());
+
+  RunLog log;
+  for (int v = 0; v < vcpus; ++v) {
+    log.vcpu_cycles.push_back(machine.clock_of(v).cycles());
+  }
+  log.context_switches = bed.scheduler().context_switches();
+  log.wrpkru = machine.stats().wrpkru_count;
+  log.crossings = machine.stats().gate_crossings;
+  log.ipis = machine.stats().ipi_count;
+  for (const obs::TraceEvent& event : machine.tracer().Snapshot()) {
+    log.trace.push_back(std::to_string(event.ts_ns) + ":" +
+                        std::to_string(event.dur_ns) + ":" +
+                        std::to_string(event.vcpu) + ":" +
+                        std::string(event.name));
+  }
+  return log;
+}
+
+TEST(SmpDeterminism, SameSeedSameVcpusReplaysIdentically) {
+  for (const int vcpus : {1, 2, 4}) {
+    const RunLog first = RunSeededWorkload(vcpus, 42);
+    const RunLog second = RunSeededWorkload(vcpus, 42);
+    EXPECT_TRUE(first == second) << vcpus << " vCPUs";
+    EXPECT_FALSE(first.trace.empty());
+  }
+}
+
+TEST(SmpDeterminism, SingleVcpuNeverTouchesSmpMachinery) {
+  const RunLog log = RunSeededWorkload(1, 42);
+  // MPK gates write PKRU on every crossing, so wrpkru_count is nonzero even
+  // here; what a single-vCPU machine must never pay is the cross-core cost.
+  EXPECT_EQ(log.ipis, 0u);
+  for (const std::string& event : log.trace) {
+    // ts:dur:vcpu:name — every event must sit on vCPU 0.
+    const size_t second_colon = event.find(':', event.find(':') + 1);
+    ASSERT_NE(second_colon, std::string::npos);
+    EXPECT_EQ(event[second_colon + 1], '0') << event;
+  }
+}
+
+TEST(SmpObs, TraceEventsCarryVcpuIds) {
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kMpkSharedStack);
+  config.vcpus = 2;
+  Testbed bed(config);
+  bed.machine().tracer().SetEnabled(true);
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  for (int pin = 0; pin < 2; ++pin) {
+    bed.SpawnApp(
+        "w" + std::to_string(pin),
+        [&] { bed.image().Call(route, [] {}); }, pin);
+  }
+  EXPECT_TRUE(bed.Run().ok());
+  bool saw[2] = {false, false};
+  for (const obs::TraceEvent& event : bed.machine().tracer().Snapshot()) {
+    if (event.vcpu < 2) {
+      saw[event.vcpu] = true;
+    }
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
+TEST(SmpObs, LaneAttributionConservesAcrossVcpus) {
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig(IsolationBackend::kMpkSharedStack);
+  config.vcpus = 2;
+  config.profile = true;
+  Testbed bed(config);
+  Machine& machine = bed.machine();
+  const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+  for (int pin = 0; pin < 2; ++pin) {
+    bed.SpawnApp(
+        "w" + std::to_string(pin),
+        [&] {
+          for (int i = 0; i < 8; ++i) {
+            bed.image().Call(route, [&] { machine.ChargeCompute(700); });
+            bed.scheduler().Yield();
+          }
+        },
+        pin);
+  }
+  EXPECT_TRUE(bed.Run().ok());
+  machine.SyncAttribution();
+  // Aggregate conservation: the per-lane totals partition the attributed
+  // whole, and no lane attributes more than its own clock advanced.
+  uint64_t lane_sum = 0;
+  for (int v = 0; v < machine.vcpu_count(); ++v) {
+    const uint64_t lane = machine.attrib().lane_attributed_cycles(v);
+    EXPECT_LE(lane, machine.clock_of(v).cycles()) << "lane " << v;
+    EXPECT_GT(lane, 0u) << "lane " << v;
+    lane_sum += lane;
+  }
+  EXPECT_EQ(lane_sum, machine.attrib().attributed_cycles());
+}
+
+}  // namespace
+}  // namespace flexos

@@ -51,6 +51,9 @@ struct Options {
   double tolerance = kBenchDefaultTolerance;
   bool smoke = false;
   bool chaos = false;
+  // Forwarded to smp-tagged benches as --vcpus N; 0 leaves them on their
+  // default scaling sweep (1/2/4).
+  int vcpus = 0;
 };
 
 int Usage() {
@@ -58,10 +61,12 @@ int Usage() {
       stderr,
       "usage: flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]\n"
       "                 [--out FILE] [--write-baseline FILE] "
-      "[--tolerance X]\n"
+      "[--tolerance X] [--vcpus N]\n"
       "  --chaos runs only the fault-injection soak benches (self-gating\n"
       "  recovery/leak invariants); combine with --smoke for the CI-sized "
-      "run\n");
+      "run\n"
+      "  --vcpus N pins the smp-tagged benches to one vCPU count instead\n"
+      "  of their default 1/2/4 scaling sweep\n");
   return 2;
 }
 
@@ -176,6 +181,9 @@ bool RunBench(const Options& opts, const BenchSpec& spec, BenchRun* out) {
   std::string cmd = opts.bindir + "/" + std::string(spec.binary);
   if (opts.smoke && spec.has_smoke) {
     cmd += " --smoke";
+  }
+  if (opts.vcpus > 0 && spec.smp) {
+    cmd += " --vcpus " + std::to_string(opts.vcpus);
   }
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) {
@@ -431,7 +439,11 @@ std::string BuildReport(const Options& opts, const char* kind,
   out += kind;
   out += "\",\n  \"mode\": \"";
   out += opts.smoke ? "smoke" : "full";
-  out += "\",\n  \"tolerance\": ";
+  // Self-describing baselines: the vCPU pin the smp benches ran with
+  // (0 = their default 1/2/4 sweep).
+  out += "\",\n  \"vcpus\": ";
+  AppendNumber(&out, opts.vcpus);
+  out += ",\n  \"tolerance\": ";
   AppendNumber(&out, opts.tolerance);
   out += ",\n  \"benches\": {\n";
   bool first_bench = true;
@@ -538,6 +550,12 @@ int Run(int argc, char** argv) {
       opts.smoke = true;
     } else if (arg == "--chaos") {
       opts.chaos = true;
+    } else if (arg == "--vcpus") {
+      const char* v = next_value();
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.vcpus = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;

@@ -18,6 +18,10 @@
 //     --flame FILE     enable the attributor; write collapsed-stack cycles
 //                      ("stack count" lines for flamegraph.pl / Speedscope)
 //                      to FILE, or to stdout when FILE is "-"
+//     --vcpus N        boot N simulated vCPUs (default 1); the boundary
+//                      table grows a per-vCPU crossing breakdown column
+//     --vcpu ID        with --vcpus, restrict the per-vCPU column to one
+//                      vCPU's crossings
 //
 // Exit status: 0 on a complete run, 1 when the workload fails, 2 on usage
 // or I/O errors.
@@ -51,14 +55,16 @@ struct Options {
   std::string request_spec;  // "all" or a request id; empty = off.
   std::string flame_path;    // "-" = stdout; empty = off.
   std::string config_path;
+  int vcpus = 1;
+  int vcpu_filter = -1;  // -1 = show all vCPUs in the per-vCPU column.
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: flexstat [--bytes N] [--buffer N] [--batch] [--json]\n"
                "                [--metrics FILE] [--trace FILE]\n"
-               "                [--request all|ID] [--flame FILE|-] "
-               "<config.conf>\n");
+               "                [--request all|ID] [--flame FILE|-]\n"
+               "                [--vcpus N] [--vcpu ID] <config.conf>\n");
   return 2;
 }
 
@@ -91,11 +97,14 @@ struct BoundaryRow {
   uint64_t crossings = 0;
   uint64_t batched = 0;
   uint64_t bytes = 0;
+  // Per-vCPU crossing counts, sized vcpus when the machine boots more than
+  // one vCPU (the `gate.crossings.<...>.v<id>` counters), else empty.
+  std::vector<uint64_t> per_vcpu;
   const obs::LatencyHistogram* latency = nullptr;
 };
 
 std::vector<BoundaryRow> CollectBoundaries(
-    const obs::MetricsRegistry& registry) {
+    const obs::MetricsRegistry& registry, int vcpus) {
   std::map<std::string, BoundaryRow> rows;  // key: backend.from.to
   for (const obs::MetricsRegistry::Entry& entry : registry.Entries()) {
     obs::GateMetricParts parts;
@@ -121,16 +130,27 @@ std::vector<BoundaryRow> CollectBoundaries(
   }
   std::vector<BoundaryRow> out;
   for (auto& [key, row] : rows) {
+    if (vcpus > 1) {
+      // The per-vCPU counters use a 5th dot-field ("...v<id>") so the
+      // generic parse above skips them; fetch them by exact name.
+      for (int v = 0; v < vcpus; ++v) {
+        const std::string name = "gate.crossings." + row.backend + "." +
+                                 row.from + "." + row.to + ".v" +
+                                 std::to_string(v);
+        row.per_vcpu.push_back(registry.CounterValue(name));
+      }
+    }
     out.push_back(row);
   }
   return out;
 }
 
 void PrintTable(const std::vector<BoundaryRow>& rows, const Machine& machine,
-                uint64_t bytes_received, double seconds) {
-  std::printf("%-18s %-12s %10s %10s %6s %12s %9s %9s\n", "boundary",
+                uint64_t bytes_received, double seconds, int vcpu_filter) {
+  const bool smp = !rows.empty() && !rows[0].per_vcpu.empty();
+  std::printf("%-18s %-12s %10s %10s %6s %12s %9s %9s%s\n", "boundary",
               "backend", "crossings", "batched", "hit%", "bytes", "p50(ns)",
-              "p99(ns)");
+              "p99(ns)", smp ? "  per-vcpu" : "");
   for (const BoundaryRow& row : rows) {
     // Batch hit rate: share of recorded bodies that rode a batched
     // crossing (batched bodies vs. batched + solo crossings).
@@ -141,13 +161,25 @@ void PrintTable(const std::vector<BoundaryRow>& rows, const Machine& machine,
                           static_cast<double>(bodies);
     const uint64_t p50 = row.latency ? row.latency->Percentile(50) : 0;
     const uint64_t p99 = row.latency ? row.latency->Percentile(99) : 0;
-    std::printf("%-18s %-12s %10llu %10llu %5.1f%% %12llu %9llu %9llu\n",
+    std::string per_vcpu;
+    for (size_t v = 0; v < row.per_vcpu.size(); ++v) {
+      if (vcpu_filter >= 0 && static_cast<size_t>(vcpu_filter) != v) {
+        continue;
+      }
+      if (!per_vcpu.empty()) {
+        per_vcpu += " ";
+      }
+      per_vcpu += "v" + std::to_string(v) + ":" +
+                  std::to_string(row.per_vcpu[v]);
+    }
+    std::printf("%-18s %-12s %10llu %10llu %5.1f%% %12llu %9llu %9llu%s%s\n",
                 (row.from + " -> " + row.to).c_str(), row.backend.c_str(),
                 static_cast<unsigned long long>(row.crossings),
                 static_cast<unsigned long long>(row.batched), hit,
                 static_cast<unsigned long long>(row.bytes),
                 static_cast<unsigned long long>(p50),
-                static_cast<unsigned long long>(p99));
+                static_cast<unsigned long long>(p99),
+                per_vcpu.empty() ? "" : "  ", per_vcpu.c_str());
   }
   if (rows.empty()) {
     std::printf("(no cross-compartment boundaries: single-compartment "
@@ -290,6 +322,22 @@ int Run(int argc, char** argv) {
         return Usage();
       }
       opts.flame_path = v;
+    } else if (arg == "--vcpus") {
+      const char* v = next_value("--vcpus");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.vcpus = std::atoi(v);
+      if (opts.vcpus < 1) {
+        std::fprintf(stderr, "flexstat: --vcpus wants a positive count\n");
+        return 2;
+      }
+    } else if (arg == "--vcpu") {
+      const char* v = next_value("--vcpu");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.vcpu_filter = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -324,6 +372,18 @@ int Run(int argc, char** argv) {
   bed_config.image = config.value();
   bed_config.tcp.batch_crossings = opts.batch;
   bed_config.profile = !opts.request_spec.empty() || !opts.flame_path.empty();
+  bed_config.vcpus = opts.vcpus;
+  if (opts.vcpus > 1) {
+    // Spread the workload off the boot vCPU so the per-vCPU column has
+    // something to show: app threads start on the last vCPU, devices and
+    // the platform stay on vCPU 0.
+    bed_config.app_affinity = opts.vcpus - 1;
+  }
+  if (opts.vcpu_filter >= opts.vcpus) {
+    std::fprintf(stderr, "flexstat: --vcpu %d out of range (machine has %d "
+                 "vCPUs)\n", opts.vcpu_filter, opts.vcpus);
+    return 2;
+  }
   Testbed bed(bed_config);
   if (!opts.trace_path.empty()) {
     bed.machine().tracer().SetEnabled(true);
@@ -352,8 +412,9 @@ int Run(int argc, char** argv) {
 
   Machine& machine = bed.machine();
   if (bed_config.profile) {
-    // Charge the tail slice so flame/request totals cover the whole run.
-    machine.attrib().Sync(machine.clock().cycles());
+    // Charge the tail slice on every lane so flame/request totals cover
+    // the whole run regardless of which vCPU a thread last ran on.
+    machine.SyncAttribution();
   }
   const std::string metrics_json = obs::MetricsToJson(machine.metrics());
   if (!opts.metrics_path.empty() &&
@@ -395,16 +456,19 @@ int Run(int argc, char** argv) {
     std::fputs(metrics_json.c_str(), stdout);
     std::fputc('\n', stdout);
   } else {
-    std::printf("# %s (backend %s, %llu bytes, %llu B recv buffer%s)\n",
+    std::printf("# %s (backend %s, %llu bytes, %llu B recv buffer%s%s)\n",
                 opts.config_path.c_str(),
                 std::string(IsolationBackendName(bed_config.image.backend))
                     .c_str(),
                 static_cast<unsigned long long>(opts.total_bytes),
                 static_cast<unsigned long long>(opts.recv_buffer),
-                opts.batch ? ", batching" : "");
-    PrintTable(CollectBoundaries(machine.metrics()), machine,
-               server_result.bytes_received,
-               machine.clock().NowSeconds());
+                opts.batch ? ", batching" : "",
+                opts.vcpus > 1
+                    ? (", " + std::to_string(opts.vcpus) + " vcpus").c_str()
+                    : "");
+    PrintTable(CollectBoundaries(machine.metrics(), machine.vcpu_count()),
+               machine, server_result.bytes_received,
+               machine.clock().NowSeconds(), opts.vcpu_filter);
   }
 
   if (!opts.request_spec.empty()) {
