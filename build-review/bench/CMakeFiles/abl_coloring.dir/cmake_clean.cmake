@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coloring.dir/abl_coloring.cc.o"
+  "CMakeFiles/abl_coloring.dir/abl_coloring.cc.o.d"
+  "abl_coloring"
+  "abl_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fault_recovery.dir/abl_fault_recovery.cc.o"
+  "CMakeFiles/abl_fault_recovery.dir/abl_fault_recovery.cc.o.d"
+  "abl_fault_recovery"
+  "abl_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gate_costs.dir/abl_gate_costs.cc.o"
+  "CMakeFiles/abl_gate_costs.dir/abl_gate_costs.cc.o.d"
+  "abl_gate_costs"
+  "abl_gate_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gate_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gate_dispatch.dir/abl_gate_dispatch.cc.o"
+  "CMakeFiles/abl_gate_dispatch.dir/abl_gate_dispatch.cc.o.d"
+  "abl_gate_dispatch"
+  "abl_gate_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gate_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_link_model.dir/abl_link_model.cc.o"
+  "CMakeFiles/abl_link_model.dir/abl_link_model.cc.o.d"
+  "abl_link_model"
+  "abl_link_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_link_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_obs_overhead.dir/abl_obs_overhead.cc.o"
+  "CMakeFiles/abl_obs_overhead.dir/abl_obs_overhead.cc.o.d"
+  "abl_obs_overhead"
+  "abl_obs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_obs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_smp.dir/abl_smp.cc.o"
+  "CMakeFiles/abl_smp.dir/abl_smp.cc.o.d"
+  "abl_smp"
+  "abl_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

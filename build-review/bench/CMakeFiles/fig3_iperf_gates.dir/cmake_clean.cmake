@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_iperf_gates.dir/fig3_iperf_gates.cc.o"
+  "CMakeFiles/fig3_iperf_gates.dir/fig3_iperf_gates.cc.o.d"
+  "fig3_iperf_gates"
+  "fig3_iperf_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_iperf_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_redis_sh.dir/fig4_redis_sh.cc.o"
+  "CMakeFiles/fig4_redis_sh.dir/fig4_redis_sh.cc.o.d"
+  "fig4_redis_sh"
+  "fig4_redis_sh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_redis_sh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

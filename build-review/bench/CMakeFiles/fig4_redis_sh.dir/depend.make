@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_redis_sh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_redis_mpk.dir/fig5_redis_mpk.cc.o"
+  "CMakeFiles/fig5_redis_mpk.dir/fig5_redis_mpk.cc.o.d"
+  "fig5_redis_mpk"
+  "fig5_redis_mpk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_redis_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

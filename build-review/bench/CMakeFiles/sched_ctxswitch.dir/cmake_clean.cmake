@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_ctxswitch.dir/sched_ctxswitch.cc.o"
+  "CMakeFiles/sched_ctxswitch.dir/sched_ctxswitch.cc.o.d"
+  "sched_ctxswitch"
+  "sched_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

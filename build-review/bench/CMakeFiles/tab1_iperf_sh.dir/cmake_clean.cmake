@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_iperf_sh.dir/tab1_iperf_sh.cc.o"
+  "CMakeFiles/tab1_iperf_sh.dir/tab1_iperf_sh.cc.o.d"
+  "tab1_iperf_sh"
+  "tab1_iperf_sh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_iperf_sh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

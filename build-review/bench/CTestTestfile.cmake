@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_gate_dispatch "/root/repo/build-review/bench/abl_gate_dispatch" "--smoke")
+set_tests_properties(bench_smoke_gate_dispatch PROPERTIES  LABELS "bench;smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;22;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3 "/root/repo/build-review/bench/fig3_iperf_gates" "--smoke")
+set_tests_properties(bench_smoke_fig3 PROPERTIES  LABELS "bench;smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_obs_overhead "/root/repo/build-review/bench/abl_obs_overhead" "--smoke")
+set_tests_properties(bench_smoke_obs_overhead PROPERTIES  LABELS "bench;smoke;obs" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fault_recovery "/root/repo/build-review/bench/abl_fault_recovery" "--smoke")
+set_tests_properties(bench_smoke_fault_recovery PROPERTIES  LABELS "bench;smoke;fault" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_smp "/root/repo/build-review/bench/abl_smp" "--smoke")
+set_tests_properties(bench_smoke_smp PROPERTIES  LABELS "bench;smoke;smp" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")

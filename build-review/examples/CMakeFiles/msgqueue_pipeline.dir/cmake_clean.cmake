@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgqueue_pipeline.dir/msgqueue_pipeline.cpp.o"
+  "CMakeFiles/msgqueue_pipeline.dir/msgqueue_pipeline.cpp.o.d"
+  "msgqueue_pipeline"
+  "msgqueue_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgqueue_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_isolation.dir/redis_isolation.cpp.o"
+  "CMakeFiles/redis_isolation.dir/redis_isolation.cpp.o.d"
+  "redis_isolation"
+  "redis_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_demo.dir/safety_demo.cpp.o"
+  "CMakeFiles/safety_demo.dir/safety_demo.cpp.o.d"
+  "safety_demo"
+  "safety_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator_registry.cc" "src/CMakeFiles/flexos_alloc.dir/alloc/allocator_registry.cc.o" "gcc" "src/CMakeFiles/flexos_alloc.dir/alloc/allocator_registry.cc.o.d"
+  "/root/repo/src/alloc/buddy_allocator.cc" "src/CMakeFiles/flexos_alloc.dir/alloc/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/flexos_alloc.dir/alloc/buddy_allocator.cc.o.d"
+  "/root/repo/src/alloc/freelist_heap.cc" "src/CMakeFiles/flexos_alloc.dir/alloc/freelist_heap.cc.o" "gcc" "src/CMakeFiles/flexos_alloc.dir/alloc/freelist_heap.cc.o.d"
+  "/root/repo/src/alloc/hardened_heap.cc" "src/CMakeFiles/flexos_alloc.dir/alloc/hardened_heap.cc.o" "gcc" "src/CMakeFiles/flexos_alloc.dir/alloc/hardened_heap.cc.o.d"
+  "/root/repo/src/alloc/region_allocator.cc" "src/CMakeFiles/flexos_alloc.dir/alloc/region_allocator.cc.o" "gcc" "src/CMakeFiles/flexos_alloc.dir/alloc/region_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_vmem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_alloc.dir/alloc/allocator_registry.cc.o"
+  "CMakeFiles/flexos_alloc.dir/alloc/allocator_registry.cc.o.d"
+  "CMakeFiles/flexos_alloc.dir/alloc/buddy_allocator.cc.o"
+  "CMakeFiles/flexos_alloc.dir/alloc/buddy_allocator.cc.o.d"
+  "CMakeFiles/flexos_alloc.dir/alloc/freelist_heap.cc.o"
+  "CMakeFiles/flexos_alloc.dir/alloc/freelist_heap.cc.o.d"
+  "CMakeFiles/flexos_alloc.dir/alloc/hardened_heap.cc.o"
+  "CMakeFiles/flexos_alloc.dir/alloc/hardened_heap.cc.o.d"
+  "CMakeFiles/flexos_alloc.dir/alloc/region_allocator.cc.o"
+  "CMakeFiles/flexos_alloc.dir/alloc/region_allocator.cc.o.d"
+  "libflexos_alloc.a"
+  "libflexos_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexos_alloc.a"
+)

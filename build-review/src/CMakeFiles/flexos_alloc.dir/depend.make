@@ -1,0 +1,2 @@
+# Empty dependencies file for flexos_alloc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_analysis.dir/analysis/flexlint.cc.o"
+  "CMakeFiles/flexos_analysis.dir/analysis/flexlint.cc.o.d"
+  "libflexos_analysis.a"
+  "libflexos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/http_server.cc" "src/CMakeFiles/flexos_apps.dir/apps/http_server.cc.o" "gcc" "src/CMakeFiles/flexos_apps.dir/apps/http_server.cc.o.d"
+  "/root/repo/src/apps/iperf_client.cc" "src/CMakeFiles/flexos_apps.dir/apps/iperf_client.cc.o" "gcc" "src/CMakeFiles/flexos_apps.dir/apps/iperf_client.cc.o.d"
+  "/root/repo/src/apps/iperf_server.cc" "src/CMakeFiles/flexos_apps.dir/apps/iperf_server.cc.o" "gcc" "src/CMakeFiles/flexos_apps.dir/apps/iperf_server.cc.o.d"
+  "/root/repo/src/apps/redis_client.cc" "src/CMakeFiles/flexos_apps.dir/apps/redis_client.cc.o" "gcc" "src/CMakeFiles/flexos_apps.dir/apps/redis_client.cc.o.d"
+  "/root/repo/src/apps/redis_server.cc" "src/CMakeFiles/flexos_apps.dir/apps/redis_server.cc.o" "gcc" "src/CMakeFiles/flexos_apps.dir/apps/redis_server.cc.o.d"
+  "/root/repo/src/apps/testbed.cc" "src/CMakeFiles/flexos_apps.dir/apps/testbed.cc.o" "gcc" "src/CMakeFiles/flexos_apps.dir/apps/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_libc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_vmem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_apps.dir/apps/http_server.cc.o"
+  "CMakeFiles/flexos_apps.dir/apps/http_server.cc.o.d"
+  "CMakeFiles/flexos_apps.dir/apps/iperf_client.cc.o"
+  "CMakeFiles/flexos_apps.dir/apps/iperf_client.cc.o.d"
+  "CMakeFiles/flexos_apps.dir/apps/iperf_server.cc.o"
+  "CMakeFiles/flexos_apps.dir/apps/iperf_server.cc.o.d"
+  "CMakeFiles/flexos_apps.dir/apps/redis_client.cc.o"
+  "CMakeFiles/flexos_apps.dir/apps/redis_client.cc.o.d"
+  "CMakeFiles/flexos_apps.dir/apps/redis_server.cc.o"
+  "CMakeFiles/flexos_apps.dir/apps/redis_server.cc.o.d"
+  "CMakeFiles/flexos_apps.dir/apps/testbed.cc.o"
+  "CMakeFiles/flexos_apps.dir/apps/testbed.cc.o.d"
+  "libflexos_apps.a"
+  "libflexos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coloring.cc" "src/CMakeFiles/flexos_core.dir/core/coloring.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/coloring.cc.o.d"
+  "/root/repo/src/core/compartment.cc" "src/CMakeFiles/flexos_core.dir/core/compartment.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/compartment.cc.o.d"
+  "/root/repo/src/core/compat.cc" "src/CMakeFiles/flexos_core.dir/core/compat.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/compat.cc.o.d"
+  "/root/repo/src/core/config_parser.cc" "src/CMakeFiles/flexos_core.dir/core/config_parser.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/config_parser.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "src/CMakeFiles/flexos_core.dir/core/explorer.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/explorer.cc.o.d"
+  "/root/repo/src/core/gate.cc" "src/CMakeFiles/flexos_core.dir/core/gate.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/gate.cc.o.d"
+  "/root/repo/src/core/image.cc" "src/CMakeFiles/flexos_core.dir/core/image.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/image.cc.o.d"
+  "/root/repo/src/core/image_builder.cc" "src/CMakeFiles/flexos_core.dir/core/image_builder.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/image_builder.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/CMakeFiles/flexos_core.dir/core/metadata.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/metadata.cc.o.d"
+  "/root/repo/src/core/mpk_gate.cc" "src/CMakeFiles/flexos_core.dir/core/mpk_gate.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/mpk_gate.cc.o.d"
+  "/root/repo/src/core/sh_transform.cc" "src/CMakeFiles/flexos_core.dir/core/sh_transform.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/sh_transform.cc.o.d"
+  "/root/repo/src/core/vm_gate.cc" "src/CMakeFiles/flexos_core.dir/core/vm_gate.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/core/vm_gate.cc.o.d"
+  "/root/repo/src/fault/supervisor.cc" "src/CMakeFiles/flexos_core.dir/fault/supervisor.cc.o" "gcc" "src/CMakeFiles/flexos_core.dir/fault/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_libc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_vmem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

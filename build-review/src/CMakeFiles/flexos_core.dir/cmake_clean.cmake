@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_core.dir/core/coloring.cc.o"
+  "CMakeFiles/flexos_core.dir/core/coloring.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/compartment.cc.o"
+  "CMakeFiles/flexos_core.dir/core/compartment.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/compat.cc.o"
+  "CMakeFiles/flexos_core.dir/core/compat.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/config_parser.cc.o"
+  "CMakeFiles/flexos_core.dir/core/config_parser.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/explorer.cc.o"
+  "CMakeFiles/flexos_core.dir/core/explorer.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/gate.cc.o"
+  "CMakeFiles/flexos_core.dir/core/gate.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/image.cc.o"
+  "CMakeFiles/flexos_core.dir/core/image.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/image_builder.cc.o"
+  "CMakeFiles/flexos_core.dir/core/image_builder.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/metadata.cc.o"
+  "CMakeFiles/flexos_core.dir/core/metadata.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/mpk_gate.cc.o"
+  "CMakeFiles/flexos_core.dir/core/mpk_gate.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/sh_transform.cc.o"
+  "CMakeFiles/flexos_core.dir/core/sh_transform.cc.o.d"
+  "CMakeFiles/flexos_core.dir/core/vm_gate.cc.o"
+  "CMakeFiles/flexos_core.dir/core/vm_gate.cc.o.d"
+  "CMakeFiles/flexos_core.dir/fault/supervisor.cc.o"
+  "CMakeFiles/flexos_core.dir/fault/supervisor.cc.o.d"
+  "libflexos_core.a"
+  "libflexos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

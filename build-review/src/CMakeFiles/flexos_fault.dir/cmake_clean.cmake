@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_fault.dir/fault/fault.cc.o"
+  "CMakeFiles/flexos_fault.dir/fault/fault.cc.o.d"
+  "CMakeFiles/flexos_fault.dir/fault/injector.cc.o"
+  "CMakeFiles/flexos_fault.dir/fault/injector.cc.o.d"
+  "libflexos_fault.a"
+  "libflexos_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

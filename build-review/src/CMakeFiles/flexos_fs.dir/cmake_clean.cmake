@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_fs.dir/fs/ramfs.cc.o"
+  "CMakeFiles/flexos_fs.dir/fs/ramfs.cc.o.d"
+  "libflexos_fs.a"
+  "libflexos_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/clock.cc" "src/CMakeFiles/flexos_hw.dir/hw/clock.cc.o" "gcc" "src/CMakeFiles/flexos_hw.dir/hw/clock.cc.o.d"
+  "/root/repo/src/hw/cost_model.cc" "src/CMakeFiles/flexos_hw.dir/hw/cost_model.cc.o" "gcc" "src/CMakeFiles/flexos_hw.dir/hw/cost_model.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/CMakeFiles/flexos_hw.dir/hw/machine.cc.o" "gcc" "src/CMakeFiles/flexos_hw.dir/hw/machine.cc.o.d"
+  "/root/repo/src/hw/pkru.cc" "src/CMakeFiles/flexos_hw.dir/hw/pkru.cc.o" "gcc" "src/CMakeFiles/flexos_hw.dir/hw/pkru.cc.o.d"
+  "/root/repo/src/hw/trap.cc" "src/CMakeFiles/flexos_hw.dir/hw/trap.cc.o" "gcc" "src/CMakeFiles/flexos_hw.dir/hw/trap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_hw.dir/hw/clock.cc.o"
+  "CMakeFiles/flexos_hw.dir/hw/clock.cc.o.d"
+  "CMakeFiles/flexos_hw.dir/hw/cost_model.cc.o"
+  "CMakeFiles/flexos_hw.dir/hw/cost_model.cc.o.d"
+  "CMakeFiles/flexos_hw.dir/hw/machine.cc.o"
+  "CMakeFiles/flexos_hw.dir/hw/machine.cc.o.d"
+  "CMakeFiles/flexos_hw.dir/hw/pkru.cc.o"
+  "CMakeFiles/flexos_hw.dir/hw/pkru.cc.o.d"
+  "CMakeFiles/flexos_hw.dir/hw/trap.cc.o"
+  "CMakeFiles/flexos_hw.dir/hw/trap.cc.o.d"
+  "libflexos_hw.a"
+  "libflexos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_libc.dir/libc/format.cc.o"
+  "CMakeFiles/flexos_libc.dir/libc/format.cc.o.d"
+  "CMakeFiles/flexos_libc.dir/libc/gstring.cc.o"
+  "CMakeFiles/flexos_libc.dir/libc/gstring.cc.o.d"
+  "CMakeFiles/flexos_libc.dir/libc/msg_queue.cc.o"
+  "CMakeFiles/flexos_libc.dir/libc/msg_queue.cc.o.d"
+  "CMakeFiles/flexos_libc.dir/libc/ring_buffer.cc.o"
+  "CMakeFiles/flexos_libc.dir/libc/ring_buffer.cc.o.d"
+  "CMakeFiles/flexos_libc.dir/libc/semaphore.cc.o"
+  "CMakeFiles/flexos_libc.dir/libc/semaphore.cc.o.d"
+  "libflexos_libc.a"
+  "libflexos_libc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_libc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

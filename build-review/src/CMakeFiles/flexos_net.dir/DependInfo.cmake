@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/CMakeFiles/flexos_net.dir/net/arp.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/arp.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/CMakeFiles/flexos_net.dir/net/checksum.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/checksum.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/flexos_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/netstack.cc" "src/CMakeFiles/flexos_net.dir/net/netstack.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/netstack.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/CMakeFiles/flexos_net.dir/net/nic.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/nic.cc.o.d"
+  "/root/repo/src/net/remote_tcp.cc" "src/CMakeFiles/flexos_net.dir/net/remote_tcp.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/remote_tcp.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/flexos_net.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/flexos_net.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/udp.cc.o.d"
+  "/root/repo/src/net/virtio_queue.cc" "src/CMakeFiles/flexos_net.dir/net/virtio_queue.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/virtio_queue.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/CMakeFiles/flexos_net.dir/net/wire.cc.o" "gcc" "src/CMakeFiles/flexos_net.dir/net/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_libc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_vmem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

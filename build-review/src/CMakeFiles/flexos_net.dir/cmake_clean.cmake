@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_net.dir/net/arp.cc.o"
+  "CMakeFiles/flexos_net.dir/net/arp.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/checksum.cc.o"
+  "CMakeFiles/flexos_net.dir/net/checksum.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/link.cc.o"
+  "CMakeFiles/flexos_net.dir/net/link.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/netstack.cc.o"
+  "CMakeFiles/flexos_net.dir/net/netstack.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/nic.cc.o"
+  "CMakeFiles/flexos_net.dir/net/nic.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/remote_tcp.cc.o"
+  "CMakeFiles/flexos_net.dir/net/remote_tcp.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/tcp.cc.o"
+  "CMakeFiles/flexos_net.dir/net/tcp.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/udp.cc.o"
+  "CMakeFiles/flexos_net.dir/net/udp.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/virtio_queue.cc.o"
+  "CMakeFiles/flexos_net.dir/net/virtio_queue.cc.o.d"
+  "CMakeFiles/flexos_net.dir/net/wire.cc.o"
+  "CMakeFiles/flexos_net.dir/net/wire.cc.o.d"
+  "libflexos_net.a"
+  "libflexos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_obs.dir/obs/attrib.cc.o"
+  "CMakeFiles/flexos_obs.dir/obs/attrib.cc.o.d"
+  "CMakeFiles/flexos_obs.dir/obs/export.cc.o"
+  "CMakeFiles/flexos_obs.dir/obs/export.cc.o.d"
+  "CMakeFiles/flexos_obs.dir/obs/metrics.cc.o"
+  "CMakeFiles/flexos_obs.dir/obs/metrics.cc.o.d"
+  "CMakeFiles/flexos_obs.dir/obs/names.cc.o"
+  "CMakeFiles/flexos_obs.dir/obs/names.cc.o.d"
+  "CMakeFiles/flexos_obs.dir/obs/trace.cc.o"
+  "CMakeFiles/flexos_obs.dir/obs/trace.cc.o.d"
+  "libflexos_obs.a"
+  "libflexos_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

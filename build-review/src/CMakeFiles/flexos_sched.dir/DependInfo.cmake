@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/coop_scheduler.cc" "src/CMakeFiles/flexos_sched.dir/sched/coop_scheduler.cc.o" "gcc" "src/CMakeFiles/flexos_sched.dir/sched/coop_scheduler.cc.o.d"
+  "/root/repo/src/sched/thread.cc" "src/CMakeFiles/flexos_sched.dir/sched/thread.cc.o" "gcc" "src/CMakeFiles/flexos_sched.dir/sched/thread.cc.o.d"
+  "/root/repo/src/sched/verified_scheduler.cc" "src/CMakeFiles/flexos_sched.dir/sched/verified_scheduler.cc.o" "gcc" "src/CMakeFiles/flexos_sched.dir/sched/verified_scheduler.cc.o.d"
+  "/root/repo/src/sched/wait_queue.cc" "src/CMakeFiles/flexos_sched.dir/sched/wait_queue.cc.o" "gcc" "src/CMakeFiles/flexos_sched.dir/sched/wait_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_vmem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_sched.dir/sched/coop_scheduler.cc.o"
+  "CMakeFiles/flexos_sched.dir/sched/coop_scheduler.cc.o.d"
+  "CMakeFiles/flexos_sched.dir/sched/thread.cc.o"
+  "CMakeFiles/flexos_sched.dir/sched/thread.cc.o.d"
+  "CMakeFiles/flexos_sched.dir/sched/verified_scheduler.cc.o"
+  "CMakeFiles/flexos_sched.dir/sched/verified_scheduler.cc.o.d"
+  "CMakeFiles/flexos_sched.dir/sched/wait_queue.cc.o"
+  "CMakeFiles/flexos_sched.dir/sched/wait_queue.cc.o.d"
+  "libflexos_sched.a"
+  "libflexos_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/log.cc" "src/CMakeFiles/flexos_support.dir/support/log.cc.o" "gcc" "src/CMakeFiles/flexos_support.dir/support/log.cc.o.d"
+  "/root/repo/src/support/panic.cc" "src/CMakeFiles/flexos_support.dir/support/panic.cc.o" "gcc" "src/CMakeFiles/flexos_support.dir/support/panic.cc.o.d"
+  "/root/repo/src/support/status.cc" "src/CMakeFiles/flexos_support.dir/support/status.cc.o" "gcc" "src/CMakeFiles/flexos_support.dir/support/status.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/CMakeFiles/flexos_support.dir/support/strings.cc.o" "gcc" "src/CMakeFiles/flexos_support.dir/support/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

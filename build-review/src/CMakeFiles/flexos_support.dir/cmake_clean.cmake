@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_support.dir/support/log.cc.o"
+  "CMakeFiles/flexos_support.dir/support/log.cc.o.d"
+  "CMakeFiles/flexos_support.dir/support/panic.cc.o"
+  "CMakeFiles/flexos_support.dir/support/panic.cc.o.d"
+  "CMakeFiles/flexos_support.dir/support/status.cc.o"
+  "CMakeFiles/flexos_support.dir/support/status.cc.o.d"
+  "CMakeFiles/flexos_support.dir/support/strings.cc.o"
+  "CMakeFiles/flexos_support.dir/support/strings.cc.o.d"
+  "libflexos_support.a"
+  "libflexos_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmem/access.cc" "src/CMakeFiles/flexos_vmem.dir/vmem/access.cc.o" "gcc" "src/CMakeFiles/flexos_vmem.dir/vmem/access.cc.o.d"
+  "/root/repo/src/vmem/address_space.cc" "src/CMakeFiles/flexos_vmem.dir/vmem/address_space.cc.o" "gcc" "src/CMakeFiles/flexos_vmem.dir/vmem/address_space.cc.o.d"
+  "/root/repo/src/vmem/shadow.cc" "src/CMakeFiles/flexos_vmem.dir/vmem/shadow.cc.o" "gcc" "src/CMakeFiles/flexos_vmem.dir/vmem/shadow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

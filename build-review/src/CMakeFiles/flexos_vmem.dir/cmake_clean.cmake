@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexos_vmem.dir/vmem/access.cc.o"
+  "CMakeFiles/flexos_vmem.dir/vmem/access.cc.o.d"
+  "CMakeFiles/flexos_vmem.dir/vmem/address_space.cc.o"
+  "CMakeFiles/flexos_vmem.dir/vmem/address_space.cc.o.d"
+  "CMakeFiles/flexos_vmem.dir/vmem/shadow.cc.o"
+  "CMakeFiles/flexos_vmem.dir/vmem/shadow.cc.o.d"
+  "libflexos_vmem.a"
+  "libflexos_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexos_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack_matrix_test.cc" "tests/CMakeFiles/attack_matrix_test.dir/attack_matrix_test.cc.o" "gcc" "tests/CMakeFiles/attack_matrix_test.dir/attack_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/flexos_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_libc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_vmem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/flexos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

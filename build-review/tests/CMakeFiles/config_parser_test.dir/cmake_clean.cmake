@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_parser_test.dir/config_parser_test.cc.o"
+  "CMakeFiles/config_parser_test.dir/config_parser_test.cc.o.d"
+  "config_parser_test"
+  "config_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

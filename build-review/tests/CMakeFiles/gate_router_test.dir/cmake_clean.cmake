@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_router_test.dir/gate_router_test.cc.o"
+  "CMakeFiles/gate_router_test.dir/gate_router_test.cc.o.d"
+  "gate_router_test"
+  "gate_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

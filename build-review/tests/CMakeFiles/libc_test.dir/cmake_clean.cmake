@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libc_test.dir/libc_test.cc.o"
+  "CMakeFiles/libc_test.dir/libc_test.cc.o.d"
+  "libc_test"
+  "libc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

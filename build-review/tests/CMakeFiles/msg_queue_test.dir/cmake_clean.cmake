@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_queue_test.dir/msg_queue_test.cc.o"
+  "CMakeFiles/msg_queue_test.dir/msg_queue_test.cc.o.d"
+  "msg_queue_test"
+  "msg_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_active_test.dir/net_active_test.cc.o"
+  "CMakeFiles/net_active_test.dir/net_active_test.cc.o.d"
+  "net_active_test"
+  "net_active_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_active_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_wire_test.dir/net_wire_test.cc.o"
+  "CMakeFiles/net_wire_test.dir/net_wire_test.cc.o.d"
+  "net_wire_test"
+  "net_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstack_test.dir/netstack_test.cc.o"
+  "CMakeFiles/netstack_test.dir/netstack_test.cc.o.d"
+  "netstack_test"
+  "netstack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_disabled_test.dir/obs_disabled_test.cc.o"
+  "CMakeFiles/obs_disabled_test.dir/obs_disabled_test.cc.o.d"
+  "obs_disabled_test"
+  "obs_disabled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_disabled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_primitives_test.dir/sched_primitives_test.cc.o"
+  "CMakeFiles/sched_primitives_test.dir/sched_primitives_test.cc.o.d"
+  "sched_primitives_test"
+  "sched_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

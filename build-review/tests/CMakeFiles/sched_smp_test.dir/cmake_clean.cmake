@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_smp_test.dir/sched_smp_test.cc.o"
+  "CMakeFiles/sched_smp_test.dir/sched_smp_test.cc.o.d"
+  "sched_smp_test"
+  "sched_smp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_smp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

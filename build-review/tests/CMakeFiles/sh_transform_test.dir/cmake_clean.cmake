@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sh_transform_test.dir/sh_transform_test.cc.o"
+  "CMakeFiles/sh_transform_test.dir/sh_transform_test.cc.o.d"
+  "sh_transform_test"
+  "sh_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sh_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

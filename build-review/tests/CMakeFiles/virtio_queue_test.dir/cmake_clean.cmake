@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtio_queue_test.dir/virtio_queue_test.cc.o"
+  "CMakeFiles/virtio_queue_test.dir/virtio_queue_test.cc.o.d"
+  "virtio_queue_test"
+  "virtio_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtio_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmem_test.dir/vmem_test.cc.o"
+  "CMakeFiles/vmem_test.dir/vmem_test.cc.o.d"
+  "vmem_test"
+  "vmem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexbench.dir/flexbench.cc.o"
+  "CMakeFiles/flexbench.dir/flexbench.cc.o.d"
+  "flexbench"
+  "flexbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

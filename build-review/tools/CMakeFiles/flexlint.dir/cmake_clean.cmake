@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexlint.dir/flexlint.cc.o"
+  "CMakeFiles/flexlint.dir/flexlint.cc.o.d"
+  "flexlint"
+  "flexlint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexlint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexstat.dir/flexstat.cc.o"
+  "CMakeFiles/flexstat.dir/flexstat.cc.o.d"
+  "flexstat"
+  "flexstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flexstat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(flexlint_examples "/root/repo/build-review/tools/flexlint" "/root/repo/examples/configs/iperf_mpk.conf" "/root/repo/examples/configs/redis_vm.conf" "/root/repo/examples/configs/webserver_cfi.conf")
+set_tests_properties(flexlint_examples PROPERTIES  LABELS "lint;smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexlint_examples_json "/root/repo/build-review/tools/flexlint" "--json" "/root/repo/examples/configs/iperf_mpk.conf" "/root/repo/examples/configs/redis_vm.conf" "/root/repo/examples/configs/webserver_cfi.conf")
+set_tests_properties(flexlint_examples_json PROPERTIES  LABELS "lint;smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexlint_undeclared_call "/root/repo/build-review/tools/flexlint" "/root/repo/tests/lint_fixtures/undeclared_call.conf")
+set_tests_properties(flexlint_undeclared_call PROPERTIES  LABELS "lint;smoke" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexlint_requires_violation "/root/repo/build-review/tools/flexlint" "/root/repo/tests/lint_fixtures/requires_violation.conf")
+set_tests_properties(flexlint_requires_violation PROPERTIES  LABELS "lint;smoke" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexstat_iperf_mpk "/root/repo/build-review/tools/flexstat" "--bytes" "65536" "/root/repo/examples/configs/iperf_mpk.conf")
+set_tests_properties(flexstat_iperf_mpk PROPERTIES  LABELS "obs;smoke" PASS_REGULAR_EXPRESSION "p50\\(ns\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexstat_trace_export "/root/repo/build-review/tools/flexstat" "--bytes" "65536" "--trace" "/root/repo/build-review/tools/flexstat_trace.json" "--metrics" "/root/repo/build-review/tools/flexstat_metrics.json" "/root/repo/examples/configs/iperf_mpk.conf")
+set_tests_properties(flexstat_trace_export PROPERTIES  LABELS "obs;smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexstat_request_breakdown "/root/repo/build-review/tools/flexstat" "--bytes" "65536" "--request" "all" "/root/repo/examples/configs/iperf_mpk.conf")
+set_tests_properties(flexstat_request_breakdown PROPERTIES  LABELS "obs;smoke" PASS_REGULAR_EXPRESSION "tcp:5001" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;59;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexstat_flame "/root/repo/build-review/tools/flexstat" "--bytes" "65536" "--flame" "-" "/root/repo/examples/configs/iperf_mpk.conf")
+set_tests_properties(flexstat_flame PROPERTIES  LABELS "obs;smoke" PASS_REGULAR_EXPRESSION "iperf-server;app;net" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;65;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(flexbench_check "/root/repo/build-review/tools/flexbench" "--smoke" "--bindir" "/root/repo/build-review/bench" "--baseline" "/root/repo/bench/baselines/smoke.json" "--out" "/root/repo/build-review/tools/flexbench_smoke_run.json")
+set_tests_properties(flexbench_check PROPERTIES  LABELS "bench" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;75;add_test;/root/repo/tools/CMakeLists.txt;0;")
