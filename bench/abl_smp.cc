@@ -6,9 +6,14 @@
 //   * scaling — >= 1.8x at 2 vCPUs and >= 3x at 4 vCPUs vs 1 vCPU;
 //   * determinism — every point runs twice with the same seed and must
 //     produce an identical event log (vCPU clocks, context switches,
-//     machine stats, and the full trace-event stream hash together).
+//     machine stats, and the full trace-event stream hash together);
+//   * validator transparency — each point also runs with the flexrace
+//     happens-before validator enabled (DESIGN.md §13); it must report
+//     zero races and leave the modeled run bit-identical (cycles, clocks,
+//     stats, checksum — the trace stream is excluded, since the validator
+//     adds cat=race instants to it by design).
 // Pass --smoke for a fast CI-sized run, --vcpus N for a single point
-// (replay-gated only; scaling needs the full sweep).
+// (replay- and validator-gated only; scaling needs the full sweep).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,16 +36,20 @@ struct SmpPoint {
   uint64_t ops = 0;
   uint64_t cycles = 0;    // max over vCPU clocks, boot excluded.
   uint64_t event_hash = 0;  // FNV-1a over the merged event log.
+  uint64_t model_hash = 0;  // Same, minus the trace stream (validator gate).
   uint64_t checksum = 0;    // Workload payload checksum (PRNG coverage).
+  uint64_t races = 0;       // flexrace findings (validator runs only).
 };
 
 // One full run at `vcpus`; everything that feeds the returned struct is
 // modeled, so two calls with the same arguments must return identical
 // values — that is the replay gate.
-SmpPoint RunPoint(int vcpus, uint64_t total_ops, uint64_t seed) {
+SmpPoint RunPoint(int vcpus, uint64_t total_ops, uint64_t seed,
+                  bool race_detect = false) {
   TestbedConfig config;
   config.image = bench::NetOnlyConfig(IsolationBackend::kMpkSharedStack);
   config.vcpus = vcpus;
+  config.race_detect = race_detect;
   Testbed bed(config);
   Machine& machine = bed.machine();
   machine.tracer().SetEnabled(true);
@@ -96,6 +105,8 @@ SmpPoint RunPoint(int vcpus, uint64_t total_ops, uint64_t seed) {
   mix(machine.stats().wrpkru_count);
   mix(machine.stats().gate_crossings);
   mix(machine.stats().ipi_count);
+  mix(point.checksum);
+  point.model_hash = h;  // Model-only prefix: no trace stream mixed yet.
   for (const obs::TraceEvent& event : machine.tracer().Snapshot()) {
     mix(event.ts_ns);
     mix(event.dur_ns);
@@ -110,6 +121,7 @@ SmpPoint RunPoint(int vcpus, uint64_t total_ops, uint64_t seed) {
     }
   }
   point.event_hash = h;
+  point.races = machine.race().races_found();
   return point;
 }
 
@@ -136,14 +148,17 @@ int main(int argc, char** argv) {
               smoke ? " (smoke)" : "");
   std::printf("# each point runs twice with the same seed; replay=1 means "
               "the event logs were identical\n");
-  std::printf("%-6s %10s %10s %10s %9s %7s\n", "vcpus", "ops", "virt_ms",
-              "mops_s", "speedup", "replay");
+  std::printf("# a third run enables the flexrace validator; valid=1 means "
+              "zero races and bit-identical modeled results\n");
+  std::printf("%-6s %10s %10s %10s %9s %7s %6s\n", "vcpus", "ops", "virt_ms",
+              "mops_s", "speedup", "replay", "valid");
 
   const int kPoints[] = {1, 2, 4};
   double base_mops = 0;
   double speedup2 = 0;
   double speedup4 = 0;
   bool replay_ok = true;
+  bool validator_ok = true;
   for (const int vcpus : kPoints) {
     if (only_vcpus != 0 && vcpus != only_vcpus) {
       continue;
@@ -154,6 +169,16 @@ int main(int argc, char** argv) {
                            first.cycles == second.cycles &&
                            first.checksum == second.checksum;
     replay_ok = replay_ok && identical;
+    // Validator transparency: detection on must not perturb the model.
+    // Compare the model-only hash — the validator's own cat=race trace
+    // instants legitimately change the full event stream.
+    const SmpPoint checked =
+        RunPoint(vcpus, kTotalOps, kSeed, /*race_detect=*/true);
+    const bool transparent = checked.races == 0 &&
+                             checked.cycles == first.cycles &&
+                             checked.model_hash == first.model_hash &&
+                             checked.checksum == first.checksum;
+    validator_ok = validator_ok && transparent;
     const double virt_ms =
         static_cast<double>(first.cycles) / (kFreqGhz * 1e6);
     const double mops =
@@ -168,19 +193,24 @@ int main(int argc, char** argv) {
     } else if (vcpus == 4) {
       speedup4 = speedup;
     }
-    std::printf("%-6d %10llu %10.3f %10.3f %8.2fx %7d\n", vcpus,
+    std::printf("%-6d %10llu %10.3f %10.3f %8.2fx %7d %6d\n", vcpus,
                 static_cast<unsigned long long>(first.ops), virt_ms, mops,
-                speedup, identical ? 1 : 0);
+                speedup, identical ? 1 : 0, transparent ? 1 : 0);
   }
 
   std::printf("\n# Checks:\n");
   std::printf("  replay identity (same seed -> same event log): %s\n",
               replay_ok ? "ok" : "FAILED");
+  std::printf("  validator transparency (flexrace on: 0 races, identical "
+              "model): %s\n",
+              validator_ok ? "ok" : "FAILED");
   if (only_vcpus == 0) {
     std::printf("  speedup at 2 vCPUs: %.2fx (target >= 1.8x), at 4 vCPUs: "
                 "%.2fx (target >= 3x)\n",
                 speedup2, speedup4);
-    return (replay_ok && speedup2 >= 1.8 && speedup4 >= 3.0) ? 0 : 1;
+    return (replay_ok && validator_ok && speedup2 >= 1.8 && speedup4 >= 3.0)
+               ? 0
+               : 1;
   }
-  return replay_ok ? 0 : 1;
+  return (replay_ok && validator_ok) ? 0 : 1;
 }

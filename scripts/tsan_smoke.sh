@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# ThreadSanitizer smoke: build with FLEXOS_SANITIZE=thread and run the
+# observability + multi-vCPU test surface (obs-, smp-, and race-labeled
+# ctest targets). The scheduler registers every ucontext stack as a TSan
+# fiber (src/sched/coop_scheduler.cc), so TSan follows virtual threads
+# across swapcontext instead of flagging each switch as a data race.
+# Everything modeled here runs on one host thread; a TSan hit means real
+# unsynchronized host-level sharing (tracer ring, metrics registry), not
+# modeled-race noise — modeled races are flexrace's job (tests/race_test.cc).
+#
+# Usage: scripts/tsan_smoke.sh [build-dir]   (default: build-tsan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+echo "== tsan_smoke: configure + build (FLEXOS_SANITIZE=thread)"
+cmake -S "$repo_root" -B "$build_dir" -DFLEXOS_SANITIZE=thread
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== tsan_smoke: obs-, smp-, and race-labeled tests"
+ctest --test-dir "$build_dir" -L "obs|smp|race" --output-on-failure
+
+echo "== tsan_smoke: clean under TSan"

@@ -64,6 +64,25 @@ void FinishModel(LintModel* model) {
   }
 }
 
+// Compartment-to-vCPU pin map derived from the per-library pins (the config
+// parser guarantees cohabiting pins agree, and a built image stores the pin
+// per compartment already).
+std::map<int, int> CompartmentPins(const LintModel& model) {
+  std::map<int, int> pins;
+  for (const auto& [lib, vcpu] : model.vcpu_pins) {
+    const auto comp = model.compartment_of.find(lib);
+    if (comp != model.compartment_of.end()) {
+      pins.emplace(comp->second, vcpu);
+    }
+  }
+  return pins;
+}
+
+// Whether `lib` declares reentrancy, via config directive or [Reentrant].
+bool IsReentrant(const LintModel& model, const LibraryMeta& meta) {
+  return meta.reentrant || model.reentrant_libs.count(meta.name) != 0;
+}
+
 // The entry points a cross-compartment call into `lib` can actually reach:
 // the CFI-registered set when CFI narrows the gate, else the metadata API.
 std::set<std::string> EffectiveApi(const LintModel& model,
@@ -121,6 +140,28 @@ bool LintReport::HasErrors() const {
                      [](const LintDiagnostic& diagnostic) {
                        return diagnostic.severity == LintSeverity::kError;
                      });
+}
+
+void LintReport::Normalize() {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              if (a.rule != b.rule) {
+                return a.rule < b.rule;
+              }
+              if (a.entity != b.entity) {
+                return a.entity < b.entity;
+              }
+              if (a.severity != b.severity) {
+                return static_cast<int>(a.severity) <
+                       static_cast<int>(b.severity);
+              }
+              if (a.message != b.message) {
+                return a.message < b.message;
+              }
+              return a.fix_hint < b.fix_hint;
+            });
+  diagnostics.erase(std::unique(diagnostics.begin(), diagnostics.end()),
+                    diagnostics.end());
 }
 
 size_t LintReport::CountForRule(std::string_view rule) const {
@@ -200,6 +241,14 @@ LintModel ExtractModel(const ImageConfig& config,
       model.restart_hook_comps->insert(it->second);
     }
   }
+  model.vcpus = config.vcpus;
+  for (const auto& [lib, vcpu] : config.pins) {
+    if (model.compartment_of.count(lib) != 0) {
+      model.vcpu_pins[lib] = vcpu;
+    }
+  }
+  model.reentrant_libs = config.reentrant_libs;
+  model.vm_replicated_libs = config.vm_replicated_libs;
   FinishModel(&model);
   return model;
 }
@@ -233,6 +282,17 @@ LintModel ExtractModel(const Image& image, const MetaResolver& resolver) {
       }
     }
   }
+  model.vcpus = image.machine().vcpu_count();
+  for (const auto& [lib, comp] : model.compartment_of) {
+    const int pin = image.machine().CompartmentAffinityOf(comp);
+    if (pin >= 0) {
+      model.vcpu_pins[lib] = pin;
+    }
+  }
+  // A built image no longer records the config's reentrant overrides; only
+  // [Reentrant] metadata survives. The replication set is the vm-rpc
+  // builder's default.
+  model.vm_replicated_libs = ImageConfig{}.vm_replicated_libs;
   FinishModel(&model);
   return model;
 }
@@ -445,13 +505,180 @@ LintReport RunRules(const LintModel& model) {
     }
   }
 
-  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
-                   [](const LintDiagnostic& a, const LintDiagnostic& b) {
-                     if (a.rule != b.rule) {
-                       return a.rule < b.rule;
-                     }
-                     return a.entity < b.entity;
-                   });
+  // --- SMP sharing-safety rules (FL010-FL014, DESIGN.md §13) -------------
+  const std::map<int, int> comp_pins = CompartmentPins(model);
+
+  // FL010 — writable shared state reachable from compartments pinned to
+  // different vCPUs with *no isolating boundary at all*: under backend
+  // 'none' nothing even marks the crossing, so concurrent writers from two
+  // cores interleave silently. (With a real backend the boundary is still
+  // no lock — that is FL004/flexrace territory — but the spec at least
+  // names the sharing.)
+  if (model.backend == IsolationBackend::kNone && model.vcpus > 1) {
+    for (const std::string& a : model.shared_writers) {
+      for (const std::string& b : model.shared_writers) {
+        if (a >= b) {
+          continue;  // Unordered pairs once.
+        }
+        const int comp_a = model.compartment_of.at(a);
+        const int comp_b = model.compartment_of.at(b);
+        if (comp_a == comp_b) {
+          continue;
+        }
+        const auto pin_a = comp_pins.find(comp_a);
+        const auto pin_b = comp_pins.find(comp_b);
+        if (pin_a == comp_pins.end() || pin_b == comp_pins.end() ||
+            pin_a->second == pin_b->second) {
+          continue;
+        }
+        Add(&report, kRuleSharedVcpuRace, LintSeverity::kError,
+            a + " | " + b,
+            StrFormat("both write the shared region from compartments "
+                      "pinned to vCPU%d and vCPU%d, and backend 'none' "
+                      "puts no isolating boundary between them",
+                      pin_a->second, pin_b->second),
+            "pick a real isolation backend, or pin both compartments to "
+            "one vCPU");
+      }
+    }
+  }
+
+  // FL011 — state shared across a vm boundary: vm-rpc replicates these
+  // libraries into every VM, so callers pinned to different vCPUs each
+  // mutate their *own replica* and the copies diverge.
+  if (model.backend == IsolationBackend::kVmRpc) {
+    for (const std::string& replicated : model.vm_replicated_libs) {
+      const LibraryMeta* meta = FindMeta(model, replicated);
+      if (meta == nullptr) {
+        continue;  // Not placed in this image.
+      }
+      std::set<int> caller_pins;
+      for (const LintCallEdge& edge : model.calls) {
+        if (edge.callee != replicated) {
+          continue;
+        }
+        const auto pin =
+            comp_pins.find(model.compartment_of.at(edge.caller));
+        if (pin != comp_pins.end()) {
+          caller_pins.insert(pin->second);
+        }
+      }
+      if (caller_pins.size() < 2) {
+        continue;
+      }
+      Add(&report, kRuleVmStateDivergence, LintSeverity::kError, replicated,
+          StrFormat("'%s' is replicated into every VM under vm-rpc, but "
+                    "callers span %d differently-pinned vCPUs — each vCPU "
+                    "mutates its own replica and the copies diverge",
+                    replicated.c_str(),
+                    static_cast<int>(caller_pins.size())),
+          "move '" + replicated +
+              "' out of vm_replicated_libs (route calls through the RPC "
+              "gate), or pin all its callers to one vCPU");
+    }
+  }
+
+  // FL012 — a library callable concurrently from two or more vCPUs without
+  // declaring reentrancy. Gated code runs on the *caller's* vCPU, so two
+  // callers pinned apart (or any unpinned caller on an SMP machine) can be
+  // inside the callee at the same virtual time.
+  if (model.vcpus > 1) {
+    for (const LibraryMeta& callee : model.metas) {
+      if (IsReentrant(model, callee)) {
+        continue;
+      }
+      std::set<int> caller_pins;
+      bool unpinned_caller = false;
+      for (const LintCallEdge& edge : model.calls) {
+        if (edge.callee != callee.name || !edge.cross) {
+          continue;
+        }
+        const auto pin =
+            comp_pins.find(model.compartment_of.at(edge.caller));
+        if (pin == comp_pins.end()) {
+          unpinned_caller = true;
+        } else {
+          caller_pins.insert(pin->second);
+        }
+      }
+      const bool concurrent =
+          caller_pins.size() >= 2 ||
+          (unpinned_caller && (!caller_pins.empty() || model.vcpus > 1));
+      if (!concurrent) {
+        continue;
+      }
+      Add(&report, kRuleNonReentrant, LintSeverity::kError, callee.name,
+          "cross-compartment callers can enter '" + callee.name +
+              "' from two or more vCPUs concurrently, and it declares no "
+              "reentrancy",
+          "add [Reentrant] to its metadata or 'reentrant " + callee.name +
+              "' to the config after auditing its locking, or pin every "
+              "caller to one vCPU");
+    }
+  }
+
+  // FL013 — per-core protection-key budget. MPK keys are a per-core
+  // resource: a core needs one key per compartment that can execute on it
+  // *plus* one per compartment its residents call into (the gate grants the
+  // callee key on that core), plus the shared key 0.
+  if ((model.backend == IsolationBackend::kMpkSharedStack ||
+       model.backend == IsolationBackend::kMpkSwitchedStack) &&
+      model.vcpus > 1) {
+    for (int v = 0; v < model.vcpus; ++v) {
+      std::set<int> resident;
+      for (const auto& [lib, comp] : model.compartment_of) {
+        const auto pin = comp_pins.find(comp);
+        if (pin == comp_pins.end() || pin->second == v) {
+          resident.insert(comp);
+        }
+      }
+      std::set<int> demand = resident;
+      for (const LintCallEdge& edge : model.calls) {
+        if (!edge.cross ||
+            resident.count(model.compartment_of.at(edge.caller)) == 0) {
+          continue;
+        }
+        demand.insert(model.compartment_of.at(edge.callee));
+      }
+      const int keys = static_cast<int>(demand.size()) + 1;  // + shared key.
+      if (keys <= kNumPkeys) {
+        continue;
+      }
+      Add(&report, kRuleKeyBudget, LintSeverity::kError,
+          StrFormat("vCPU%d", v),
+          StrFormat("compartments resident on or routed through vCPU%d "
+                    "need %d protection keys, but MPK provides %d per "
+                    "core",
+                    v, keys, kNumPkeys),
+          "spread compartments across vCPUs with 'pin', merge compatible "
+          "compartments, or use the vm-rpc backend for the overflow");
+    }
+  }
+
+  // FL014 — device-programming libraries pinned off the boot vCPU. Devices
+  // and timers live on vCPU 0 in this model (and on most uniprocessor-IRQ
+  // unikernels); a compartment pinned elsewhere polls hardware it can
+  // never observe interrupts from.
+  for (const LibraryMeta& meta : model.metas) {
+    if (meta.devices.empty()) {
+      continue;
+    }
+    const auto pin = comp_pins.find(model.compartment_of.at(meta.name));
+    if (pin == comp_pins.end() || pin->second == 0) {
+      continue;
+    }
+    std::vector<std::string> devices(meta.devices.begin(),
+                                     meta.devices.end());
+    Add(&report, kRuleDeviceAffinity, LintSeverity::kError, meta.name,
+        StrFormat("'%s' programs device(s) %s but its compartment is "
+                  "pinned to vCPU%d; devices and timers are serviced on "
+                  "boot vCPU 0",
+                  meta.name.c_str(), JoinStrings(devices, ", ").c_str(),
+                  pin->second),
+        "pin '" + meta.name + "' to vCPU 0, or leave it unpinned");
+  }
+
+  report.Normalize();
   return report;
 }
 
@@ -472,6 +699,7 @@ LintReport LintMetaText(const std::string& lib_name,
     Add(&report, kRuleParse, LintSeverity::kError, lib_name,
         "metadata does not parse: " + meta.status().ToString(),
         "fix the DSL syntax (see src/core/metadata.h)");
+    report.Normalize();
     return report;
   }
   if (meta->behavior.calls_any && !meta->behavior.calls.empty()) {
@@ -487,6 +715,7 @@ LintReport LintMetaText(const std::string& lib_name,
         "metadata does not round-trip through ToString()",
         "report this: the serializer and parser disagree");
   }
+  report.Normalize();
   return report;
 }
 

@@ -51,6 +51,12 @@ inline constexpr std::string_view kRuleApiDrift = "FL006";
 inline constexpr std::string_view kRuleUnknownLibrary = "FL007";
 inline constexpr std::string_view kRuleRedundantCallList = "FL008";
 inline constexpr std::string_view kRuleNoInitHook = "FL009";
+// SMP sharing-safety rules (flexrace static side, DESIGN.md §13).
+inline constexpr std::string_view kRuleSharedVcpuRace = "FL010";
+inline constexpr std::string_view kRuleVmStateDivergence = "FL011";
+inline constexpr std::string_view kRuleNonReentrant = "FL012";
+inline constexpr std::string_view kRuleKeyBudget = "FL013";
+inline constexpr std::string_view kRuleDeviceAffinity = "FL014";
 
 struct LintDiagnostic {
   std::string rule;  // "FL001" ...
@@ -58,6 +64,8 @@ struct LintDiagnostic {
   std::string entity;    // Offending entity, e.g. "app -> net::poll".
   std::string message;   // What is wrong.
   std::string fix_hint;  // How to make it right.
+
+  bool operator==(const LintDiagnostic&) const = default;
 };
 
 struct LintReport {
@@ -65,6 +73,12 @@ struct LintReport {
 
   bool HasErrors() const;
   size_t CountForRule(std::string_view rule) const;
+
+  // Canonicalizes the report: sorts by (rule, entity, severity, message,
+  // fix_hint) and drops exact duplicates. Every frontend normalizes before
+  // emission, so text and --json output are byte-stable across extraction
+  // orders and repeated model edges.
+  void Normalize();
 
   // One "RULE severity entity: message (hint)" line per diagnostic.
   std::string ToText() const;
@@ -118,6 +132,19 @@ struct LintModel {
   // when a built image carries no fault handler — restarts cannot happen,
   // so rule FL009 does not apply.
   std::optional<std::set<int>> restart_hook_comps;
+
+  // --- SMP topology (flexrace rules FL010-FL014, DESIGN.md §13) ----------
+  // Declared vCPU count ("vcpus = N" / the built machine). 1 keeps every
+  // SMP rule silent.
+  int vcpus = 1;
+  // Library-to-vCPU affinity ("pin <lib> <vcpu>" / compartment affinity of
+  // a built image). Absent = unpinned: the scheduler may run it anywhere.
+  std::map<std::string, int> vcpu_pins;
+  // Config-level reentrancy overrides ("reentrant <lib>"); a library is
+  // reentrant when this or its [Reentrant] metadata says so.
+  std::set<std::string> reentrant_libs;
+  // Libraries replicated per VM under the vm-rpc backend (FL011).
+  std::set<std::string> vm_replicated_libs;
 };
 
 // Extracts the model from a compartment spec (pre-build) ...

@@ -1,0 +1,168 @@
+#include "analysis/race_replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "obs/export.h"
+#include "support/strings.h"
+
+namespace flexos {
+namespace analysis {
+
+namespace {
+
+// One parsed trace event; only the fields the race replay needs.
+struct RawEvent {
+  std::string name;
+  int tid = 0;
+  int vcpu = 0;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t ts_ns = 0;
+};
+
+// Extracts the quoted string value following `key` in `chunk`, or "" if the
+// key is absent. The exporter never escapes the fields we read (event names
+// and categories are C identifiers).
+std::string FindString(const std::string& chunk, const char* key) {
+  const size_t at = chunk.find(key);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + std::strlen(key);
+  const size_t end = chunk.find('"', begin);
+  if (end == std::string::npos) return "";
+  return chunk.substr(begin, end - begin);
+}
+
+// Extracts the numeric value following `key`, or `fallback` if absent.
+double FindNumber(const std::string& chunk, const char* key, double fallback) {
+  const size_t at = chunk.find(key);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(chunk.c_str() + at + std::strlen(key), nullptr);
+}
+
+}  // namespace
+
+Result<RaceReplayResult> ReplayRaces(const std::string& chrome_json) {
+  if (chrome_json.find("\"traceEvents\"") == std::string::npos) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "not a Chrome trace document (no \"traceEvents\" key)");
+  }
+
+  // Pass 1: cut the document into per-event chunks on the exporter's stable
+  // object prefix and keep the cat=race ones, in order.
+  static constexpr const char* kEventPrefix = "{\"name\":\"";
+  std::vector<RawEvent> events;
+  int max_vcpu = 0;
+  size_t at = chrome_json.find(kEventPrefix);
+  while (at != std::string::npos) {
+    const size_t next = chrome_json.find(kEventPrefix, at + 1);
+    const std::string chunk = chrome_json.substr(
+        at, next == std::string::npos ? std::string::npos : next - at);
+    at = next;
+    if (FindString(chunk, "\"cat\":\"") != "race") continue;
+    RawEvent event;
+    event.name = FindString(chunk, "{\"name\":\"");
+    event.tid = static_cast<int>(FindNumber(chunk, "\"tid\":", 0));
+    event.vcpu = static_cast<int>(FindNumber(chunk, "\"vcpu\":", 0));
+    event.a0 = static_cast<uint64_t>(FindNumber(chunk, "\"a0\":", 0));
+    event.a1 = static_cast<uint64_t>(FindNumber(chunk, "\"a1\":", 0));
+    event.ts_ns = static_cast<uint64_t>(
+        std::llround(FindNumber(chunk, "\"ts\":", 0) * 1000.0));
+    if (event.vcpu > max_vcpu) max_vcpu = event.vcpu;
+    // hb_join names both lanes by number, not by the event's vcpu stamp.
+    if (event.name == "hb_join") {
+      max_vcpu = std::max(max_vcpu, static_cast<int>(
+                                        std::max(event.a0, event.a1)));
+    }
+    events.push_back(std::move(event));
+  }
+
+  // Pass 2: replay in trace order. Handles are renumbered on replay, so map
+  // the recorded release handle (a0) to the one this detector hands out.
+  RaceReplayResult result;
+  result.vcpus = max_vcpu + 1;
+  obs::RaceDetector detector;
+  detector.Reset(result.vcpus);
+  detector.SetEnabled(true);
+  std::map<uint64_t, uint64_t> handles;
+  for (const RawEvent& event : events) {
+    ++result.events;
+    if (event.name == "hb_release") {
+      handles[event.a0] = detector.Release(event.vcpu);
+    } else if (event.name == "hb_acquire") {
+      const auto it = handles.find(event.a0);
+      if (it != handles.end()) {
+        detector.Acquire(event.vcpu, it->second);
+        handles.erase(it);
+      }
+    } else if (event.name == "hb_join") {
+      detector.Join(static_cast<int>(event.a0), static_cast<int>(event.a1));
+    } else if (event.name == "hb_barrier") {
+      detector.JoinAll();
+    } else if (event.name == "shared_read" || event.name == "shared_write") {
+      ++result.accesses;
+      const std::optional<obs::RaceReport> race = detector.OnAccess(
+          event.vcpu, /*compartment=*/event.tid - 1, event.a0, event.a1,
+          /*is_write=*/event.name == "shared_write", event.ts_ns);
+      if (race.has_value()) {
+        result.races.push_back(*race);
+      }
+    } else if (event.name == "race") {
+      ++result.recorded_races;
+    }
+  }
+  return result;
+}
+
+std::string RaceReplayToText(const RaceReplayResult& result) {
+  std::string out = StrFormat(
+      "flexrace replay: %d vCPU lane(s), %llu race event(s), %llu shared "
+      "access(es), %llu race(s) found\n",
+      result.vcpus, static_cast<unsigned long long>(result.events),
+      static_cast<unsigned long long>(result.accesses),
+      static_cast<unsigned long long>(result.races.size()));
+  for (const obs::RaceReport& race : result.races) {
+    out += "  ";
+    out += race.ToString();
+    out += '\n';
+  }
+  if (result.recorded_races != result.races.size()) {
+    out += StrFormat(
+        "  note: live run recorded %llu race(s); a mismatch usually means "
+        "the trace is truncated or tracing was off for part of the run\n",
+        static_cast<unsigned long long>(result.recorded_races));
+  }
+  return out;
+}
+
+std::string RaceReplayToJson(const RaceReplayResult& result) {
+  std::string races;
+  for (const obs::RaceReport& race : result.races) {
+    if (!races.empty()) races += ',';
+    races += StrFormat(
+        "{\"addr\":%llu,\"size\":%llu,\"prev\":{\"vcpu\":%d,"
+        "\"compartment\":%d,\"write\":%s,\"ts_ns\":%llu},\"cur\":{"
+        "\"vcpu\":%d,\"compartment\":%d,\"write\":%s,\"ts_ns\":%llu},"
+        "\"report\":\"%s\"}",
+        static_cast<unsigned long long>(race.addr),
+        static_cast<unsigned long long>(race.size), race.prev.vcpu,
+        race.prev.compartment, race.prev.write ? "true" : "false",
+        static_cast<unsigned long long>(race.prev.ts_ns), race.cur.vcpu,
+        race.cur.compartment, race.cur.write ? "true" : "false",
+        static_cast<unsigned long long>(race.cur.ts_ns),
+        obs::JsonEscape(race.ToString()).c_str());
+  }
+  return StrFormat(
+      "{\"vcpus\":%d,\"events\":%llu,\"accesses\":%llu,"
+      "\"recorded_races\":%llu,\"races\":[%s]}",
+      result.vcpus, static_cast<unsigned long long>(result.events),
+      static_cast<unsigned long long>(result.accesses),
+      static_cast<unsigned long long>(result.recorded_races), races.c_str());
+}
+
+}  // namespace analysis
+}  // namespace flexos

@@ -1,0 +1,41 @@
+// flexrace offline side (DESIGN.md §13): replays the cat=race instants of a
+// captured Chrome-format trace (obs::TraceToChromeJson) through a fresh
+// RaceDetector and reports every unordered cross-vCPU pair. Because the
+// live validator and the exporter share one ordered trace buffer, a replay
+// of a fully-traced run reaches the same verdict as the in-situ detector —
+// `flexlint --races trace.json` is the post-mortem entry point.
+#ifndef FLEXOS_ANALYSIS_RACE_REPLAY_H_
+#define FLEXOS_ANALYSIS_RACE_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/race.h"
+#include "support/status.h"
+
+namespace flexos {
+namespace analysis {
+
+struct RaceReplayResult {
+  int vcpus = 1;                       // Lanes seen in the trace.
+  uint64_t events = 0;                 // cat=race instants replayed.
+  uint64_t accesses = 0;               // shared_read/shared_write probes.
+  uint64_t recorded_races = 0;         // "race" instants the live run logged.
+  std::vector<obs::RaceReport> races;  // Races found by this replay.
+};
+
+// Parses `chrome_json` (a TraceToChromeJson document) and replays its race
+// events in trace order. Non-race events are ignored; a document with no
+// race events yields an empty, successful result. Fails only on input that
+// is not a trace document at all.
+Result<RaceReplayResult> ReplayRaces(const std::string& chrome_json);
+
+// Renders a replay result as a human-readable report (one race per line,
+// stable order) or as JSON for tooling.
+std::string RaceReplayToText(const RaceReplayResult& result);
+std::string RaceReplayToJson(const RaceReplayResult& result);
+
+}  // namespace analysis
+}  // namespace flexos
+
+#endif  // FLEXOS_ANALYSIS_RACE_REPLAY_H_

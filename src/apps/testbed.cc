@@ -17,6 +17,7 @@ Testbed::Testbed(const TestbedConfig& config)
   // Before the image build: boundary recorders resolve their per-vCPU
   // counters against this count.
   machine_.SetVCpuCount(config.vcpus);
+  machine_.SetRaceDetection(config.race_detect);
   ImageBuilder builder(machine_);
   Result<std::unique_ptr<Image>> image = builder.Build(config.image);
   FLEXOS_CHECK(image.ok(), "image build failed: %s",

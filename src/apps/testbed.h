@@ -50,6 +50,11 @@ struct TestbedConfig {
   // platform (devices, netstack poll, timers) always runs on vCPU 0, so
   // SMP workloads pin their app shards to spread across cores.
   int app_affinity = -1;
+  // Enables the flexrace happens-before validator (DESIGN.md §13) from
+  // boot. Like `profile`, it observes the model and never charges a clock,
+  // so modeled cycles are bit-identical; an unsynchronized cross-vCPU
+  // shared-region pair raises a kDataRace trap.
+  bool race_detect = false;
 };
 
 // The standard five-library split used by the in-tree experiments.

@@ -111,6 +111,14 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
       } else if (key == "shared_bytes") {
         FLEXOS_ASSIGN_OR_RETURN(config.shared_bytes,
                                 ParseByteSize(value, line_number));
+      } else if (key == "vcpus") {
+        const std::optional<uint64_t> count = ParseU64(value);
+        if (!count.has_value() || *count < 1 ||
+            *count > static_cast<uint64_t>(kMaxVCpus)) {
+          return LineError(line_number,
+                           StrFormat("vcpus must be in [1, %d]", kMaxVCpus));
+        }
+        config.vcpus = static_cast<int>(*count);
       } else {
         return LineError(line_number, "unknown key: " + std::string(key));
       }
@@ -150,6 +158,30 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
       for (size_t i = 1; i < words.size(); ++i) {
         config.restart_hook_libs.insert(std::string(words[i]));
       }
+    } else if (directive == "pin") {
+      // "pin <lib> <vcpu>" — compartment-to-vCPU affinity, by member.
+      if (words.size() != 3) {
+        return LineError(line_number, "pin needs a library and a vcpu id");
+      }
+      const std::optional<uint64_t> vcpu = ParseU64(words[2]);
+      if (!vcpu.has_value() || *vcpu >= static_cast<uint64_t>(kMaxVCpus)) {
+        return LineError(line_number,
+                         "bad pin vcpu: " + std::string(words[2]));
+      }
+      const std::string lib(words[1]);
+      const auto [it, inserted] =
+          config.pins.emplace(lib, static_cast<int>(*vcpu));
+      if (!inserted && it->second != static_cast<int>(*vcpu)) {
+        return LineError(line_number,
+                         "conflicting pin for library: " + lib);
+      }
+    } else if (directive == "reentrant") {
+      if (words.size() < 2) {
+        return LineError(line_number, "reentrant needs library names");
+      }
+      for (size_t i = 1; i < words.size(); ++i) {
+        config.reentrant_libs.insert(std::string(words[i]));
+      }
     } else if (directive == "api") {
       // "api <lib> <func>..." — CFI entry points.
       if (words.size() < 3) {
@@ -168,6 +200,45 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
   if (config.compartments.empty()) {
     return Status(ErrorCode::kInvalidArgument,
                   "config declares no compartments");
+  }
+  for (const auto& [lib, vcpu] : config.pins) {
+    if (vcpu >= config.vcpus) {
+      return Status(ErrorCode::kInvalidArgument,
+                    StrFormat("pin %s %d exceeds vcpus = %d", lib.c_str(),
+                              vcpu, config.vcpus));
+    }
+    bool member = false;
+    for (const auto& group : config.compartments) {
+      for (const std::string& name : group) {
+        if (name == lib) {
+          member = true;
+        }
+      }
+    }
+    if (!member) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "pin names a library in no compartment: " + lib);
+    }
+  }
+  // A compartment is the placement unit: all of its pinned members must
+  // agree on the vCPU.
+  for (const auto& group : config.compartments) {
+    int pinned = -1;
+    std::string pinned_lib;
+    for (const std::string& lib : group) {
+      const auto it = config.pins.find(lib);
+      if (it == config.pins.end()) {
+        continue;
+      }
+      if (pinned >= 0 && it->second != pinned) {
+        return Status(
+            ErrorCode::kInvalidArgument,
+            StrFormat("compartment pins disagree: %s -> %d but %s -> %d",
+                      pinned_lib.c_str(), pinned, lib.c_str(), it->second));
+      }
+      pinned = it->second;
+      pinned_lib = lib;
+    }
   }
   if (!backend_set && config.compartments.size() > 1) {
     return Status(ErrorCode::kInvalidArgument,
@@ -251,6 +322,20 @@ std::string ImageConfigToString(const ImageConfig& config) {
   if (!config.restart_hook_libs.empty()) {
     out += "restart_hook";
     for (const std::string& lib : config.restart_hook_libs) {
+      out += ' ';
+      out += lib;
+    }
+    out += '\n';
+  }
+  if (config.vcpus != 1) {
+    out += StrFormat("vcpus = %d\n", config.vcpus);
+  }
+  for (const auto& [lib, vcpu] : config.pins) {
+    out += StrFormat("pin %s %d\n", lib.c_str(), vcpu);
+  }
+  if (!config.reentrant_libs.empty()) {
+    out += "reentrant";
+    for (const std::string& lib : config.reentrant_libs) {
       out += ' ';
       out += lib;
     }

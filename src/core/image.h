@@ -70,6 +70,7 @@ class Image final : public GateRouter {
   Image& operator=(const Image&) = delete;
 
   Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
   IsolationBackend backend() const { return backend_; }
 
   // --- GateRouter --------------------------------------------------------

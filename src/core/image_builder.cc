@@ -157,6 +157,15 @@ Result<std::unique_ptr<Image>> ImageBuilder::Build(const ImageConfig& config) {
                       .WithAccess(key, true, true);
       comp.exec.pkru = pkru;
     }
+    // Compartment-to-vCPU affinity: the parser guarantees all pinned
+    // members of a compartment agree, so the first pinned member decides.
+    for (const std::string& lib : comp.libs) {
+      const auto pin = config.pins.find(lib);
+      if (pin != config.pins.end()) {
+        machine_.SetCompartmentAffinity(c, pin->second);
+        break;
+      }
+    }
     image->comps_.push_back(comp);
   }
 

@@ -63,6 +63,21 @@ struct ImageConfig {
   // cohabits libraries whose builtin metadata fails SatisfiesRequires,
   // with the concrete violated clauses in the error message.
   bool strict_compat = false;
+
+  // "vcpus = N": how many vCPUs the image expects to run across. Purely
+  // declarative for the builder (the testbed sizes the machine); flexlint's
+  // SMP rules (FL010-FL014) key off it.
+  int vcpus = 1;
+
+  // "pin <lib> <vcpu>": library-to-vCPU affinity. All libraries of one
+  // compartment must agree (a compartment is the placement unit); the
+  // builder forwards the pin to Machine::SetCompartmentAffinity so vm-rpc
+  // crossings into the compartment model a cross-core IPI.
+  std::map<std::string, int> pins;
+
+  // "reentrant <lib>...": config-level override of the [Reentrant] metadata
+  // flag, for deployments that wrap a library in their own locking.
+  std::set<std::string> reentrant_libs;
 };
 
 // Convenience: the standard micro-library split used by the in-tree

@@ -228,6 +228,13 @@ Result<LibraryMeta> ParseLibraryMeta(const std::string& name,
       status = ParseApi(body, &meta.api);
     } else if (section.title == "Requires") {
       status = ParseRequires(body, &meta.requires_spec);
+    } else if (section.title == "Reentrant") {
+      // Flag section; an (ignored) body reads as author commentary.
+      meta.reentrant = true;
+    } else if (section.title == "Device") {
+      for (std::string_view item : SplitTopLevel(body, ',')) {
+        meta.devices.insert(std::string(item));
+      }
     } else {
       status = Status(ErrorCode::kInvalidArgument,
                       "unknown section [" + section.title + "]");
@@ -303,6 +310,14 @@ std::string LibraryMeta::ToString() const {
     }
     out += "[Requires] " + JoinStrings(clauses, ", ") + "\n";
   }
+  // [Reentrant] / [Device]
+  if (reentrant) {
+    out += "[Reentrant]\n";
+  }
+  if (!devices.empty()) {
+    std::vector<std::string> names(devices.begin(), devices.end());
+    out += "[Device] " + JoinStrings(names, ", ") + "\n";
+  }
   return out;
 }
 
@@ -336,7 +351,8 @@ LibraryMeta NetStackMeta() {
       "[Memory access] Read(Own,Shared); Write(*)\n"
       "[Call] libc::memcpy, libc::sem_wait, libc::sem_signal, "
       "alloc::malloc, alloc::free\n"
-      "[API] listen(...); accept(...); send(...); recv(...); close(...)");
+      "[API] listen(...); accept(...); send(...); recv(...); close(...)\n"
+      "[Device] nic, timer");
   FLEXOS_CHECK(meta.ok(), "builtin net metadata failed to parse: %s",
                meta.status().ToString().c_str());
   return meta.value();
@@ -419,6 +435,20 @@ std::optional<LibraryMeta> BuiltinLibraryMeta(std::string_view name) {
   }
   if (name == "app") {
     return AppMeta("app");
+  }
+  // appN (app1, app2, ...): replicated application instances, e.g. the
+  // per-vCPU workers of an SMP image. Same worst-case behavior as "app".
+  if (name.size() > 3 && name.substr(0, 3) == "app") {
+    bool digits = true;
+    for (const char c : name.substr(3)) {
+      if (c < '0' || c > '9') {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) {
+      return AppMeta(std::string(name));
+    }
   }
   return std::nullopt;
 }

@@ -68,6 +68,14 @@ struct LibraryMeta {
   LibBehavior behavior;
   std::vector<ApiFunc> api;
   LibRequires requires_spec;
+  // [Reentrant]: the library's API tolerates concurrent activation from
+  // more than one vCPU (internally synchronized or stateless). Absent means
+  // the author promises nothing — flexlint FL012 flags cross-vCPU callers.
+  bool reentrant = false;
+  // [Device] <name>, ...: hardware the library programs directly (nic,
+  // timer, ...). Devices live on the boot vCPU in this model; flexlint
+  // FL014 flags device libraries pinned elsewhere.
+  std::set<std::string> devices;
 
   // Serializes back to the paper's concrete syntax (round-trips Parse).
   std::string ToString() const;

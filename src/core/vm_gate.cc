@@ -23,7 +23,7 @@ GateSession VmRpcGate::EnterImpl(Machine& machine,
     const int target_vcpu =
         machine.CompartmentAffinityOf(crossing.target_context->compartment);
     if (target_vcpu >= 0 && target_vcpu != machine.current_vcpu()) {
-      machine.ChargeIpi();
+      machine.ChargeIpi(target_vcpu);
     }
   }
   machine.context() = *crossing.target_context;
@@ -43,7 +43,7 @@ void VmRpcGate::ExitImpl(Machine& machine, const GateCrossing& crossing,
     const int caller_vcpu =
         machine.CompartmentAffinityOf(session.caller.compartment);
     if (caller_vcpu >= 0 && caller_vcpu != machine.current_vcpu()) {
-      machine.ChargeIpi();
+      machine.ChargeIpi(caller_vcpu);
     }
   }
   machine.context() = session.caller;

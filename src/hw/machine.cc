@@ -1,5 +1,7 @@
 #include "hw/machine.h"
 
+#include "hw/trap.h"
+
 namespace flexos {
 
 Machine::Machine(uint64_t freq_hz, CostModel costs) : costs_(costs) {
@@ -42,6 +44,13 @@ void Machine::SwitchVCpu(int v) {
 
 void Machine::AdvanceAllClocksTo(uint64_t cycles) {
   for (int v = 0; v < vcpu_count_; ++v) vcpus_[v].clock.AdvanceTo(cycles);
+  if (race_.enabled()) {
+    // The whole machine slept until the next device event: every vCPU was
+    // out of runnable work, so this is a modeled quiescent point — a
+    // barrier join across all lanes (DESIGN.md §13).
+    race_.JoinAll();
+    tracer_.RecordInstant(obs::TraceCat::kRace, "hb_barrier", /*tid=*/0);
+  }
 }
 
 uint64_t Machine::max_cycles() const {
@@ -61,9 +70,62 @@ int Machine::CompartmentAffinityOf(int compartment) const {
   return it == compartment_affinity_.end() ? -1 : it->second;
 }
 
-void Machine::ChargeIpi() {
+void Machine::ChargeIpi(int target_vcpu) {
   clock().Charge(costs_.ipi);
   ++stats_.ipi_count;
+  if (target_vcpu >= 0) {
+    RaceJoin(current_vcpu_, target_vcpu);
+  }
+}
+
+void Machine::SetRaceDetection(bool on) {
+  if (on) {
+    race_.Reset(vcpu_count_);
+  }
+  race_.SetEnabled(on);
+}
+
+uint64_t Machine::RaceRelease() {
+  if (!race_.enabled()) return 0;
+  const uint64_t handle = race_.Release(current_vcpu_);
+  tracer_.RecordInstant(obs::TraceCat::kRace, "hb_release", /*tid=*/0,
+                        /*a0=*/handle);
+  return handle;
+}
+
+void Machine::RaceAcquire(uint64_t handle) {
+  if (!race_.enabled() || handle == 0) return;
+  race_.Acquire(current_vcpu_, handle);
+  tracer_.RecordInstant(obs::TraceCat::kRace, "hb_acquire", /*tid=*/0,
+                        /*a0=*/handle);
+}
+
+void Machine::RaceJoin(int from, int to) {
+  if (!race_.enabled() || from == to) return;
+  race_.Join(from, to);
+  tracer_.RecordInstant(obs::TraceCat::kRace, "hb_join", /*tid=*/0,
+                        /*a0=*/static_cast<uint64_t>(from),
+                        /*a1=*/static_cast<uint64_t>(to));
+}
+
+void Machine::ProbeSharedAccess(uint64_t gaddr, uint64_t size,
+                                bool is_write) {
+  if (!race_.enabled()) return;
+  const int compartment = context().compartment;
+  tracer_.RecordInstant(obs::TraceCat::kRace,
+                        is_write ? "shared_write" : "shared_read",
+                        /*tid=*/compartment + 1, /*a0=*/gaddr, /*a1=*/size);
+  const std::optional<obs::RaceReport> race = race_.OnAccess(
+      current_vcpu_, compartment, gaddr, size, is_write, clock().NowNanos());
+  if (!race.has_value()) return;
+  tracer_.RecordInstant(obs::TraceCat::kRace, "race", /*tid=*/compartment + 1,
+                        /*a0=*/gaddr, /*a1=*/size);
+  RaiseTrap(TrapInfo{.kind = TrapKind::kDataRace,
+                     .access = is_write ? AccessKind::kWrite : AccessKind::kRead,
+                     .guest_addr = gaddr,
+                     .pkey = 0,
+                     .pkru = context().pkru.raw(),
+                     .detail = race->ToString()});
 }
 
 void Machine::SyncAttribution() {

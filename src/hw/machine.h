@@ -15,6 +15,7 @@
 #include "hw/pkru.h"
 #include "obs/attrib.h"
 #include "obs/metrics.h"
+#include "obs/race.h"
 #include "obs/trace.h"
 #include "obs/vcpu.h"
 
@@ -100,7 +101,32 @@ class Machine {
   int CompartmentAffinityOf(int compartment) const;
 
   // Charges the cross-vCPU notification cost on the current vCPU's clock.
-  void ChargeIpi();
+  // When `target_vcpu` >= 0 the IPI is also a happens-before edge from the
+  // current vCPU into the target lane (flexrace, DESIGN.md §13).
+  void ChargeIpi(int target_vcpu = -1);
+
+  // --- flexrace runtime validator (DESIGN.md §13) ------------------------
+  // Debug-mode happens-before race detection over per-vCPU lanes, in the
+  // mold of Image::EnableDispatchValidation: off by default, observes the
+  // model without charging any clock, and turns an unsynchronized
+  // cross-vCPU shared-region pair into a deterministic kDataRace trap.
+  void SetRaceDetection(bool on);
+  bool race_detection() const { return race_.enabled(); }
+  obs::RaceDetector& race() { return race_; }
+  const obs::RaceDetector& race() const { return race_; }
+
+  // Happens-before edges, forwarded to the detector and (when tracing is
+  // on) recorded as cat=race instants so `flexlint --races` can replay the
+  // trace offline to the same verdict. All no-ops while detection is off.
+  uint64_t RaceRelease();             // Snapshot the current lane.
+  void RaceAcquire(uint64_t handle);  // Join a snapshot into the current lane.
+  void RaceJoin(int from, int to);    // Synchronous edge (IPI).
+
+  // Probes one shared-region (key 0) access on the current vCPU. Raises a
+  // TrapKind::kDataRace trap when the access is unordered with a prior
+  // access from another lane; the trap detail carries both access stamps
+  // and the compartments involved.
+  void ProbeSharedAccess(uint64_t gaddr, uint64_t size, bool is_write);
 
   // Flushes attribution on every vCPU lane up to its own clock; call before
   // reading attrib() totals on a multi-vCPU machine.
@@ -162,6 +188,7 @@ class Machine {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   obs::Attributor attrib_;
+  obs::RaceDetector race_;
   fault::FaultInjector injector_;
 };
 

@@ -23,6 +23,8 @@ std::string_view TrapKindName(TrapKind kind) {
       return "UBSAN_VIOLATION";
     case TrapKind::kRpcTimeout:
       return "RPC_TIMEOUT";
+    case TrapKind::kDataRace:
+      return "DATA_RACE";
   }
   return "UNKNOWN_TRAP";
 }

@@ -22,12 +22,13 @@ enum class TrapKind : uint8_t {
   kContractViolation,  // Verified-scheduler pre/post-condition failure.
   kUbsanViolation,     // Modeled undefined-behavior check failure.
   kRpcTimeout,         // VM-RPC crossing exceeded its deadline (fault/).
+  kDataRace,           // flexrace validator: unsynchronized cross-vCPU pair.
 };
 
 // Number of TrapKind values; keep in sync with the enum (the taxonomy
 // round-trip test walks [0, kNumTrapKinds)).
 inline constexpr int kNumTrapKinds =
-    static_cast<int>(TrapKind::kRpcTimeout) + 1;
+    static_cast<int>(TrapKind::kDataRace) + 1;
 
 std::string_view TrapKindName(TrapKind kind);
 

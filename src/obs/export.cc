@@ -40,6 +40,8 @@ const char* CategoryName(TraceCat cat) {
       return "log";
     case TraceCat::kFault:
       return "fault";
+    case TraceCat::kRace:
+      return "race";
   }
   return "other";
 }

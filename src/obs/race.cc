@@ -1,0 +1,145 @@
+#include "obs/race.h"
+
+#include <cstdio>
+
+namespace flexos {
+namespace obs {
+
+namespace {
+
+const char* AccessWord(bool write) { return write ? "write" : "read"; }
+
+}  // namespace
+
+std::string RaceReport::ToString() const {
+  // snprintf, not support/strings.h: the obs layer sits below support.
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "data race on shared gaddr=0x%llx (%llu bytes): %s by comp%d on "
+      "vCPU%d @%lluns is unordered with %s by comp%d on vCPU%d @%lluns",
+      static_cast<unsigned long long>(addr),
+      static_cast<unsigned long long>(size), AccessWord(cur.write),
+      cur.compartment, cur.vcpu,
+      static_cast<unsigned long long>(cur.ts_ns), AccessWord(prev.write),
+      prev.compartment, prev.vcpu,
+      static_cast<unsigned long long>(prev.ts_ns));
+  return buf;
+}
+
+void RaceDetector::Reset(int vcpus) {
+  if (vcpus < 1) vcpus = 1;
+  if (vcpus > kMaxVCpus) vcpus = kMaxVCpus;
+  vcpus_ = vcpus;
+  for (VectorClock& clock : clocks_) clock.fill(0);
+  // Lane epochs start at 1 so epoch 0 can mean "no recorded access".
+  for (int v = 0; v < kMaxVCpus; ++v) clocks_[v][v] = 1;
+  shadow_.clear();
+  released_.clear();
+  next_handle_ = 1;
+  races_found_ = 0;
+  accesses_checked_ = 0;
+  hb_edges_ = 0;
+  last_race_.reset();
+}
+
+uint64_t RaceDetector::Release(int vcpu) {
+  if (!enabled_ || vcpu < 0 || vcpu >= vcpus_) return 0;
+  const uint64_t handle = next_handle_++;
+  released_[handle] = clocks_[vcpu];
+  // Tick past the snapshot: accesses after the release are not covered by
+  // this edge.
+  ++clocks_[vcpu][vcpu];
+  ++hb_edges_;
+  return handle;
+}
+
+void RaceDetector::Acquire(int vcpu, uint64_t handle) {
+  if (!enabled_ || handle == 0 || vcpu < 0 || vcpu >= vcpus_) return;
+  const auto it = released_.find(handle);
+  if (it == released_.end()) return;
+  VectorClock& mine = clocks_[vcpu];
+  for (int v = 0; v < kMaxVCpus; ++v) {
+    if (it->second[v] > mine[v]) mine[v] = it->second[v];
+  }
+  released_.erase(it);
+}
+
+void RaceDetector::Join(int from, int to) {
+  if (!enabled_ || from == to || from < 0 || to < 0 || from >= vcpus_ ||
+      to >= vcpus_) {
+    return;
+  }
+  VectorClock& dst = clocks_[to];
+  for (int v = 0; v < kMaxVCpus; ++v) {
+    if (clocks_[from][v] > dst[v]) dst[v] = clocks_[from][v];
+  }
+  ++clocks_[from][from];
+  ++hb_edges_;
+}
+
+void RaceDetector::JoinAll() {
+  if (!enabled_) return;
+  VectorClock merged{};
+  for (int v = 0; v < vcpus_; ++v) {
+    for (int u = 0; u < kMaxVCpus; ++u) {
+      if (clocks_[v][u] > merged[u]) merged[u] = clocks_[v][u];
+    }
+  }
+  for (int v = 0; v < vcpus_; ++v) {
+    clocks_[v] = merged;
+    ++clocks_[v][v];
+  }
+  ++hb_edges_;
+}
+
+std::optional<RaceReport> RaceDetector::OnAccess(int vcpu, int compartment,
+                                                uint64_t addr, uint64_t size,
+                                                bool is_write,
+                                                uint64_t ts_ns) {
+  if (!enabled_ || size == 0 || vcpu < 0 || vcpu >= vcpus_) {
+    return std::nullopt;
+  }
+  ++accesses_checked_;
+  RaceAccess cur;
+  cur.vcpu = vcpu;
+  cur.compartment = compartment;
+  cur.epoch = clocks_[vcpu][vcpu];
+  cur.ts_ns = ts_ns;
+  cur.write = is_write;
+
+  std::optional<RaceReport> found;
+  const uint64_t first = addr / kRaceGranule;
+  const uint64_t last = (addr + size - 1) / kRaceGranule;
+  for (uint64_t granule = first; granule <= last; ++granule) {
+    Shadow& shadow = shadow_[granule];
+    const RaceAccess& write = shadow.write;
+    if (!found.has_value() && write.epoch != 0 && write.vcpu != vcpu &&
+        !Ordered(vcpu, write)) {
+      found = RaceReport{addr, size, write, cur};
+    }
+    if (is_write) {
+      if (!found.has_value()) {
+        for (int v = 0; v < vcpus_; ++v) {
+          const RaceAccess& read = shadow.reads[v];
+          if (read.epoch != 0 && v != vcpu && !Ordered(vcpu, read)) {
+            found = RaceReport{addr, size, read, cur};
+            break;
+          }
+        }
+      }
+      shadow.write = cur;
+      shadow.reads.fill(RaceAccess{});
+    } else {
+      shadow.reads[vcpu] = cur;
+    }
+  }
+  if (found.has_value()) {
+    ++races_found_;
+    last_race_ = found;
+  }
+  return found;
+}
+
+}  // namespace obs
+}  // namespace flexos

@@ -43,6 +43,7 @@ enum class TraceCat : uint8_t {
   kNet = 3,
   kLog = 4,
   kFault = 5,
+  kRace = 6,  // flexrace HB edges + shared-region access probes (obs/race.h).
 };
 
 // Subset of Chrome trace-event phases we emit. Spans are always recorded as

@@ -15,6 +15,17 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define FLEXOS_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FLEXOS_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef FLEXOS_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace flexos {
 
 void CoopScheduler::StartFiberSwitch(const void* dest_bottom,
@@ -42,6 +53,39 @@ void CoopScheduler::FinishFiberSwitch(const void** source_bottom,
 #else
   (void)source_bottom;
   (void)source_size;
+#endif
+}
+
+void CoopScheduler::TsanSwitchToThread(Thread* thread) {
+#ifdef FLEXOS_TSAN_FIBERS
+  if (thread->tsan_fiber_ == nullptr) {
+    thread->tsan_fiber_ = __tsan_create_fiber(0);
+  }
+  if (tsan_run_loop_fiber_ == nullptr) {
+    tsan_run_loop_fiber_ = __tsan_get_current_fiber();
+  }
+  __tsan_switch_to_fiber(thread->tsan_fiber_, 0);
+#else
+  (void)thread;
+#endif
+}
+
+void CoopScheduler::TsanSwitchToRunLoop() {
+#ifdef FLEXOS_TSAN_FIBERS
+  if (tsan_run_loop_fiber_ != nullptr) {
+    __tsan_switch_to_fiber(tsan_run_loop_fiber_, 0);
+  }
+#endif
+}
+
+void CoopScheduler::TsanDestroyThreadFiber(Thread* thread) {
+#ifdef FLEXOS_TSAN_FIBERS
+  if (thread->tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(thread->tsan_fiber_);
+    thread->tsan_fiber_ = nullptr;
+  }
+#else
+  (void)thread;
 #endif
 }
 
@@ -119,6 +163,11 @@ int CoopScheduler::QueueOf(const Thread* thread) const {
 void CoopScheduler::EnqueueReady(Thread* thread) {
   thread->state_ = ThreadState::kReady;
   thread->ready_since_cycles_ = machine_.clock().cycles();
+  // flexrace: snapshot the enqueuer's lane *now*. The switch-in acquires
+  // this snapshot, giving wake-up its happens-before edge without pulling in
+  // anything the waker does after the enqueue (no-op while detection is
+  // off).
+  thread->hb_ready_handle_ = machine_.RaceRelease();
   ready_queues_[QueueOf(thread)].PushBack(thread);
 }
 
@@ -207,6 +256,13 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
     machine_.Wrpkru(thread->exec_context_.pkru);
   }
   thread->last_ran_vcpu_ = machine_.current_vcpu();
+  // flexrace: join the waker's snapshot (wake-up edge) and the thread's own
+  // switch-out snapshot (program order across a migration) into the lane
+  // about to run it. Both are no-ops while detection is off.
+  machine_.RaceAcquire(thread->hb_ready_handle_);
+  thread->hb_ready_handle_ = 0;
+  machine_.RaceAcquire(thread->hb_migrate_handle_);
+  thread->hb_migrate_handle_ = 0;
   if (machine_.injector().armed(fault::FaultSite::kSchedActivate)) {
     // Models a preemption/interrupt storm stalling this activation.
     const std::optional<fault::FaultDecision> decision = machine_.injector().Check(
@@ -241,9 +297,13 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
   }
   StartFiberSwitch(thread->host_stack_.get(), Thread::kHostStackSize,
                    /*destroying_source=*/false);
+  TsanSwitchToThread(thread);
   FLEXOS_CHECK(swapcontext(&run_loop_context_, &thread->context_) == 0,
                "swapcontext into thread failed");
   FinishFiberSwitch(nullptr, nullptr);
+  // flexrace: the thread just left this lane; snapshot its program order so
+  // a resume on a different vCPU carries it along (self-edge).
+  thread->hb_migrate_handle_ = machine_.RaceRelease();
   thread->exec_context_ = machine_.context();
   machine_.context() = run_loop_context;
   current_ = nullptr;
@@ -272,6 +332,7 @@ void CoopScheduler::SwitchToRunLoop(SwitchReason reason) {
   pending_reason_ = reason;
   StartFiberSwitch(run_loop_stack_bottom_, run_loop_stack_size_,
                    /*destroying_source=*/reason == SwitchReason::kExit);
+  TsanSwitchToRunLoop();
   FLEXOS_CHECK(swapcontext(&thread->context_, &run_loop_context_) == 0,
                "swapcontext to run loop failed");
   // Resumed (the thread was rescheduled): complete the switch back in.
@@ -377,6 +438,7 @@ Status CoopScheduler::Run() {
         break;
       case SwitchReason::kExit:
         next->state_ = ThreadState::kExited;
+        TsanDestroyThreadFiber(next);
         break;
     }
   }

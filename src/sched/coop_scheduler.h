@@ -96,6 +96,14 @@ class CoopScheduler : public Scheduler {
                         bool destroying_source);
   void FinishFiberSwitch(const void** source_bottom, size_t* source_size);
 
+  // TSan fiber annotations (no-ops outside -fsanitize=thread builds): TSan
+  // models each ucontext stack as a fiber, so every swapcontext must be
+  // bracketed by a __tsan_switch_to_fiber or TSan reports false races
+  // between frames of unrelated fibers.
+  void TsanSwitchToThread(Thread* thread);
+  void TsanSwitchToRunLoop();
+  void TsanDestroyThreadFiber(Thread* thread);
+
   Machine& machine_;
   // Registry-resolved metrics (obs/names.h): context-switch counter and
   // run-slice length histogram, recorded per SwitchTo.
@@ -121,6 +129,9 @@ class CoopScheduler : public Scheduler {
   void* fiber_fake_stack_ = nullptr;
   const void* run_loop_stack_bottom_ = nullptr;
   size_t run_loop_stack_size_ = 0;
+  // TSan fiber handle of the run loop's native stack (captured lazily on the
+  // first switch into a thread; null outside TSan builds).
+  void* tsan_run_loop_fiber_ = nullptr;
 
   // makecontext(3) passes only ints; the trampoline recovers the scheduler
   // through this (single-CPU simulator, so one active scheduler at a time).

@@ -81,6 +81,15 @@ class Thread {
   // running under; saved on switch-out, restored on switch-in so protection
   // state is per-thread, as on real hardware.
   ExecContext exec_context_;
+  // flexrace happens-before snapshots (Machine::RaceRelease handles, 0 =
+  // none). `hb_ready_handle_` carries the waker's clock from EnqueueReady to
+  // the switch-in; `hb_migrate_handle_` carries the thread's own program
+  // order across a switch-out so a resume on another vCPU stays ordered.
+  uint64_t hb_ready_handle_ = 0;
+  uint64_t hb_migrate_handle_ = 0;
+  // TSan fiber handle for this thread's ucontext stack (thread-sanitizer
+  // builds only; null otherwise).
+  void* tsan_fiber_ = nullptr;
 
   ListNode run_node_;   // Run-queue linkage.
   ListNode wait_node_;  // Wait-queue linkage.

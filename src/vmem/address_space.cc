@@ -242,6 +242,17 @@ void AddressSpace::ForEachChunk(Gaddr addr, uint64_t size, AccessKind access,
     if (mode == CheckMode::kChecked && machine_.context().shadow_checks) {
       CheckShadow(page, current, in_page_off, span, access);
     }
+    if (mode == CheckMode::kChecked && machine_.race_detection() &&
+        access != AccessKind::kExecute) {
+      // flexrace probe: key-0 pages are the shared region — the only memory
+      // visible from more than one compartment (and hence more than one
+      // vCPU). Immutable pages cannot race.
+      const PageEntry& entry = pages_[current / kPageSize];
+      if (entry.key == 0 && entry.writable) {
+        machine_.ProbeSharedAccess(current, span,
+                                   access == AccessKind::kWrite);
+      }
+    }
     fn(page, in_page_off, span, done);
     done += span;
   }

@@ -94,6 +94,70 @@ TEST(ConfigParser, RoundTripsThroughToString) {
             original->heap_bytes_per_compartment);
 }
 
+TEST(ConfigParser, ParsesSmpDirectives) {
+  Result<ImageConfig> config = ParseImageConfig(
+      "backend = mpk-shared\n"
+      "vcpus = 2\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "pin net 0\n"
+      "pin app 1\n"
+      "reentrant net sched\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->vcpus, 2);
+  EXPECT_EQ(config->pins.at("net"), 0);
+  EXPECT_EQ(config->pins.at("app"), 1);
+  EXPECT_EQ(config->reentrant_libs,
+            (std::set<std::string>{"net", "sched"}));
+}
+
+TEST(ConfigParser, SmpDirectivesRoundTripThroughToString) {
+  Result<ImageConfig> original = ParseImageConfig(
+      "backend = mpk-shared\n"
+      "vcpus = 4\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "pin net 0\n"
+      "pin app 3\n"
+      "reentrant net\n");
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  Result<ImageConfig> reparsed =
+      ParseImageConfig(ImageConfigToString(original.value()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->vcpus, original->vcpus);
+  EXPECT_EQ(reparsed->pins, original->pins);
+  EXPECT_EQ(reparsed->reentrant_libs, original->reentrant_libs);
+  // The single-vCPU default is the quiet one: no directive emitted.
+  ImageConfig single;
+  single.compartments = {{"app"}};
+  EXPECT_EQ(ImageConfigToString(single).find("vcpus"), std::string::npos);
+}
+
+TEST(ConfigParser, RejectsBadSmpDirectives) {
+  const char* kBase =
+      "backend = mpk-shared\ncompartment net\ncompartment app sched libc "
+      "alloc\n";
+  // vcpus out of the supported range.
+  EXPECT_FALSE(ParseImageConfig(std::string(kBase) + "vcpus = 0\n").ok());
+  EXPECT_FALSE(ParseImageConfig(std::string(kBase) + "vcpus = 99\n").ok());
+  // Pin targets a vCPU the machine does not have.
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "vcpus = 2\npin net 2\n").ok());
+  // Pin names a library that is not placed anywhere.
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "vcpus = 2\npin ghost 0\n").ok());
+  // Conflicting duplicate pins for one library.
+  EXPECT_FALSE(ParseImageConfig(std::string(kBase) +
+                                "vcpus = 2\npin net 0\npin net 1\n")
+                   .ok());
+  // Cohabiting libraries pinned to different vCPUs cannot both be honored.
+  EXPECT_FALSE(ParseImageConfig(std::string(kBase) +
+                                "vcpus = 2\npin app 0\npin sched 1\n")
+                   .ok());
+  // Malformed pin arity.
+  EXPECT_FALSE(ParseImageConfig(std::string(kBase) + "pin net\n").ok());
+}
+
 TEST(ConfigParser, ParsedConfigBuildsAnImage) {
   Result<ImageConfig> config = ParseImageConfig(
       "backend = mpk-shared\n"

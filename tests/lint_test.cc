@@ -227,6 +227,171 @@ TEST(LintRules, FL008FlagsRedundantCallLists) {
             0u);
 }
 
+// --- FL010: differently-pinned writers with no isolating boundary --------
+
+ImageConfig PinnedPair(IsolationBackend backend, int app_pin, int net_pin) {
+  ImageConfig config;
+  config.backend = backend;
+  config.compartments = {{"app"}, {"net"}};
+  config.vcpus = 2;
+  config.pins = {{"app", app_pin}, {"net", net_pin}};
+  return config;
+}
+
+TEST(LintSmpRules, FL010FlagsUnisolatedCrossVcpuSharedWriters) {
+  const LintReport report =
+      LintConfig(PinnedPair(IsolationBackend::kNone, 0, 1));
+  EXPECT_EQ(report.CountForRule(kRuleSharedVcpuRace), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  // Passing fixtures: same vCPU, a real backend, or a single-vCPU machine.
+  EXPECT_EQ(LintConfig(PinnedPair(IsolationBackend::kNone, 0, 0))
+                .CountForRule(kRuleSharedVcpuRace),
+            0u);
+  EXPECT_EQ(LintConfig(PinnedPair(IsolationBackend::kMpkSharedStack, 0, 1))
+                .CountForRule(kRuleSharedVcpuRace),
+            0u);
+  ImageConfig single = PinnedPair(IsolationBackend::kNone, 0, 0);
+  single.vcpus = 1;
+  single.pins.clear();
+  EXPECT_EQ(LintConfig(single).CountForRule(kRuleSharedVcpuRace), 0u);
+}
+
+// --- FL011: vm-replicated state reached from differently-pinned vCPUs ----
+
+ImageConfig ShardedVmConfig(int app2_pin) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kVmRpc;
+  config.compartments = {
+      {"app1"}, {"app2"}, {"net"}, {"sched", "libc", "alloc"}};
+  config.vcpus = 2;
+  config.pins = {{"app1", 0}, {"app2", app2_pin}};
+  return config;
+}
+
+TEST(LintSmpRules, FL011FlagsReplicatedStateSpanningVcpus) {
+  const LintReport report = LintConfig(ShardedVmConfig(/*app2_pin=*/1));
+  // Both app shards call into the replicated libc and alloc copies.
+  EXPECT_EQ(report.CountForRule(kRuleVmStateDivergence), 2u);
+  EXPECT_TRUE(report.HasErrors());
+
+  EXPECT_EQ(LintConfig(ShardedVmConfig(/*app2_pin=*/0))
+                .CountForRule(kRuleVmStateDivergence),
+            0u);
+}
+
+// --- FL012: concurrently-entered library without declared reentrancy -----
+
+ImageConfig ShardedMpkConfig() {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"app1"}, {"app2"}, {"net"}};
+  config.vcpus = 2;
+  config.pins = {{"app1", 0}, {"app2", 1}};
+  return config;
+}
+
+TEST(LintSmpRules, FL012FlagsConcurrentlyCallableNonReentrantLibs) {
+  const LintReport report = LintConfig(ShardedMpkConfig());
+  EXPECT_EQ(report.CountForRule(kRuleNonReentrant), 1u);
+  EXPECT_TRUE(report.HasErrors());
+  bool named_net = false;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    named_net = named_net || (d.rule == kRuleNonReentrant && d.entity == "net");
+  }
+  EXPECT_TRUE(named_net);
+
+  // The config-level reentrancy declaration silences it.
+  ImageConfig declared = ShardedMpkConfig();
+  declared.reentrant_libs = {"net"};
+  EXPECT_EQ(LintConfig(declared).CountForRule(kRuleNonReentrant), 0u);
+}
+
+TEST(LintSmpRules, FL012TreatsUnpinnedCallersAsWildcards) {
+  // An unpinned caller can be scheduled on any vCPU, so on a multi-vCPU
+  // machine it alone makes the callee concurrently reachable.
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {{"app"}, {"net"}};
+  config.vcpus = 2;
+  EXPECT_GE(LintConfig(config).CountForRule(kRuleNonReentrant), 1u);
+  config.vcpus = 1;
+  EXPECT_EQ(LintConfig(config).CountForRule(kRuleNonReentrant), 0u);
+}
+
+// --- FL013: per-core MPK key demand ---------------------------------------
+
+ImageConfig ManyCompartments(bool split) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.vcpus = 2;
+  config.compartments = {{"net"}};
+  config.pins["net"] = 0;
+  config.reentrant_libs = {"net"};
+  for (int i = 1; i <= 16; ++i) {
+    const std::string lib = "app" + std::to_string(i);
+    config.compartments.push_back({lib});
+    config.pins[lib] = (split && i > 7) ? 1 : 0;
+  }
+  return config;
+}
+
+TEST(LintSmpRules, FL013FlagsPerCoreKeyOverflow) {
+  const LintReport report = LintConfig(ManyCompartments(/*split=*/false));
+  EXPECT_EQ(report.CountForRule(kRuleKeyBudget), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  EXPECT_EQ(LintConfig(ManyCompartments(/*split=*/true))
+                .CountForRule(kRuleKeyBudget),
+            0u);
+}
+
+// --- FL014: device-owning compartment pinned off the boot vCPU -----------
+
+TEST(LintSmpRules, FL014FlagsDeviceLibsPinnedOffVcpuZero) {
+  const LintReport report =
+      LintConfig(PinnedPair(IsolationBackend::kMpkSharedStack, 0, 1));
+  EXPECT_EQ(report.CountForRule(kRuleDeviceAffinity), 1u);
+  EXPECT_TRUE(report.HasErrors());
+
+  EXPECT_EQ(LintConfig(PinnedPair(IsolationBackend::kMpkSharedStack, 0, 0))
+                .CountForRule(kRuleDeviceAffinity),
+            0u);
+  // Unpinned device libs follow their interrupts; nothing to flag.
+  ImageConfig unpinned = PinnedPair(IsolationBackend::kMpkSharedStack, 0, 0);
+  unpinned.pins.erase("net");
+  EXPECT_EQ(LintConfig(unpinned).CountForRule(kRuleDeviceAffinity), 0u);
+}
+
+// --- Deterministic output: normalization and byte-stable JSON ------------
+
+TEST(LintDeterminism, NormalizeSortsAndDeduplicates) {
+  LintReport report;
+  LintDiagnostic a{std::string(kRuleNonReentrant), LintSeverity::kError,
+                   "net", "msg", "fix"};
+  LintDiagnostic b{std::string(kRuleSharedVcpuRace), LintSeverity::kError,
+                   "app | net", "msg", "fix"};
+  report.diagnostics = {a, b, a, a};  // Duplicates, out of rule order.
+  report.Normalize();
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].rule, kRuleSharedVcpuRace);
+  EXPECT_EQ(report.diagnostics[1].rule, kRuleNonReentrant);
+}
+
+TEST(LintDeterminism, JsonOutputIsByteStableAcrossRuns) {
+  // The golden bytes pin finding order (FL010 before FL014), field order,
+  // and escaping; any nondeterminism in rule evaluation order breaks this.
+  const ImageConfig config = PinnedPair(IsolationBackend::kNone, 0, 1);
+  const std::string first = LintConfig(config).ToJson();
+  EXPECT_EQ(first, LintConfig(config).ToJson());
+  const size_t fl010 = first.find("\"rule\":\"FL010\"");
+  const size_t fl014 = first.find("\"rule\":\"FL014\"");
+  ASSERT_NE(fl010, std::string::npos) << first;
+  ASSERT_NE(fl014, std::string::npos) << first;
+  EXPECT_LT(fl010, fl014);
+  EXPECT_EQ(first.find('\n'), std::string::npos);  // One line for tooling.
+}
+
 // --- FL000 and metadata-file linting -------------------------------------
 
 TEST(LintMeta, ParseFailureIsAnError) {

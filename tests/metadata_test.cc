@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/metadata.h"
 
 namespace flexos {
@@ -133,6 +135,50 @@ TEST(Metadata, AllBuiltinMetasRoundTripStably) {
     // Fixed point: serializing the reparse reproduces the text exactly.
     EXPECT_EQ(reparsed->ToString(), first) << original.name;
   }
+}
+
+TEST(Metadata, ParsesReentrantAndDeviceSections) {
+  const LibraryMeta meta =
+      ParseLibraryMeta("drv",
+                       "[Memory access] Read(Own); Write(Own)\n"
+                       "[Reentrant] audited internal locking\n"
+                       "[Device] nic, timer\n")
+          .value();
+  EXPECT_TRUE(meta.reentrant);
+  EXPECT_EQ(meta.devices, (std::set<std::string>{"nic", "timer"}));
+  // Round trip: the serialized form reparses to the same declarations.
+  const LibraryMeta reparsed =
+      ParseLibraryMeta("drv", meta.ToString()).value();
+  EXPECT_TRUE(reparsed.reentrant);
+  EXPECT_EQ(reparsed.devices, meta.devices);
+}
+
+TEST(Metadata, ReentrantAndDevicesDefaultToAbsent) {
+  const LibraryMeta meta =
+      ParseLibraryMeta("plain", "[Memory access] Read(Own); Write(Own)\n")
+          .value();
+  EXPECT_FALSE(meta.reentrant);
+  EXPECT_TRUE(meta.devices.empty());
+  EXPECT_EQ(meta.ToString().find("[Reentrant]"), std::string::npos);
+  EXPECT_EQ(meta.ToString().find("[Device]"), std::string::npos);
+}
+
+TEST(Metadata, NetStackOwnsItsDevices) {
+  // The builtin net stack programs the NIC and the protocol timers; FL014
+  // keys off this declaration.
+  EXPECT_EQ(NetStackMeta().devices, (std::set<std::string>{"nic", "timer"}));
+  EXPECT_TRUE(SchedulerMeta().devices.empty());
+}
+
+TEST(Metadata, NumberedAppShardsResolveToAppMeta) {
+  // Sharded SMP configs place app1, app2, ...; the builtin resolver treats
+  // every numbered shard like the base app library.
+  const auto shard = BuiltinLibraryMeta("app7");
+  ASSERT_TRUE(shard.has_value());
+  EXPECT_EQ(shard->name, "app7");
+  EXPECT_FALSE(shard->behavior.calls_any);
+  EXPECT_FALSE(BuiltinLibraryMeta("app7x").has_value());
+  EXPECT_FALSE(BuiltinLibraryMeta("application").has_value());
 }
 
 TEST(Metadata, BuiltinMetasAreSelfConsistent) {

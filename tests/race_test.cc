@@ -1,0 +1,304 @@
+// flexrace (DESIGN.md §13): the happens-before race validator. Covers the
+// detector's vector-clock semantics in isolation, the machine-level probe
+// that turns an unordered pair into a kDataRace trap, end-to-end seeded
+// races and gate-synchronized non-races on a 2-vCPU testbed, the
+// zero-perturbation guarantee (validator on == validator off, cycle for
+// cycle), and offline trace replay reaching the live verdict.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/race_replay.h"
+#include "apps/testbed.h"
+#include "obs/export.h"
+#include "obs/race.h"
+#include "sched/coop_scheduler.h"
+
+namespace flexos {
+namespace {
+
+// --- Detector semantics ------------------------------------------------------
+
+TEST(RaceDetector, CrossLaneWriteWritePairRaces) {
+  obs::RaceDetector det;
+  det.Reset(2);
+  det.SetEnabled(true);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x1000, 8, true, 100).has_value());
+  const auto race = det.OnAccess(1, 1, 0x1000, 8, true, 200);
+  ASSERT_TRUE(race.has_value());
+  EXPECT_EQ(race->prev.vcpu, 0);
+  EXPECT_EQ(race->cur.vcpu, 1);
+  EXPECT_TRUE(race->prev.write);
+  EXPECT_TRUE(race->cur.write);
+  EXPECT_EQ(race->addr, 0x1000u);
+  EXPECT_EQ(det.races_found(), 1u);
+}
+
+TEST(RaceDetector, SameLaneAccessesAreProgramOrdered) {
+  obs::RaceDetector det;
+  det.Reset(2);
+  det.SetEnabled(true);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x1000, 8, true, 100).has_value());
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x1000, 8, true, 200).has_value());
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x1000, 8, false, 300).has_value());
+  EXPECT_EQ(det.races_found(), 0u);
+}
+
+TEST(RaceDetector, CrossLaneReadsNeverRace) {
+  obs::RaceDetector det;
+  det.Reset(2);
+  det.SetEnabled(true);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x2000, 8, false, 100).has_value());
+  EXPECT_FALSE(det.OnAccess(1, 1, 0x2000, 8, false, 200).has_value());
+  // ...but an unordered write against either read does.
+  EXPECT_TRUE(det.OnAccess(0, 0, 0x2000, 8, true, 300).has_value());
+}
+
+TEST(RaceDetector, ReleaseAcquireEdgeOrdersThePair) {
+  obs::RaceDetector det;
+  det.Reset(2);
+  det.SetEnabled(true);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x3000, 8, true, 100).has_value());
+  const uint64_t handle = det.Release(0);
+  det.Acquire(1, handle);
+  EXPECT_FALSE(det.OnAccess(1, 1, 0x3000, 8, true, 200).has_value());
+  EXPECT_EQ(det.races_found(), 0u);
+  EXPECT_GE(det.hb_edges(), 1u);
+}
+
+TEST(RaceDetector, ReleaseSnapshotsOnlyThePast) {
+  // The edge must carry what happened before the release, not what the
+  // releasing lane does afterwards — that is the whole point of splitting
+  // the message-passing edge into a snapshot and a join.
+  obs::RaceDetector det;
+  det.Reset(2);
+  det.SetEnabled(true);
+  const uint64_t handle = det.Release(0);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x4000, 8, true, 100).has_value());
+  det.Acquire(1, handle);
+  EXPECT_TRUE(det.OnAccess(1, 1, 0x4000, 8, true, 200).has_value());
+}
+
+TEST(RaceDetector, JoinAndJoinAllOrderLanes) {
+  obs::RaceDetector det;
+  det.Reset(3);
+  det.SetEnabled(true);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x5000, 8, true, 100).has_value());
+  det.Join(0, 1);  // IPI from lane 0 to lane 1.
+  EXPECT_FALSE(det.OnAccess(1, 1, 0x5000, 8, true, 200).has_value());
+  // Lane 2 saw neither write; the barrier join quiesces everything.
+  det.JoinAll();
+  EXPECT_FALSE(det.OnAccess(2, 2, 0x5000, 8, true, 300).has_value());
+  EXPECT_EQ(det.races_found(), 0u);
+}
+
+TEST(RaceDetector, DistinctGranulesDoNotInteract) {
+  obs::RaceDetector det;
+  det.Reset(2);
+  det.SetEnabled(true);
+  EXPECT_FALSE(det.OnAccess(0, 0, 0x6000, 8, true, 100).has_value());
+  EXPECT_FALSE(
+      det.OnAccess(1, 1, 0x6000 + obs::kRaceGranule, 8, true, 200).has_value());
+  // A spanning access overlaps both granules and races against each lane.
+  EXPECT_TRUE(det.OnAccess(0, 0, 0x6000 + obs::kRaceGranule - 4, 8, false, 300)
+                  .has_value());
+}
+
+// --- Machine probe -----------------------------------------------------------
+
+TEST(RaceMachine, UnorderedProbeRaisesDataRaceTrap) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  machine.SetRaceDetection(true);
+  machine.ProbeSharedAccess(0x7000, 8, /*is_write=*/true);
+  machine.SwitchVCpu(1);
+  try {
+    machine.ProbeSharedAccess(0x7000, 8, /*is_write=*/true);
+    FAIL() << "expected kDataRace trap";
+  } catch (const TrapException& trap) {
+    EXPECT_EQ(trap.info().kind, TrapKind::kDataRace);
+    EXPECT_EQ(trap.info().guest_addr, 0x7000u);
+    EXPECT_FALSE(trap.info().detail.empty());
+  }
+  EXPECT_EQ(machine.race().races_found(), 1u);
+}
+
+TEST(RaceMachine, DetectionOffProbesNothing) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  machine.ProbeSharedAccess(0x7000, 8, /*is_write=*/true);
+  machine.SwitchVCpu(1);
+  EXPECT_NO_THROW(machine.ProbeSharedAccess(0x7000, 8, /*is_write=*/true));
+  EXPECT_EQ(machine.race().accesses_checked(), 0u);
+}
+
+TEST(RaceMachine, CrossVcpuIpiCreatesAnEdge) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  machine.SetRaceDetection(true);
+  machine.ProbeSharedAccess(0x8000, 8, /*is_write=*/true);
+  machine.ChargeIpi(/*target_vcpu=*/1);  // vCPU 0 notifies vCPU 1.
+  machine.SwitchVCpu(1);
+  EXPECT_NO_THROW(machine.ProbeSharedAccess(0x8000, 8, /*is_write=*/true));
+  EXPECT_EQ(machine.race().races_found(), 0u);
+}
+
+// --- End to end on the testbed ----------------------------------------------
+
+ImageConfig TwoCompartmentConfig() {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSharedStack;
+  config.compartments = {
+      {std::string(kLibNet)},
+      {std::string(kLibApp), std::string(kLibSched), std::string(kLibLibc),
+       std::string(kLibAlloc)}};
+  return config;
+}
+
+TEST(RaceTestbed, SeededCrossVcpuRaceTraps) {
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig();
+  config.vcpus = 2;
+  config.race_detect = true;
+  Testbed bed(config);
+  bed.machine().tracer().SetEnabled(true);
+  const Gaddr target = bed.AllocShared(64);
+  int traps = 0;
+  for (int pin = 0; pin < 2; ++pin) {
+    bed.SpawnApp(
+        "racer" + std::to_string(pin),
+        [&bed, &traps, target, pin] {
+          try {
+            bed.image().SpaceOf(kLibApp).WriteT<uint64_t>(target, 0xbeef + pin);
+          } catch (const TrapException& trap) {
+            EXPECT_EQ(trap.info().kind, TrapKind::kDataRace);
+            ++traps;
+          }
+        },
+        pin);
+  }
+  EXPECT_TRUE(bed.Run().ok());
+  // Whichever lane's write lands second observes the race; the first sails.
+  EXPECT_EQ(traps, 1);
+  EXPECT_EQ(bed.machine().race().races_found(), 1u);
+
+  // Offline agreement: replaying the captured trace reaches the same
+  // verdict as the in-situ detector (`flexlint --races`).
+  const std::string json =
+      obs::TraceToChromeJson(bed.machine().tracer().Snapshot());
+  const auto replay = analysis::ReplayRaces(json);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().vcpus, 2);
+  EXPECT_EQ(replay.value().recorded_races, 1u);
+  EXPECT_EQ(replay.value().races.size(), 1u);
+  EXPECT_GE(replay.value().accesses, 2u);
+}
+
+TEST(RaceTestbed, SchedulerEdgeSynchronizedHandoffIsNotARace) {
+  // Message-passing handoff through the scheduler: the producer writes,
+  // then spawns the consumer. Enqueue releases the producer's clock and the
+  // consumer's activation acquires it, so the write/read pair is ordered
+  // even though the consumer runs pinned to the other vCPU.
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig();
+  config.vcpus = 2;
+  config.race_detect = true;
+  Testbed bed(config);
+  const Gaddr target = bed.AllocShared(64);
+  uint64_t consumed = 0;
+  bed.SpawnApp(
+      "producer",
+      [&bed, &consumed, target] {
+        bed.image().SpaceOf(kLibApp).WriteT<uint64_t>(target, 0xfeed);
+        bed.SpawnApp(
+            "consumer",
+            [&bed, &consumed, target] {
+              consumed = bed.image().SpaceOf(kLibApp).ReadT<uint64_t>(target);
+            },
+            /*affinity=*/1);
+      },
+      /*affinity=*/0);
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_EQ(consumed, 0xfeedu);
+  EXPECT_EQ(bed.machine().race().races_found(), 0u);
+}
+
+TEST(RaceTestbed, CleanSmpWorkloadReportsNoRaces) {
+  // Disjoint shared buffers per thread: plenty of probes, zero races.
+  TestbedConfig config;
+  config.image = TwoCompartmentConfig();
+  config.vcpus = 2;
+  config.race_detect = true;
+  Testbed bed(config);
+  const Gaddr buffers[2] = {bed.AllocShared(128), bed.AllocShared(128)};
+  for (int pin = 0; pin < 2; ++pin) {
+    bed.SpawnApp(
+        "worker" + std::to_string(pin),
+        [&bed, addr = buffers[pin]] {
+          for (int i = 0; i < 16; ++i) {
+            bed.image().SpaceOf(kLibApp).WriteT<uint64_t>(addr, i);
+            bed.scheduler().Yield();
+          }
+        },
+        pin);
+  }
+  EXPECT_TRUE(bed.Run().ok());
+  EXPECT_GT(bed.machine().race().accesses_checked(), 0u);
+  EXPECT_EQ(bed.machine().race().races_found(), 0u);
+}
+
+TEST(RaceTestbed, ValidatorOnLeavesModeledCyclesBitIdentical) {
+  // The acceptance gate in miniature (bench/abl_smp.cc runs the full one):
+  // the validator observes and never charges, so a race-free workload runs
+  // to the exact same per-vCPU cycle counts with detection on or off.
+  const auto run = [](bool detect) {
+    TestbedConfig config;
+    config.image = TwoCompartmentConfig();
+    config.vcpus = 2;
+    config.race_detect = detect;
+    Testbed bed(config);
+    const Gaddr buffers[2] = {bed.AllocShared(128), bed.AllocShared(128)};
+    const RouteHandle route = bed.image().Resolve(kLibApp, kLibNet);
+    for (int pin = 0; pin < 2; ++pin) {
+      bed.SpawnApp(
+          "w" + std::to_string(pin),
+          [&bed, &route, addr = buffers[pin]] {
+            for (int i = 0; i < 8; ++i) {
+              bed.image().SpaceOf(kLibApp).WriteT<uint64_t>(addr, i);
+              bed.image().Call(route,
+                               [&bed] { bed.machine().ChargeCompute(600); });
+              bed.scheduler().Yield();
+            }
+          },
+          pin);
+    }
+    EXPECT_TRUE(bed.Run().ok());
+    std::vector<uint64_t> cycles;
+    for (int v = 0; v < bed.machine().vcpu_count(); ++v) {
+      cycles.push_back(bed.machine().clock_of(v).cycles());
+    }
+    cycles.push_back(bed.machine().stats().gate_crossings);
+    cycles.push_back(bed.machine().stats().ipi_count);
+    cycles.push_back(bed.scheduler().context_switches());
+    return cycles;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// --- Offline replay corner cases --------------------------------------------
+
+TEST(RaceReplay, EmptyTraceYieldsEmptyResult) {
+  const auto result =
+      analysis::ReplayRaces("{\"traceEvents\":[\n]}\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().events, 0u);
+  EXPECT_TRUE(result.value().races.empty());
+}
+
+TEST(RaceReplay, NonTraceInputIsRejected) {
+  EXPECT_FALSE(analysis::ReplayRaces("not a trace").ok());
+}
+
+}  // namespace
+}  // namespace flexos

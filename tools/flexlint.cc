@@ -3,9 +3,16 @@
 //
 //   flexlint [--json] <config.conf>...          lint image configs
 //   flexlint [--json] --meta <lib> <file>...    lint metadata DSL files
+//   flexlint [--json] --races <trace.json>...   replay traces for data races
 //
-// Exit status: 0 when no error-severity finding was produced, 1 when at
-// least one was, 2 on usage or I/O errors. Warnings never fail the run.
+// --races replays the cat=race events of a captured Chrome trace (flexstat
+// --trace, or any obs::TraceToChromeJson export from a run with race
+// detection on) through the flexrace happens-before detector offline,
+// reaching the same verdict as the in-situ validator (DESIGN.md §13).
+//
+// Exit status: 0 when no error-severity finding (or race) was produced, 1
+// when at least one was, 2 on usage or I/O errors. Warnings never fail the
+// run.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "analysis/flexlint.h"
+#include "analysis/race_replay.h"
 #include "core/config_parser.h"
 
 namespace flexos {
@@ -21,7 +29,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: flexlint [--json] <config.conf>...\n"
-               "       flexlint [--json] --meta <lib> <metafile>...\n");
+               "       flexlint [--json] --meta <lib> <metafile>...\n"
+               "       flexlint [--json] --races <trace.json>...\n");
   return 2;
 }
 
@@ -49,9 +58,47 @@ LintReport LintConfigText(const std::string& text) {
   return LintConfig(config.value());
 }
 
+// Replays captured traces for data races; the --races mode main loop.
+int RunRaceReplay(const std::vector<std::string>& files, bool json) {
+  bool any_races = false;
+  std::string json_out = "[";
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::string text;
+    if (!ReadFile(files[i], &text)) {
+      std::fprintf(stderr, "flexlint: cannot read %s\n", files[i].c_str());
+      return 2;
+    }
+    const Result<analysis::RaceReplayResult> replay =
+        analysis::ReplayRaces(text);
+    if (!replay.ok()) {
+      std::fprintf(stderr, "flexlint: %s: %s\n", files[i].c_str(),
+                   replay.status().ToString().c_str());
+      return 2;
+    }
+    any_races = any_races || !replay->races.empty();
+    if (json) {
+      if (i > 0) {
+        json_out += ',';
+      }
+      json_out += "{\"file\":\"" + files[i] +
+                  "\",\"replay\":" + analysis::RaceReplayToJson(*replay) +
+                  "}";
+    } else {
+      std::printf("== %s\n", files[i].c_str());
+      std::fputs(analysis::RaceReplayToText(*replay).c_str(), stdout);
+    }
+  }
+  if (json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+  return any_races ? 1 : 0;
+}
+
 int Run(int argc, char** argv) {
   bool json = false;
   bool meta_mode = false;
+  bool races_mode = false;
   std::string meta_lib;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +111,8 @@ int Run(int argc, char** argv) {
       }
       meta_mode = true;
       meta_lib = argv[++i];
+    } else if (arg == "--races") {
+      races_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -74,8 +123,11 @@ int Run(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) {
+  if (files.empty() || (meta_mode && races_mode)) {
     return Usage();
+  }
+  if (races_mode) {
+    return RunRaceReplay(files, json);
   }
 
   bool any_errors = false;
