@@ -2,26 +2,47 @@
 //
 // PR 3's deal is that metrics are always on (plain counter bumps through
 // route-resolved pointers) and tracing costs one relaxed atomic load when
-// disabled; PR 4 adds the request attributor under the same contract. This
-// bench verifies both halves across three variants — observability off,
-// tracing on, and tracing + cycle profiler on:
-//   model cyc/call — must be bit-identical across all three variants in
-//                    fresh machines: recording and attribution happen
-//                    outside the cost model, so observability can never
-//                    perturb a result. Hard-gated in every mode,
-//                    including --smoke.
+// disabled; PR 4 adds the request attributor and flexwatch adds windowed
+// time-series capture, all under the same contract. This bench verifies
+// every half across four variants — observability off, tracing on,
+// tracing + cycle profiler on, and the full flexwatch stack (windowing +
+// SLO watchdogs) on:
+//   model cyc/call — must be bit-identical across all four variants in
+//                    fresh machines: recording, attribution, and window
+//                    capture happen outside the cost model, so
+//                    observability can never perturb a result. Hard-gated
+//                    in every mode, including --smoke.
 //   wall ns/call   — observability-off dispatch must stay within noise of
 //                    the cached-route fast path (abl_gate_dispatch.cc's
-//                    "cached" column); traced/profiled runs may pay the
-//                    ring write and frame bookkeeping. Loosely gated, full
-//                    runs only (wall clock is noisy).
+//                    "cached" column); traced/profiled/watched runs may
+//                    pay the ring write and snapshot bookkeeping. Loosely
+//                    gated, full runs only (wall clock is noisy).
+// A second hard gate replays the watch variant twice on one backend and
+// requires the exported JSON timelines to be byte-identical: window
+// closes are driven by virtual time, so same seed means same timeline.
 // Pass --smoke for a fast CI run with tiny iteration counts.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "bench_util.h"
 #include "core/image_builder.h"
+#include "obs/export.h"
+#include "obs/timeseries.h"
+
+namespace {
+
+// Window short enough that even --smoke iteration counts close windows on
+// every backend (a `none` crossing charges only a handful of cycles).
+constexpr uint64_t kWatchWindowCycles = 1000;
+
+// Every window with any gate traffic violates this on purpose, so the
+// watchdog evaluation path (measure, compare, count, trace) runs at
+// steady state rather than never.
+constexpr const char* kWatchdogSpec = "gate.crossings.* value < 1";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace flexos;
@@ -37,27 +58,43 @@ int main(int argc, char** argv) {
               "crossing, %llu calls per variant%s\n",
               static_cast<unsigned long long>(kIters),
               smoke ? " (smoke)" : "");
-  std::printf("%-14s %12s %12s %12s %12s %14s %9s\n", "backend", "obs-off",
-              "trace-on", "profile-on", "obs-off", "cycles", "wall");
-  std::printf("%-14s %12s %12s %12s %12s %14s %9s\n", "", "(ns/call)",
-              "(ns/call)", "(ns/call)", "(cyc/call)", "identical?", "ratio");
+  std::printf("%-14s %10s %10s %10s %10s %12s %14s %9s\n", "backend",
+              "obs-off", "trace-on", "profile-on", "watch-on", "obs-off",
+              "cycles", "wall");
+  std::printf("%-14s %10s %10s %10s %10s %12s %14s %9s\n", "", "(ns/call)",
+              "(ns/call)", "(ns/call)", "(ns/call)", "(cyc/call)",
+              "identical?", "ratio");
 
   bool cycles_ok = true;
+  bool watch_ok = true;
   double max_wall_ratio = 0;
   constexpr IsolationBackend kBackends[] = {
       IsolationBackend::kNone, IsolationBackend::kMpkSharedStack,
       IsolationBackend::kMpkSwitchedStack, IsolationBackend::kVmRpc};
   for (IsolationBackend backend : kBackends) {
-    // Three identical machines: one never enables observability (the
+    // Four identical machines: one never enables observability (the
     // production default), one traces throughout, one traces and runs the
-    // cycle attributor. Their charged cycles must agree exactly —
-    // observability lives outside the cost model.
-    bench::LoopSample variants[3];
-    for (int variant = 0; variant < 3; ++variant) {
+    // cycle attributor, and one adds flexwatch windowing with an SLO
+    // watchdog that fires every window. Their charged cycles must agree
+    // exactly — observability lives outside the cost model. Every
+    // variant's measured body polls the time series so the disabled-path
+    // cost of the poll itself is part of the obs-off column.
+    bench::LoopSample variants[4];
+    for (int variant = 0; variant < 4; ++variant) {
       Machine machine;
       machine.tracer().SetEnabled(variant >= 1);
       if (variant >= 2) {
         machine.attrib().SetEnabled(true, machine.clock().cycles());
+      }
+      if (variant >= 3) {
+        machine.timeseries().Enable(kWatchWindowCycles);
+        obs::SloSpec spec;
+        std::string error;
+        if (!obs::ParseSloSpec(kWatchdogSpec, &spec, &error)) {
+          std::fprintf(stderr, "bad watchdog spec: %s\n", error.c_str());
+          return 1;
+        }
+        machine.timeseries().AddWatchdog(spec);
       }
       ImageBuilder builder(machine);
       auto image = builder.Build(bench::NetOnlyConfig(backend)).value();
@@ -67,36 +104,97 @@ int main(int argc, char** argv) {
       for (int i = 0; i < 256; ++i) {
         image->Call(route, body);  // Warm caches before timing.
       }
-      variants[variant] = bench::MeasureLoop(
-          machine, kIters, [&] { image->Call(route, body); });
+      variants[variant] = bench::MeasureLoop(machine, kIters, [&] {
+        image->Call(route, body);
+        machine.PollTimeSeries();
+      });
+#ifndef FLEXOS_OBS_DISABLED
+      if (variant >= 3 &&
+          (machine.timeseries().windows_captured() == 0 ||
+           machine.timeseries().violations_total() == 0)) {
+        std::fprintf(stderr,
+                     "watch variant captured %llu windows, %llu violations "
+                     "(expected both > 0)\n",
+                     static_cast<unsigned long long>(
+                         machine.timeseries().windows_captured()),
+                     static_cast<unsigned long long>(
+                         machine.timeseries().violations_total()));
+        watch_ok = false;
+      }
+#endif
     }
     const bench::LoopSample& off = variants[0];
     const bench::LoopSample& traced = variants[1];
     const bench::LoopSample& profiled = variants[2];
+    const bench::LoopSample& watched = variants[3];
 
     const bool identical =
         off.model_cycles_total == traced.model_cycles_total &&
-        off.model_cycles_total == profiled.model_cycles_total;
+        off.model_cycles_total == profiled.model_cycles_total &&
+        off.model_cycles_total == watched.model_cycles_total;
     cycles_ok = cycles_ok && identical;
     const double wall_ratio =
         traced.wall_ns > 0 ? off.wall_ns / traced.wall_ns : 0;
     max_wall_ratio = std::max(max_wall_ratio, wall_ratio);
-    std::printf("%-14s %12.1f %12.1f %12.1f %12.1f %14s %8.2fx\n",
+    std::printf("%-14s %10.1f %10.1f %10.1f %10.1f %12.1f %14s %8.2fx\n",
                 std::string(IsolationBackendName(backend)).c_str(),
                 off.wall_ns, traced.wall_ns, profiled.wall_ns,
-                off.CyclesPerCall(kIters), identical ? "yes" : "NO",
-                wall_ratio);
+                watched.wall_ns, off.CyclesPerCall(kIters),
+                identical ? "yes" : "NO", wall_ratio);
+  }
+
+  // Timeline determinism: two fresh machines, same config, same call
+  // count, flexwatch on — the exported JSON timelines must match byte for
+  // byte. Windows close on virtual-time boundaries and capture modeled
+  // counters only, so any divergence means wall-clock state leaked into
+  // the window pipeline.
+  bool timeline_ok = true;
+  {
+    const uint64_t kTimelineCalls = smoke ? 1000 : 20000;
+    std::string timelines[2];
+    for (int run = 0; run < 2; ++run) {
+      Machine machine;
+      machine.tracer().SetEnabled(true);
+      machine.timeseries().Enable(kWatchWindowCycles);
+      obs::SloSpec spec;
+      std::string error;
+      obs::ParseSloSpec(kWatchdogSpec, &spec, &error);
+      machine.timeseries().AddWatchdog(spec);
+      ImageBuilder builder(machine);
+      auto image = builder
+                       .Build(bench::NetOnlyConfig(
+                           IsolationBackend::kMpkSwitchedStack))
+                       .value();
+      uint64_t sink = 0;
+      const auto body = [&sink] { ++sink; };
+      const RouteHandle route = image->Resolve(kLibNet, kLibApp);
+      for (uint64_t i = 0; i < kTimelineCalls; ++i) {
+        image->Call(route, body);
+        machine.PollTimeSeries();
+      }
+      machine.timeseries().FinalizeTail(machine.max_cycles());
+      timelines[run] =
+          obs::TimelineToJson(machine.timeseries().Snapshot(),
+                              machine.timeseries().window_cycles());
+    }
+    timeline_ok = !timelines[0].empty() && timelines[0] == timelines[1];
   }
 
   std::printf("\n# Checks:\n");
   std::printf("  modeled cycles identical with observability off / tracing "
-              "on / profiler on: %s (hard-gated)\n",
+              "on / profiler on / flexwatch on: %s (hard-gated)\n",
               cycles_ok ? "yes" : "NO");
+  std::printf("  flexwatch captured windows and watchdog violations: %s "
+              "(hard-gated unless built with FLEXOS_OBS_DISABLED)\n",
+              watch_ok ? "yes" : "NO");
+  std::printf("  same-seed flexwatch JSON timelines byte-identical: %s "
+              "(hard-gated)\n",
+              timeline_ok ? "yes" : "NO");
   std::printf("  observability-off dispatch vs tracing-on wall clock: worst "
               "off/on ratio %.2fx (full runs gate <= 1.25x; disabled "
               "tracing must not be slower than enabled)\n",
               max_wall_ratio);
-  if (!cycles_ok) {
+  if (!cycles_ok || !watch_ok || !timeline_ok) {
     return 1;
   }
   // Wall-clock gate only on full runs: smoke iteration counts are too

@@ -21,6 +21,12 @@
 namespace flexos {
 namespace bench {
 
+// Schema tag stamped into every flexbench report and required of every
+// baseline it loads. Bump on any breaking change to the JSON layout; the
+// loader rejects mismatches with a regeneration hint instead of silently
+// misreading fields.
+inline constexpr std::string_view kBenchSchema = "flexos-bench-v1";
+
 struct BenchSpec {
   std::string_view name;    // Metric prefix + JSON key.
   std::string_view binary;  // Executable name in the bench build dir.

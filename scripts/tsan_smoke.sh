@@ -18,7 +18,7 @@ echo "== tsan_smoke: configure + build (FLEXOS_SANITIZE=thread)"
 cmake -S "$repo_root" -B "$build_dir" -DFLEXOS_SANITIZE=thread
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 
-echo "== tsan_smoke: obs-, smp-, and race-labeled tests"
-ctest --test-dir "$build_dir" -L "obs|smp|race" --output-on-failure
+echo "== tsan_smoke: obs-, smp-, race-, and watch-labeled tests"
+ctest --test-dir "$build_dir" -L "obs|smp|race|watch" --output-on-failure
 
 echo "== tsan_smoke: clean under TSan"

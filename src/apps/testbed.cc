@@ -59,6 +59,28 @@ Testbed::Testbed(const TestbedConfig& config)
   if (config.profile) {
     machine_.attrib().SetEnabled(true, machine_.clock().cycles());
   }
+
+  // flexwatch (DESIGN.md §14): windowing turns on when asked for explicitly
+  // (--watch) or implied by the config (window_cycles / slo directives).
+  if (config.watch || config.image.window_cycles != 0 ||
+      !config.image.slos.empty()) {
+    uint64_t window = config.window_cycles != 0 ? config.window_cycles
+                                                : config.image.window_cycles;
+    if (window == 0) {
+      window = machine_.clock().NanosToCycles(obs::kDefaultWindowNs);
+    }
+    machine_.timeseries().Enable(window);
+    for (const obs::SloSpec& spec : config.image.slos) {
+      machine_.timeseries().AddWatchdog(spec);
+    }
+    if (supervisor_ != nullptr) {
+      // SLO violations notify (never quarantine) the fault supervisor.
+      machine_.timeseries().SetViolationHook(
+          [this](const obs::SloViolation& violation) {
+            supervisor_->OnSloViolation(violation.slo_name);
+          });
+    }
+  }
 }
 
 Gaddr Testbed::AllocShared(uint64_t size) {

@@ -55,6 +55,13 @@ struct TestbedConfig {
   // so modeled cycles are bit-identical; an unsynchronized cross-vCPU
   // shared-region pair raises a kDataRace trap.
   bool race_detect = false;
+  // Enables flexwatch windowing (DESIGN.md §14) even when the image config
+  // declares no window_cycles/slo directives (flexstat --watch/--timeline
+  // set this). Observes, never charges: modeled cycles stay bit-identical.
+  bool watch = false;
+  // Overrides the window length in cycles; 0 defers to the image config's
+  // window_cycles, then to 1 ms of virtual time (obs::kDefaultWindowNs).
+  uint64_t window_cycles = 0;
 };
 
 // The standard five-library split used by the in-tree experiments.

@@ -59,8 +59,11 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
       continue;
     }
 
-    // "key = value" directives.
-    const size_t eq = line.find('=');
+    // "key = value" directives. slo lines carry '<=' / '>=' comparators,
+    // so they must reach the directive parser before this split eats the
+    // '='.
+    const bool is_slo = line == "slo" || line.substr(0, 4) == "slo ";
+    const size_t eq = is_slo ? std::string_view::npos : line.find('=');
     if (eq != std::string_view::npos) {
       const std::string_view key = TrimWhitespace(line.substr(0, eq));
       const std::string_view value = TrimWhitespace(line.substr(eq + 1));
@@ -119,6 +122,12 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
                            StrFormat("vcpus must be in [1, %d]", kMaxVCpus));
         }
         config.vcpus = static_cast<int>(*count);
+      } else if (key == "window_cycles") {
+        FLEXOS_ASSIGN_OR_RETURN(config.window_cycles,
+                                ParseByteSize(value, line_number));
+        if (config.window_cycles == 0) {
+          return LineError(line_number, "window_cycles must be > 0");
+        }
       } else {
         return LineError(line_number, "unknown key: " + std::string(key));
       }
@@ -191,6 +200,21 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
       for (size_t i = 2; i < words.size(); ++i) {
         funcs.insert(std::string(words[i]));
       }
+    } else if (directive == "slo") {
+      // "slo <pattern> <stat> <op> <value>" — flexwatch watchdog.
+      std::string joined;
+      for (size_t i = 1; i < words.size(); ++i) {
+        if (!joined.empty()) {
+          joined += ' ';
+        }
+        joined += words[i];
+      }
+      obs::SloSpec spec;
+      std::string error;
+      if (!obs::ParseSloSpec(joined, &spec, &error)) {
+        return LineError(line_number, "bad slo: " + error);
+      }
+      config.slos.push_back(std::move(spec));
     } else {
       return LineError(line_number,
                        "unknown directive: " + std::string(directive));
@@ -343,6 +367,13 @@ std::string ImageConfigToString(const ImageConfig& config) {
   }
   if (config.strict_compat) {
     out += "compat = strict\n";
+  }
+  if (config.window_cycles != 0) {
+    out += StrFormat("window_cycles = %llu\n",
+                     static_cast<unsigned long long>(config.window_cycles));
+  }
+  for (const obs::SloSpec& spec : config.slos) {
+    out += "slo " + obs::SloSpecToString(spec) + '\n';
   }
   out += StrFormat("allocators = %s\n", config.per_compartment_allocators
                                             ? "per-compartment"

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/image.h"
+#include "obs/timeseries.h"
 #include "support/status.h"
 
 namespace flexos {
@@ -78,6 +79,15 @@ struct ImageConfig {
   // "reentrant <lib>...": config-level override of the [Reentrant] metadata
   // flag, for deployments that wrap a library in their own locking.
   std::set<std::string> reentrant_libs;
+
+  // "window_cycles = N": flexwatch window length (DESIGN.md §14). 0 means
+  // no explicit window; the testbed falls back to 1 ms of virtual time
+  // (obs::kDefaultWindowNs) when SLOs are declared.
+  uint64_t window_cycles = 0;
+
+  // "slo <pattern> <stat> <op> <value>": SLO watchdogs evaluated at every
+  // window close (obs/timeseries.h). Declaring any turns windowing on.
+  std::vector<obs::SloSpec> slos;
 };
 
 // Convenience: the standard micro-library split used by the in-tree

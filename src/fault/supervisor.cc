@@ -26,7 +26,15 @@ CompartmentSupervisor::CompartmentSupervisor(Image& image,
   obs::MetricsRegistry& metrics = image_.machine().metrics();
   trapped_counter_ = &metrics.GetCounter(obs::kMetricFaultTrapped);
   restarts_counter_ = &metrics.GetCounter(obs::kMetricFaultRestarts);
+  slo_notices_counter_ = &metrics.GetCounter(obs::kMetricFaultSloNotices);
   quarantined_gauge_ = &metrics.GetGauge(obs::kMetricFaultQuarantined);
+}
+
+void CompartmentSupervisor::OnSloViolation(std::string_view slo_name) {
+  ++slo_notices_;
+  slo_notices_counter_->Add();
+  FLEXOS_WARN("supervisor: SLO violated: %.*s",
+              static_cast<int>(slo_name.size()), slo_name.data());
 }
 
 void CompartmentSupervisor::SetPolicy(int comp, RestartPolicy policy) {

@@ -78,11 +78,18 @@ class CompartmentSupervisor : public FaultDomainHandler {
   Status OnTrap(int from_comp, int to_comp, const TrapInfo& info) override;
   bool HasInitHook(int comp) const override;
 
+  // flexwatch notification (DESIGN.md §14): an SLO watchdog tripped at a
+  // window close. Advisory only — an SLO miss is a performance signal, not
+  // a fault, so it is counted and logged but never quarantines anything.
+  // The testbed wires TimeSeries::SetViolationHook here.
+  void OnSloViolation(std::string_view slo_name);
+
   // --- Introspection ------------------------------------------------------
   CompartmentHealth health(int comp) const;
   int restarts(int comp) const;
   uint64_t trapped() const { return trapped_; }
   uint64_t total_restarts() const { return total_restarts_; }
+  uint64_t slo_notices() const { return slo_notices_; }
   const std::vector<RecoveryEpisode>& episodes() const { return episodes_; }
 
   // Earliest cycle at which some quarantined compartment becomes
@@ -126,10 +133,12 @@ class CompartmentSupervisor : public FaultDomainHandler {
   std::map<int, DomainState> domains_;
   uint64_t trapped_ = 0;
   uint64_t total_restarts_ = 0;
+  uint64_t slo_notices_ = 0;
   std::vector<RecoveryEpisode> episodes_;
 
   obs::Counter* trapped_counter_ = nullptr;
   obs::Counter* restarts_counter_ = nullptr;
+  obs::Counter* slo_notices_counter_ = nullptr;
   obs::Gauge* quarantined_gauge_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "hw/machine.h"
 
 #include "hw/trap.h"
+#include "obs/names.h"
 
 namespace flexos {
 
@@ -24,6 +25,15 @@ Machine::Machine(uint64_t freq_hz, CostModel costs) : costs_(costs) {
         return static_cast<const Machine*>(ctx)->clock().cycles();
       },
       this);
+  timeseries_.BindObs(&metrics_, &tracer_);
+  ResolveIdleCounters();
+}
+
+void Machine::ResolveIdleCounters() {
+  for (int v = 0; v < vcpu_count_; ++v) {
+    vcpu_idle_cycles_[v] =
+        &metrics_.GetCounter(obs::SchedVCpuMetricName(v, obs::kVCpuIdleCycles));
+  }
 }
 
 Machine::~Machine() = default;
@@ -32,6 +42,7 @@ void Machine::SetVCpuCount(int n) {
   if (n < 1) n = 1;
   if (n > kMaxVCpus) n = kMaxVCpus;
   vcpu_count_ = n;
+  ResolveIdleCounters();
 }
 
 void Machine::SwitchVCpu(int v) {
@@ -43,7 +54,16 @@ void Machine::SwitchVCpu(int v) {
 }
 
 void Machine::AdvanceAllClocksTo(uint64_t cycles) {
-  for (int v = 0; v < vcpu_count_; ++v) vcpus_[v].clock.AdvanceTo(cycles);
+  for (int v = 0; v < vcpu_count_; ++v) {
+    // Cycles jumped over are idle time for that vCPU: it had no runnable
+    // work until the machine-wide wakeup target.
+    const uint64_t before = vcpus_[v].clock.cycles();
+    if (cycles > before && vcpu_idle_cycles_[v] != nullptr) {
+      vcpu_idle_cycles_[v]->Add(cycles - before);
+    }
+    vcpus_[v].clock.AdvanceTo(cycles);
+  }
+  PollTimeSeries();
   if (race_.enabled()) {
     // The whole machine slept until the next device event: every vCPU was
     // out of runnable work, so this is a modeled quiescent point — a

@@ -16,6 +16,7 @@
 #include "obs/attrib.h"
 #include "obs/metrics.h"
 #include "obs/race.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/vcpu.h"
 
@@ -165,6 +166,17 @@ class Machine {
   fault::FaultInjector& injector() { return injector_; }
   const fault::FaultInjector& injector() const { return injector_; }
 
+  // flexwatch windowed time series (DESIGN.md §14); disabled by default —
+  // the testbed enables it when the config declares window_cycles/slo
+  // directives or flexstat passes --watch. Observes, never charges.
+  obs::TimeSeries& timeseries() { return timeseries_; }
+  const obs::TimeSeries& timeseries() const { return timeseries_; }
+
+  // Closes any windows whose boundary the machine-wide clock (max_cycles)
+  // has passed. Called from the scheduler loop and idle jumps; bench loops
+  // that bypass the scheduler call it directly. One branch when disabled.
+  void PollTimeSeries() { timeseries_.MaybeCapture(max_cycles()); }
+
   // Charges `cycles` of modeled computation. Compute charges are
   // instrumentation-insensitive: ASAN-class hardening taxes memory
   // operations (ChargeMemOp), not stall/branch-dominated fixed work.
@@ -179,6 +191,9 @@ class Machine {
     ExecContext context;
   };
 
+  // Resolves sched.vcpu<i>.idle_cycles counters for the active vCPU count.
+  void ResolveIdleCounters();
+
   VCpu vcpus_[kMaxVCpus];
   int vcpu_count_ = 1;
   int current_vcpu_ = 0;
@@ -190,6 +205,9 @@ class Machine {
   obs::Attributor attrib_;
   obs::RaceDetector race_;
   fault::FaultInjector injector_;
+  obs::TimeSeries timeseries_;
+  // Cycles each vCPU jumps over in AdvanceAllClocksTo (no runnable work).
+  obs::Counter* vcpu_idle_cycles_[kMaxVCpus] = {};
 };
 
 // RAII guard that installs an ExecContext and restores the previous one;

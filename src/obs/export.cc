@@ -42,8 +42,45 @@ const char* CategoryName(TraceCat cat) {
       return "fault";
     case TraceCat::kRace:
       return "race";
+    case TraceCat::kSlo:
+      return "slo";
   }
   return "other";
+}
+
+// Prometheus metric names allow only [a-zA-Z0-9_:].
+std::string PromName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void AppendHistBody(std::string* out, const LatencyHistogram& h) {
+  *out += "{\"count\":";
+  AppendU64(out, h.count());
+  *out += ",\"sum\":";
+  AppendU64(out, h.sum());
+  *out += ",\"min\":";
+  AppendU64(out, h.min());
+  *out += ",\"max\":";
+  AppendU64(out, h.max());
+  *out += ",\"mean\":";
+  AppendDouble(out, h.Mean());
+  *out += ",\"p50\":";
+  AppendU64(out, h.Percentile(50));
+  *out += ",\"p90\":";
+  AppendU64(out, h.Percentile(90));
+  *out += ",\"p99\":";
+  AppendU64(out, h.Percentile(99));
+  *out += '}';
 }
 
 }  // namespace
@@ -138,6 +175,115 @@ std::string MetricsToJson(const MetricsRegistry& registry) {
   out += "},\"histograms\":{";
   out += histograms;
   out += "}}";
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const MetricsRegistry::Entry& entry : registry.Entries()) {
+    const std::string name = PromName(entry.name);
+    if (entry.counter != nullptr) {
+      out += "# TYPE ";
+      out += name;
+      out += " counter\n";
+      out += name;
+      out += ' ';
+      AppendU64(&out, entry.counter->value());
+      out += '\n';
+    } else if (entry.gauge != nullptr) {
+      out += "# TYPE ";
+      out += name;
+      out += " gauge\n";
+      out += name;
+      out += ' ';
+      AppendI64(&out, entry.gauge->value());
+      out += '\n';
+    } else if (entry.histogram != nullptr) {
+      const LatencyHistogram& h = *entry.histogram;
+      out += "# TYPE ";
+      out += name;
+      out += " summary\n";
+      static constexpr struct {
+        const char* quantile;
+        double p;
+      } kQuantiles[] = {{"0.5", 50}, {"0.9", 90}, {"0.99", 99}};
+      for (const auto& q : kQuantiles) {
+        out += name;
+        out += "{quantile=\"";
+        out += q.quantile;
+        out += "\"} ";
+        AppendU64(&out, h.Percentile(q.p));
+        out += '\n';
+      }
+      out += name;
+      out += "_sum ";
+      AppendU64(&out, h.sum());
+      out += '\n';
+      out += name;
+      out += "_count ";
+      AppendU64(&out, h.count());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TimelineToJson(const std::vector<WindowSnapshot>& windows,
+                           uint64_t window_cycles) {
+  std::string out = "{\"schema\":\"flexos-timeline-v1\",\"window_cycles\":";
+  AppendU64(&out, window_cycles);
+  out += ",\"windows\":[";
+  bool first_window = true;
+  for (const WindowSnapshot& window : windows) {
+    if (!first_window) {
+      out += ',';
+    }
+    first_window = false;
+    out += "{\"seq\":";
+    AppendU64(&out, window.seq);
+    out += ",\"start_cycles\":";
+    AppendU64(&out, window.start_cycles);
+    out += ",\"end_cycles\":";
+    AppendU64(&out, window.end_cycles);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const WindowCounterSample& sample : window.counters) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += JsonEscape(sample.name);
+      out += "\":";
+      AppendU64(&out, sample.delta);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const WindowGaugeSample& sample : window.gauges) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += JsonEscape(sample.name);
+      out += "\":";
+      AppendI64(&out, sample.value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const WindowHistSample& sample : window.histograms) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += JsonEscape(sample.name);
+      out += "\":";
+      AppendHistBody(&out, sample.delta);
+    }
+    out += "}}";
+  }
+  out += "]}";
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace flexos {
@@ -16,6 +17,21 @@ namespace obs {
 // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
 // mean,p50,p90,p99,overflow}}} — keys sorted, stable across runs.
 std::string MetricsToJson(const MetricsRegistry& registry);
+
+// Prometheus text exposition format (version 0.0.4), written to a file the
+// node_exporter textfile collector (or any scrape sidecar) can serve.
+// Counters export as counters, gauges as gauges, histograms as summaries
+// with 0.5/0.9/0.99 quantiles plus _sum and _count. Metric names are
+// sanitized: every character outside [a-zA-Z0-9_:] becomes '_'
+// (gate.latency_ns.mpk-shared.c0.c1 -> gate_latency_ns_mpk_shared_c0_c1).
+std::string MetricsToPrometheus(const MetricsRegistry& registry);
+
+// flexwatch timeline: {"schema":"flexos-timeline-v1","window_cycles":W,
+// "windows":[{seq,start_cycles,end_cycles,counters,gauges,histograms}]}.
+// Deterministic: same seed + same window_cycles -> byte-identical output
+// (hard-gated by bench/abl_obs_overhead.cc).
+std::string TimelineToJson(const std::vector<WindowSnapshot>& windows,
+                           uint64_t window_cycles);
 
 // Chrome trace-event JSON. ts/dur are microseconds (doubles; the format's
 // unit), pid is always 1, tid is the event's track id (compartment + 1).

@@ -34,6 +34,51 @@ uint64_t LatencyHistogram::Percentile(double p) const {
   return max_;
 }
 
+LatencyHistogram LatencyHistogram::Delta(const LatencyHistogram& cur,
+                                         const LatencyHistogram& prev) {
+  if (cur.count_ < prev.count_) {
+    return cur;  // Reset() between snapshots: cur is itself the window.
+  }
+  LatencyHistogram delta;
+  if (cur.count_ == prev.count_) {
+    return delta;  // Nothing recorded this window.
+  }
+  if (prev.count_ == 0) {
+    return cur;  // First window: exact, including min/max.
+  }
+  delta.count_ = cur.count_ - prev.count_;
+  delta.sum_ = cur.sum_ - prev.sum_;
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < kBucketCount; ++i) {
+    delta.buckets_[i] =
+        cur.buckets_[i] >= prev.buckets_[i] ? cur.buckets_[i] - prev.buckets_[i]
+                                            : cur.buckets_[i];
+    if (delta.buckets_[i] != 0) {
+      if (first < 0) {
+        first = i;
+      }
+      last = i;
+    }
+  }
+  // min: exact if the cumulative min moved (the new min arrived this
+  // window); otherwise the lower bound of the lowest touched bucket.
+  delta.min_ = cur.min_ != prev.min_ ? cur.min_ : BucketLowerBound(first);
+  // max: exact if the cumulative max moved or the window touched the
+  // overflow bucket (whose only known value is the cumulative max);
+  // otherwise the top of the highest touched bucket, capped at cur max.
+  if (cur.max_ != prev.max_ || last == kOverflowBucket) {
+    delta.max_ = cur.max_;
+  } else {
+    const uint64_t upper = BucketLowerBound(last + 1) - 1;
+    delta.max_ = upper < cur.max_ ? upper : cur.max_;
+  }
+  if (delta.min_ > delta.max_) {
+    delta.min_ = delta.max_;
+  }
+  return delta;
+}
+
 void LatencyHistogram::Reset() {
   std::memset(buckets_, 0, sizeof(buckets_));
   count_ = 0;

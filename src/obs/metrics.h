@@ -11,9 +11,11 @@
 //     buckets, larger values land in 4 log sub-buckets per power of two up
 //     to 2^41 ns (~36 min), then one overflow bucket. Record() is a few
 //     shifts and an increment.
-//   * Single-writer semantics: the simulator is a one-vCPU deterministic
-//     machine, so counters are plain uint64_t (the lock-free multi-producer
-//     story lives in obs/trace.h where threads genuinely coexist).
+//   * Single-writer semantics: the multi-vCPU machine (DESIGN.md §12) is
+//     still one host thread — vCPUs are per-vCPU virtual clocks the
+//     scheduler multiplexes, never concurrent writers — so counters stay
+//     plain uint64_t (the lock-free multi-producer story lives in
+//     obs/trace.h where real threads genuinely coexist, e.g. under TSan).
 //
 // The obs layer sits below support/ — it must not include any other flexos
 // header, because hw/machine.h and support/log.cc both build on it.
@@ -129,6 +131,15 @@ class LatencyHistogram {
   uint64_t Percentile(double p) const;
 
   void Reset();
+
+  // Window arithmetic for obs/timeseries.h: the histogram holding only the
+  // samples recorded between snapshots `prev` and `cur` of the same
+  // histogram. Buckets/count/sum subtract exactly; min/max are exact when
+  // the window moved the cumulative extreme (a new extreme must have
+  // arrived this window) and bucket-bounded otherwise. A cur with fewer
+  // samples than prev was Reset() in between and is returned as-is.
+  static LatencyHistogram Delta(const LatencyHistogram& cur,
+                                const LatencyHistogram& prev);
 
  private:
   uint64_t buckets_[kBucketCount] = {};

@@ -23,6 +23,14 @@ std::string GateMetricName(std::string_view family, std::string_view backend,
   return name;
 }
 
+std::string SchedVCpuMetricName(int vcpu, std::string_view family) {
+  std::string name = "sched.vcpu";
+  name += std::to_string(vcpu);
+  name += '.';
+  name += family;
+  return name;
+}
+
 bool ParseGateMetricName(std::string_view name, GateMetricParts* out) {
   constexpr std::string_view kPrefix = "gate.";
   if (name.substr(0, kPrefix.size()) != kPrefix) {

@@ -57,10 +57,29 @@ inline constexpr std::string_view kMetricFaultTrapped = "fault.trapped";
 inline constexpr std::string_view kMetricFaultRestarts = "fault.restarts";
 inline constexpr std::string_view kMetricFaultQuarantined =
     "fault.quarantined";
+inline constexpr std::string_view kMetricFaultSloNotices =
+    "fault.slo_notices";
 
 // The four per-boundary metric families, in the order flexstat prints them.
 inline constexpr std::string_view kGateFamilies[] = {
     "crossings", "batched", "bytes", "latency_ns"};
+
+// Per-vCPU scheduler/utilization metrics (flexwatch, DESIGN.md §14):
+//   sched.vcpu<N>.busy_cycles   counter  cycles inside run slices
+//   sched.vcpu<N>.idle_cycles   counter  cycles jumped over while idle
+//   sched.vcpu<N>.steals        counter  threads this vCPU stole
+//   sched.vcpu<N>.queue_depth   gauge    ready-queue depth at last dispatch
+inline constexpr std::string_view kVCpuBusyCycles = "busy_cycles";
+inline constexpr std::string_view kVCpuIdleCycles = "idle_cycles";
+inline constexpr std::string_view kVCpuSteals = "steals";
+inline constexpr std::string_view kVCpuQueueDepth = "queue_depth";
+
+// slo.violations.<name> counters bumped by flexwatch watchdogs.
+inline constexpr std::string_view kMetricSloViolationsPrefix =
+    "slo.violations.";
+
+// sched.vcpu<N>.<family>
+std::string SchedVCpuMetricName(int vcpu, std::string_view family);
 
 // "c3", or "platform" for compartment id < 0.
 std::string CompartmentLabel(int comp);

@@ -95,7 +95,16 @@ CoopScheduler::CoopScheduler(Machine& machine)
     : machine_(machine),
       switch_counter_(
           &machine.metrics().GetCounter(obs::kMetricContextSwitches)),
-      slice_hist_(&machine.metrics().GetHistogram(obs::kMetricSchedSliceNs)) {}
+      slice_hist_(&machine.metrics().GetHistogram(obs::kMetricSchedSliceNs)) {
+  for (int v = 0; v < machine.vcpu_count(); ++v) {
+    vcpu_busy_cycles_[v] = &machine.metrics().GetCounter(
+        obs::SchedVCpuMetricName(v, obs::kVCpuBusyCycles));
+    vcpu_steals_[v] = &machine.metrics().GetCounter(
+        obs::SchedVCpuMetricName(v, obs::kVCpuSteals));
+    vcpu_queue_depth_[v] = &machine.metrics().GetGauge(
+        obs::SchedVCpuMetricName(v, obs::kVCpuQueueDepth));
+  }
+}
 
 CoopScheduler::~CoopScheduler() {
   if (active_ == this) {
@@ -220,6 +229,9 @@ void CoopScheduler::StealWork() {
     // The ready stamp survives the move: it is the causal lower bound from
     // when the thread became runnable, not a queue-position property.
     ready_queues_[v].PushBack(stolen);
+    if (vcpu_steals_[v] != nullptr) {
+      vcpu_steals_[v]->Add();
+    }
   }
 }
 
@@ -247,6 +259,11 @@ void CoopScheduler::Trampoline() {
 }
 
 CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
+  // Everything this vCPU's clock accrues until the thread switches back —
+  // switch cost, migration WRPKRU, and the slice itself — is busy time.
+  // The vCPU cannot change mid-slice (SwitchVCpu happens only in Run).
+  const int run_vcpu = machine_.current_vcpu();
+  const uint64_t busy_start_cycles = machine_.clock().cycles();
   machine_.clock().Charge(SwitchCost());
   if (machine_.vcpu_count() > 1 && thread->last_ran_vcpu_ >= 0 &&
       thread->last_ran_vcpu_ != machine_.current_vcpu()) {
@@ -323,6 +340,10 @@ CoopScheduler::SwitchReason CoopScheduler::SwitchTo(Thread* thread) {
                           /*a0=*/thread->id(),
                           /*a1=*/static_cast<uint64_t>(pending_reason_));
   }
+  if (vcpu_busy_cycles_[run_vcpu] != nullptr) {
+    vcpu_busy_cycles_[run_vcpu]->Add(machine_.clock().cycles() -
+                                     busy_start_cycles);
+  }
   return pending_reason_;
 }
 
@@ -387,6 +408,7 @@ Status CoopScheduler::Run() {
   Status result = Status::Ok();
 
   for (;;) {
+    machine_.PollTimeSeries();
     if (fatal_trap_.has_value()) {
       result = Status(ErrorCode::kBadState,
                       "fatal trap: " + fatal_trap_->ToString());
@@ -421,6 +443,11 @@ Status CoopScheduler::Run() {
       break;
     }
     next->home_vcpu_ = machine_.current_vcpu();
+    if (vcpu_queue_depth_[machine_.current_vcpu()] != nullptr) {
+      // Depth after the dequeue: threads left waiting behind this dispatch.
+      vcpu_queue_depth_[machine_.current_vcpu()]->Set(static_cast<int64_t>(
+          ready_queues_[machine_.current_vcpu()].size()));
+    }
     // Causality across vCPU clocks: the thread cannot run before the
     // (global virtual) time it became ready. No-op at one vCPU — a single
     // clock is monotone past every enqueue stamp.

@@ -109,6 +109,12 @@ class CoopScheduler : public Scheduler {
   // run-slice length histogram, recorded per SwitchTo.
   obs::Counter* switch_counter_;
   obs::LatencyHistogram* slice_hist_;
+  // Per-vCPU utilization telemetry (flexwatch, DESIGN.md §14), resolved for
+  // [0, machine.vcpu_count()) at construction; null beyond that, so a
+  // vCPU-count change after construction degrades to uncounted, not UB.
+  obs::Counter* vcpu_busy_cycles_[kMaxVCpus] = {};
+  obs::Counter* vcpu_steals_[kMaxVCpus] = {};
+  obs::Gauge* vcpu_queue_depth_[kMaxVCpus] = {};
   std::vector<std::unique_ptr<Thread>> threads_;
   // One run queue per vCPU; only [0, machine().vcpu_count()) are used.
   // A C array because IntrusiveList is pinned (sentinel self-pointers).

@@ -158,6 +158,70 @@ TEST(ConfigParser, RejectsBadSmpDirectives) {
   EXPECT_FALSE(ParseImageConfig(std::string(kBase) + "pin net\n").ok());
 }
 
+TEST(ConfigParser, ParsesFlexwatchDirectives) {
+  Result<ImageConfig> config = ParseImageConfig(
+      "backend = mpk-shared\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "window_cycles = 64K\n"
+      "slo gate.latency_ns.* p99 < 4000\n"
+      "slo net.tcp.retransmits value <= 0\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->window_cycles, 64ull << 10);
+  ASSERT_EQ(config->slos.size(), 2u);
+  EXPECT_EQ(config->slos[0].pattern, "gate.latency_ns.*");
+  EXPECT_EQ(config->slos[0].stat, obs::SloStat::kP99);
+  EXPECT_EQ(config->slos[0].op, obs::SloOp::kLt);
+  EXPECT_DOUBLE_EQ(config->slos[0].threshold, 4000.0);
+  EXPECT_EQ(config->slos[1].stat, obs::SloStat::kValue);
+  EXPECT_EQ(config->slos[1].op, obs::SloOp::kLe);
+}
+
+TEST(ConfigParser, FlexwatchDirectivesRoundTripThroughToString) {
+  Result<ImageConfig> original = ParseImageConfig(
+      "backend = mpk-shared\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "window_cycles = 100000\n"
+      "slo gate.latency_ns.* p99 < 4000\n");
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  Result<ImageConfig> reparsed =
+      ParseImageConfig(ImageConfigToString(original.value()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->window_cycles, original->window_cycles);
+  ASSERT_EQ(reparsed->slos.size(), 1u);
+  EXPECT_TRUE(reparsed->slos[0] == original->slos[0]);
+  // No windowing declared: the quiet default emits no directives.
+  ImageConfig silent;
+  silent.compartments = {{"app"}};
+  EXPECT_EQ(ImageConfigToString(silent).find("window_cycles"),
+            std::string::npos);
+  EXPECT_EQ(ImageConfigToString(silent).find("slo "), std::string::npos);
+}
+
+TEST(ConfigParser, RejectsBadFlexwatchDirectives) {
+  const char* kBase =
+      "backend = mpk-shared\ncompartment net\ncompartment app sched libc "
+      "alloc\n";
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "window_cycles = 0\n").ok());
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "window_cycles = soon\n").ok());
+  EXPECT_FALSE(ParseImageConfig(std::string(kBase) + "slo\n").ok());
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "slo gate.* p99 <\n").ok());
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "slo gate.* p75 < 10\n").ok());
+  EXPECT_FALSE(
+      ParseImageConfig(std::string(kBase) + "slo gate.* p99 != 10\n").ok());
+  // A bad slo error names the offending line.
+  const Status status =
+      ParseImageConfig(std::string(kBase) + "slo gate.* p99 < soon\n")
+          .status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 4"), std::string::npos);
+}
+
 TEST(ConfigParser, ParsedConfigBuildsAnImage) {
   Result<ImageConfig> config = ParseImageConfig(
       "backend = mpk-shared\n"

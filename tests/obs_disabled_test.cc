@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/attrib.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace flexos {
@@ -85,6 +86,49 @@ TEST(ObsDisabledTest, StubRequestsNeverMint) {
   EXPECT_EQ(attrib.current_request(), 0u);
   attrib.EndRequest(ctx.id, 50, 2000);  // No-op, must not crash.
   EXPECT_TRUE(attrib.Requests().empty());
+}
+
+TEST(ObsDisabledTest, TimeSeriesIsInertStub) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::TimeSeries series;
+  series.BindObs(&registry, &tracer);
+  series.Enable(1000);  // Must not actually enable anything.
+  EXPECT_FALSE(series.enabled());
+  EXPECT_EQ(series.window_cycles(), 0u);
+
+  obs::SloSpec spec;
+  spec.pattern = "gate.latency_ns.*";
+  series.AddWatchdog(spec);
+  EXPECT_TRUE(series.watchdogs().empty());
+  series.SetViolationHook([](const obs::SloViolation&) { FAIL(); });
+
+  series.MaybeCapture(50000);
+  series.FinalizeTail(60000);
+  EXPECT_EQ(series.windows_captured(), 0u);
+  EXPECT_EQ(series.violations_total(), 0u);
+  EXPECT_TRUE(series.Snapshot().empty());
+  series.Disable();  // No-op, must not crash.
+}
+
+TEST(ObsDisabledTest, SloSpecParsingStillWorks) {
+  // SloSpec + parser are shared plain data: configs with slo directives
+  // must parse identically in disabled builds (they just never evaluate).
+  obs::SloSpec spec;
+  std::string error;
+  ASSERT_TRUE(
+      obs::ParseSloSpec("gate.latency_ns.mpk-* p99 < 4000", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.pattern, "gate.latency_ns.mpk-*");
+  EXPECT_EQ(spec.stat, obs::SloStat::kP99);
+  EXPECT_EQ(spec.op, obs::SloOp::kLt);
+  EXPECT_DOUBLE_EQ(spec.threshold, 4000.0);
+  EXPECT_EQ(spec.EffectiveName(), "gate.latency_ns.mpk-*.p99");
+  EXPECT_EQ(obs::SloSpecToString(spec),
+            "gate.latency_ns.mpk-* p99 < 4000");
+  EXPECT_FALSE(obs::ParseSloSpec("garbage", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(obs::GlobMatch("a*c", "abc"));
 }
 
 TEST(ObsDisabledTest, RequestRecordTypesArePlainData) {

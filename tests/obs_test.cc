@@ -362,6 +362,119 @@ TEST(LatencyHistogramTest, ResetClearsEverything) {
 }
 
 // ---------------------------------------------------------------------------
+// Window arithmetic (flexwatch, DESIGN.md §14).
+
+TEST(LatencyHistogramTest, DeltaSubtractsBucketsCountAndSum) {
+  LatencyHistogram hist;
+  hist.Record(10);
+  hist.Record(20);
+  const LatencyHistogram prev = hist;  // Snapshot after 2 samples.
+  hist.Record(30);
+  hist.Record(40);
+  hist.Record(40);
+
+  const LatencyHistogram delta = LatencyHistogram::Delta(hist, prev);
+  EXPECT_EQ(delta.count(), 3u);
+  EXPECT_EQ(delta.sum(), 110u);
+  EXPECT_EQ(delta.bucket(LatencyHistogram::BucketIndex(40)), 2u);
+  EXPECT_EQ(delta.bucket(LatencyHistogram::BucketIndex(10)), 0u);
+}
+
+TEST(LatencyHistogramTest, DeltaAgainstEmptyPrevIsExactCopy) {
+  LatencyHistogram hist;
+  hist.Record(5);
+  hist.Record(123456);
+  const LatencyHistogram delta =
+      LatencyHistogram::Delta(hist, LatencyHistogram());
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_EQ(delta.min(), 5u);       // Exact: first window copies cur.
+  EXPECT_EQ(delta.max(), 123456u);
+  EXPECT_EQ(delta.Percentile(1), 5u);
+}
+
+TEST(LatencyHistogramTest, DeltaOfUnchangedHistogramIsEmpty) {
+  LatencyHistogram hist;
+  hist.Record(99);
+  const LatencyHistogram delta = LatencyHistogram::Delta(hist, hist);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_EQ(delta.sum(), 0u);
+  EXPECT_EQ(delta.Percentile(99), 0u);
+}
+
+TEST(LatencyHistogramTest, DeltaTracksNewExtremesExactly) {
+  LatencyHistogram hist;
+  hist.Record(100);
+  const LatencyHistogram prev = hist;
+  hist.Record(7);        // New cumulative min this window.
+  hist.Record(1000000);  // New cumulative max this window.
+  const LatencyHistogram delta = LatencyHistogram::Delta(hist, prev);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_EQ(delta.min(), 7u);        // Moved extremes are exact.
+  EXPECT_EQ(delta.max(), 1000000u);
+}
+
+TEST(LatencyHistogramTest, DeltaBoundsUnmovedExtremesByBucket) {
+  LatencyHistogram hist;
+  hist.Record(1);       // Cumulative min.
+  hist.Record(900000);  // Cumulative max.
+  const LatencyHistogram prev = hist;
+  hist.Record(100);  // Interior sample: neither extreme moved.
+  const LatencyHistogram delta = LatencyHistogram::Delta(hist, prev);
+  EXPECT_EQ(delta.count(), 1u);
+  EXPECT_EQ(delta.sum(), 100u);
+  // Bucket-bounded: within one sub-bucket of the true value (100).
+  EXPECT_LE(delta.min(), 100u);
+  EXPECT_GE(delta.min(), LatencyHistogram::BucketLowerBound(
+                             LatencyHistogram::BucketIndex(100)));
+  EXPECT_GE(delta.max(), 100u);
+  EXPECT_LE(delta.min(), delta.max());
+}
+
+TEST(LatencyHistogramTest, DeltaAfterResetReturnsCurAsIs) {
+  LatencyHistogram hist;
+  hist.Record(50);
+  hist.Record(60);
+  const LatencyHistogram prev = hist;
+  hist.Reset();
+  hist.Record(5);
+  const LatencyHistogram delta = LatencyHistogram::Delta(hist, prev);
+  EXPECT_EQ(delta.count(), 1u);  // cur, not a bogus negative window.
+  EXPECT_EQ(delta.sum(), 5u);
+}
+
+TEST(LatencyHistogramTest, PerWindowPercentilesDivergeFromCumulative) {
+  // A latency regression in the second window: the cumulative histogram
+  // averages it away, the window delta pins it.
+  LatencyHistogram hist;
+  for (int i = 0; i < 1000; ++i) {
+    hist.Record(8);
+  }
+  const LatencyHistogram prev = hist;
+  for (int i = 0; i < 10; ++i) {
+    hist.Record(500000);
+  }
+  const LatencyHistogram window = LatencyHistogram::Delta(hist, prev);
+  EXPECT_EQ(window.count(), 10u);
+  EXPECT_GE(window.Percentile(50), 262144u);  // All slow in-window.
+  EXPECT_EQ(hist.Percentile(99), 8u);  // Cumulative hides the regression.
+  EXPECT_EQ(window.count() + prev.count(), hist.count());
+  EXPECT_EQ(window.sum() + prev.sum(), hist.sum());
+}
+
+TEST(LatencyHistogramTest, DeltaHandlesOverflowBucket) {
+  LatencyHistogram hist;
+  hist.Record(10);
+  const LatencyHistogram prev = hist;
+  const uint64_t huge = uint64_t{1} << 43;  // Past kMaxExp: overflow.
+  hist.Record(huge);
+  const LatencyHistogram delta = LatencyHistogram::Delta(hist, prev);
+  EXPECT_EQ(delta.count(), 1u);
+  EXPECT_EQ(delta.overflow(), 1u);
+  EXPECT_EQ(delta.max(), huge);  // Overflow deltas report the exact max.
+  EXPECT_EQ(delta.Percentile(99), huge);
+}
+
+// ---------------------------------------------------------------------------
 // Registry.
 
 TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {

@@ -1,0 +1,541 @@
+// flexwatch tests (DESIGN.md §14): window capture semantics, boundary
+// coalescing, ring retention, SLO watchdog evaluation, rebind behavior,
+// the per-vCPU utilization counters, and exporter determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/testbed.h"
+#include "core/image_builder.h"
+#include "hw/machine.h"
+#include "obs/export.h"
+#include "obs/names.h"
+#include "obs/timeseries.h"
+#include "sched/coop_scheduler.h"
+
+namespace flexos {
+namespace {
+
+using obs::SloOp;
+using obs::SloSpec;
+using obs::SloStat;
+using obs::WindowSnapshot;
+
+SloSpec MustParse(const std::string& text) {
+  SloSpec spec;
+  std::string error;
+  EXPECT_TRUE(obs::ParseSloSpec(text, &spec, &error)) << error;
+  return spec;
+}
+
+// Finds a counter sample by name in a window; -1 when absent.
+int64_t CounterDelta(const WindowSnapshot& window, const std::string& name) {
+  for (const auto& sample : window.counters) {
+    if (sample.name == name) {
+      return static_cast<int64_t>(sample.delta);
+    }
+  }
+  return -1;
+}
+
+// --- Glob + SLO spec parsing (shared plain data) ---------------------------
+
+TEST(Glob, MatchesLiteralAndStar) {
+  EXPECT_TRUE(obs::GlobMatch("abc", "abc"));
+  EXPECT_FALSE(obs::GlobMatch("abc", "abd"));
+  EXPECT_FALSE(obs::GlobMatch("abc", "abcd"));
+  EXPECT_TRUE(obs::GlobMatch("*", ""));
+  EXPECT_TRUE(obs::GlobMatch("*", "anything"));
+  EXPECT_TRUE(obs::GlobMatch("gate.latency_ns.*", "gate.latency_ns.mpk.c0.c1"));
+  EXPECT_FALSE(obs::GlobMatch("gate.latency_ns.*x", "gate.latency_ns.abc"));
+  EXPECT_TRUE(obs::GlobMatch("*.c0.*", "gate.crossings.none.c0.c1"));
+  EXPECT_TRUE(obs::GlobMatch("a*b*c", "a--b--b--c"));
+  EXPECT_FALSE(obs::GlobMatch("a*b*c", "a--c--b"));
+}
+
+TEST(SloSpec, ParsesEveryStatAndOp) {
+  const SloSpec spec = MustParse("gate.latency_ns.mpk-shared.* p99 < 4000");
+  EXPECT_EQ(spec.pattern, "gate.latency_ns.mpk-shared.*");
+  EXPECT_EQ(spec.stat, SloStat::kP99);
+  EXPECT_EQ(spec.op, SloOp::kLt);
+  EXPECT_DOUBLE_EQ(spec.threshold, 4000.0);
+
+  EXPECT_EQ(MustParse("m p50 <= 1").stat, SloStat::kP50);
+  EXPECT_EQ(MustParse("m p90 <= 1").stat, SloStat::kP90);
+  EXPECT_EQ(MustParse("m mean > 1").stat, SloStat::kMean);
+  EXPECT_EQ(MustParse("m max >= 1").stat, SloStat::kMax);
+  EXPECT_EQ(MustParse("m count < 1").stat, SloStat::kCount);
+  EXPECT_EQ(MustParse("m sum < 1").stat, SloStat::kSum);
+  EXPECT_EQ(MustParse("m value < 1.5").stat, SloStat::kValue);
+  EXPECT_EQ(MustParse("m value <= 1").op, SloOp::kLe);
+  EXPECT_EQ(MustParse("m value > 1").op, SloOp::kGt);
+  EXPECT_EQ(MustParse("m value >= 1").op, SloOp::kGe);
+}
+
+TEST(SloSpec, RejectsMalformedSpecs) {
+  SloSpec spec;
+  std::string error;
+  EXPECT_FALSE(obs::ParseSloSpec("", &spec, &error));
+  EXPECT_FALSE(obs::ParseSloSpec("m p99 <", &spec, &error));
+  EXPECT_FALSE(obs::ParseSloSpec("m p99 < 1 extra", &spec, &error));
+  EXPECT_FALSE(obs::ParseSloSpec("m p75 < 1", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(obs::ParseSloSpec("m p99 != 1", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::ParseSloSpec("m p99 < abc", &spec, &error));
+  EXPECT_FALSE(obs::ParseSloSpec("m p99 < 1xyz", &spec, &error));
+  EXPECT_FALSE(obs::ParseSloSpec("m p99 < nan", &spec, &error));
+}
+
+TEST(SloSpec, RoundTripsThroughToString) {
+  const SloSpec spec = MustParse("gate.latency_ns.* p99 < 4000");
+  const SloSpec again = MustParse(obs::SloSpecToString(spec));
+  EXPECT_TRUE(spec == again);
+}
+
+TEST(SloSpec, EffectiveNameDefaultsToPatternDotStat) {
+  SloSpec spec = MustParse("gate.latency_ns.* p99 < 4000");
+  EXPECT_EQ(spec.EffectiveName(), "gate.latency_ns.*.p99");
+  spec.name = "gate-tail";
+  EXPECT_EQ(spec.EffectiveName(), "gate-tail");
+}
+
+// --- Window capture --------------------------------------------------------
+
+TEST(TimeSeries, CapturesPerWindowCounterDeltas) {
+  Machine machine;
+  machine.metrics().GetCounter("test.reqs");
+  machine.timeseries().Enable(/*window_cycles=*/1000);
+  ASSERT_TRUE(machine.timeseries().enabled());
+
+  machine.metrics().GetCounter("test.reqs").Add(7);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  ASSERT_EQ(machine.timeseries().windows_captured(), 1u);
+
+  machine.metrics().GetCounter("test.reqs").Add(3);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  ASSERT_EQ(machine.timeseries().windows_captured(), 2u);
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].seq, 1u);
+  EXPECT_EQ(windows[0].start_cycles, 0u);
+  EXPECT_EQ(windows[0].end_cycles, 1000u);
+  EXPECT_EQ(CounterDelta(windows[0], "test.reqs"), 7);
+  EXPECT_EQ(windows[1].seq, 2u);
+  EXPECT_EQ(windows[1].start_cycles, 1000u);
+  EXPECT_EQ(windows[1].end_cycles, 2000u);
+  EXPECT_EQ(CounterDelta(windows[1], "test.reqs"), 3);
+}
+
+TEST(TimeSeries, PollBeforeBoundaryCapturesNothing) {
+  Machine machine;
+  machine.timeseries().Enable(1000);
+  machine.PollTimeSeries();  // At cycle 0: nothing elapsed.
+  machine.ChargeCompute(999);
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().windows_captured(), 0u);
+  machine.ChargeCompute(1);  // Exactly on the boundary closes.
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().windows_captured(), 1u);
+}
+
+TEST(TimeSeries, EnableWithZeroWindowStaysDisabled) {
+  Machine machine;
+  machine.timeseries().Enable(0);
+  EXPECT_FALSE(machine.timeseries().enabled());
+  machine.ChargeCompute(100000);
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().windows_captured(), 0u);
+  EXPECT_TRUE(machine.timeseries().Snapshot().empty());
+}
+
+TEST(TimeSeries, MultiBoundaryJumpCoalescesIntoOneWindow) {
+  // An idle jump across 5 boundaries closes ONE spanning window: deltas
+  // are never lost and the ring is not flushed with empty windows.
+  Machine machine;
+  machine.metrics().GetCounter("test.reqs").Add(4);
+  machine.timeseries().Enable(1000);
+  machine.metrics().GetCounter("test.reqs").Add(5);
+  machine.ChargeCompute(5500);
+  machine.PollTimeSeries();
+  ASSERT_EQ(machine.timeseries().windows_captured(), 1u);
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_cycles, 0u);
+  EXPECT_EQ(windows[0].end_cycles, 5000u);  // Boundary-aligned, not 5500.
+  // Pre-Enable accrual is the baseline; only post-Enable deltas count.
+  EXPECT_EQ(CounterDelta(windows[0], "test.reqs"), 5);
+
+  // The next boundary continues from the aligned close.
+  machine.ChargeCompute(400);  // now = 5900 < 6000.
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().windows_captured(), 1u);
+  machine.ChargeCompute(100);  // now = 6000.
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().windows_captured(), 2u);
+}
+
+TEST(TimeSeries, RingRetainsMostRecentWindows) {
+  Machine machine;
+  auto& reqs = machine.metrics().GetCounter("test.reqs");
+  machine.timeseries().Enable(1000, /*ring_windows=*/4);
+  for (int i = 1; i <= 6; ++i) {
+    reqs.Add(static_cast<uint64_t>(i));  // Window i's delta = i.
+    machine.ChargeCompute(1000);
+    machine.PollTimeSeries();
+  }
+  EXPECT_EQ(machine.timeseries().windows_captured(), 6u);
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 4u);  // Ring of 4: windows 3..6 survive.
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const uint64_t seq = i + 3;
+    EXPECT_EQ(windows[i].seq, seq);
+    EXPECT_EQ(windows[i].start_cycles, (seq - 1) * 1000);
+    EXPECT_EQ(windows[i].end_cycles, seq * 1000);
+    EXPECT_EQ(CounterDelta(windows[i], "test.reqs"),
+              static_cast<int64_t>(seq));
+  }
+}
+
+TEST(TimeSeries, IdleWindowsOmitZeroSamples) {
+  Machine machine;
+  machine.metrics().GetCounter("test.reqs");
+  machine.metrics().GetGauge("test.depth");
+  machine.metrics().GetHistogram("test.lat");
+  machine.timeseries().Enable(1000);
+  machine.ChargeCompute(1000);  // Nothing recorded this window.
+  machine.PollTimeSeries();
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].counters.empty());
+  EXPECT_TRUE(windows[0].gauges.empty());
+  EXPECT_TRUE(windows[0].histograms.empty());
+}
+
+TEST(TimeSeries, FinalizeTailClosesPartialWindow) {
+  Machine machine;
+  auto& reqs = machine.metrics().GetCounter("test.reqs");
+  machine.timeseries().Enable(1000);
+  reqs.Add(2);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  reqs.Add(9);
+  machine.ChargeCompute(250);  // Partial window: 1000..1250.
+  machine.timeseries().FinalizeTail(machine.max_cycles());
+  ASSERT_EQ(machine.timeseries().windows_captured(), 2u);
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1].start_cycles, 1000u);
+  EXPECT_EQ(windows[1].end_cycles, 1250u);  // End = now, not boundary.
+  EXPECT_EQ(CounterDelta(windows[1], "test.reqs"), 9);
+
+  // Nothing elapsed since: a second finalize is a no-op.
+  machine.timeseries().FinalizeTail(machine.max_cycles());
+  EXPECT_EQ(machine.timeseries().windows_captured(), 2u);
+}
+
+TEST(TimeSeries, FinalizeTailWithNoElapsedTimeIsNoop) {
+  Machine machine;
+  machine.timeseries().Enable(1000);
+  machine.timeseries().FinalizeTail(0);
+  EXPECT_EQ(machine.timeseries().windows_captured(), 0u);
+}
+
+TEST(TimeSeries, RebindPicksUpMetricsRegisteredAfterEnable) {
+  Machine machine;
+  machine.timeseries().Enable(1000);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();  // Window 1 under the initial binding.
+
+  // A metric born mid-run: its whole accrual belongs to the window that
+  // closes after registration (prev starts at zero).
+  machine.metrics().GetCounter("test.late").Add(42);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(CounterDelta(windows[0], "test.late"), -1);  // Not bound yet.
+  EXPECT_EQ(CounterDelta(windows[1], "test.late"), 42);
+}
+
+TEST(TimeSeries, GaugeSamplesAreInstantaneous) {
+  Machine machine;
+  auto& depth = machine.metrics().GetGauge("test.depth");
+  machine.timeseries().Enable(1000);
+  depth.Set(5);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  depth.Set(2);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 2u);
+  ASSERT_EQ(windows[0].gauges.size(), 1u);
+  EXPECT_EQ(windows[0].gauges[0].value, 5);
+  ASSERT_EQ(windows[1].gauges.size(), 1u);
+  EXPECT_EQ(windows[1].gauges[0].value, 2);
+}
+
+TEST(TimeSeries, HistogramWindowsHoldOnlyThatWindowsSamples) {
+  Machine machine;
+  auto& lat = machine.metrics().GetHistogram("test.lat");
+  machine.timeseries().Enable(1000);
+  // Window 1: all fast. Window 2: all slow. Per-window percentiles must
+  // diverge even though the cumulative histogram blends both.
+  for (int i = 0; i < 100; ++i) {
+    lat.Record(10);
+  }
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  for (int i = 0; i < 100; ++i) {
+    lat.Record(100000);
+  }
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+
+  const auto windows = machine.timeseries().Snapshot();
+  ASSERT_EQ(windows.size(), 2u);
+  ASSERT_EQ(windows[0].histograms.size(), 1u);
+  ASSERT_EQ(windows[1].histograms.size(), 1u);
+  const auto& w1 = windows[0].histograms[0].delta;
+  const auto& w2 = windows[1].histograms[0].delta;
+  EXPECT_EQ(w1.count(), 100u);
+  EXPECT_EQ(w2.count(), 100u);
+  EXPECT_EQ(w1.Percentile(99), 10u);
+  EXPECT_GE(w2.Percentile(50), 65536u);  // Bucket floor of 100000.
+  // The cumulative histogram cannot tell the two regimes apart.
+  EXPECT_EQ(lat.count(), 200u);
+  EXPECT_EQ(lat.Percentile(50), 10u);
+}
+
+// --- SLO watchdogs ---------------------------------------------------------
+
+TEST(TimeSeries, CounterValueWatchdogFiresOnViolation) {
+  Machine machine;
+  auto& reqs = machine.metrics().GetCounter("test.reqs");
+  machine.tracer().SetEnabled(true);
+  machine.timeseries().Enable(1000);
+  // Good condition: at least 5 requests per window.
+  machine.timeseries().AddWatchdog(MustParse("test.reqs value >= 5"));
+
+  reqs.Add(10);  // Window 1 satisfies.
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().violations_total(), 0u);
+
+  reqs.Add(2);  // Window 2 violates (delta 2 < 5).
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().violations_total(), 1u);
+  EXPECT_EQ(machine.metrics().CounterValue("slo.violations.test.reqs.value"),
+            1u);
+
+  // The violation also left a cat=slo trace instant.
+  bool saw_slo_instant = false;
+  for (const auto& event : machine.tracer().Snapshot()) {
+    if (event.cat == obs::TraceCat::kSlo) {
+      saw_slo_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_slo_instant);
+}
+
+TEST(TimeSeries, HistogramWatchdogSkipsEmptyWindows) {
+  Machine machine;
+  auto& lat = machine.metrics().GetHistogram("test.lat");
+  machine.timeseries().Enable(1000);
+  machine.timeseries().AddWatchdog(MustParse("test.lat p99 < 100"));
+
+  for (int i = 0; i < 10; ++i) {
+    lat.Record(5000);  // p99 way over 100: violation.
+  }
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().violations_total(), 1u);
+
+  machine.ChargeCompute(1000);  // No samples: no verdict either way.
+  machine.PollTimeSeries();
+  EXPECT_EQ(machine.timeseries().violations_total(), 1u);
+}
+
+TEST(TimeSeries, ViolationHookReceivesMeasurement) {
+  Machine machine;
+  auto& reqs = machine.metrics().GetCounter("test.reqs");
+  machine.timeseries().Enable(1000);
+  SloSpec spec = MustParse("test.reqs value < 5");
+  spec.name = "req-rate";
+  machine.timeseries().AddWatchdog(spec);
+
+  std::vector<obs::SloViolation> seen;
+  machine.timeseries().SetViolationHook(
+      [&seen](const obs::SloViolation& v) { seen.push_back(v); });
+
+  reqs.Add(9);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].slo_name, "req-rate");
+  EXPECT_EQ(seen[0].metric, "test.reqs");
+  EXPECT_EQ(seen[0].window_seq, 1u);
+  EXPECT_DOUBLE_EQ(seen[0].measured, 9.0);
+  EXPECT_DOUBLE_EQ(seen[0].threshold, 5.0);
+  EXPECT_EQ(machine.metrics().CounterValue("slo.violations.req-rate"), 1u);
+}
+
+TEST(TimeSeries, GlobWatchdogCoversEveryMatchingMetric) {
+  Machine machine;
+  machine.metrics().GetCounter("svc.a.errors").Add(0);
+  machine.metrics().GetCounter("svc.b.errors");
+  machine.timeseries().Enable(1000);
+  machine.timeseries().AddWatchdog(MustParse("svc.*.errors value <= 0"));
+
+  machine.metrics().GetCounter("svc.a.errors").Add(1);
+  machine.metrics().GetCounter("svc.b.errors").Add(1);
+  machine.ChargeCompute(1000);
+  machine.PollTimeSeries();
+  // Both matching counters violated in the same window.
+  EXPECT_EQ(machine.timeseries().violations_total(), 2u);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+TEST(Exporters, PrometheusTextFormat) {
+  Machine machine;
+  machine.metrics().GetCounter("gate.crossings.mpk-shared.c0.c1").Add(3);
+  machine.metrics().GetGauge("sched.vcpu0.queue_depth").Set(2);
+  machine.metrics().GetHistogram("gate.latency_ns.none.c0.c1").Record(77);
+  const std::string text = obs::MetricsToPrometheus(machine.metrics());
+
+  // Names sanitized to the Prometheus charset; counters/gauges typed,
+  // histograms exported as summaries with quantiles.
+  EXPECT_NE(text.find("# TYPE gate_crossings_mpk_shared_c0_c1 counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gate_crossings_mpk_shared_c0_c1 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sched_vcpu0_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gate_latency_ns_none_c0_c1 summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("gate_latency_ns_none_c0_c1_count 1"),
+            std::string::npos);
+}
+
+TEST(Exporters, TimelineJsonSchemaAndDeterminism) {
+  std::string timelines[2];
+  for (int run = 0; run < 2; ++run) {
+    Machine machine;
+    auto& reqs = machine.metrics().GetCounter("test.reqs");
+    auto& lat = machine.metrics().GetHistogram("test.lat");
+    machine.timeseries().Enable(1000);
+    for (int w = 0; w < 3; ++w) {
+      reqs.Add(static_cast<uint64_t>(w + 1));
+      lat.Record(static_cast<uint64_t>(100 * (w + 1)));
+      machine.ChargeCompute(1000);
+      machine.PollTimeSeries();
+    }
+    machine.timeseries().FinalizeTail(machine.max_cycles());
+    timelines[run] = obs::TimelineToJson(
+        machine.timeseries().Snapshot(),
+        machine.timeseries().window_cycles());
+  }
+  EXPECT_EQ(timelines[0], timelines[1]);  // Same seed, same bytes.
+  EXPECT_NE(timelines[0].find("\"schema\":\"flexos-timeline-v1\""),
+            std::string::npos);
+  EXPECT_NE(timelines[0].find("\"window_cycles\":1000"), std::string::npos);
+  EXPECT_NE(timelines[0].find("\"test.reqs\""), std::string::npos);
+  EXPECT_NE(timelines[0].find("\"p99\""), std::string::npos);
+}
+
+// --- Scheduler + testbed integration ---------------------------------------
+
+TEST(TimeSeriesIntegration, SchedulerFeedsPerVcpuUtilization) {
+  Machine machine;
+  machine.SetVCpuCount(2);
+  machine.timeseries().Enable(10000);
+  CoopScheduler sched(machine);
+  for (int pin = 0; pin < 2; ++pin) {
+    ASSERT_TRUE(sched.Spawn("worker" + std::to_string(pin),
+                            [&] {
+                              for (int i = 0; i < 16; ++i) {
+                                machine.ChargeCompute(5000);
+                                sched.Yield();
+                              }
+                            },
+                            pin)
+                    .ok());
+  }
+  ASSERT_TRUE(sched.Run().ok());
+
+  // Both pinned lanes accumulated busy cycles under their own name, and
+  // the scheduler loop's polling closed windows along the way.
+  const uint64_t busy0 = machine.metrics().CounterValue(
+      obs::SchedVCpuMetricName(0, obs::kVCpuBusyCycles));
+  const uint64_t busy1 = machine.metrics().CounterValue(
+      obs::SchedVCpuMetricName(1, obs::kVCpuBusyCycles));
+  EXPECT_GE(busy0, 16u * 5000u);
+  EXPECT_GE(busy1, 16u * 5000u);
+  EXPECT_GT(machine.timeseries().windows_captured(), 0u);
+}
+
+TEST(TimeSeriesIntegration, TestbedWiringEnablesWatchAndNotifiesSupervisor) {
+  TestbedConfig config;
+  config.image.backend = IsolationBackend::kMpkSharedStack;
+  config.image.compartments = {
+      {std::string(kLibNet)},
+      {std::string(kLibApp), std::string(kLibSched), std::string(kLibLibc),
+       std::string(kLibAlloc), std::string(kLibFs)}};
+  config.watch = true;
+  config.window_cycles = 10000;
+  config.supervise = true;
+  // Impossible SLO: any window with gate traffic violates, which must
+  // reach the supervisor as an advisory notice (never a quarantine).
+  config.image.slos.push_back(MustParse("gate.crossings.* value < 1"));
+
+  Testbed bed(config);
+  ASSERT_TRUE(bed.machine().timeseries().enabled());
+  bed.SpawnApp("app", [&bed] {
+    for (int i = 0; i < 64; ++i) {
+      bed.machine().ChargeCompute(2000);
+      bed.scheduler().Yield();
+    }
+  });
+  ASSERT_TRUE(bed.Run().ok());
+  bed.machine().timeseries().FinalizeTail(bed.machine().max_cycles());
+
+  EXPECT_GT(bed.machine().timeseries().windows_captured(), 0u);
+  EXPECT_GT(bed.machine().timeseries().violations_total(), 0u);
+  ASSERT_NE(bed.supervisor(), nullptr);
+  EXPECT_GT(bed.supervisor()->slo_notices(), 0u);
+  EXPECT_EQ(bed.supervisor()->slo_notices(),
+            bed.machine().metrics().CounterValue(obs::kMetricFaultSloNotices));
+  // Advisory only: no compartment was quarantined or restarted.
+  EXPECT_EQ(bed.machine().metrics().CounterValue(obs::kMetricFaultRestarts),
+            0u);
+}
+
+TEST(TimeSeriesIntegration, TestbedDefaultsWindowFromImageConfig) {
+  TestbedConfig config;
+  config.image.backend = IsolationBackend::kNone;
+  config.image.compartments = {
+      {std::string(kLibNet)},
+      {std::string(kLibApp), std::string(kLibSched), std::string(kLibLibc),
+       std::string(kLibAlloc), std::string(kLibFs)}};
+  config.image.window_cycles = 4096;  // Config implies watch, no flag.
+  Testbed bed(config);
+  EXPECT_TRUE(bed.machine().timeseries().enabled());
+  EXPECT_EQ(bed.machine().timeseries().window_cycles(), 4096u);
+}
+
+}  // namespace
+}  // namespace flexos

@@ -382,10 +382,23 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
     std::fprintf(stderr, "flexbench: %s: malformed JSON\n", path.c_str());
     return false;
   }
+  // Schema drift fails loudly here, not as a silent field mismatch later.
   const JsonValue* schema = root.Find("schema");
-  if (schema == nullptr || schema->str != "flexos-bench-v1") {
-    std::fprintf(stderr, "flexbench: %s: not a flexos-bench-v1 file\n",
-                 path.c_str());
+  if (schema == nullptr) {
+    std::fprintf(stderr,
+                 "flexbench: %s: no \"schema\" field (expected \"%.*s\"); "
+                 "not a flexbench baseline?\n",
+                 path.c_str(), static_cast<int>(bench::kBenchSchema.size()),
+                 bench::kBenchSchema.data());
+    return false;
+  }
+  if (schema->str != bench::kBenchSchema) {
+    std::fprintf(stderr,
+                 "flexbench: %s: schema \"%s\" does not match this binary's "
+                 "\"%.*s\"; regenerate the baseline with --report\n",
+                 path.c_str(), schema->str.c_str(),
+                 static_cast<int>(bench::kBenchSchema.size()),
+                 bench::kBenchSchema.data());
     return false;
   }
   if (const JsonValue* mode = root.Find("mode"); mode != nullptr) {
@@ -435,7 +448,9 @@ std::string BuildReport(const Options& opts, const char* kind,
                         const std::vector<std::pair<std::string, BenchRun>>&
                             runs,
                         const std::vector<Drift>* drifts, bool pass) {
-  std::string out = "{\n  \"schema\": \"flexos-bench-v1\",\n  \"kind\": \"";
+  std::string out = "{\n  \"schema\": \"";
+  out += bench::kBenchSchema;
+  out += "\",\n  \"kind\": \"";
   out += kind;
   out += "\",\n  \"mode\": \"";
   out += opts.smoke ? "smoke" : "full";

@@ -22,6 +22,17 @@
 //                      table grows a per-vCPU crossing breakdown column
 //     --vcpu ID        with --vcpus, restrict the per-vCPU column to one
 //                      vCPU's crossings
+//     --watch          enable flexwatch windowing; print a per-window table
+//                      (crossings, gate p99, per-vCPU utilization)
+//     --window N       flexwatch window length in cycles (default 1 ms of
+//                      virtual time); implies --watch
+//     --timeline FILE  write the retained windows as flexos-timeline-v1
+//                      JSON to FILE; implies --watch
+//     --slo            print the SLO watchdog report (the config declares
+//                      watchdogs with "slo <pattern> <stat> <op> <value>")
+//     --prom FILE      write the end-of-run metrics in Prometheus text
+//                      exposition format to FILE (serve via a textfile
+//                      collector)
 //
 // Exit status: 0 on a complete run, 1 when the workload fails, 2 on usage
 // or I/O errors.
@@ -57,6 +68,11 @@ struct Options {
   std::string config_path;
   int vcpus = 1;
   int vcpu_filter = -1;  // -1 = show all vCPUs in the per-vCPU column.
+  bool watch = false;
+  uint64_t window_cycles = 0;  // 0 = the 1 ms default.
+  std::string timeline_path;
+  bool slo_report = false;
+  std::string prom_path;
 };
 
 int Usage() {
@@ -64,7 +80,9 @@ int Usage() {
                "usage: flexstat [--bytes N] [--buffer N] [--batch] [--json]\n"
                "                [--metrics FILE] [--trace FILE]\n"
                "                [--request all|ID] [--flame FILE|-]\n"
-               "                [--vcpus N] [--vcpu ID] <config.conf>\n");
+               "                [--vcpus N] [--vcpu ID]\n"
+               "                [--watch] [--window N] [--timeline FILE]\n"
+               "                [--slo] [--prom FILE] <config.conf>\n");
   return 2;
 }
 
@@ -210,6 +228,95 @@ void PrintTable(const std::vector<BoundaryRow>& rows, const Machine& machine,
 // ns rendered as ms with enough digits for microsecond-scale gates.
 double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
+// Per-window view of one WindowSnapshot: gate traffic and per-vCPU
+// utilization (busy / (busy + idle) over that window's counter deltas).
+void PrintWatchTable(const Machine& machine) {
+  const obs::TimeSeries& timeseries = machine.timeseries();
+  const std::vector<obs::WindowSnapshot> windows = timeseries.Snapshot();
+  const Clock& clock = machine.clock_of(0);
+  std::printf("\n# flexwatch: %llu windows captured (%llu cycles each), "
+              "showing last %zu\n",
+              static_cast<unsigned long long>(timeseries.windows_captured()),
+              static_cast<unsigned long long>(timeseries.window_cycles()),
+              windows.size());
+  std::printf("%5s %10s %10s %10s %12s", "win", "start(ms)", "span(ms)",
+              "crossings", "gate p99(ns)");
+  for (int v = 0; v < machine.vcpu_count(); ++v) {
+    std::printf(" %7s", ("util v" + std::to_string(v)).c_str());
+  }
+  std::printf("\n");
+  for (const obs::WindowSnapshot& window : windows) {
+    uint64_t crossings = 0;
+    for (const obs::WindowCounterSample& sample : window.counters) {
+      obs::GateMetricParts parts;
+      if (obs::ParseGateMetricName(sample.name, &parts) &&
+          parts.family == "crossings") {
+        crossings += sample.delta;
+      }
+    }
+    uint64_t gate_p99 = 0;
+    for (const obs::WindowHistSample& sample : window.histograms) {
+      obs::GateMetricParts parts;
+      if (obs::ParseGateMetricName(sample.name, &parts) &&
+          parts.family == "latency_ns") {
+        const uint64_t p99 = sample.delta.Percentile(99);
+        if (p99 > gate_p99) {
+          gate_p99 = p99;
+        }
+      }
+    }
+    std::printf("%5llu %10.3f %10.3f %10llu %12llu",
+                static_cast<unsigned long long>(window.seq),
+                Ms(clock.CyclesToNanos(window.start_cycles)),
+                Ms(clock.CyclesToNanos(window.end_cycles -
+                                       window.start_cycles)),
+                static_cast<unsigned long long>(crossings),
+                static_cast<unsigned long long>(gate_p99));
+    for (int v = 0; v < machine.vcpu_count(); ++v) {
+      uint64_t busy = 0;
+      uint64_t idle = 0;
+      const std::string busy_name =
+          obs::SchedVCpuMetricName(v, obs::kVCpuBusyCycles);
+      const std::string idle_name =
+          obs::SchedVCpuMetricName(v, obs::kVCpuIdleCycles);
+      for (const obs::WindowCounterSample& sample : window.counters) {
+        if (sample.name == busy_name) {
+          busy = sample.delta;
+        } else if (sample.name == idle_name) {
+          idle = sample.delta;
+        }
+      }
+      const uint64_t total = busy + idle;
+      std::printf(" %6.1f%%", total == 0 ? 0.0
+                                         : 100.0 * static_cast<double>(busy) /
+                                               static_cast<double>(total));
+    }
+    std::printf("\n");
+  }
+  if (windows.empty()) {
+    std::printf("(no windows closed: run shorter than one window)\n");
+  }
+}
+
+void PrintSloReport(const Machine& machine) {
+  const obs::TimeSeries& timeseries = machine.timeseries();
+  std::printf("\n# slo report: %llu violations across %llu windows\n",
+              static_cast<unsigned long long>(timeseries.violations_total()),
+              static_cast<unsigned long long>(timeseries.windows_captured()));
+  for (const obs::SloSpec& spec : timeseries.watchdogs()) {
+    const uint64_t violations = machine.metrics().CounterValue(
+        std::string(obs::kMetricSloViolationsPrefix) + spec.EffectiveName());
+    std::printf("%-8s slo %s  (%llu violations)\n",
+                violations == 0 ? "OK" : "VIOLATED",
+                obs::SloSpecToString(spec).c_str(),
+                static_cast<unsigned long long>(violations));
+  }
+  if (timeseries.watchdogs().empty()) {
+    std::printf("(no watchdogs declared: add \"slo <pattern> <stat> <op> "
+                "<value>\" lines to the config)\n");
+  }
+}
+
 void PrintRequestSummary(const obs::Attributor& attrib,
                          const Clock& clock) {
   std::printf("\n%-5s %-14s %10s %10s %10s %10s %10s %10s\n", "id", "name",
@@ -338,6 +445,35 @@ int Run(int argc, char** argv) {
         return Usage();
       }
       opts.vcpu_filter = std::atoi(v);
+    } else if (arg == "--watch") {
+      opts.watch = true;
+    } else if (arg == "--window") {
+      const char* v = next_value("--window");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.window_cycles = std::strtoull(v, nullptr, 10);
+      if (opts.window_cycles == 0) {
+        std::fprintf(stderr, "flexstat: --window wants a positive cycle "
+                     "count\n");
+        return 2;
+      }
+      opts.watch = true;
+    } else if (arg == "--timeline") {
+      const char* v = next_value("--timeline");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.timeline_path = v;
+      opts.watch = true;
+    } else if (arg == "--slo") {
+      opts.slo_report = true;
+    } else if (arg == "--prom") {
+      const char* v = next_value("--prom");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.prom_path = v;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -372,6 +508,8 @@ int Run(int argc, char** argv) {
   bed_config.image = config.value();
   bed_config.tcp.batch_crossings = opts.batch;
   bed_config.profile = !opts.request_spec.empty() || !opts.flame_path.empty();
+  bed_config.watch = opts.watch || opts.slo_report;
+  bed_config.window_cycles = opts.window_cycles;
   bed_config.vcpus = opts.vcpus;
   if (opts.vcpus > 1) {
     // Spread the workload off the boot vCPU so the per-vCPU column has
@@ -415,6 +553,24 @@ int Run(int argc, char** argv) {
     // Charge the tail slice on every lane so flame/request totals cover
     // the whole run regardless of which vCPU a thread last ran on.
     machine.SyncAttribution();
+  }
+  if (machine.timeseries().enabled()) {
+    // Close the trailing partial window so totals cover the whole run.
+    machine.timeseries().FinalizeTail(machine.max_cycles());
+  }
+  if (!opts.timeline_path.empty()) {
+    const std::string timeline_json = obs::TimelineToJson(
+        machine.timeseries().Snapshot(), machine.timeseries().window_cycles());
+    if (!WriteFile(opts.timeline_path, timeline_json)) {
+      std::fprintf(stderr, "flexstat: cannot write %s\n",
+                   opts.timeline_path.c_str());
+      return 2;
+    }
+  }
+  if (!opts.prom_path.empty() &&
+      !WriteFile(opts.prom_path, obs::MetricsToPrometheus(machine.metrics()))) {
+    std::fprintf(stderr, "flexstat: cannot write %s\n", opts.prom_path.c_str());
+    return 2;
   }
   const std::string metrics_json = obs::MetricsToJson(machine.metrics());
   if (!opts.metrics_path.empty() &&
@@ -469,6 +625,13 @@ int Run(int argc, char** argv) {
     PrintTable(CollectBoundaries(machine.metrics(), machine.vcpu_count()),
                machine, server_result.bytes_received,
                machine.clock().NowSeconds(), opts.vcpu_filter);
+  }
+
+  if (opts.watch && !opts.json) {
+    PrintWatchTable(machine);
+  }
+  if (opts.slo_report) {
+    PrintSloReport(machine);
   }
 
   if (!opts.request_spec.empty()) {
