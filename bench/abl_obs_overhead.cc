@@ -4,14 +4,16 @@
 // route-resolved pointers) and tracing costs one relaxed atomic load when
 // disabled; PR 4 adds the request attributor and flexwatch adds windowed
 // time-series capture, all under the same contract. This bench verifies
-// every half across four variants — observability off, tracing on,
-// tracing + cycle profiler on, and the full flexwatch stack (windowing +
-// SLO watchdogs) on:
-//   model cyc/call — must be bit-identical across all four variants in
-//                    fresh machines: recording, attribution, and window
-//                    capture happen outside the cost model, so
-//                    observability can never perturb a result. Hard-gated
-//                    in every mode, including --smoke.
+// every half across five variants — observability off, tracing on,
+// tracing + cycle profiler on, the full flexwatch stack (windowing + SLO
+// watchdogs), and the flexpath critical-path profiler (tracing + attributor
+// + an offline CriticalPath::Build after the timed loop):
+//   model cyc/call — must be bit-identical across all five variants in
+//                    fresh machines: recording, attribution, window
+//                    capture, and critical-path reconstruction happen
+//                    outside the cost model, so observability can never
+//                    perturb a result. Hard-gated in every mode, including
+//                    --smoke.
 //   wall ns/call   — observability-off dispatch must stay within noise of
 //                    the cached-route fast path (abl_gate_dispatch.cc's
 //                    "cached" column); traced/profiled/watched runs may
@@ -20,6 +22,12 @@
 // A second hard gate replays the watch variant twice on one backend and
 // requires the exported JSON timelines to be byte-identical: window
 // closes are driven by virtual time, so same seed means same timeline.
+// A third hard gate (critpath variant, enabled builds) requires the
+// critical path to reconcile exactly against the gate.latency_ns.*
+// histograms AND self-calibrate: every boundary's recorded gate
+// nanoseconds must equal crossings x CyclesToNanos(PredictedCrossingCycles)
+// for that backend — the profiler's view and the cost model's prediction
+// are the same number, not merely close.
 // Pass --smoke for a fast CI run with tiny iteration counts.
 #include <algorithm>
 #include <cstdio>
@@ -27,7 +35,9 @@
 #include <string>
 
 #include "bench_util.h"
+#include "core/gate_costs.h"
 #include "core/image_builder.h"
+#include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/timeseries.h"
 
@@ -58,35 +68,38 @@ int main(int argc, char** argv) {
               "crossing, %llu calls per variant%s\n",
               static_cast<unsigned long long>(kIters),
               smoke ? " (smoke)" : "");
-  std::printf("%-14s %10s %10s %10s %10s %12s %14s %9s\n", "backend",
-              "obs-off", "trace-on", "profile-on", "watch-on", "obs-off",
-              "cycles", "wall");
-  std::printf("%-14s %10s %10s %10s %10s %12s %14s %9s\n", "", "(ns/call)",
-              "(ns/call)", "(ns/call)", "(ns/call)", "(cyc/call)",
-              "identical?", "ratio");
+  std::printf("%-14s %10s %10s %10s %10s %10s %12s %14s %9s\n", "backend",
+              "obs-off", "trace-on", "profile-on", "watch-on", "critpath",
+              "obs-off", "cycles", "wall");
+  std::printf("%-14s %10s %10s %10s %10s %10s %12s %14s %9s\n", "",
+              "(ns/call)", "(ns/call)", "(ns/call)", "(ns/call)",
+              "(ns/call)", "(cyc/call)", "identical?", "ratio");
 
   bool cycles_ok = true;
   bool watch_ok = true;
+  bool critpath_ok = true;
   double max_wall_ratio = 0;
   constexpr IsolationBackend kBackends[] = {
       IsolationBackend::kNone, IsolationBackend::kMpkSharedStack,
       IsolationBackend::kMpkSwitchedStack, IsolationBackend::kVmRpc};
   for (IsolationBackend backend : kBackends) {
-    // Four identical machines: one never enables observability (the
+    // Five identical machines: one never enables observability (the
     // production default), one traces throughout, one traces and runs the
-    // cycle attributor, and one adds flexwatch windowing with an SLO
-    // watchdog that fires every window. Their charged cycles must agree
-    // exactly — observability lives outside the cost model. Every
-    // variant's measured body polls the time series so the disabled-path
-    // cost of the poll itself is part of the obs-off column.
-    bench::LoopSample variants[4];
-    for (int variant = 0; variant < 4; ++variant) {
+    // cycle attributor, one adds flexwatch windowing with an SLO watchdog
+    // that fires every window, and one runs the flexpath inputs (tracing +
+    // attributor) and reconstructs the critical path offline afterwards.
+    // Their charged cycles must agree exactly — observability lives
+    // outside the cost model. Every variant's measured body polls the
+    // time series so the disabled-path cost of the poll itself is part of
+    // the obs-off column.
+    bench::LoopSample variants[5];
+    for (int variant = 0; variant < 5; ++variant) {
       Machine machine;
       machine.tracer().SetEnabled(variant >= 1);
       if (variant >= 2) {
         machine.attrib().SetEnabled(true, machine.clock().cycles());
       }
-      if (variant >= 3) {
+      if (variant == 3) {
         machine.timeseries().Enable(kWatchWindowCycles);
         obs::SloSpec spec;
         std::string error;
@@ -109,7 +122,7 @@ int main(int argc, char** argv) {
         machine.PollTimeSeries();
       });
 #ifndef FLEXOS_OBS_DISABLED
-      if (variant >= 3 &&
+      if (variant == 3 &&
           (machine.timeseries().windows_captured() == 0 ||
            machine.timeseries().violations_total() == 0)) {
         std::fprintf(stderr,
@@ -121,26 +134,74 @@ int main(int argc, char** argv) {
                          machine.timeseries().violations_total()));
         watch_ok = false;
       }
+      if (variant == 4) {
+        // Offline critical-path reconstruction: must reconcile exactly
+        // against the gate histograms, and every boundary must
+        // self-calibrate against the cost model's predicted per-crossing
+        // cost (uniform 64/16-byte gate frames on this path).
+        machine.SyncAttribution();
+        obs::CriticalPath critpath;
+        const Clock& clock = machine.clock();
+        critpath.Build(
+            machine.attrib(), machine.metrics(), machine.tracer().Snapshot(),
+            [&clock](uint64_t cycles) { return clock.CyclesToNanos(cycles); },
+            machine.costs().ipi);
+        if (!critpath.reconciled()) {
+          std::fprintf(stderr, "critpath variant (%s): %s\n",
+                       std::string(IsolationBackendName(backend)).c_str(),
+                       critpath.reconcile_detail().c_str());
+          critpath_ok = false;
+        }
+        const uint64_t predicted_ns = clock.CyclesToNanos(
+            PredictedCrossingCycles(machine.costs(), backend, kGateArgBytes,
+                                    kGateRetBytes));
+        bool any_boundary = false;
+        for (const obs::BoundaryShare& share : critpath.boundaries()) {
+          any_boundary = true;
+          if (share.gate_ns != share.crossings * predicted_ns) {
+            std::fprintf(stderr,
+                         "critpath variant (%s): boundary %s recorded "
+                         "%llu ns over %llu crossings, cost model predicts "
+                         "%llu ns/crossing\n",
+                         std::string(IsolationBackendName(backend)).c_str(),
+                         share.boundary.c_str(),
+                         static_cast<unsigned long long>(share.gate_ns),
+                         static_cast<unsigned long long>(share.crossings),
+                         static_cast<unsigned long long>(predicted_ns));
+            critpath_ok = false;
+          }
+        }
+        if (!any_boundary) {
+          std::fprintf(stderr,
+                       "critpath variant (%s): no gate boundaries found\n",
+                       std::string(IsolationBackendName(backend)).c_str());
+          critpath_ok = false;
+        }
+      }
 #endif
     }
     const bench::LoopSample& off = variants[0];
     const bench::LoopSample& traced = variants[1];
     const bench::LoopSample& profiled = variants[2];
     const bench::LoopSample& watched = variants[3];
+    const bench::LoopSample& critpathed = variants[4];
 
     const bool identical =
         off.model_cycles_total == traced.model_cycles_total &&
         off.model_cycles_total == profiled.model_cycles_total &&
-        off.model_cycles_total == watched.model_cycles_total;
+        off.model_cycles_total == watched.model_cycles_total &&
+        off.model_cycles_total == critpathed.model_cycles_total;
     cycles_ok = cycles_ok && identical;
     const double wall_ratio =
         traced.wall_ns > 0 ? off.wall_ns / traced.wall_ns : 0;
     max_wall_ratio = std::max(max_wall_ratio, wall_ratio);
-    std::printf("%-14s %10.1f %10.1f %10.1f %10.1f %12.1f %14s %8.2fx\n",
+    std::printf("%-14s %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f %14s "
+                "%8.2fx\n",
                 std::string(IsolationBackendName(backend)).c_str(),
                 off.wall_ns, traced.wall_ns, profiled.wall_ns,
-                watched.wall_ns, off.CyclesPerCall(kIters),
-                identical ? "yes" : "NO", wall_ratio);
+                watched.wall_ns, critpathed.wall_ns,
+                off.CyclesPerCall(kIters), identical ? "yes" : "NO",
+                wall_ratio);
   }
 
   // Timeline determinism: two fresh machines, same config, same call
@@ -182,11 +243,16 @@ int main(int argc, char** argv) {
 
   std::printf("\n# Checks:\n");
   std::printf("  modeled cycles identical with observability off / tracing "
-              "on / profiler on / flexwatch on: %s (hard-gated)\n",
+              "on / profiler on / flexwatch on / critpath on: %s "
+              "(hard-gated)\n",
               cycles_ok ? "yes" : "NO");
   std::printf("  flexwatch captured windows and watchdog violations: %s "
               "(hard-gated unless built with FLEXOS_OBS_DISABLED)\n",
               watch_ok ? "yes" : "NO");
+  std::printf("  critical path reconciled and self-calibrated against the "
+              "cost model on every backend: %s (hard-gated unless built "
+              "with FLEXOS_OBS_DISABLED)\n",
+              critpath_ok ? "yes" : "NO");
   std::printf("  same-seed flexwatch JSON timelines byte-identical: %s "
               "(hard-gated)\n",
               timeline_ok ? "yes" : "NO");
@@ -194,7 +260,7 @@ int main(int argc, char** argv) {
               "off/on ratio %.2fx (full runs gate <= 1.25x; disabled "
               "tracing must not be slower than enabled)\n",
               max_wall_ratio);
-  if (!cycles_ok || !watch_ok || !timeline_ok) {
+  if (!cycles_ok || !watch_ok || !critpath_ok || !timeline_ok) {
     return 1;
   }
   // Wall-clock gate only on full runs: smoke iteration counts are too

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# flexpath smoke under sanitizers: the critical-path profiler is offline
+# analysis (Build() walks the attributor, metrics registry, and trace
+# snapshot after a run), so its failure modes are host-level — allocation
+# churn while assembling paths/segments and reads of the tracer ring /
+# registry. Two passes:
+#   1. ASan+UBSan over the obs- and critpath-labeled ctest targets plus the
+#      flexstat --critpath/--advise e2e runs (leaks + overflow in the DAG
+#      assembly and JSON emitters).
+#   2. TSan over the critpath- and smp-labeled targets (the SMP edge stamps
+#      — sched.ready / sched.steal / sched.ipi — write the shared tracer
+#      ring from scheduler and machine code paths).
+#
+# Usage: scripts/critpath_smoke.sh [asan-dir [tsan-dir]]
+#        (defaults: build-asan, build-tsan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+asan_dir=${1:-"$repo_root/build-asan"}
+tsan_dir=${2:-"$repo_root/build-tsan"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== critpath_smoke: configure + build (FLEXOS_SANITIZE=address)"
+cmake -S "$repo_root" -B "$asan_dir" -DFLEXOS_SANITIZE=address
+cmake --build "$asan_dir" -j "$jobs"
+
+echo "== critpath_smoke: obs- and critpath-labeled tests under ASan"
+ctest --test-dir "$asan_dir" -L "obs|critpath" --output-on-failure
+
+echo "== critpath_smoke: abl_obs_overhead --smoke (identity + reconcile gates)"
+"$asan_dir/bench/abl_obs_overhead" --smoke
+
+echo "== critpath_smoke: configure + build (FLEXOS_SANITIZE=thread)"
+cmake -S "$repo_root" -B "$tsan_dir" -DFLEXOS_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$jobs"
+
+echo "== critpath_smoke: critpath- and smp-labeled tests under TSan"
+ctest --test-dir "$tsan_dir" -L "critpath|smp" --output-on-failure
+
+echo "== critpath_smoke: clean under ASan and TSan"

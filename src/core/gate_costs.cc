@@ -1,0 +1,51 @@
+#include "core/gate_costs.h"
+
+namespace flexos {
+
+uint64_t PredictedCrossingCycles(const CostModel& costs,
+                                 IsolationBackend backend,
+                                 uint64_t arg_bytes, uint64_t ret_bytes,
+                                 bool cross_vcpu) {
+  switch (backend) {
+    case IsolationBackend::kNone:
+      // DirectGate: Enter charges the near call, Exit charges nothing.
+      return costs.direct_call;
+    case IsolationBackend::kMpkSharedStack:
+      // Scrub + WRPKRU per half; arguments stay on the shared stack.
+      return 2 * (costs.register_clear + costs.wrpkru);
+    case IsolationBackend::kMpkSwitchedStack:
+      // Per half: scrub, stack switch, payload copy onto the target stack,
+      // WRPKRU (args in, returns out).
+      return 2 * (costs.register_clear + costs.stack_switch + costs.wrpkru) +
+             costs.CopyCycles(arg_bytes) + costs.CopyCycles(ret_bytes);
+    case IsolationBackend::kVmRpc: {
+      // Per half: marshal the payload into the ring, exit + notify +
+      // re-entry. A cross-vCPU target adds the remote wakeup IPI each way.
+      uint64_t cycles = costs.CopyCycles(arg_bytes) +
+                        costs.CopyCycles(ret_bytes) +
+                        2 * (2 * costs.vmexit + costs.vm_notify);
+      if (cross_vcpu) {
+        cycles += 2 * costs.ipi;
+      }
+      return cycles;
+    }
+  }
+  return 0;
+}
+
+bool IsolationBackendFromName(std::string_view name, IsolationBackend* out) {
+  if (name == "none") {
+    *out = IsolationBackend::kNone;
+  } else if (name == "mpk-shared") {
+    *out = IsolationBackend::kMpkSharedStack;
+  } else if (name == "mpk-switched") {
+    *out = IsolationBackend::kMpkSwitchedStack;
+  } else if (name == "vm-rpc") {
+    *out = IsolationBackend::kVmRpc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flexos

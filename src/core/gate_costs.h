@@ -1,0 +1,41 @@
+// Cost-model query hooks for offline analysis (flexpath, DESIGN.md §15):
+// predict what one gate crossing of a boundary costs under a given backend
+// WITHOUT running it. The what-if engine and the promote/demote advisor
+// replay a measured run's crossing counts against these predictions, so the
+// formulas here must mirror the gate implementations' charge sequences
+// exactly — gate_costs_test.cc locks that by comparing the prediction
+// against the gate.latency_ns.* histograms of a real run, per backend.
+#ifndef FLEXOS_CORE_GATE_COSTS_H_
+#define FLEXOS_CORE_GATE_COSTS_H_
+
+#include <string_view>
+
+#include "core/image.h"
+#include "hw/cost_model.h"
+
+namespace flexos {
+
+// Modeled cycles for one entry+exit crossing carrying `arg_bytes` in and
+// `ret_bytes` back, with uninstrumented (mem multiplier 1.0) caller and
+// callee. Mirrors DirectGate / MpkSharedStackGate / MpkSwitchedStackGate /
+// VmRpcGate::Enter+Exit:
+//   none          direct_call
+//   mpk-shared    2 * (register_clear + wrpkru)
+//   mpk-switched  2 * (register_clear + stack_switch + wrpkru)
+//                   + CopyCycles(arg) + CopyCycles(ret)
+//   vm-rpc        CopyCycles(arg) + CopyCycles(ret)
+//                   + 2 * (2 * vmexit + vm_notify)
+// `cross_vcpu` adds the two IPIs a vm-rpc gate charges when caller and
+// target are pinned to different vCPUs (no other backend issues IPIs).
+uint64_t PredictedCrossingCycles(const CostModel& costs,
+                                 IsolationBackend backend,
+                                 uint64_t arg_bytes, uint64_t ret_bytes,
+                                 bool cross_vcpu = false);
+
+// Parses the config spelling (IsolationBackendName round-trip): "none",
+// "mpk-shared", "mpk-switched", "vm-rpc". Returns false for anything else.
+bool IsolationBackendFromName(std::string_view name, IsolationBackend* out);
+
+}  // namespace flexos
+
+#endif  // FLEXOS_CORE_GATE_COSTS_H_

@@ -93,6 +93,11 @@ int Machine::CompartmentAffinityOf(int compartment) const {
 void Machine::ChargeIpi(int target_vcpu) {
   clock().Charge(costs_.ipi);
   ++stats_.ipi_count;
+  // flexpath cross-vCPU edge: a0 = target vCPU + 1 (0 = broadcast/none),
+  // a1 = the issuing request id (RecordInstant has no req parameter).
+  tracer_.RecordInstant(obs::TraceCat::kSched, "sched.ipi", /*tid=*/0,
+                        /*a0=*/static_cast<uint64_t>(target_vcpu + 1),
+                        /*a1=*/attrib_.current_request());
   if (target_vcpu >= 0) {
     RaceJoin(current_vcpu_, target_vcpu);
   }

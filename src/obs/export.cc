@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace flexos {
 namespace obs {
 
@@ -280,6 +282,161 @@ std::string TimelineToJson(const std::vector<WindowSnapshot>& windows,
       out += JsonEscape(sample.name);
       out += "\":";
       AppendHistBody(&out, sample.delta);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+uint64_t U64Field(const JsonValue& object, const char* key) {
+  const JsonValue* field = object.Find(key);
+  return field != nullptr && field->kind == JsonValue::kNumber
+             ? static_cast<uint64_t>(field->number)
+             : 0;
+}
+
+}  // namespace
+
+bool TimelineFromJson(const std::string& text, TimelineDoc* out,
+                      std::string* error) {
+  JsonValue root;
+  if (!JsonReader(text).Parse(&root) || root.kind != JsonValue::kObject) {
+    *error = "malformed JSON";
+    return false;
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::kString) {
+    *error = "no \"schema\" field (expected \"flexos-timeline-v1\")";
+    return false;
+  }
+  if (schema->str != "flexos-timeline-v1") {
+    *error = "schema \"" + schema->str + "\" is not \"flexos-timeline-v1\"";
+    return false;
+  }
+  out->windows.clear();
+  out->window_cycles = U64Field(root, "window_cycles");
+  const JsonValue* windows = root.Find("windows");
+  if (windows == nullptr || windows->kind != JsonValue::kArray) {
+    *error = "missing \"windows\" array";
+    return false;
+  }
+  for (const JsonValue& window_json : windows->array) {
+    if (window_json.kind != JsonValue::kObject) {
+      *error = "window entry is not an object";
+      return false;
+    }
+    TimelineWindow window;
+    window.seq = U64Field(window_json, "seq");
+    window.start_cycles = U64Field(window_json, "start_cycles");
+    window.end_cycles = U64Field(window_json, "end_cycles");
+    if (const JsonValue* counters = window_json.Find("counters");
+        counters != nullptr && counters->kind == JsonValue::kObject) {
+      for (const auto& [name, value] : counters->object) {
+        window.counters.emplace_back(name,
+                                     static_cast<uint64_t>(value.number));
+      }
+    }
+    if (const JsonValue* gauges = window_json.Find("gauges");
+        gauges != nullptr && gauges->kind == JsonValue::kObject) {
+      for (const auto& [name, value] : gauges->object) {
+        window.gauges.emplace_back(name, static_cast<int64_t>(value.number));
+      }
+    }
+    if (const JsonValue* hists = window_json.Find("histograms");
+        hists != nullptr && hists->kind == JsonValue::kObject) {
+      for (const auto& [name, value] : hists->object) {
+        if (value.kind != JsonValue::kObject) {
+          *error = "histogram \"" + name + "\" is not an object";
+          return false;
+        }
+        TimelineHistStats stats;
+        stats.count = U64Field(value, "count");
+        stats.sum = U64Field(value, "sum");
+        stats.min = U64Field(value, "min");
+        stats.max = U64Field(value, "max");
+        if (const JsonValue* mean = value.Find("mean"); mean != nullptr) {
+          stats.mean = mean->number;
+        }
+        stats.p50 = U64Field(value, "p50");
+        stats.p90 = U64Field(value, "p90");
+        stats.p99 = U64Field(value, "p99");
+        window.histograms.emplace_back(name, stats);
+      }
+    }
+    out->windows.push_back(std::move(window));
+  }
+  return true;
+}
+
+std::string TimelineDocToJson(const TimelineDoc& doc) {
+  std::string out = "{\"schema\":\"flexos-timeline-v1\",\"window_cycles\":";
+  AppendU64(&out, doc.window_cycles);
+  out += ",\"windows\":[";
+  bool first_window = true;
+  for (const TimelineWindow& window : doc.windows) {
+    if (!first_window) {
+      out += ',';
+    }
+    first_window = false;
+    out += "{\"seq\":";
+    AppendU64(&out, window.seq);
+    out += ",\"start_cycles\":";
+    AppendU64(&out, window.start_cycles);
+    out += ",\"end_cycles\":";
+    AppendU64(&out, window.end_cycles);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, delta] : window.counters) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += JsonEscape(name);
+      out += "\":";
+      AppendU64(&out, delta);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : window.gauges) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += JsonEscape(name);
+      out += "\":";
+      AppendI64(&out, value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, stats] : window.histograms) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += JsonEscape(name);
+      out += "\":{\"count\":";
+      AppendU64(&out, stats.count);
+      out += ",\"sum\":";
+      AppendU64(&out, stats.sum);
+      out += ",\"min\":";
+      AppendU64(&out, stats.min);
+      out += ",\"max\":";
+      AppendU64(&out, stats.max);
+      out += ",\"mean\":";
+      AppendDouble(&out, stats.mean);
+      out += ",\"p50\":";
+      AppendU64(&out, stats.p50);
+      out += ",\"p90\":";
+      AppendU64(&out, stats.p90);
+      out += ",\"p99\":";
+      AppendU64(&out, stats.p99);
+      out += '}';
     }
     out += "}}";
   }

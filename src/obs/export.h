@@ -4,7 +4,9 @@
 #ifndef FLEXOS_OBS_EXPORT_H_
 #define FLEXOS_OBS_EXPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -32,6 +34,46 @@ std::string MetricsToPrometheus(const MetricsRegistry& registry);
 // (hard-gated by bench/abl_obs_overhead.cc).
 std::string TimelineToJson(const std::vector<WindowSnapshot>& windows,
                            uint64_t window_cycles);
+
+// Parsed form of a flexos-timeline-v1 document (the diff reader's view).
+// Histograms come back as their exported summary stats, not bucket arrays —
+// the export is lossy by design and the diff tooling compares summaries.
+struct TimelineHistStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+};
+
+struct TimelineWindow {
+  uint64_t seq = 0;
+  uint64_t start_cycles = 0;
+  uint64_t end_cycles = 0;
+  // Insertion-ordered as written (name-sorted by the exporter).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, TimelineHistStats>> histograms;
+};
+
+struct TimelineDoc {
+  uint64_t window_cycles = 0;
+  std::vector<TimelineWindow> windows;
+};
+
+// Parses TimelineToJson output back into a TimelineDoc. Rejects missing or
+// mismatched "schema" fields with a human-readable *error. Integral fields
+// round-trip exactly below 2^53 (the reader holds numbers as doubles);
+// every value the exporter writes is far below that.
+bool TimelineFromJson(const std::string& text, TimelineDoc* out,
+                      std::string* error);
+
+// Re-serializes a TimelineDoc byte-identically to the TimelineToJson output
+// it was parsed from (locked by obs_test's round-trip test).
+std::string TimelineDocToJson(const TimelineDoc& doc);
 
 // Chrome trace-event JSON. ts/dur are microseconds (doubles; the format's
 // unit), pid is always 1, tid is the event's track id (compartment + 1).

@@ -1,0 +1,137 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace flexos {
+namespace obs {
+
+bool JsonReader::Parse(JsonValue* out) {
+  pos_ = 0;
+  return ParseValue(out) && (SkipWs(), pos_ == text_.size());
+}
+
+void JsonReader::SkipWs() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+    ++pos_;
+  }
+}
+
+bool JsonReader::Consume(char c) {
+  SkipWs();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool JsonReader::ParseString(std::string* out) {
+  SkipWs();
+  if (pos_ >= text_.size() || text_[pos_] != '"') {
+    return false;
+  }
+  ++pos_;
+  out->clear();
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_++];
+    if (c == '\\' && pos_ < text_.size()) {
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        default:
+          c = esc;
+      }
+    }
+    *out += c;
+  }
+  if (pos_ >= text_.size()) {
+    return false;  // Unterminated string.
+  }
+  ++pos_;  // Closing quote.
+  return true;
+}
+
+bool JsonReader::ParseValue(JsonValue* out) {
+  SkipWs();
+  if (pos_ >= text_.size()) {
+    return false;
+  }
+  const char c = text_[pos_];
+  if (c == '{') {
+    ++pos_;
+    out->kind = JsonValue::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      JsonValue value;
+      if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+  if (c == '[') {
+    ++pos_;
+    out->kind = JsonValue::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+  if (c == '"') {
+    out->kind = JsonValue::kString;
+    return ParseString(&out->str);
+  }
+  if (text_.compare(pos_, 4, "true") == 0) {
+    out->kind = JsonValue::kBool;
+    out->boolean = true;
+    pos_ += 4;
+    return true;
+  }
+  if (text_.compare(pos_, 5, "false") == 0) {
+    out->kind = JsonValue::kBool;
+    pos_ += 5;
+    return true;
+  }
+  if (text_.compare(pos_, 4, "null") == 0) {
+    pos_ += 4;
+    return true;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text_.c_str() + pos_, &end);
+  if (end == text_.c_str() + pos_) {
+    return false;
+  }
+  out->kind = JsonValue::kNumber;
+  out->number = value;
+  pos_ = static_cast<size_t>(end - text_.c_str());
+  return true;
+}
+
+}  // namespace obs
+}  // namespace flexos

@@ -1,0 +1,64 @@
+// Minimal JSON reader for the repo's own deterministic JSON artifacts
+// (flexos-bench-v1 result sets, flexos-timeline-v1 window dumps,
+// flexos-critpath-v1 reports). Factored out of tools/flexbench.cc so the
+// exporters (obs/export.cc) and the diff tooling parse through one
+// implementation instead of two drifting copies.
+//
+// Scope: exactly what our writers emit — objects, arrays, strings with the
+// JsonEscape escape set, numbers via strtod, true/false/null. Numbers are
+// held as doubles, so integers above 2^53 lose precision; every in-tree
+// schema keeps its integral fields far below that (virtual cycle counts,
+// window sequence numbers, metric values with <= 3 printed decimals).
+//
+// The obs layer sits below support/ — no other flexos headers here, no
+// Status type: Parse returns false and the caller reports context.
+#ifndef FLEXOS_OBS_JSON_H_
+#define FLEXOS_OBS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexos {
+namespace obs {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  // Parses the whole input as one value (trailing whitespace allowed,
+  // trailing garbage rejected). Returns false on any syntax error.
+  bool Parse(JsonValue* out);
+
+ private:
+  void SkipWs();
+  bool Consume(char c);
+  bool ParseString(std::string* out);
+  bool ParseValue(JsonValue* out);
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace obs
+}  // namespace flexos
+
+#endif  // FLEXOS_OBS_JSON_H_

@@ -178,6 +178,16 @@ void CoopScheduler::EnqueueReady(Thread* thread) {
   // off).
   thread->hb_ready_handle_ = machine_.RaceRelease();
   ready_queues_[QueueOf(thread)].PushBack(thread);
+  // flexpath queue-wait edge: this stamp pairs with the thread's next
+  // sched.run_slice span (matched by thread id in a0) to recover
+  // ready->switch-in latency offline. a1 = the queue it was enqueued on.
+  obs::Tracer& tracer = machine_.tracer();
+  if (tracer.enabled()) {
+    tracer.RecordInstant(obs::TraceCat::kSched, "sched.ready",
+                         /*tid=*/thread->exec_context_.compartment + 1,
+                         /*a0=*/thread->id(),
+                         /*a1=*/static_cast<uint64_t>(QueueOf(thread)));
+  }
 }
 
 int CoopScheduler::PickVCpu() const {
@@ -231,6 +241,14 @@ void CoopScheduler::StealWork() {
     ready_queues_[v].PushBack(stolen);
     if (vcpu_steals_[v] != nullptr) {
       vcpu_steals_[v]->Add();
+    }
+    // flexpath cross-vCPU edge: thread a0 migrated donor (a1) -> thief (v).
+    obs::Tracer& tracer = machine_.tracer();
+    if (tracer.enabled()) {
+      tracer.RecordInstant(obs::TraceCat::kSched, "sched.steal",
+                           /*tid=*/stolen->exec_context_.compartment + 1,
+                           /*a0=*/stolen->id(),
+                           /*a1=*/static_cast<uint64_t>(donor));
     }
   }
 }

@@ -1066,6 +1066,131 @@ TEST(ObsIntegrationTest, IperfRequestReconcilesWithGateHistograms) {
 
 #endif  // FLEXOS_OBS_DISABLED
 
+// ---------------------------------------------------------------------------
+// Per-vCPU gate counters: the ".v<N>" split (image.cc) appends a fifth
+// dot-field after "gate.", which ParseGateMetricName must keep rejecting —
+// any scan that sums "crossings" over accepted names would otherwise count
+// every crossing twice (aggregate + per-vCPU split).
+
+TEST(MetricNamesTest, RejectsPerVCpuFifthDotField) {
+  obs::GateMetricParts parts;
+  const std::string aggregate =
+      obs::GateMetricName("crossings", "mpk-shared", 0, 1);
+  ASSERT_TRUE(obs::ParseGateMetricName(aggregate, &parts));
+  EXPECT_FALSE(obs::ParseGateMetricName(aggregate + ".v0", &parts));
+  EXPECT_FALSE(obs::ParseGateMetricName(aggregate + ".v17", &parts));
+  EXPECT_FALSE(obs::ParseGateMetricName(
+      "gate.latency_ns.vm-rpc.platform.c2.v1", &parts));
+}
+
+TEST(MetricNamesTest, PerVCpuSplitNeverDoubleCountsInScans) {
+  obs::MetricsRegistry registry;
+  const std::string aggregate =
+      obs::GateMetricName("crossings", "mpk-shared", 0, 1);
+  registry.GetCounter(aggregate).Add(10);
+  registry.GetCounter(aggregate + ".v0").Add(6);
+  registry.GetCounter(aggregate + ".v1").Add(4);
+
+  uint64_t scanned = 0;
+  for (const auto& entry : registry.Entries()) {
+    obs::GateMetricParts parts;
+    if (entry.counter != nullptr &&
+        obs::ParseGateMetricName(entry.name, &parts) &&
+        parts.family == "crossings") {
+      scanned += entry.counter->value();
+    }
+  }
+  EXPECT_EQ(scanned, 10u);  // Aggregate only; .v0/.v1 are display splits.
+}
+
+// ---------------------------------------------------------------------------
+// Exporter edge cases.
+
+TEST(ExportTest, PrometheusNameEscapingAndLeadingDigit) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("gate.latency_ns.mpk-shared.c0.c1").Add(1);
+  registry.GetCounter("0weird name%").Add(2);
+  const std::string out = obs::MetricsToPrometheus(registry);
+  EXPECT_NE(out.find("# TYPE gate_latency_ns_mpk_shared_c0_c1 counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("gate_latency_ns_mpk_shared_c0_c1 1"),
+            std::string::npos);
+  // Names may not start with a digit in the 0.0.4 exposition format: the
+  // sanitizer prepends '_', and no exposition line may begin with a digit.
+  EXPECT_NE(out.find("_0weird_name_ 2"), std::string::npos);
+  size_t line_start = 0;
+  while (line_start < out.size()) {
+    EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(out[line_start])))
+        << "line starts with a digit at offset " << line_start;
+    const size_t nl = out.find('\n', line_start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    line_start = nl + 1;
+  }
+}
+
+TEST(ExportTest, EmptyRegistryExportsAreValid) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(obs::MetricsToPrometheus(registry), "");
+  const std::string json = obs::MetricsToJson(registry);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root));
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  const JsonValue* counters = root.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_TRUE(counters->fields.empty());
+}
+
+TEST(ExportTest, TimelineRoundTripsByteIdentical) {
+  std::vector<obs::WindowSnapshot> windows(2);
+  windows[0].seq = 1;
+  windows[0].start_cycles = 0;
+  windows[0].end_cycles = 1000;
+  windows[0].counters.push_back({"gate.crossings.none.c0.c1", 7});
+  windows[0].gauges.push_back({"alloc.bytes_live", -3});
+  obs::WindowHistSample hist;
+  hist.name = "gate.latency_ns.none.c0.c1";
+  for (uint64_t v = 1; v <= 9; ++v) {
+    hist.delta.Record(v * 100);
+  }
+  windows[0].histograms.push_back(hist);
+  windows[1].seq = 2;
+  windows[1].start_cycles = 1000;
+  windows[1].end_cycles = 2000;
+  windows[1].counters.push_back({"gate.crossings.none.c0.c1", 2});
+
+  const std::string json = obs::TimelineToJson(windows, 1000);
+  obs::TimelineDoc doc;
+  std::string error;
+  ASSERT_TRUE(obs::TimelineFromJson(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.window_cycles, 1000u);
+  ASSERT_EQ(doc.windows.size(), 2u);
+  EXPECT_EQ(doc.windows[0].seq, 1u);
+  ASSERT_EQ(doc.windows[0].counters.size(), 1u);
+  EXPECT_EQ(doc.windows[0].counters[0].first, "gate.crossings.none.c0.c1");
+  EXPECT_EQ(doc.windows[0].counters[0].second, 7u);
+  ASSERT_EQ(doc.windows[0].gauges.size(), 1u);
+  EXPECT_EQ(doc.windows[0].gauges[0].second, -3);
+  ASSERT_EQ(doc.windows[0].histograms.size(), 1u);
+  EXPECT_EQ(doc.windows[0].histograms[0].second.count, 9u);
+  // The diff reader's re-serialization must be byte-identical to what the
+  // exporter wrote, so tooling can diff timelines without a lossy hop.
+  EXPECT_EQ(obs::TimelineDocToJson(doc), json);
+}
+
+TEST(ExportTest, TimelineFromJsonRejectsBadInput) {
+  obs::TimelineDoc doc;
+  std::string error;
+  EXPECT_FALSE(obs::TimelineFromJson("not json", &doc, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  EXPECT_FALSE(obs::TimelineFromJson("{\"windows\":[]}", &doc, &error));
+  EXPECT_NE(error.find("no \"schema\""), std::string::npos);
+  EXPECT_FALSE(obs::TimelineFromJson(
+      "{\"schema\":\"flexos-timeline-v2\",\"windows\":[]}", &doc, &error));
+  EXPECT_NE(error.find("flexos-timeline-v1"), std::string::npos);
+}
+
 TEST(ObsIntegrationTest, BatchedCallsRecordBatchedCounter) {
   Machine machine;
   ImageBuilder builder(machine);

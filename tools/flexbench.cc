@@ -13,19 +13,32 @@
 //
 //   flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]
 //             [--out FILE] [--write-baseline FILE] [--tolerance X]
+//   flexbench --diff OLD.json NEW.json
 //
 // The --chaos profile restricts the run to the manifest's chaos-tagged
 // benches: deterministic fault-injection soaks whose exit status gates the
 // recovery-time and zero-leak invariants (see bench/abl_fault_recovery.cc).
+//
+// --diff runs no benches: it loads two flexos-bench-v1 result sets,
+// prints a per-entry delta table, and attributes the modeled-number delta
+// to isolation backends by scanning the changed metric keys for backend
+// tokens (DESIGN.md §15) — so a perf regression arrives pre-root-caused to
+// a boundary class, not as a bare FAIL.
+//
+// On baseline drift the per-entry delta table (metric, baseline, run,
+// abs/rel delta) prints before the FAIL summary.
 //
 // JSON schema ("flexos-bench-v1", documented in DESIGN.md §8) is shared by
 // baselines and run reports (BENCH_PR5.json); a baseline is a run report
 // with kind "baseline".
 //
 // Exit status: 0 all benches passed (and matched the baseline, if given),
-// 1 on bench failure or drift, 2 on usage / I/O / schema errors.
+// 1 on bench failure or drift, 2 on usage / I/O errors, 3 on baseline
+// schema errors (malformed JSON, wrong schema string, mode mismatch) — so
+// CI can tell "numbers moved" from "the comparison never happened".
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -35,9 +48,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench_manifest.h"
+#include "obs/json.h"
 
 namespace flexos {
 namespace bench {
@@ -54,6 +70,9 @@ struct Options {
   // Forwarded to smp-tagged benches as --vcpus N; 0 leaves them on their
   // default scaling sweep (1/2/4).
   int vcpus = 0;
+  // --diff OLD NEW: offline differential mode, runs no benches.
+  std::string diff_old_path;
+  std::string diff_new_path;
 };
 
 int Usage() {
@@ -62,11 +81,14 @@ int Usage() {
       "usage: flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]\n"
       "                 [--out FILE] [--write-baseline FILE] "
       "[--tolerance X] [--vcpus N]\n"
+      "       flexbench --diff OLD.json NEW.json\n"
       "  --chaos runs only the fault-injection soak benches (self-gating\n"
       "  recovery/leak invariants); combine with --smoke for the CI-sized "
       "run\n"
       "  --vcpus N pins the smp-tagged benches to one vCPU count instead\n"
-      "  of their default 1/2/4 scaling sweep\n");
+      "  of their default 1/2/4 scaling sweep\n"
+      "  --diff compares two flexos-bench-v1 result sets and attributes\n"
+      "  the modeled-number delta to isolation backends\n");
   return 2;
 }
 
@@ -205,161 +227,10 @@ bool RunBench(const Options& opts, const BenchSpec& spec, BenchRun* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON reader for our own flexos-bench-v1 files.
+// Baseline loading (JSON parsing via the shared obs/json.h reader).
 
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray } kind = kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<std::pair<std::string, JsonValue>> object;
-  std::vector<JsonValue> array;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) {
-        return &v;
-      }
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    pos_ = 0;
-    return ParseValue(out) && (SkipWs(), pos_ == text_.size());
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseString(std::string* out) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return false;
-    }
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n':
-            c = '\n';
-            break;
-          case 't':
-            c = '\t';
-            break;
-          default:
-            c = esc;
-        }
-      }
-      *out += c;
-    }
-    if (pos_ >= text_.size()) {
-      return false;  // Unterminated string.
-    }
-    ++pos_;  // Closing quote.
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    const char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::kObject;
-      SkipWs();
-      if (Consume('}')) {
-        return true;
-      }
-      for (;;) {
-        std::string key;
-        JsonValue value;
-        if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
-          return false;
-        }
-        out->object.emplace_back(std::move(key), std::move(value));
-        if (Consume(',')) {
-          continue;
-        }
-        return Consume('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::kArray;
-      SkipWs();
-      if (Consume(']')) {
-        return true;
-      }
-      for (;;) {
-        JsonValue value;
-        if (!ParseValue(&value)) {
-          return false;
-        }
-        out->array.push_back(std::move(value));
-        if (Consume(',')) {
-          continue;
-        }
-        return Consume(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      return ParseString(&out->str);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    char* end = nullptr;
-    const double value = std::strtod(text_.c_str() + pos_, &end);
-    if (end == text_.c_str() + pos_) {
-      return false;
-    }
-    out->kind = JsonValue::kNumber;
-    out->number = value;
-    pos_ = static_cast<size_t>(end - text_.c_str());
-    return true;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using obs::JsonReader;
+using obs::JsonValue;
 
 struct Baseline {
   std::string mode;  // "full" | "smoke"
@@ -367,12 +238,16 @@ struct Baseline {
   std::map<std::string, int> exit_codes;
 };
 
-bool LoadBaseline(const std::string& path, Baseline* out) {
+// I/O failures (exit 2) are environment problems; schema failures (exit 3)
+// mean the file exists but is not a usable flexos-bench-v1 document.
+enum class LoadResult { kOk, kIoError, kSchemaError };
+
+LoadResult LoadBaseline(const std::string& path, Baseline* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "flexbench: cannot read baseline %s\n",
                  path.c_str());
-    return false;
+    return LoadResult::kIoError;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -380,7 +255,7 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
   JsonValue root;
   if (!JsonReader(text).Parse(&root) || root.kind != JsonValue::kObject) {
     std::fprintf(stderr, "flexbench: %s: malformed JSON\n", path.c_str());
-    return false;
+    return LoadResult::kSchemaError;
   }
   // Schema drift fails loudly here, not as a silent field mismatch later.
   const JsonValue* schema = root.Find("schema");
@@ -390,7 +265,7 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
                  "not a flexbench baseline?\n",
                  path.c_str(), static_cast<int>(bench::kBenchSchema.size()),
                  bench::kBenchSchema.data());
-    return false;
+    return LoadResult::kSchemaError;
   }
   if (schema->str != bench::kBenchSchema) {
     std::fprintf(stderr,
@@ -399,7 +274,7 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
                  path.c_str(), schema->str.c_str(),
                  static_cast<int>(bench::kBenchSchema.size()),
                  bench::kBenchSchema.data());
-    return false;
+    return LoadResult::kSchemaError;
   }
   if (const JsonValue* mode = root.Find("mode"); mode != nullptr) {
     out->mode = mode->str;
@@ -408,7 +283,7 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
   if (benches == nullptr || benches->kind != JsonValue::kObject) {
     std::fprintf(stderr, "flexbench: %s: missing benches object\n",
                  path.c_str());
-    return false;
+    return LoadResult::kSchemaError;
   }
   for (const auto& [name, bench] : benches->object) {
     if (const JsonValue* code = bench.Find("exit_code"); code != nullptr) {
@@ -422,7 +297,7 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
       }
     }
   }
-  return true;
+  return LoadResult::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -524,6 +399,149 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return out.good();
 }
 
+// ---------------------------------------------------------------------------
+// Differential mode (--diff OLD.json NEW.json).
+
+// Backend-token match with word boundaries: a token matches only when
+// delimited by characters outside [a-zA-Z0-9-], so "mpk-shared" never fires
+// inside "mpk-switched" and "none" matches the label "backend_none" but not
+// "nonempty". Longest-first order below is belt-and-braces on top of that.
+bool KeyHasBackendToken(const std::string& key, std::string_view token) {
+  size_t pos = 0;
+  while ((pos = key.find(token.data(), pos, token.size())) !=
+         std::string::npos) {
+    const bool left_ok =
+        pos == 0 ||
+        (std::isalnum(static_cast<unsigned char>(key[pos - 1])) == 0 &&
+         key[pos - 1] != '-');
+    const size_t end = pos + token.size();
+    const bool right_ok =
+        end == key.size() ||
+        (std::isalnum(static_cast<unsigned char>(key[end])) == 0 &&
+         key[end] != '-');
+    if (left_ok && right_ok) {
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+int RunDiff(const Options& opts) {
+  Baseline old_doc;
+  Baseline new_doc;
+  for (const auto& [path, doc] :
+       {std::pair<const std::string&, Baseline*>{opts.diff_old_path, &old_doc},
+        std::pair<const std::string&, Baseline*>{opts.diff_new_path,
+                                                 &new_doc}}) {
+    const LoadResult loaded = LoadBaseline(path, doc);
+    if (loaded != LoadResult::kOk) {
+      return loaded == LoadResult::kIoError ? 2 : 3;
+    }
+  }
+  std::printf("flexbench: diff %s -> %s\n", opts.diff_old_path.c_str(),
+              opts.diff_new_path.c_str());
+
+  // Longest token first so the per-key scan reads naturally in the output;
+  // matching itself is boundary-exact (see KeyHasBackendToken).
+  static constexpr std::string_view kBackendTokens[] = {
+      "mpk-switched", "mpk-shared", "vm-rpc", "none"};
+  // backend -> accumulated |relative delta| over changed entries whose key
+  // names that backend. Relative (not absolute) so a 5-cycle boundary and an
+  // 8000-cycle boundary compete on movement, not scale.
+  std::map<std::string, double, std::less<>> backend_signal;
+
+  // Union of bench names, then union of metric keys per bench; both sides
+  // are std::map so iteration (and the table) is deterministic.
+  std::vector<std::string> bench_names;
+  for (const auto& [name, metrics] : old_doc.benches) {
+    bench_names.push_back(name);
+  }
+  for (const auto& [name, metrics] : new_doc.benches) {
+    if (old_doc.benches.find(name) == old_doc.benches.end()) {
+      bench_names.push_back(name);
+    }
+  }
+
+  size_t changed = 0;
+  bool header_printed = false;
+  auto print_header = [&]() {
+    if (!header_printed) {
+      std::printf("  %-20s %-34s %14s %14s %14s %10s\n", "bench", "metric",
+                  "old", "new", "delta", "rel");
+      header_printed = true;
+    }
+  };
+  static const MetricMap kEmpty;
+  for (const std::string& name : bench_names) {
+    auto old_it = old_doc.benches.find(name);
+    auto new_it = new_doc.benches.find(name);
+    const MetricMap& old_metrics =
+        old_it != old_doc.benches.end() ? old_it->second : kEmpty;
+    const MetricMap& new_metrics =
+        new_it != new_doc.benches.end() ? new_it->second : kEmpty;
+    for (const auto& [key, old_value] : old_metrics) {
+      auto it = new_metrics.find(key);
+      if (it == new_metrics.end()) {
+        print_header();
+        std::printf("  %-20s %-34s %14.6g %14s %14s %10s\n", name.c_str(),
+                    key.c_str(), old_value, "-", "-", "removed");
+        ++changed;
+        continue;
+      }
+      const double new_value = it->second;
+      if (new_value == old_value) {
+        continue;
+      }
+      const double delta = new_value - old_value;
+      const double rel_mag =
+          std::fabs(delta) / std::max(std::fabs(old_value), 1e-9);
+      print_header();
+      std::printf("  %-20s %-34s %14.6g %14.6g %+14.6g %+9.3f%%\n",
+                  name.c_str(), key.c_str(), old_value, new_value, delta,
+                  delta / std::max(std::fabs(old_value), 1e-9) * 100.0);
+      ++changed;
+      const std::string qualified = name + "." + key;
+      for (const std::string_view token : kBackendTokens) {
+        if (KeyHasBackendToken(qualified, token)) {
+          backend_signal[std::string(token)] += rel_mag;
+        }
+      }
+    }
+    for (const auto& [key, new_value] : new_metrics) {
+      if (old_metrics.find(key) == old_metrics.end()) {
+        print_header();
+        std::printf("  %-20s %-34s %14s %14.6g %14s %10s\n", name.c_str(),
+                    key.c_str(), "-", new_value, "-", "added");
+        ++changed;
+      }
+    }
+  }
+
+  if (changed == 0) {
+    std::printf("flexbench: no differences\n");
+    return 0;
+  }
+  std::printf("flexbench: %zu differing entries\n", changed);
+  if (backend_signal.empty()) {
+    std::printf("flexbench: dominant boundary signal: unattributed "
+                "(no backend token in any changed metric key)\n");
+    return 0;
+  }
+  std::printf("flexbench: boundary attribution (sum of |rel delta| over "
+              "changed metrics naming each backend):\n");
+  const std::pair<const std::string, double>* dominant = nullptr;
+  for (const auto& entry : backend_signal) {
+    std::printf("  %-14s %10.4f\n", entry.first.c_str(), entry.second);
+    if (dominant == nullptr || entry.second > dominant->second) {
+      dominant = &entry;
+    }
+  }
+  std::printf("flexbench: dominant boundary signal: %s\n",
+              dominant->first.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -571,6 +589,14 @@ int Run(int argc, char** argv) {
         return Usage();
       }
       opts.vcpus = std::atoi(v);
+    } else if (arg == "--diff") {
+      const char* old_path = next_value();
+      const char* new_path = next_value();
+      if (old_path == nullptr || new_path == nullptr) {
+        return Usage();
+      }
+      opts.diff_old_path = old_path;
+      opts.diff_new_path = new_path;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -580,10 +606,17 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (!opts.diff_old_path.empty()) {
+    return RunDiff(opts);
+  }
+
   Baseline baseline;
   const bool checking = !opts.baseline_path.empty();
-  if (checking && !LoadBaseline(opts.baseline_path, &baseline)) {
-    return 2;
+  if (checking) {
+    const LoadResult loaded = LoadBaseline(opts.baseline_path, &baseline);
+    if (loaded != LoadResult::kOk) {
+      return loaded == LoadResult::kIoError ? 2 : 3;
+    }
   }
   const char* mode = opts.smoke ? "smoke" : "full";
   if (checking && !baseline.mode.empty() && baseline.mode != mode) {
@@ -591,7 +624,7 @@ int Run(int argc, char** argv) {
                  "flexbench: baseline %s is a %s-mode snapshot but this is "
                  "a %s run\n",
                  opts.baseline_path.c_str(), baseline.mode.c_str(), mode);
-    return 2;
+    return 3;
   }
 
   std::vector<std::pair<std::string, BenchRun>> runs;
@@ -647,20 +680,28 @@ int Run(int argc, char** argv) {
   }
 
   const bool pass = benches_ok && drifts.empty();
-  for (const Drift& drift : drifts) {
-    if (drift.missing) {
-      std::fprintf(stderr, "flexbench: DRIFT %s.%s: in baseline, not in run\n",
-                   drift.bench.c_str(), drift.metric.c_str());
-    } else if (drift.added) {
-      std::fprintf(stderr, "flexbench: DRIFT %s.%s: new metric not in "
-                           "baseline\n",
-                   drift.bench.c_str(), drift.metric.c_str());
-    } else {
-      std::fprintf(stderr,
-                   "flexbench: DRIFT %s.%s: baseline %.6g, run %.6g "
-                   "(tolerance %.3g)\n",
-                   drift.bench.c_str(), drift.metric.c_str(), drift.baseline,
-                   drift.run, opts.tolerance);
+  if (!drifts.empty()) {
+    std::fprintf(stderr, "flexbench: %zu drifted entries (tolerance %.3g):\n",
+                 drifts.size(), opts.tolerance);
+    std::fprintf(stderr, "  %-20s %-34s %14s %14s %14s %10s\n", "bench",
+                 "metric", "baseline", "run", "delta", "rel");
+    for (const Drift& drift : drifts) {
+      if (drift.missing) {
+        std::fprintf(stderr, "  %-20s %-34s %14.6g %14s %14s %10s\n",
+                     drift.bench.c_str(), drift.metric.c_str(), drift.baseline,
+                     "-", "-", "missing");
+      } else if (drift.added) {
+        std::fprintf(stderr, "  %-20s %-34s %14s %14.6g %14s %10s\n",
+                     drift.bench.c_str(), drift.metric.c_str(), "-", drift.run,
+                     "-", "added");
+      } else {
+        const double delta = drift.run - drift.baseline;
+        const double rel =
+            delta / std::max(std::fabs(drift.baseline), 1e-9) * 100.0;
+        std::fprintf(stderr, "  %-20s %-34s %14.6g %14.6g %+14.6g %+9.3f%%\n",
+                     drift.bench.c_str(), drift.metric.c_str(), drift.baseline,
+                     drift.run, delta, rel);
+      }
     }
   }
 

@@ -33,9 +33,24 @@
 //     --prom FILE      write the end-of-run metrics in Prometheus text
 //                      exposition format to FILE (serve via a textfile
 //                      collector)
+//     --critpath       enable the attributor + tracer and print the
+//                      critical-path decomposition: per-boundary share of
+//                      end-to-end path time, per-request segment breakdown,
+//                      and the scheduler edge counts recovered from the
+//                      trace. With --json, prints the flexos-critpath-v1
+//                      document INSTEAD of the metrics JSON (byte-identical
+//                      across same-seed replays)
+//     --whatif B=BACKEND  predict the end-to-end effect of re-isolating
+//                      boundary B (a "c0.c1" suffix or full metric name)
+//                      with BACKEND (none|mpk-shared|mpk-switched|vm-rpc);
+//                      repeatable; implies --critpath
+//     --advise         rank every boundary x backend re-placement by
+//                      predicted end-to-end savings (promote = stronger
+//                      isolation, demote = weaker); implies --critpath
 //
 // Exit status: 0 on a complete run, 1 when the workload fails, 2 on usage
 // or I/O errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +64,8 @@
 #include "apps/iperf_server.h"
 #include "apps/testbed.h"
 #include "core/config_parser.h"
+#include "core/gate_costs.h"
+#include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/names.h"
 #include "support/strings.h"
@@ -73,6 +90,10 @@ struct Options {
   std::string timeline_path;
   bool slo_report = false;
   std::string prom_path;
+  bool critpath = false;
+  bool advise = false;
+  // --whatif entries as (boundary, backend-name), validated after the run.
+  std::vector<std::pair<std::string, std::string>> whatifs;
 };
 
 int Usage() {
@@ -82,7 +103,9 @@ int Usage() {
                "                [--request all|ID] [--flame FILE|-]\n"
                "                [--vcpus N] [--vcpu ID]\n"
                "                [--watch] [--window N] [--timeline FILE]\n"
-               "                [--slo] [--prom FILE] <config.conf>\n");
+               "                [--slo] [--prom FILE] [--critpath]\n"
+               "                [--whatif BOUNDARY=BACKEND] [--advise]\n"
+               "                <config.conf>\n");
   return 2;
 }
 
@@ -378,6 +401,167 @@ int PrintRequestDetail(const obs::Attributor& attrib, const Clock& clock,
   return 0;
 }
 
+// Isolation strength order for promote/demote labels: none < mpk-shared <
+// mpk-switched < vm-rpc (the enum's declaration order).
+int IsolationStrength(IsolationBackend backend) {
+  return static_cast<int>(backend);
+}
+
+void PrintCritpath(const obs::CriticalPath& critpath) {
+  std::printf("\n# critical path: total %.3f ms, %s (queue edges %llu, "
+              "steals %llu, ipis %llu)\n",
+              Ms(critpath.total_path_ns()),
+              critpath.reconciled()
+                  ? "reconciled against gate.latency_ns.*"
+                  : ("NOT RECONCILED: " + critpath.reconcile_detail())
+                        .c_str(),
+              static_cast<unsigned long long>(critpath.queue_edges()),
+              static_cast<unsigned long long>(critpath.steals()),
+              static_cast<unsigned long long>(critpath.ipis()));
+  std::printf("%-18s %-12s %10s %12s %12s %7s\n", "boundary", "backend",
+              "crossings", "gate(ns)", "unattrib(ns)", "share");
+  for (const obs::BoundaryShare& share : critpath.boundaries()) {
+    std::printf("%-18s %-12s %10llu %12llu %12llu %6.2f%%\n",
+                (share.from + " -> " + share.to).c_str(),
+                share.backend.c_str(),
+                static_cast<unsigned long long>(share.crossings),
+                static_cast<unsigned long long>(share.gate_ns),
+                static_cast<unsigned long long>(share.unattributed_gate_ns),
+                100.0 * share.critpath_share);
+  }
+  if (critpath.boundaries().empty()) {
+    std::printf("(no cross-compartment boundaries)\n");
+  }
+  for (const obs::RequestPath& path : critpath.requests()) {
+    if (path.id == obs::kUnattributedRequestId) {
+      std::printf("request -     (unattributed)  gate %.3f ms over %llu "
+                  "crossings\n",
+                  Ms(path.gate_ns),
+                  static_cast<unsigned long long>(path.crossings));
+      continue;
+    }
+    std::string vcpus;
+    for (const int v : path.vcpus) {
+      if (!vcpus.empty()) {
+        vcpus += ",";
+      }
+      vcpus += std::to_string(v);
+    }
+    std::printf("request %-5llu %-14s wall %.3f ms = exec %.3f + gate %.3f "
+                "(ipi %.3f) + wait %.3f + slack %.3f  [vcpus %s]\n",
+                static_cast<unsigned long long>(path.id), path.name.c_str(),
+                Ms(path.wall_ns), Ms(path.execute_ns), Ms(path.gate_ns),
+                Ms(path.ipi_ns), Ms(path.queue_wait_ns), Ms(path.slack_ns),
+                vcpus.empty() ? "-" : vcpus.c_str());
+  }
+}
+
+int PrintWhatIf(const obs::CriticalPath& critpath, const CostModel& costs,
+                const std::string& boundary, const std::string& backend_name) {
+  IsolationBackend backend;
+  if (!IsolationBackendFromName(backend_name, &backend)) {
+    std::fprintf(stderr,
+                 "flexstat: --whatif backend \"%s\" is not one of none, "
+                 "mpk-shared, mpk-switched, vm-rpc\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  // Accept both the metric-suffix spelling ("c0.c1") and the table's
+  // display spelling ("c0 -> c1").
+  std::string lookup = boundary;
+  if (const size_t arrow = lookup.find(" -> "); arrow != std::string::npos) {
+    lookup.replace(arrow, 4, ".");
+  }
+  const obs::BoundaryShare* share = critpath.FindBoundary(lookup);
+  if (share == nullptr) {
+    std::fprintf(stderr, "flexstat: --whatif boundary \"%s\" not found\n",
+                 boundary.c_str());
+    return 2;
+  }
+  const uint64_t predicted_cycles = PredictedCrossingCycles(
+      costs, backend, kGateArgBytes, kGateRetBytes);
+  const uint64_t total = critpath.total_path_ns();
+  const uint64_t whatif =
+      critpath.WhatIfTotalNs(share->boundary, predicted_cycles);
+  const double delta_ms = Ms(total) - Ms(whatif);
+  std::printf("whatif %s -> %s: %s %.3f ms -> %.3f ms (%s%.3f ms, %+.1f%%)\n",
+              (share->from + "." + share->to).c_str(), backend_name.c_str(),
+              share->backend.c_str(), Ms(total), Ms(whatif),
+              delta_ms >= 0 ? "save " : "cost ",
+              delta_ms >= 0 ? delta_ms : -delta_ms,
+              total > 0 ? 100.0 * (static_cast<double>(whatif) -
+                                   static_cast<double>(total)) /
+                              static_cast<double>(total)
+                        : 0.0);
+  return 0;
+}
+
+void PrintAdvise(const obs::CriticalPath& critpath, const CostModel& costs) {
+  static constexpr IsolationBackend kBackends[] = {
+      IsolationBackend::kNone, IsolationBackend::kMpkSharedStack,
+      IsolationBackend::kMpkSwitchedStack, IsolationBackend::kVmRpc};
+  struct Advice {
+    const obs::BoundaryShare* share;
+    IsolationBackend backend;
+    uint64_t whatif_ns;
+    int64_t delta_ns;  // whatif - total; negative = faster.
+  };
+  std::vector<Advice> advice;
+  for (const obs::BoundaryShare& share : critpath.boundaries()) {
+    IsolationBackend current;
+    if (!IsolationBackendFromName(share.backend, &current)) {
+      continue;
+    }
+    for (const IsolationBackend backend : kBackends) {
+      if (backend == current) {
+        continue;
+      }
+      const uint64_t cycles = PredictedCrossingCycles(
+          costs, backend, kGateArgBytes, kGateRetBytes);
+      const uint64_t whatif = critpath.WhatIfTotalNs(share.boundary, cycles);
+      advice.push_back(
+          Advice{&share, backend, whatif,
+                 static_cast<int64_t>(whatif) -
+                     static_cast<int64_t>(critpath.total_path_ns())});
+    }
+  }
+  // Biggest predicted savings first; ties broken by boundary name then
+  // backend order so the report is deterministic.
+  std::stable_sort(advice.begin(), advice.end(),
+                   [](const Advice& a, const Advice& b) {
+                     if (a.delta_ns != b.delta_ns) {
+                       return a.delta_ns < b.delta_ns;
+                     }
+                     if (a.share->boundary != b.share->boundary) {
+                       return a.share->boundary < b.share->boundary;
+                     }
+                     return static_cast<int>(a.backend) <
+                            static_cast<int>(b.backend);
+                   });
+  std::printf("\n# advisor: re-placements ranked by predicted end-to-end "
+              "delta (total %.3f ms)\n",
+              Ms(critpath.total_path_ns()));
+  std::printf("%-8s %-18s %-12s %-12s %12s %9s\n", "action", "boundary",
+              "from", "to", "delta(ms)", "new(ms)");
+  for (const Advice& entry : advice) {
+    IsolationBackend current;
+    IsolationBackendFromName(entry.share->backend, &current);
+    const char* action = IsolationStrength(entry.backend) >
+                                 IsolationStrength(current)
+                             ? "promote"
+                             : "demote";
+    std::printf("%-8s %-18s %-12s %-12s %+12.3f %9.3f\n", action,
+                (entry.share->from + " -> " + entry.share->to).c_str(),
+                entry.share->backend.c_str(),
+                std::string(IsolationBackendName(entry.backend)).c_str(),
+                static_cast<double>(entry.delta_ns) / 1e6,
+                Ms(entry.whatif_ns));
+  }
+  if (advice.empty()) {
+    std::printf("(no boundaries to advise on)\n");
+  }
+}
+
 int Run(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -468,6 +652,26 @@ int Run(int argc, char** argv) {
       opts.watch = true;
     } else if (arg == "--slo") {
       opts.slo_report = true;
+    } else if (arg == "--critpath") {
+      opts.critpath = true;
+    } else if (arg == "--whatif") {
+      const char* v = next_value("--whatif");
+      if (v == nullptr) {
+        return Usage();
+      }
+      const std::string spec = v;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr,
+                     "flexstat: --whatif wants BOUNDARY=BACKEND (e.g. "
+                     "c0.c1=mpk-shared)\n");
+        return 2;
+      }
+      opts.whatifs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      opts.critpath = true;
+    } else if (arg == "--advise") {
+      opts.advise = true;
+      opts.critpath = true;
     } else if (arg == "--prom") {
       const char* v = next_value("--prom");
       if (v == nullptr) {
@@ -507,7 +711,8 @@ int Run(int argc, char** argv) {
   TestbedConfig bed_config;
   bed_config.image = config.value();
   bed_config.tcp.batch_crossings = opts.batch;
-  bed_config.profile = !opts.request_spec.empty() || !opts.flame_path.empty();
+  bed_config.profile = !opts.request_spec.empty() ||
+                       !opts.flame_path.empty() || opts.critpath;
   bed_config.watch = opts.watch || opts.slo_report;
   bed_config.window_cycles = opts.window_cycles;
   bed_config.vcpus = opts.vcpus;
@@ -523,7 +728,9 @@ int Run(int argc, char** argv) {
     return 2;
   }
   Testbed bed(bed_config);
-  if (!opts.trace_path.empty()) {
+  if (!opts.trace_path.empty() || opts.critpath) {
+    // critpath needs the sched/gate trace stream for its queue-wait, steal,
+    // and IPI edges. Tracing observes the clock, never charges it.
     bed.machine().tracer().SetEnabled(true);
   }
 
@@ -608,8 +815,24 @@ int Run(int argc, char** argv) {
     }
   }
 
+  obs::CriticalPath critpath;
+  if (opts.critpath) {
+    const Clock& clock = machine.clock_of(0);
+    critpath.Build(
+        machine.attrib(), machine.metrics(), machine.tracer().Snapshot(),
+        [&clock](uint64_t cycles) { return clock.CyclesToNanos(cycles); },
+        machine.costs().ipi);
+  }
+
   if (opts.json) {
-    std::fputs(metrics_json.c_str(), stdout);
+    // --critpath --json prints the flexos-critpath-v1 document alone: the
+    // byte-identity contract (same seed -> same bytes) would not survive
+    // interleaving it with other output.
+    if (opts.critpath) {
+      std::fputs(critpath.ToJson().c_str(), stdout);
+    } else {
+      std::fputs(metrics_json.c_str(), stdout);
+    }
     std::fputc('\n', stdout);
   } else {
     std::printf("# %s (backend %s, %llu bytes, %llu B recv buffer%s%s)\n",
@@ -632,6 +855,19 @@ int Run(int argc, char** argv) {
   }
   if (opts.slo_report) {
     PrintSloReport(machine);
+  }
+
+  if (opts.critpath && !opts.json) {
+    PrintCritpath(critpath);
+    for (const auto& [boundary, backend] : opts.whatifs) {
+      const int rc = PrintWhatIf(critpath, machine.costs(), boundary, backend);
+      if (rc != 0) {
+        return rc;
+      }
+    }
+    if (opts.advise) {
+      PrintAdvise(critpath, machine.costs());
+    }
   }
 
   if (!opts.request_spec.empty()) {
