@@ -1,0 +1,331 @@
+// Ablation: runtime-adaptive isolation (flexadapt, DESIGN.md §16).
+//
+// A three-phase shifting workload over the paper's basic two-compartment
+// split ({net} | {rest}), app -> net crossings driven directly:
+//   chatty  — small bodies (300 cyc) behind every crossing: gate cost
+//             dominates the window, so the engine should demote the
+//             boundary one rung (mpk-switched -> mpk-shared) and then have
+//             its follow-up proposal (mpk-shared -> none) vetoed by the
+//             lint gate (net and the app/alloc group may not share trust).
+//   compute — large bodies (120k cyc): gate share collapses below the
+//             demote threshold, so hysteresis must hold the placement.
+//   fault   — medium bodies (2k cyc) plus one injected protection fault at
+//             the gate into net: the supervisor contains it and the trap
+//             observer must promote the boundary back up
+//             (mpk-shared -> mpk-switched), paying the isolation premium
+//             for the rest of the phase.
+// The same workload (and the same fault plan) runs under three static
+// placements — mpk-shared, mpk-switched, vm-rpc — and under the adaptive
+// engine starting from mpk-switched. `none` is deliberately not a static
+// contender: it is not a legal placement for this pair (exactly why the
+// engine vetoes it), so it cannot serve as the comparison floor.
+//
+// Hard gates:
+//   * replay      — the adaptive run executes twice; the flexos-adapt-v1
+//                   decision logs must be byte-identical and the per-phase
+//                   modeled cycles must match exactly.
+//   * tracking    — per phase, adaptive cycles <= 1.10x the best static
+//                   and strictly below the worst static.
+//   * veto safety — at least one veto is recorded and none is applied.
+//   * reconcile   — every realized decision's per-crossing cost matches
+//                   the model's prediction within the documented 1 ns
+//                   rounding bound (adapt.h).
+// Pass --smoke for a fast CI-sized run.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adapt/adapt.h"
+#include "bench_util.h"
+#include "core/gate_costs.h"
+#include "fault/fault.h"
+#include "fault/supervisor.h"
+
+namespace flexos {
+namespace {
+
+// Per-op compute charged inside the net compartment, per phase.
+constexpr uint64_t kChattyCompute = 300;
+constexpr uint64_t kBulkCompute = 120'000;
+constexpr uint64_t kFaultCompute = 2'000;
+
+struct PhaseOps {
+  uint64_t chatty = 0;
+  uint64_t compute = 0;
+  uint64_t faulty = 0;
+};
+
+struct RunOutcome {
+  bool ok = true;
+  uint64_t phase_cycles[3] = {0, 0, 0};
+  uint64_t total_cycles = 0;
+  uint64_t trapped = 0;
+  // Adaptive runs only.
+  std::string decision_json;
+  uint64_t windows = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t vetoes = 0;
+  uint64_t flaps = 0;
+  bool veto_applied = false;
+  bool any_realized = false;
+  bool reconcile_ok = true;
+};
+
+RunOutcome RunConfig(bool adaptive, IsolationBackend backend,
+                     const PhaseOps& ops, uint64_t window_cycles) {
+  Machine machine;
+  ImageConfig config = bench::NetOnlyConfig(backend);
+  if (adaptive) {
+    config.adapt.enabled = true;
+    config.adapt.cooldown_windows = 2;
+    config.adapt.min_crossings = 32;
+    config.adapt.demote_share = 0.25;
+    config.adapt.min_delta_frac = 0.10;
+    // NetOnlyConfig order: {net} = c0, {app, sched, libc, alloc} = c1.
+    // Bless the demotion floor for the exercised boundary, plus a
+    // deliberately illegal trusted-call row the lint gate must veto.
+    config.adapt.allow.push_back(
+        {/*from=*/1, /*to=*/0, IsolationBackend::kMpkSharedStack});
+    config.adapt.allow.push_back(
+        {/*from=*/1, /*to=*/0, IsolationBackend::kNone});
+  }
+  ImageBuilder builder(machine);
+  auto image = builder.Build(config).value();
+  const int net_comp = image->CompartmentOf(kLibNet);
+
+  fault::RestartPolicy policy;
+  policy.backoff_ns = 2'000'000;
+  fault::CompartmentSupervisor supervisor(*image, policy);
+  image->SetFaultHandler(&supervisor);
+
+  // One protection fault at the gate into net, landing ~10% into the fault
+  // phase (`after` is the 1-based crossing index; the chatty and compute
+  // phases cross once per op).
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = fault::FaultSite::kGateCross;
+  rule.kind = fault::FaultKind::kProtectionFault;
+  rule.compartment = net_comp;
+  rule.after = ops.chatty + ops.compute + ops.faulty / 10;
+  rule.count = 1;
+  plan.rules = {rule};
+  machine.injector().LoadPlan(plan);
+
+  std::unique_ptr<adapt::AdaptiveIsolationEngine> engine;
+  if (adaptive) {
+    machine.timeseries().Enable(window_cycles);
+    engine =
+        std::make_unique<adapt::AdaptiveIsolationEngine>(*image, config.adapt);
+    machine.timeseries().SetWindowHook(
+        [&engine](const obs::WindowSnapshot& snapshot) {
+          engine->OnWindow(snapshot);
+        });
+    supervisor.SetTrapObserver([&engine](int from_comp, int to_comp) {
+      engine->OnContainedTrap(from_comp, to_comp);
+    });
+  }
+
+  RunOutcome out;
+  const RouteHandle route = image->Resolve(kLibApp, kLibNet);
+  const auto run_phase = [&](uint64_t n, uint64_t compute) {
+    const uint64_t start = machine.clock().cycles();
+    uint64_t done = 0;
+    uint64_t attempts = 0;
+    while (done < n && attempts < n * 8 + 64) {
+      ++attempts;
+      const Status status = image->TryCall(
+          route, [&machine, compute] { machine.ChargeCompute(compute); });
+      machine.PollTimeSeries();
+      if (status.ok()) {
+        ++done;
+        continue;
+      }
+      // Contained trap or quarantine refusal: jump virtual time across the
+      // backoff window so the lazy restart can re-admit the next call.
+      const uint64_t deadline = supervisor.NextRestartCycles();
+      if (deadline != fault::CompartmentSupervisor::kNoRestartPending &&
+          deadline > machine.clock().cycles()) {
+        machine.clock().AdvanceTo(deadline);
+        machine.PollTimeSeries();
+      }
+      if (supervisor.health(net_comp) == fault::CompartmentHealth::kFailed) {
+        break;
+      }
+    }
+    if (done != n) {
+      out.ok = false;
+    }
+    return machine.clock().cycles() - start;
+  };
+  out.phase_cycles[0] = run_phase(ops.chatty, kChattyCompute);
+  out.phase_cycles[1] = run_phase(ops.compute, kBulkCompute);
+  out.phase_cycles[2] = run_phase(ops.faulty, kFaultCompute);
+  out.total_cycles = machine.clock().cycles();
+  out.trapped = supervisor.trapped();
+  if (out.trapped != 1) {
+    out.ok = false;  // The plan injects exactly one trap, in every config.
+  }
+
+  if (adaptive) {
+    machine.timeseries().FinalizeTail(machine.max_cycles());
+    out.decision_json = engine->ToJson();
+    out.windows = machine.timeseries().windows_captured();
+    out.promotions = engine->promotions();
+    out.demotions = engine->demotions();
+    out.vetoes = engine->vetoes();
+    out.flaps = engine->flaps();
+    for (const adapt::AdaptDecision& d : engine->decisions()) {
+      if (d.kind == adapt::DecisionKind::kVeto && d.applied) {
+        out.veto_applied = true;
+      }
+      if (d.realized) {
+        out.any_realized = true;
+        const int64_t diff =
+            static_cast<int64_t>(d.realized_new_per_cross_ns) -
+            static_cast<int64_t>(d.predicted_new_per_cross_ns);
+        if (diff > 1 || diff < -1) {
+          out.reconcile_ok = false;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void PrintRow(const char* label, const RunOutcome& out) {
+  std::printf("%-13s %14llu %14llu %14llu %14llu\n", label,
+              static_cast<unsigned long long>(out.phase_cycles[0]),
+              static_cast<unsigned long long>(out.phase_cycles[1]),
+              static_cast<unsigned long long>(out.phase_cycles[2]),
+              static_cast<unsigned long long>(out.total_cycles));
+}
+
+}  // namespace
+}  // namespace flexos
+
+int main(int argc, char** argv) {
+  using namespace flexos;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  PhaseOps ops;
+  ops.chatty = smoke ? 600 : 4000;
+  ops.compute = smoke ? 60 : 400;
+  ops.faulty = smoke ? 300 : 2000;
+  // Short enough that the chatty phase closes windows with well over
+  // min_crossings crossings each, even in smoke.
+  const uint64_t kWindowCycles = smoke ? 40'000 : 200'000;
+
+  std::printf("# Adaptive-isolation ablation: chatty -> compute -> fault "
+              "phases, static placements vs flexadapt%s\n",
+              smoke ? " (smoke)" : "");
+  std::printf("%-13s %14s %14s %14s %14s\n", "config", "chatty-cyc",
+              "compute-cyc", "fault-cyc", "total-cyc");
+
+  constexpr IsolationBackend kStatics[] = {IsolationBackend::kMpkSharedStack,
+                                           IsolationBackend::kMpkSwitchedStack,
+                                           IsolationBackend::kVmRpc};
+  std::vector<RunOutcome> statics;
+  bool runs_ok = true;
+  for (IsolationBackend backend : kStatics) {
+    statics.push_back(RunConfig(/*adaptive=*/false, backend, ops,
+                                kWindowCycles));
+    runs_ok = runs_ok && statics.back().ok;
+    PrintRow(std::string(IsolationBackendName(backend)).c_str(),
+             statics.back());
+  }
+  const RunOutcome adaptive =
+      RunConfig(/*adaptive=*/true, IsolationBackend::kMpkSwitchedStack, ops,
+                kWindowCycles);
+  const RunOutcome replay =
+      RunConfig(/*adaptive=*/true, IsolationBackend::kMpkSwitchedStack, ops,
+                kWindowCycles);
+  runs_ok = runs_ok && adaptive.ok && replay.ok;
+  PrintRow("adaptive", adaptive);
+  std::printf("%-13s %14llu %14llu %14llu %14llu\n", "adapt-events",
+              static_cast<unsigned long long>(adaptive.promotions),
+              static_cast<unsigned long long>(adaptive.demotions),
+              static_cast<unsigned long long>(adaptive.vetoes),
+              static_cast<unsigned long long>(adaptive.flaps));
+  std::printf("# adapt-events columns: promotions demotions vetoes flaps\n");
+  std::printf("# decision-log fnv1a: 0x%016llx (%llu windows)\n",
+              static_cast<unsigned long long>(Fnv1a(adaptive.decision_json)),
+              static_cast<unsigned long long>(adaptive.windows));
+
+  // --- Gates ----------------------------------------------------------------
+  const bool replay_identical =
+      !adaptive.decision_json.empty() &&
+      adaptive.decision_json == replay.decision_json &&
+      adaptive.total_cycles == replay.total_cycles &&
+      adaptive.phase_cycles[0] == replay.phase_cycles[0] &&
+      adaptive.phase_cycles[1] == replay.phase_cycles[1] &&
+      adaptive.phase_cycles[2] == replay.phase_cycles[2];
+
+  const bool engine_exercised = adaptive.windows > 0 &&
+                                adaptive.demotions >= 1 &&
+                                adaptive.promotions >= 1 &&
+                                adaptive.vetoes >= 1;
+  const bool veto_safety = adaptive.vetoes >= 1 && !adaptive.veto_applied;
+
+  bool tracking = true;
+  bool beats_worst = true;
+  double worst_margin = 0;
+  for (int p = 0; p < 3; ++p) {
+    uint64_t best = UINT64_MAX;
+    uint64_t worst = 0;
+    for (const RunOutcome& s : statics) {
+      best = std::min(best, s.phase_cycles[p]);
+      worst = std::max(worst, s.phase_cycles[p]);
+    }
+    const double margin = static_cast<double>(adaptive.phase_cycles[p]) /
+                          static_cast<double>(best);
+    worst_margin = std::max(worst_margin, margin);
+    if (margin > 1.10) {
+      tracking = false;
+    }
+    if (adaptive.phase_cycles[p] >= worst) {
+      beats_worst = false;
+    }
+  }
+  const bool reconciled = adaptive.any_realized && adaptive.reconcile_ok;
+
+  std::printf("\n# Checks:\n");
+  std::printf("  every run completed its ops and contained exactly one "
+              "injected trap: %s\n",
+              runs_ok ? "yes" : "NO");
+  std::printf("  same seed -> byte-identical decision log + identical "
+              "per-phase cycles: %s (hard-gated)\n",
+              replay_identical ? "yes" : "NO");
+  std::printf("  engine exercised (windows > 0, >= 1 demotion, >= 1 trap "
+              "promotion, >= 1 veto): %s\n",
+              engine_exercised ? "yes" : "NO");
+  std::printf("  no vetoed transition was applied: %s (hard-gated)\n",
+              veto_safety ? "yes" : "NO");
+  std::printf("  adaptive within 1.10x of best static per phase (worst "
+              "margin %.3fx): %s (hard-gated)\n",
+              worst_margin, tracking ? "yes" : "NO");
+  std::printf("  adaptive strictly below the worst static per phase: %s "
+              "(hard-gated)\n",
+              beats_worst ? "yes" : "NO");
+  std::printf("  realized per-crossing cost within 1 ns of prediction for "
+              "every realized decision: %s (hard-gated)\n",
+              reconciled ? "yes" : "NO");
+
+  const bool pass = runs_ok && replay_identical && engine_exercised &&
+                    veto_safety && tracking && beats_worst && reconciled;
+  return pass ? 0 : 1;
+}

@@ -42,6 +42,9 @@ struct BenchSpec {
   // Accepts --vcpus N to shard across simulated vCPUs; flexbench forwards
   // its --vcpus option to these binaries only.
   bool smp = false;
+  // Part of the adaptive profile (flexbench --adapt): exercises the
+  // flexadapt policy engine and self-gates on its replay/placement bounds.
+  bool adapt = false;
   // Per-row numeric column indices excluded from metrics (wall-clock
   // columns inside otherwise-deterministic tables).
   int drop_cols[4] = {-1, -1, -1, -1};
@@ -102,6 +105,14 @@ inline constexpr BenchSpec kBenchManifest[] = {
      .binary = "abl_smp",
      .has_smoke = true,
      .smp = true},
+    // Runtime-adaptive isolation ablation (DESIGN.md §16): shifting
+    // three-phase workload under static placements vs the flexadapt engine.
+    // Fully modeled and deterministic; self-gates on replay-identical
+    // decision logs, per-phase tracking bounds, and zero applied vetoes.
+    {.name = "abl_adaptive",
+     .binary = "abl_adaptive",
+     .has_smoke = true,
+     .adapt = true},
 };
 
 inline constexpr size_t kBenchManifestSize =

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# flexadapt smoke under sanitizers: the policy engine runs host-level
+# analysis at every window close (snapshot parsing, decision-log strings,
+# re-linting the live image) and the swap protocol mutates boundary state
+# shared with the dispatch fast path. Two passes:
+#   1. ASan+UBSan over the adapt-labeled ctest targets plus the
+#      abl_adaptive --smoke self-gates (leaks + overflow in the snapshot
+#      walk, JSON emitter, and the lint model rebuilt per veto check).
+#   2. TSan over the adapt- and smp-labeled targets (backend swaps touch
+#      the same BoundaryRuntime nodes the multi-vCPU scheduler dispatches
+#      through).
+#
+# Usage: scripts/adapt_smoke.sh [asan-dir [tsan-dir]]
+#        (defaults: build-asan, build-tsan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+asan_dir=${1:-"$repo_root/build-asan"}
+tsan_dir=${2:-"$repo_root/build-tsan"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== adapt_smoke: configure + build (FLEXOS_SANITIZE=address)"
+cmake -S "$repo_root" -B "$asan_dir" -DFLEXOS_SANITIZE=address
+cmake --build "$asan_dir" -j "$jobs"
+
+echo "== adapt_smoke: adapt-labeled tests under ASan"
+ctest --test-dir "$asan_dir" -L "adapt" --output-on-failure
+
+echo "== adapt_smoke: abl_adaptive --smoke (replay + tracking + veto gates)"
+"$asan_dir/bench/abl_adaptive" --smoke
+
+echo "== adapt_smoke: configure + build (FLEXOS_SANITIZE=thread)"
+cmake -S "$repo_root" -B "$tsan_dir" -DFLEXOS_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$jobs"
+
+echo "== adapt_smoke: adapt- and smp-labeled tests under TSan"
+ctest --test-dir "$tsan_dir" -L "adapt|smp" --output-on-failure
+
+echo "== adapt_smoke: clean under ASan and TSan"

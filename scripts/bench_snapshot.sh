@@ -30,6 +30,6 @@ echo "== snapshot: full baseline"
 echo "== verify: full run against fresh baseline (must be zero-drift)"
 "$flexbench" --bindir "$bindir" \
     --baseline "$repo_root/bench/baselines/full.json" \
-    --out "$repo_root/BENCH_PR9.json"
+    --out "$repo_root/BENCH_PR10.json"
 
-echo "== done: bench/baselines/{smoke,full}.json and BENCH_PR9.json updated"
+echo "== done: bench/baselines/{smoke,full}.json and BENCH_PR10.json updated"

@@ -1,0 +1,442 @@
+#include "adapt/adapt.h"
+
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "analysis/flexlint.h"
+#include "core/gate_costs.h"
+#include "obs/names.h"
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace flexos {
+namespace adapt {
+namespace {
+
+// "c3" -> 3, "platform" -> -1, anything else -> nullopt.
+std::optional<int> CompFromLabel(std::string_view label) {
+  if (label == "platform") {
+    return -1;
+  }
+  if (label.size() < 2 || label[0] != 'c') {
+    return std::nullopt;
+  }
+  const std::optional<uint64_t> id = ParseU64(label.substr(1));
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*id);
+}
+
+// One rung down the demotion ladder; nullopt from the bottom.
+std::optional<IsolationBackend> NextDown(IsolationBackend backend) {
+  switch (backend) {
+    case IsolationBackend::kVmRpc:
+      return IsolationBackend::kMpkSwitchedStack;
+    case IsolationBackend::kMpkSwitchedStack:
+      return IsolationBackend::kMpkSharedStack;
+    case IsolationBackend::kMpkSharedStack:
+      return IsolationBackend::kNone;
+    case IsolationBackend::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// One rung up the promotion ladder. Promotion stops at mpk-switched: the
+// trap is already being contained by an MPK gate there, and moving a
+// boundary into a VM at runtime is a deployment decision, not a reflex.
+std::optional<IsolationBackend> NextUp(IsolationBackend backend) {
+  switch (backend) {
+    case IsolationBackend::kNone:
+      return IsolationBackend::kMpkSharedStack;
+    case IsolationBackend::kMpkSharedStack:
+      return IsolationBackend::kMpkSwitchedStack;
+    case IsolationBackend::kMpkSwitchedStack:
+    case IsolationBackend::kVmRpc:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+const char* BoolName(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+std::string_view DecisionKindName(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kDemote:
+      return "demote";
+    case DecisionKind::kPromote:
+      return "promote";
+    case DecisionKind::kVeto:
+      return "veto";
+  }
+  return "?";
+}
+
+AdaptiveIsolationEngine::AdaptiveIsolationEngine(Image& image,
+                                                const AdaptConfig& config)
+    : image_(image), config_(config) {
+  obs::MetricsRegistry& metrics = image_.machine().metrics();
+  promotions_counter_ = &metrics.GetCounter(obs::kMetricAdaptPromotions);
+  demotions_counter_ = &metrics.GetCounter(obs::kMetricAdaptDemotions);
+  vetoes_counter_ = &metrics.GetCounter(obs::kMetricAdaptVetoes);
+  flaps_counter_ = &metrics.GetCounter(obs::kMetricAdaptFlaps);
+}
+
+uint64_t AdaptiveIsolationEngine::PredictedPerCrossNs(
+    IsolationBackend backend) const {
+  return image_.machine().clock().CyclesToNanos(
+      PredictedCrossingCycles(image_.machine().costs(), backend,
+                              kGateArgBytes, kGateRetBytes));
+}
+
+std::vector<AdaptiveIsolationEngine::WindowRow>
+AdaptiveIsolationEngine::RowsFrom(const obs::WindowSnapshot& snapshot) const {
+  // Histograms arrive name-sorted and each (backend, from, to) latency
+  // histogram appears at most once per window, so the row order — and
+  // therefore the decision order — is deterministic.
+  std::vector<WindowRow> rows;
+  for (const obs::WindowHistSample& sample : snapshot.histograms) {
+    obs::GateMetricParts parts;
+    if (!obs::ParseGateMetricName(sample.name, &parts) ||
+        parts.family != "latency_ns") {
+      continue;
+    }
+    const std::optional<int> from = CompFromLabel(parts.from);
+    const std::optional<int> to = CompFromLabel(parts.to);
+    if (!from.has_value() || !to.has_value() || *from < 0 || *to < 0) {
+      // The platform entry edge (SpawnApp's platform->app route) is boot
+      // plumbing, not a placement the spec declared; leave it alone.
+      continue;
+    }
+    WindowRow row;
+    row.from = *from;
+    row.to = *to;
+    if (!IsolationBackendFromName(parts.backend, &row.backend)) {
+      continue;
+    }
+    row.crossings = sample.delta.count();
+    row.gate_ns = sample.delta.sum();
+    if (row.crossings > 0) {
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+void AdaptiveIsolationEngine::FillRealized(
+    const obs::WindowSnapshot& snapshot) {
+  for (AdaptDecision& decision : decisions_) {
+    if (decision.realized || (!decision.applied && !decision.deferred)) {
+      continue;
+    }
+    const std::string metric = obs::GateMetricName(
+        "latency_ns", IsolationBackendName(decision.new_backend),
+        decision.from, decision.to);
+    for (const obs::WindowHistSample& sample : snapshot.histograms) {
+      if (sample.name != metric || sample.delta.count() == 0) {
+        continue;
+      }
+      decision.realized_new_per_cross_ns =
+          sample.delta.sum() / sample.delta.count();
+      const uint64_t basis =
+          decision.kind == DecisionKind::kPromote ? 1 : decision.crossings;
+      decision.realized_delta_ns =
+          (static_cast<int64_t>(decision.measured_old_per_cross_ns) -
+           static_cast<int64_t>(decision.realized_new_per_cross_ns)) *
+          static_cast<int64_t>(basis);
+      decision.realized = true;
+      break;
+    }
+  }
+}
+
+bool AdaptiveIsolationEngine::AllowedByList(int from, int to,
+                                            IsolationBackend target) const {
+  for (const AdaptAllowRule& rule : config_.allow) {
+    if (rule.from == from && rule.to == to && rule.target == target) {
+      return true;
+    }
+  }
+  // Demoting to a trusted function call erases the boundary's protection;
+  // that always needs an explicit "adapt allow" blessing. Everything else
+  // defaults to allowed when no whitelist was declared.
+  if (target == IsolationBackend::kNone) {
+    return false;
+  }
+  return config_.allow.empty();
+}
+
+std::string AdaptiveIsolationEngine::LintVeto(IsolationBackend target) const {
+  LintModel model = ExtractModel(image_, BuiltinMetaResolver());
+  const LintReport base = RunRules(model);
+  std::set<std::pair<std::string, std::string>> known;
+  for (const LintDiagnostic& diagnostic : base.diagnostics) {
+    if (diagnostic.severity == LintSeverity::kError) {
+      known.emplace(diagnostic.rule, diagnostic.entity);
+    }
+  }
+  model.backend = target;
+  const LintReport proposed = RunRules(model);
+  for (const LintDiagnostic& diagnostic : proposed.diagnostics) {
+    if (diagnostic.severity == LintSeverity::kError &&
+        known.count({diagnostic.rule, diagnostic.entity}) == 0) {
+      return diagnostic.rule;
+    }
+  }
+  return "";
+}
+
+void AdaptiveIsolationEngine::EmitInstant(const char* name,
+                                          const AdaptDecision& decision) {
+  image_.machine().tracer().RecordInstant(
+      obs::TraceCat::kAdapt, name, /*tid=*/0, decision.window_seq,
+      (static_cast<uint64_t>(static_cast<uint32_t>(decision.from)) << 32) |
+          static_cast<uint32_t>(decision.to));
+}
+
+void AdaptiveIsolationEngine::RecordTransition(BoundaryState& state,
+                                               const AdaptDecision& decision) {
+  if (state.transitioned && decision.old_backend == state.prev_new &&
+      decision.new_backend == state.prev_old) {
+    ++state.flap_count;
+    ++flaps_;
+    flaps_counter_->Add();
+    EmitInstant("adapt.flap", decision);
+    if (state.flap_count >= config_.max_flaps) {
+      state.frozen = true;
+      FLEXOS_WARN("flexadapt: boundary c%d->c%d frozen after %d flaps",
+                  decision.from, decision.to, state.flap_count);
+    }
+  }
+  state.prev_old = decision.old_backend;
+  state.prev_new = decision.new_backend;
+  state.last_transition_window = decision.window_seq;
+  state.transitioned = true;
+}
+
+void AdaptiveIsolationEngine::OnWindow(const obs::WindowSnapshot& snapshot) {
+  last_window_seq_ = snapshot.seq;
+  FillRealized(snapshot);
+
+  const uint64_t window_ns = image_.machine().clock().CyclesToNanos(
+      snapshot.end_cycles - snapshot.start_cycles);
+  if (window_ns == 0) {
+    return;
+  }
+
+  for (const WindowRow& row : RowsFrom(snapshot)) {
+    if (row.crossings < config_.min_crossings) {
+      continue;
+    }
+    // Only act on the boundary's *current* placement: right after a swap
+    // the same window can still carry a row under the old backend's name.
+    if (row.backend != image_.BoundaryBackend(row.from, row.to)) {
+      continue;
+    }
+    BoundaryState& state = states_[{row.from, row.to}];
+    if (state.frozen) {
+      continue;
+    }
+    if (state.transitioned &&
+        snapshot.seq - state.last_transition_window <=
+            static_cast<uint64_t>(config_.cooldown_windows)) {
+      continue;
+    }
+    if (static_cast<double>(row.gate_ns) <
+        config_.demote_share * static_cast<double>(window_ns)) {
+      continue;
+    }
+    const std::optional<IsolationBackend> target = NextDown(row.backend);
+    if (!target.has_value() ||
+        !AllowedByList(row.from, row.to, *target)) {
+      continue;
+    }
+
+    AdaptDecision decision;
+    decision.window_seq = snapshot.seq;
+    decision.from = row.from;
+    decision.to = row.to;
+    decision.old_backend = row.backend;
+    decision.new_backend = *target;
+    decision.crossings = row.crossings;
+    decision.gate_ns = row.gate_ns;
+    decision.measured_old_per_cross_ns = row.gate_ns / row.crossings;
+    decision.predicted_new_per_cross_ns = PredictedPerCrossNs(*target);
+    decision.predicted_delta_ns =
+        (static_cast<int64_t>(decision.measured_old_per_cross_ns) -
+         static_cast<int64_t>(decision.predicted_new_per_cross_ns)) *
+        static_cast<int64_t>(row.crossings);
+    decision.transition_cost_ns = image_.machine().clock().CyclesToNanos(
+        TransitionCycles(image_.machine().costs(), row.backend, *target));
+
+    if (decision.predicted_delta_ns <=
+            static_cast<int64_t>(static_cast<double>(row.gate_ns) *
+                                 config_.min_delta_frac) ||
+        decision.predicted_delta_ns <=
+            static_cast<int64_t>(decision.transition_cost_ns)) {
+      continue;  // Saving too small to be worth a move.
+    }
+
+    const std::string veto_rule = LintVeto(*target);
+    if (!veto_rule.empty()) {
+      decision.kind = DecisionKind::kVeto;
+      decision.reason = "veto:" + veto_rule;
+      ++vetoes_;
+      vetoes_counter_->Add();
+      EmitInstant("adapt.veto", decision);
+      decisions_.push_back(std::move(decision));
+      continue;
+    }
+
+    decision.kind = DecisionKind::kDemote;
+    decision.reason = "crossing-cost";
+    decision.applied =
+        image_.SetBoundaryBackend(row.from, row.to, *target);
+    decision.deferred = !decision.applied;
+    ++demotions_;
+    demotions_counter_->Add();
+    EmitInstant("adapt.demote", decision);
+    RecordTransition(state, decision);
+    FLEXOS_INFO(
+        "flexadapt: window %llu demote c%d->c%d %s => %s "
+        "(predicted saving %lld ns)",
+        static_cast<unsigned long long>(snapshot.seq), row.from, row.to,
+        std::string(IsolationBackendName(row.backend)).c_str(),
+        std::string(IsolationBackendName(*target)).c_str(),
+        static_cast<long long>(decision.predicted_delta_ns));
+    decisions_.push_back(std::move(decision));
+  }
+}
+
+void AdaptiveIsolationEngine::OnContainedTrap(int from_comp, int to_comp) {
+  if (from_comp < 0 || to_comp < 0) {
+    return;  // Platform edges are boot plumbing; never re-placed.
+  }
+  const IsolationBackend current =
+      image_.BoundaryBackend(from_comp, to_comp);
+  const std::optional<IsolationBackend> target = NextUp(current);
+  if (!target.has_value()) {
+    return;  // Already at the promotion ceiling.
+  }
+
+  AdaptDecision decision;
+  decision.window_seq = last_window_seq_;
+  decision.from = from_comp;
+  decision.to = to_comp;
+  decision.kind = DecisionKind::kPromote;
+  decision.old_backend = current;
+  decision.new_backend = *target;
+  decision.measured_old_per_cross_ns = PredictedPerCrossNs(current);
+  decision.predicted_new_per_cross_ns = PredictedPerCrossNs(*target);
+  decision.predicted_delta_ns =
+      static_cast<int64_t>(decision.measured_old_per_cross_ns) -
+      static_cast<int64_t>(decision.predicted_new_per_cross_ns);
+  decision.transition_cost_ns = image_.machine().clock().CyclesToNanos(
+      TransitionCycles(image_.machine().costs(), current, *target));
+  decision.reason = "trap";
+  // Safety beats hysteresis: promotions ignore cooldown, freeze, and the
+  // allow list, and are never lint-vetoed (stronger isolation cannot
+  // introduce a sharing violation).
+  decision.applied =
+      image_.SetBoundaryBackend(from_comp, to_comp, *target);
+  decision.deferred = !decision.applied;
+  ++promotions_;
+  promotions_counter_->Add();
+  EmitInstant("adapt.promote", decision);
+  RecordTransition(states_[{from_comp, to_comp}], decision);
+  FLEXOS_WARN("flexadapt: trap on c%d->c%d promotes %s => %s", from_comp,
+              to_comp, std::string(IsolationBackendName(current)).c_str(),
+              std::string(IsolationBackendName(*target)).c_str());
+  decisions_.push_back(std::move(decision));
+}
+
+std::string AdaptiveIsolationEngine::ToJson() const {
+  std::string out = StrFormat(
+      "{\"schema\":\"%s\",\"promotions\":%llu,\"demotions\":%llu,"
+      "\"vetoes\":%llu,\"flaps\":%llu,\"decisions\":[",
+      std::string(kAdaptSchema).c_str(),
+      static_cast<unsigned long long>(promotions_),
+      static_cast<unsigned long long>(demotions_),
+      static_cast<unsigned long long>(vetoes_),
+      static_cast<unsigned long long>(flaps_));
+  for (size_t i = 0; i < decisions_.size(); ++i) {
+    const AdaptDecision& d = decisions_[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += StrFormat(
+        "{\"window\":%llu,\"from\":\"%s\",\"to\":\"%s\",\"kind\":\"%s\","
+        "\"old\":\"%s\",\"new\":\"%s\",\"crossings\":%llu,"
+        "\"gate_ns\":%llu,\"measured_old_per_cross_ns\":%llu,"
+        "\"predicted_new_per_cross_ns\":%llu,"
+        "\"realized_new_per_cross_ns\":%llu,\"realized\":%s,"
+        "\"predicted_delta_ns\":%lld,\"realized_delta_ns\":%lld,"
+        "\"transition_cost_ns\":%llu,\"applied\":%s,\"deferred\":%s,"
+        "\"reason\":\"%s\"}",
+        static_cast<unsigned long long>(d.window_seq),
+        obs::CompartmentLabel(d.from).c_str(),
+        obs::CompartmentLabel(d.to).c_str(),
+        std::string(DecisionKindName(d.kind)).c_str(),
+        std::string(IsolationBackendName(d.old_backend)).c_str(),
+        std::string(IsolationBackendName(d.new_backend)).c_str(),
+        static_cast<unsigned long long>(d.crossings),
+        static_cast<unsigned long long>(d.gate_ns),
+        static_cast<unsigned long long>(d.measured_old_per_cross_ns),
+        static_cast<unsigned long long>(d.predicted_new_per_cross_ns),
+        static_cast<unsigned long long>(d.realized_new_per_cross_ns),
+        BoolName(d.realized), static_cast<long long>(d.predicted_delta_ns),
+        static_cast<long long>(d.realized_delta_ns),
+        static_cast<unsigned long long>(d.transition_cost_ns),
+        BoolName(d.applied), BoolName(d.deferred), d.reason.c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AdaptiveIsolationEngine::ToTable() const {
+  std::string out = StrFormat(
+      "flexadapt: %llu decision(s), %llu demotion(s), %llu promotion(s), "
+      "%llu veto(es), %llu flap(s)\n",
+      static_cast<unsigned long long>(decisions_.size()),
+      static_cast<unsigned long long>(demotions_),
+      static_cast<unsigned long long>(promotions_),
+      static_cast<unsigned long long>(vetoes_),
+      static_cast<unsigned long long>(flaps_));
+  if (decisions_.empty()) {
+    return out;
+  }
+  out += StrFormat("%-8s %-8s %-14s %-28s %14s %14s %-9s %s\n", "window",
+                   "kind", "boundary", "backend", "predicted_ns",
+                   "realized_ns", "applied", "reason");
+  for (const AdaptDecision& d : decisions_) {
+    const std::string boundary = obs::CompartmentLabel(d.from) + "->" +
+                                 obs::CompartmentLabel(d.to);
+    const std::string change =
+        std::string(IsolationBackendName(d.old_backend)) + " => " +
+        std::string(IsolationBackendName(d.new_backend));
+    const std::string realized =
+        d.realized
+            ? StrFormat("%lld", static_cast<long long>(d.realized_delta_ns))
+            : std::string("-");
+    const char* applied = "deferred";
+    if (d.applied) {
+      applied = "yes";
+    } else if (d.kind == DecisionKind::kVeto) {
+      applied = "vetoed";
+    }
+    out += StrFormat(
+        "%-8llu %-8s %-14s %-28s %14lld %14s %-9s %s\n",
+        static_cast<unsigned long long>(d.window_seq),
+        std::string(DecisionKindName(d.kind)).c_str(), boundary.c_str(),
+        change.c_str(), static_cast<long long>(d.predicted_delta_ns),
+        realized.c_str(), applied, d.reason.c_str());
+  }
+  return out;
+}
+
+}  // namespace adapt
+}  // namespace flexos

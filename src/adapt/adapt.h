@@ -1,0 +1,193 @@
+// flexadapt (DESIGN.md §16): runtime-adaptive isolation. The paper's thesis
+// is that isolation placement is a build-time knob; flexwatch (§14) and
+// flexpath (§15) made the cost of a placement observable per window and per
+// boundary. This engine closes the loop: at every flexwatch window close it
+// consumes the window's gate.latency_ns.* deltas — the same per-boundary
+// rows the critpath advisor ranks offline (obs::BoundaryShare) — and
+// re-places individual boundary backends live through
+// Image::SetBoundaryBackend:
+//
+//   * demotion (cheaper gate) when a boundary's crossing cost dominates the
+//     window: one rung down the ladder vm-rpc -> mpk-switched -> mpk-shared
+//     (-> none only when an "adapt allow" row explicitly blesses it), gated
+//     by predicted saving > min_delta_frac of the boundary's window gate
+//     time AND > the modeled transition cost (TransitionCycles).
+//   * promotion (stronger isolation) when the fault supervisor contains a
+//     trap on the boundary: one rung up none -> mpk-shared -> mpk-switched,
+//     immediately, ignoring cooldown and the allow list — safety beats
+//     hysteresis.
+//
+// Safety gating: every proposed demotion is re-linted before it is applied.
+// The engine extracts the live image's model (analysis/flexlint.h), re-runs
+// the rule set with the proposed backend, and vetoes the move iff the
+// proposal introduces error diagnostics the current placement does not have
+// (e.g. FL003 when demoting to a trusted function call between libraries
+// whose metadata forbids shared trust). Vetoed moves are counted
+// (adapt.vetoes) and logged, never applied.
+//
+// Hysteresis: per-boundary cooldown windows between moves, a min_crossings
+// floor so idle boundaries never thrash, and a flap counter — a move that
+// reverses the boundary's previous move is a flap; max_flaps of them freeze
+// the boundary for the rest of the run (adapt.flaps counts).
+//
+// Determinism: decisions are a pure function of the deterministic window
+// snapshot stream, the cost model, and the config, so the same seed yields
+// a byte-identical decision log (ToJson, schema flexos-adapt-v1) — the
+// bench/abl_adaptive.cc replay gate locks this.
+//
+// Predicted vs realized accounting: a decision records the measured
+// per-crossing cost under the old backend and the model's predicted
+// per-crossing cost under the new one; the first later window in which the
+// re-placed boundary crosses again fills in the realized per-crossing cost.
+// Because the gates charge exactly the modeled sequences and the one-time
+// transition cost is charged to the clock (never to the latency
+// histograms), realized and predicted per-crossing costs differ only by
+// integer ns rounding of the histogram mean: |realized - predicted| <= 1 ns
+// per crossing, the documented reconciliation bound.
+#ifndef FLEXOS_ADAPT_ADAPT_H_
+#define FLEXOS_ADAPT_ADAPT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/image.h"
+#include "core/image_builder.h"
+#include "obs/timeseries.h"
+
+namespace flexos {
+namespace adapt {
+
+inline constexpr std::string_view kAdaptSchema = "flexos-adapt-v1";
+
+enum class DecisionKind : uint8_t {
+  kDemote,   // Window policy picked a cheaper gate.
+  kPromote,  // Contained trap forced a stronger gate.
+  kVeto,     // Demotion proposed, refused by the lint gate. Never applied.
+};
+
+std::string_view DecisionKindName(DecisionKind kind);
+
+// One policy decision, in decision order. All integer fields are exact;
+// the JSON log (ToJson) renders them digit-for-digit, so a replay of the
+// same seed produces a byte-identical log.
+struct AdaptDecision {
+  uint64_t window_seq = 0;  // Window that triggered it (traps: last seen).
+  int from = -1;
+  int to = -1;
+  DecisionKind kind = DecisionKind::kDemote;
+  IsolationBackend old_backend = IsolationBackend::kNone;
+  IsolationBackend new_backend = IsolationBackend::kNone;
+
+  uint64_t crossings = 0;  // Window crossings backing the decision (0 for
+                           // trap promotions: the trap itself is the
+                           // evidence).
+  uint64_t gate_ns = 0;    // Window gate time under old_backend.
+
+  // Per-crossing accounting (ns). measured_old is gate_ns / crossings for
+  // window-driven decisions and the model's prediction for trap
+  // promotions; predicted_new always comes from PredictedCrossingCycles.
+  uint64_t measured_old_per_cross_ns = 0;
+  uint64_t predicted_new_per_cross_ns = 0;
+  uint64_t realized_new_per_cross_ns = 0;  // Filled by a later window.
+  bool realized = false;                   // realized_* fields valid.
+
+  // Projected window deltas (positive = predicted saving): per-crossing
+  // delta scaled by `crossings` (by 1 for trap promotions).
+  int64_t predicted_delta_ns = 0;
+  int64_t realized_delta_ns = 0;  // Valid iff `realized`.
+
+  uint64_t transition_cost_ns = 0;  // TransitionCycles, in ns.
+  bool applied = false;    // False for vetoes and failed swaps.
+  bool deferred = false;   // Swap parked behind in-flight crossings.
+  std::string reason;      // "crossing-cost", "trap", "veto:FL003", ...
+};
+
+// The policy engine. Owned by the Testbed when the image config says
+// "adapt on"; wired to TimeSeries::SetWindowHook and
+// CompartmentSupervisor::SetTrapObserver.
+class AdaptiveIsolationEngine {
+ public:
+  AdaptiveIsolationEngine(Image& image, const AdaptConfig& config);
+
+  AdaptiveIsolationEngine(const AdaptiveIsolationEngine&) = delete;
+  AdaptiveIsolationEngine& operator=(const AdaptiveIsolationEngine&) = delete;
+
+  // Window-close feed (TimeSeries::SetWindowHook). Fills realized deltas
+  // for earlier decisions, then evaluates demotions over this window's
+  // per-boundary gate rows.
+  void OnWindow(const obs::WindowSnapshot& snapshot);
+
+  // Fault-supervisor feed (SetTrapObserver): a trap was contained crossing
+  // (from, to). Promotes the boundary one rung immediately.
+  void OnContainedTrap(int from_comp, int to_comp);
+
+  // --- Introspection ------------------------------------------------------
+  const std::vector<AdaptDecision>& decisions() const { return decisions_; }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t demotions() const { return demotions_; }
+  uint64_t vetoes() const { return vetoes_; }
+  uint64_t flaps() const { return flaps_; }
+  uint64_t windows_seen() const { return last_window_seq_; }
+
+  // flexos-adapt-v1: byte-deterministic decision log (same seed ->
+  // identical bytes). flexstat --adapt --json emits this.
+  std::string ToJson() const;
+
+  // Human-readable decision table (flexstat --adapt).
+  std::string ToTable() const;
+
+ private:
+  // Per-boundary hysteresis state.
+  struct BoundaryState {
+    uint64_t last_transition_window = 0;
+    bool transitioned = false;  // last_transition_window is meaningful.
+    int flap_count = 0;
+    bool frozen = false;
+    // Previous applied move, for flap detection (a move reversing it).
+    IsolationBackend prev_old = IsolationBackend::kNone;
+    IsolationBackend prev_new = IsolationBackend::kNone;
+  };
+
+  // One merged per-boundary row of a window (BoundaryShare's window-delta
+  // analogue, recovered from gate.latency_ns.* histogram deltas).
+  struct WindowRow {
+    int from = -1;
+    int to = -1;
+    IsolationBackend backend = IsolationBackend::kNone;
+    uint64_t crossings = 0;
+    uint64_t gate_ns = 0;
+  };
+
+  std::vector<WindowRow> RowsFrom(const obs::WindowSnapshot& snapshot) const;
+  void FillRealized(const obs::WindowSnapshot& snapshot);
+  bool AllowedByList(int from, int to, IsolationBackend target) const;
+  // Lint the live image with `target` in place of the current placement;
+  // returns the first NEW error rule id, or "" when the move is clean.
+  std::string LintVeto(IsolationBackend target) const;
+  void RecordTransition(BoundaryState& state, const AdaptDecision& decision);
+  void EmitInstant(const char* name, const AdaptDecision& decision);
+  uint64_t PredictedPerCrossNs(IsolationBackend backend) const;
+
+  Image& image_;
+  AdaptConfig config_;
+  std::map<std::pair<int, int>, BoundaryState> states_;
+  std::vector<AdaptDecision> decisions_;
+  uint64_t last_window_seq_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t vetoes_ = 0;
+  uint64_t flaps_ = 0;
+
+  obs::Counter* promotions_counter_ = nullptr;
+  obs::Counter* demotions_counter_ = nullptr;
+  obs::Counter* vetoes_counter_ = nullptr;
+  obs::Counter* flaps_counter_ = nullptr;
+};
+
+}  // namespace adapt
+}  // namespace flexos
+
+#endif  // FLEXOS_ADAPT_ADAPT_H_

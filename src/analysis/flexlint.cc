@@ -249,6 +249,7 @@ LintModel ExtractModel(const ImageConfig& config,
   }
   model.reentrant_libs = config.reentrant_libs;
   model.vm_replicated_libs = config.vm_replicated_libs;
+  model.adapt_allow = config.adapt.allow;
   FinishModel(&model);
   return model;
 }
@@ -676,6 +677,83 @@ LintReport RunRules(const LintModel& model) {
                   meta.name.c_str(), JoinStrings(devices, ", ").c_str(),
                   pin->second),
         "pin '" + meta.name + "' to vCPU 0, or leave it unpinned");
+  }
+
+  // FL015 — "adapt allow" rows naming a boundary that can never legally
+  // host the target backend: the runtime policy engine would either sit on
+  // a dead whitelist entry or be steered toward a placement every veto
+  // rejects. Caught at lint time, before the image ever runs.
+  for (const AdaptAllowRule& rule : model.adapt_allow) {
+    const std::string entity =
+        StrFormat("adapt allow %s %s %s", obs::CompartmentLabel(rule.from).c_str(),
+                  obs::CompartmentLabel(rule.to).c_str(),
+                  std::string(IsolationBackendName(rule.target)).c_str());
+    if (rule.from < -1 || rule.from >= model.num_compartments ||
+        rule.to < -1 || rule.to >= model.num_compartments) {
+      Add(&report, kRuleAdaptIllegalTarget, LintSeverity::kError, entity,
+          StrFormat("allow rule names a compartment outside the spec's "
+                    "range [platform, c%d]",
+                    model.num_compartments - 1),
+          "fix the compartment ids or drop the rule");
+      continue;
+    }
+    if (rule.from == rule.to) {
+      Add(&report, kRuleAdaptIllegalTarget, LintSeverity::kError, entity,
+          "allow rule names a self-boundary; calls inside one compartment "
+          "never cross a gate, so no backend can be hosted there",
+          "name a (from, to) pair of distinct compartments");
+      continue;
+    }
+    if (rule.target == IsolationBackend::kNone) {
+      // Demoting to a trusted function call merges the endpoints' trust:
+      // legal only when every (caller-side, callee-side) metadata pair
+      // could cohabit a compartment.
+      for (const LibraryMeta& a : model.metas) {
+        if (model.compartment_of.at(a.name) != rule.from) {
+          continue;
+        }
+        for (const LibraryMeta& b : model.metas) {
+          if (model.compartment_of.at(b.name) != rule.to) {
+            continue;
+          }
+          const CompatVerdict verdict = CanShareCompartment(a, b);
+          if (verdict.compatible) {
+            continue;
+          }
+          Add(&report, kRuleAdaptIllegalTarget, LintSeverity::kError,
+              entity,
+              StrFormat("demotion to a trusted function-call gate is never "
+                        "legal here: %s and %s cannot share trust (%s)",
+                        a.name.c_str(), b.name.c_str(),
+                        JoinStrings(verdict.violations, "; ").c_str()),
+              "allow mpk-shared as the demotion floor instead of none");
+        }
+      }
+    }
+    if (rule.target == IsolationBackend::kVmRpc && rule.to >= 0) {
+      // A callee compartment made up entirely of vm-replicated libraries
+      // never takes the RPC path — every caller owns a local replica — so
+      // the boundary cannot host vm-rpc.
+      bool has_lib = false;
+      bool all_replicated = true;
+      for (const auto& [lib, comp] : model.compartment_of) {
+        if (comp != rule.to) {
+          continue;
+        }
+        has_lib = true;
+        if (model.vm_replicated_libs.count(lib) == 0) {
+          all_replicated = false;
+        }
+      }
+      if (has_lib && all_replicated) {
+        Add(&report, kRuleAdaptIllegalTarget, LintSeverity::kError, entity,
+            StrFormat("compartment %s holds only vm-replicated libraries; "
+                      "under vm-rpc every caller uses its local replica and "
+                      "the boundary never hosts an RPC gate",
+                      obs::CompartmentLabel(rule.to).c_str()),
+            "take the callee out of vm_replicated_libs or drop the rule");
+      }
+    }
   }
 
   report.Normalize();

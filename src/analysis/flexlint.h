@@ -57,6 +57,9 @@ inline constexpr std::string_view kRuleVmStateDivergence = "FL011";
 inline constexpr std::string_view kRuleNonReentrant = "FL012";
 inline constexpr std::string_view kRuleKeyBudget = "FL013";
 inline constexpr std::string_view kRuleDeviceAffinity = "FL014";
+// flexadapt static side (DESIGN.md §16): an "adapt allow" row names a
+// boundary whose compartment pair can never legally host the target backend.
+inline constexpr std::string_view kRuleAdaptIllegalTarget = "FL015";
 
 struct LintDiagnostic {
   std::string rule;  // "FL001" ...
@@ -145,6 +148,13 @@ struct LintModel {
   std::set<std::string> reentrant_libs;
   // Libraries replicated per VM under the vm-rpc backend (FL011).
   std::set<std::string> vm_replicated_libs;
+
+  // --- flexadapt (FL015, DESIGN.md §16) ----------------------------------
+  // Declared runtime re-placement whitelist ("adapt allow cX cY <backend>").
+  // Populated from configs; a built image does not retain its allow list,
+  // so image extraction leaves this empty and FL015 stays silent — the
+  // runtime veto path re-lints the *proposed* placement instead.
+  std::vector<AdaptAllowRule> adapt_allow;
 };
 
 // Extracts the model from a compartment spec (pre-build) ...

@@ -61,9 +61,10 @@ Testbed::Testbed(const TestbedConfig& config)
   }
 
   // flexwatch (DESIGN.md §14): windowing turns on when asked for explicitly
-  // (--watch) or implied by the config (window_cycles / slo directives).
+  // (--watch) or implied by the config (window_cycles / slo / adapt
+  // directives — the adaptive engine decides at window closes).
   if (config.watch || config.image.window_cycles != 0 ||
-      !config.image.slos.empty()) {
+      !config.image.slos.empty() || config.image.adapt.enabled) {
     uint64_t window = config.window_cycles != 0 ? config.window_cycles
                                                 : config.image.window_cycles;
     if (window == 0) {
@@ -79,6 +80,24 @@ Testbed::Testbed(const TestbedConfig& config)
           [this](const obs::SloViolation& violation) {
             supervisor_->OnSloViolation(violation.slo_name);
           });
+    }
+  }
+
+  // flexadapt (DESIGN.md §16): the policy engine feeds on window closes and
+  // (when supervised) on contained traps. Constructed only when the config
+  // opts in, so disabled runs never create adapt.* metrics and every route
+  // epoch stays at its boot value.
+  if (config.image.adapt.enabled) {
+    adapt_ = std::make_unique<adapt::AdaptiveIsolationEngine>(
+        *image_, config.image.adapt);
+    machine_.timeseries().SetWindowHook(
+        [this](const obs::WindowSnapshot& snapshot) {
+          adapt_->OnWindow(snapshot);
+        });
+    if (supervisor_ != nullptr) {
+      supervisor_->SetTrapObserver([this](int from_comp, int to_comp) {
+        adapt_->OnContainedTrap(from_comp, to_comp);
+      });
     }
   }
 }

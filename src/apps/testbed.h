@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/adapt.h"
 #include "core/image_builder.h"
 #include "fault/supervisor.h"
 #include "net/link.h"
@@ -79,6 +80,8 @@ class Testbed {
   Nic& nic() { return *nic_; }
   // Null unless config.supervise was set.
   fault::CompartmentSupervisor* supervisor() { return supervisor_.get(); }
+  // Null unless the image config said "adapt on" (DESIGN.md §16).
+  adapt::AdaptiveIsolationEngine* adapt_engine() { return adapt_.get(); }
 
   // Registers a remote peer so the idle handler drives its timers.
   void AddPeer(RemoteTcpPeer* peer) { peers_.push_back(peer); }
@@ -109,6 +112,7 @@ class Testbed {
   Machine machine_;
   std::unique_ptr<Image> image_;
   std::unique_ptr<fault::CompartmentSupervisor> supervisor_;
+  std::unique_ptr<adapt::AdaptiveIsolationEngine> adapt_;
   RouteHandle platform_to_app_;  // Resolved once; SpawnApp's entry route.
   std::unique_ptr<CoopScheduler> scheduler_;
   std::unique_ptr<Nic> nic_;

@@ -1,7 +1,11 @@
 #include "core/config_parser.h"
 
+#include <cstdlib>
+
 #include "core/compat.h"
+#include "core/gate_costs.h"
 #include "core/metadata.h"
+#include "obs/names.h"
 #include "support/strings.h"
 
 namespace flexos {
@@ -37,6 +41,33 @@ Result<uint64_t> ParseByteSize(std::string_view text, int line) {
     return LineError(line, "size overflows");
   }
   return *value * multiplier;
+}
+
+// Parses "0.25" and friends; rejects trailing junk and negatives.
+std::optional<double> ParseFraction(std::string_view text) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0' || value < 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+// "c3" -> 3, "platform" -> -1 (the adapt-allow compartment spelling matches
+// obs::CompartmentLabel).
+std::optional<int> ParseCompartmentLabel(std::string_view text) {
+  if (text == "platform") {
+    return -1;
+  }
+  if (text.size() < 2 || text[0] != 'c') {
+    return std::nullopt;
+  }
+  const std::optional<uint64_t> id = ParseU64(text.substr(1));
+  if (!id.has_value() || *id > 1000) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*id);
 }
 
 }  // namespace
@@ -215,6 +246,81 @@ Result<ImageConfig> ParseImageConfig(const std::string& text) {
         return LineError(line_number, "bad slo: " + error);
       }
       config.slos.push_back(std::move(spec));
+    } else if (directive == "adapt") {
+      // flexadapt policy directives (DESIGN.md §16), word form:
+      //   adapt on|off
+      //   adapt cooldown <windows> | min_crossings <n> | max_flaps <n>
+      //   adapt demote_share <frac> | min_delta <frac>
+      //   adapt allow <cX|platform> <cY|platform> <backend>
+      if (words.size() < 2) {
+        return LineError(line_number, "adapt needs a subdirective");
+      }
+      const std::string_view sub = words[1];
+      if (sub == "on" || sub == "off") {
+        if (words.size() != 2) {
+          return LineError(line_number, "adapt on/off takes no arguments");
+        }
+        config.adapt.enabled = (sub == "on");
+      } else if (sub == "cooldown" || sub == "min_crossings" ||
+                 sub == "max_flaps") {
+        if (words.size() != 3) {
+          return LineError(line_number,
+                           "adapt " + std::string(sub) + " needs one value");
+        }
+        const std::optional<uint64_t> value = ParseU64(words[2]);
+        if (!value.has_value()) {
+          return LineError(line_number, "bad adapt " + std::string(sub) +
+                                            ": " + std::string(words[2]));
+        }
+        if (sub == "cooldown") {
+          config.adapt.cooldown_windows = static_cast<int>(*value);
+        } else if (sub == "min_crossings") {
+          config.adapt.min_crossings = *value;
+        } else {
+          config.adapt.max_flaps = static_cast<int>(*value);
+        }
+      } else if (sub == "demote_share" || sub == "min_delta") {
+        if (words.size() != 3) {
+          return LineError(line_number,
+                           "adapt " + std::string(sub) + " needs one value");
+        }
+        const std::optional<double> value = ParseFraction(words[2]);
+        if (!value.has_value() || *value > 1.0) {
+          return LineError(line_number,
+                           "adapt " + std::string(sub) +
+                               " needs a fraction in [0, 1], got " +
+                               std::string(words[2]));
+        }
+        if (sub == "demote_share") {
+          config.adapt.demote_share = *value;
+        } else {
+          config.adapt.min_delta_frac = *value;
+        }
+      } else if (sub == "allow") {
+        if (words.size() != 5) {
+          return LineError(
+              line_number,
+              "adapt allow needs <from> <to> <backend> (e.g. c0 c1 "
+              "mpk-shared)");
+        }
+        AdaptAllowRule rule;
+        const std::optional<int> from = ParseCompartmentLabel(words[2]);
+        const std::optional<int> to = ParseCompartmentLabel(words[3]);
+        if (!from.has_value() || !to.has_value()) {
+          return LineError(line_number,
+                           "adapt allow compartments must be cN or platform");
+        }
+        rule.from = *from;
+        rule.to = *to;
+        if (!IsolationBackendFromName(words[4], &rule.target)) {
+          return LineError(line_number, "unknown adapt allow backend: " +
+                                            std::string(words[4]));
+        }
+        config.adapt.allow.push_back(rule);
+      } else {
+        return LineError(line_number,
+                         "unknown adapt subdirective: " + std::string(sub));
+      }
     } else {
       return LineError(line_number,
                        "unknown directive: " + std::string(directive));
@@ -374,6 +480,35 @@ std::string ImageConfigToString(const ImageConfig& config) {
   }
   for (const obs::SloSpec& spec : config.slos) {
     out += "slo " + obs::SloSpecToString(spec) + '\n';
+  }
+  {
+    const AdaptConfig defaults;
+    if (config.adapt.enabled) {
+      out += "adapt on\n";
+    }
+    if (config.adapt.cooldown_windows != defaults.cooldown_windows) {
+      out += StrFormat("adapt cooldown %d\n", config.adapt.cooldown_windows);
+    }
+    if (config.adapt.min_crossings != defaults.min_crossings) {
+      out += StrFormat(
+          "adapt min_crossings %llu\n",
+          static_cast<unsigned long long>(config.adapt.min_crossings));
+    }
+    if (config.adapt.max_flaps != defaults.max_flaps) {
+      out += StrFormat("adapt max_flaps %d\n", config.adapt.max_flaps);
+    }
+    if (config.adapt.demote_share != defaults.demote_share) {
+      out += StrFormat("adapt demote_share %g\n", config.adapt.demote_share);
+    }
+    if (config.adapt.min_delta_frac != defaults.min_delta_frac) {
+      out += StrFormat("adapt min_delta %g\n", config.adapt.min_delta_frac);
+    }
+    for (const AdaptAllowRule& rule : config.adapt.allow) {
+      out += StrFormat("adapt allow %s %s %s\n",
+                       obs::CompartmentLabel(rule.from).c_str(),
+                       obs::CompartmentLabel(rule.to).c_str(),
+                       std::string(IsolationBackendName(rule.target)).c_str());
+    }
   }
   out += StrFormat("allocators = %s\n", config.per_compartment_allocators
                                             ? "per-compartment"

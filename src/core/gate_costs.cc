@@ -33,6 +33,25 @@ uint64_t PredictedCrossingCycles(const CostModel& costs,
   return 0;
 }
 
+uint64_t TransitionCycles(const CostModel& costs, IsolationBackend from,
+                          IsolationBackend to) {
+  if (from == to) {
+    return 0;
+  }
+  const auto is_mpk = [](IsolationBackend b) {
+    return b == IsolationBackend::kMpkSharedStack ||
+           b == IsolationBackend::kMpkSwitchedStack;
+  };
+  uint64_t cycles = 0;
+  if (is_mpk(from) || is_mpk(to)) {
+    cycles += costs.adapt_mpk_reprogram;
+  }
+  if (from == IsolationBackend::kVmRpc || to == IsolationBackend::kVmRpc) {
+    cycles += costs.adapt_vm_setup;
+  }
+  return cycles;
+}
+
 bool IsolationBackendFromName(std::string_view name, IsolationBackend* out) {
   if (name == "none") {
     *out = IsolationBackend::kNone;

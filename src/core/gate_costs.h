@@ -36,6 +36,15 @@ uint64_t PredictedCrossingCycles(const CostModel& costs,
 // "mpk-shared", "mpk-switched", "vm-rpc". Returns false for anything else.
 bool IsolationBackendFromName(std::string_view name, IsolationBackend* out);
 
+// Modeled one-time cycles for re-placing a boundary's backend live
+// (flexadapt, DESIGN.md §16): pkey re-program when either side is an MPK
+// backend, ring/event-channel setup or teardown when either side is vm-rpc,
+// zero for from == to. Image::SetBoundaryBackend charges exactly this, and
+// the adaptive engine budgets proposed transitions against it, so predicted
+// and realized deltas reconcile by construction.
+uint64_t TransitionCycles(const CostModel& costs, IsolationBackend from,
+                          IsolationBackend to);
+
 }  // namespace flexos
 
 #endif  // FLEXOS_CORE_GATE_COSTS_H_

@@ -4,6 +4,9 @@
 #include <new>
 #include <type_traits>
 
+#include "core/gate_costs.h"
+#include "core/mpk_gate.h"
+#include "core/vm_gate.h"
 #include "fault/fault.h"
 #include "hw/trap.h"
 #include "obs/names.h"
@@ -15,13 +18,43 @@ namespace {
 
 // Opaque per-batch state parked in GateBatch's session storage: the gate
 // session plus the cycles the batch's Enter half cost, so BatchExit can
-// record one amortized entry+exit latency sample for the whole batch.
+// record one amortized entry+exit latency sample for the whole batch. The
+// gate/backend pair is pinned at BatchEnter so a backend swap landing
+// mid-batch (deferred until the batch drains) can never tear the
+// entry/exit pairing.
 struct BatchState {
   GateSession session;
   uint64_t entry_cycles = 0;
+  Gate* gate = nullptr;
+  std::string_view backend;
+  BoundaryRuntime* boundary = nullptr;
 };
 
 }  // namespace
+
+// Tracks one crossing through its boundary's gate; when the last in-flight
+// crossing drains (normal exit or TrapException unwind), a deferred
+// backend swap is applied.
+class Image::InflightGuard {
+ public:
+  InflightGuard(Image& image, BoundaryRuntime& b) : image_(image), b_(b) {
+    ++b_.inflight;
+  }
+  ~InflightGuard() {
+    if (--b_.inflight == 0 && b_.has_pending) {
+      b_.has_pending = false;
+      ++image_.deferred_swaps_applied_;
+      image_.ApplyBoundaryBackend(b_, b_.pending);
+    }
+  }
+
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  Image& image_;
+  BoundaryRuntime& b_;
+};
 
 std::string_view IsolationBackendName(IsolationBackend backend) {
   switch (backend) {
@@ -212,43 +245,132 @@ RouteHandle Image::Resolve(std::string_view from, std::string_view to) {
     route.hardened = target.hardened;
   }
   route.cross = route.from_comp != route.to_comp;
-  route.gate = route.cross ? &CrossGate() : &direct_gate_;
   if (route.cross) {
-    route.obs = &BoundaryRecorderFor(route.from_comp, route.to_comp);
+    BoundaryRuntime& b = BoundaryFor(route.from_comp, route.to_comp);
+    route.boundary = &b;
+    route.obs = &b.recorder;
+    route.gate = &GateForBackend(b.backend);
+    route.epoch = route_epoch_;
+  } else {
+    route.gate = &direct_gate_;
   }
   return route;
 }
 
-const obs::BoundaryRecorder& Image::BoundaryRecorderFor(int from_comp,
-                                                        int to_comp) {
+BoundaryRuntime& Image::BoundaryFor(int from_comp, int to_comp) {
   auto it = boundaries_.find({from_comp, to_comp});
   if (it == boundaries_.end()) {
-    const std::string_view backend = IsolationBackendName(backend_);
-    obs::MetricsRegistry& metrics = machine_.metrics();
-    obs::BoundaryRecorder recorder;
-    recorder.crossings = &metrics.GetCounter(
-        obs::GateMetricName("crossings", backend, from_comp, to_comp));
-    recorder.batched = &metrics.GetCounter(
-        obs::GateMetricName("batched", backend, from_comp, to_comp));
-    recorder.bytes = &metrics.GetCounter(
-        obs::GateMetricName("bytes", backend, from_comp, to_comp));
-    recorder.latency_ns = &metrics.GetHistogram(
-        obs::GateMetricName("latency_ns", backend, from_comp, to_comp));
-    if (machine_.vcpu_count() > 1) {
-      // Per-vCPU crossing split. The ".v<id>" suffix adds a fifth dot-field
-      // after "gate.", which ParseGateMetricName rejects — so generic
-      // boundary collection (flexstat tables, flexbench rows) never double
-      // counts these.
-      for (int v = 0; v < machine_.vcpu_count(); ++v) {
-        recorder.vcpu_crossings[v] = &metrics.GetCounter(
-            obs::GateMetricName("crossings", backend, from_comp, to_comp) +
-            ".v" + std::to_string(v));
-      }
-    }
-    it = boundaries_.emplace(std::make_pair(from_comp, to_comp), recorder)
+    BoundaryRuntime b;
+    b.from_comp = from_comp;
+    b.to_comp = to_comp;
+    b.backend = backend_;
+    it = boundaries_.emplace(std::make_pair(from_comp, to_comp),
+                             std::move(b))
              .first;
+    BindRecorder(it->second);
   }
   return it->second;
+}
+
+void Image::BindRecorder(BoundaryRuntime& b) {
+  const std::string_view backend = IsolationBackendName(b.backend);
+  obs::MetricsRegistry& metrics = machine_.metrics();
+  b.recorder.crossings = &metrics.GetCounter(
+      obs::GateMetricName("crossings", backend, b.from_comp, b.to_comp));
+  b.recorder.batched = &metrics.GetCounter(
+      obs::GateMetricName("batched", backend, b.from_comp, b.to_comp));
+  b.recorder.bytes = &metrics.GetCounter(
+      obs::GateMetricName("bytes", backend, b.from_comp, b.to_comp));
+  b.recorder.latency_ns = &metrics.GetHistogram(
+      obs::GateMetricName("latency_ns", backend, b.from_comp, b.to_comp));
+  if (machine_.vcpu_count() > 1) {
+    // Per-vCPU crossing split. The ".v<id>" suffix adds a fifth dot-field
+    // after "gate.", which ParseGateMetricName rejects — so generic
+    // boundary collection (flexstat tables, flexbench rows) never double
+    // counts these.
+    for (int v = 0; v < machine_.vcpu_count(); ++v) {
+      b.recorder.vcpu_crossings[v] = &metrics.GetCounter(
+          obs::GateMetricName("crossings", backend, b.from_comp, b.to_comp) +
+          ".v" + std::to_string(v));
+    }
+  }
+}
+
+Gate& Image::GateForBackend(IsolationBackend backend) {
+  if (backend == IsolationBackend::kNone) {
+    return direct_gate_;
+  }
+  if (backend == backend_ && gate_ != nullptr) {
+    // The builder's gate: object identity preserved so pre-adapt behavior
+    // (and pointer-compared baselines) is bit-for-bit unchanged.
+    return *gate_;
+  }
+  std::unique_ptr<Gate>& slot = gate_pool_[static_cast<size_t>(backend)];
+  if (slot == nullptr) {
+    switch (backend) {
+      case IsolationBackend::kMpkSharedStack:
+        slot = std::make_unique<MpkSharedStackGate>();
+        break;
+      case IsolationBackend::kMpkSwitchedStack:
+        slot = std::make_unique<MpkSwitchedStackGate>();
+        break;
+      case IsolationBackend::kVmRpc:
+        slot = std::make_unique<VmRpcGate>();
+        break;
+      case IsolationBackend::kNone:
+        return direct_gate_;
+    }
+  }
+  return *slot;
+}
+
+IsolationBackend Image::BoundaryBackend(int from_comp, int to_comp) const {
+  const auto it = boundaries_.find({from_comp, to_comp});
+  return it != boundaries_.end() ? it->second.backend : backend_;
+}
+
+IsolationBackend Image::EffectiveBackend(const RouteHandle& route) const {
+  // route.boundary stays valid across swaps (node-stable map), so even a
+  // stale-epoch handle reads the boundary's current backend.
+  if (route.boundary != nullptr) {
+    return route.boundary->backend;
+  }
+  return BoundaryBackend(route.from_comp, route.to_comp);
+}
+
+bool Image::SetBoundaryBackend(int from_comp, int to_comp,
+                               IsolationBackend target) {
+  FLEXOS_CHECK(from_comp >= -1 && from_comp < compartment_count() &&
+                   to_comp >= -1 && to_comp < compartment_count(),
+               "SetBoundaryBackend: bad boundary %d -> %d", from_comp,
+               to_comp);
+  BoundaryRuntime& b = BoundaryFor(from_comp, to_comp);
+  if (b.inflight > 0) {
+    // Crossings are mid-gate (coop threads suspend inside bodies): drain on
+    // the old backend, swap when the last one exits.
+    b.pending = target;
+    b.has_pending = true;
+    return false;
+  }
+  b.has_pending = false;
+  ApplyBoundaryBackend(b, target);
+  return true;
+}
+
+void Image::ApplyBoundaryBackend(BoundaryRuntime& b,
+                                 IsolationBackend target) {
+  if (b.backend == target) {
+    return;
+  }
+  // The one-time re-placement cost (pkey re-program / ring setup) lands on
+  // the clock, not in the gate latency histograms — realized per-crossing
+  // cost under the new backend stays directly comparable to the
+  // prediction.
+  machine_.clock().Charge(
+      TransitionCycles(machine_.costs(), b.backend, target));
+  b.backend = target;
+  BindRecorder(b);
+  ++route_epoch_;
 }
 
 void Image::Call(std::string_view from, std::string_view to,
@@ -257,6 +379,14 @@ void Image::Call(std::string_view from, std::string_view to,
 }
 
 void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
+  if (route.cross && route.epoch != route_epoch_) {
+    // The handle predates a backend swap: re-resolve by names and dispatch
+    // through the boundary's current gate (the flexadapt route-cache flush
+    // contract, DESIGN.md §16).
+    ++route_reresolves_;
+    Call(Resolve(route.from, route.to), body);
+    return;
+  }
   if (route.vm_local) {
     CallLeaf(route, body);
     return;
@@ -287,10 +417,11 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
     MaybeInjectGateFault(route);
   }
   ++stats_.cross_compartment_calls;
-  const obs::BoundaryRecorder* recorder =
-      route.obs != nullptr
-          ? route.obs
-          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  BoundaryRuntime& boundary =
+      route.boundary != nullptr
+          ? *route.boundary
+          : BoundaryFor(route.from_comp, route.to_comp);
+  const obs::BoundaryRecorder* recorder = &boundary.recorder;
   recorder->crossings->Add();
   if (recorder->vcpu_crossings[0] != nullptr) {
     recorder->vcpu_crossings[machine_.current_vcpu()]->Add();
@@ -300,6 +431,9 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
                         .arg_bytes = kGateArgBytes,
                         .ret_bytes = kGateRetBytes};
   Gate* gate = route.gate != nullptr ? route.gate : &direct_gate_;
+  // Holds any swap requested while this crossing is inside the gate until
+  // it (and every other in-flight crossing) drains — even via trap unwind.
+  InflightGuard inflight(*this, boundary);
   // Enter/body/Exit inlined (vs gate->Cross) so the latency histogram can
   // capture the gate's own overhead — entry half + exit half, in modeled
   // cycles — while excluding the body. The attributor frames mirror that
@@ -310,7 +444,7 @@ void Image::Call(const RouteHandle& route, FunctionRef<void()> body) {
   // measured as a delta on whichever vCPU clock ran it.
   obs::Attributor& attrib = machine_.attrib();
   const bool profiling = attrib.enabled();
-  const std::string_view backend = IsolationBackendName(backend_);
+  const std::string_view backend = IsolationBackendName(boundary.backend);
   const uint64_t t0 = machine_.clock().cycles();
   if (profiling) {
     attrib.PushGateFrame(backend, t0);
@@ -373,13 +507,23 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
     MaybeInjectGateFault(route);
   }
   ++stats_.cross_compartment_calls;
-  const obs::BoundaryRecorder* recorder =
-      route.obs != nullptr
-          ? route.obs
-          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
-  recorder->crossings->Add();
-  if (recorder->vcpu_crossings[0] != nullptr) {
-    recorder->vcpu_crossings[machine_.current_vcpu()]->Add();
+  BoundaryRuntime& boundary =
+      route.boundary != nullptr
+          ? *route.boundary
+          : BoundaryFor(route.from_comp, route.to_comp);
+  if (route.epoch != route_epoch_) {
+    // Stale handle: the batch transparently runs on the boundary's current
+    // backend (gate and attribution name are taken from the boundary, not
+    // the handle, below).
+    ++route_reresolves_;
+  }
+  // Pin the gate/backend for the batch's whole lifetime; a swap requested
+  // mid-batch defers until BatchExit drains the in-flight count.
+  Gate* gate = &GateForBackend(boundary.backend);
+  const std::string_view backend = IsolationBackendName(boundary.backend);
+  boundary.recorder.crossings->Add();
+  if (boundary.recorder.vcpu_crossings[0] != nullptr) {
+    boundary.recorder.vcpu_crossings[machine_.current_vcpu()]->Add();
   }
   // Notification-only entry: the batch opens the boundary with no argument
   // payload; each item marshals its own (ChargeBatchItem).
@@ -388,12 +532,16 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
   const bool profiling = attrib.enabled();
   const uint64_t t0 = machine_.clock().cycles();
   if (profiling) {
-    attrib.PushGateFrame(IsolationBackendName(backend_), t0);
+    attrib.PushGateFrame(backend, t0);
   }
-  GateSession session = route.gate->Enter(machine_, entry);
+  ++boundary.inflight;
+  GateSession session = gate->Enter(machine_, entry);
   auto* state = new (batch.session()) BatchState{};
   state->session = session;
   state->entry_cycles = machine_.clock().cycles() - t0;
+  state->gate = gate;
+  state->backend = backend;
+  state->boundary = &boundary;
   if (profiling) {
     attrib.PopFrame(machine_.clock().cycles());
   }
@@ -405,10 +553,7 @@ void Image::BatchEnter(const RouteHandle& route, GateBatch& batch) {
 void Image::BatchItem(const RouteHandle& route, GateBatch& batch,
                       FunctionRef<void()> body) {
   const auto* state = static_cast<const BatchState*>(batch.session());
-  const obs::BoundaryRecorder* recorder =
-      route.obs != nullptr
-          ? route.obs
-          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  const obs::BoundaryRecorder* recorder = &state->boundary->recorder;
   recorder->batched->Add();
   recorder->bytes->Add(kGateArgBytes + kGateRetBytes);
   if (route.hardened) {
@@ -420,10 +565,9 @@ void Image::BatchItem(const RouteHandle& route, GateBatch& batch,
   obs::Attributor& attrib = machine_.attrib();
   const bool profiling = attrib.enabled();
   if (profiling) {
-    attrib.PushGateFrame(IsolationBackendName(backend_),
-                         machine_.clock().cycles());
+    attrib.PushGateFrame(state->backend, machine_.clock().cycles());
   }
-  route.gate->ChargeBatchItem(machine_, kGateArgBytes, kGateRetBytes);
+  state->gate->ChargeBatchItem(machine_, kGateArgBytes, kGateRetBytes);
   if (profiling) {
     attrib.PopFrame(machine_.clock().cycles());
     attrib.PushFrame(route.to, route.to_comp, machine_.clock().cycles());
@@ -442,18 +586,15 @@ void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
   GateCrossing exit{.target_context = route.target_exec};
   obs::Attributor& attrib = machine_.attrib();
   const bool profiling = attrib.enabled();
-  const std::string_view backend = IsolationBackendName(backend_);
+  const std::string_view backend = state->backend;
   const uint64_t t0 = machine_.clock().cycles();
   if (profiling) {
     attrib.PushGateFrame(backend, t0);
   }
-  route.gate->Exit(machine_, exit, state->session);
+  state->gate->Exit(machine_, exit, state->session);
   // One latency sample per batched crossing: the amortized entry+exit
   // overhead the batch paid for all of its items.
-  const obs::BoundaryRecorder* recorder =
-      route.obs != nullptr
-          ? route.obs
-          : &BoundaryRecorderFor(route.from_comp, route.to_comp);
+  const obs::BoundaryRecorder* recorder = &state->boundary->recorder;
   const uint64_t overhead_ns = machine_.clock().CyclesToNanos(
       state->entry_cycles + (machine_.clock().cycles() - t0));
   recorder->latency_ns->Record(overhead_ns);
@@ -461,6 +602,12 @@ void Image::BatchExit(const RouteHandle& route, GateBatch& batch) {
     attrib.PopFrame(machine_.clock().cycles());
     attrib.OnGateCrossing(backend, route.from_comp, route.to_comp,
                           overhead_ns);
+  }
+  BoundaryRuntime& boundary = *state->boundary;
+  if (--boundary.inflight == 0 && boundary.has_pending) {
+    boundary.has_pending = false;
+    ++deferred_swaps_applied_;
+    ApplyBoundaryBackend(boundary, boundary.pending);
   }
 }
 
@@ -627,11 +774,11 @@ const ImageStats& Image::stats() const {
   // scalar members are maintained in place. Returning a long-lived
   // reference keeps range-for over stats().crossings valid (C++20 range
   // initializers don't extend the lifetime of a by-value return).
-  for (const auto& [boundary, recorder] : boundaries_) {
+  for (const auto& [boundary, runtime] : boundaries_) {
     BoundaryStats& view = stats_.crossings[boundary];
-    view.crossings = recorder.crossings->value();
-    view.batched = recorder.batched->value();
-    view.bytes = recorder.bytes->value();
+    view.crossings = runtime.recorder.crossings->value();
+    view.batched = runtime.recorder.batched->value();
+    view.bytes = runtime.recorder.bytes->value();
   }
   return stats_;
 }

@@ -61,6 +61,27 @@ struct ImageStats {
   uint64_t cfi_checks = 0;
 };
 
+// Per-(from, to) boundary runtime state. Since flexadapt (DESIGN.md §16)
+// each boundary carries its *own* backend — initialized to the image-wide
+// backend at first resolve, re-placed live by Image::SetBoundaryBackend.
+// Nodes live in a std::map inside the image, so pointers parked in
+// RouteHandles stay valid across later inserts and backend swaps.
+struct BoundaryRuntime {
+  int from_comp = -1;
+  int to_comp = -1;
+  IsolationBackend backend = IsolationBackend::kNone;
+  // Registry-backed metric recorder, re-pointed in place on a backend swap
+  // so post-swap crossings land under the new backend's metric names while
+  // every outstanding RouteHandle::obs keeps working.
+  obs::BoundaryRecorder recorder;
+  // Crossings currently inside this boundary's gate (coop threads can
+  // suspend mid-crossing). A swap requested while nonzero is deferred and
+  // applied when the last in-flight call drains.
+  int inflight = 0;
+  bool has_pending = false;
+  IsolationBackend pending = IsolationBackend::kNone;
+};
+
 class Image final : public GateRouter {
  public:
   Image(Machine& machine, IsolationBackend backend);
@@ -129,11 +150,39 @@ class Image final : public GateRouter {
   }
   fault::FaultDomainHandler* fault_handler() const { return fault_handler_; }
 
-  // True when `route` crosses a boundary the supervisor can contain.
+  // True when `route` crosses a boundary the supervisor can contain. Uses
+  // the boundary's *current* backend, so a func-call boundary promoted to
+  // MPK at runtime becomes containable from the swap on.
   bool IsIsolatingBoundary(const RouteHandle& route) const {
     return route.cross && !route.vm_local &&
-           backend_ != IsolationBackend::kNone;
+           EffectiveBackend(route) != IsolationBackend::kNone;
   }
+
+  // --- Runtime backend re-placement (flexadapt, DESIGN.md §16) -----------
+  //
+  // SetBoundaryBackend installs `target` as the (from, to) boundary's gate.
+  // If the boundary has in-flight crossings the swap is deferred (returns
+  // false) and applied when the last one drains; otherwise it applies
+  // immediately (returns true): the transition cost is charged to the
+  // clock, the boundary's metric recorder is re-pointed at the new
+  // backend's names, and the route-cache epoch is bumped so every
+  // outstanding RouteHandle transparently re-resolves on its next dispatch.
+
+  bool SetBoundaryBackend(int from_comp, int to_comp,
+                          IsolationBackend target);
+
+  // The boundary's current backend (the image-wide backend until the
+  // boundary is first resolved or swapped).
+  IsolationBackend BoundaryBackend(int from_comp, int to_comp) const;
+
+  // Current backend of the boundary `route` crosses.
+  IsolationBackend EffectiveBackend(const RouteHandle& route) const;
+
+  uint64_t route_epoch() const { return route_epoch_; }
+  // Dispatches that found a stale epoch and re-resolved transparently.
+  uint64_t route_reresolves() const { return route_reresolves_; }
+  // Deferred swaps applied after their last in-flight crossing drained.
+  uint64_t deferred_swaps_applied() const { return deferred_swaps_applied_; }
 
   Status TryCall(std::string_view from, std::string_view to,
                  FunctionRef<void()> body);
@@ -265,15 +314,26 @@ class Image final : public GateRouter {
   // fault decision (raise a trap / charge a timeout), if one fires.
   void MaybeInjectGateFault(const RouteHandle& route);
 
-  // The cross-compartment gate for resolved routes (direct when the image
-  // was built without one).
-  Gate& CrossGate() { return gate_ != nullptr ? *gate_ : direct_gate_; }
+  // The gate implementing `backend`: the builder's gate when it matches the
+  // image-wide backend, otherwise a lazily-built pooled instance (gates are
+  // stateless and never destroyed, so pointers parked in RouteHandles and
+  // open batches stay valid across swaps).
+  Gate& GateForBackend(IsolationBackend backend);
 
-  // Find-or-create the registry-backed recorder for one boundary. The
-  // returned reference is stable (node-based map + node-stable registry),
-  // so Resolve can park it in RouteHandle::obs.
-  const obs::BoundaryRecorder& BoundaryRecorderFor(int from_comp,
-                                                   int to_comp);
+  // Find-or-create the runtime state for one boundary. The returned
+  // reference is stable (node-based map + node-stable registry), so Resolve
+  // can park it in RouteHandle::boundary/obs.
+  BoundaryRuntime& BoundaryFor(int from_comp, int to_comp);
+
+  // (Re-)points `b.recorder` at the registry metrics named for b.backend.
+  void BindRecorder(BoundaryRuntime& b);
+
+  // Immediate half of SetBoundaryBackend: charge, re-point, bump epoch.
+  void ApplyBoundaryBackend(BoundaryRuntime& b, IsolationBackend target);
+
+  // RAII in-flight tracking for one crossing; applies a deferred swap when
+  // the last crossing drains (including on TrapException unwind).
+  class InflightGuard;
 
   Machine& machine_;
   IsolationBackend backend_;
@@ -298,10 +358,18 @@ class Image final : public GateRouter {
   // refreshed from boundaries_ by stats() (hence mutable — refreshing is
   // logically const).
   mutable ImageStats stats_;
-  // Registry-backed per-boundary recorders, keyed by (from, to)
-  // compartment ids. std::map: node-stable, so RouteHandle::obs pointers
-  // survive later inserts.
-  std::map<std::pair<int, int>, obs::BoundaryRecorder> boundaries_;
+  // Per-boundary runtime state (backend + registry-backed recorder), keyed
+  // by (from, to) compartment ids. std::map: node-stable, so
+  // RouteHandle::boundary/obs pointers survive later inserts.
+  std::map<std::pair<int, int>, BoundaryRuntime> boundaries_;
+  // Lazily-built gates for backends other than the builder's, indexed by
+  // IsolationBackend value (runtime re-placement only; empty otherwise).
+  std::unique_ptr<Gate> gate_pool_[4];
+  // Bumped on every applied backend swap; RouteHandles stamped with an
+  // older epoch re-resolve transparently on their next dispatch.
+  uint64_t route_epoch_ = 0;
+  uint64_t route_reresolves_ = 0;
+  uint64_t deferred_swaps_applied_ = 0;
 
   struct ApiContract {
     std::function<bool()> precondition;

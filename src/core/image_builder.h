@@ -22,6 +22,42 @@ namespace flexos {
 
 enum class HeapKind : uint8_t { kFreelist, kBuddy };
 
+// One "adapt allow <cX> <cY> <backend>" row: the (from, to) boundary may be
+// re-placed onto `target` at runtime. An empty allow list permits every
+// legal re-placement; a non-empty list is a whitelist. flexlint's FL015
+// rejects rows whose compartment pair can never legally host the target.
+struct AdaptAllowRule {
+  int from = -1;
+  int to = -1;
+  IsolationBackend target = IsolationBackend::kNone;
+
+  bool operator==(const AdaptAllowRule& other) const {
+    return from == other.from && to == other.to && target == other.target;
+  }
+};
+
+// flexadapt policy knobs (DESIGN.md §16), set by "adapt" config directives.
+struct AdaptConfig {
+  bool enabled = false;        // "adapt on"
+  int cooldown_windows = 2;    // "adapt cooldown N": windows between moves.
+  uint64_t min_crossings = 16;  // "adapt min_crossings N": ignore sparser.
+  double demote_share = 0.25;  // "adapt demote_share X": gate-time share
+                               // of the window below which no demotion.
+  double min_delta_frac = 0.10;  // "adapt min_delta X": predicted saving
+                                 // must beat this fraction of gate time.
+  int max_flaps = 4;  // "adapt max_flaps N": transitions before freezing.
+  std::vector<AdaptAllowRule> allow;  // "adapt allow cX cY <backend>"
+
+  bool operator==(const AdaptConfig& other) const {
+    return enabled == other.enabled &&
+           cooldown_windows == other.cooldown_windows &&
+           min_crossings == other.min_crossings &&
+           demote_share == other.demote_share &&
+           min_delta_frac == other.min_delta_frac &&
+           max_flaps == other.max_flaps && allow == other.allow;
+  }
+};
+
 struct ImageConfig {
   IsolationBackend backend = IsolationBackend::kNone;
 
@@ -88,6 +124,10 @@ struct ImageConfig {
   // "slo <pattern> <stat> <op> <value>": SLO watchdogs evaluated at every
   // window close (obs/timeseries.h). Declaring any turns windowing on.
   std::vector<obs::SloSpec> slos;
+
+  // "adapt ..." directives: runtime-adaptive isolation (DESIGN.md §16).
+  // Enabling turns windowing on too (decisions fire at window closes).
+  AdaptConfig adapt;
 };
 
 // Convenience: the standard micro-library split used by the in-tree

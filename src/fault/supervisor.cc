@@ -206,6 +206,9 @@ Status CompartmentSupervisor::OnTrap(int from_comp, int to_comp,
   episodes_.push_back(episode);
   state.open_episode = episodes_.size();
   Quarantine(to_comp, state, episode.trap_cycles);
+  if (trap_observer_) {
+    trap_observer_(from_comp, to_comp);
+  }
   return Status(ErrorCode::kUnavailable,
                 StrFormat("compartment %d trapped: %s", to_comp,
                           std::string(TrapKindName(info.kind)).c_str()));

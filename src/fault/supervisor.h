@@ -84,6 +84,14 @@ class CompartmentSupervisor : public FaultDomainHandler {
   // The testbed wires TimeSeries::SetViolationHook here.
   void OnSloViolation(std::string_view slo_name);
 
+  // Called after every contained trap is quarantined (not when the
+  // compartment is already permanently failed), with the faulting boundary's
+  // (from, to). The testbed wires the flexadapt engine here so a trap can
+  // trigger an isolation promotion (DESIGN.md §16).
+  void SetTrapObserver(std::function<void(int from_comp, int to_comp)> cb) {
+    trap_observer_ = std::move(cb);
+  }
+
   // --- Introspection ------------------------------------------------------
   CompartmentHealth health(int comp) const;
   int restarts(int comp) const;
@@ -135,6 +143,7 @@ class CompartmentSupervisor : public FaultDomainHandler {
   uint64_t total_restarts_ = 0;
   uint64_t slo_notices_ = 0;
   std::vector<RecoveryEpisode> episodes_;
+  std::function<void(int, int)> trap_observer_;
 
   obs::Counter* trapped_counter_ = nullptr;
   obs::Counter* restarts_counter_ = nullptr;

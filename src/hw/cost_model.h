@@ -42,6 +42,14 @@ struct CostModel {
   // single-vCPU machine, keeping the N=1 cost model bit-identical.
   uint64_t ipi = 1600;
 
+  // --- Runtime backend transitions (flexadapt, DESIGN.md §16) ------------
+  // One-time cost of re-placing a boundary's backend live. MPK transitions
+  // re-program the pkey permissions of the target compartment's pages
+  // (pkey_mprotect sweep + PKRU reinstall on every core); VM transitions
+  // additionally set up or tear down the shared ring + event channel.
+  uint64_t adapt_mpk_reprogram = 6000;
+  uint64_t adapt_vm_setup = 50000;
+
   // --- Scheduling (paper §4 microbenchmark) -------------------------------
   // C scheduler context switch: 76.6 ns at 2.1 GHz ~= 161 cycles, of which
   // ~11 are charged as run-queue memory ops at the yield site.

@@ -46,6 +46,8 @@ const char* CategoryName(TraceCat cat) {
       return "race";
     case TraceCat::kSlo:
       return "slo";
+    case TraceCat::kAdapt:
+      return "adapt";
   }
   return "other";
 }

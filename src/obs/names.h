@@ -60,6 +60,13 @@ inline constexpr std::string_view kMetricFaultQuarantined =
 inline constexpr std::string_view kMetricFaultSloNotices =
     "fault.slo_notices";
 
+// flexadapt policy-engine counters (DESIGN.md §16).
+inline constexpr std::string_view kMetricAdaptPromotions =
+    "adapt.promotions";
+inline constexpr std::string_view kMetricAdaptDemotions = "adapt.demotions";
+inline constexpr std::string_view kMetricAdaptVetoes = "adapt.vetoes";
+inline constexpr std::string_view kMetricAdaptFlaps = "adapt.flaps";
+
 // The four per-boundary metric families, in the order flexstat prints them.
 inline constexpr std::string_view kGateFamilies[] = {
     "crossings", "batched", "bytes", "latency_ns"};

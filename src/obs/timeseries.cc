@@ -348,6 +348,9 @@ void TimeSeries::Capture(uint64_t now_cycles) {
   last_close_ = end;
   next_close_ = end + window_cycles_;
   EvaluateWatchdogs(window);
+  if (window_hook_) {
+    window_hook_(MakeSnapshot(window));
+  }
 }
 
 void TimeSeries::FinalizeTail(uint64_t now_cycles) {
@@ -440,36 +443,38 @@ void TimeSeries::ReportViolation(const Window& window, size_t spec_idx,
   }
 }
 
+WindowSnapshot TimeSeries::MakeSnapshot(const Window& window) const {
+  WindowSnapshot snap;
+  snap.seq = window.seq;
+  snap.start_cycles = window.start_cycles;
+  snap.end_cycles = window.end_cycles;
+  const Binding& binding = *window.binding;
+  for (size_t i = 0; i < window.counter_deltas.size(); ++i) {
+    if (window.counter_deltas[i] != 0) {
+      snap.counters.push_back(
+          {binding.counter_names[i], window.counter_deltas[i]});
+    }
+  }
+  for (size_t i = 0; i < window.gauge_values.size(); ++i) {
+    if (window.gauge_values[i] != 0) {
+      snap.gauges.push_back({binding.gauge_names[i], window.gauge_values[i]});
+    }
+  }
+  for (size_t i = 0; i < window.hist_deltas.size(); ++i) {
+    if (window.hist_deltas[i].count() != 0) {
+      snap.histograms.push_back({binding.hist_names[i], window.hist_deltas[i]});
+    }
+  }
+  return snap;
+}
+
 std::vector<WindowSnapshot> TimeSeries::Snapshot() const {
   std::vector<WindowSnapshot> out;
   const uint64_t retained =
       std::min<uint64_t>(seq_, static_cast<uint64_t>(ring_.size()));
   out.reserve(retained);
   for (uint64_t s = seq_ - retained + 1; s <= seq_ && retained > 0; ++s) {
-    const Window& window = ring_[(s - 1) % ring_.size()];
-    WindowSnapshot snap;
-    snap.seq = window.seq;
-    snap.start_cycles = window.start_cycles;
-    snap.end_cycles = window.end_cycles;
-    const Binding& binding = *window.binding;
-    for (size_t i = 0; i < window.counter_deltas.size(); ++i) {
-      if (window.counter_deltas[i] != 0) {
-        snap.counters.push_back(
-            {binding.counter_names[i], window.counter_deltas[i]});
-      }
-    }
-    for (size_t i = 0; i < window.gauge_values.size(); ++i) {
-      if (window.gauge_values[i] != 0) {
-        snap.gauges.push_back({binding.gauge_names[i], window.gauge_values[i]});
-      }
-    }
-    for (size_t i = 0; i < window.hist_deltas.size(); ++i) {
-      if (window.hist_deltas[i].count() != 0) {
-        snap.histograms.push_back(
-            {binding.hist_names[i], window.hist_deltas[i]});
-      }
-    }
-    out.push_back(std::move(snap));
+    out.push_back(MakeSnapshot(ring_[(s - 1) % ring_.size()]));
   }
   return out;
 }

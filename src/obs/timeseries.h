@@ -182,6 +182,14 @@ class TimeSeries {
     hook_ = std::move(hook);
   }
 
+  // Called once per closed window (after watchdog evaluation) with that
+  // window's snapshot — the flexadapt policy engine's input feed. Metrics
+  // the hook itself creates are picked up by the amortized rebind at the
+  // next window close, like any other late registration.
+  void SetWindowHook(std::function<void(const WindowSnapshot&)> hook) {
+    window_hook_ = std::move(hook);
+  }
+
   // Polled from deterministic points (scheduler loop, idle jumps, bench
   // loops). Closes one window when `now_cycles` has reached the next
   // boundary; a multi-boundary jump closes one window spanning it.
@@ -234,6 +242,7 @@ class TimeSeries {
 
   void Rebind();
   void Capture(uint64_t now_cycles);
+  WindowSnapshot MakeSnapshot(const Window& window) const;
   void EvaluateWatchdogs(const Window& window);
   void ReportViolation(const Window& window, size_t spec_idx,
                        const std::string& metric, double measured);
@@ -258,6 +267,7 @@ class TimeSeries {
   std::vector<SloSpec> specs_;
   std::vector<Counter*> violation_counters_;  // Parallel to specs_.
   std::function<void(const SloViolation&)> hook_;
+  std::function<void(const WindowSnapshot&)> window_hook_;
 };
 
 }  // inline namespace obs_enabled
@@ -287,6 +297,7 @@ class TimeSeries {
     return kEmpty;
   }
   void SetViolationHook(std::function<void(const SloViolation&)>) {}
+  void SetWindowHook(std::function<void(const WindowSnapshot&)>) {}
   void MaybeCapture(uint64_t) {}
   void FinalizeTail(uint64_t) {}
   uint64_t windows_captured() const { return 0; }

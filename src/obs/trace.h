@@ -45,6 +45,7 @@ enum class TraceCat : uint8_t {
   kFault = 5,
   kRace = 6,  // flexrace HB edges + shared-region access probes (obs/race.h).
   kSlo = 7,   // flexwatch SLO violation instants (obs/timeseries.h).
+  kAdapt = 8,  // flexadapt decision instants (src/adapt/adapt.h).
 };
 
 // Subset of Chrome trace-event phases we emit. Spans are always recorded as

@@ -33,8 +33,9 @@
 
 namespace flexos {
 
-struct ExecContext;  // hw/machine.h
-class Gate;          // core/gate.h
+struct ExecContext;      // hw/machine.h
+class Gate;              // core/gate.h
+struct BoundaryRuntime;  // core/image.h
 
 namespace obs {
 struct BoundaryRecorder;  // obs/metrics.h
@@ -77,6 +78,14 @@ struct RouteHandle {
   // the dispatch fast path records counters through pointers instead of a
   // per-call map lookup (owned by the router; null on non-cross routes).
   const obs::BoundaryRecorder* obs = nullptr;
+  // Route-cache epoch stamped at Resolve time. A router that re-places
+  // boundary backends at runtime (flexadapt, DESIGN.md §16) bumps its epoch
+  // on every swap; a held handle whose epoch is stale transparently
+  // re-resolves on the next dispatch instead of using a retired gate.
+  uint64_t epoch = 0;
+  // Per-boundary runtime state for cross routes (owned by the router; null
+  // on non-cross routes and on routers without runtime re-placement).
+  BoundaryRuntime* boundary = nullptr;
 };
 
 class GateBatch;
@@ -226,8 +235,9 @@ class GateBatch {
   const RouteHandle& route() const { return route_; }
 
   // Opaque per-batch storage for the router: the image parks the saved
-  // caller context here between BatchEnter and BatchExit.
-  static constexpr size_t kSessionBytes = 64;
+  // caller context plus the gate/backend pinned for the batch's lifetime
+  // here between BatchEnter and BatchExit.
+  static constexpr size_t kSessionBytes = 128;
   void* session() { return session_; }
 
  private:

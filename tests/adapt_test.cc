@@ -1,0 +1,394 @@
+// flexadapt (DESIGN.md §16): runtime backend re-placement and the adaptive
+// policy engine. Covers the transition protocol (route-epoch invalidation of
+// held handles, batch pinning + deferred swaps, recorder re-pointing,
+// transition cost charged to the clock and never to the latency
+// histograms), the policy core (demote on crossing-cost, lint veto of
+// illegal demotions, trap-driven promotion, byte-identical decision logs),
+// the adapt config directives, and the FL015 lint rule.
+#include <gtest/gtest.h>
+
+#include "adapt/adapt.h"
+#include "analysis/flexlint.h"
+#include "core/config_parser.h"
+#include "core/gate_costs.h"
+#include "core/image_builder.h"
+#include "fault/supervisor.h"
+#include "obs/names.h"
+
+namespace flexos {
+namespace {
+
+// {net} = c0 | {app, sched, libc, alloc} = c1 — the paper's basic split.
+ImageConfig TwoCompartments(IsolationBackend backend) {
+  ImageConfig config;
+  config.backend = backend;
+  config.compartments = {{"net"}, {"app", "sched", "libc", "alloc"}};
+  return config;
+}
+
+uint64_t CrossCycles(const Machine& machine, IsolationBackend backend) {
+  return PredictedCrossingCycles(machine.costs(), backend, kGateArgBytes,
+                                 kGateRetBytes);
+}
+
+// --- Transition protocol --------------------------------------------------
+
+TEST(BackendSwap, HeldRouteHandleReresolvesAcrossSwap) {
+  Machine machine;
+  ImageBuilder builder(machine);
+  auto image =
+      builder.Build(TwoCompartments(IsolationBackend::kMpkSwitchedStack))
+          .value();
+  const RouteHandle route = image->Resolve(kLibApp, kLibNet);
+
+  uint64_t before = machine.clock().cycles();
+  image->Call(route, [] {});
+  EXPECT_EQ(machine.clock().cycles() - before,
+            CrossCycles(machine, IsolationBackend::kMpkSwitchedStack));
+
+  const uint64_t epoch = image->route_epoch();
+  before = machine.clock().cycles();
+  EXPECT_TRUE(image->SetBoundaryBackend(
+      1, 0, IsolationBackend::kMpkSharedStack));
+  // The one-time transition cost lands on the clock, nowhere else.
+  EXPECT_EQ(machine.clock().cycles() - before,
+            TransitionCycles(machine.costs(),
+                             IsolationBackend::kMpkSwitchedStack,
+                             IsolationBackend::kMpkSharedStack));
+  EXPECT_GT(image->route_epoch(), epoch);
+  EXPECT_EQ(image->BoundaryBackend(1, 0),
+            IsolationBackend::kMpkSharedStack);
+
+  // The stale handle transparently re-resolves and charges the new gate.
+  const uint64_t reresolves = image->route_reresolves();
+  before = machine.clock().cycles();
+  image->Call(route, [] {});
+  EXPECT_EQ(machine.clock().cycles() - before,
+            CrossCycles(machine, IsolationBackend::kMpkSharedStack));
+  EXPECT_GT(image->route_reresolves(), reresolves);
+  EXPECT_EQ(image->EffectiveBackend(route),
+            IsolationBackend::kMpkSharedStack);
+}
+
+TEST(BackendSwap, GateBatchPinsBackendAndDefersSwapUntilFlush) {
+  Machine machine;
+  ImageBuilder builder(machine);
+  auto image =
+      builder.Build(TwoCompartments(IsolationBackend::kMpkSwitchedStack))
+          .value();
+  const RouteHandle route = image->Resolve(kLibApp, kLibNet);
+
+  GateBatch batch(*image, route);
+  batch.Run([] {});
+  // Mid-batch the boundary is in flight: the swap must park, not tear the
+  // gate out from under the pinned session.
+  EXPECT_FALSE(image->SetBoundaryBackend(
+      1, 0, IsolationBackend::kMpkSharedStack));
+  EXPECT_EQ(image->BoundaryBackend(1, 0),
+            IsolationBackend::kMpkSwitchedStack);
+  batch.Run([] {});
+  batch.Flush();
+  // The last in-flight crossing drained: the deferred swap applies.
+  EXPECT_EQ(image->deferred_swaps_applied(), 1u);
+  EXPECT_EQ(image->BoundaryBackend(1, 0),
+            IsolationBackend::kMpkSharedStack);
+
+  const uint64_t before = machine.clock().cycles();
+  image->Call(route, [] {});
+  EXPECT_EQ(machine.clock().cycles() - before,
+            CrossCycles(machine, IsolationBackend::kMpkSharedStack));
+}
+
+TEST(BackendSwap, RecorderRepointsMetricsToNewBackendNames) {
+  Machine machine;
+  ImageBuilder builder(machine);
+  auto image =
+      builder.Build(TwoCompartments(IsolationBackend::kMpkSwitchedStack))
+          .value();
+  const RouteHandle route = image->Resolve(kLibApp, kLibNet);
+  const std::string old_name =
+      obs::GateMetricName("crossings", "mpk-switched", 1, 0);
+  const std::string new_name =
+      obs::GateMetricName("crossings", "mpk-shared", 1, 0);
+
+  image->Call(route, [] {});
+  EXPECT_EQ(machine.metrics().CounterValue(old_name), 1u);
+
+  const std::string old_lat =
+      obs::GateMetricName("latency_ns", "mpk-switched", 1, 0);
+  const uint64_t old_lat_count =
+      machine.metrics().GetHistogram(old_lat).count();
+  ASSERT_TRUE(image->SetBoundaryBackend(
+      1, 0, IsolationBackend::kMpkSharedStack));
+  // The swap itself records nothing in the histograms (transition cost is
+  // clock-only).
+  EXPECT_EQ(machine.metrics().GetHistogram(old_lat).count(), old_lat_count);
+
+  // Post-swap crossings attribute to the new backend's names; the old
+  // counters freeze. This is the regression test for the recorder
+  // re-pointing half of SetBoundaryBackend — without it, post-swap
+  // crossings would keep inflating the mpk-switched row.
+  image->Call(route, [] {});
+  image->Call(route, [] {});
+  EXPECT_EQ(machine.metrics().CounterValue(old_name), 1u);
+  EXPECT_EQ(machine.metrics().CounterValue(new_name), 2u);
+  const std::string new_lat =
+      obs::GateMetricName("latency_ns", "mpk-shared", 1, 0);
+  EXPECT_EQ(machine.metrics().GetHistogram(new_lat).count(), 2u);
+  EXPECT_EQ(machine.metrics().GetHistogram(new_lat).Mean(),
+            static_cast<double>(machine.clock().CyclesToNanos(
+                CrossCycles(machine, IsolationBackend::kMpkSharedStack))));
+}
+
+// --- Policy engine --------------------------------------------------------
+
+// Drives `ops` chatty app->net crossings under flexwatch windows and
+// returns the engine's decision log.
+std::string RunChattyEngine(const AdaptConfig& adapt, IsolationBackend start,
+                            uint64_t ops, uint64_t* demotions,
+                            uint64_t* vetoes,
+                            IsolationBackend* final_backend) {
+  Machine machine;
+  // Window wide enough that a demotion's predicted per-window saving
+  // clears the modeled transition cost (adapt_mpk_reprogram).
+  machine.timeseries().Enable(100'000);
+  ImageBuilder builder(machine);
+  ImageConfig config = TwoCompartments(start);
+  auto image = builder.Build(config).value();
+  adapt::AdaptiveIsolationEngine engine(*image, adapt);
+  machine.timeseries().SetWindowHook(
+      [&engine](const obs::WindowSnapshot& snapshot) {
+        engine.OnWindow(snapshot);
+      });
+  const RouteHandle route = image->Resolve(kLibApp, kLibNet);
+  for (uint64_t i = 0; i < ops; ++i) {
+    image->Call(route, [&machine] { machine.ChargeCompute(100); });
+    machine.PollTimeSeries();
+  }
+  machine.timeseries().FinalizeTail(machine.max_cycles());
+  if (demotions != nullptr) {
+    *demotions = engine.demotions();
+  }
+  if (vetoes != nullptr) {
+    *vetoes = engine.vetoes();
+  }
+  if (final_backend != nullptr) {
+    *final_backend = image->BoundaryBackend(1, 0);
+  }
+  return engine.ToJson();
+}
+
+TEST(AdaptiveEngine, DemotesChattyBoundaryAndLogsDecision) {
+  AdaptConfig adapt;
+  adapt.enabled = true;
+  adapt.min_crossings = 8;
+  adapt.allow.push_back({1, 0, IsolationBackend::kMpkSharedStack});
+  uint64_t demotions = 0;
+  uint64_t vetoes = 0;
+  IsolationBackend final_backend = IsolationBackend::kNone;
+  const std::string json =
+      RunChattyEngine(adapt, IsolationBackend::kMpkSwitchedStack, 2000,
+                      &demotions, &vetoes, &final_backend);
+  EXPECT_EQ(demotions, 1u);
+  EXPECT_EQ(vetoes, 0u);  // shared -> none has no allow row: never proposed.
+  EXPECT_EQ(final_backend, IsolationBackend::kMpkSharedStack);
+  EXPECT_NE(json.find("\"schema\":\"flexos-adapt-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"demote\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"crossing-cost\""), std::string::npos);
+  EXPECT_NE(json.find("\"applied\":true"), std::string::npos);
+}
+
+TEST(AdaptiveEngine, DecisionLogIsReplayIdentical) {
+  AdaptConfig adapt;
+  adapt.enabled = true;
+  adapt.min_crossings = 8;
+  adapt.allow.push_back({1, 0, IsolationBackend::kMpkSharedStack});
+  const std::string first = RunChattyEngine(
+      adapt, IsolationBackend::kMpkSwitchedStack, 2000, nullptr, nullptr,
+      nullptr);
+  const std::string second = RunChattyEngine(
+      adapt, IsolationBackend::kMpkSwitchedStack, 2000, nullptr, nullptr,
+      nullptr);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(AdaptiveEngine, LintVetoesDemotionToNoneAndNeverAppliesIt) {
+  AdaptConfig adapt;
+  adapt.enabled = true;
+  adapt.min_crossings = 8;
+  // Explicitly bless the illegal rung: the lint gate must still refuse it
+  // (net and the app group may not share a trust domain).
+  adapt.allow.push_back({1, 0, IsolationBackend::kNone});
+  uint64_t demotions = 0;
+  uint64_t vetoes = 0;
+  IsolationBackend final_backend = IsolationBackend::kNone;
+  const std::string json =
+      RunChattyEngine(adapt, IsolationBackend::kMpkSharedStack, 2000,
+                      &demotions, &vetoes, &final_backend);
+  EXPECT_EQ(demotions, 0u);
+  EXPECT_GE(vetoes, 1u);
+  EXPECT_EQ(final_backend, IsolationBackend::kMpkSharedStack);
+  EXPECT_NE(json.find("\"kind\":\"veto\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"veto:"), std::string::npos);
+  // A veto is never applied — grep the log for the forbidden combination.
+  EXPECT_EQ(json.find("\"kind\":\"veto\",\"applied\":true"),
+            std::string::npos);
+}
+
+TEST(AdaptiveEngine, ContainedTrapPromotesBoundary) {
+  Machine machine;
+  ImageBuilder builder(machine);
+  auto image =
+      builder.Build(TwoCompartments(IsolationBackend::kMpkSharedStack))
+          .value();
+  fault::CompartmentSupervisor supervisor(*image);
+  image->SetFaultHandler(&supervisor);
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = fault::FaultSite::kGateCross;
+  rule.kind = fault::FaultKind::kProtectionFault;
+  rule.compartment = 0;
+  rule.after = 3;
+  rule.count = 1;
+  plan.rules = {rule};
+  machine.injector().LoadPlan(plan);
+
+  AdaptConfig adapt;
+  adapt.enabled = true;
+  adapt::AdaptiveIsolationEngine engine(*image, adapt);
+  supervisor.SetTrapObserver([&engine](int from_comp, int to_comp) {
+    engine.OnContainedTrap(from_comp, to_comp);
+  });
+
+  const RouteHandle route = image->Resolve(kLibApp, kLibNet);
+  uint64_t completed = 0;
+  for (int i = 0; i < 8 && completed < 5; ++i) {
+    const Status status = image->TryCall(route, [] {});
+    if (status.ok()) {
+      ++completed;
+      continue;
+    }
+    const uint64_t deadline = supervisor.NextRestartCycles();
+    if (deadline != fault::CompartmentSupervisor::kNoRestartPending &&
+        deadline > machine.clock().cycles()) {
+      machine.clock().AdvanceTo(deadline);
+    }
+  }
+  EXPECT_EQ(completed, 5u);
+  EXPECT_EQ(engine.promotions(), 1u);
+  // The trap fired inside the crossing, so the swap deferred behind it and
+  // applied when the trapped call drained.
+  EXPECT_EQ(image->BoundaryBackend(1, 0),
+            IsolationBackend::kMpkSwitchedStack);
+  ASSERT_EQ(engine.decisions().size(), 1u);
+  const adapt::AdaptDecision& decision = engine.decisions().front();
+  EXPECT_EQ(decision.kind, adapt::DecisionKind::kPromote);
+  EXPECT_EQ(decision.reason, "trap");
+  EXPECT_TRUE(decision.applied || decision.deferred);
+}
+
+// --- Config directives ----------------------------------------------------
+
+TEST(AdaptConfigParse, DirectivesRoundTrip) {
+  const std::string text =
+      "backend = mpk-switched\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n"
+      "adapt on\n"
+      "adapt cooldown 3\n"
+      "adapt min_crossings 64\n"
+      "adapt demote_share 0.4\n"
+      "adapt min_delta 0.2\n"
+      "adapt max_flaps 2\n"
+      "adapt allow c1 c0 mpk-shared\n"
+      "adapt allow c1 c0 none\n";
+  Result<ImageConfig> parsed = ParseImageConfig(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const AdaptConfig& adapt = parsed.value().adapt;
+  EXPECT_TRUE(adapt.enabled);
+  EXPECT_EQ(adapt.cooldown_windows, 3);
+  EXPECT_EQ(adapt.min_crossings, 64u);
+  EXPECT_DOUBLE_EQ(adapt.demote_share, 0.4);
+  EXPECT_DOUBLE_EQ(adapt.min_delta_frac, 0.2);
+  EXPECT_EQ(adapt.max_flaps, 2);
+  ASSERT_EQ(adapt.allow.size(), 2u);
+  EXPECT_EQ(adapt.allow[0].from, 1);
+  EXPECT_EQ(adapt.allow[0].to, 0);
+  EXPECT_EQ(adapt.allow[0].target, IsolationBackend::kMpkSharedStack);
+  EXPECT_EQ(adapt.allow[1].target, IsolationBackend::kNone);
+
+  // Serialize -> reparse must reproduce the adapt block exactly.
+  Result<ImageConfig> round =
+      ParseImageConfig(ImageConfigToString(parsed.value()));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_TRUE(round.value().adapt == parsed.value().adapt);
+}
+
+TEST(AdaptConfigParse, RejectsMalformedDirectives) {
+  const std::string base =
+      "backend = mpk-shared\n"
+      "compartment net\n"
+      "compartment app sched libc alloc\n";
+  EXPECT_FALSE(ParseImageConfig(base + "adapt maybe\n").ok());
+  EXPECT_FALSE(ParseImageConfig(base + "adapt demote_share 1.5\n").ok());
+  EXPECT_FALSE(ParseImageConfig(base + "adapt demote_share -0.1\n").ok());
+  EXPECT_FALSE(ParseImageConfig(base + "adapt cooldown many\n").ok());
+  EXPECT_FALSE(ParseImageConfig(base + "adapt allow c1 c0 bogus\n").ok());
+  EXPECT_FALSE(ParseImageConfig(base + "adapt allow c1 c0\n").ok());
+  EXPECT_FALSE(ParseImageConfig(base + "adapt frobnicate 3\n").ok());
+}
+
+// --- FL015 ----------------------------------------------------------------
+
+size_t CountRule(const LintReport& report, std::string_view rule) {
+  size_t count = 0;
+  for (const LintDiagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.rule == rule) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(Fl015, FlagsIllegalAdaptAllowTargets) {
+  ImageConfig config = TwoCompartments(IsolationBackend::kMpkSwitchedStack);
+  config.adapt.enabled = true;
+  // Out-of-range compartment, self-boundary, and a none-target between
+  // compartments whose metadata forbids shared trust (one error per
+  // incompatible lib pair): at least three errors.
+  config.adapt.allow.push_back({5, 0, IsolationBackend::kMpkSharedStack});
+  config.adapt.allow.push_back({0, 0, IsolationBackend::kMpkSharedStack});
+  config.adapt.allow.push_back({1, 0, IsolationBackend::kNone});
+  const LintReport report =
+      RunRules(ExtractModel(config, BuiltinMetaResolver()));
+  EXPECT_GE(CountRule(report, kRuleAdaptIllegalTarget), 3u);
+  EXPECT_TRUE(report.HasErrors());
+}
+
+TEST(Fl015, FlagsVmRpcTargetOntoFullyReplicatedCompartment) {
+  ImageConfig config;
+  config.backend = IsolationBackend::kMpkSwitchedStack;
+  config.compartments = {{"net", "app"}, {"sched", "libc", "alloc"}};
+  config.adapt.enabled = true;
+  // Every lib in c1 is VM-replicated: under vm-rpc the callers use local
+  // replicas and the boundary never hosts an RPC gate, so the allow row can
+  // never take effect.
+  config.adapt.allow.push_back({0, 1, IsolationBackend::kVmRpc});
+  const LintReport report =
+      RunRules(ExtractModel(config, BuiltinMetaResolver()));
+  EXPECT_EQ(CountRule(report, kRuleAdaptIllegalTarget), 1u);
+}
+
+TEST(Fl015, AcceptsLegalAllowRows) {
+  ImageConfig config = TwoCompartments(IsolationBackend::kMpkSwitchedStack);
+  config.adapt.enabled = true;
+  config.adapt.allow.push_back({1, 0, IsolationBackend::kMpkSharedStack});
+  config.adapt.allow.push_back({0, 1, IsolationBackend::kMpkSwitchedStack});
+  const LintReport report =
+      RunRules(ExtractModel(config, BuiltinMetaResolver()));
+  EXPECT_EQ(CountRule(report, kRuleAdaptIllegalTarget), 0u);
+}
+
+}  // namespace
+}  // namespace flexos

@@ -11,13 +11,16 @@
 // benches (compare=false in the manifest) run gate-only: their own internal
 // checks decide pass/fail via exit status.
 //
-//   flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]
+//   flexbench --bindir DIR [--smoke] [--chaos] [--adapt] [--baseline FILE]
 //             [--out FILE] [--write-baseline FILE] [--tolerance X]
 //   flexbench --diff OLD.json NEW.json
 //
 // The --chaos profile restricts the run to the manifest's chaos-tagged
 // benches: deterministic fault-injection soaks whose exit status gates the
 // recovery-time and zero-leak invariants (see bench/abl_fault_recovery.cc).
+// The --adapt profile does the same for the adapt-tagged benches: the
+// flexadapt policy ablation whose exit status gates replay-identical
+// decision logs and per-phase placement tracking (bench/abl_adaptive.cc).
 //
 // --diff runs no benches: it loads two flexos-bench-v1 result sets,
 // prints a per-entry delta table, and attributes the modeled-number delta
@@ -67,6 +70,7 @@ struct Options {
   double tolerance = kBenchDefaultTolerance;
   bool smoke = false;
   bool chaos = false;
+  bool adapt = false;
   // Forwarded to smp-tagged benches as --vcpus N; 0 leaves them on their
   // default scaling sweep (1/2/4).
   int vcpus = 0;
@@ -78,13 +82,16 @@ struct Options {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: flexbench --bindir DIR [--smoke] [--chaos] [--baseline FILE]\n"
-      "                 [--out FILE] [--write-baseline FILE] "
-      "[--tolerance X] [--vcpus N]\n"
+      "usage: flexbench --bindir DIR [--smoke] [--chaos] [--adapt]\n"
+      "                 [--baseline FILE] [--out FILE] "
+      "[--write-baseline FILE]\n"
+      "                 [--tolerance X] [--vcpus N]\n"
       "       flexbench --diff OLD.json NEW.json\n"
       "  --chaos runs only the fault-injection soak benches (self-gating\n"
       "  recovery/leak invariants); combine with --smoke for the CI-sized "
       "run\n"
+      "  --adapt runs only the flexadapt policy benches (self-gating\n"
+      "  replay-identity and placement-tracking invariants)\n"
       "  --vcpus N pins the smp-tagged benches to one vCPU count instead\n"
       "  of their default 1/2/4 scaling sweep\n"
       "  --diff compares two flexos-bench-v1 result sets and attributes\n"
@@ -583,6 +590,8 @@ int Run(int argc, char** argv) {
       opts.smoke = true;
     } else if (arg == "--chaos") {
       opts.chaos = true;
+    } else if (arg == "--adapt") {
+      opts.adapt = true;
     } else if (arg == "--vcpus") {
       const char* v = next_value();
       if (v == nullptr) {
@@ -632,6 +641,9 @@ int Run(int argc, char** argv) {
   bool benches_ok = true;
   for (const BenchSpec& spec : kBenchManifest) {
     if (opts.chaos && !spec.chaos) {
+      continue;
+    }
+    if (opts.adapt && !spec.adapt) {
       continue;
     }
     BenchRun run;

@@ -47,6 +47,11 @@
 //     --advise         rank every boundary x backend re-placement by
 //                      predicted end-to-end savings (promote = stronger
 //                      isolation, demote = weaker); implies --critpath
+//     --adapt          enable the flexadapt policy engine ("adapt on", with
+//                      the config's other adapt knobs) and print its
+//                      decision log after the run. With --json, prints the
+//                      flexos-adapt-v1 document INSTEAD of the metrics JSON
+//                      (byte-identical across same-seed replays)
 //
 // Exit status: 0 on a complete run, 1 when the workload fails, 2 on usage
 // or I/O errors.
@@ -92,6 +97,7 @@ struct Options {
   std::string prom_path;
   bool critpath = false;
   bool advise = false;
+  bool adapt = false;
   // --whatif entries as (boundary, backend-name), validated after the run.
   std::vector<std::pair<std::string, std::string>> whatifs;
 };
@@ -105,7 +111,7 @@ int Usage() {
                "                [--watch] [--window N] [--timeline FILE]\n"
                "                [--slo] [--prom FILE] [--critpath]\n"
                "                [--whatif BOUNDARY=BACKEND] [--advise]\n"
-               "                <config.conf>\n");
+               "                [--adapt] <config.conf>\n");
   return 2;
 }
 
@@ -672,6 +678,8 @@ int Run(int argc, char** argv) {
     } else if (arg == "--advise") {
       opts.advise = true;
       opts.critpath = true;
+    } else if (arg == "--adapt") {
+      opts.adapt = true;
     } else if (arg == "--prom") {
       const char* v = next_value("--prom");
       if (v == nullptr) {
@@ -710,6 +718,11 @@ int Run(int argc, char** argv) {
 
   TestbedConfig bed_config;
   bed_config.image = config.value();
+  if (opts.adapt) {
+    // Force the policy engine on; the config's other adapt knobs (cooldown,
+    // thresholds, allow list) still apply.
+    bed_config.image.adapt.enabled = true;
+  }
   bed_config.tcp.batch_crossings = opts.batch;
   bed_config.profile = !opts.request_spec.empty() ||
                        !opts.flame_path.empty() || opts.critpath;
@@ -825,10 +838,12 @@ int Run(int argc, char** argv) {
   }
 
   if (opts.json) {
-    // --critpath --json prints the flexos-critpath-v1 document alone: the
-    // byte-identity contract (same seed -> same bytes) would not survive
-    // interleaving it with other output.
-    if (opts.critpath) {
+    // --critpath/--adapt with --json print their deterministic documents
+    // alone: the byte-identity contract (same seed -> same bytes) would not
+    // survive interleaving with other output.
+    if (opts.adapt) {
+      std::fputs(bed.adapt_engine()->ToJson().c_str(), stdout);
+    } else if (opts.critpath) {
       std::fputs(critpath.ToJson().c_str(), stdout);
     } else {
       std::fputs(metrics_json.c_str(), stdout);
@@ -868,6 +883,10 @@ int Run(int argc, char** argv) {
     if (opts.advise) {
       PrintAdvise(critpath, machine.costs());
     }
+  }
+
+  if (opts.adapt && !opts.json) {
+    std::fputs(bed.adapt_engine()->ToTable().c_str(), stdout);
   }
 
   if (!opts.request_spec.empty()) {
